@@ -1,0 +1,90 @@
+//! Criterion microbench: supporting kernels — quantization, word-level
+//! rotation, n-gram encoding, and hyperspace k-means assignment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hdc::cluster::kmeans;
+use hdc::hv::{BipolarHv, DenseHv};
+use hdc::quantize::{Quantization, Quantizer};
+use hdc::sequence::NgramEncoder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(31);
+    let values: Vec<f64> = (0..100_000).map(|_| rng.gen_range(0.0f64..1.0).powi(2)).collect();
+    let mut group = c.benchmark_group("quantization_100k_values");
+    group.sample_size(20);
+    group.bench_function("fit_linear_q4", |b| {
+        b.iter(|| Quantizer::fit(Quantization::Linear, black_box(&values), 4).unwrap())
+    });
+    group.bench_function("fit_equalized_q4", |b| {
+        b.iter(|| Quantizer::fit(Quantization::Equalized, black_box(&values), 4).unwrap())
+    });
+    let quantizer = Quantizer::fit(Quantization::Equalized, &values, 4).unwrap();
+    let features: Vec<f64> = values[..617].to_vec();
+    group.bench_function("quantize_617_features", |b| {
+        b.iter(|| quantizer.levels_of(black_box(&features)))
+    });
+    group.finish();
+}
+
+fn bench_rotation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(32);
+    let word_aligned = BipolarHv::random(2048, &mut rng);
+    let unaligned = BipolarHv::random(2000, &mut rng);
+    let mut group = c.benchmark_group("rotation_d2048");
+    group.sample_size(30);
+    group.bench_function("word_path_d2048", |b| {
+        b.iter(|| black_box(&word_aligned).rotated(617))
+    });
+    group.bench_function("bit_path_d2000", |b| {
+        b.iter(|| black_box(&unaligned).rotated(617))
+    });
+    group.finish();
+}
+
+fn bench_sequence(c: &mut Criterion) {
+    let mut encoder = NgramEncoder::<char>::new(4096, 3, 33).unwrap();
+    let text = "the quick brown fox jumps over the lazy dog and keeps running";
+    // Warm the item memory so the bench measures encoding, not interning.
+    let _ = encoder.encode_str(text).unwrap();
+    let mut group = c.benchmark_group("sequence_encoding");
+    group.sample_size(20);
+    group.bench_function("trigrams_62_chars_d4096", |b| {
+        b.iter(|| encoder.encode_str(black_box(text)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(34);
+    let protos: Vec<BipolarHv> = (0..4).map(|_| BipolarHv::random(1024, &mut rng)).collect();
+    let samples: Vec<DenseHv> = (0..120)
+        .map(|i| {
+            let mut hv = protos[i % 4].clone();
+            let idx: Vec<usize> = (0..40).map(|_| rng.gen_range(0..1024)).collect();
+            hv.flip(&idx);
+            DenseHv::from(&hv)
+        })
+        .collect();
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10);
+    group.bench_function("kmeans_120x1024_k4", |b| {
+        b.iter(|| {
+            let mut local_rng = StdRng::seed_from_u64(35);
+            kmeans(black_box(&samples), 4, 15, &mut local_rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quantization,
+    bench_rotation,
+    bench_sequence,
+    bench_clustering
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion microbench: retraining update kernels (Fig. 14b backing).
+//!
+//! Compares the baseline model update (add/sub a `D`-wide encoded sample
+//! into two class hypervectors, then re-normalize) with the compressed
+//! update rules (exact keyed update and the paper's §V-C shift rule).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hdc::hv::DenseHv;
+use hdc::model::ClassModel;
+use lookhd::compress::{CompressedModel, CompressionConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const D: usize = 2000;
+const K: usize = 12;
+
+fn setup() -> (ClassModel, CompressedModel, DenseHv) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let classes: Vec<DenseHv> = (0..K)
+        .map(|_| DenseHv::from_vec((0..D).map(|_| rng.gen_range(-40..=40)).collect()))
+        .collect();
+    let model = ClassModel::from_classes(classes).unwrap();
+    let compressed = CompressedModel::compress(
+        &model,
+        &CompressionConfig::new().with_decorrelate(false),
+    )
+    .unwrap();
+    let query = DenseHv::from_vec((0..D).map(|_| rng.gen_range(-30..=30)).collect());
+    (model, compressed, query)
+}
+
+fn bench_retrain(c: &mut Criterion) {
+    let (model, compressed, query) = setup();
+    let mut group = c.benchmark_group("retrain_update_k12_d2000");
+    group.sample_size(30);
+    group.bench_function("baseline_add_sub_refresh", |b| {
+        b.iter_batched(
+            || model.clone(),
+            |mut m| {
+                m.add(0, black_box(&query)).unwrap();
+                m.sub(1, black_box(&query)).unwrap();
+                m.refresh_norms();
+                m
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("compressed_exact_update", |b| {
+        b.iter_batched(
+            || compressed.clone(),
+            |mut cm| {
+                cm.update(0, 1, black_box(&query)).unwrap();
+                cm
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("compressed_paper_shift_update", |b| {
+        b.iter_batched(
+            || compressed.clone(),
+            |mut cm| {
+                cm.update_paper_shift(0, 1, black_box(&query)).unwrap();
+                cm
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrain);
+criterion_main!(benches);

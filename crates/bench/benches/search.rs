@@ -1,0 +1,71 @@
+//! Criterion microbench: full associative search vs compressed-model
+//! scoring (the wall-clock counterpart of Fig. 14a / Fig. 15b).
+//!
+//! SPEECH geometry: k = 26 classes, D = 2000. The full model computes
+//! k·D multiplications per query; the compressed model computes D per
+//! combined vector plus sign-flipped accumulation.
+//!
+//! Expected outcome on a SIMD CPU: the *full* model wins or ties — 32-bit
+//! MACs and masked adds have identical vector throughput, so eliminating
+//! multiplications buys nothing here. The compression win is architectural
+//! (FPGA DSP scarcity: Fig. 14/15 cost models) and spatial (g·D vs k·D
+//! model bytes streamed per query); this bench exists to keep that claim
+//! honest rather than to show a speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hdc::hv::DenseHv;
+use hdc::model::ClassModel;
+use lookhd::compress::{CompressedModel, CompressionConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const D: usize = 2000;
+const K: usize = 26;
+
+fn setup() -> (ClassModel, CompressedModel, CompressedModel, CompressedModel, DenseHv) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let classes: Vec<DenseHv> = (0..K)
+        .map(|_| DenseHv::from_vec((0..D).map(|_| rng.gen_range(-40..=40)).collect()))
+        .collect();
+    let model = ClassModel::from_classes(classes).unwrap();
+    let exact = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
+    let single = CompressedModel::compress(
+        &model,
+        &CompressionConfig::new().with_max_classes_per_vector(K),
+    )
+    .unwrap();
+    // The hardware integer datapath: no decorrelation/whitening front-end.
+    let hardware = CompressedModel::compress(
+        &model,
+        &CompressionConfig::new()
+            .with_decorrelate(false)
+            .with_max_classes_per_vector(K),
+    )
+    .unwrap();
+    let query = DenseHv::from_vec((0..D).map(|_| rng.gen_range(-30..=30)).collect());
+    (model, exact, single, hardware, query)
+}
+
+fn bench_search(c: &mut Criterion) {
+    let (model, exact, single, hardware, query) = setup();
+    let mut group = c.benchmark_group("associative_search_k26_d2000");
+    group.sample_size(30);
+    group.bench_function("full_model", |b| {
+        b.iter(|| model.predict(black_box(&query)).unwrap())
+    });
+    group.bench_function("compressed_exact_mode_3vec", |b| {
+        b.iter(|| exact.predict(black_box(&query)).unwrap())
+    });
+    group.bench_function("compressed_single_vector", |b| {
+        b.iter(|| single.predict(black_box(&query)).unwrap())
+    });
+    group.bench_function("compressed_hardware_integer_path", |b| {
+        b.iter(|| hardware.predict(black_box(&query)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation — binary (majority-thresholded) models vs LookHD's non-binary
+//! models.
+//!
+//! §VII claims prior binary-domain HDC systems lose ~17.5% accuracy on
+//! average against LookHD's non-binary models. This ablation binarizes the
+//! trained class model and measures the gap, for both a sign-thresholded
+//! model with dense queries and the fully binary (Hamming) regime.
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin ablation_binary_model`
+
+use hdc::binary::BinaryModel;
+use hdc::encoding::Encode;
+use lookhd::classifier::{LookHdClassifier, LookHdConfig};
+use lookhd_bench::context::Context;
+use lookhd_bench::table::{pct, Table};
+use lookhd_datasets::apps::App;
+
+fn main() {
+    let ctx = Context::from_env();
+    let mut table = Table::new([
+        "App",
+        "non-binary",
+        "binary model",
+        "fully binary",
+        "gap (binary)",
+    ]);
+    let mut gaps = Vec::new();
+    for app in App::ALL {
+        let profile = app.profile();
+        let data = ctx.dataset(&profile);
+        let config = LookHdConfig::new()
+            .with_dim(ctx.dim())
+            .with_q(profile.paper_q_lookhd)
+            .with_retrain_epochs(ctx.retrain_epochs());
+        let clf = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)
+            .expect("training failed");
+        let binary = BinaryModel::from_model(clf.model());
+        let mut non_binary = 0usize;
+        let mut bin = 0usize;
+        let mut fully_bin = 0usize;
+        for (x, &y) in data.test.features.iter().zip(&data.test.labels) {
+            let h = clf.encoder().encode(x).expect("encoding failed");
+            if clf.model().predict(&h).expect("predict failed") == y {
+                non_binary += 1;
+            }
+            if binary.predict(&h).expect("predict failed") == y {
+                bin += 1;
+            }
+            if binary.predict_binary(&h.sign()).expect("predict failed") == y {
+                fully_bin += 1;
+            }
+        }
+        let n = data.test.len() as f64;
+        let (nb, b, fb) = (non_binary as f64 / n, bin as f64 / n, fully_bin as f64 / n);
+        gaps.push(nb - fb);
+        table.row([
+            profile.name.to_owned(),
+            pct(nb),
+            pct(b),
+            pct(fb),
+            format!("{:+.1} pts", (fb - nb) * 100.0),
+        ]);
+    }
+    println!(
+        "Ablation: binary vs non-binary model accuracy (D = {})\n",
+        ctx.dim()
+    );
+    table.print();
+    let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    println!(
+        "\nmean fully-binary gap: {:.1} points (paper cites ~17.5 points for prior\n\
+         binary-domain HDC; binarizing only the *model* — with a non-binary\n\
+         query — is far gentler than the fully binary pipelines those systems\n\
+         use, and our clean-majority data keeps margins wide)",
+        mean_gap * 100.0
+    );
+}

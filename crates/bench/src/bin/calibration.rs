@@ -1,0 +1,65 @@
+//! Calibration check — measured vs paper accuracy for every application,
+//! for the baseline HDC and the full LookHD pipeline.
+//!
+//! This is the sanity gate for the synthetic-dataset substitution: the
+//! absolute numbers are tuned, the relative claims are not (see DESIGN.md).
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin calibration`
+
+use hdc::classifier::{HdcClassifier, HdcConfig};
+use lookhd::classifier::{LookHdClassifier, LookHdConfig};
+use lookhd_bench::context::Context;
+use lookhd_bench::table::{pct, Table};
+use lookhd_datasets::apps::App;
+
+fn main() {
+    let ctx = Context::from_env();
+    let mut table = Table::new([
+        "App",
+        "baseline meas",
+        "baseline paper",
+        "lookhd meas",
+        "lookhd uncompressed",
+        "lookhd paper",
+    ]);
+    for app in App::ALL {
+        let profile = app.profile();
+        let data = ctx.dataset(&profile);
+        let base_cfg = HdcConfig::new()
+            .with_dim(ctx.dim())
+            .with_q(profile.paper_q_baseline)
+            .with_retrain_epochs(ctx.retrain_epochs());
+        let base = HdcClassifier::fit(&base_cfg, &data.train.features, &data.train.labels)
+            .expect("baseline training failed");
+        let base_acc = base
+            .score(&data.test.features, &data.test.labels)
+            .expect("scoring failed");
+        let look_cfg = LookHdConfig::new()
+            .with_dim(ctx.dim())
+            .with_q(profile.paper_q_lookhd)
+            .with_retrain_epochs(ctx.retrain_epochs());
+        let look = LookHdClassifier::fit(&look_cfg, &data.train.features, &data.train.labels)
+            .expect("LookHD training failed");
+        let look_acc = look
+            .score(&data.test.features, &data.test.labels)
+            .expect("scoring failed");
+        let unc_acc = data
+            .test
+            .features
+            .iter()
+            .zip(&data.test.labels)
+            .filter(|(x, &y)| look.predict_uncompressed(x).expect("predict failed") == y)
+            .count() as f64
+            / data.test.len() as f64;
+        table.row([
+            profile.name.to_owned(),
+            pct(base_acc),
+            pct(profile.paper_accuracy_baseline),
+            pct(look_acc),
+            pct(unc_acc),
+            pct(profile.paper_accuracy_lookhd_d2000),
+        ]);
+    }
+    println!("Calibration: measured vs paper accuracies (D = {})\n", ctx.dim());
+    table.print();
+}

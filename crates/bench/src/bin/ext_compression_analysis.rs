@@ -1,0 +1,82 @@
+//! Extension — predicting the Fig. 15 compression crossover from margin
+//! and noise statistics, per application.
+//!
+//! For each application: train LookHD, then analyze the uncompressed
+//! model's score margins against the Eq. 5 cross-talk noise at several
+//! group sizes. Where the mean noise ratio crosses the margin
+//! distribution, compression starts flipping predictions — without
+//! running an accuracy sweep.
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin ext_compression_analysis`
+
+use hdc::encoding::Encode;
+use lookhd::analysis::analyze_compression;
+use lookhd::classifier::{LookHdClassifier, LookHdConfig};
+use lookhd::{CompressedModel, CompressionConfig};
+use lookhd_bench::context::Context;
+use lookhd_bench::table::{pct, Table};
+use lookhd_datasets::apps::App;
+
+fn main() {
+    let ctx = Context::from_env();
+    let mut table = Table::new([
+        "App",
+        "group",
+        "margin mean",
+        "noise/signal mean",
+        "at-risk queries",
+        "agreement",
+    ]);
+    for app in App::ALL {
+        let profile = app.profile();
+        let data = ctx.dataset(&profile);
+        let config = LookHdConfig::new()
+            .with_dim(ctx.dim())
+            .with_q(profile.paper_q_lookhd)
+            .with_retrain_epochs(0);
+        let clf = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)
+            .expect("training failed");
+        let queries: Vec<_> = data
+            .test
+            .features
+            .iter()
+            .take(ctx.scaled(200))
+            .map(|x| clf.encoder().encode(x).expect("encoding failed"))
+            .collect();
+        let mut groups: Vec<usize> = [4usize, 8, 12, profile.n_classes.max(1)]
+            .into_iter()
+            .filter(|&g| g <= profile.n_classes)
+            .collect();
+        groups.dedup();
+        for group in groups {
+            let compressed = CompressedModel::compress(
+                clf.model(),
+                &CompressionConfig::new().with_max_classes_per_vector(group),
+            )
+            .expect("compression failed");
+            let analysis = analyze_compression(clf.model(), &compressed, &queries)
+                .expect("analysis failed");
+            table.row([
+                profile.name.to_owned(),
+                group.to_string(),
+                format!("{:.3}", analysis.margins.mean),
+                format!("{:.3}", analysis.noise_to_signal.mean),
+                pct(analysis.at_risk),
+                pct(analysis.agreement),
+            ]);
+        }
+    }
+    println!(
+        "Extension: margin vs compression-noise analysis (D = {})\n\
+         'agreement' = fraction of queries whose uncompressed winner survives\n\
+         compression; 'at-risk' = queries whose margin is below the mean\n\
+         noise/signal ratio.\n",
+        ctx.dim()
+    );
+    table.print();
+    println!(
+        "\nAgreement stays high while the at-risk fraction is small and collapses\n\
+         as noise overtakes the margins — the mechanism behind the Fig. 15\n\
+         group-size crossover, measured directly."
+    );
+}

@@ -1,0 +1,140 @@
+//! Fig. 2 — breakdown of encoding / training / associative-search time in
+//! the baseline HDC, per application.
+//!
+//! Three views are reported:
+//! * the share of per-sample work under a **scalar** implementation model
+//!   (what this repo's Rust code does — matches the wall-clock column);
+//! * the share under the **paper-style** implementation model: bit-parallel
+//!   (SIMD/NEON) encoding of binary level hypervectors and a full-cosine
+//!   floating-point associative search streaming the model from DRAM;
+//! * wall-clock measurements of this repo's scalar implementation.
+//!
+//! The paper's headline: encoding dominates training (~80%, up to 90% for
+//! SPEECH) and associative search dominates inference (~83%). The training
+//! claim reproduces under both models; the inference claim requires the
+//! paper-style cost asymmetry (cheap bit-parallel encode vs expensive
+//! float/DRAM search) and holds for many-class apps — see EXPERIMENTS.md
+//! for the small-k caveat.
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin fig02_breakdown`
+
+use std::time::Instant;
+
+use hdc::classifier::{HdcClassifier, HdcConfig};
+use lookhd_bench::context::Context;
+use lookhd_bench::table::{pct, Table};
+use lookhd_datasets::apps::App;
+
+/// Paper-style implementation costs, in A53 cycles.
+struct PaperStyle {
+    n: f64,
+    q: f64,
+    d: f64,
+    k: f64,
+}
+
+impl PaperStyle {
+    /// Encoding: quantize (n·q compares) + bundle n rotated binary level
+    /// hypervectors with 8-lane SIMD integer adds.
+    fn encode_cycles(&self) -> f64 {
+        self.n * self.q + self.n * self.d / 8.0
+    }
+
+    /// Per-sample training add: one D-wide bundle (SIMD).
+    fn bundle_cycles(&self) -> f64 {
+        self.d / 8.0
+    }
+
+    /// Full-cosine search: three dot products per class in scalar VFP
+    /// (~5 cycles/MAC) with the int32 model streamed from DRAM.
+    fn search_cycles(&self) -> f64 {
+        self.k * (3.0 * self.d * 5.0 + 40.0)
+    }
+}
+
+fn main() {
+    let ctx = Context::from_env();
+    let mut table = Table::new([
+        "App",
+        "train enc (scalar)",
+        "train enc (paper-style)",
+        "train enc (wall)",
+        "infer search (scalar)",
+        "infer search (paper-style)",
+        "infer search (wall)",
+    ]);
+    for app in App::ALL {
+        let profile = app.profile();
+        let (n, q, d, k) = (
+            profile.n_features as f64,
+            profile.paper_q_baseline as f64,
+            ctx.dim() as f64,
+            profile.n_classes as f64,
+        );
+        // Scalar model: one cycle per add, three per multiply.
+        let scalar_encode = n * q * 2.0 + n * d;
+        let scalar_bundle = d;
+        let scalar_search = k * d * (3.0 + 1.0);
+        let scalar_train_frac = scalar_encode / (scalar_encode + scalar_bundle);
+        let scalar_infer_frac = scalar_search / (scalar_search + scalar_encode);
+        // Paper-style model.
+        let ps = PaperStyle { n, q, d, k };
+        let ps_train_frac = ps.encode_cycles() / (ps.encode_cycles() + ps.bundle_cycles());
+        let ps_infer_frac = ps.search_cycles() / (ps.search_cycles() + ps.encode_cycles());
+
+        // Wall-clock split of this repo's scalar implementation.
+        let data = ctx.dataset(&profile);
+        let config = HdcConfig::new()
+            .with_dim(ctx.dim())
+            .with_q(profile.paper_q_baseline)
+            .with_retrain_epochs(0);
+        let clf = HdcClassifier::fit(&config, &data.train.features, &data.train.labels)
+            .expect("training failed");
+        let sample = &data.train.features[0];
+        let reps = ctx.scaled(50);
+        let t0 = Instant::now();
+        let mut encoded = clf.encode(sample).expect("encode failed");
+        for _ in 1..reps {
+            encoded = clf.encode(sample).expect("encode failed");
+        }
+        let t_encode = t0.elapsed().as_secs_f64() / reps as f64;
+        let t0 = Instant::now();
+        let mut acc = hdc::hv::DenseHv::zeros(ctx.dim());
+        for _ in 0..reps {
+            acc.add_assign_hv(&encoded);
+        }
+        let t_bundle = t0.elapsed().as_secs_f64() / reps as f64;
+        std::hint::black_box(&acc);
+        let t0 = Instant::now();
+        let mut pred = 0;
+        for _ in 0..reps {
+            pred = clf.model().predict(&encoded).expect("predict failed");
+        }
+        let t_search = t0.elapsed().as_secs_f64() / reps as f64;
+        std::hint::black_box(pred);
+
+        table.row([
+            profile.name.to_owned(),
+            pct(scalar_train_frac),
+            pct(ps_train_frac),
+            pct(t_encode / (t_encode + t_bundle)),
+            pct(scalar_infer_frac),
+            pct(ps_infer_frac),
+            pct(t_search / (t_search + t_encode)),
+        ]);
+    }
+    println!(
+        "Fig. 2: baseline HDC execution-time breakdown (D = {})\n\
+         train columns: encoding share of per-sample training work\n\
+         infer columns: associative-search share of per-query work",
+        ctx.dim()
+    );
+    table.print();
+    println!(
+        "\nPaper: encoding ~80% of training (90% for SPEECH); search ~83% of inference.\n\
+         Training-side dominance reproduces under every model. Inference-side\n\
+         dominance needs the paper-style asymmetry (bit-parallel encode, float\n\
+         cosine search) and scales with k: strong for SPEECH (k = 26), absent for\n\
+         FACE (k = 2), where encoding n >> k work necessarily dominates."
+    );
+}

@@ -1,0 +1,62 @@
+//! Fig. 3 — SPEECH feature-value distribution and the linear vs equalized
+//! `q = 4` quantization boundaries.
+//!
+//! Reproduces both panels: (a) the skewed distribution of feature values
+//! (5% sample, as in the paper), rendered as an ASCII histogram; (b) the
+//! boundaries each rule picks and the per-level occupancy they induce —
+//! linear bins are wildly unbalanced, equalized bins are near-uniform.
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin fig03_quantization`
+
+use hdc::quantize::{Quantization, Quantizer};
+use lookhd_bench::context::Context;
+use lookhd_bench::table::{bar, pct, Table};
+use lookhd_datasets::apps::App;
+
+fn main() {
+    let ctx = Context::from_env();
+    let profile = App::Speech.profile();
+    let data = ctx.dataset(&profile);
+    // 5% sample of training feature values, as in the paper.
+    let all: Vec<f64> = data.train_values();
+    let sample: Vec<f64> = all.iter().step_by(20).copied().collect();
+
+    println!("Fig. 3a: SPEECH feature-value distribution (5% sample, {} values)", sample.len());
+    let min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let bins = 20usize;
+    let mut hist = vec![0usize; bins];
+    for &v in &sample {
+        let b = (((v - min) / (max - min)) * bins as f64) as usize;
+        hist[b.min(bins - 1)] += 1;
+    }
+    let peak = *hist.iter().max().unwrap_or(&1) as f64;
+    for (i, &count) in hist.iter().enumerate() {
+        let lo = min + (max - min) * i as f64 / bins as f64;
+        println!("{lo:>8.3} | {:<40} {count}", bar(count as f64, peak, 40));
+    }
+
+    for (name, kind) in [("linear", Quantization::Linear), ("equalized", Quantization::Equalized)] {
+        let quantizer = Quantizer::fit(kind, &all, 4).expect("quantizer fit failed");
+        println!("\nFig. 3b ({name} q=4): boundaries {:?}", rounded(quantizer.boundaries()));
+        let occupancy = quantizer.occupancy(&all);
+        let total: usize = occupancy.iter().sum();
+        let mut table = Table::new(["level", "values", "share"]);
+        for (level, &count) in occupancy.iter().enumerate() {
+            table.row([
+                format!("L{level}"),
+                count.to_string(),
+                pct(count as f64 / total as f64),
+            ]);
+        }
+        table.print();
+    }
+    println!(
+        "\nPaper: feature values are non-uniform, so linear levels are rarely used\n\
+         while equalized levels receive a similar number of values each."
+    );
+}
+
+fn rounded(values: &[f64]) -> Vec<f64> {
+    values.iter().map(|v| (v * 1000.0).round() / 1000.0).collect()
+}

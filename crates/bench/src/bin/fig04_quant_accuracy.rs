@@ -1,0 +1,73 @@
+//! Fig. 4 — impact of linear vs equalized quantization on SPEECH accuracy
+//! across `q ∈ {2, 4, 8, 16}`.
+//!
+//! The paper's claims: (i) linear quantization loses accuracy at small `q`
+//! (−3.4% at `q = 2`); (ii) equalized quantization at `q = 4` matches or
+//! beats linear `q = 16`.
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin fig04_quant_accuracy`
+
+use hdc::quantize::Quantization;
+use lookhd::classifier::{LookHdClassifier, LookHdConfig};
+use lookhd_bench::context::Context;
+use lookhd_bench::table::{pct, Table};
+use lookhd_datasets::apps::App;
+
+fn main() {
+    let ctx = Context::from_env();
+    let profile = App::Speech.profile();
+    let data = ctx.dataset(&profile);
+    // Fig. 4 isolates the quantization effect, so score the uncompressed
+    // model (compression noise is a separate §VI-G axis); the compressed
+    // accuracy is shown alongside for completeness.
+    let mut table = Table::new(["q", "linear", "equalized", "linear (comp)", "equalized (comp)"]);
+    let mut results = Vec::new();
+    for q in [2usize, 4, 8, 16] {
+        let mut row = vec![q.to_string()];
+        let mut comp_cells = Vec::new();
+        for kind in [Quantization::Linear, Quantization::Equalized] {
+            let config = LookHdConfig::new()
+                .with_dim(ctx.dim())
+                .with_q(q)
+                .with_quantization(kind)
+                .with_retrain_epochs(ctx.retrain_epochs());
+            let clf = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)
+                .expect("training failed");
+            let comp = clf
+                .score(&data.test.features, &data.test.labels)
+                .expect("scoring failed");
+            let acc = data
+                .test
+                .features
+                .iter()
+                .zip(&data.test.labels)
+                .filter(|(x, &y)| clf.predict_uncompressed(x).expect("predict failed") == y)
+                .count() as f64
+                / data.test.len() as f64;
+            row.push(pct(acc));
+            comp_cells.push(pct(comp));
+            results.push((q, kind, acc));
+        }
+        row.extend(comp_cells);
+        table.row(row);
+    }
+    println!(
+        "Fig. 4: SPEECH accuracy vs quantization levels, linear vs equalized (D = {})",
+        ctx.dim()
+    );
+    table.print();
+    let eq4 = results
+        .iter()
+        .find(|(q, k, _)| *q == 4 && *k == Quantization::Equalized)
+        .map(|(_, _, a)| *a)
+        .unwrap_or(0.0);
+    let lin16 = results
+        .iter()
+        .find(|(q, k, _)| *q == 16 && *k == Quantization::Linear)
+        .map(|(_, _, a)| *a)
+        .unwrap_or(0.0);
+    println!(
+        "\nequalized q=4 vs linear q=16: {:+.1} points (paper: +1.2)",
+        (eq4 - lin16) * 100.0
+    );
+}

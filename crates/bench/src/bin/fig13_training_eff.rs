@@ -1,0 +1,82 @@
+//! Fig. 13 — LookHD training speedup and energy efficiency over the
+//! baseline HDC, on FPGA and CPU, for `q ∈ {2, 4, 8}` (`r = 5`).
+//!
+//! Per the paper's setup, this is the *initial* training phase ("the
+//! training is implemented by encoding the data points to high-dimensional
+//! space and adding the encoded hypervectors in a pipelined stage");
+//! retraining is evaluated separately in Fig. 14b. FPGA numbers use the
+//! structural §V-A pipeline model; CPU numbers use the op-count model,
+//! which includes the full `q^r` counter-array scan at finalize (the
+//! source of the q-dependence).
+//!
+//! Paper headline (5-app average): FPGA q=2 → 28.3× faster / 97.4× more
+//! energy-efficient; q=4 → 14.1× / 48.7×; CPU q=2 → 3.9× / 7.5×,
+//! q=4 → 2.6× / 3.8×.
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin fig13_training_eff`
+
+use lookhd_bench::shapes::{baseline_shape, lookhd_shape, ShapeParams};
+use lookhd_bench::table::{ratio, Table};
+use lookhd_datasets::apps::App;
+use lookhd_hwsim::fpga::FpgaPhase;
+use lookhd_hwsim::{geomean, CpuModel, FpgaModel};
+
+fn main() {
+    let cpu = CpuModel::cortex_a53();
+    let fpga = FpgaModel::kc705();
+    let q_values = [2usize, 4, 8];
+    let mut table = Table::new(
+        std::iter::once("App".to_owned()).chain(q_values.iter().flat_map(|q| {
+            [
+                format!("FPGA q={q} speed"),
+                format!("FPGA q={q} energy"),
+                format!("CPU q={q} speed"),
+                format!("CPU q={q} energy"),
+            ]
+        })),
+    );
+    let mut averages = vec![Vec::new(); q_values.len() * 4];
+    for app in App::ALL {
+        let profile = app.profile();
+        let mut row = vec![profile.name.to_owned()];
+        for (qi, &q) in q_values.iter().enumerate() {
+            let mut params = ShapeParams::paper_default(&profile);
+            params.dim = 2000;
+            params.q = q;
+            params.retrain_epochs = 0;
+            let look = lookhd_shape(&profile, params);
+            let base = baseline_shape(&profile, params);
+
+            let f_base = fpga.initial_training_cost(&base, FpgaPhase::BaselineTraining);
+            let f_look = fpga.initial_training_cost(&look, FpgaPhase::LookHdTraining);
+            let c_base = cpu.execute(&base.baseline_initial_training());
+            let c_look = cpu.execute(&look.lookhd_initial_training());
+            let vals = [
+                f_look.speedup_over(&f_base),
+                f_look.energy_efficiency_over(&f_base),
+                c_look.speedup_over(&c_base),
+                c_look.energy_efficiency_over(&c_base),
+            ];
+            for (vi, &v) in vals.iter().enumerate() {
+                averages[qi * 4 + vi].push(v);
+                row.push(ratio(v));
+            }
+        }
+        table.row(row);
+    }
+    let mut avg_row = vec!["GEOMEAN".to_owned()];
+    for series in &averages {
+        avg_row.push(ratio(geomean(series)));
+    }
+    table.row(avg_row);
+    println!(
+        "Fig. 13: LookHD initial-training speedup / energy-efficiency over baseline HDC\n\
+         (D = 2000, r = 5, paper-default training-set sizes)\n"
+    );
+    table.print();
+    println!(
+        "\nPaper (5-app average): FPGA q=2 28.3x/97.4x, q=4 14.1x/48.7x;\n\
+         CPU q=2 3.9x/7.5x, q=4 2.6x/3.8x. Larger q costs more (the q^r counter\n\
+         arrays must be swept at finalize), reproducing the q=2 > q=4 > q=8 order."
+    );
+}

@@ -1,0 +1,113 @@
+//! Fig. 14 — (a) per-query inference time and energy, (b) per-iteration
+//! retraining time and energy: LookHD vs baseline HDC on CPU and FPGA.
+//!
+//! Average updates per retraining iteration are measured by retraining the
+//! Rust implementation (the paper likewise uses the average over the
+//! training run).
+//!
+//! Paper headlines: inference — FPGA 2.2× faster / 4.1× more
+//! energy-efficient, CPU 1.7× / 2.3×; retraining — FPGA 2.4× / 4.5×,
+//! CPU 1.8× / 2.3×; SPEECH (most classes) gains the most.
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin fig14_infer_retrain`
+
+use lookhd::classifier::{LookHdClassifier, LookHdConfig};
+use lookhd_bench::context::Context;
+use lookhd_bench::shapes::{baseline_shape, lookhd_shape, ShapeParams};
+use lookhd_bench::table::{ratio, Table};
+use lookhd_datasets::apps::App;
+use lookhd_hwsim::fpga::FpgaPhase;
+use lookhd_hwsim::{geomean, CpuModel, FpgaModel};
+
+fn main() {
+    let ctx = Context::from_env();
+    let cpu = CpuModel::cortex_a53();
+    let fpga = FpgaModel::kc705();
+    let mut infer = Table::new([
+        "App",
+        "FPGA speed",
+        "FPGA energy",
+        "CPU speed",
+        "CPU energy",
+    ]);
+    let mut retrain = Table::new([
+        "App",
+        "FPGA speed",
+        "FPGA energy",
+        "CPU speed",
+        "CPU energy",
+    ]);
+    let mut infer_avgs = vec![Vec::new(); 4];
+    let mut retrain_avgs = vec![Vec::new(); 4];
+    for app in App::ALL {
+        let profile = app.profile();
+        let data = ctx.dataset(&profile);
+        let cfg = LookHdConfig::new()
+            .with_dim(ctx.dim())
+            .with_q(profile.paper_q_lookhd)
+            .with_retrain_epochs(ctx.retrain_epochs());
+        let clf = LookHdClassifier::fit(&cfg, &data.train.features, &data.train.labels)
+            .expect("training failed");
+        let avg_updates = clf.report().avg_updates_per_epoch().round() as usize;
+
+        let mut params = ShapeParams::paper_default(&profile);
+        params.dim = 2000;
+        params.train_samples = data.train.len();
+        params.avg_updates_per_epoch = avg_updates;
+        let look = lookhd_shape(&profile, params);
+        let base = baseline_shape(&profile, params);
+
+        // (a) single-query inference
+        let f_base = fpga.execute_as(&base.baseline_inference(), FpgaPhase::BaselineInference);
+        let f_look = fpga.execute_as(&look.lookhd_inference(), FpgaPhase::LookHdInference);
+        let c_base = cpu.execute(&base.baseline_inference());
+        let c_look = cpu.execute(&look.lookhd_inference());
+        let vals = [
+            f_look.speedup_over(&f_base),
+            f_look.energy_efficiency_over(&f_base),
+            c_look.speedup_over(&c_base),
+            c_look.energy_efficiency_over(&c_base),
+        ];
+        infer.row(
+            std::iter::once(profile.name.to_owned()).chain(vals.iter().map(|&v| ratio(v))),
+        );
+        for (series, &v) in infer_avgs.iter_mut().zip(&vals) {
+            series.push(v);
+        }
+
+        // (b) one retraining iteration
+        let f_base = fpga.execute_as(&base.baseline_retrain_epoch(), FpgaPhase::BaselineRetraining);
+        let f_look = fpga.execute_as(&look.lookhd_retrain_epoch(), FpgaPhase::LookHdRetraining);
+        let c_base = cpu.execute(&base.baseline_retrain_epoch());
+        let c_look = cpu.execute(&look.lookhd_retrain_epoch());
+        let vals = [
+            f_look.speedup_over(&f_base),
+            f_look.energy_efficiency_over(&f_base),
+            c_look.speedup_over(&c_base),
+            c_look.energy_efficiency_over(&c_base),
+        ];
+        retrain.row(
+            std::iter::once(profile.name.to_owned()).chain(vals.iter().map(|&v| ratio(v))),
+        );
+        for (series, &v) in retrain_avgs.iter_mut().zip(&vals) {
+            series.push(v);
+        }
+    }
+    infer.row(
+        std::iter::once("GEOMEAN".to_owned())
+            .chain(infer_avgs.iter().map(|s| ratio(geomean(s)))),
+    );
+    retrain.row(
+        std::iter::once("GEOMEAN".to_owned())
+            .chain(retrain_avgs.iter().map(|s| ratio(geomean(s)))),
+    );
+    println!("Fig. 14a: single-query inference — LookHD improvement over baseline HDC (D = 2000)\n");
+    infer.print();
+    println!("\nPaper: FPGA 2.2x faster / 4.1x more energy-efficient; CPU 1.7x / 2.3x.\n");
+    println!("Fig. 14b: one retraining iteration — LookHD improvement over baseline HDC\n");
+    retrain.print();
+    println!(
+        "\nPaper: FPGA 2.4x / 4.5x; CPU 1.8x / 2.3x; SPEECH (k = 26) gains the most\n\
+         because baseline search cost grows with the class count."
+    );
+}

@@ -1,0 +1,141 @@
+//! Fig. 15 — inference scalability of the compressed model with the number
+//! of classes.
+//!
+//! Following §VI-G, classes are randomly generated Gaussian hypervectors
+//! with a correlation similar to the trained application models; 1000
+//! queries (noisy class vectors) are scored per configuration.
+//!
+//! (a) classification accuracy and average noise/signal ratio vs `k` for
+//!     the fully compressed (single-vector) model;
+//! (b) EDP improvement and model-size reduction vs `k`, for both the
+//!     single-vector and the exact (≤12 classes/vector) modes.
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin fig15_scalability`
+
+use hdc::hv::DenseHv;
+use hdc::model::ClassModel;
+use lookhd::compress::{CompressedModel, CompressionConfig};
+use lookhd_bench::context::Context;
+use lookhd_bench::table::{pct, ratio, Table};
+use lookhd_datasets::synthetic::correlated_class_vectors;
+use lookhd_hwsim::fpga::FpgaPhase;
+use lookhd_hwsim::{FpgaModel, WorkloadShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ctx = Context::from_env();
+    let dim = 2000usize;
+    let n_queries = ctx.scaled(1000);
+    let ks: Vec<usize> = if ctx.fast {
+        vec![2, 12, 26]
+    } else {
+        vec![2, 4, 8, 12, 16, 20, 26, 32, 40, 48]
+    };
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let fpga = FpgaModel::kc705();
+    let mut table = Table::new([
+        "k",
+        "accuracy (single)",
+        "noise/signal",
+        "EDP gain (single)",
+        "size gain (single)",
+        "accuracy (exact)",
+        "EDP gain (exact)",
+        "size gain (exact)",
+    ]);
+    for &k in &ks {
+        // Correlation matched to the trained app models (~0.55 pairwise).
+        let class_vecs = correlated_class_vectors(k, dim, 0.75, 40.0, &mut rng);
+        let model = ClassModel::from_classes(
+            class_vecs.iter().map(|v| DenseHv::from_vec(v.clone())).collect(),
+        )
+        .expect("model build failed");
+        // Noisy queries: a class vector plus Gaussian perturbation.
+        let queries: Vec<(DenseHv, usize)> = (0..n_queries)
+            .map(|i| {
+                let label = i % k;
+                let noisy: Vec<i32> = model
+                    .class(label)
+                    .as_slice()
+                    .iter()
+                    .map(|&v| v + (lookhd_datasets::standard_normal(&mut rng) * 25.0) as i32)
+                    .collect();
+                (DenseHv::from_vec(noisy), label)
+            })
+            .collect();
+
+        let single_cfg = CompressionConfig::new().with_max_classes_per_vector(k.max(1));
+        let exact_cfg = CompressionConfig::new(); // ≤12 classes per vector
+        let single = CompressedModel::compress(&model, &single_cfg).expect("compress failed");
+        let exact = CompressedModel::compress(&model, &exact_cfg).expect("compress failed");
+
+        let accuracy = |cm: &CompressedModel| -> f64 {
+            queries
+                .iter()
+                .filter(|(h, y)| cm.predict(h).expect("predict failed") == *y)
+                .count() as f64
+                / queries.len() as f64
+        };
+        let acc_single = accuracy(&single);
+        let acc_exact = accuracy(&exact);
+        // Average own-class noise/signal over a query subsample.
+        let ns: f64 = queries
+            .iter()
+            .take(50)
+            .map(|(h, y)| {
+                single.signal_noise(&model, h).expect("signal_noise failed")[*y]
+                    .noise_to_signal()
+                    .min(10.0)
+            })
+            .sum::<f64>()
+            / 50.0;
+
+        // EDP of the associative search per query, baseline vs compressed.
+        let shape = |max_per_vec: usize| WorkloadShape {
+            n_features: 512,
+            q: 4,
+            dim,
+            n_classes: k,
+            r: 5,
+            max_classes_per_vector: max_per_vec,
+            train_samples: 1,
+            retrain_epochs: 0,
+            avg_updates_per_epoch: 0,
+        };
+        let base_cost = fpga.execute_as(
+            &shape(1).baseline_search(),
+            FpgaPhase::BaselineInference,
+        );
+        let single_cost = fpga.execute_as(
+            &shape(k.max(1)).lookhd_search(),
+            FpgaPhase::LookHdInference,
+        );
+        let exact_cost = fpga.execute_as(
+            &shape(12).lookhd_search(),
+            FpgaPhase::LookHdInference,
+        );
+        let (base_bytes, single_bytes) = shape(k.max(1)).model_bytes();
+        let (_, exact_bytes) = shape(12).model_bytes();
+
+        table.row([
+            k.to_string(),
+            pct(acc_single),
+            format!("{ns:.3}"),
+            ratio(single_cost.edp_improvement_over(&base_cost)),
+            ratio(base_bytes as f64 / single_bytes as f64),
+            pct(acc_exact),
+            ratio(exact_cost.edp_improvement_over(&base_cost)),
+            ratio(base_bytes as f64 / exact_bytes as f64),
+        ]);
+    }
+    println!(
+        "Fig. 15: compressed-model scalability with class count (D = {dim}, {n_queries} queries)\n"
+    );
+    table.print();
+    println!(
+        "\nPaper: no accuracy loss up to ~12 classes per vector; noise/signal grows\n\
+         with k; k = 26 single-vector loses <0.8%; k = 48 single-vector gains 14.6x\n\
+         EDP and 19.2x size at ~2% loss, exact mode 10.8x EDP / 8.7x size at none."
+    );
+}

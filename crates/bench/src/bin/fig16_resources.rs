@@ -1,0 +1,53 @@
+//! Fig. 16 — FPGA resource utilization of the LookHD training and
+//! inference designs (SPEECH: `k = 26`, `n = 617`), plus the FACE contrast
+//! case (`k = 2`, `n = 608`).
+//!
+//! Paper observations: the encoding/training side is LUT/FF-heavy (counter
+//! register files, quantizers), inference is DSP-heavy (associative
+//! search); SPEECH inference is DSP-limited while training is LUT-limited;
+//! FACE (`k ≪ n`) is LUT-limited in both phases.
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin fig16_resources`
+
+use lookhd_bench::shapes::{lookhd_shape, ShapeParams};
+use lookhd_bench::table::{pct, Table};
+use lookhd_datasets::apps::App;
+use lookhd_hwsim::FpgaModel;
+
+fn main() {
+    let fpga = FpgaModel::kc705();
+    for app in [App::Speech, App::Face] {
+        let profile = app.profile();
+        let params = ShapeParams::paper_default(&profile);
+        let shape = lookhd_shape(&profile, params);
+        let train = fpga.lookhd_training_usage(&shape);
+        let infer = fpga.lookhd_inference_usage(&shape);
+        println!(
+            "\nFig. 16 [{}] (n = {}, k = {}, q = {}, r = {}):",
+            profile.name, profile.n_features, profile.n_classes, shape.q, shape.r
+        );
+        let mut table = Table::new(["phase", "LUT", "FF", "DSP", "BRAM", "fits"]);
+        for (phase, usage) in [("training", train), ("inference", infer)] {
+            let (l, f, d, b) = usage.utilization(&fpga.device);
+            table.row([
+                phase.to_owned(),
+                pct(l),
+                pct(f),
+                pct(d),
+                pct(b),
+                usage.fits(&fpga.device).to_string(),
+            ]);
+        }
+        table.print();
+        println!(
+            "  BRAM feasibility of the chunk tables (q={}, r={}): {}",
+            shape.q,
+            shape.r,
+            if fpga.tables_fit(&shape) { "fits" } else { "DOES NOT FIT" }
+        );
+    }
+    println!(
+        "\nPaper: SPEECH inference is DSP-limited, SPEECH training LUT-limited;\n\
+         FACE (k = 2 << n) is LUT-limited in both phases."
+    );
+}

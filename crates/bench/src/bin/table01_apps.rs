@@ -1,0 +1,56 @@
+//! Table I — application characteristics and baseline HD accuracy.
+//!
+//! Reproduces the paper's Table I: per application, the feature count `n`,
+//! the minimum baseline quantization `q` for maximum accuracy, the class
+//! count `k`, the measured baseline HD accuracy, and the naive lookup size
+//! `q^n` that motivates LookHD (reported as a base-2 exponent).
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin table01_apps`
+//! (set `LOOKHD_FAST=1` for a quick smoke run).
+
+use hdc::classifier::{HdcClassifier, HdcConfig};
+use lookhd_bench::context::Context;
+use lookhd_bench::table::{pct, Table};
+use lookhd_datasets::apps::App;
+
+fn main() {
+    let ctx = Context::from_env();
+    let mut table = Table::new([
+        "Application",
+        "n",
+        "q",
+        "k",
+        "HD Accuracy (meas)",
+        "HD Accuracy (paper)",
+        "Lookup Size (# rows)",
+    ]);
+    for app in App::ALL {
+        let profile = app.profile();
+        let data = ctx.dataset(&profile);
+        let config = HdcConfig::new()
+            .with_dim(ctx.dim())
+            .with_q(profile.paper_q_baseline)
+            .with_retrain_epochs(ctx.retrain_epochs());
+        let clf = HdcClassifier::fit(&config, &data.train.features, &data.train.labels)
+            .expect("baseline training failed");
+        let acc = clf
+            .score(&data.test.features, &data.test.labels)
+            .expect("scoring failed");
+        table.row([
+            profile.name.to_owned(),
+            profile.n_features.to_string(),
+            profile.paper_q_baseline.to_string(),
+            profile.n_classes.to_string(),
+            pct(acc),
+            pct(profile.paper_accuracy_baseline),
+            format!("2^{:.0}", profile.naive_lookup_log2_rows()),
+        ]);
+    }
+    println!("Table I: application characteristics (D = {})", ctx.dim());
+    table.print();
+    println!();
+    println!(
+        "The naive per-app lookup table (q^n rows) is astronomically infeasible,\n\
+         motivating LookHD's chunked tables: q=4, r=5 needs only 4^5 = 1024 rows."
+    );
+}

@@ -1,0 +1,65 @@
+//! Table II — impact of hypervector dimensionality on LookHD accuracy
+//! (`r = 5`, per-app `q` from the paper).
+//!
+//! The paper's claim: LookHD at `D = 2000` is within 0.3% of `D = 10,000`.
+//! We report both the compressed-model accuracy (the deployed LookHD path)
+//! and the uncompressed model (which isolates the encoding/training
+//! quality that Table II measures).
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin table02_dimensionality`
+
+use lookhd::classifier::{LookHdClassifier, LookHdConfig};
+use lookhd_bench::context::Context;
+use lookhd_bench::table::{pct, Table};
+use lookhd_datasets::apps::App;
+
+fn main() {
+    let ctx = Context::from_env();
+    let dims: Vec<usize> = if ctx.fast {
+        vec![256, 512]
+    } else {
+        vec![1000, 2000, 4000, 8000, 10_000]
+    };
+    let mut table = Table::new(
+        ["App", "q"]
+            .into_iter()
+            .map(str::to_owned)
+            .chain(dims.iter().map(|d| format!("D={d}")))
+            .chain(["paper D=2000".to_owned()]),
+    );
+    for app in App::ALL {
+        let profile = app.profile();
+        let data = ctx.dataset(&profile);
+        let mut row = vec![profile.name.to_owned(), profile.paper_q_lookhd.to_string()];
+        for &dim in &dims {
+            let config = LookHdConfig::new()
+                .with_dim(dim)
+                .with_q(profile.paper_q_lookhd)
+                .with_retrain_epochs(if ctx.fast { 1 } else { 5 });
+            let clf = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)
+                .expect("training failed");
+            let comp = clf
+                .score(&data.test.features, &data.test.labels)
+                .expect("scoring failed");
+            let unc = data
+                .test
+                .features
+                .iter()
+                .zip(&data.test.labels)
+                .filter(|(x, &y)| clf.predict_uncompressed(x).expect("predict failed") == y)
+                .count() as f64
+                / data.test.len() as f64;
+            row.push(format!("{} ({})", pct(comp), pct(unc)));
+        }
+        row.push(pct(profile.paper_accuracy_lookhd_d2000));
+        table.row(row);
+    }
+    println!("Table II: LookHD accuracy vs dimensionality, r = 5");
+    println!("cells: compressed accuracy (uncompressed accuracy)\n");
+    table.print();
+    println!(
+        "\nPaper: accuracy is nearly flat in D — D = 2000 loses <0.3% vs D = 10,000.\n\
+         Compression cross-talk shrinks as D grows (∝ 1/√D), so the compressed\n\
+         column converges to the uncompressed one at large D."
+    );
+}

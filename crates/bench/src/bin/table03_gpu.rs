@@ -1,0 +1,117 @@
+//! Table III — LookHD (FPGA) vs an NVIDIA GTX 1080 GPU: average training
+//! and inference speedup and energy efficiency, normalized to the ARM CPU,
+//! plus the reduced-dimensionality LookHD variant.
+//!
+//! Paper headlines: GPU is ~1.5× (train) / 1.3× (infer) faster than the
+//! *baseline* on FPGA, but LookHD is 1.1× / 1.5× faster than the GPU and
+//! 67.5× / 112.7× more energy-efficient; dropping D below 2000 buys a
+//! further ~1.2× at <2% accuracy loss.
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin table03_gpu`
+
+use lookhd_bench::shapes::{baseline_shape, lookhd_shape, ShapeParams};
+use lookhd_bench::table::{ratio, Table};
+use lookhd_datasets::apps::App;
+use lookhd_hwsim::fpga::FpgaPhase;
+use lookhd_hwsim::{geomean, CostEstimate, CpuModel, FpgaModel, GpuModel};
+
+/// The GPU amortizes its launch overhead over query batches (the paper's
+/// TensorFlow implementation runs throughput-mode); per-query cost is the
+/// batched cost divided by the batch size.
+const GPU_BATCH: u64 = 1024;
+
+fn main() {
+    let cpu = CpuModel::cortex_a53();
+    let fpga = FpgaModel::kc705();
+    let gpu = GpuModel::gtx1080();
+
+    // Collect per-app costs, then report 5-app geomeans normalized to CPU.
+    let mut rows: Vec<(String, [CostEstimate; 8])> = Vec::new();
+    for app in App::ALL {
+        let profile = app.profile();
+        let mut params = ShapeParams::paper_default(&profile);
+        params.dim = 2000;
+        let look = lookhd_shape(&profile, params);
+        let base = baseline_shape(&profile, params);
+        params.dim = 1000;
+        let look_small = lookhd_shape(&profile, params);
+        rows.push((
+            profile.name.to_owned(),
+            [
+                cpu.execute(&base.baseline_training()),
+                gpu.execute(&base.baseline_training()),
+                fpga.execute_as(&look.lookhd_training(), FpgaPhase::LookHdTraining),
+                fpga.execute_as(&look_small.lookhd_training(), FpgaPhase::LookHdTraining),
+                cpu.execute(&base.baseline_inference()),
+                gpu.execute(&base.baseline_inference().scaled(GPU_BATCH))
+                    .scaled(1.0 / GPU_BATCH as f64),
+                fpga.execute_as(&look.lookhd_inference(), FpgaPhase::LookHdInference),
+                fpga.execute_as(&look_small.lookhd_inference(), FpgaPhase::LookHdInference),
+            ],
+        ));
+    }
+
+    let mut table = Table::new(["metric", "GPU", "LookHD D=2000", "LookHD D=1000"]);
+    for (phase, cpu_i, gpu_i, look_i, small_i) in
+        [("training", 0usize, 1usize, 2usize, 3usize), ("inference", 4, 5, 6, 7)]
+    {
+        let speed = |i: usize| -> f64 {
+            geomean(
+                &rows
+                    .iter()
+                    .map(|(_, c)| c[i].speedup_over(&c[cpu_i]))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let energy = |i: usize| -> f64 {
+            geomean(
+                &rows
+                    .iter()
+                    .map(|(_, c)| c[i].energy_efficiency_over(&c[cpu_i]))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        table.row([
+            format!("{phase} speedup (vs CPU)"),
+            ratio(speed(gpu_i)),
+            ratio(speed(look_i)),
+            ratio(speed(small_i)),
+        ]);
+        table.row([
+            format!("{phase} energy eff. (vs CPU)"),
+            ratio(energy(gpu_i)),
+            ratio(energy(look_i)),
+            ratio(energy(small_i)),
+        ]);
+    }
+    println!("Table III: LookHD vs GTX 1080 GPU (5-app geomean, normalized to ARM A53)\n");
+    table.print();
+
+    // Direct LookHD-vs-GPU ratios (the paper's headline numbers).
+    let direct = |look_i: usize, gpu_i: usize, energy: bool| -> f64 {
+        geomean(
+            &rows
+                .iter()
+                .map(|(_, c)| {
+                    if energy {
+                        c[look_i].energy_efficiency_over(&c[gpu_i])
+                    } else {
+                        c[look_i].speedup_over(&c[gpu_i])
+                    }
+                })
+                .collect::<Vec<_>>(),
+        )
+    };
+    println!(
+        "\nLookHD (D=2000) vs GPU directly: training {} faster / {} more energy-efficient,\n\
+         inference {} / {}.",
+        ratio(direct(2, 1, false)),
+        ratio(direct(2, 1, true)),
+        ratio(direct(6, 5, false)),
+        ratio(direct(6, 5, true)),
+    );
+    println!(
+        "Paper: LookHD 1.1x (train) and 1.5x (infer) faster than GPU; 67.5x and 112.7x\n\
+         more energy-efficient; reduced-D LookHD buys a further ~1.2x."
+    );
+}

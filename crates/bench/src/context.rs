@@ -1,0 +1,86 @@
+//! Experiment sizing: full (paper-scale) vs fast (smoke-test) runs.
+//!
+//! Every experiment binary honours `LOOKHD_FAST=1`, which shrinks datasets,
+//! dimensionality, and retraining epochs so the whole suite runs in
+//! seconds. The default sizes match the DESIGN.md per-experiment index.
+
+use lookhd_datasets::apps::AppProfile;
+use lookhd_datasets::Dataset;
+
+/// Shared experiment sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Context {
+    /// Whether `LOOKHD_FAST=1` is set.
+    pub fast: bool,
+    /// Dataset seed (fixed for reproducibility).
+    pub seed: u64,
+}
+
+impl Context {
+    /// Reads the context from the environment.
+    pub fn from_env() -> Self {
+        Self {
+            fast: std::env::var("LOOKHD_FAST").map(|v| v == "1").unwrap_or(false),
+            seed: 42,
+        }
+    }
+
+    /// The evaluation dimensionality `D` (paper: 2000).
+    pub fn dim(&self) -> usize {
+        if self.fast {
+            512
+        } else {
+            2000
+        }
+    }
+
+    /// Retraining epochs (paper: ~10).
+    pub fn retrain_epochs(&self) -> usize {
+        if self.fast {
+            2
+        } else {
+            10
+        }
+    }
+
+    /// Generates an application dataset at context size.
+    pub fn dataset(&self, profile: &AppProfile) -> Dataset {
+        if self.fast {
+            profile.generate_small(self.seed)
+        } else {
+            profile.generate(self.seed)
+        }
+    }
+
+    /// Scales an iteration/sample count down in fast mode.
+    pub fn scaled(&self, n: usize) -> usize {
+        if self.fast {
+            (n / 8).max(2)
+        } else {
+            n
+        }
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookhd_datasets::apps::App;
+
+    #[test]
+    fn fast_mode_shrinks_everything() {
+        let fast = Context { fast: true, seed: 1 };
+        let full = Context { fast: false, seed: 1 };
+        assert!(fast.dim() < full.dim());
+        assert!(fast.retrain_epochs() < full.retrain_epochs());
+        assert!(fast.scaled(100) < 100);
+        let p = App::Physical.profile();
+        assert!(fast.dataset(&p).train.len() < full.dataset(&p).train.len());
+    }
+}

@@ -1,0 +1,13 @@
+//! # lookhd-bench — experiment harness for the LookHD reproduction
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index), plus Criterion microbenches backing the wall-clock claims.
+//! This library holds the shared plumbing: text-table rendering, sized
+//! experiment contexts, and workload-shape construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod shapes;
+pub mod table;

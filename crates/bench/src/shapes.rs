@@ -1,0 +1,94 @@
+//! Bridges application profiles and trained models into `lookhd-hwsim`
+//! workload shapes.
+
+use lookhd_datasets::apps::AppProfile;
+use lookhd_hwsim::WorkloadShape;
+
+/// Parameters that vary per experiment when building a workload shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeParams {
+    /// Hypervector dimensionality `D`.
+    pub dim: usize,
+    /// LookHD quantization levels `q` (the baseline shape uses the
+    /// profile's own `q`).
+    pub q: usize,
+    /// Chunk size `r`.
+    pub r: usize,
+    /// Classes per compressed vector.
+    pub max_classes_per_vector: usize,
+    /// Training-set size.
+    pub train_samples: usize,
+    /// Retraining epochs.
+    pub retrain_epochs: usize,
+    /// Average updates per retraining epoch (measure or estimate).
+    pub avg_updates_per_epoch: usize,
+}
+
+impl ShapeParams {
+    /// Paper-default parameters for an application: `D = 2000`, the
+    /// profile's LookHD `q`, `r = 5`, 12 classes/vector, 10 retraining
+    /// epochs, updates estimated at 10% of the training set.
+    pub fn paper_default(profile: &AppProfile) -> Self {
+        let train_samples = profile.default_train_per_class * profile.n_classes;
+        Self {
+            dim: 2000,
+            q: profile.paper_q_lookhd,
+            r: 5,
+            max_classes_per_vector: 12,
+            train_samples,
+            retrain_epochs: 10,
+            avg_updates_per_epoch: train_samples / 10,
+        }
+    }
+}
+
+/// The LookHD workload shape for an application.
+pub fn lookhd_shape(profile: &AppProfile, p: ShapeParams) -> WorkloadShape {
+    WorkloadShape {
+        n_features: profile.n_features,
+        q: p.q,
+        dim: p.dim,
+        n_classes: profile.n_classes,
+        r: p.r.min(profile.n_features),
+        max_classes_per_vector: p.max_classes_per_vector,
+        train_samples: p.train_samples,
+        retrain_epochs: p.retrain_epochs,
+        avg_updates_per_epoch: p.avg_updates_per_epoch,
+    }
+}
+
+/// The baseline HDC workload shape for an application (its own larger `q`,
+/// no compression: one hypervector per class).
+pub fn baseline_shape(profile: &AppProfile, p: ShapeParams) -> WorkloadShape {
+    WorkloadShape {
+        n_features: profile.n_features,
+        q: profile.paper_q_baseline,
+        dim: p.dim,
+        n_classes: profile.n_classes,
+        r: p.r.min(profile.n_features),
+        max_classes_per_vector: 1,
+        train_samples: p.train_samples,
+        retrain_epochs: p.retrain_epochs,
+        avg_updates_per_epoch: p.avg_updates_per_epoch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookhd_datasets::apps::App;
+
+    #[test]
+    fn shapes_reflect_profile_and_params() {
+        let profile = App::Speech.profile();
+        let params = ShapeParams::paper_default(&profile);
+        let look = lookhd_shape(&profile, params);
+        let base = baseline_shape(&profile, params);
+        assert_eq!(look.n_features, 617);
+        assert_eq!(look.q, 4);
+        assert_eq!(base.q, 16);
+        assert_eq!(look.n_vectors(), 3); // ⌈26/12⌉
+        assert_eq!(base.n_vectors(), 26);
+        assert_eq!(look.train_samples, 60 * 26);
+    }
+}

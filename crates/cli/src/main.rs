@@ -1,0 +1,252 @@
+//! `lookhd` — train, evaluate, and deploy LookHD classifiers from the
+//! command line.
+//!
+//! ```text
+//! lookhd train    --data train.csv --out model.lks [--dim 2000 --q 4 --r 5
+//!                 --epochs 10 --linear --group 12 --seed 42]
+//! lookhd evaluate --model model.lks --data test.csv [--uncompressed]
+//! lookhd predict  --model model.lks --data queries.csv
+//! lookhd info     --model model.lks
+//! lookhd inspect  --data data.csv
+//! lookhd estimate --model model.lks [--samples 1000]
+//! ```
+//!
+//! CSV rows are `feature,…,feature,label` (labels in the final column;
+//! `predict` takes label-free rows). An optional header line is skipped.
+
+mod args;
+
+use std::fs;
+use std::io::Write;
+use std::process::ExitCode;
+
+use args::Args;
+use hdc::quantize::Quantization;
+use lookhd::{CompressionConfig, LookHdClassifier, LookHdConfig};
+use lookhd_datasets::csv;
+use lookhd_hwsim::fpga::FpgaPhase;
+use lookhd_hwsim::{CpuModel, FpgaModel, WorkloadShape};
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints a line, tolerating a closed pipe (e.g. `lookhd info | head`).
+fn out(line: impl std::fmt::Display) {
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let _ = writeln!(lock, "{line}");
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw).map_err(|e| e.to_string())?;
+    match args.subcommand() {
+        Some("train") => train(&args),
+        Some("evaluate") => evaluate(&args),
+        Some("predict") => predict(&args),
+        Some("info") => info(&args),
+        Some("inspect") => inspect(&args),
+        Some("estimate") => estimate(&args),
+        Some(other) => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+        None => {
+            out(USAGE);
+            Ok(())
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  lookhd train    --data train.csv --out model.lks [--dim N --q N --r N
+                  --epochs N --linear --group N --seed N]
+  lookhd evaluate --model model.lks --data test.csv [--uncompressed]
+  lookhd predict  --model model.lks --data queries.csv
+  lookhd info     --model model.lks
+  lookhd inspect  --data data.csv
+  lookhd estimate --model model.lks [--samples N]";
+
+fn load_classifier(args: &Args) -> Result<LookHdClassifier, String> {
+    let path = args.require("model").map_err(|e| e.to_string())?;
+    let bytes = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    LookHdClassifier::from_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn train(args: &Args) -> Result<(), String> {
+    let data_path = args.require("data").map_err(|e| e.to_string())?;
+    let out_path = args.require("out").map_err(|e| e.to_string())?;
+    let split = csv::load_split(data_path).map_err(|e| format!("{data_path}: {e}"))?;
+    let dim = args.get_or("dim", 2000usize).map_err(|e| e.to_string())?;
+    let q = args.get_or("q", 4usize).map_err(|e| e.to_string())?;
+    let r = args.get_or("r", 5usize).map_err(|e| e.to_string())?;
+    let epochs = args.get_or("epochs", 10usize).map_err(|e| e.to_string())?;
+    let group = args.get_or("group", 12usize).map_err(|e| e.to_string())?;
+    let seed = args.get_or("seed", 0x10_0c_4du64).map_err(|e| e.to_string())?;
+    let mut config = LookHdConfig::new()
+        .with_dim(dim)
+        .with_q(q)
+        .with_r(r)
+        .with_retrain_epochs(epochs)
+        .with_compression(CompressionConfig::new().with_max_classes_per_vector(group.max(1)))
+        .with_seed(seed);
+    if args.switch("linear") {
+        config = config.with_quantization(Quantization::Linear);
+    }
+    let clf = LookHdClassifier::fit(&config, &split.features, &split.labels)
+        .map_err(|e| format!("training: {e}"))?;
+    let train_acc = clf
+        .score(&split.features, &split.labels)
+        .map_err(|e| format!("scoring: {e}"))?;
+    let bytes = clf.to_bytes();
+    fs::write(out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
+    out(format!(
+        "trained on {} samples ({} features, {} classes): train accuracy {:.1}%",
+        split.len(),
+        split.features[0].len(),
+        clf.compressed().n_classes(),
+        train_acc * 100.0
+    ));
+    out(format!(
+        "saved {out_path} ({} bytes; {} combined vector(s), retrained {} epoch(s))",
+        bytes.len(),
+        clf.compressed().n_vectors(),
+        clf.report().epochs_run()
+    ));
+    Ok(())
+}
+
+fn evaluate(args: &Args) -> Result<(), String> {
+    let clf = load_classifier(args)?;
+    let data_path = args.require("data").map_err(|e| e.to_string())?;
+    let split = csv::load_split(data_path).map_err(|e| format!("{data_path}: {e}"))?;
+    let (mut correct, mut correct_unc) = (0usize, 0usize);
+    for (x, &y) in split.features.iter().zip(&split.labels) {
+        if clf.predict(x).map_err(|e| e.to_string())? == y {
+            correct += 1;
+        }
+        if clf.predict_uncompressed(x).map_err(|e| e.to_string())? == y {
+            correct_unc += 1;
+        }
+    }
+    let n = split.len() as f64;
+    out(format!(
+        "accuracy over {} samples: {:.1}% compressed, {:.1}% uncompressed",
+        split.len(),
+        100.0 * correct as f64 / n,
+        100.0 * correct_unc as f64 / n
+    ));
+    Ok(())
+}
+
+fn predict(args: &Args) -> Result<(), String> {
+    let clf = load_classifier(args)?;
+    let data_path = args.require("data").map_err(|e| e.to_string())?;
+    let rows = csv::load_features(data_path).map_err(|e| format!("{data_path}: {e}"))?;
+    for row in &rows {
+        let class = clf.predict(row).map_err(|e| e.to_string())?;
+        out(class);
+    }
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let clf = load_classifier(args)?;
+    let layout = clf.encoder().layout();
+    out("LookHD classifier:");
+    out(format!("  features (n):        {}", layout.n_features()));
+    out(format!("  classes (k):         {}", clf.compressed().n_classes()));
+    out(format!("  dimensionality (D):  {}", clf.model().dim()));
+    out(format!(
+        "  quantization (q):    {} ({:?})",
+        layout.q(),
+        clf.encoder().quantizer().kind()
+    ));
+    out(format!(
+        "  chunk size (r):      {} ({} chunks)",
+        layout.r(),
+        layout.n_chunks()
+    ));
+    out(format!("  table mode:          {:?}", clf.encoder().lut().mode()));
+    out(format!(
+        "  model size:          {} B compressed ({} vectors) / {} B uncompressed",
+        clf.compressed().size_bytes(),
+        clf.compressed().n_vectors(),
+        clf.model().size_bytes()
+    ));
+    out(format!("  class correlation:   {:.3}", clf.model().class_correlation()));
+    Ok(())
+}
+
+fn inspect(args: &Args) -> Result<(), String> {
+    let data_path = args.require("data").map_err(|e| e.to_string())?;
+    let split = csv::load_split(data_path).map_err(|e| format!("{data_path}: {e}"))?;
+    let summary = lookhd_datasets::summary::summarize(&split)
+        .ok_or_else(|| "dataset is empty or ragged".to_owned())?;
+    out(format!("dataset: {data_path}"));
+    out(format!("  samples:        {}", summary.n_samples));
+    out(format!("  features (n):   {}", summary.n_features));
+    out(format!("  classes (k):    {}", summary.n_classes));
+    out(format!("  class counts:   {:?}", summary.class_counts));
+    out(format!(
+        "  imbalance:      {:.2}x",
+        summary.imbalance()
+    ));
+    out(format!(
+        "  feature range:  [{:.4}, {:.4}], mean {:.4}",
+        summary.min, summary.max, summary.mean
+    ));
+    out(format!(
+        "  marginal skew:  {:+.2} ({})",
+        summary.skew_indicator,
+        if summary.is_skewed() { "skewed — equalized quantization recommended" } else { "roughly symmetric" }
+    ));
+    let hint = lookhd_datasets::summary::suggest_config(&summary);
+    out(format!(
+        "  suggested:      --q {} --r {} --dim {}{}",
+        hint.q,
+        hint.r,
+        hint.dim,
+        if hint.equalized { " (equalized quantization, the default)" } else { " --linear" }
+    ));
+    Ok(())
+}
+
+fn estimate(args: &Args) -> Result<(), String> {
+    let clf = load_classifier(args)?;
+    let samples = args.get_or("samples", 1000usize).map_err(|e| e.to_string())?;
+    let layout = clf.encoder().layout();
+    let shape = WorkloadShape {
+        n_features: layout.n_features(),
+        q: layout.q(),
+        dim: clf.model().dim(),
+        n_classes: clf.compressed().n_classes(),
+        r: layout.r(),
+        max_classes_per_vector: clf.compressed().config().max_classes_per_vector,
+        train_samples: samples,
+        retrain_epochs: 0,
+        avg_updates_per_epoch: 0,
+    };
+    let cpu = CpuModel::cortex_a53();
+    let fpga = FpgaModel::kc705();
+    out("estimated deployment cost (structural models, see DESIGN.md):");
+    out(format!(
+        "  per query  — ARM A53: {}   KC705 FPGA: {}",
+        cpu.execute(&shape.lookhd_inference()),
+        fpga.execute_as(&shape.lookhd_inference(), FpgaPhase::LookHdInference)
+    ));
+    out(format!(
+        "  initial training ({samples} samples) — ARM A53: {}   KC705 FPGA: {}",
+        cpu.execute(&shape.lookhd_initial_training()),
+        fpga.initial_training_cost(&shape, FpgaPhase::LookHdTraining)
+    ));
+    out(format!(
+        "  chunk tables fit KC705 BRAM: {}",
+        if fpga.tables_fit(&shape) { "yes" } else { "NO" }
+    ));
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! End-to-end tests of the `lookhd` binary: train on a CSV, persist,
+//! evaluate, predict, introspect — exactly as a user would.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lookhd"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lookhd_cli_e2e_{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create workdir");
+    dir
+}
+
+/// Writes a small three-class CSV dataset.
+fn write_dataset(dir: &Path) -> (PathBuf, PathBuf, PathBuf) {
+    let mut train = String::from("f0,f1,f2,f3,label\n");
+    let mut test = String::new();
+    let mut queries = String::new();
+    for i in 0..60 {
+        let class = i % 3;
+        let base = [0.1, 0.5, 0.9][class];
+        let jitter = (i % 7) as f64 * 0.004;
+        let row = format!(
+            "{:.3},{:.3},{:.3},{:.3}",
+            base + jitter,
+            base - jitter,
+            base + 2.0 * jitter,
+            base
+        );
+        if i < 45 {
+            train.push_str(&format!("{row},{class}\n"));
+        } else {
+            test.push_str(&format!("{row},{class}\n"));
+            queries.push_str(&format!("{row}\n"));
+        }
+    }
+    let train_path = dir.join("train.csv");
+    let test_path = dir.join("test.csv");
+    let queries_path = dir.join("queries.csv");
+    fs::write(&train_path, train).expect("write train");
+    fs::write(&test_path, test).expect("write test");
+    fs::write(&queries_path, queries).expect("write queries");
+    (train_path, test_path, queries_path)
+}
+
+#[test]
+fn train_evaluate_predict_round_trip() {
+    let dir = workdir("round_trip");
+    let (train, test, queries) = write_dataset(&dir);
+    let model = dir.join("model.lks");
+
+    let out = bin()
+        .args([
+            "train",
+            "--data",
+            train.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--dim",
+            "256",
+            "--epochs",
+            "2",
+        ])
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists(), "model file must be written");
+
+    let out = bin()
+        .args([
+            "evaluate",
+            "--model",
+            model.to_str().unwrap(),
+            "--data",
+            test.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("accuracy over 15 samples"), "unexpected output: {text}");
+    assert!(text.contains("100.0% compressed"), "easy data should be perfect: {text}");
+
+    let out = bin()
+        .args([
+            "predict",
+            "--model",
+            model.to_str().unwrap(),
+            "--data",
+            queries.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run predict");
+    assert!(out.status.success());
+    let predictions: Vec<&str> = std::str::from_utf8(&out.stdout)
+        .expect("utf8")
+        .lines()
+        .collect();
+    assert_eq!(predictions.len(), 15);
+    // Queries cycle classes 0,1,2 in the same order as the labels.
+    assert_eq!(predictions[0], "0");
+    assert_eq!(predictions[1], "1");
+    assert_eq!(predictions[2], "2");
+
+    let out = bin()
+        .args(["info", "--model", model.to_str().unwrap()])
+        .output()
+        .expect("run info");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("features (n):        4"));
+    assert!(text.contains("classes (k):         3"));
+    assert!(text.contains("dimensionality (D):  256"));
+
+    let out = bin()
+        .args(["estimate", "--model", model.to_str().unwrap()])
+        .output()
+        .expect("run estimate");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("per query"));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inspect_summarizes_a_csv() {
+    let dir = workdir("inspect");
+    let (train, _, _) = write_dataset(&dir);
+    let out = bin()
+        .args(["inspect", "--data", train.to_str().unwrap()])
+        .output()
+        .expect("run inspect");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("features (n):   4"), "{text}");
+    assert!(text.contains("classes (k):    3"), "{text}");
+    assert!(text.contains("suggested:"), "{text}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn helpful_errors_for_bad_usage() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    let out = bin().args(["train", "--data", "missing.csv"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+
+    let out = bin()
+        .args(["evaluate", "--model", "/nonexistent/model.lks", "--data", "x.csv"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+
+    let out = bin().output().expect("run");
+    assert!(out.status.success(), "bare invocation prints usage");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}
+
+#[test]
+fn rejects_malformed_csv_with_line_numbers() {
+    let dir = workdir("bad_csv");
+    let bad = dir.join("bad.csv");
+    fs::write(&bad, "1,2,0\n1,oops,1\n").expect("write");
+    let model = dir.join("m.lks");
+    let out = bin()
+        .args([
+            "train",
+            "--data",
+            bad.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,276 @@
+//! The five evaluation applications (Table I of the paper), as synthetic
+//! profiles.
+//!
+//! Each profile reproduces the paper's problem *shape* — feature count `n`,
+//! class count `k`, the `q` the baseline needs, and the `q` LookHD uses —
+//! and its generator knobs are tuned so the baseline HDC accuracy lands in
+//! the paper's ballpark (e.g. EXTRA is intrinsically hard, ~70%). See
+//! DESIGN.md for the substitution rationale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::data::Dataset;
+use crate::synthetic::{Generator, GeneratorConfig};
+
+/// The five applications of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// ISOLET-like voice recognition: `n = 617`, `k = 26`.
+    Speech,
+    /// UCI-HAR-like activity recognition: `n = 561`, `k = 6`.
+    Activity,
+    /// PAMAP2-like physical monitoring: `n = 52`, `k = 12`.
+    Physical,
+    /// Face recognition: `n = 608`, `k = 2`.
+    Face,
+    /// ExtraSensory-like phone-position recognition: `n = 225`, `k = 4`.
+    Extra,
+}
+
+impl App {
+    /// All five applications in the paper's order.
+    pub const ALL: [App; 5] = [
+        App::Speech,
+        App::Activity,
+        App::Physical,
+        App::Face,
+        App::Extra,
+    ];
+
+    /// The application's profile (paper parameters + generator tuning).
+    pub fn profile(&self) -> AppProfile {
+        match self {
+            App::Speech => AppProfile {
+                app: *self,
+                name: "SPEECH",
+                n_features: 617,
+                n_classes: 26,
+                paper_q_baseline: 16,
+                paper_q_lookhd: 4,
+                paper_accuracy_baseline: 0.941,
+                paper_accuracy_lookhd_d2000: 0.952,
+                noise: 0.32,
+                shared_weight: 0.25,
+                informative_fraction: 0.60,
+                skew_power: 2.0,
+                ambiguous_fraction: 0.057,
+                default_train_per_class: 60,
+                default_test_per_class: 20,
+            },
+            App::Activity => AppProfile {
+                app: *self,
+                name: "ACTIVITY",
+                n_features: 561,
+                n_classes: 6,
+                paper_q_baseline: 8,
+                paper_q_lookhd: 4,
+                paper_accuracy_baseline: 0.946,
+                paper_accuracy_lookhd_d2000: 0.979,
+                noise: 0.40,
+                shared_weight: 0.25,
+                informative_fraction: 0.60,
+                skew_power: 2.0,
+                ambiguous_fraction: 0.059,
+                default_train_per_class: 120,
+                default_test_per_class: 40,
+            },
+            App::Physical => AppProfile {
+                app: *self,
+                name: "PHYSICAL",
+                n_features: 52,
+                n_classes: 12,
+                paper_q_baseline: 8,
+                paper_q_lookhd: 2,
+                paper_accuracy_baseline: 0.913,
+                paper_accuracy_lookhd_d2000: 0.929,
+                noise: 0.13,
+                shared_weight: 0.25,
+                informative_fraction: 0.80,
+                skew_power: 2.0,
+                ambiguous_fraction: 0.09,
+                default_train_per_class: 100,
+                default_test_per_class: 35,
+            },
+            App::Face => AppProfile {
+                app: *self,
+                name: "FACE",
+                n_features: 608,
+                n_classes: 2,
+                paper_q_baseline: 16,
+                paper_q_lookhd: 2,
+                paper_accuracy_baseline: 0.941,
+                paper_accuracy_lookhd_d2000: 0.965,
+                noise: 0.34,
+                shared_weight: 0.30,
+                informative_fraction: 0.50,
+                skew_power: 2.0,
+                ambiguous_fraction: 0.109,
+                default_train_per_class: 250,
+                default_test_per_class: 80,
+            },
+            App::Extra => AppProfile {
+                app: *self,
+                name: "EXTRA",
+                n_features: 225,
+                n_classes: 4,
+                paper_q_baseline: 16,
+                paper_q_lookhd: 4,
+                paper_accuracy_baseline: 0.706,
+                paper_accuracy_lookhd_d2000: 0.733,
+                noise: 0.34,
+                shared_weight: 0.35,
+                informative_fraction: 0.32,
+                skew_power: 2.0,
+                ambiguous_fraction: 0.388,
+                default_train_per_class: 200,
+                default_test_per_class: 70,
+            },
+        }
+    }
+}
+
+/// Paper parameters and generator tuning for one application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Which application this profiles.
+    pub app: App,
+    /// Display name as used in the paper's tables.
+    pub name: &'static str,
+    /// Feature count `n` (Table I).
+    pub n_features: usize,
+    /// Class count `k` (Table I).
+    pub n_classes: usize,
+    /// Quantization levels the *baseline* needs for max accuracy (Table I).
+    pub paper_q_baseline: usize,
+    /// Quantization levels LookHD uses with equalization (Table II).
+    pub paper_q_lookhd: usize,
+    /// Baseline HD accuracy reported in Table I.
+    pub paper_accuracy_baseline: f64,
+    /// LookHD accuracy at `D = 2000` reported in Table II.
+    pub paper_accuracy_lookhd_d2000: f64,
+    /// Generator: latent noise std.
+    pub noise: f64,
+    /// Generator: shared-component weight (class correlation).
+    pub shared_weight: f64,
+    /// Generator: fraction of informative features.
+    pub informative_fraction: f64,
+    /// Generator: marginal skew exponent.
+    pub skew_power: f64,
+    /// Generator: fraction of genuinely ambiguous samples (sets the
+    /// accuracy ceiling; see `GeneratorConfig::ambiguous_fraction`).
+    pub ambiguous_fraction: f64,
+    /// Default training samples per class for experiments.
+    pub default_train_per_class: usize,
+    /// Default test samples per class for experiments.
+    pub default_test_per_class: usize,
+}
+
+impl AppProfile {
+    /// The naive lookup-table row count `q^n` of Table I, as a base-2
+    /// exponent (`log2(q^n) = n·log2(q)`), e.g. SPEECH → 2468 bits.
+    pub fn naive_lookup_log2_rows(&self) -> f64 {
+        self.n_features as f64 * (self.paper_q_baseline as f64).log2()
+    }
+
+    /// The generator configuration for this profile.
+    pub fn generator_config(&self) -> GeneratorConfig {
+        GeneratorConfig {
+            n_features: self.n_features,
+            n_classes: self.n_classes,
+            noise: self.noise,
+            shared_weight: self.shared_weight,
+            informative_fraction: self.informative_fraction,
+            skew_power: self.skew_power,
+            ambiguous_fraction: self.ambiguous_fraction,
+        }
+    }
+
+    /// Generates the dataset with explicit per-class sizes.
+    pub fn generate_sized(
+        &self,
+        train_per_class: usize,
+        test_per_class: usize,
+        seed: u64,
+    ) -> Dataset {
+        // Mix the app into the seed so equal seeds give distinct data per app.
+        let mut rng = StdRng::seed_from_u64(seed ^ (self.n_features as u64) << 17 ^ self.n_classes as u64);
+        let generator = Generator::from_rng(self.generator_config(), &mut rng);
+        generator.dataset(self.name, train_per_class, test_per_class, &mut rng)
+    }
+
+    /// Generates the dataset at the profile's default sizes.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        self.generate_sized(
+            self.default_train_per_class,
+            self.default_test_per_class,
+            seed,
+        )
+    }
+
+    /// A size-reduced variant for fast tests/smoke runs (¼ of the default
+    /// sizes, at least 8/4 samples per class).
+    pub fn generate_small(&self, seed: u64) -> Dataset {
+        self.generate_sized(
+            (self.default_train_per_class / 4).max(8),
+            (self.default_test_per_class / 4).max(4),
+            seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_table_one() {
+        let speech = App::Speech.profile();
+        assert_eq!((speech.n_features, speech.n_classes), (617, 26));
+        let activity = App::Activity.profile();
+        assert_eq!((activity.n_features, activity.n_classes), (561, 6));
+        let physical = App::Physical.profile();
+        assert_eq!((physical.n_features, physical.n_classes), (52, 12));
+        let face = App::Face.profile();
+        assert_eq!((face.n_features, face.n_classes), (608, 2));
+        let extra = App::Extra.profile();
+        assert_eq!((extra.n_features, extra.n_classes), (225, 4));
+    }
+
+    #[test]
+    fn naive_lookup_sizes_match_table_one() {
+        // Table I: SPEECH 2^2468, ACTIVITY 2^1683, PHYSICAL 2^156,
+        // FACE 2^2432 (the paper prints 2^432; 608·log2(16) = 2432),
+        // EXTRA 2^900.
+        assert_eq!(App::Speech.profile().naive_lookup_log2_rows(), 2468.0);
+        assert_eq!(App::Activity.profile().naive_lookup_log2_rows(), 1683.0);
+        assert_eq!(App::Physical.profile().naive_lookup_log2_rows(), 156.0);
+        assert_eq!(App::Face.profile().naive_lookup_log2_rows(), 2432.0);
+        assert_eq!(App::Extra.profile().naive_lookup_log2_rows(), 900.0);
+    }
+
+    #[test]
+    fn generate_produces_profiled_shape() {
+        for app in App::ALL {
+            let p = app.profile();
+            let d = p.generate_small(1);
+            assert_eq!(d.n_features, p.n_features, "{}", p.name);
+            assert_eq!(d.n_classes, p.n_classes, "{}", p.name);
+            assert_eq!(d.train.class_counts(p.n_classes).iter().min(), d.train.class_counts(p.n_classes).iter().max());
+        }
+    }
+
+    #[test]
+    fn different_apps_differ_with_same_seed() {
+        let a = App::Face.profile().generate_small(3);
+        let b = App::Extra.profile().generate_small(3);
+        assert_ne!(a.train.features[0], b.train.features[0]);
+    }
+
+    #[test]
+    fn same_app_same_seed_is_deterministic() {
+        let a = App::Speech.profile().generate_small(9);
+        let b = App::Speech.profile().generate_small(9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,336 @@
+//! Minimal CSV import/export for labelled feature data.
+//!
+//! The synthetic generators stand in for the paper's datasets, but anyone
+//! holding the real ISOLET / UCI-HAR / PAMAP2 files can run this
+//! reproduction on them: this module parses `feature,…,feature,label` rows
+//! (labels in the last column) with no external dependencies.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::data::{Dataset, Split};
+
+/// Errors produced while parsing CSV data.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A cell failed to parse, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Structurally invalid data (empty file, ragged rows, …).
+    Invalid(String),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Parse { line, message } => write!(f, "line {line}: {message}"),
+            Self::Invalid(message) => write!(f, "invalid csv data: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Parses `feature,…,feature,label` rows into a [`Split`].
+///
+/// Blank lines are skipped. A first line whose cells are not all numeric
+/// is treated as a header and skipped. Labels must be non-negative
+/// integers in the final column.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Parse`] with a line number for malformed cells and
+/// [`CsvError::Invalid`] for empty or ragged data.
+pub fn parse_split(text: &str) -> Result<Split, CsvError> {
+    let mut split = Split::default();
+    let mut width: Option<usize> = None;
+    let mut header_allowed = true;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if cells.len() < 2 {
+            return Err(CsvError::Parse {
+                line,
+                message: "need at least one feature and a label".into(),
+            });
+        }
+        // Header detection: only the very first non-blank row may be one.
+        let numeric = cells.iter().all(|c| c.parse::<f64>().is_ok());
+        if !numeric {
+            if header_allowed {
+                header_allowed = false;
+                continue; // header
+            }
+            return Err(CsvError::Parse {
+                line,
+                message: "non-numeric cell".into(),
+            });
+        }
+        header_allowed = false;
+        match width {
+            None => width = Some(cells.len()),
+            Some(w) if w != cells.len() => {
+                return Err(CsvError::Invalid(format!(
+                    "ragged rows: line {line} has {} cells, expected {w}",
+                    cells.len()
+                )));
+            }
+            _ => {}
+        }
+        let (feature_cells, label_cell) = cells.split_at(cells.len() - 1);
+        let features: Vec<f64> = feature_cells
+            .iter()
+            .map(|c| c.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| CsvError::Parse {
+                line,
+                message: format!("bad feature: {e}"),
+            })?;
+        let label_value: f64 = label_cell[0].parse().map_err(|e| CsvError::Parse {
+            line,
+            message: format!("bad label: {e}"),
+        })?;
+        if label_value < 0.0 || label_value.fract() != 0.0 {
+            return Err(CsvError::Parse {
+                line,
+                message: format!("label must be a non-negative integer, got {label_value}"),
+            });
+        }
+        split.features.push(features);
+        split.labels.push(label_value as usize);
+    }
+    if split.is_empty() {
+        return Err(CsvError::Invalid("no data rows".into()));
+    }
+    Ok(split)
+}
+
+/// Parses label-free rows (`feature,…,feature`) into a feature matrix —
+/// the query-file format of the CLI's `predict` subcommand.
+///
+/// # Errors
+///
+/// Same conventions as [`parse_split`], minus the label column.
+pub fn parse_features(text: &str) -> Result<Vec<Vec<f64>>, CsvError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut width: Option<usize> = None;
+    let mut header_allowed = true;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let numeric = cells.iter().all(|c| c.parse::<f64>().is_ok());
+        if !numeric {
+            if header_allowed {
+                header_allowed = false;
+                continue;
+            }
+            return Err(CsvError::Parse {
+                line,
+                message: "non-numeric cell".into(),
+            });
+        }
+        header_allowed = false;
+        match width {
+            None => width = Some(cells.len()),
+            Some(w) if w != cells.len() => {
+                return Err(CsvError::Invalid(format!(
+                    "ragged rows: line {line} has {} cells, expected {w}",
+                    cells.len()
+                )));
+            }
+            _ => {}
+        }
+        let features: Vec<f64> = cells
+            .iter()
+            .map(|c| c.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| CsvError::Parse {
+                line,
+                message: format!("bad feature: {e}"),
+            })?;
+        rows.push(features);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Invalid("no data rows".into()));
+    }
+    Ok(rows)
+}
+
+/// Loads label-free feature rows from a CSV file.
+///
+/// # Errors
+///
+/// Propagates I/O and parse errors.
+pub fn load_features<P: AsRef<Path>>(path: P) -> Result<Vec<Vec<f64>>, CsvError> {
+    parse_features(&fs::read_to_string(path)?)
+}
+
+/// Loads a split from a CSV file.
+///
+/// # Errors
+///
+/// Propagates I/O and parse errors.
+pub fn load_split<P: AsRef<Path>>(path: P) -> Result<Split, CsvError> {
+    parse_split(&fs::read_to_string(path)?)
+}
+
+/// Loads a full dataset from separate train/test CSV files.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Invalid`] when the two files' feature widths
+/// disagree, plus I/O and parse errors.
+pub fn load_dataset<P: AsRef<Path>>(name: &str, train: P, test: P) -> Result<Dataset, CsvError> {
+    let train = load_split(train)?;
+    let test = load_split(test)?;
+    let n_features = train.features[0].len();
+    if test.features.iter().any(|f| f.len() != n_features) {
+        return Err(CsvError::Invalid(
+            "train and test feature widths disagree".into(),
+        ));
+    }
+    let n_classes = train
+        .labels
+        .iter()
+        .chain(&test.labels)
+        .max()
+        .map_or(0, |m| m + 1);
+    Ok(Dataset {
+        name: name.to_owned(),
+        n_features,
+        n_classes,
+        train,
+        test,
+    })
+}
+
+/// Serializes a split back to CSV (`feature,…,label` rows, no header).
+pub fn to_csv(split: &Split) -> String {
+    let mut out = String::new();
+    for (features, label) in split.features.iter().zip(&split.labels) {
+        for f in features {
+            out.push_str(&format!("{f},"));
+        }
+        out.push_str(&format!("{label}\n"));
+    }
+    out
+}
+
+/// Writes a split to a CSV file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_split<P: AsRef<Path>>(split: &Split, path: P) -> Result<(), CsvError> {
+    fs::write(path, to_csv(split))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_rows() {
+        let split = parse_split("1.0,2.0,0\n3.5,-1.0,1\n").unwrap();
+        assert_eq!(split.len(), 2);
+        assert_eq!(split.features[0], vec![1.0, 2.0]);
+        assert_eq!(split.labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn skips_header_and_blank_lines() {
+        let split = parse_split("f1,f2,label\n\n1,2,0\n\n3,4,1\n").unwrap();
+        assert_eq!(split.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_cells_with_line_numbers() {
+        let err = parse_split("1,2,0\n1,x,1\n").unwrap_err();
+        match err {
+            CsvError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_and_empty() {
+        assert!(matches!(parse_split("1,2,0\n1,0\n"), Err(CsvError::Invalid(_))));
+        assert!(matches!(parse_split("\n\n"), Err(CsvError::Invalid(_))));
+        assert!(matches!(parse_split("5\n"), Err(CsvError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_fractional_or_negative_labels() {
+        assert!(parse_split("1,2,0.5\n").is_err());
+        assert!(parse_split("1,2,-1\n").is_err());
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let split = parse_split("1.5,2,3\n-0.25,4,0\n").unwrap();
+        let text = to_csv(&split);
+        let back = parse_split(&text).unwrap();
+        assert_eq!(back, split);
+    }
+
+    #[test]
+    fn file_round_trip_and_dataset_assembly() {
+        let dir = std::env::temp_dir().join("lookhd_csv_test");
+        fs::create_dir_all(&dir).unwrap();
+        let train_path = dir.join("train.csv");
+        let test_path = dir.join("test.csv");
+        let split = parse_split("0.1,0.9,0\n0.8,0.2,1\n").unwrap();
+        save_split(&split, &train_path).unwrap();
+        save_split(&split, &test_path).unwrap();
+        let ds = load_dataset("TOY", &train_path, &test_path).unwrap();
+        assert_eq!(ds.n_features, 2);
+        assert_eq!(ds.n_classes, 2);
+        assert_eq!(ds.train.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = parse_split("a,b\n1,c\n").unwrap_err();
+        assert!(err.to_string().contains("line"));
+    }
+
+    #[test]
+    fn parse_features_handles_label_free_rows() {
+        let rows = parse_features("f1,f2\n1.0,2.0\n3.0,4.0\n").unwrap();
+        assert_eq!(rows, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!(parse_features("").is_err());
+        assert!(parse_features("1,2\n1\n").is_err());
+    }
+}

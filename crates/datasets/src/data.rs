@@ -1,0 +1,182 @@
+//! Dataset containers and split utilities.
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One labelled partition of a dataset (train or test).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Split {
+    /// Row-major feature matrix.
+    pub features: Vec<Vec<f64>>,
+    /// Class label per row, in `0..n_classes`.
+    pub labels: Vec<usize>,
+}
+
+impl Split {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the split holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Shuffles samples in place, keeping features and labels aligned.
+    pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        self.features = order.iter().map(|&i| self.features[i].clone()).collect();
+        self.labels = order.iter().map(|&i| self.labels[i]).collect();
+    }
+
+    /// Samples per class (index = label).
+    pub fn class_counts(&self, n_classes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_classes];
+        for &y in &self.labels {
+            if y < n_classes {
+                counts[y] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// A named classification dataset with train and test partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Human-readable name (e.g. `"SPEECH"`).
+    pub name: String,
+    /// Number of features `n`.
+    pub n_features: usize,
+    /// Number of classes `k`.
+    pub n_classes: usize,
+    /// Training partition.
+    pub train: Split,
+    /// Test partition.
+    pub test: Split,
+}
+
+impl Dataset {
+    /// Splits off the last `fraction` of the training set as a validation
+    /// split (the paper uses part of the training data for retraining
+    /// stop decisions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1)`.
+    pub fn validation_split(&self, fraction: f64) -> (Split, Split) {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "validation fraction must be in (0, 1)"
+        );
+        let n = self.train.len();
+        let n_val = ((n as f64) * fraction).round().max(1.0) as usize;
+        let cut = n - n_val.min(n - 1);
+        let train = Split {
+            features: self.train.features[..cut].to_vec(),
+            labels: self.train.labels[..cut].to_vec(),
+        };
+        let val = Split {
+            features: self.train.features[cut..].to_vec(),
+            labels: self.train.labels[cut..].to_vec(),
+        };
+        (train, val)
+    }
+
+    /// All training feature values flattened — quantizer-fitting input.
+    pub fn train_values(&self) -> Vec<f64> {
+        self.train.features.iter().flatten().copied().collect()
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (n={}, k={}, train={}, test={})",
+            self.name,
+            self.n_features,
+            self.n_classes,
+            self.train.len(),
+            self.test.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        Dataset {
+            name: "TOY".into(),
+            n_features: 2,
+            n_classes: 2,
+            train: Split {
+                features: (0..10).map(|i| vec![i as f64, 0.0]).collect(),
+                labels: (0..10).map(|i| i % 2).collect(),
+            },
+            test: Split::default(),
+        }
+    }
+
+    #[test]
+    fn shuffle_keeps_rows_aligned() {
+        let mut d = toy();
+        let before: Vec<(f64, usize)> = d
+            .train
+            .features
+            .iter()
+            .map(|f| f[0])
+            .zip(d.train.labels.iter().copied())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        d.train.shuffle(&mut rng);
+        let mut after: Vec<(f64, usize)> = d
+            .train
+            .features
+            .iter()
+            .map(|f| f[0])
+            .zip(d.train.labels.iter().copied())
+            .collect();
+        after.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut sorted_before = before;
+        sorted_before.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert_eq!(after, sorted_before);
+    }
+
+    #[test]
+    fn validation_split_partitions_without_loss() {
+        let d = toy();
+        let (train, val) = d.validation_split(0.3);
+        assert_eq!(train.len() + val.len(), 10);
+        assert_eq!(val.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "validation fraction")]
+    fn validation_split_rejects_bad_fraction() {
+        let _ = toy().validation_split(1.5);
+    }
+
+    #[test]
+    fn class_counts_and_display() {
+        let d = toy();
+        assert_eq!(d.train.class_counts(2), vec![5, 5]);
+        assert!(format!("{d}").contains("TOY"));
+        assert!(!d.train.is_empty());
+        assert!(d.test.is_empty());
+    }
+
+    #[test]
+    fn train_values_flattens_all_features() {
+        let d = toy();
+        assert_eq!(d.train_values().len(), 20);
+    }
+}

@@ -1,0 +1,179 @@
+//! Concept-drift streams for online-learning studies.
+//!
+//! IoT deployments (§I's motivating setting) rarely see stationary data:
+//! sensors drift, users change habits. [`DriftStream`] yields an endless
+//! labelled sample stream whose class prototypes interpolate from a start
+//! generator toward a target generator over a configurable horizon —
+//! fodder for the single-pass/online trainers.
+
+use rand::Rng;
+
+use crate::synthetic::{Generator, GeneratorConfig};
+
+/// A labelled sample stream with gradual concept drift.
+#[derive(Debug, Clone)]
+pub struct DriftStream {
+    start: Generator,
+    target: Generator,
+    /// Samples over which the drift completes.
+    horizon: usize,
+    emitted: usize,
+    n_classes: usize,
+}
+
+impl DriftStream {
+    /// Builds a stream drifting from one prototype set to an independent
+    /// one over `horizon` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0` (use a plain [`Generator`] for stationary
+    /// data) or on invalid generator configuration.
+    pub fn new<R: Rng + ?Sized>(config: GeneratorConfig, horizon: usize, rng: &mut R) -> Self {
+        assert!(horizon > 0, "drift horizon must be positive");
+        let n_classes = config.n_classes;
+        let start = Generator::from_rng(config.clone(), rng);
+        let target = Generator::from_rng(config, rng);
+        Self {
+            start,
+            target,
+            horizon,
+            emitted: 0,
+            n_classes,
+        }
+    }
+
+    /// Drift progress in `[0, 1]` (1 once the horizon has passed).
+    pub fn progress(&self) -> f64 {
+        (self.emitted as f64 / self.horizon as f64).min(1.0)
+    }
+
+    /// Samples emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Draws the next labelled sample: a convex blend of the start and
+    /// target generators' outputs for a round-robin class label.
+    pub fn next_sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (Vec<f64>, usize) {
+        let class = self.emitted % self.n_classes;
+        let alpha = self.progress();
+        let a = self.start.sample(class, rng);
+        let b = self.target.sample(class, rng);
+        let blended = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| (1.0 - alpha) * x + alpha * y)
+            .collect();
+        self.emitted += 1;
+        (blended, class)
+    }
+
+    /// Draws a labelled evaluation batch at the *current* drift position
+    /// without advancing the stream.
+    pub fn snapshot<R: Rng + ?Sized>(
+        &self,
+        per_class: usize,
+        rng: &mut R,
+    ) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let alpha = self.progress();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for class in 0..self.n_classes {
+            for _ in 0..per_class {
+                let a = self.start.sample(class, rng);
+                let b = self.target.sample(class, rng);
+                xs.push(
+                    a.iter()
+                        .zip(&b)
+                        .map(|(&x, &y)| (1.0 - alpha) * x + alpha * y)
+                        .collect(),
+                );
+                ys.push(class);
+            }
+        }
+        (xs, ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stream(horizon: usize, seed: u64) -> (DriftStream, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = GeneratorConfig {
+            n_features: 16,
+            n_classes: 3,
+            noise: 0.02,
+            ..GeneratorConfig::new()
+        };
+        let s = DriftStream::new(config, horizon, &mut rng);
+        (s, rng)
+    }
+
+    #[test]
+    fn progress_advances_and_saturates() {
+        let (mut s, mut rng) = stream(10, 1);
+        assert_eq!(s.progress(), 0.0);
+        for _ in 0..10 {
+            let _ = s.next_sample(&mut rng);
+        }
+        assert_eq!(s.progress(), 1.0);
+        for _ in 0..5 {
+            let _ = s.next_sample(&mut rng);
+        }
+        assert_eq!(s.progress(), 1.0);
+        assert_eq!(s.emitted(), 15);
+    }
+
+    #[test]
+    fn labels_cycle_round_robin() {
+        let (mut s, mut rng) = stream(100, 2);
+        let labels: Vec<usize> = (0..6).map(|_| s.next_sample(&mut rng).1).collect();
+        assert_eq!(labels, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn distribution_actually_drifts() {
+        // Distance between early and late class-0 centroids must exceed
+        // the within-snapshot scatter.
+        let (mut s, mut rng) = stream(200, 3);
+        let (early, ey) = s.snapshot(20, &mut rng);
+        for _ in 0..200 {
+            let _ = s.next_sample(&mut rng);
+        }
+        let (late, ly) = s.snapshot(20, &mut rng);
+        let centroid = |xs: &[Vec<f64>], ys: &[usize]| -> Vec<f64> {
+            let rows: Vec<&Vec<f64>> = xs
+                .iter()
+                .zip(ys)
+                .filter(|(_, &y)| y == 0)
+                .map(|(x, _)| x)
+                .collect();
+            let mut c = vec![0.0; rows[0].len()];
+            for r in &rows {
+                for (a, &v) in c.iter_mut().zip(r.iter()) {
+                    *a += v;
+                }
+            }
+            for a in &mut c {
+                *a /= rows.len() as f64;
+            }
+            c
+        };
+        let ce = centroid(&early, &ey);
+        let cl = centroid(&late, &ly);
+        let shift: f64 = ce.iter().zip(&cl).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+        assert!(shift > 0.2, "prototypes should have moved: {shift}");
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = DriftStream::new(GeneratorConfig::new(), 0, &mut rng);
+    }
+}

@@ -1,0 +1,41 @@
+//! # lookhd-datasets — synthetic stand-ins for the LookHD evaluation data
+//!
+//! The paper evaluates on ISOLET (SPEECH), UCI-HAR (ACTIVITY), PAMAP2
+//! (PHYSICAL), a face corpus (FACE), and ExtraSensory (EXTRA). Those
+//! datasets are not redistributable here, so this crate provides seeded
+//! synthetic generators that reproduce their *shape* (feature count, class
+//! count, non-uniform feature marginals, class correlation) and their
+//! approximate difficulty. See the repository DESIGN.md for the
+//! substitution rationale.
+//!
+//! * [`data`] — [`data::Dataset`] / [`data::Split`] containers;
+//! * [`synthetic`] — the configurable class-structured generator;
+//! * [`apps`] — the five paper application profiles ([`apps::App`]);
+//! * [`csv`] — dependency-free CSV import/export, so the real datasets can
+//!   be dropped in when available;
+//! * [`drift`] — concept-drift streams for online-learning studies;
+//! * [`summary`] — dataset statistics and LookHD configuration hints.
+//!
+//! ## Example
+//!
+//! ```
+//! use lookhd_datasets::apps::App;
+//!
+//! let dataset = App::Physical.profile().generate_small(42);
+//! assert_eq!(dataset.n_features, 52);
+//! assert_eq!(dataset.n_classes, 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod csv;
+pub mod data;
+pub mod drift;
+pub mod summary;
+pub mod synthetic;
+
+pub use apps::{App, AppProfile};
+pub use data::{Dataset, Split};
+pub use synthetic::normal as standard_normal;

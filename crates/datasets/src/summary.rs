@@ -1,0 +1,207 @@
+//! Dataset statistics and LookHD configuration hints.
+//!
+//! Before committing to hyperparameters, a practitioner wants to know what
+//! the data looks like: class balance, feature ranges, how skewed the
+//! marginal is (decides linear vs equalized quantization), and a
+//! reasonable `(q, r, D)` starting point. [`summarize`] computes those
+//! from any [`Split`]; the `lookhd inspect` CLI subcommand prints them.
+
+use crate::data::Split;
+
+/// Summary statistics of a labelled split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSummary {
+    /// Number of samples.
+    pub n_samples: usize,
+    /// Number of features `n`.
+    pub n_features: usize,
+    /// Number of classes `k` (max label + 1).
+    pub n_classes: usize,
+    /// Samples per class, indexed by label.
+    pub class_counts: Vec<usize>,
+    /// Global minimum feature value.
+    pub min: f64,
+    /// Global maximum feature value.
+    pub max: f64,
+    /// Global mean feature value.
+    pub mean: f64,
+    /// Nonparametric skew indicator in `[-1, 1]`:
+    /// `(mean − median) / (max − min)` scaled — positive means a long
+    /// right tail (mass piled at low values).
+    pub skew_indicator: f64,
+}
+
+impl DataSummary {
+    /// Ratio of the largest to the smallest class count
+    /// (`∞` when a class in `0..k` has no samples).
+    pub fn imbalance(&self) -> f64 {
+        let max = *self.class_counts.iter().max().unwrap_or(&0) as f64;
+        let min = *self.class_counts.iter().min().unwrap_or(&0) as f64;
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// True when the marginal is skewed enough that equalized quantization
+    /// will clearly beat linear (|skew| above 0.1 ≈ the paper's Fig. 3
+    /// regime).
+    pub fn is_skewed(&self) -> bool {
+        self.skew_indicator.abs() > 0.1
+    }
+}
+
+/// Computes summary statistics over a split.
+///
+/// Returns `None` for an empty or ragged split.
+pub fn summarize(split: &Split) -> Option<DataSummary> {
+    if split.is_empty() || split.features.len() != split.labels.len() {
+        return None;
+    }
+    let n_features = split.features[0].len();
+    if n_features == 0 || split.features.iter().any(|f| f.len() != n_features) {
+        return None;
+    }
+    let n_classes = split.labels.iter().max().map_or(0, |m| m + 1);
+    let class_counts = split.class_counts(n_classes);
+    let mut values: Vec<f64> = split.features.iter().flatten().copied().collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+    let count = values.len() as f64;
+    let min = values[0];
+    let max = *values.last().expect("non-empty");
+    let mean = values.iter().sum::<f64>() / count;
+    let median = values[values.len() / 2];
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    let skew_indicator = ((mean - median) / span).clamp(-1.0, 1.0) * 4.0;
+    Some(DataSummary {
+        n_samples: split.len(),
+        n_features,
+        n_classes,
+        class_counts,
+        min,
+        max,
+        mean,
+        skew_indicator: skew_indicator.clamp(-1.0, 1.0),
+    })
+}
+
+/// A suggested LookHD starting configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigHint {
+    /// Suggested quantization level count `q`.
+    pub q: usize,
+    /// Suggested chunk size `r`.
+    pub r: usize,
+    /// Suggested dimensionality `D`.
+    pub dim: usize,
+    /// Whether equalized quantization is recommended over linear.
+    pub equalized: bool,
+}
+
+/// Derives a starting configuration from a summary, following the paper's
+/// guidance: `r = 5` and `q = 4` (or `q = 2` for few-class problems) with
+/// equalized quantization on skewed data; `D = 2000` generally, bumped for
+/// many-class problems where compression cross-talk needs headroom.
+pub fn suggest_config(summary: &DataSummary) -> ConfigHint {
+    let q = if summary.n_classes <= 2 { 2 } else { 4 };
+    let r = 5usize.min(summary.n_features.max(1));
+    let dim = if summary.n_classes > 12 { 4000 } else { 2000 };
+    ConfigHint {
+        q,
+        r,
+        dim,
+        equalized: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(rows: Vec<(Vec<f64>, usize)>) -> Split {
+        let mut s = Split::default();
+        for (f, y) in rows {
+            s.features.push(f);
+            s.labels.push(y);
+        }
+        s
+    }
+
+    #[test]
+    fn summary_reports_shape_and_range() {
+        let s = split(vec![
+            (vec![0.0, 1.0], 0),
+            (vec![0.5, 2.0], 1),
+            (vec![0.25, 3.0], 0),
+        ]);
+        let summary = summarize(&s).unwrap();
+        assert_eq!(summary.n_samples, 3);
+        assert_eq!(summary.n_features, 2);
+        assert_eq!(summary.n_classes, 2);
+        assert_eq!(summary.class_counts, vec![2, 1]);
+        assert_eq!(summary.min, 0.0);
+        assert_eq!(summary.max, 3.0);
+        assert!((summary.imbalance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_indicator_flags_right_tails() {
+        // Mass piled at zero with a long right tail.
+        let rows: Vec<(Vec<f64>, usize)> = (0..200)
+            .map(|i| (vec![(i as f64 / 200.0).powi(4)], i % 2))
+            .collect();
+        let skewed = summarize(&split(rows)).unwrap();
+        assert!(skewed.is_skewed(), "skew = {}", skewed.skew_indicator);
+        assert!(skewed.skew_indicator > 0.0);
+        // Uniform data is not skewed.
+        let rows: Vec<(Vec<f64>, usize)> = (0..200)
+            .map(|i| (vec![i as f64 / 200.0], i % 2))
+            .collect();
+        let uniform = summarize(&split(rows)).unwrap();
+        assert!(!uniform.is_skewed(), "skew = {}", uniform.skew_indicator);
+    }
+
+    #[test]
+    fn degenerate_splits_yield_none() {
+        assert!(summarize(&Split::default()).is_none());
+        let ragged = split(vec![(vec![1.0, 2.0], 0), (vec![1.0], 1)]);
+        assert!(summarize(&ragged).is_none());
+    }
+
+    #[test]
+    fn missing_class_means_infinite_imbalance() {
+        let s = split(vec![(vec![1.0], 0), (vec![2.0], 2)]); // class 1 empty
+        let summary = summarize(&s).unwrap();
+        assert!(summary.imbalance().is_infinite());
+    }
+
+    #[test]
+    fn suggestions_follow_paper_guidance() {
+        let binary = DataSummary {
+            n_samples: 100,
+            n_features: 3,
+            n_classes: 2,
+            class_counts: vec![50, 50],
+            min: 0.0,
+            max: 1.0,
+            mean: 0.5,
+            skew_indicator: 0.0,
+        };
+        let hint = suggest_config(&binary);
+        assert_eq!(hint.q, 2);
+        assert_eq!(hint.r, 3); // clamped to n
+        assert_eq!(hint.dim, 2000);
+        assert!(hint.equalized);
+
+        let many = DataSummary {
+            n_classes: 26,
+            n_features: 617,
+            ..binary
+        };
+        let hint = suggest_config(&many);
+        assert_eq!(hint.q, 4);
+        assert_eq!(hint.r, 5);
+        assert_eq!(hint.dim, 4000);
+    }
+}

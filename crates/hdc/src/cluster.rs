@@ -1,0 +1,241 @@
+//! Unsupervised clustering in hyperspace (the paper's refs \[19\]/\[20\]
+//! apply HDC to clustering; this is the k-means-style variant).
+//!
+//! Centroids are dense hypervectors; assignment uses cosine similarity and
+//! the update re-bundles each cluster's members. Because encoded samples
+//! live on a (near-)sphere, cosine k-means in hyperspace behaves like
+//! spherical k-means in the original space but inherits HDC's robustness
+//! and cheap integer arithmetic.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::{HdcError, Result};
+use crate::hv::DenseHv;
+
+/// Result of a clustering run.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Final centroids, one dense hypervector per cluster.
+    pub centroids: Vec<DenseHv>,
+    /// Cluster index per input sample.
+    pub assignments: Vec<usize>,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Cluster sizes (index = cluster).
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Assigns a new encoded sample to its nearest centroid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on dimension disagreement.
+    pub fn assign(&self, encoded: &DenseHv) -> Result<usize> {
+        if encoded.dim() != self.centroids[0].dim() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.centroids[0].dim(),
+                actual: encoded.dim(),
+            });
+        }
+        let mut best = 0usize;
+        let mut best_sim = f64::NEG_INFINITY;
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            let sim = encoded.cosine(centroid);
+            if sim > best_sim {
+                best_sim = sim;
+                best = c;
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Runs cosine k-means over pre-encoded hypervectors.
+///
+/// Initialization picks `k` distinct samples as seeds (deterministic per
+/// `rng`); iteration alternates cosine assignment and centroid re-bundling
+/// until assignments stabilize or `max_iterations` is reached. Empty
+/// clusters are re-seeded with the sample farthest from its centroid.
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidConfig`] when `k == 0` or
+/// [`HdcError::InvalidDataset`] when there are fewer samples than
+/// clusters or dimensions disagree.
+pub fn kmeans<R: Rng + ?Sized>(
+    encoded: &[DenseHv],
+    k: usize,
+    max_iterations: usize,
+    rng: &mut R,
+) -> Result<Clustering> {
+    if k == 0 {
+        return Err(HdcError::invalid_config("k", "need at least one cluster"));
+    }
+    if encoded.len() < k {
+        return Err(HdcError::invalid_dataset(format!(
+            "{} samples cannot form {k} clusters",
+            encoded.len()
+        )));
+    }
+    let dim = encoded[0].dim();
+    if encoded.iter().any(|h| h.dim() != dim) {
+        return Err(HdcError::DimensionMismatch {
+            expected: dim,
+            actual: encoded.iter().find(|h| h.dim() != dim).expect("exists").dim(),
+        });
+    }
+    // Seed with k distinct samples.
+    let mut order: Vec<usize> = (0..encoded.len()).collect();
+    order.shuffle(rng);
+    let mut centroids: Vec<DenseHv> = order[..k].iter().map(|&i| encoded[i].clone()).collect();
+    let mut assignments = vec![0usize; encoded.len()];
+    let mut iterations = 0usize;
+    for iter in 0..max_iterations {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, h) in encoded.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_sim = f64::NEG_INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let sim = h.cosine(centroid);
+                if sim > best_sim {
+                    best_sim = sim;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step: re-bundle members.
+        let mut sums = vec![DenseHv::zeros(dim); k];
+        let mut counts = vec![0usize; k];
+        for (h, &a) in encoded.iter().zip(&assignments) {
+            sums[a].add_assign_hv(h);
+            counts[a] += 1;
+        }
+        for (c, count) in counts.iter().enumerate() {
+            if *count > 0 {
+                centroids[c] = sums[c].clone();
+            } else {
+                // Re-seed an empty cluster with the worst-fitting sample.
+                let (worst, _) = encoded
+                    .iter()
+                    .enumerate()
+                    .map(|(i, h)| (i, h.cosine(&centroids[assignments[i]])))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                    .expect("non-empty dataset");
+                centroids[c] = encoded[worst].clone();
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+    Ok(Clustering {
+        centroids,
+        assignments,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hv::BipolarHv;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Encoded samples around `k` random prototypes.
+    fn blobs(k: usize, per: usize, dim: usize, flips: usize, seed: u64) -> (Vec<DenseHv>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protos: Vec<BipolarHv> = (0..k).map(|_| BipolarHv::random(dim, &mut rng)).collect();
+        let mut xs = Vec::new();
+        let mut truth = Vec::new();
+        for (c, p) in protos.iter().enumerate() {
+            for _ in 0..per {
+                let mut hv = p.clone();
+                let idx: Vec<usize> = (0..flips).map(|_| rng.gen_range(0..dim)).collect();
+                hv.flip(&idx);
+                xs.push(DenseHv::from(&hv));
+                truth.push(c);
+            }
+        }
+        (xs, truth)
+    }
+
+    /// Clustering accuracy up to label permutation (greedy matching).
+    fn purity(assignments: &[usize], truth: &[usize], k: usize) -> f64 {
+        let mut counts = vec![vec![0usize; k]; k];
+        for (&a, &t) in assignments.iter().zip(truth) {
+            counts[a][t] += 1;
+        }
+        let correct: usize = counts.iter().map(|row| row.iter().max().copied().unwrap_or(0)).sum();
+        correct as f64 / assignments.len() as f64
+    }
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let (xs, truth) = blobs(3, 30, 1024, 60, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let clustering = kmeans(&xs, 3, 25, &mut rng).unwrap();
+        let p = purity(&clustering.assignments, &truth, 3);
+        assert!(p > 0.95, "purity {p}");
+        assert_eq!(clustering.k(), 3);
+        assert_eq!(clustering.sizes().iter().sum::<usize>(), 90);
+    }
+
+    #[test]
+    fn assign_routes_new_samples() {
+        let (xs, _) = blobs(2, 20, 512, 20, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let clustering = kmeans(&xs, 2, 20, &mut rng).unwrap();
+        // A fresh sample near cluster of xs[0] should land with xs[0].
+        let target = clustering.assignments[0];
+        assert_eq!(clustering.assign(&xs[0]).unwrap(), target);
+        assert!(clustering.assign(&DenseHv::zeros(99)).is_err());
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let (xs, _) = blobs(2, 15, 512, 10, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let clustering = kmeans(&xs, 2, 50, &mut rng).unwrap();
+        assert!(clustering.iterations < 50, "should converge early: {}", clustering.iterations);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (xs, _) = blobs(2, 3, 64, 5, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(kmeans(&xs, 0, 5, &mut rng).is_err());
+        assert!(kmeans(&xs[..1], 2, 5, &mut rng).is_err());
+        let mut ragged = xs.clone();
+        ragged.push(DenseHv::zeros(32));
+        assert!(kmeans(&ragged, 2, 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_is_degenerate_but_valid() {
+        let (xs, _) = blobs(2, 2, 128, 5, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let clustering = kmeans(&xs, 4, 10, &mut rng).unwrap();
+        assert_eq!(clustering.k(), 4);
+    }
+}

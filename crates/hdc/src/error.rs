@@ -1,0 +1,102 @@
+//! Error type shared by the HDC substrate and the LookHD crates.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced when configuring or training HDC models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// A configuration parameter was outside its valid range.
+    InvalidConfig {
+        /// The offending parameter name.
+        parameter: &'static str,
+        /// Human-readable description of the constraint violation.
+        message: String,
+    },
+    /// The training set was empty or labels/features disagreed in length.
+    InvalidDataset {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Two hypervectors (or a hypervector and a model) had different `D`.
+    DimensionMismatch {
+        /// Dimension expected by the receiver.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// A class label was out of range for the model.
+    UnknownClass {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the model holds.
+        n_classes: usize,
+    },
+}
+
+impl HdcError {
+    /// Convenience constructor for [`HdcError::InvalidConfig`].
+    pub fn invalid_config(parameter: &'static str, message: impl Into<String>) -> Self {
+        Self::InvalidConfig {
+            parameter,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`HdcError::InvalidDataset`].
+    pub fn invalid_dataset(message: impl Into<String>) -> Self {
+        Self::InvalidDataset {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { parameter, message } => {
+                write!(f, "invalid configuration for `{parameter}`: {message}")
+            }
+            Self::InvalidDataset { message } => write!(f, "invalid dataset: {message}"),
+            Self::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected D={expected}, got D={actual}")
+            }
+            Self::UnknownClass { label, n_classes } => {
+                write!(f, "class label {label} out of range for {n_classes} classes")
+            }
+        }
+    }
+}
+
+impl StdError for HdcError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, HdcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = HdcError::invalid_config("q", "must be at least 2");
+        assert_eq!(e.to_string(), "invalid configuration for `q`: must be at least 2");
+        let e = HdcError::DimensionMismatch {
+            expected: 2000,
+            actual: 1000,
+        };
+        assert!(e.to_string().contains("2000"));
+        let e = HdcError::UnknownClass {
+            label: 9,
+            n_classes: 4,
+        };
+        assert!(e.to_string().contains("9"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_good<E: StdError + Send + Sync + 'static>() {}
+        assert_good::<HdcError>();
+    }
+}

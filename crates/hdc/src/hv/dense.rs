@@ -1,0 +1,403 @@
+//! Dense integer hypervectors.
+//!
+//! Encodings and class models in (non-binary) HDC are integer-valued
+//! accumulations of bipolar hypervectors (Eq. 1 of the paper). [`DenseHv`]
+//! is a `D`-dimensional vector of `i32` counters with the fused operations
+//! the encoders and trainers need: add a (rotated / bound / scaled) bipolar
+//! hypervector without materializing intermediates.
+
+use std::fmt;
+
+use super::BipolarHv;
+
+/// A dense integer hypervector in `ℤ^D`.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::hv::{BipolarHv, DenseHv};
+///
+/// let l = BipolarHv::from_values(&[1, -1, 1, 1]);
+/// let mut acc = DenseHv::zeros(4);
+/// acc.add_bipolar(&l);
+/// acc.add_rotated_bipolar(&l, 1); // adds [1, 1, -1, 1]
+/// assert_eq!(acc.as_slice(), &[2, 0, 0, 2]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DenseHv {
+    values: Vec<i32>,
+}
+
+impl DenseHv {
+    /// Creates the zero hypervector of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn zeros(dim: usize) -> Self {
+        assert!(dim > 0, "hypervector dimension must be positive");
+        Self {
+            values: vec![0; dim],
+        }
+    }
+
+    /// Wraps an explicit value vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_vec(values: Vec<i32>) -> Self {
+        assert!(!values.is_empty(), "hypervector dimension must be positive");
+        Self { values }
+    }
+
+    /// The dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The raw values.
+    pub fn as_slice(&self) -> &[i32] {
+        &self.values
+    }
+
+    /// Mutable access to the raw values (for noise injection and tests).
+    pub fn as_mut_slice(&mut self) -> &mut [i32] {
+        &mut self.values
+    }
+
+    /// Consumes the hypervector, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<i32> {
+        self.values
+    }
+
+    /// Value at dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> i32 {
+        self.values[i]
+    }
+
+    /// `self += other` element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_assign_hv(&mut self, other: &Self) {
+        assert_eq!(self.dim(), other.dim(), "add requires equal dimensions");
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += b;
+        }
+    }
+
+    /// `self -= other` element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn sub_assign_hv(&mut self, other: &Self) {
+        assert_eq!(self.dim(), other.dim(), "sub requires equal dimensions");
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a -= b;
+        }
+    }
+
+    /// `self += w · other` element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_scaled_hv(&mut self, other: &Self, w: i32) {
+        assert_eq!(self.dim(), other.dim(), "add requires equal dimensions");
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += w * b;
+        }
+    }
+
+    /// `self += hv` where `hv` is bipolar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_bipolar(&mut self, hv: &BipolarHv) {
+        assert_eq!(self.dim(), hv.dim(), "add requires equal dimensions");
+        for (i, a) in self.values.iter_mut().enumerate() {
+            *a += hv.value(i);
+        }
+    }
+
+    /// `self -= hv` where `hv` is bipolar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn sub_bipolar(&mut self, hv: &BipolarHv) {
+        assert_eq!(self.dim(), hv.dim(), "sub requires equal dimensions");
+        for (i, a) in self.values.iter_mut().enumerate() {
+            *a -= hv.value(i);
+        }
+    }
+
+    /// `self += ρ^rot(hv)` — the fused hot-path of the baseline permutation
+    /// encoder (Eq. 1): adds the bipolar hypervector rotated by `rot`
+    /// without allocating the rotated copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_rotated_bipolar(&mut self, hv: &BipolarHv, rot: usize) {
+        let d = self.dim();
+        assert_eq!(d, hv.dim(), "add requires equal dimensions");
+        let rot = rot % d;
+        // out[i] = hv[(i + d - rot) % d]; iterate source index to stay linear.
+        for (i, a) in self.values.iter_mut().enumerate() {
+            let src = if i >= rot { i - rot } else { i + d - rot };
+            *a += hv.value(src);
+        }
+    }
+
+    /// `self += w · (key ⊙ other)` — fused bind-scale-accumulate used by the
+    /// LookHD chunk aggregation and model compression (`P ⊙ H` terms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_bound_scaled(&mut self, key: &BipolarHv, other: &Self, w: i32) {
+        assert_eq!(self.dim(), key.dim(), "bind requires equal dimensions");
+        assert_eq!(self.dim(), other.dim(), "bind requires equal dimensions");
+        for (i, a) in self.values.iter_mut().enumerate() {
+            *a += w * key.value(i) * other.values[i];
+        }
+    }
+
+    /// Returns `key ⊙ self` (element-wise sign flips; no multiplier needed
+    /// in hardware — §V-A "negation block").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn bound(&self, key: &BipolarHv) -> Self {
+        assert_eq!(self.dim(), key.dim(), "bind requires equal dimensions");
+        let values = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if key.is_negative(i) { -v } else { v })
+            .collect();
+        Self { values }
+    }
+
+    /// Dot product with another dense hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn dot(&self, other: &Self) -> i64 {
+        assert_eq!(self.dim(), other.dim(), "dot requires equal dimensions");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(&a, &b)| a as i64 * b as i64)
+            .sum()
+    }
+
+    /// Dot product with a bipolar hypervector (sign-flipped accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn dot_bipolar(&self, hv: &BipolarHv) -> i64 {
+        assert_eq!(self.dim(), hv.dim(), "dot requires equal dimensions");
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if hv.is_negative(i) { -(v as i64) } else { v as i64 })
+            .sum()
+    }
+
+    /// Euclidean norm `‖self‖`.
+    pub fn norm(&self) -> f64 {
+        (self.dot(self) as f64).sqrt()
+    }
+
+    /// Cosine similarity `self·other / (‖self‖‖other‖)`.
+    ///
+    /// Returns `0.0` when either vector is all-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn cosine(&self, other: &Self) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.dot(other) as f64 / denom
+    }
+
+    /// Element-wise sign, breaking ties (zero) toward `+1`. This is the
+    /// majority-threshold binarization used by binary HDC models.
+    pub fn sign(&self) -> BipolarHv {
+        let mut out = BipolarHv::ones(self.dim());
+        for (i, &v) in self.values.iter().enumerate() {
+            if v < 0 {
+                out.set(i, -1);
+            }
+        }
+        out
+    }
+
+    /// Largest absolute element value; the hardware model uses this to size
+    /// datapath bit-widths.
+    pub fn max_abs(&self) -> i32 {
+        self.values.iter().map(|v| v.abs()).max().unwrap_or(0)
+    }
+}
+
+impl From<&BipolarHv> for DenseHv {
+    fn from(hv: &BipolarHv) -> Self {
+        Self {
+            values: hv.to_values(),
+        }
+    }
+}
+
+impl FromIterator<i32> for DenseHv {
+    fn from_iter<T: IntoIterator<Item = i32>>(iter: T) -> Self {
+        Self::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for DenseHv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DenseHv(D={}, {:?}", self.dim(), &self.values[..self.dim().min(8)])?;
+        if self.dim() > 8 {
+            write!(f, "…")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_from_vec() {
+        let z = DenseHv::zeros(5);
+        assert_eq!(z.as_slice(), &[0, 0, 0, 0, 0]);
+        let v = DenseHv::from_vec(vec![1, -2, 3]);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.get(1), -2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn empty_from_vec_panics() {
+        let _ = DenseHv::from_vec(vec![]);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hv = BipolarHv::random(64, &mut rng);
+        let mut acc = DenseHv::zeros(64);
+        acc.add_bipolar(&hv);
+        acc.sub_bipolar(&hv);
+        assert_eq!(acc, DenseHv::zeros(64));
+    }
+
+    #[test]
+    fn add_rotated_matches_materialized_rotation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hv = BipolarHv::random(101, &mut rng);
+        for rot in [0usize, 1, 50, 100, 101, 150] {
+            let mut fused = DenseHv::zeros(101);
+            fused.add_rotated_bipolar(&hv, rot);
+            let mut explicit = DenseHv::zeros(101);
+            explicit.add_bipolar(&hv.rotated(rot));
+            assert_eq!(fused, explicit, "rot={rot}");
+        }
+    }
+
+    #[test]
+    fn bound_matches_elementwise_product() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let key = BipolarHv::random(40, &mut rng);
+        let v = DenseHv::from_vec((0..40).map(|i| i - 20).collect());
+        let b = v.bound(&key);
+        for i in 0..40 {
+            assert_eq!(b.get(i), key.value(i) * v.get(i));
+        }
+        // binding twice with the same key is the identity (P ⊙ P = 1)
+        assert_eq!(b.bound(&key), v);
+    }
+
+    #[test]
+    fn add_bound_scaled_matches_manual() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = BipolarHv::random(30, &mut rng);
+        let v = DenseHv::from_vec((0..30).collect());
+        let mut acc = DenseHv::from_vec(vec![7; 30]);
+        acc.add_bound_scaled(&key, &v, 3);
+        for i in 0..30 {
+            assert_eq!(acc.get(i), 7 + 3 * key.value(i) * v.get(i));
+        }
+    }
+
+    #[test]
+    fn dot_and_dot_bipolar_agree() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let key = BipolarHv::random(64, &mut rng);
+        let v = DenseHv::from_vec((0..64).map(|i| (i % 9) - 4).collect());
+        assert_eq!(v.dot_bipolar(&key), v.dot(&DenseHv::from(&key)));
+    }
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_one() {
+        let v = DenseHv::from_vec(vec![1, 2, 3, 4]);
+        let mut w = v.clone();
+        w.add_assign_hv(&v); // w = 2v
+        assert!((v.cosine(&w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        let v = DenseHv::from_vec(vec![1, 2, 3]);
+        let z = DenseHv::zeros(3);
+        assert_eq!(v.cosine(&z), 0.0);
+    }
+
+    #[test]
+    fn sign_thresholds_at_zero() {
+        let v = DenseHv::from_vec(vec![5, -3, 0, -1]);
+        assert_eq!(v.sign().to_values(), vec![1, -1, 1, -1]);
+    }
+
+    #[test]
+    fn add_scaled_hv_accumulates_counters() {
+        // Counter-based training multiplies counter values into pre-stored
+        // hypervectors (§III-D step E); this is that kernel.
+        let lut_row = DenseHv::from_vec(vec![1, -1, 2, 0]);
+        let mut acc = DenseHv::zeros(4);
+        acc.add_scaled_hv(&lut_row, 5);
+        assert_eq!(acc.as_slice(), &[5, -5, 10, 0]);
+    }
+
+    #[test]
+    fn max_abs_reports_extreme() {
+        let v = DenseHv::from_vec(vec![3, -17, 5]);
+        assert_eq!(v.max_abs(), 17);
+    }
+
+    #[test]
+    fn norm_matches_hand_computation() {
+        let v = DenseHv::from_vec(vec![3, 4]);
+        assert!((v.norm() - 5.0).abs() < 1e-12);
+    }
+}

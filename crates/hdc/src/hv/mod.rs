@@ -1,0 +1,7 @@
+//! Hypervector types: bit-packed bipolar vectors and dense integer vectors.
+
+mod bipolar;
+mod dense;
+
+pub use bipolar::BipolarHv;
+pub use dense::DenseHv;

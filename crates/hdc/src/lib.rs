@@ -1,0 +1,63 @@
+//! # hdc — baseline HyperDimensional Computing substrate
+//!
+//! This crate implements the classical HDC classification pipeline that the
+//! LookHD paper (*Revisiting HyperDimensional Learning for FPGA and
+//! Low-Power Architectures*, HPCA 2021) builds on and compares against:
+//!
+//! * [`hv`] — bit-packed bipolar hypervectors and dense integer
+//!   hypervectors with the bind / bundle / permute / dot-product algebra;
+//! * [`quantize`] — linear and equalized (quantile) feature quantization;
+//! * [`levels`] — correlated level-hypervector ("alphabet") generation;
+//! * [`encoding`] — the [`encoding::Encode`] trait and the baseline
+//!   permutation encoder (Eq. 1 of the paper);
+//! * [`model`] — class models and cosine/dot associative search;
+//! * [`train`] — initial bundling training and perceptron-style retraining;
+//! * [`classifier`] — the end-to-end baseline [`classifier::HdcClassifier`];
+//! * [`binary`] — majority-thresholded binary models (prior-work regime);
+//! * [`noise`] — fault injection for robustness studies;
+//! * [`persist`] — dependency-free binary model (de)serialization;
+//! * [`sequence`] — item memories and n-gram sequence encoding (the text /
+//!   time-series workloads of the prior-work systems in §VII);
+//! * [`cluster`] — cosine k-means clustering in hyperspace (refs \[19\]/\[20\]);
+//! * [`metrics`] — accuracy and confusion matrices.
+//!
+//! The LookHD contribution itself (lookup-based encoding, counter training,
+//! model compression) lives in the companion `lookhd` crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use hdc::classifier::{HdcClassifier, HdcConfig};
+//!
+//! // A tiny two-class problem: low feature values vs high feature values.
+//! let xs: Vec<Vec<f64>> = (0..20)
+//!     .map(|i| vec![if i % 2 == 0 { 0.1 } else { 0.9 }; 6])
+//!     .collect();
+//! let ys: Vec<usize> = (0..20).map(|i| i % 2).collect();
+//!
+//! let config = HdcConfig::new().with_dim(512).with_q(4);
+//! let clf = HdcClassifier::fit(&config, &xs, &ys)?;
+//! assert_eq!(clf.predict(&[0.1; 6])?, 0);
+//! assert_eq!(clf.predict(&[0.9; 6])?, 1);
+//! # Ok::<(), hdc::HdcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod classifier;
+pub mod cluster;
+pub mod encoding;
+mod error;
+pub mod hv;
+pub mod levels;
+pub mod metrics;
+pub mod model;
+pub mod noise;
+pub mod persist;
+pub mod quantize;
+pub mod sequence;
+pub mod train;
+
+pub use error::{HdcError, Result};

@@ -1,0 +1,149 @@
+//! Classification metrics: accuracy and confusion matrices.
+
+use crate::error::{HdcError, Result};
+
+/// Fraction of predictions matching the reference labels.
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidDataset`] if the slices are empty or differ
+/// in length.
+///
+/// # Examples
+///
+/// ```
+/// let acc = hdc::metrics::accuracy(&[0, 1, 1], &[0, 1, 0])?;
+/// assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> Result<f64> {
+    if predictions.is_empty() {
+        return Err(HdcError::invalid_dataset("cannot score zero predictions"));
+    }
+    if predictions.len() != labels.len() {
+        return Err(HdcError::invalid_dataset(format!(
+            "{} predictions but {} labels",
+            predictions.len(),
+            labels.len()
+        )));
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| p == y)
+        .count();
+    Ok(correct as f64 / predictions.len() as f64)
+}
+
+/// A `k × k` confusion matrix; rows are true labels, columns predictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/label slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] for empty or mismatched slices
+    /// and [`HdcError::UnknownClass`] for labels `≥ n_classes`.
+    pub fn from_predictions(
+        predictions: &[usize],
+        labels: &[usize],
+        n_classes: usize,
+    ) -> Result<Self> {
+        if predictions.is_empty() || predictions.len() != labels.len() {
+            return Err(HdcError::invalid_dataset(
+                "predictions and labels must be equal-length and non-empty",
+            ));
+        }
+        let mut counts = vec![0usize; n_classes * n_classes];
+        for (&p, &y) in predictions.iter().zip(labels) {
+            if p >= n_classes || y >= n_classes {
+                return Err(HdcError::UnknownClass {
+                    label: p.max(y),
+                    n_classes,
+                });
+            }
+            counts[y * n_classes + p] += 1;
+        }
+        Ok(Self { n_classes, counts })
+    }
+
+    /// Count of samples with true label `truth` predicted as `pred`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is `≥ n_classes`.
+    pub fn count(&self, truth: usize, pred: usize) -> usize {
+        assert!(truth < self.n_classes && pred < self.n_classes);
+        self.counts[truth * self.n_classes + pred]
+    }
+
+    /// Number of classes `k`.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Overall accuracy derived from the matrix diagonal.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.n_classes).map(|i| self.count(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class recall (diagonal over row sum); `None` when a class has no
+    /// samples.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: usize = (0..self.n_classes).map(|j| self.count(class, j)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / row as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]).unwrap(), 1.0);
+        assert_eq!(accuracy(&[0, 0], &[1, 1]).unwrap(), 0.0);
+        assert!(accuracy(&[], &[]).is_err());
+        assert!(accuracy(&[1], &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_accuracy() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 1, 1, 0], &[0, 1, 0, 0], 2).unwrap();
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.count(1, 0), 0);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(cm.n_classes(), 2);
+    }
+
+    #[test]
+    fn recall_handles_empty_rows() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0], 3).unwrap();
+        assert_eq!(cm.recall(0), Some(1.0));
+        assert_eq!(cm.recall(1), None);
+    }
+
+    #[test]
+    fn rejects_out_of_range_labels() {
+        assert!(matches!(
+            ConfusionMatrix::from_predictions(&[5], &[0], 2),
+            Err(HdcError::UnknownClass { .. })
+        ));
+    }
+}

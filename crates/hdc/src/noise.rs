@@ -1,0 +1,111 @@
+//! Noise injection for robustness studies.
+//!
+//! One of HDC's selling points (§I) is robustness to hardware noise and
+//! bit-level faults. These helpers corrupt stored hypervectors so tests and
+//! benches can measure how gracefully accuracy degrades.
+
+use rand::Rng;
+
+use crate::hv::{BipolarHv, DenseHv};
+use crate::model::ClassModel;
+
+/// Flips each dimension of a bipolar hypervector independently with
+/// probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn flip_bipolar<R: Rng + ?Sized>(hv: &mut BipolarHv, p: f64, rng: &mut R) {
+    assert!((0.0..=1.0).contains(&p), "flip probability must be in [0, 1]");
+    let idx: Vec<usize> = (0..hv.dim()).filter(|_| rng.gen_bool(p)).collect();
+    hv.flip(&idx);
+}
+
+/// Negates each element of a dense hypervector independently with
+/// probability `p` (models a sign-bit fault in sign-magnitude storage).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn flip_signs<R: Rng + ?Sized>(hv: &mut DenseHv, p: f64, rng: &mut R) {
+    assert!((0.0..=1.0).contains(&p), "flip probability must be in [0, 1]");
+    for v in hv.as_mut_slice() {
+        if rng.gen_bool(p) {
+            *v = -*v;
+        }
+    }
+}
+
+/// Applies [`flip_signs`] to every class of a model and refreshes its norms.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn corrupt_model<R: Rng + ?Sized>(model: &mut ClassModel, p: f64, rng: &mut R) {
+    let k = model.n_classes();
+    for label in 0..k {
+        let mut c = model.class(label).clone();
+        flip_signs(&mut c, p, rng);
+        // Replace by subtracting the old and adding the corrupted values.
+        let old = model.class(label).clone();
+        model.sub(label, &old).expect("label in range");
+        model.add(label, &c).expect("label in range");
+    }
+    model.refresh_norms();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flip_bipolar_rate_is_approximately_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let orig = BipolarHv::random(10_000, &mut rng);
+        let mut noisy = orig.clone();
+        flip_bipolar(&mut noisy, 0.1, &mut rng);
+        let flipped = orig.hamming(&noisy) as f64 / 10_000.0;
+        assert!((flipped - 0.1).abs() < 0.02, "flip rate {flipped}");
+    }
+
+    #[test]
+    fn flip_signs_zero_p_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v = DenseHv::from_vec(vec![1, -2, 3]);
+        let orig = v.clone();
+        flip_signs(&mut v, 0.0, &mut rng);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn flip_signs_one_p_negates_everything() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v = DenseHv::from_vec(vec![1, -2, 3]);
+        flip_signs(&mut v, 1.0, &mut rng);
+        assert_eq!(v.as_slice(), &[-1, 2, -3]);
+    }
+
+    #[test]
+    fn small_noise_preserves_predictions() {
+        // HDC robustness: 1% sign faults should not change the winner on
+        // well-separated classes.
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = BipolarHv::random(4000, &mut rng);
+        let b = BipolarHv::random(4000, &mut rng);
+        let mut model = ClassModel::from_classes(vec![DenseHv::from(&a), DenseHv::from(&b)]).unwrap();
+        let query = DenseHv::from(&a);
+        assert_eq!(model.predict(&query).unwrap(), 0);
+        corrupt_model(&mut model, 0.01, &mut rng);
+        assert_eq!(model.predict(&query).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn rejects_invalid_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v = DenseHv::zeros(4);
+        flip_signs(&mut v, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,166 @@
+//! Binary (de)serialization of trained models.
+//!
+//! Embedded deployments flash a trained model into device storage; this
+//! module provides a tiny versioned little-endian format for
+//! [`DenseHv`] and [`ClassModel`] with no external dependencies.
+//!
+//! Format (`HDC1`): magic, then `u32` counts followed by `i32` payloads,
+//! all little-endian.
+
+use std::io::{self, Read, Write};
+
+use crate::hv::DenseHv;
+use crate::model::ClassModel;
+
+const MAGIC: &[u8; 4] = b"HDC1";
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Writes a dense hypervector.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_dense<W: Write>(w: &mut W, hv: &DenseHv) -> io::Result<()> {
+    write_u32(w, hv.dim() as u32)?;
+    for &v in hv.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a dense hypervector written by [`write_dense`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a malformed stream and propagates I/O errors.
+pub fn read_dense<R: Read>(r: &mut R) -> io::Result<DenseHv> {
+    let dim = read_u32(r)? as usize;
+    if dim == 0 {
+        return Err(invalid("zero-dimensional hypervector"));
+    }
+    let mut values = Vec::with_capacity(dim);
+    let mut buf = [0u8; 4];
+    for _ in 0..dim {
+        r.read_exact(&mut buf)?;
+        values.push(i32::from_le_bytes(buf));
+    }
+    Ok(DenseHv::from_vec(values))
+}
+
+/// Writes a class model (magic + class count + class hypervectors).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_model<W: Write>(w: &mut W, model: &ClassModel) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(w, model.n_classes() as u32)?;
+    for c in model.classes() {
+        write_dense(w, c)?;
+    }
+    Ok(())
+}
+
+/// Reads a class model written by [`write_model`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a wrong magic, class/dimension mismatch, or a
+/// truncated stream.
+pub fn read_model<R: Read>(r: &mut R) -> io::Result<ClassModel> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(invalid("bad magic: not an HDC1 model"));
+    }
+    let k = read_u32(r)? as usize;
+    if k == 0 {
+        return Err(invalid("model with zero classes"));
+    }
+    let classes: Vec<DenseHv> = (0..k).map(|_| read_dense(r)).collect::<io::Result<_>>()?;
+    ClassModel::from_classes(classes).map_err(|e| invalid(&e.to_string()))
+}
+
+/// Serializes a model to a byte vector.
+pub fn model_to_bytes(model: &ClassModel) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + model.n_classes() * (4 + model.dim() * 4));
+    write_model(&mut out, model).expect("writing to a Vec cannot fail");
+    out
+}
+
+/// Deserializes a model from bytes.
+///
+/// # Errors
+///
+/// Same as [`read_model`].
+pub fn model_from_bytes(bytes: &[u8]) -> io::Result<ClassModel> {
+    read_model(&mut io::Cursor::new(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> ClassModel {
+        ClassModel::from_classes(vec![
+            DenseHv::from_vec(vec![1, -2, 3, i32::MAX]),
+            DenseHv::from_vec(vec![0, 5, -7, i32::MIN]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn model_round_trips() {
+        let model = toy_model();
+        let bytes = model_to_bytes(&model);
+        let back = model_from_bytes(&bytes).unwrap();
+        assert_eq!(back.n_classes(), 2);
+        for c in 0..2 {
+            assert_eq!(back.class(c), model.class(c));
+        }
+    }
+
+    #[test]
+    fn dense_round_trips() {
+        let hv = DenseHv::from_vec(vec![-1, 0, 42]);
+        let mut buf = Vec::new();
+        write_dense(&mut buf, &hv).unwrap();
+        let back = read_dense(&mut io::Cursor::new(&buf)).unwrap();
+        assert_eq!(back, hv);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = model_to_bytes(&toy_model());
+        bytes[0] = b'X';
+        assert!(model_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let bytes = model_to_bytes(&toy_model());
+        assert!(model_from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(model_from_bytes(&bytes[..6]).is_err());
+    }
+
+    #[test]
+    fn predictions_survive_round_trip() {
+        let model = toy_model();
+        let back = model_from_bytes(&model_to_bytes(&model)).unwrap();
+        let q = DenseHv::from_vec(vec![1, -2, 3, 0]);
+        assert_eq!(model.predict(&q).unwrap(), back.predict(&q).unwrap());
+    }
+}

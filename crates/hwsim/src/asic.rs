@@ -1,0 +1,139 @@
+//! A fixed-function ASIC projection (§I: "All proposed optimizations are
+//! general and can be implemented on any digital processor, including an
+//! ASIC chip").
+//!
+//! The model projects the FPGA design onto a standard-cell ASIC with the
+//! usual technology scaling: higher clock, denser logic (more parallel
+//! lanes in the same area class), and far lower energy per operation.
+//! Per-op energies follow published 28/45 nm arithmetic figures
+//! (int16 add ≈ 0.05 pJ, int16 multiply ≈ 0.8 pJ at 45 nm, plus SRAM
+//! access energy), making the ASIC the energy-floor reference point the
+//! paper alludes to.
+
+use crate::opcounts::OpCounts;
+use crate::report::CostEstimate;
+
+/// Per-op-energy ASIC model with lane-limited throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsicModel {
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Parallel multiply lanes.
+    pub mult_lanes: u64,
+    /// Parallel add/negate/compare lanes.
+    pub add_lanes: u64,
+    /// On-chip SRAM bandwidth in bytes per cycle.
+    pub sram_bytes_per_cycle: f64,
+    /// Energy per integer multiply (joules).
+    pub energy_per_mult: f64,
+    /// Energy per add/negate/compare (joules).
+    pub energy_per_add: f64,
+    /// Energy per SRAM byte (joules).
+    pub energy_per_byte: f64,
+    /// Leakage/clock-tree power (watts).
+    pub static_power_w: f64,
+}
+
+impl AsicModel {
+    /// A 45 nm-class embedded accelerator: 1 GHz, 256 multipliers,
+    /// 8192 adder lanes, 64 B/cycle SRAM.
+    pub fn embedded_45nm() -> Self {
+        Self {
+            clock_hz: 1e9,
+            mult_lanes: 256,
+            add_lanes: 8192,
+            sram_bytes_per_cycle: 64.0,
+            energy_per_mult: 0.8e-12,
+            energy_per_add: 0.05e-12,
+            energy_per_byte: 1.2e-12,
+            static_power_w: 0.05,
+        }
+    }
+
+    /// Cycles for an operation mix on the lane pools.
+    pub fn cycles(&self, ops: &OpCounts) -> f64 {
+        let mult_cycles = ops.mults as f64 / self.mult_lanes as f64;
+        let add_ops = ops.adds + ops.negations + ops.compares;
+        let add_cycles = add_ops as f64 / self.add_lanes as f64;
+        let mem_cycles = ops.mem_bytes as f64 / self.sram_bytes_per_cycle;
+        mult_cycles.max(add_cycles).max(mem_cycles) + 16.0
+    }
+
+    /// Executes an operation mix: lane-limited time, per-op energy.
+    pub fn execute(&self, ops: &OpCounts) -> CostEstimate {
+        let seconds = self.cycles(ops) / self.clock_hz;
+        let add_ops = ops.adds + ops.negations + ops.compares;
+        let dynamic = ops.mults as f64 * self.energy_per_mult
+            + add_ops as f64 * self.energy_per_add
+            + ops.mem_bytes as f64 * self.energy_per_byte;
+        CostEstimate::new(seconds, dynamic + seconds * self.static_power_w)
+    }
+}
+
+impl Default for AsicModel {
+    fn default() -> Self {
+        Self::embedded_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuModel;
+    use crate::fpga::{FpgaModel, FpgaPhase};
+    use crate::workload::WorkloadShape;
+
+    fn speech_shape() -> WorkloadShape {
+        WorkloadShape {
+            n_features: 617,
+            q: 4,
+            dim: 2000,
+            n_classes: 26,
+            r: 5,
+            max_classes_per_vector: 12,
+            train_samples: 1560,
+            retrain_epochs: 10,
+            avg_updates_per_epoch: 150,
+        }
+    }
+
+    #[test]
+    fn asic_beats_fpga_beats_cpu_on_energy() {
+        let shape = speech_shape();
+        let work = shape.lookhd_inference();
+        let asic = AsicModel::embedded_45nm().execute(&work);
+        let fpga = FpgaModel::kc705().execute_as(&work, FpgaPhase::LookHdInference);
+        let cpu = CpuModel::cortex_a53().execute(&work);
+        assert!(asic.joules < fpga.joules, "ASIC must beat FPGA energy");
+        assert!(fpga.joules < cpu.joules, "FPGA must beat CPU energy");
+    }
+
+    #[test]
+    fn asic_is_fastest_per_query() {
+        let shape = speech_shape();
+        let work = shape.lookhd_inference();
+        let asic = AsicModel::embedded_45nm().execute(&work);
+        let cpu = CpuModel::cortex_a53().execute(&work);
+        assert!(asic.speedup_over(&cpu) > 10.0);
+    }
+
+    #[test]
+    fn time_is_lane_limited_energy_is_op_limited() {
+        let asic = AsicModel::embedded_45nm();
+        let a = OpCounts {
+            adds: 1_000_000,
+            ..OpCounts::zero()
+        };
+        let b = OpCounts {
+            adds: 2_000_000,
+            ..OpCounts::zero()
+        };
+        let ca = asic.execute(&a);
+        let cb = asic.execute(&b);
+        assert!(cb.seconds > ca.seconds);
+        // Dynamic energy doubles with the op count (minus static share).
+        let dyn_a = ca.joules - ca.seconds * asic.static_power_w;
+        let dyn_b = cb.joules - cb.seconds * asic.static_power_w;
+        assert!((dyn_b / dyn_a - 2.0).abs() < 1e-9);
+    }
+}

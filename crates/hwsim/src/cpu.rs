@@ -1,0 +1,137 @@
+//! ARM Cortex-A53 cost model (the paper's low-power CPU platform).
+//!
+//! A simple scalar in-order model: each primitive op class has a
+//! cycles-per-op coefficient, memory traffic is bandwidth-limited, and the
+//! whole core burns a constant active power. Coefficients are calibrated to
+//! an A53 at 1.2 GHz running optimized C++ (§VI-A: ARM Cortex A53, power
+//! measured with a Hioki 3334): int multiply ≈ 3 cycles, simple ALU ops
+//! retire ~1/cycle, random table reads cost a cache-ish latency, and
+//! streaming bandwidth is a few bytes per cycle.
+
+use crate::opcounts::OpCounts;
+use crate::report::CostEstimate;
+
+/// Cycle/energy coefficients of a low-power in-order CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Active power in watts.
+    pub active_power_w: f64,
+    /// Cycles per integer multiply.
+    pub cycles_per_mult: f64,
+    /// Cycles per add/sub.
+    pub cycles_per_add: f64,
+    /// Cycles per compare.
+    pub cycles_per_compare: f64,
+    /// Cycles per sign negation (conditional negate).
+    pub cycles_per_negation: f64,
+    /// Cycles per random-access row lookup (address computation + first
+    /// access latency; the row body is charged through `mem_bytes`).
+    pub cycles_per_lookup: f64,
+    /// Streaming memory throughput in bytes per cycle.
+    pub bytes_per_cycle: f64,
+}
+
+impl CpuModel {
+    /// An ARM Cortex-A53 @ 1.2 GHz, ~1.5 W active.
+    pub fn cortex_a53() -> Self {
+        Self {
+            clock_hz: 1.2e9,
+            active_power_w: 1.5,
+            cycles_per_mult: 3.0,
+            cycles_per_add: 1.0,
+            cycles_per_compare: 1.0,
+            cycles_per_negation: 1.0,
+            cycles_per_lookup: 15.0,
+            bytes_per_cycle: 4.0,
+        }
+    }
+
+    /// Total cycles for an operation mix: compute cycles plus
+    /// bandwidth-limited memory cycles (they overlap imperfectly on an
+    /// in-order core, so we charge the larger of the two plus half the
+    /// smaller).
+    pub fn cycles(&self, ops: &OpCounts) -> f64 {
+        let compute = ops.mults as f64 * self.cycles_per_mult
+            + ops.adds as f64 * self.cycles_per_add
+            + ops.compares as f64 * self.cycles_per_compare
+            + ops.negations as f64 * self.cycles_per_negation
+            + ops.lookups as f64 * self.cycles_per_lookup;
+        let memory = ops.mem_bytes as f64 / self.bytes_per_cycle;
+        compute.max(memory) + 0.5 * compute.min(memory)
+    }
+
+    /// Executes an operation mix, returning time and energy.
+    pub fn execute(&self, ops: &OpCounts) -> CostEstimate {
+        let seconds = self.cycles(ops) / self.clock_hz;
+        CostEstimate::new(seconds, seconds * self.active_power_w)
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self::cortex_a53()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adds_only(n: u64) -> OpCounts {
+        OpCounts {
+            adds: n,
+            ..OpCounts::zero()
+        }
+    }
+
+    #[test]
+    fn time_scales_linearly_with_work() {
+        let cpu = CpuModel::cortex_a53();
+        let t1 = cpu.execute(&adds_only(1_000_000)).seconds;
+        let t2 = cpu.execute(&adds_only(2_000_000)).seconds;
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let cpu = CpuModel::cortex_a53();
+        let c = cpu.execute(&adds_only(1_200_000));
+        assert!((c.joules - c.seconds * 1.5).abs() < 1e-15);
+        // 1.2M adds at 1 cycle each on 1.2 GHz ≈ 1 ms.
+        assert!((c.seconds - 1e-3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mults_cost_more_than_adds() {
+        let cpu = CpuModel::cortex_a53();
+        let mults = OpCounts {
+            mults: 1000,
+            ..OpCounts::zero()
+        };
+        assert!(cpu.cycles(&mults) > cpu.cycles(&adds_only(1000)));
+    }
+
+    #[test]
+    fn memory_bound_work_is_bandwidth_limited() {
+        let cpu = CpuModel::cortex_a53();
+        let streaming = OpCounts {
+            adds: 10,
+            mem_bytes: 40_000_000,
+            ..OpCounts::zero()
+        };
+        // 40 MB at 4 B/cycle = 10M cycles dominates the 10 adds.
+        assert!(cpu.cycles(&streaming) >= 1e7);
+    }
+
+    #[test]
+    fn lookup_latency_is_charged() {
+        let cpu = CpuModel::cortex_a53();
+        let lookups = OpCounts {
+            lookups: 100,
+            ..OpCounts::zero()
+        };
+        assert_eq!(cpu.cycles(&lookups), 1500.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! NVIDIA GTX 1080 cost model (the paper's Table III comparison point).
+//!
+//! A throughput model: the GPU sustains an enormous integer-op rate and
+//! memory bandwidth but pays a per-phase kernel-launch overhead and a very
+//! high power draw. This reproduces Table III's shape: the GPU is a bit
+//! faster than the FPGA baseline on raw throughput, LookHD still edges it
+//! out on time, and the energy gap is enormous (two orders of magnitude).
+
+use crate::opcounts::OpCounts;
+use crate::report::CostEstimate;
+
+/// A throughput-class accelerator model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Sustained integer operations per second (all op classes pooled —
+    /// the TensorFlow kernels the paper uses are ALU-bound).
+    pub ops_per_second: f64,
+    /// Sustained memory bandwidth in bytes per second.
+    pub bytes_per_second: f64,
+    /// Fixed overhead per invoked phase (kernel launches + transfers).
+    pub phase_overhead_s: f64,
+    /// Board power in watts while busy.
+    pub power_w: f64,
+}
+
+impl GpuModel {
+    /// A GTX 1080: ~8.9 TFLOP/s peak → ~2.5 T sustained int-ops/s under
+    /// TensorFlow, 320 GB/s GDDR5X, 180 W board power, ~60 µs of launch
+    /// and staging overhead per phase.
+    pub fn gtx1080() -> Self {
+        Self {
+            ops_per_second: 2.5e12,
+            bytes_per_second: 3.2e11,
+            phase_overhead_s: 60e-6,
+            power_w: 180.0,
+        }
+    }
+
+    /// Executes an operation mix as one fused phase.
+    pub fn execute(&self, ops: &OpCounts) -> CostEstimate {
+        let compute = ops.total_ops() as f64 / self.ops_per_second;
+        let memory = ops.mem_bytes as f64 / self.bytes_per_second;
+        let seconds = compute.max(memory) + self.phase_overhead_s;
+        CostEstimate::new(seconds, seconds * self.power_w)
+    }
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        Self::gtx1080()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuModel;
+    use crate::fpga::FpgaModel;
+    use crate::workload::WorkloadShape;
+
+    fn speech_shape() -> WorkloadShape {
+        WorkloadShape {
+            n_features: 617,
+            q: 4,
+            dim: 2000,
+            n_classes: 26,
+            r: 5,
+            max_classes_per_vector: 12,
+            train_samples: 1560,
+            retrain_epochs: 10,
+            avg_updates_per_epoch: 150,
+        }
+    }
+
+    #[test]
+    fn gpu_is_fast_but_power_hungry() {
+        let shape = speech_shape();
+        let gpu = GpuModel::gtx1080().execute(&shape.baseline_training());
+        let cpu = CpuModel::cortex_a53().execute(&shape.baseline_training());
+        assert!(gpu.speedup_over(&cpu) > 100.0, "GPU should crush the A53");
+        // …but per-joule it is far worse than the FPGA.
+        let fpga = FpgaModel::kc705().execute(&shape.baseline_training());
+        assert!(
+            fpga.energy_efficiency_over(&gpu) > 5.0,
+            "FPGA should be much more energy-efficient than GPU"
+        );
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_phases() {
+        let gpu = GpuModel::gtx1080();
+        let tiny = OpCounts {
+            adds: 100,
+            ..OpCounts::zero()
+        };
+        let t = gpu.execute(&tiny).seconds;
+        assert!((t - 60e-6).abs() / 60e-6 < 0.01, "tiny phase should be all overhead: {t}");
+    }
+
+    #[test]
+    fn large_phases_amortize_overhead() {
+        let gpu = GpuModel::gtx1080();
+        let big = OpCounts {
+            adds: 2_500_000_000_000,
+            ..OpCounts::zero()
+        };
+        let t = gpu.execute(&big).seconds;
+        assert!((t - 1.0).abs() < 0.01, "1s of compute expected: {t}");
+    }
+
+    #[test]
+    fn memory_bound_phases_limited_by_bandwidth() {
+        let gpu = GpuModel::gtx1080();
+        let streaming = OpCounts {
+            adds: 10,
+            mem_bytes: 320_000_000_000,
+            ..OpCounts::zero()
+        };
+        assert!((gpu.execute(&streaming).seconds - 1.0).abs() < 0.01);
+    }
+}

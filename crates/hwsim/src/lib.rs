@@ -1,0 +1,63 @@
+//! # lookhd-hwsim — analytic hardware cost models for the LookHD evaluation
+//!
+//! The paper evaluates LookHD on a Kintex-7 KC705 FPGA, an ARM Cortex-A53,
+//! and (for Table III) a GTX 1080 GPU. None of that hardware is available
+//! here, so this crate models the three platforms analytically:
+//!
+//! * [`opcounts`] — platform-neutral primitive operation counts;
+//! * [`workload`] — per-phase op counts of the baseline HDC and LookHD
+//!   pipelines, derived operation-for-operation from the `hdc`/`lookhd`
+//!   implementations;
+//! * [`cpu`] — a scalar in-order A53 model (cycles per op + bandwidth);
+//! * [`asic`] — a fixed-function ASIC projection (the §I "including an
+//!   ASIC chip" energy-floor reference);
+//! * [`fpga`] — the §V pipelined dataflow model: DSP/LUT/BRAM lane pools,
+//!   resource-utilization estimates (Fig. 16), BRAM feasibility (Table I),
+//!   and activity-scaled power;
+//! * [`gpu`] — a throughput + launch-overhead GTX 1080 model;
+//! * [`pipeline`] — a discrete stage-by-stage dataflow simulator that
+//!   cross-checks the analytic window arithmetic from first principles;
+//! * [`report`] — [`report::CostEstimate`] with speedup / energy-efficiency
+//!   / EDP comparisons and geometric means.
+//!
+//! Coefficients live in each model's constructor with their justification;
+//! EXPERIMENTS.md reports paper-vs-model for every ratio. The models claim
+//! *shape* fidelity (who wins, by what order, where crossovers fall) — not
+//! absolute silicon numbers.
+//!
+//! ## Example
+//!
+//! ```
+//! use lookhd_hwsim::workload::WorkloadShape;
+//! use lookhd_hwsim::fpga::FpgaModel;
+//!
+//! let shape = WorkloadShape {
+//!     n_features: 617, q: 4, dim: 2000, n_classes: 26, r: 5,
+//!     max_classes_per_vector: 12, train_samples: 1000,
+//!     retrain_epochs: 10, avg_updates_per_epoch: 100,
+//! };
+//! let fpga = FpgaModel::kc705();
+//! let baseline = fpga.execute(&shape.baseline_training());
+//! let lookhd = fpga.execute(&shape.lookhd_training());
+//! assert!(lookhd.speedup_over(&baseline) > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asic;
+pub mod cpu;
+pub mod fpga;
+pub mod gpu;
+pub mod opcounts;
+pub mod pipeline;
+pub mod report;
+pub mod workload;
+
+pub use asic::AsicModel;
+pub use cpu::CpuModel;
+pub use fpga::{FpgaDevice, FpgaModel, FpgaPhase, ResourceUsage};
+pub use gpu::GpuModel;
+pub use opcounts::OpCounts;
+pub use report::{geomean, CostEstimate};
+pub use workload::WorkloadShape;

@@ -1,0 +1,127 @@
+//! Architecture-neutral operation counts.
+//!
+//! Every algorithm phase (encoding, training, associative search,
+//! retraining) is described by how many primitive operations it performs;
+//! the platform models in [`crate::cpu`], [`crate::fpga`], and
+//! [`crate::gpu`] then turn counts into time and energy. Keeping the counts
+//! platform-independent is what lets one workload description drive the
+//! paper's CPU/FPGA/GPU comparisons consistently.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Primitive operation counts for one algorithm phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Integer multiplications (DSP work on the FPGA).
+    pub mults: u64,
+    /// Integer additions/subtractions (LUT/FF adder trees).
+    pub adds: u64,
+    /// Comparisons (quantization level search, argmax).
+    pub compares: u64,
+    /// Sign negations (hardware "negation blocks"; free-ish muxes).
+    pub negations: u64,
+    /// Random-access table lookups (BRAM/cache reads of whole rows).
+    pub lookups: u64,
+    /// Bytes moved from memory (row fetches, model streaming).
+    pub mem_bytes: u64,
+}
+
+impl OpCounts {
+    /// The all-zero count.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Total arithmetic operations (excludes memory traffic).
+    pub fn total_ops(&self) -> u64 {
+        self.mults + self.adds + self.compares + self.negations + self.lookups
+    }
+
+    /// Scales every count by `n` (e.g. per-sample → per-epoch).
+    pub fn scaled(&self, n: u64) -> Self {
+        Self {
+            mults: self.mults * n,
+            adds: self.adds * n,
+            compares: self.compares * n,
+            negations: self.negations * n,
+            lookups: self.lookups * n,
+            mem_bytes: self.mem_bytes * n,
+        }
+    }
+}
+
+impl Add for OpCounts {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            mults: self.mults + rhs.mults,
+            adds: self.adds + rhs.adds,
+            compares: self.compares + rhs.compares,
+            negations: self.negations + rhs.negations,
+            lookups: self.lookups + rhs.lookups,
+            mem_bytes: self.mem_bytes + rhs.mem_bytes,
+        }
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for OpCounts {
+    type Output = Self;
+
+    fn mul(self, rhs: u64) -> Self {
+        self.scaled(rhs)
+    }
+}
+
+impl Sum for OpCounts {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OpCounts {
+        OpCounts {
+            mults: 1,
+            adds: 2,
+            compares: 3,
+            negations: 4,
+            lookups: 5,
+            mem_bytes: 6,
+        }
+    }
+
+    #[test]
+    fn arithmetic_composes() {
+        let a = sample();
+        let b = a + a;
+        assert_eq!(b.mults, 2);
+        assert_eq!(b.mem_bytes, 12);
+        assert_eq!(a.scaled(3).adds, 6);
+        assert_eq!((a * 3).adds, 6);
+        let mut c = a;
+        c += a;
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn total_ops_excludes_memory() {
+        assert_eq!(sample().total_ops(), 15);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: OpCounts = (0..4).map(|_| sample()).sum();
+        assert_eq!(total, sample().scaled(4));
+    }
+}

@@ -1,0 +1,135 @@
+//! Cost estimates and comparison helpers (speedup, energy efficiency, EDP).
+
+use std::fmt;
+
+/// A platform-level cost estimate for one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Execution time in seconds.
+    pub seconds: f64,
+    /// Energy in joules.
+    pub joules: f64,
+}
+
+impl CostEstimate {
+    /// Creates an estimate, validating both components are finite and
+    /// non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite inputs.
+    pub fn new(seconds: f64, joules: f64) -> Self {
+        assert!(seconds.is_finite() && seconds >= 0.0, "invalid seconds {seconds}");
+        assert!(joules.is_finite() && joules >= 0.0, "invalid joules {joules}");
+        Self { seconds, joules }
+    }
+
+    /// Energy-delay product (J·s), the Fig. 15b metric.
+    pub fn edp(&self) -> f64 {
+        self.joules * self.seconds
+    }
+
+    /// `other.seconds / self.seconds` — how much faster `self` is.
+    pub fn speedup_over(&self, other: &CostEstimate) -> f64 {
+        other.seconds / self.seconds
+    }
+
+    /// `other.joules / self.joules` — how much more energy-efficient
+    /// `self` is.
+    pub fn energy_efficiency_over(&self, other: &CostEstimate) -> f64 {
+        other.joules / self.joules
+    }
+
+    /// `other.edp() / self.edp()` — EDP improvement of `self`.
+    pub fn edp_improvement_over(&self, other: &CostEstimate) -> f64 {
+        other.edp() / self.edp()
+    }
+
+    /// Sums component-wise (sequential phases).
+    pub fn plus(&self, other: &CostEstimate) -> CostEstimate {
+        CostEstimate {
+            seconds: self.seconds + other.seconds,
+            joules: self.joules + other.joules,
+        }
+    }
+
+    /// Scales both components by `n` (e.g. per-query → per-batch).
+    pub fn scaled(&self, n: f64) -> CostEstimate {
+        CostEstimate {
+            seconds: self.seconds * n,
+            joules: self.joules * n,
+        }
+    }
+}
+
+impl fmt::Display for CostEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3e} s / {:.3e} J", self.seconds, self.joules)
+    }
+}
+
+/// Geometric mean of a ratio series — the "on average, X× faster" numbers
+/// the paper reports across the five applications.
+///
+/// # Panics
+///
+/// Panics if `ratios` is empty or contains a non-positive value.
+pub fn geomean(ratios: &[f64]) -> f64 {
+    assert!(!ratios.is_empty(), "geomean of empty slice");
+    assert!(
+        ratios.iter().all(|&r| r > 0.0 && r.is_finite()),
+        "geomean requires positive finite ratios: {ratios:?}"
+    );
+    let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_directionally_correct() {
+        let fast = CostEstimate::new(1.0, 2.0);
+        let slow = CostEstimate::new(4.0, 10.0);
+        assert_eq!(fast.speedup_over(&slow), 4.0);
+        assert_eq!(fast.energy_efficiency_over(&slow), 5.0);
+        assert_eq!(fast.edp_improvement_over(&slow), 20.0);
+    }
+
+    #[test]
+    fn composition_helpers() {
+        let a = CostEstimate::new(1.0, 2.0);
+        let b = CostEstimate::new(0.5, 1.0);
+        let sum = a.plus(&b);
+        assert_eq!(sum.seconds, 1.5);
+        assert_eq!(sum.joules, 3.0);
+        let scaled = a.scaled(3.0);
+        assert_eq!(scaled.seconds, 3.0);
+        assert_eq!(scaled.joules, 6.0);
+        assert_eq!(a.edp(), 2.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 16.0]) - 8.0).abs() < 1e-12);
+        assert!((geomean(&[7.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean")]
+    fn geomean_rejects_empty() {
+        let _ = geomean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid seconds")]
+    fn cost_estimate_validates() {
+        let _ = CostEstimate::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", CostEstimate::new(1.0, 1.0)).is_empty());
+    }
+}

@@ -1,0 +1,398 @@
+//! Workload shapes and per-phase operation counts for the baseline HDC and
+//! LookHD pipelines (the §II / §III / §IV algorithms as cost descriptors).
+//!
+//! The counts mirror the Rust implementations in the `hdc` and `lookhd`
+//! crates operation-for-operation; unit tests in those crates pin the
+//! algorithms, and tests here pin the count formulas against small
+//! hand-computed cases.
+
+use crate::opcounts::OpCounts;
+
+/// Static shape of one classification workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadShape {
+    /// Number of input features `n`.
+    pub n_features: usize,
+    /// Quantization levels `q`.
+    pub q: usize,
+    /// Hypervector dimensionality `D`.
+    pub dim: usize,
+    /// Number of classes `k`.
+    pub n_classes: usize,
+    /// LookHD chunk size `r` (ignored by baseline phases).
+    pub r: usize,
+    /// Classes folded per compressed vector (ignored by baseline phases;
+    /// `k` ⇒ fully compressed single vector).
+    pub max_classes_per_vector: usize,
+    /// Training-set size.
+    pub train_samples: usize,
+    /// Retraining epochs.
+    pub retrain_epochs: usize,
+    /// Average model updates (mispredictions) per retraining epoch.
+    pub avg_updates_per_epoch: usize,
+}
+
+impl WorkloadShape {
+    /// Number of LookHD chunks `m = ⌈n/r⌉`.
+    pub fn n_chunks(&self) -> usize {
+        self.n_features.div_ceil(self.r)
+    }
+
+    /// Number of compressed vectors `⌈k / max_per_vec⌉`.
+    pub fn n_vectors(&self) -> usize {
+        self.n_classes.div_ceil(self.max_classes_per_vector)
+    }
+
+    /// Rows of one full chunk table, `q^r` (saturating).
+    pub fn table_rows(&self) -> u64 {
+        (self.q as u64).saturating_pow(self.r as u32)
+    }
+
+    /// Bits per pre-stored chunk-hypervector element: values span
+    /// `[-r, r]`, so `⌈log2(2r+1)⌉` bits.
+    pub fn lut_element_bits(&self) -> u32 {
+        (2 * self.r as u64 + 1).next_power_of_two().trailing_zeros()
+    }
+
+    /// Bytes of one pre-stored chunk hypervector row.
+    fn lut_row_bytes(&self) -> u64 {
+        (self.dim as u64 * self.lut_element_bits() as u64).div_ceil(8)
+    }
+
+    /// Total bits of the materialized chunk tables: the shared full-`r`
+    /// table plus (when `r ∤ n`) the smaller partial-final-chunk table.
+    pub fn table_bits(&self) -> u64 {
+        let d = self.dim as u64;
+        let bits = self.lut_element_bits() as u64;
+        let mut total = self.table_rows().saturating_mul(d * bits);
+        let rem = self.n_features % self.r;
+        if rem != 0 {
+            total = total.saturating_add((self.q as u64).saturating_pow(rem as u32) * d * bits);
+        }
+        total
+    }
+
+    // ------------------------------------------------------------------
+    // Baseline HDC phases (§II)
+    // ------------------------------------------------------------------
+
+    /// Baseline per-sample encoding (Eq. 1): quantize every feature
+    /// (subtract + compare against `q` levels) and bundle `n` rotated
+    /// `D`-bit level hypervectors.
+    pub fn baseline_encode(&self) -> OpCounts {
+        let (n, q, d) = (self.n_features as u64, self.q as u64, self.dim as u64);
+        OpCounts {
+            mults: 0,
+            adds: n * q + n * d,
+            compares: n * q,
+            negations: 0,
+            lookups: n,
+            mem_bytes: n * d / 8, // one D-bit level hypervector per feature
+        }
+    }
+
+    /// Baseline associative search for one query against `k` classes
+    /// (dot products, classes pre-normalized, §IV-A).
+    pub fn baseline_search(&self) -> OpCounts {
+        let (k, d) = (self.n_classes as u64, self.dim as u64);
+        OpCounts {
+            mults: k * d,
+            adds: k * d,
+            compares: k,
+            negations: 0,
+            lookups: 0,
+            mem_bytes: k * d * 4, // stream the full int32 model
+        }
+    }
+
+    /// Baseline initial training: encode every sample and bundle it into
+    /// its class (`+D` adds each).
+    pub fn baseline_initial_training(&self) -> OpCounts {
+        let per_sample = self.baseline_encode()
+            + OpCounts {
+                adds: self.dim as u64,
+                mem_bytes: self.dim as u64 * 4,
+                ..OpCounts::zero()
+            };
+        per_sample.scaled(self.train_samples as u64)
+    }
+
+    /// One baseline retraining epoch: re-encode + search every sample,
+    /// two `D`-wide updates per misprediction.
+    pub fn baseline_retrain_epoch(&self) -> OpCounts {
+        let per_sample = self.baseline_encode() + self.baseline_search();
+        let updates = OpCounts {
+            adds: 2 * self.dim as u64,
+            mem_bytes: 2 * self.dim as u64 * 4,
+            ..OpCounts::zero()
+        }
+        .scaled(self.avg_updates_per_epoch as u64);
+        per_sample.scaled(self.train_samples as u64) + updates
+    }
+
+    /// Full baseline training: initial pass plus all retraining epochs.
+    pub fn baseline_training(&self) -> OpCounts {
+        self.baseline_initial_training()
+            + self.baseline_retrain_epoch().scaled(self.retrain_epochs as u64)
+    }
+
+    /// Full baseline inference for one query: encode + search.
+    pub fn baseline_inference(&self) -> OpCounts {
+        self.baseline_encode() + self.baseline_search()
+    }
+
+    // ------------------------------------------------------------------
+    // LookHD phases (§III, §IV)
+    // ------------------------------------------------------------------
+
+    /// LookHD per-sample encoding: quantize, fetch `m` pre-stored rows,
+    /// aggregate with position-key negations (Eq. 3).
+    pub fn lookhd_encode(&self) -> OpCounts {
+        let (n, q, d) = (self.n_features as u64, self.q as u64, self.dim as u64);
+        let m = self.n_chunks() as u64;
+        OpCounts {
+            mults: 0,
+            adds: n * q + m * d,
+            compares: n * q,
+            negations: m * d,
+            lookups: m,
+            mem_bytes: m * self.lut_row_bytes(),
+        }
+    }
+
+    /// LookHD compressed associative search for one query: `D`
+    /// multiplications per combined vector, sign-flip accumulation per
+    /// class (§IV-B).
+    pub fn lookhd_search(&self) -> OpCounts {
+        let (k, d) = (self.n_classes as u64, self.dim as u64);
+        let g = self.n_vectors() as u64;
+        OpCounts {
+            mults: g * d,
+            adds: k * d,
+            compares: k,
+            negations: k * d,
+            lookups: 0,
+            mem_bytes: g * d * 4, // only the combined vectors are streamed
+        }
+    }
+
+    /// LookHD per-sample *training* work: quantization plus `m` counter
+    /// increments — no hypervector arithmetic (§III-D).
+    pub fn lookhd_observe(&self) -> OpCounts {
+        let (n, q) = (self.n_features as u64, self.q as u64);
+        let m = self.n_chunks() as u64;
+        OpCounts {
+            mults: 0,
+            adds: n * q + m,
+            compares: n * q,
+            negations: 0,
+            lookups: m,
+            mem_bytes: m * 8, // read-modify-write a counter word
+        }
+    }
+
+    /// Rows per chunk that actually carry non-zero counters, bounded by
+    /// both the table size and the per-class sample count.
+    pub fn touched_rows(&self) -> u64 {
+        let k = self.n_classes as u64;
+        let per_class_samples = (self.train_samples as u64).div_ceil(k);
+        self.table_rows().min(per_class_samples)
+    }
+
+    /// LookHD training finalize (once): scan the `q^r` counter array of
+    /// every chunk/class, multiply the non-zero counters into pre-stored
+    /// rows, and aggregate chunks with the position keys.
+    pub fn lookhd_finalize(&self) -> OpCounts {
+        let d = self.dim as u64;
+        let m = self.n_chunks() as u64;
+        let k = self.n_classes as u64;
+        let weighted_rows = k * m * self.touched_rows();
+        let counter_scan = k * m * self.table_rows();
+        OpCounts {
+            mults: weighted_rows * d,
+            adds: weighted_rows * d + k * m * d + counter_scan, // accumulate + aggregation + scan
+            compares: counter_scan, // zero tests while scanning
+            negations: k * m * d,   // position-key binding
+            lookups: weighted_rows,
+            mem_bytes: weighted_rows * self.lut_row_bytes() + counter_scan * 4,
+        }
+    }
+
+    /// LookHD *initial* training (the Fig. 13 phase): stream every sample
+    /// through the counters, then finalize. No retraining, no compression.
+    pub fn lookhd_initial_training(&self) -> OpCounts {
+        self.lookhd_observe().scaled(self.train_samples as u64) + self.lookhd_finalize()
+    }
+
+    /// One LookHD retraining epoch on the compressed model: encode +
+    /// compressed search per sample, two keyed `D`-wide updates per
+    /// misprediction (§IV-D).
+    pub fn lookhd_retrain_epoch(&self) -> OpCounts {
+        let per_sample = self.lookhd_encode() + self.lookhd_search();
+        let updates = OpCounts {
+            adds: 2 * self.dim as u64,
+            negations: 2 * self.dim as u64,
+            mem_bytes: 2 * self.dim as u64 * 4,
+            ..OpCounts::zero()
+        }
+        .scaled(self.avg_updates_per_epoch as u64);
+        per_sample.scaled(self.train_samples as u64) + updates
+    }
+
+    /// Full LookHD training: counter pass + finalize + compression +
+    /// retraining epochs.
+    pub fn lookhd_training(&self) -> OpCounts {
+        let compress = OpCounts {
+            // normalize + key-bind-accumulate each class once
+            mults: (self.n_classes * self.dim) as u64,
+            adds: (self.n_classes * self.dim) as u64,
+            negations: (self.n_classes * self.dim) as u64,
+            mem_bytes: (self.n_classes * self.dim * 4) as u64,
+            ..OpCounts::zero()
+        };
+        self.lookhd_observe().scaled(self.train_samples as u64)
+            + self.lookhd_finalize()
+            + compress
+            + self.lookhd_retrain_epoch().scaled(self.retrain_epochs as u64)
+    }
+
+    /// Full LookHD inference for one query: lookup encode + compressed
+    /// search.
+    pub fn lookhd_inference(&self) -> OpCounts {
+        self.lookhd_encode() + self.lookhd_search()
+    }
+
+    /// Model sizes in bytes: `(baseline, lookhd_compressed)` under the
+    /// paper's accounting (combined int32 vectors; `P'` keys regenerate
+    /// from a seed).
+    pub fn model_bytes(&self) -> (u64, u64) {
+        let base = (self.n_classes * self.dim * 4) as u64;
+        let compressed = (self.n_vectors() * self.dim * 4) as u64;
+        (base, compressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> WorkloadShape {
+        WorkloadShape {
+            n_features: 10,
+            q: 4,
+            dim: 100,
+            n_classes: 3,
+            r: 5,
+            max_classes_per_vector: 12,
+            train_samples: 30,
+            retrain_epochs: 2,
+            avg_updates_per_epoch: 5,
+        }
+    }
+
+    #[test]
+    fn derived_geometry() {
+        let s = shape();
+        assert_eq!(s.n_chunks(), 2);
+        assert_eq!(s.n_vectors(), 1);
+        assert_eq!(s.table_rows(), 1024);
+        // values in [-5, 5] → 11 states → 4 bits
+        assert_eq!(s.lut_element_bits(), 4);
+    }
+
+    #[test]
+    fn baseline_encode_counts_by_hand() {
+        let s = shape();
+        let c = s.baseline_encode();
+        assert_eq!(c.adds, 10 * 4 + 10 * 100);
+        assert_eq!(c.compares, 40);
+        assert_eq!(c.lookups, 10);
+        assert_eq!(c.mem_bytes, 10 * 100 / 8);
+        assert_eq!(c.mults, 0);
+    }
+
+    #[test]
+    fn lookhd_encode_is_much_cheaper_than_baseline() {
+        // SPEECH shape: the m ≪ n advantage (§VI-D).
+        let s = WorkloadShape {
+            n_features: 617,
+            q: 4,
+            dim: 2000,
+            n_classes: 26,
+            r: 5,
+            max_classes_per_vector: 12,
+            train_samples: 1000,
+            retrain_epochs: 10,
+            avg_updates_per_epoch: 100,
+        };
+        let base = s.baseline_encode();
+        let look = s.lookhd_encode();
+        assert!(base.adds > 4 * look.adds, "base {} vs look {}", base.adds, look.adds);
+    }
+
+    #[test]
+    fn lookhd_search_mults_independent_of_k_when_single_vector() {
+        let mut s = shape();
+        s.max_classes_per_vector = 64;
+        s.n_classes = 2;
+        let m2 = s.lookhd_search().mults;
+        s.n_classes = 48;
+        let m48 = s.lookhd_search().mults;
+        assert_eq!(m2, m48, "single-vector mults must not grow with k");
+        // Baseline mults do grow linearly.
+        assert_eq!(s.baseline_search().mults, 48 * 100);
+    }
+
+    #[test]
+    fn lookhd_observe_has_no_hypervector_arithmetic() {
+        let s = shape();
+        let c = s.lookhd_observe();
+        assert_eq!(c.mults, 0);
+        assert!(c.adds < (s.dim as u64), "per-sample adds must be D-independent");
+    }
+
+    #[test]
+    fn finalize_touched_rows_bounded_by_samples() {
+        let mut s = shape();
+        // 30 samples / 3 classes = 10 < 1024 rows.
+        let f = s.lookhd_finalize();
+        assert_eq!(f.mults, 3 * 2 * 10 * 100);
+        // Tiny table: bound switches to q^r.
+        s.q = 2;
+        s.r = 2;
+        let f = s.lookhd_finalize();
+        assert_eq!(f.mults, 3 * 5 * 4 * 100);
+    }
+
+    #[test]
+    fn training_totals_compose() {
+        let s = shape();
+        let total = s.baseline_training();
+        let manual = s.baseline_initial_training() + s.baseline_retrain_epoch().scaled(2);
+        assert_eq!(total, manual);
+        let lt = s.lookhd_training();
+        assert!(lt.total_ops() > s.lookhd_finalize().total_ops());
+    }
+
+    #[test]
+    fn model_bytes_match_paper_accounting() {
+        let mut s = shape();
+        s.n_classes = 26;
+        s.max_classes_per_vector = 12;
+        let (base, comp) = s.model_bytes();
+        assert_eq!(base, 26 * 100 * 4);
+        assert_eq!(comp, 3 * 100 * 4);
+        s.max_classes_per_vector = 26;
+        assert_eq!(s.model_bytes().1, 100 * 4);
+    }
+
+    #[test]
+    fn retrain_epoch_includes_update_cost() {
+        let s = shape();
+        let with = s.lookhd_retrain_epoch();
+        let mut s0 = s;
+        s0.avg_updates_per_epoch = 0;
+        let without = s0.lookhd_retrain_epoch();
+        assert_eq!(with.adds - without.adds, 5 * 2 * 100);
+    }
+}

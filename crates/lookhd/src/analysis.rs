@@ -1,0 +1,234 @@
+//! Compression-quality analysis over whole datasets.
+//!
+//! The §IV-C / §VI-G discussion turns on two distributions: the *margin*
+//! between the best and runner-up class scores (how much headroom each
+//! query has) and the Eq. 5 *noise/signal* ratio the compression injects.
+//! This module computes both over a labelled evaluation set, which is how
+//! the Fig. 15 crossover ("no loss below a group-size threshold") can be
+//! predicted without running the sweep.
+
+use hdc::hv::DenseHv;
+use hdc::model::ClassModel;
+use hdc::{HdcError, Result};
+
+use crate::compress::CompressedModel;
+
+/// Summary statistics of a sample of real values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Computes statistics over a non-empty sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] for an empty sample.
+    pub fn of(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(HdcError::invalid_dataset("cannot summarize zero values"));
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Ok(Self {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
+    }
+}
+
+/// Dataset-level compression diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressionAnalysis {
+    /// Normalized margins `(s₁ − s₂)/|s₁|` of the *uncompressed* model:
+    /// how far the winner leads the runner-up per query.
+    pub margins: Stats,
+    /// Own-class noise/signal ratios of the compressed scores (Eq. 5).
+    pub noise_to_signal: Stats,
+    /// Fraction of queries whose uncompressed winner survives compression.
+    pub agreement: f64,
+    /// Fraction of queries with margins smaller than the mean noise ratio —
+    /// the at-risk population the compression may flip.
+    pub at_risk: f64,
+}
+
+/// Analyzes how compression interacts with a model's score margins over a
+/// set of encoded queries.
+///
+/// `model` must be the model `compressed` was built from.
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidDataset`] for an empty query set and
+/// propagates model errors.
+pub fn analyze_compression(
+    model: &ClassModel,
+    compressed: &CompressedModel,
+    queries: &[DenseHv],
+) -> Result<CompressionAnalysis> {
+    if queries.is_empty() {
+        return Err(HdcError::invalid_dataset("cannot analyze zero queries"));
+    }
+    let mut margins = Vec::with_capacity(queries.len());
+    let mut ratios = Vec::with_capacity(queries.len());
+    let mut agree = 0usize;
+    for query in queries {
+        let scores = model.scores(query)?;
+        let (top, second) = top_two(&scores);
+        let margin = if scores[top].abs() > 0.0 {
+            (scores[top] - scores[second]) / scores[top].abs()
+        } else {
+            0.0
+        };
+        margins.push(margin);
+        let sn = compressed.signal_noise(model, query)?;
+        ratios.push(sn[top].noise_to_signal().min(10.0));
+        if compressed.predict(query)? == top {
+            agree += 1;
+        }
+    }
+    let noise_stats = Stats::of(&ratios)?;
+    let at_risk = margins
+        .iter()
+        .filter(|&&m| m < noise_stats.mean)
+        .count() as f64
+        / margins.len() as f64;
+    Ok(CompressionAnalysis {
+        margins: Stats::of(&margins)?,
+        noise_to_signal: noise_stats,
+        agreement: agree as f64 / queries.len() as f64,
+        at_risk,
+    })
+}
+
+fn top_two(scores: &[f64]) -> (usize, usize) {
+    let mut top = 0usize;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > scores[top] {
+            top = i;
+        }
+    }
+    let mut second = usize::MAX;
+    for (i, &s) in scores.iter().enumerate() {
+        if i == top {
+            continue;
+        }
+        if second == usize::MAX || s > scores[second] {
+            second = i;
+        }
+    }
+    if second == usize::MAX {
+        second = top;
+    }
+    (top, second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::CompressionConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_model(k: usize, d: usize, seed: u64) -> ClassModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classes = (0..k)
+            .map(|_| DenseHv::from_vec((0..d).map(|_| rng.gen_range(-30..=30)).collect()))
+            .collect();
+        ClassModel::from_classes(classes).unwrap()
+    }
+
+    #[test]
+    fn stats_are_correct_on_a_known_sample() {
+        let s = Stats::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(Stats::of(&[]).is_err());
+    }
+
+    #[test]
+    fn orthogonal_classes_have_high_agreement_and_low_risk() {
+        let model = random_model(4, 4000, 1);
+        let compressed = CompressedModel::compress(
+            &model,
+            &CompressionConfig::new().with_decorrelate(false),
+        )
+        .unwrap();
+        let queries: Vec<DenseHv> = (0..4).map(|c| model.class(c).clone()).collect();
+        let analysis = analyze_compression(&model, &compressed, &queries).unwrap();
+        assert_eq!(analysis.agreement, 1.0, "{analysis:?}");
+        assert!(analysis.margins.mean > 0.5, "{analysis:?}");
+        assert!(analysis.noise_to_signal.mean < 0.2, "{analysis:?}");
+        assert!(analysis.at_risk < 0.5, "{analysis:?}");
+    }
+
+    #[test]
+    fn risk_grows_with_group_size() {
+        let model = random_model(24, 1000, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let queries: Vec<DenseHv> = (0..24)
+            .map(|c| {
+                let noisy: Vec<i32> = model
+                    .class(c)
+                    .as_slice()
+                    .iter()
+                    .map(|&v| v + rng.gen_range(-10..=10))
+                    .collect();
+                DenseHv::from_vec(noisy)
+            })
+            .collect();
+        let small = CompressedModel::compress(
+            &model,
+            &CompressionConfig::new()
+                .with_decorrelate(false)
+                .with_max_classes_per_vector(4),
+        )
+        .unwrap();
+        let large = CompressedModel::compress(
+            &model,
+            &CompressionConfig::new()
+                .with_decorrelate(false)
+                .with_max_classes_per_vector(24),
+        )
+        .unwrap();
+        let a_small = analyze_compression(&model, &small, &queries).unwrap();
+        let a_large = analyze_compression(&model, &large, &queries).unwrap();
+        assert!(
+            a_large.noise_to_signal.mean > a_small.noise_to_signal.mean,
+            "noise must grow with group size: {a_small:?} vs {a_large:?}"
+        );
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let model = random_model(2, 64, 4);
+        let compressed =
+            CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
+        assert!(analyze_compression(&model, &compressed, &[]).is_err());
+    }
+
+    #[test]
+    fn top_two_handles_single_class() {
+        assert_eq!(top_two(&[5.0]), (0, 0));
+        assert_eq!(top_two(&[1.0, 3.0, 2.0]), (1, 2));
+    }
+}

@@ -1,0 +1,659 @@
+//! The end-to-end LookHD classifier: equalized quantization → lookup
+//! encoding → counter training → model compression → compressed retraining.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hdc::encoding::Encode;
+use hdc::hv::DenseHv;
+use hdc::levels::{LevelMemory, LevelScheme};
+use hdc::metrics::accuracy;
+use hdc::model::ClassModel;
+use hdc::quantize::{Quantization, Quantizer};
+use hdc::train::TrainReport;
+use hdc::{HdcError, Result};
+
+use crate::chunking::ChunkLayout;
+use crate::compress::{CompressedModel, CompressionConfig};
+use crate::encoder::LookupEncoder;
+use crate::lut::TableMode;
+use crate::retrain::{retrain_compressed, UpdateRule};
+use crate::trainer::CounterTrainer;
+
+const CLASSIFIER_MAGIC: &[u8; 4] = b"LKS1";
+
+/// Hyperparameters of the full LookHD pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookHdConfig {
+    /// Hypervector dimensionality `D` (paper default for efficiency: 2000).
+    pub dim: usize,
+    /// Quantization levels `q` (paper: 2 or 4 suffice with equalization).
+    pub q: usize,
+    /// Chunk size `r` (paper: 5 suffices for most applications).
+    pub r: usize,
+    /// Quantization rule (LookHD default: equalized).
+    pub quantization: Quantization,
+    /// Level hypervector scheme.
+    pub level_scheme: LevelScheme,
+    /// Lookup-table storage mode; `None` selects automatically by size.
+    pub table_mode: Option<TableMode>,
+    /// Compression settings (`P'` keys, decorrelation, grouping).
+    pub compression: CompressionConfig,
+    /// Maximum retraining epochs on the compressed model.
+    pub retrain_epochs: usize,
+    /// Fraction of the training set held out to validate compression and
+    /// stop retraining (§II-B's "accuracy stabilized over the validation
+    /// data, which is a part of the training dataset"). Set to 0.0 to
+    /// disable validation-guided fitting.
+    pub validation_fraction: f64,
+    /// Shrink the compression group size below
+    /// [`CompressionConfig::max_classes_per_vector`] when validation shows
+    /// quality loss — the paper's exact-mode prescription ("each compressed
+    /// hypervector needs to keep the information of less than 12 classes
+    /// … to eliminate the quality loss", §VI-G).
+    pub adaptive_grouping: bool,
+    /// Retraining update arithmetic.
+    pub update_rule: UpdateRule,
+    /// RNG seed (level memory, position keys).
+    pub seed: u64,
+}
+
+impl LookHdConfig {
+    /// Paper defaults: `D = 2000`, `q = 4` equalized levels, `r = 5`,
+    /// compression with decorrelation, 10 retraining epochs.
+    pub fn new() -> Self {
+        Self {
+            dim: 2000,
+            q: 4,
+            r: 5,
+            quantization: Quantization::Equalized,
+            level_scheme: LevelScheme::RandomFlips,
+            table_mode: None,
+            compression: CompressionConfig::new(),
+            retrain_epochs: 10,
+            validation_fraction: 0.15,
+            adaptive_grouping: true,
+            update_rule: UpdateRule::Exact,
+            seed: 0x10_0c_4d,
+        }
+    }
+
+    /// Sets the hypervector dimensionality `D`.
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Sets the quantization level count `q`.
+    pub fn with_q(mut self, q: usize) -> Self {
+        self.q = q;
+        self
+    }
+
+    /// Sets the chunk size `r`.
+    pub fn with_r(mut self, r: usize) -> Self {
+        self.r = r;
+        self
+    }
+
+    /// Sets the quantization rule.
+    pub fn with_quantization(mut self, quantization: Quantization) -> Self {
+        self.quantization = quantization;
+        self
+    }
+
+    /// Sets the level hypervector scheme.
+    pub fn with_level_scheme(mut self, level_scheme: LevelScheme) -> Self {
+        self.level_scheme = level_scheme;
+        self
+    }
+
+    /// Forces a lookup-table storage mode.
+    pub fn with_table_mode(mut self, mode: TableMode) -> Self {
+        self.table_mode = Some(mode);
+        self
+    }
+
+    /// Sets the compression configuration.
+    pub fn with_compression(mut self, compression: CompressionConfig) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// Sets the maximum retraining epochs.
+    pub fn with_retrain_epochs(mut self, retrain_epochs: usize) -> Self {
+        self.retrain_epochs = retrain_epochs;
+        self
+    }
+
+    /// Sets the held-out validation fraction (0.0 disables).
+    pub fn with_validation_fraction(mut self, fraction: f64) -> Self {
+        self.validation_fraction = fraction;
+        self
+    }
+
+    /// Enables or disables validation-guided group-size shrinking.
+    pub fn with_adaptive_grouping(mut self, on: bool) -> Self {
+        self.adaptive_grouping = on;
+        self
+    }
+
+    /// Sets the retraining update rule.
+    pub fn with_update_rule(mut self, update_rule: UpdateRule) -> Self {
+        self.update_rule = update_rule;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for LookHdConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A trained LookHD classifier.
+///
+/// # Examples
+///
+/// ```
+/// use lookhd::classifier::{LookHdClassifier, LookHdConfig};
+///
+/// // Two 10-feature classes: low values vs high values.
+/// let xs: Vec<Vec<f64>> = (0..30)
+///     .map(|i| vec![if i % 2 == 0 { 0.2 } else { 0.8 }; 10])
+///     .collect();
+/// let ys: Vec<usize> = (0..30).map(|i| i % 2).collect();
+/// let config = LookHdConfig::new().with_dim(512).with_q(2).with_r(5);
+/// let clf = LookHdClassifier::fit(&config, &xs, &ys)?;
+/// assert_eq!(clf.predict(&[0.2; 10])?, 0);
+/// assert_eq!(clf.predict(&[0.8; 10])?, 1);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LookHdClassifier {
+    encoder: LookupEncoder,
+    /// The uncompressed trained model (kept for analysis and ablations).
+    model: ClassModel,
+    compressed: CompressedModel,
+    report: TrainReport,
+    /// The RNG seed levels/positions were generated from (for persistence).
+    seed: u64,
+}
+
+impl LookHdClassifier {
+    /// Trains the full pipeline on `features`/`labels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] for empty/ragged data and
+    /// [`HdcError::InvalidConfig`] for invalid hyperparameters.
+    pub fn fit(config: &LookHdConfig, features: &[Vec<f64>], labels: &[usize]) -> Result<Self> {
+        if !(0.0..0.9).contains(&config.validation_fraction) {
+            return Err(HdcError::invalid_config(
+                "validation_fraction",
+                "must be in [0, 0.9)",
+            ));
+        }
+        let encoder = Self::build_encoder(config, features)?;
+        let n_classes = labels.iter().max().map_or(0, |m| m + 1);
+        // Counter-based training (encoding-free per sample).
+        let mut model = CounterTrainer::fit(&encoder, features, labels, n_classes)?;
+        model.refresh_norms();
+
+        // Validation split for compression tuning and retraining stop
+        // (§II-B: a part of the training dataset).
+        let n_val = if config.validation_fraction > 0.0 {
+            ((features.len() as f64) * config.validation_fraction).round() as usize
+        } else {
+            0
+        };
+        let use_validation = n_val >= 8 && features.len() - n_val >= 8;
+
+        let needs_encodes = config.retrain_epochs > 0 || (use_validation && config.adaptive_grouping);
+        let encoded = if needs_encodes {
+            encoder.encode_batch(features)?
+        } else {
+            Vec::new()
+        };
+
+        // Compress; optionally shrink the group size until validation shows
+        // no quality loss vs the uncompressed model (exact mode, §VI-G).
+        let mut compressed = CompressedModel::compress(&model, &config.compression)?;
+        if use_validation && config.adaptive_grouping {
+            let cut = features.len() - n_val;
+            let (val_encoded, val_labels) = (&encoded[cut..], &labels[cut..]);
+            let accuracy_of = |cm: &CompressedModel| -> Result<f64> {
+                let mut correct = 0usize;
+                for (h, &y) in val_encoded.iter().zip(val_labels) {
+                    if cm.predict(h)? == y {
+                        correct += 1;
+                    }
+                }
+                Ok(correct as f64 / val_encoded.len() as f64)
+            };
+            let mut reference = 0usize;
+            for (h, &y) in val_encoded.iter().zip(val_labels) {
+                if model.predict(h)? == y {
+                    reference += 1;
+                }
+            }
+            let reference = reference as f64 / val_encoded.len() as f64;
+            let tolerance = 0.015;
+            let start = config.compression.max_classes_per_vector;
+            let mut best = compressed;
+            if accuracy_of(&best)? + tolerance < reference {
+                for group in [8usize, 6, 4, 2, 1] {
+                    if group >= start {
+                        continue;
+                    }
+                    let candidate_cfg = config
+                        .compression
+                        .clone()
+                        .with_max_classes_per_vector(group);
+                    let candidate = CompressedModel::compress(&model, &candidate_cfg)?;
+                    let acc = accuracy_of(&candidate)?;
+                    best = candidate;
+                    if acc + tolerance >= reference {
+                        break;
+                    }
+                }
+            }
+            compressed = best;
+        }
+
+        // Retrain on the compressed model, rolling back to the best
+        // validation snapshot when a validation split is available.
+        let report = if config.retrain_epochs > 0 {
+            if use_validation {
+                let cut = features.len() - n_val;
+                crate::retrain::retrain_compressed_with_validation(
+                    &mut compressed,
+                    &encoded[..cut],
+                    &labels[..cut],
+                    &encoded[cut..],
+                    &labels[cut..],
+                    config.retrain_epochs,
+                    3,
+                    config.update_rule,
+                )?
+            } else {
+                retrain_compressed(
+                    &mut compressed,
+                    &encoded,
+                    labels,
+                    config.retrain_epochs,
+                    config.update_rule,
+                )?
+            }
+        } else {
+            TrainReport::default()
+        };
+        Ok(Self {
+            encoder,
+            model,
+            compressed,
+            report,
+            seed: config.seed,
+        })
+    }
+
+    /// Builds the fitted lookup encoder for a training set (quantizer fit
+    /// on all training feature values, as in the paper).
+    fn build_encoder(config: &LookHdConfig, features: &[Vec<f64>]) -> Result<LookupEncoder> {
+        if features.is_empty() {
+            return Err(HdcError::invalid_dataset("cannot train on zero samples"));
+        }
+        let n_features = features[0].len();
+        if features.iter().any(|f| f.len() != n_features) {
+            return Err(HdcError::invalid_dataset("ragged feature matrix"));
+        }
+        let layout = ChunkLayout::new(n_features, config.r.min(n_features), config.q)?;
+        let all_values: Vec<f64> = features.iter().flatten().copied().collect();
+        let quantizer = Quantizer::fit(config.quantization, &all_values, config.q)?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let levels = LevelMemory::generate(config.dim, config.q, config.level_scheme, &mut rng)?;
+        match config.table_mode {
+            Some(mode) => LookupEncoder::new(layout, &levels, quantizer, mode, config.seed),
+            None => {
+                // Auto: materialize up to 64 MiB, otherwise on-the-fly.
+                let probe = crate::lut::ChunkLut::auto(layout, &levels, 64 << 20)?;
+                LookupEncoder::new(layout, &levels, quantizer, probe.mode(), config.seed)
+            }
+        }
+    }
+
+    /// Predicts the class of a raw feature vector using the compressed
+    /// model (the deployment path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn predict(&self, features: &[f64]) -> Result<usize> {
+        let h = self.encoder.encode(features)?;
+        self.compressed.predict(&h)
+    }
+
+    /// Predicts using the *uncompressed* model (ablation / exact reference).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn predict_uncompressed(&self, features: &[f64]) -> Result<usize> {
+        let h = self.encoder.encode(features)?;
+        self.model.predict(&h)
+    }
+
+    /// Predicts a batch of feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first prediction error.
+    pub fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<usize>> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Accuracy over a labelled test set (compressed path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction/metric errors.
+    pub fn score(&self, features: &[Vec<f64>], labels: &[usize]) -> Result<f64> {
+        accuracy(&self.predict_batch(features)?, labels)
+    }
+
+    /// The lookup encoder.
+    pub fn encoder(&self) -> &LookupEncoder {
+        &self.encoder
+    }
+
+    /// The uncompressed trained model.
+    pub fn model(&self) -> &ClassModel {
+        &self.model
+    }
+
+    /// The compressed model used for inference.
+    pub fn compressed(&self) -> &CompressedModel {
+        &self.compressed
+    }
+
+    /// The compressed-retraining report.
+    pub fn report(&self) -> &TrainReport {
+        &self.report
+    }
+
+    /// Encodes a query without classifying it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn encode(&self, features: &[f64]) -> Result<DenseHv> {
+        self.encoder.encode(features)
+    }
+
+    /// Serializes the trained classifier (`LKS1` format): hyperparameters,
+    /// the fitted quantizer boundaries, the uncompressed model, and the
+    /// compressed model. Level and position hypervectors are *not* stored;
+    /// they regenerate deterministically from the seed, which keeps the
+    /// artifact close to the paper's deployable model size.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(CLASSIFIER_MAGIC);
+        let w32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
+        let layout = self.encoder.layout();
+        w32(&mut out, self.encoder.lut().levels().dim() as u32);
+        w32(&mut out, layout.q() as u32);
+        w32(&mut out, layout.r() as u32);
+        w32(&mut out, layout.n_features() as u32);
+        out.push(match self.encoder.quantizer().kind() {
+            Quantization::Linear => 0,
+            Quantization::Equalized => 1,
+        });
+        out.push(match self.encoder.lut().levels().scheme() {
+            LevelScheme::RandomFlips => 0,
+            LevelScheme::DisjointFlips => 1,
+        });
+        out.push(match self.encoder.lut().mode() {
+            crate::lut::TableMode::Materialized => 0,
+            crate::lut::TableMode::OnTheFly => 1,
+        });
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        let boundaries = self.encoder.quantizer().boundaries();
+        w32(&mut out, boundaries.len() as u32);
+        for &b in boundaries {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        let model_bytes = hdc::persist::model_to_bytes(&self.model);
+        w32(&mut out, model_bytes.len() as u32);
+        out.extend_from_slice(&model_bytes);
+        let compressed_bytes = self.compressed.to_bytes();
+        w32(&mut out, compressed_bytes.len() as u32);
+        out.extend_from_slice(&compressed_bytes);
+        out
+    }
+
+    /// Deserializes a classifier written by [`LookHdClassifier::to_bytes`],
+    /// regenerating level and position hypervectors from the stored seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] for a malformed stream.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let bad = |m: &str| HdcError::invalid_dataset(m.to_owned());
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            if *pos + n > bytes.len() {
+                return Err(HdcError::invalid_dataset("truncated classifier stream"));
+            }
+            let out = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(out)
+        };
+        if take(&mut pos, 4)? != CLASSIFIER_MAGIC {
+            return Err(bad("bad magic: not an LKS1 classifier"));
+        }
+        let u32v = |pos: &mut usize| -> Result<u32> {
+            Ok(u32::from_le_bytes(take(pos, 4)?.try_into().expect("len checked")))
+        };
+        let dim = u32v(&mut pos)? as usize;
+        let q = u32v(&mut pos)? as usize;
+        let r = u32v(&mut pos)? as usize;
+        let n_features = u32v(&mut pos)? as usize;
+        let quant_kind = match take(&mut pos, 1)?[0] {
+            0 => Quantization::Linear,
+            1 => Quantization::Equalized,
+            _ => return Err(bad("unknown quantization tag")),
+        };
+        let scheme = match take(&mut pos, 1)?[0] {
+            0 => LevelScheme::RandomFlips,
+            1 => LevelScheme::DisjointFlips,
+            _ => return Err(bad("unknown level-scheme tag")),
+        };
+        let table_mode = match take(&mut pos, 1)?[0] {
+            0 => crate::lut::TableMode::Materialized,
+            1 => crate::lut::TableMode::OnTheFly,
+            _ => return Err(bad("unknown table-mode tag")),
+        };
+        let seed = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("len checked"));
+        let n_boundaries = u32v(&mut pos)? as usize;
+        let mut boundaries = Vec::with_capacity(n_boundaries);
+        for _ in 0..n_boundaries {
+            boundaries.push(f64::from_le_bytes(
+                take(&mut pos, 8)?.try_into().expect("len checked"),
+            ));
+        }
+        let model_len = u32v(&mut pos)? as usize;
+        let model = hdc::persist::model_from_bytes(take(&mut pos, model_len)?)
+            .map_err(|e| bad(&format!("embedded model: {e}")))?;
+        let compressed_len = u32v(&mut pos)? as usize;
+        let compressed = CompressedModel::from_bytes(take(&mut pos, compressed_len)?)?;
+        // Rebuild the encoder deterministically.
+        let quantizer = Quantizer::from_boundaries(quant_kind, boundaries)?;
+        if quantizer.levels() != q {
+            return Err(bad("quantizer boundaries disagree with q"));
+        }
+        let layout = ChunkLayout::new(n_features, r, q)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let levels = LevelMemory::generate(dim, q, scheme, &mut rng)?;
+        let encoder = LookupEncoder::new(layout, &levels, quantizer, table_mode, seed)?;
+        Ok(Self {
+            encoder,
+            model,
+            compressed,
+            report: TrainReport::default(),
+            seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// `k` Gaussian-ish blobs over `n` features with a monotone non-linear
+    /// marginal (to give equalized quantization something to win on).
+    fn blobs(
+        n: usize,
+        k: usize,
+        per_class: usize,
+        noise: f64,
+        seed: u64,
+    ) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protos: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (c, p) in protos.iter().enumerate() {
+            for _ in 0..per_class {
+                let row: Vec<f64> = p
+                    .iter()
+                    .map(|&v| {
+                        let x: f64 = v + rng.gen_range(-noise..noise);
+                        x * x // skew the marginal
+                    })
+                    .collect();
+                xs.push(row);
+                ys.push(c);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn fit_predict_separable_three_class() {
+        let (xs, ys) = blobs(20, 3, 25, 0.05, 1);
+        let config = LookHdConfig::new().with_dim(1024).with_retrain_epochs(5);
+        let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+        let acc = clf.score(&xs, &ys).unwrap();
+        assert!(acc > 0.9, "train accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn compressed_and_uncompressed_agree_on_easy_data() {
+        let (xs, ys) = blobs(20, 3, 20, 0.03, 2);
+        let config = LookHdConfig::new().with_dim(2048).with_retrain_epochs(0);
+        let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+        let mut agree = 0;
+        for x in &xs {
+            if clf.predict(x).unwrap() == clf.predict_uncompressed(x).unwrap() {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree as f64 / xs.len() as f64 > 0.95,
+            "compression changed too many predictions: {agree}/{}",
+            xs.len()
+        );
+    }
+
+    #[test]
+    fn generalizes_to_held_out_samples() {
+        let (xs, ys) = blobs(30, 4, 30, 0.05, 3);
+        let (txs, tys) = blobs(30, 4, 8, 0.05, 3); // same protos (same seed)
+        let config = LookHdConfig::new().with_dim(1024).with_retrain_epochs(5);
+        let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+        let acc = clf.score(&txs, &tys).unwrap();
+        assert!(acc > 0.85, "test accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = blobs(15, 2, 10, 0.05, 4);
+        let config = LookHdConfig::new().with_dim(512).with_seed(11);
+        let a = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+        let b = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+        assert_eq!(a.predict_batch(&xs).unwrap(), b.predict_batch(&xs).unwrap());
+    }
+
+    #[test]
+    fn r_larger_than_n_is_clamped() {
+        let (xs, ys) = blobs(3, 2, 10, 0.05, 5);
+        let config = LookHdConfig::new().with_dim(256).with_r(10).with_q(2);
+        let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+        assert_eq!(clf.encoder().layout().r(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_data() {
+        let config = LookHdConfig::new().with_dim(128);
+        assert!(LookHdClassifier::fit(&config, &[], &[]).is_err());
+        let ragged = vec![vec![0.0; 5], vec![0.0; 4]];
+        assert!(LookHdClassifier::fit(&config, &ragged, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn config_builder_round_trips() {
+        let c = LookHdConfig::new()
+            .with_dim(4000)
+            .with_q(8)
+            .with_r(3)
+            .with_quantization(Quantization::Linear)
+            .with_level_scheme(LevelScheme::DisjointFlips)
+            .with_table_mode(TableMode::OnTheFly)
+            .with_compression(CompressionConfig::new().with_seed(5))
+            .with_retrain_epochs(2)
+            .with_update_rule(UpdateRule::PaperShift)
+            .with_seed(77);
+        assert_eq!(c.dim, 4000);
+        assert_eq!(c.q, 8);
+        assert_eq!(c.r, 3);
+        assert_eq!(c.quantization, Quantization::Linear);
+        assert_eq!(c.table_mode, Some(TableMode::OnTheFly));
+        assert_eq!(c.retrain_epochs, 2);
+        assert_eq!(c.update_rule, UpdateRule::PaperShift);
+        assert_eq!(c.seed, 77);
+        assert_eq!(LookHdConfig::default(), LookHdConfig::new());
+    }
+
+    #[test]
+    fn retraining_report_is_populated() {
+        let (xs, ys) = blobs(20, 3, 15, 0.1, 6);
+        let config = LookHdConfig::new().with_dim(512).with_retrain_epochs(4);
+        let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+        assert!(clf.report().epochs_run() >= 1);
+    }
+
+    #[test]
+    fn model_size_shrinks_with_compression() {
+        let (xs, ys) = blobs(20, 6, 10, 0.05, 7);
+        let config = LookHdConfig::new().with_dim(512).with_retrain_epochs(0);
+        let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+        assert!(clf.compressed().size_bytes() < clf.model().size_bytes());
+        // With adaptive grouping off, 6 classes compress into one vector.
+        let fixed = LookHdClassifier::fit(
+            &config.clone().with_adaptive_grouping(false),
+            &xs,
+            &ys,
+        )
+        .unwrap();
+        assert_eq!(fixed.model().size_bytes() / fixed.compressed().size_bytes(), 6);
+    }
+}

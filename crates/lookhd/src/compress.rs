@@ -1,0 +1,1103 @@
+//! Model compression (§IV): fold `k` class hypervectors into (near-)one.
+//!
+//! Each class `i` gets a random bipolar key `P'_i`; the compressed model is
+//! `C = Σ_i P'_i ⊙ C_i` (Eq. 4). A query `H` is scored against class `j` by
+//!
+//! ```text
+//! score_j = Σ_d P'_j[d] · H[d] · C[d]
+//!         = H·C_j  +  Σ_{i≠j} Σ_d (P'_j ⊙ P'_i)[d] · H[d] · C_i[d]
+//!           ^signal    ^cross-talk noise (≈ 0 for random keys)   (Eq. 5)
+//! ```
+//!
+//! so the `D` multiplications `H[d]·C[d]` are shared by *all* classes and
+//! each class costs only sign-flipped accumulation — the paper's inference
+//! speedup.
+//!
+//! ## Decorrelation (§IV-C)
+//!
+//! HDC class hypervectors are highly correlated (cosines 0.9–1.0, Fig. 8):
+//! level hypervectors are shared and neighbouring levels are similar, so
+//! every class carries a large common component. Cross-talk noise scales
+//! with `‖H ⊙ C_i‖`, so that common mass drowns the small score gaps.
+//! Compression therefore removes the common component from the *model*
+//! (`C'_i = C_i − C_ave·δ(C_i, C_ave)`) and — symmetrically — projects the
+//! common direction out of each *query* before scoring and updating. The
+//! query-side projection is the same `D`-wide multiply-accumulate the
+//! shared product already needs, so it does not change the §IV cost story.
+//!
+//! For `k` beyond [`CompressionConfig::max_classes_per_vector`] classes are
+//! packed into multiple combined vectors ("exact mode", §VI-G).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hdc::hv::{BipolarHv, DenseHv};
+use hdc::model::ClassModel;
+use hdc::{HdcError, Result};
+
+use crate::encoder::PositionKeys;
+
+/// How class hypervectors are magnitude-normalized before combination
+/// (the fixed-point analogue of the paper's `C'_i = C_i/‖C_i‖`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleMode {
+    /// Normalize every class to the *average* class norm. Keeps the model
+    /// at its natural magnitude so retraining updates (`± H`) act with a
+    /// sane effective learning rate. The default.
+    AverageNorm,
+    /// Normalize every class to a fixed integer norm.
+    Fixed(i32),
+}
+
+/// Configuration of the compression pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressionConfig {
+    /// Maximum classes folded into one combined hypervector. The paper
+    /// finds accuracy is preserved up to 12 (§VI-G); more classes spill
+    /// into additional vectors.
+    pub max_classes_per_vector: usize,
+    /// Apply the §IV-C decorrelation (model- and query-side).
+    pub decorrelate: bool,
+    /// Number of principal common directions removed when decorrelating.
+    /// Round 1 is (up to normalization) the paper's average-removal; extra
+    /// rounds deflate further shared structure, which matters when class
+    /// hypervectors are more correlated than the paper's datasets.
+    pub decorrelate_rounds: usize,
+    /// Class-magnitude normalization rule.
+    pub scale: ScaleMode,
+    /// RNG seed for the `P'` keys. Keys are regenerable from this seed, so
+    /// the paper's model-size accounting stores only the combined vectors.
+    pub seed: u64,
+}
+
+impl CompressionConfig {
+    /// Paper defaults: 12 classes per vector, decorrelation on,
+    /// average-norm scaling.
+    pub fn new() -> Self {
+        Self {
+            max_classes_per_vector: 12,
+            decorrelate: true,
+            decorrelate_rounds: 1,
+            scale: ScaleMode::AverageNorm,
+            seed: 0xC0_4F_5E,
+        }
+    }
+
+    /// Sets the per-vector class budget (1 ⇒ no compression).
+    pub fn with_max_classes_per_vector(mut self, m: usize) -> Self {
+        self.max_classes_per_vector = m;
+        self
+    }
+
+    /// Enables or disables decorrelation.
+    pub fn with_decorrelate(mut self, on: bool) -> Self {
+        self.decorrelate = on;
+        self
+    }
+
+    /// Sets how many principal common directions decorrelation removes.
+    pub fn with_decorrelate_rounds(mut self, rounds: usize) -> Self {
+        self.decorrelate_rounds = rounds.max(1);
+        self
+    }
+
+    /// Normalizes classes to a fixed integer norm instead of the average.
+    pub fn with_scale(mut self, scale: i32) -> Self {
+        self.scale = ScaleMode::Fixed(scale);
+        self
+    }
+
+    /// Sets the scale mode directly.
+    pub fn with_scale_mode(mut self, scale: ScaleMode) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the key seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for CompressionConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Removes the component common to all classes (§IV-C):
+/// `C'_i = C_i − C_ave · δ(C_i, C_ave)`.
+///
+/// Returns a new model with much lower pairwise class correlation (Fig. 8),
+/// which makes the compressed scores robust to cross-talk noise.
+///
+/// # Errors
+///
+/// Never fails for a valid model; the signature matches the other model
+/// transformations for composability.
+pub fn decorrelate(model: &ClassModel) -> Result<ClassModel> {
+    let ave = class_average(model);
+    let ave_norm = norm_f64(&ave);
+    let mut out = Vec::with_capacity(model.n_classes());
+    for c in model.classes() {
+        let c_norm = c.norm();
+        let cos = if ave_norm == 0.0 || c_norm == 0.0 {
+            0.0
+        } else {
+            dot_i32_f64(c.as_slice(), &ave) / (ave_norm * c_norm)
+        };
+        let values: Vec<i32> = c
+            .as_slice()
+            .iter()
+            .zip(&ave)
+            .map(|(&v, a)| (v as f64 - a * cos).round() as i32)
+            .collect();
+        out.push(DenseHv::from_vec(values));
+    }
+    ClassModel::from_classes(out)
+}
+
+/// Computes the top `rounds` principal common directions of the class
+/// matrix by power iteration with deflation, returning the (unit-norm)
+/// directions and the deflated class vectors.
+fn deflate_classes(model: &ClassModel, rounds: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let k = model.n_classes();
+    let d = model.dim();
+    let mut rows: Vec<Vec<f64>> = model
+        .classes()
+        .iter()
+        .map(|c| c.as_slice().iter().map(|&v| v as f64).collect())
+        .collect();
+    let mut directions = Vec::new();
+    for round in 0..rounds.min(k) {
+        // Start power iteration from the current mean (round 0 exactly
+        // reproduces the paper's average direction when it dominates).
+        let mut v = vec![0.0f64; d];
+        for row in &rows {
+            for (a, &x) in v.iter_mut().zip(row) {
+                *a += x;
+            }
+        }
+        if norm_f64(&v) < 1e-9 {
+            // Mean vanished (already centred); seed deterministically.
+            for (i, a) in v.iter_mut().enumerate() {
+                *a = if (i + round) % 2 == 0 { 1.0 } else { -1.0 };
+            }
+        }
+        for _ in 0..8 {
+            let n = norm_f64(&v);
+            if n < 1e-12 {
+                break;
+            }
+            for a in &mut v {
+                *a /= n;
+            }
+            // v ← Σ_i (c_i · v) c_i
+            let mut next = vec![0.0f64; d];
+            for row in &rows {
+                let proj: f64 = row.iter().zip(&v).map(|(x, y)| x * y).sum();
+                for (a, &x) in next.iter_mut().zip(row) {
+                    *a += proj * x;
+                }
+            }
+            v = next;
+        }
+        let n = norm_f64(&v);
+        if n < 1e-9 {
+            break;
+        }
+        for a in &mut v {
+            *a /= n;
+        }
+        // Deflate every class.
+        for row in &mut rows {
+            let proj: f64 = row.iter().zip(&v).map(|(x, y)| x * y).sum();
+            for (a, &dir) in row.iter_mut().zip(&v) {
+                *a -= proj * dir;
+            }
+        }
+        directions.push(v);
+    }
+    (directions, rows)
+}
+
+fn class_average(model: &ClassModel) -> Vec<f64> {
+    let k = model.n_classes() as f64;
+    let mut ave = vec![0.0f64; model.dim()];
+    for c in model.classes() {
+        for (a, &v) in ave.iter_mut().zip(c.as_slice()) {
+            *a += v as f64;
+        }
+    }
+    for a in &mut ave {
+        *a /= k;
+    }
+    ave
+}
+
+fn norm_f64(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn dot_i32_f64(a: &[i32], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, y)| x as f64 * y).sum()
+}
+
+/// Per-class signal/noise decomposition of a compressed score (Eq. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalNoise {
+    /// The true dot product `H · C_j` (after decorrelation/normalization,
+    /// with the query-side projection applied).
+    pub signal: f64,
+    /// The cross-talk residual `score_j − H·C_j`.
+    pub noise: f64,
+}
+
+impl SignalNoise {
+    /// `|noise| / |signal|`; `f64::INFINITY` when the signal is zero.
+    pub fn noise_to_signal(&self) -> f64 {
+        if self.signal == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.noise / self.signal).abs()
+        }
+    }
+}
+
+/// A compressed HDC model: one (or a few) combined hypervectors plus the
+/// per-class keys and, when decorrelation is on, the stored common
+/// direction used to whiten queries.
+#[derive(Debug, Clone)]
+pub struct CompressedModel {
+    config: CompressionConfig,
+    keys: PositionKeys,
+    /// Class labels per combined vector, in label order.
+    groups: Vec<Vec<usize>>,
+    /// Group index per class label.
+    group_of: Vec<usize>,
+    combined: Vec<DenseHv>,
+    /// Unit-norm common directions removed by decorrelation (empty when
+    /// decorrelation is disabled); queries are whitened against these.
+    directions: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+impl CompressedModel {
+    /// Compresses a trained model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if `max_classes_per_vector == 0`
+    /// or a fixed scale is non-positive.
+    pub fn compress(model: &ClassModel, config: &CompressionConfig) -> Result<Self> {
+        if config.max_classes_per_vector == 0 {
+            return Err(HdcError::invalid_config(
+                "max_classes_per_vector",
+                "must be at least 1",
+            ));
+        }
+        if let ScaleMode::Fixed(s) = config.scale {
+            if s <= 0 {
+                return Err(HdcError::invalid_config("scale", "must be positive"));
+            }
+        }
+        let (directions, prepared) = Self::prepare_classes(model, config)?;
+        let k = prepared.len();
+        let dim = model.dim();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let keys = PositionKeys::generate(k, dim, &mut rng);
+        let n_groups = k.div_ceil(config.max_classes_per_vector);
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+        let mut group_of = vec![0usize; k];
+        for (label, slot) in group_of.iter_mut().enumerate() {
+            let g = label / config.max_classes_per_vector;
+            groups[g].push(label);
+            *slot = g;
+        }
+        let mut combined = vec![DenseHv::zeros(dim); n_groups];
+        for (label, class) in prepared.iter().enumerate() {
+            combined[group_of[label]].add_bound_scaled(keys.key(label), class, 1);
+        }
+        Ok(Self {
+            config: config.clone(),
+            keys,
+            groups,
+            group_of,
+            combined,
+            directions,
+            dim,
+        })
+    }
+
+    /// The decorrelated, magnitude-normalized class hypervectors the
+    /// compression is built from, along with the removed common directions.
+    /// Deterministic, so analyses (Eq. 5 noise decomposition) can re-derive
+    /// them from the original model.
+    fn prepare_classes(
+        model: &ClassModel,
+        config: &CompressionConfig,
+    ) -> Result<(Vec<Vec<f64>>, Vec<DenseHv>)> {
+        // Deflating too many directions collapses the class-distinguishing
+        // subspace (k classes span at most k directions), so cap the rounds
+        // at k/4: small models get the paper's single average-removal,
+        // many-class models may deflate deeper.
+        let effective_rounds = config
+            .decorrelate_rounds
+            .clamp(1, (model.n_classes() / 4).max(1));
+        let (directions, rows) = if config.decorrelate {
+            deflate_classes(model, effective_rounds)
+        } else {
+            let rows = model
+                .classes()
+                .iter()
+                .map(|c| c.as_slice().iter().map(|&v| v as f64).collect())
+                .collect();
+            (Vec::new(), rows)
+        };
+        let norms: Vec<f64> = rows.iter().map(|r| norm_f64(r)).collect();
+        let target = match config.scale {
+            ScaleMode::Fixed(s) => s as f64,
+            ScaleMode::AverageNorm => {
+                let nonzero: Vec<f64> = norms.iter().copied().filter(|&n| n > 0.0).collect();
+                if nonzero.is_empty() {
+                    1.0
+                } else {
+                    nonzero.iter().sum::<f64>() / nonzero.len() as f64
+                }
+            }
+        };
+        let prepared = rows
+            .iter()
+            .zip(&norms)
+            .map(|(r, &n)| {
+                if n == 0.0 {
+                    DenseHv::from_vec(r.iter().map(|&v| v.round() as i32).collect())
+                } else {
+                    let s = target / n;
+                    DenseHv::from_vec(r.iter().map(|&v| (v * s).round() as i32).collect())
+                }
+            })
+            .collect();
+        Ok((directions, prepared))
+    }
+
+    /// Projects the stored common directions out of a query (no-op without
+    /// decorrelation). Returns the whitened query as `f64` values.
+    fn whiten(&self, query: &DenseHv) -> Vec<f64> {
+        let mut h: Vec<f64> = query.as_slice().iter().map(|&v| v as f64).collect();
+        for dir in &self.directions {
+            let proj: f64 = h.iter().zip(dir).map(|(x, y)| x * y).sum();
+            for (a, &d) in h.iter_mut().zip(dir) {
+                *a -= proj * d;
+            }
+        }
+        h
+    }
+
+    /// Like [`CompressedModel::whiten`] but rounded back to integers, for
+    /// model updates.
+    fn whiten_int(&self, query: &DenseHv) -> DenseHv {
+        DenseHv::from_vec(self.whiten(query).iter().map(|&x| x.round() as i32).collect())
+    }
+
+    /// Scores every class against a query: `D` multiplications per combined
+    /// vector (plus one `D`-wide projection when decorrelating), then
+    /// sign-flipped accumulation per class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on dimension disagreement.
+    pub fn scores(&self, query: &DenseHv) -> Result<Vec<f64>> {
+        if query.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.dim(),
+            });
+        }
+        let mut scores = vec![0.0f64; self.n_classes()];
+        if self.directions.is_empty() {
+            // Integer fast path (no whitening): exactly the Fig. 11
+            // datapath — shared products once, then per-class sign-flipped
+            // accumulation driven by the packed key words.
+            for (g, combined) in self.combined.iter().enumerate() {
+                let v: Vec<i64> = query
+                    .as_slice()
+                    .iter()
+                    .zip(combined.as_slice())
+                    .map(|(&hd, &c)| hd as i64 * c as i64)
+                    .collect();
+                for &label in &self.groups[g] {
+                    scores[label] = Self::signed_sum_int(&v, self.keys.key(label));
+                }
+            }
+        } else {
+            let h = self.whiten(query);
+            for (g, combined) in self.combined.iter().enumerate() {
+                // The shared product vector v = H ⊙ C (the only multiplies).
+                let v: Vec<f64> = h
+                    .iter()
+                    .zip(combined.as_slice())
+                    .map(|(&hd, &c)| hd * c as f64)
+                    .collect();
+                for &label in &self.groups[g] {
+                    scores[label] = Self::signed_sum_f64(&v, self.keys.key(label));
+                }
+            }
+        }
+        Ok(scores)
+    }
+
+    /// `Σ_d ±v[d]` with signs from the packed key words (bit 1 ⇔ −1),
+    /// computed as `Σv − 2·Σ_{negative dims} v` with a branchless masked
+    /// sum (one AND + ADD per element, fully vectorizable).
+    fn signed_sum_int(v: &[i64], key: &BipolarHv) -> f64 {
+        let total: i64 = v.iter().sum();
+        let mut negative: i64 = 0;
+        for (wi, &word) in key.words().iter().enumerate() {
+            let base = wi * 64;
+            let end = (base + 64).min(v.len());
+            let mut bits = word;
+            for &vd in &v[base..end] {
+                negative += vd & -((bits & 1) as i64);
+                bits >>= 1;
+            }
+        }
+        (total - 2 * negative) as f64
+    }
+
+    /// `Σ_d ±v[d]` for the whitened (f64) path, branchless via sign-bit
+    /// flips driven by the packed key word.
+    fn signed_sum_f64(v: &[f64], key: &BipolarHv) -> f64 {
+        let mut s = 0.0f64;
+        for (wi, &word) in key.words().iter().enumerate() {
+            let base = wi * 64;
+            let end = (base + 64).min(v.len());
+            let mut bits = word;
+            for &vd in &v[base..end] {
+                let sign = (bits & 1) << 63;
+                bits >>= 1;
+                s += f64::from_bits(vd.to_bits() ^ sign);
+            }
+        }
+        s
+    }
+
+    /// Predicts the best-matching class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on dimension disagreement.
+    pub fn predict(&self, query: &DenseHv) -> Result<usize> {
+        let scores = self.scores(query)?;
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, &s) in scores.iter().enumerate() {
+            if s > best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Eq. 5 decomposition for each class: compares the compressed score to
+    /// the exact dot product against the class's prepared hypervector.
+    ///
+    /// `model` must be the same model this was compressed from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on dimension disagreement.
+    pub fn signal_noise(&self, model: &ClassModel, query: &DenseHv) -> Result<Vec<SignalNoise>> {
+        let scores = self.scores(query)?;
+        let (_, prepared) = Self::prepare_classes(model, &self.config)?;
+        let h = self.whiten(query);
+        Ok(scores
+            .iter()
+            .zip(&prepared)
+            .map(|(&score, class)| {
+                let signal: f64 = h
+                    .iter()
+                    .zip(class.as_slice())
+                    .map(|(&hd, &c)| hd * c as f64)
+                    .sum();
+                SignalNoise {
+                    signal,
+                    noise: score - signal,
+                }
+            })
+            .collect())
+    }
+
+    /// Applies one retraining update `C += P'_correct ⊙ H − P'_wrong ⊙ H`
+    /// directly on the compressed model (§IV-D). The query is whitened with
+    /// the stored common direction first, keeping updates in the same
+    /// subspace the scores are computed in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::UnknownClass`] / [`HdcError::DimensionMismatch`]
+    /// on bad arguments.
+    pub fn update(&mut self, correct: usize, wrong: usize, query: &DenseHv) -> Result<()> {
+        self.check_update(correct, wrong, query)?;
+        let h = self.whiten_int(query);
+        let gc = self.group_of[correct];
+        let gw = self.group_of[wrong];
+        self.combined[gc].add_bound_scaled(self.keys.key(correct), &h, 1);
+        self.combined[gw].add_bound_scaled(self.keys.key(wrong), &h, -1);
+        Ok(())
+    }
+
+    /// The paper's hardware update rule (§V-C): per dimension, `ΔP'·H` is
+    /// replaced by negate/shift cases selected by the binary key bits so no
+    /// multiplier is needed. The table as printed in the paper
+    /// (`(0,0) → −(h≫1)`, mixed → `h`, `(1,1) → h≫1`) is direction-blind
+    /// for mixed bits and inconsistent with the exact arithmetic
+    /// (`ΔP' ∈ {−2, 0, +2}`); we implement the direction-corrected reading:
+    ///
+    /// ```text
+    /// (P'_correct, P'_wrong) = (1, 0) →  h      // toward the correct key
+    /// (P'_correct, P'_wrong) = (0, 1) → −h      // away from the wrong key
+    /// (1, 1)                          →  h ≫ 1  // small nudge (paper table)
+    /// (0, 0)                          → −(h ≫ 1)
+    /// ```
+    ///
+    /// This keeps the printed table's shift-based equal-bit nudges while
+    /// restoring the update direction; it is a ≈½-rate approximation of
+    /// [`CompressedModel::update`], and the `ablation_update_rule` bench
+    /// quantifies the accuracy difference. Only defined when both classes
+    /// share a combined vector; otherwise this falls back to the exact rule
+    /// (the hardware situation — a single compressed model — always shares).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompressedModel::update`].
+    pub fn update_paper_shift(&mut self, correct: usize, wrong: usize, query: &DenseHv) -> Result<()> {
+        self.check_update(correct, wrong, query)?;
+        let gc = self.group_of[correct];
+        let gw = self.group_of[wrong];
+        if gc != gw {
+            return self.update(correct, wrong, query);
+        }
+        let h = self.whiten_int(query);
+        let kc = self.keys.key(correct).clone();
+        let kw = self.keys.key(wrong).clone();
+        let combined = &mut self.combined[gc];
+        for d in 0..self.dim {
+            let hd = h.get(d);
+            // Paper's binary representation: bit 1 ⇔ +1, bit 0 ⇔ −1.
+            let bc = !kc.is_negative(d);
+            let bw = !kw.is_negative(d);
+            let delta = match (bc, bw) {
+                (false, false) => -(hd >> 1),
+                (true, true) => hd >> 1,
+                (true, false) => hd,
+                (false, true) => -hd,
+            };
+            combined.as_mut_slice()[d] += delta;
+        }
+        Ok(())
+    }
+
+    fn check_update(&self, correct: usize, wrong: usize, query: &DenseHv) -> Result<()> {
+        let k = self.n_classes();
+        if correct >= k || wrong >= k {
+            return Err(HdcError::UnknownClass {
+                label: correct.max(wrong),
+                n_classes: k,
+            });
+        }
+        if query.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.dim(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of classes `k`.
+    pub fn n_classes(&self) -> usize {
+        self.group_of.len()
+    }
+
+    /// Number of combined hypervectors (1 in fully compressed mode,
+    /// `⌈k/12⌉` in exact mode).
+    pub fn n_vectors(&self) -> usize {
+        self.combined.len()
+    }
+
+    /// Hypervector dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The combined hypervector of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= self.n_vectors()`.
+    pub fn combined(&self, g: usize) -> &DenseHv {
+        &self.combined[g]
+    }
+
+    /// The key `P'_label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= self.n_classes()`.
+    pub fn key(&self, label: usize) -> &BipolarHv {
+        self.keys.key(label)
+    }
+
+    /// The compression configuration.
+    pub fn config(&self) -> &CompressionConfig {
+        &self.config
+    }
+
+    /// Model size in bytes under the paper's accounting: only the combined
+    /// vectors are stored (keys regenerate from [`CompressionConfig::seed`];
+    /// the common direction adds one more vector when decorrelating — see
+    /// [`CompressedModel::size_bytes_with_keys`] for the all-in number).
+    pub fn size_bytes(&self) -> usize {
+        self.n_vectors() * self.dim * std::mem::size_of::<i32>()
+    }
+
+    /// Model size including materialized binary keys (1 bit/dim/class) and
+    /// the stored common direction (int32 per dim) when present.
+    pub fn size_bytes_with_keys(&self) -> usize {
+        let common = self.directions.len() * self.dim * std::mem::size_of::<i32>();
+        self.size_bytes() + self.n_classes() * self.dim.div_ceil(8) + common
+    }
+
+    /// Serializes the compressed model (`LKC1` format): configuration,
+    /// combined vectors, and whitening directions. The `P'` keys are *not*
+    /// stored — they regenerate from [`CompressionConfig::seed`], which is
+    /// exactly the paper's model-size accounting.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"LKC1");
+        let w32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
+        w32(&mut out, self.dim as u32);
+        w32(&mut out, self.config.max_classes_per_vector as u32);
+        out.push(u8::from(self.config.decorrelate));
+        w32(&mut out, self.config.decorrelate_rounds as u32);
+        match self.config.scale {
+            ScaleMode::AverageNorm => {
+                out.push(0);
+                out.extend_from_slice(&0i32.to_le_bytes());
+            }
+            ScaleMode::Fixed(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.config.seed.to_le_bytes());
+        w32(&mut out, self.n_classes() as u32);
+        w32(&mut out, self.n_vectors() as u32);
+        for combined in &self.combined {
+            for &v in combined.as_slice() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        w32(&mut out, self.directions.len() as u32);
+        for dir in &self.directions {
+            for &v in dir {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a model written by [`CompressedModel::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] for a malformed or truncated
+    /// byte stream.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        struct Reader<'a> {
+            bytes: &'a [u8],
+            pos: usize,
+        }
+        impl<'a> Reader<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+                if self.pos + n > self.bytes.len() {
+                    return Err(HdcError::invalid_dataset("truncated compressed-model stream"));
+                }
+                let out = &self.bytes[self.pos..self.pos + n];
+                self.pos += n;
+                Ok(out)
+            }
+            fn u32(&mut self) -> Result<u32> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
+            }
+            fn u8(&mut self) -> Result<u8> {
+                Ok(self.take(1)?[0])
+            }
+            fn i32(&mut self) -> Result<i32> {
+                Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
+            }
+            fn u64(&mut self) -> Result<u64> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+            }
+            fn f64(&mut self) -> Result<f64> {
+                Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+            }
+        }
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != b"LKC1" {
+            return Err(HdcError::invalid_dataset("bad magic: not an LKC1 compressed model"));
+        }
+        let dim = r.u32()? as usize;
+        if dim == 0 {
+            return Err(HdcError::invalid_dataset("zero-dimensional compressed model"));
+        }
+        let max_classes_per_vector = r.u32()? as usize;
+        let decorrelate = r.u8()? != 0;
+        let decorrelate_rounds = r.u32()? as usize;
+        let scale_tag = r.u8()?;
+        let scale_value = r.i32()?;
+        let scale = match scale_tag {
+            0 => ScaleMode::AverageNorm,
+            1 => ScaleMode::Fixed(scale_value),
+            _ => return Err(HdcError::invalid_dataset("unknown scale mode tag")),
+        };
+        let seed = r.u64()?;
+        let config = CompressionConfig {
+            max_classes_per_vector,
+            decorrelate,
+            decorrelate_rounds,
+            scale,
+            seed,
+        };
+        if config.max_classes_per_vector == 0 {
+            return Err(HdcError::invalid_dataset("zero classes per vector"));
+        }
+        let k = r.u32()? as usize;
+        let n_groups = r.u32()? as usize;
+        if k == 0 || n_groups != k.div_ceil(config.max_classes_per_vector) {
+            return Err(HdcError::invalid_dataset("inconsistent class/group counts"));
+        }
+        let mut combined = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let mut values = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                values.push(r.i32()?);
+            }
+            combined.push(DenseHv::from_vec(values));
+        }
+        let n_directions = r.u32()? as usize;
+        if n_directions > k {
+            return Err(HdcError::invalid_dataset("more directions than classes"));
+        }
+        let mut directions = Vec::with_capacity(n_directions);
+        for _ in 0..n_directions {
+            let mut dir = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                dir.push(r.f64()?);
+            }
+            directions.push(dir);
+        }
+        // Regenerate keys and grouping deterministically from the config.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let keys = PositionKeys::generate(k, dim, &mut rng);
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+        let mut group_of = vec![0usize; k];
+        for (label, slot) in group_of.iter_mut().enumerate() {
+            let g = label / config.max_classes_per_vector;
+            groups[g].push(label);
+            *slot = g;
+        }
+        Ok(Self {
+            config,
+            keys,
+            groups,
+            group_of,
+            combined,
+            directions,
+            dim,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A model of `k` near-orthogonal random classes at dimension `d`.
+    fn random_model(k: usize, d: usize, seed: u64) -> ClassModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classes = (0..k)
+            .map(|_| DenseHv::from_vec((0..d).map(|_| rng.gen_range(-40..=40)).collect()))
+            .collect();
+        ClassModel::from_classes(classes).unwrap()
+    }
+
+    /// A model of `k` highly correlated classes (shared component + id).
+    fn correlated_model(k: usize, d: usize, shared_range: i32, id_range: i32, seed: u64) -> ClassModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shared: Vec<i32> = (0..d).map(|_| rng.gen_range(-shared_range..=shared_range)).collect();
+        let classes = (0..k)
+            .map(|_| {
+                DenseHv::from_vec(
+                    shared
+                        .iter()
+                        .map(|&s| s + rng.gen_range(-id_range..=id_range))
+                        .collect(),
+                )
+            })
+            .collect();
+        ClassModel::from_classes(classes).unwrap()
+    }
+
+    #[test]
+    fn compressed_prediction_matches_full_model_on_clear_queries() {
+        let model = random_model(6, 4000, 1);
+        let compressed =
+            CompressedModel::compress(&model, &CompressionConfig::new().with_decorrelate(false))
+                .unwrap();
+        for label in 0..6 {
+            let query = model.class(label).clone();
+            assert_eq!(model.predict(&query).unwrap(), label);
+            assert_eq!(compressed.predict(&query).unwrap(), label, "class {label}");
+        }
+    }
+
+    #[test]
+    fn noise_is_small_relative_to_signal() {
+        let model = random_model(4, 8000, 2);
+        let cfg = CompressionConfig::new().with_decorrelate(false);
+        let compressed = CompressedModel::compress(&model, &cfg).unwrap();
+        let query = model.class(0).clone();
+        let sn = compressed.signal_noise(&model, &query).unwrap();
+        assert!(sn[0].signal > 0.0);
+        assert!(sn[0].noise_to_signal() < 0.2, "n/s = {}", sn[0].noise_to_signal());
+    }
+
+    #[test]
+    fn noise_grows_with_class_count() {
+        let d = 4000;
+        let mut ratios = Vec::new();
+        for &k in &[2usize, 12, 48] {
+            let model = random_model(k, d, 3);
+            let cfg = CompressionConfig::new()
+                .with_decorrelate(false)
+                .with_max_classes_per_vector(k); // force single vector
+            let compressed = CompressedModel::compress(&model, &cfg).unwrap();
+            let query = model.class(0).clone();
+            let sn = compressed.signal_noise(&model, &query).unwrap();
+            ratios.push(sn[0].noise_to_signal());
+        }
+        assert!(ratios[0] < ratios[2], "noise should grow with k: {ratios:?}");
+    }
+
+    #[test]
+    fn exact_mode_splits_into_expected_vector_count() {
+        let model = random_model(26, 500, 4);
+        let compressed = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
+        assert_eq!(compressed.n_vectors(), 3); // ⌈26/12⌉
+        assert_eq!(compressed.n_classes(), 26);
+        let single = CompressedModel::compress(
+            &model,
+            &CompressionConfig::new().with_max_classes_per_vector(26),
+        )
+        .unwrap();
+        assert_eq!(single.n_vectors(), 1);
+    }
+
+    #[test]
+    fn size_accounting_matches_paper_model() {
+        let model = random_model(12, 2000, 5);
+        let compressed = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
+        assert_eq!(model.size_bytes() / compressed.size_bytes(), 12);
+        assert!(compressed.size_bytes_with_keys() > compressed.size_bytes());
+    }
+
+    #[test]
+    fn decorrelation_reduces_class_correlation() {
+        let model = correlated_model(5, 2000, 50, 5, 6);
+        let decorrelated = decorrelate(&model).unwrap();
+        assert!(model.class_correlation() > 0.9);
+        assert!(
+            decorrelated.class_correlation() < 0.5,
+            "correlation after: {}",
+            decorrelated.class_correlation()
+        );
+    }
+
+    #[test]
+    fn decorrelation_rescues_compressed_accuracy_on_correlated_classes() {
+        // With heavy class correlation, compression *without* decorrelation
+        // misclassifies many class prototypes; with decorrelation (including
+        // query whitening) they all survive (Fig. 8's motivation).
+        let model = correlated_model(8, 4000, 60, 6, 7);
+        let with = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
+        let without = CompressedModel::compress(
+            &model,
+            &CompressionConfig::new().with_decorrelate(false),
+        )
+        .unwrap();
+        let count_correct = |cm: &CompressedModel| {
+            (0..8)
+                .filter(|&label| cm.predict(model.class(label)).unwrap() == label)
+                .count()
+        };
+        let with_acc = count_correct(&with);
+        let without_acc = count_correct(&without);
+        assert!(with_acc >= 7, "decorrelated compression too weak: {with_acc}/8");
+        assert!(
+            with_acc >= without_acc,
+            "decorrelation should not hurt: {with_acc} vs {without_acc}"
+        );
+    }
+
+    #[test]
+    fn update_moves_decision_toward_correct_class() {
+        let model = random_model(4, 2000, 8);
+        let mut compressed =
+            CompressedModel::compress(&model, &CompressionConfig::new().with_decorrelate(false))
+                .unwrap();
+        let query = model.class(2).clone();
+        let before = compressed.scores(&query).unwrap();
+        compressed.update(2, 0, &query).unwrap();
+        let after = compressed.scores(&query).unwrap();
+        assert!(after[2] > before[2]);
+        assert!(after[0] < before[0]);
+    }
+
+    #[test]
+    fn whitened_update_stays_in_decorrelated_subspace() {
+        // After an update with decorrelation on, scores of unrelated classes
+        // move much less than the two updated classes.
+        let model = correlated_model(6, 4000, 60, 8, 9);
+        let mut compressed = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
+        let query = model.class(1).clone();
+        let before = compressed.scores(&query).unwrap();
+        compressed.update(1, 2, &query).unwrap();
+        let after = compressed.scores(&query).unwrap();
+        let moved_target = (after[1] - before[1]).abs() + (after[2] - before[2]).abs();
+        let moved_other = (after[4] - before[4]).abs();
+        assert!(
+            moved_target > moved_other,
+            "target movement {moved_target} vs bystander {moved_other}"
+        );
+        assert!(after[1] > before[1]);
+    }
+
+    #[test]
+    fn paper_shift_update_also_moves_scores_but_differs_from_exact() {
+        let model = random_model(4, 2000, 9);
+        let cfg = CompressionConfig::new()
+            .with_decorrelate(false)
+            .with_max_classes_per_vector(4);
+        let mut exact = CompressedModel::compress(&model, &cfg).unwrap();
+        let mut shift = exact.clone();
+        let query = model.class(1).clone();
+        exact.update(1, 3, &query).unwrap();
+        shift.update_paper_shift(1, 3, &query).unwrap();
+        let se = exact.scores(&query).unwrap();
+        let ss = shift.scores(&query).unwrap();
+        assert!(ss[1] > 0.0);
+        assert_ne!(exact.combined(0), shift.combined(0));
+        assert!(se[1] > 0.0);
+    }
+
+    #[test]
+    fn fixed_scale_mode_still_works() {
+        let model = random_model(3, 1000, 11);
+        let cfg = CompressionConfig::new().with_decorrelate(false).with_scale(1024);
+        let cm = CompressedModel::compress(&model, &cfg).unwrap();
+        for label in 0..3 {
+            assert_eq!(cm.predict(model.class(label)).unwrap(), label);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_configs_and_arguments() {
+        let model = random_model(3, 100, 10);
+        assert!(CompressedModel::compress(
+            &model,
+            &CompressionConfig::new().with_max_classes_per_vector(0)
+        )
+        .is_err());
+        assert!(
+            CompressedModel::compress(&model, &CompressionConfig::new().with_scale(0)).is_err()
+        );
+        let mut cm = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
+        assert!(cm.scores(&DenseHv::zeros(5)).is_err());
+        assert!(cm.update(9, 0, &DenseHv::zeros(100)).is_err());
+        assert!(cm.update(0, 1, &DenseHv::zeros(7)).is_err());
+    }
+
+    #[test]
+    fn config_builder_round_trips() {
+        let c = CompressionConfig::new()
+            .with_max_classes_per_vector(6)
+            .with_decorrelate(false)
+            .with_scale(512)
+            .with_seed(99);
+        assert_eq!(c.max_classes_per_vector, 6);
+        assert!(!c.decorrelate);
+        assert_eq!(c.scale, ScaleMode::Fixed(512));
+        assert_eq!(c.seed, 99);
+        assert_eq!(CompressionConfig::default(), CompressionConfig::new());
+        let c2 = CompressionConfig::new().with_scale_mode(ScaleMode::AverageNorm);
+        assert_eq!(c2.scale, ScaleMode::AverageNorm);
+    }
+
+    #[test]
+    fn compressed_model_round_trips_through_bytes() {
+        let model = correlated_model(7, 600, 40, 6, 21);
+        let cm = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
+        let bytes = cm.to_bytes();
+        let back = CompressedModel::from_bytes(&bytes).unwrap();
+        assert_eq!(back.n_classes(), cm.n_classes());
+        assert_eq!(back.n_vectors(), cm.n_vectors());
+        for g in 0..cm.n_vectors() {
+            assert_eq!(back.combined(g), cm.combined(g));
+        }
+        // Predictions (which exercise keys + whitening) must agree.
+        for label in 0..7 {
+            let q = model.class(label).clone();
+            assert_eq!(back.predict(&q).unwrap(), cm.predict(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(CompressedModel::from_bytes(b"nope").is_err());
+        let model = random_model(3, 64, 22);
+        let cm = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
+        let bytes = cm.to_bytes();
+        assert!(CompressedModel::from_bytes(&bytes[..bytes.len() - 5]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(CompressedModel::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn signed_sum_fast_paths_match_reference() {
+        let mut rng = StdRng::seed_from_u64(30);
+        for dim in [64usize, 100, 2000] {
+            let key = crate::encoder::PositionKeys::generate(1, dim, &mut rng);
+            let key = key.key(0);
+            let vi: Vec<i64> = (0..dim).map(|_| rng.gen_range(-1000i64..1000)).collect();
+            let reference: i64 = vi
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| if key.is_negative(d) { -v } else { v })
+                .sum();
+            assert_eq!(CompressedModel::signed_sum_int(&vi, key), reference as f64);
+            let vf: Vec<f64> = vi.iter().map(|&v| v as f64 * 0.5).collect();
+            let reference_f: f64 = vf
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| if key.is_negative(d) { -v } else { v })
+                .sum();
+            assert!((CompressedModel::signed_sum_f64(&vf, key) - reference_f).abs() < 1e-9);
+        }
+    }
+}

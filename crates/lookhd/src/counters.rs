@@ -1,0 +1,233 @@
+//! Counter-based training state (§III-D, Fig. 6 steps D–F).
+//!
+//! Instead of bundling an encoded hypervector per training sample, LookHD
+//! keeps one counter per pre-stored chunk hypervector per class and simply
+//! increments counters while streaming the training set. The class
+//! hypervector is materialized *once*, at the end:
+//!
+//! ```text
+//! C = Σ_chunks P_c ⊙ ( Σ_addr count[c][addr] · LUT_c[addr] )
+//! ```
+//!
+//! This factorization is exactly equal to bundling every encoded sample —
+//! a property pinned by tests in [`crate::trainer`].
+//!
+//! Counters for a chunk are stored densely (a `q^r` array, like the FPGA
+//! register file) while small, and as a hash map when the address space is
+//! too large to materialize (the software-sweep regime).
+
+use std::collections::HashMap;
+
+use hdc::{HdcError, Result};
+
+use crate::chunking::ChunkLayout;
+
+/// Row-count threshold above which a chunk's counters are stored sparsely.
+pub const DENSE_COUNTER_LIMIT_ROWS: usize = 1 << 20;
+
+#[derive(Debug, Clone)]
+enum CounterStore {
+    Dense(Vec<u32>),
+    Sparse(HashMap<u64, u32>),
+}
+
+impl CounterStore {
+    fn new(rows: usize) -> Self {
+        if rows <= DENSE_COUNTER_LIMIT_ROWS {
+            Self::Dense(vec![0; rows])
+        } else {
+            Self::Sparse(HashMap::new())
+        }
+    }
+
+    fn increment(&mut self, addr: u64) {
+        match self {
+            Self::Dense(v) => v[addr as usize] += 1,
+            Self::Sparse(m) => *m.entry(addr).or_insert(0) += 1,
+        }
+    }
+
+    fn get(&self, addr: u64) -> u32 {
+        match self {
+            Self::Dense(v) => v[addr as usize],
+            Self::Sparse(m) => m.get(&addr).copied().unwrap_or(0),
+        }
+    }
+
+    fn nonzero(&self) -> Box<dyn Iterator<Item = (u64, u32)> + '_> {
+        match self {
+            Self::Dense(v) => Box::new(
+                v.iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(a, &c)| (a as u64, c)),
+            ),
+            Self::Sparse(m) => Box::new(m.iter().map(|(&a, &c)| (a, c))),
+        }
+    }
+
+    fn total(&self) -> u64 {
+        match self {
+            Self::Dense(v) => v.iter().map(|&c| c as u64).sum(),
+            Self::Sparse(m) => m.values().map(|&c| c as u64).sum(),
+        }
+    }
+}
+
+/// Per-class, per-chunk occurrence counters over the chunk address space.
+#[derive(Debug, Clone)]
+pub struct ChunkCounters {
+    layout: ChunkLayout,
+    /// `stores[class][chunk]`.
+    stores: Vec<Vec<CounterStore>>,
+}
+
+impl ChunkCounters {
+    /// Creates zeroed counters for `n_classes` classes over `layout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if `n_classes == 0`.
+    pub fn new(layout: ChunkLayout, n_classes: usize) -> Result<Self> {
+        if n_classes == 0 {
+            return Err(HdcError::invalid_config("k", "need at least one class"));
+        }
+        let stores = (0..n_classes)
+            .map(|_| {
+                (0..layout.n_chunks())
+                    .map(|c| CounterStore::new(layout.table_rows(c)))
+                    .collect()
+            })
+            .collect();
+        Ok(Self { layout, stores })
+    }
+
+    /// Records one training sample: increments the counter addressed by
+    /// each chunk (Fig. 6 step D). `addrs` comes from
+    /// [`crate::encoder::LookupEncoder::addresses`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::UnknownClass`] for an out-of-range class and
+    /// [`HdcError::InvalidDataset`] if `addrs.len()` differs from the chunk
+    /// count.
+    pub fn observe(&mut self, class: usize, addrs: &[u64]) -> Result<()> {
+        if class >= self.stores.len() {
+            return Err(HdcError::UnknownClass {
+                label: class,
+                n_classes: self.stores.len(),
+            });
+        }
+        if addrs.len() != self.layout.n_chunks() {
+            return Err(HdcError::invalid_dataset(format!(
+                "expected {} chunk addresses, got {}",
+                self.layout.n_chunks(),
+                addrs.len()
+            )));
+        }
+        for (chunk, &addr) in addrs.iter().enumerate() {
+            debug_assert!(addr < self.layout.table_rows(chunk) as u64);
+            self.stores[class][chunk].increment(addr);
+        }
+        Ok(())
+    }
+
+    /// The count for `(class, chunk, addr)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class`/`chunk` are out of range (dense stores also panic
+    /// on out-of-range addresses).
+    pub fn count(&self, class: usize, chunk: usize, addr: u64) -> u32 {
+        self.stores[class][chunk].get(addr)
+    }
+
+    /// Iterates over the non-zero `(addr, count)` pairs of one chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class`/`chunk` are out of range.
+    pub fn nonzero(&self, class: usize, chunk: usize) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.stores[class][chunk].nonzero()
+    }
+
+    /// Number of samples observed for `class` (every chunk sees each sample
+    /// once, so chunk 0's total is the sample count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn samples_seen(&self, class: usize) -> u64 {
+        self.stores[class][0].total()
+    }
+
+    /// Number of classes `k`.
+    pub fn n_classes(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// The layout these counters are defined over.
+    pub fn layout(&self) -> &ChunkLayout {
+        &self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> ChunkLayout {
+        ChunkLayout::new(10, 5, 4).unwrap()
+    }
+
+    #[test]
+    fn observe_and_count() {
+        let mut c = ChunkCounters::new(layout(), 2).unwrap();
+        c.observe(0, &[3, 7]).unwrap();
+        c.observe(0, &[3, 9]).unwrap();
+        c.observe(1, &[3, 7]).unwrap();
+        assert_eq!(c.count(0, 0, 3), 2);
+        assert_eq!(c.count(0, 1, 7), 1);
+        assert_eq!(c.count(0, 1, 9), 1);
+        assert_eq!(c.count(1, 0, 3), 1);
+        assert_eq!(c.count(1, 1, 9), 0);
+        assert_eq!(c.samples_seen(0), 2);
+        assert_eq!(c.samples_seen(1), 1);
+        assert_eq!(c.n_classes(), 2);
+    }
+
+    #[test]
+    fn nonzero_iterates_exactly_the_touched_addresses() {
+        let mut c = ChunkCounters::new(layout(), 1).unwrap();
+        c.observe(0, &[3, 7]).unwrap();
+        c.observe(0, &[3, 8]).unwrap();
+        let mut chunk0: Vec<(u64, u32)> = c.nonzero(0, 0).collect();
+        chunk0.sort();
+        assert_eq!(chunk0, vec![(3, 2)]);
+        let mut chunk1: Vec<(u64, u32)> = c.nonzero(0, 1).collect();
+        chunk1.sort();
+        assert_eq!(chunk1, vec![(7, 1), (8, 1)]);
+    }
+
+    #[test]
+    fn sparse_store_used_for_huge_address_spaces() {
+        // q=8, r=10 → 8^10 ≈ 1.07e9 rows per chunk: must not allocate that.
+        let big = ChunkLayout::new(20, 10, 8).unwrap();
+        let mut c = ChunkCounters::new(big, 1).unwrap();
+        c.observe(0, &[123_456_789, 1]).unwrap();
+        assert_eq!(c.count(0, 0, 123_456_789), 1);
+        assert_eq!(c.count(0, 0, 42), 0);
+        assert_eq!(c.samples_seen(0), 1);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut c = ChunkCounters::new(layout(), 2).unwrap();
+        assert!(matches!(
+            c.observe(5, &[0, 0]),
+            Err(HdcError::UnknownClass { .. })
+        ));
+        assert!(c.observe(0, &[0]).is_err());
+        assert!(ChunkCounters::new(layout(), 0).is_err());
+    }
+}

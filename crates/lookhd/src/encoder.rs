@@ -1,0 +1,325 @@
+//! The LookHD lookup-based encoder (§III, Fig. 5/6, Eq. 3).
+//!
+//! Encoding a feature vector proceeds in three steps:
+//!
+//! 1. quantize each feature to a `⌈log2 q⌉`-bit codebook;
+//! 2. concatenate the codebooks of each chunk into a direct address and
+//!    fetch the pre-stored chunk hypervector `H_i`;
+//! 3. aggregate the chunks with random bipolar *position* hypervectors:
+//!    `H = P_1 ⊙ H_1 + P_2 ⊙ H_2 + … + P_m ⊙ H_m`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hdc::encoding::Encode;
+use hdc::hv::{BipolarHv, DenseHv};
+use hdc::levels::LevelMemory;
+use hdc::quantize::Quantizer;
+use hdc::{HdcError, Result};
+
+use crate::chunking::ChunkLayout;
+use crate::lut::{ChunkLut, TableMode};
+
+/// The set of `m` random bipolar position hypervectors `P_1..P_m` that
+/// preserve chunk order during aggregation (Eq. 3).
+#[derive(Debug, Clone)]
+pub struct PositionKeys {
+    keys: Vec<BipolarHv>,
+}
+
+impl PositionKeys {
+    /// Generates `m` independent random bipolar keys of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `dim == 0`.
+    pub fn generate<R: Rng + ?Sized>(m: usize, dim: usize, rng: &mut R) -> Self {
+        assert!(m > 0, "need at least one position key");
+        Self {
+            keys: (0..m).map(|_| BipolarHv::random(dim, rng)).collect(),
+        }
+    }
+
+    /// The key `P_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn key(&self, i: usize) -> &BipolarHv {
+        &self.keys[i]
+    }
+
+    /// Number of keys `m`.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when there are no keys (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Maximum absolute pairwise cosine among the keys — the orthogonality
+    /// quality that bounds chunk-aggregation cross-talk (§III-A).
+    pub fn max_cross_correlation(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for i in 0..self.keys.len() {
+            for j in (i + 1)..self.keys.len() {
+                worst = worst.max(self.keys[i].cosine(&self.keys[j]).abs());
+            }
+        }
+        worst
+    }
+}
+
+/// The LookHD encoder: quantize → address → lookup → keyed aggregation.
+///
+/// Implements the same [`Encode`] trait as the baseline
+/// [`hdc::encoding::PermutationEncoder`], so trainers and classifiers can
+/// use either interchangeably.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::encoding::Encode;
+/// use hdc::levels::{LevelMemory, LevelScheme};
+/// use hdc::quantize::{Quantization, Quantizer};
+/// use lookhd::chunking::ChunkLayout;
+/// use lookhd::encoder::LookupEncoder;
+/// use lookhd::lut::TableMode;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let levels = LevelMemory::generate(256, 4, LevelScheme::RandomFlips, &mut rng)?;
+/// let samples: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+/// let quantizer = Quantizer::fit(Quantization::Equalized, &samples, 4)?;
+/// let layout = ChunkLayout::new(10, 5, 4)?;
+/// let enc = LookupEncoder::new(layout, &levels, quantizer, TableMode::Materialized, 7)?;
+/// let h = enc.encode(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95])?;
+/// assert_eq!(h.dim(), 256);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LookupEncoder {
+    lut: ChunkLut,
+    quantizer: Quantizer,
+    positions: PositionKeys,
+}
+
+impl LookupEncoder {
+    /// Builds the encoder. `seed` determines the position hypervectors
+    /// (the level memory carries its own randomness).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] when the quantizer's `q` differs
+    /// from the layout's, or when the lookup table cannot be built in the
+    /// requested mode.
+    pub fn new(
+        layout: ChunkLayout,
+        levels: &LevelMemory,
+        quantizer: Quantizer,
+        mode: TableMode,
+        seed: u64,
+    ) -> Result<Self> {
+        if quantizer.levels() != layout.q() {
+            return Err(HdcError::invalid_config(
+                "q",
+                format!(
+                    "quantizer has {} levels but layout expects q={}",
+                    quantizer.levels(),
+                    layout.q()
+                ),
+            ));
+        }
+        let lut = ChunkLut::new(layout, levels, mode)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions = PositionKeys::generate(layout.n_chunks(), levels.dim(), &mut rng);
+        Ok(Self {
+            lut,
+            quantizer,
+            positions,
+        })
+    }
+
+    /// Quantizes a feature vector into per-chunk table addresses — the
+    /// codebook-concatenation step (Fig. 6 steps A–C). This is all the
+    /// per-sample work counter-based training performs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] on feature-arity mismatch.
+    pub fn addresses(&self, features: &[f64]) -> Result<Vec<u64>> {
+        let layout = self.lut.layout();
+        if features.len() != layout.n_features() {
+            return Err(HdcError::invalid_dataset(format!(
+                "expected {} features, got {}",
+                layout.n_features(),
+                features.len()
+            )));
+        }
+        let mut addrs = Vec::with_capacity(layout.n_chunks());
+        for c in 0..layout.n_chunks() {
+            let range = layout.feature_range(c);
+            let levels: Vec<usize> = features[range].iter().map(|&x| self.quantizer.level(x)).collect();
+            addrs.push(layout.address(c, &levels));
+        }
+        Ok(addrs)
+    }
+
+    /// Aggregates pre-computed chunk addresses into the encoded hypervector
+    /// (Eq. 3). Exposed separately so the counter trainer can reuse it.
+    pub fn aggregate(&self, addrs: &[u64]) -> DenseHv {
+        let mut acc = DenseHv::zeros(self.dim());
+        for (c, &addr) in addrs.iter().enumerate() {
+            self.lut
+                .accumulate_row(c, addr, self.positions.key(c), 1, &mut acc);
+        }
+        acc
+    }
+
+    /// The chunk layout.
+    pub fn layout(&self) -> &ChunkLayout {
+        self.lut.layout()
+    }
+
+    /// The lookup table.
+    pub fn lut(&self) -> &ChunkLut {
+        &self.lut
+    }
+
+    /// The fitted quantizer.
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// The position keys `P_1..P_m`.
+    pub fn positions(&self) -> &PositionKeys {
+        &self.positions
+    }
+}
+
+impl Encode for LookupEncoder {
+    fn dim(&self) -> usize {
+        self.lut.levels().dim()
+    }
+
+    fn n_features(&self) -> usize {
+        self.lut.layout().n_features()
+    }
+
+    fn encode(&self, features: &[f64]) -> Result<DenseHv> {
+        let addrs = self.addresses(features)?;
+        Ok(self.aggregate(&addrs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::levels::LevelScheme;
+    use hdc::quantize::Quantization;
+
+    fn encoder(n: usize, r: usize, q: usize, dim: usize, seed: u64) -> LookupEncoder {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let levels = LevelMemory::generate(dim, q, LevelScheme::RandomFlips, &mut rng).unwrap();
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let quantizer = Quantizer::fit(Quantization::Equalized, &samples, q).unwrap();
+        let layout = ChunkLayout::new(n, r, q).unwrap();
+        LookupEncoder::new(layout, &levels, quantizer, TableMode::Materialized, seed).unwrap()
+    }
+
+    #[test]
+    fn encode_matches_manual_equation_three() {
+        let enc = encoder(10, 5, 4, 128, 1);
+        let features: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
+        let h = enc.encode(&features).unwrap();
+        // Manual: per chunk, Eq. 2 then bind with P_c and sum.
+        let mut manual = DenseHv::zeros(128);
+        for c in 0..2 {
+            let mut chunk_hv = DenseHv::zeros(128);
+            for (j, &f) in features[c * 5..(c + 1) * 5].iter().enumerate() {
+                let lv = enc.quantizer().level(f);
+                chunk_hv.add_rotated_bipolar(enc.lut().levels().level(lv), j);
+            }
+            let bound = chunk_hv.bound(enc.positions().key(c));
+            manual.add_assign_hv(&bound);
+        }
+        assert_eq!(h, manual);
+    }
+
+    #[test]
+    fn lookup_mode_does_not_change_encoding() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let levels = LevelMemory::generate(128, 4, LevelScheme::RandomFlips, &mut rng).unwrap();
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let quantizer = Quantizer::fit(Quantization::Equalized, &samples, 4).unwrap();
+        let layout = ChunkLayout::new(13, 5, 4).unwrap();
+        let a = LookupEncoder::new(layout, &levels, quantizer.clone(), TableMode::Materialized, 9)
+            .unwrap();
+        let b = LookupEncoder::new(layout, &levels, quantizer, TableMode::OnTheFly, 9).unwrap();
+        let f: Vec<f64> = (0..13).map(|i| i as f64 / 13.0).collect();
+        assert_eq!(a.encode(&f).unwrap(), b.encode(&f).unwrap());
+    }
+
+    #[test]
+    fn addresses_reflect_quantized_levels() {
+        let enc = encoder(10, 5, 4, 64, 3);
+        let f = vec![0.0; 10]; // all in level 0 → address 0 for both chunks
+        assert_eq!(enc.addresses(&f).unwrap(), vec![0, 0]);
+        let f = vec![0.999; 10]; // all max level → address q^r - 1
+        assert_eq!(enc.addresses(&f).unwrap(), vec![1023, 1023]);
+    }
+
+    #[test]
+    fn similar_inputs_encode_similarly_distinct_inputs_do_not() {
+        let enc = encoder(20, 5, 4, 2048, 4);
+        let a: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+        let mut b = a.clone();
+        b[3] += 0.001; // same level
+        let c: Vec<f64> = (0..20).map(|i| ((i * 7) % 20) as f64 / 20.0).collect();
+        let (ha, hb, hc) = (
+            enc.encode(&a).unwrap(),
+            enc.encode(&b).unwrap(),
+            enc.encode(&c).unwrap(),
+        );
+        assert!(ha.cosine(&hb) > 0.999);
+        assert!(ha.cosine(&hc) < 0.8);
+    }
+
+    #[test]
+    fn position_keys_nearly_orthogonal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let keys = PositionKeys::generate(20, 4000, &mut rng);
+        assert_eq!(keys.len(), 20);
+        assert!(!keys.is_empty());
+        assert!(keys.max_cross_correlation() < 0.1);
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let enc = encoder(10, 5, 4, 64, 6);
+        assert!(enc.encode(&[0.0; 4]).is_err());
+        assert!(enc.addresses(&[0.0; 11]).is_err());
+    }
+
+    #[test]
+    fn quantizer_level_mismatch_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let levels = LevelMemory::generate(64, 4, LevelScheme::RandomFlips, &mut rng).unwrap();
+        let q8 = Quantizer::fit(Quantization::Linear, &[0.0, 1.0], 8).unwrap();
+        let layout = ChunkLayout::new(10, 5, 4).unwrap();
+        assert!(LookupEncoder::new(layout, &levels, q8, TableMode::OnTheFly, 0).is_err());
+    }
+
+    #[test]
+    fn partial_chunk_vectors_encode() {
+        let enc = encoder(12, 5, 2, 64, 8);
+        let f: Vec<f64> = (0..12).map(|i| i as f64 / 12.0).collect();
+        let h = enc.encode(&f).unwrap();
+        assert_eq!(h.dim(), 64);
+        // Element magnitude cannot exceed the total feature count.
+        assert!(h.max_abs() <= 12);
+    }
+}

@@ -1,0 +1,64 @@
+//! # lookhd — lookup-based hyperdimensional learning (HPCA 2021)
+//!
+//! This crate implements the LookHD system from *Revisiting
+//! HyperDimensional Learning for FPGA and Low-Power Architectures*:
+//!
+//! * [`chunking`] — feature splitting and concatenated-codebook addressing
+//!   (§III-A, §III-C);
+//! * [`lut`] — pre-stored encoded chunk hypervectors with materialized
+//!   (BRAM-style) and on-the-fly storage modes (§III-C);
+//! * [`encoder`] — the lookup encoder with random position-key aggregation
+//!   (Eq. 3);
+//! * [`counters`] / [`trainer`] — counter-based training that is bit-exact
+//!   with encode-and-bundle but does no per-sample hypervector arithmetic
+//!   (§III-D);
+//! * [`compress`] — model compression into a single hypervector via random
+//!   `P'` keys, with decorrelation and Eq. 5 signal/noise analysis (§IV);
+//! * [`online`] — OnlineHD-style single-pass novelty-scaled training
+//!   (the paper's ref \[13\]; an extension beyond the core LookHD pipeline);
+//! * [`retrain`] — staged retraining on the compressed model, with both
+//!   exact and paper-hardware update rules (§IV-D, §V-C);
+//! * [`classifier`] — the end-to-end [`classifier::LookHdClassifier`];
+//! * [`sweep`] — structured hyperparameter grid sweeps (the Fig. 12 /
+//!   Table II experiment pattern, reusable on any dataset);
+//! * [`analysis`] — margin / noise-to-signal diagnostics predicting when
+//!   compression is lossless (the Fig. 15 crossover, without the sweep).
+//!
+//! The baseline HDC substrate (hypervectors, quantizers, permutation
+//! encoder, class models) lives in the companion [`hdc`] crate; LookHD's
+//! encoders and models plug into the same [`hdc::encoding::Encode`] and
+//! [`hdc::model::ClassModel`] abstractions.
+//!
+//! ## Example
+//!
+//! ```
+//! use lookhd::classifier::{LookHdClassifier, LookHdConfig};
+//!
+//! let xs: Vec<Vec<f64>> = (0..30)
+//!     .map(|i| vec![if i % 2 == 0 { 0.2 } else { 0.8 }; 10])
+//!     .collect();
+//! let ys: Vec<usize> = (0..30).map(|i| i % 2).collect();
+//!
+//! let config = LookHdConfig::new().with_dim(512).with_q(2);
+//! let clf = LookHdClassifier::fit(&config, &xs, &ys)?;
+//! assert_eq!(clf.predict(&[0.2; 10])?, 0);
+//! # Ok::<(), hdc::HdcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod chunking;
+pub mod classifier;
+pub mod compress;
+pub mod counters;
+pub mod encoder;
+pub mod lut;
+pub mod online;
+pub mod retrain;
+pub mod sweep;
+pub mod trainer;
+
+pub use classifier::{LookHdClassifier, LookHdConfig};
+pub use compress::{CompressedModel, CompressionConfig};

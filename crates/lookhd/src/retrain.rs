@@ -1,0 +1,293 @@
+//! Retraining on the compressed model (§IV-D, §V-C).
+//!
+//! Each epoch classifies every training sample against a *frozen* copy of
+//! the compressed model; updates for mispredicted samples are staged on a
+//! working copy and committed once at the end of the epoch — exactly the
+//! paper's FPGA double-buffering ("our implementation applies all
+//! modifications on a copy of the compressed model while using the original
+//! model for inference").
+
+use hdc::hv::DenseHv;
+use hdc::train::{EpochStats, TrainReport};
+use hdc::{HdcError, Result};
+
+use crate::compress::CompressedModel;
+
+/// Which per-misprediction update arithmetic to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum UpdateRule {
+    /// The exact rule `C += P'_correct ⊙ H − P'_wrong ⊙ H`.
+    #[default]
+    Exact,
+    /// The paper's §V-C hardware shift approximation of `ΔP'·H`.
+    PaperShift,
+}
+
+/// Runs up to `max_epochs` of staged retraining on a compressed model,
+/// stopping early when an epoch sees zero mispredictions.
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidDataset`] for empty or mismatched inputs and
+/// propagates model errors.
+pub fn retrain_compressed(
+    model: &mut CompressedModel,
+    encoded: &[DenseHv],
+    labels: &[usize],
+    max_epochs: usize,
+    rule: UpdateRule,
+) -> Result<TrainReport> {
+    if encoded.is_empty() {
+        return Err(HdcError::invalid_dataset("cannot retrain on zero samples"));
+    }
+    if encoded.len() != labels.len() {
+        return Err(HdcError::invalid_dataset(format!(
+            "{} samples but {} labels",
+            encoded.len(),
+            labels.len()
+        )));
+    }
+    let mut report = TrainReport::default();
+    for epoch in 0..max_epochs {
+        // Freeze for inference; stage updates on the working copy.
+        let mut staged = model.clone();
+        let mut updates = 0usize;
+        let mut correct_n = 0usize;
+        for (h, &y) in encoded.iter().zip(labels) {
+            let pred = model.predict(h)?;
+            if pred == y {
+                correct_n += 1;
+            } else {
+                match rule {
+                    UpdateRule::Exact => staged.update(y, pred, h)?,
+                    UpdateRule::PaperShift => staged.update_paper_shift(y, pred, h)?,
+                }
+                updates += 1;
+            }
+        }
+        *model = staged;
+        report.epochs.push(EpochStats {
+            epoch,
+            updates,
+            train_accuracy: correct_n as f64 / encoded.len() as f64,
+        });
+        if updates == 0 {
+            break;
+        }
+    }
+    Ok(report)
+}
+
+/// Compressed retraining with the paper's validation stopping rule
+/// (§II-B): epochs run until the compressed model's validation accuracy
+/// has not improved for `patience` consecutive epochs (or `max_epochs`);
+/// the model is rolled back to the best validation snapshot.
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidDataset`] for empty or mismatched inputs and
+/// propagates model errors.
+#[allow(clippy::too_many_arguments)]
+pub fn retrain_compressed_with_validation(
+    model: &mut CompressedModel,
+    train_encoded: &[DenseHv],
+    train_labels: &[usize],
+    val_encoded: &[DenseHv],
+    val_labels: &[usize],
+    max_epochs: usize,
+    patience: usize,
+    rule: UpdateRule,
+) -> Result<TrainReport> {
+    if val_encoded.is_empty() || val_encoded.len() != val_labels.len() {
+        return Err(HdcError::invalid_dataset(
+            "validation split must be non-empty and consistent",
+        ));
+    }
+    let val_accuracy = |m: &CompressedModel| -> Result<f64> {
+        let mut correct = 0usize;
+        for (h, &y) in val_encoded.iter().zip(val_labels) {
+            if m.predict(h)? == y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / val_encoded.len() as f64)
+    };
+    let mut best = model.clone();
+    let mut best_acc = val_accuracy(model)?;
+    let mut since_best = 0usize;
+    let mut report = TrainReport::default();
+    for epoch in 0..max_epochs {
+        let mut epoch_report =
+            retrain_compressed(model, train_encoded, train_labels, 1, rule)?;
+        if let Some(mut stats) = epoch_report.epochs.pop() {
+            stats.epoch = epoch;
+            report.epochs.push(stats);
+        }
+        let acc = val_accuracy(model)?;
+        if acc > best_acc {
+            best_acc = acc;
+            best = model.clone();
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= patience {
+                break;
+            }
+        }
+        if report.epochs.last().is_some_and(|e| e.updates == 0) {
+            break;
+        }
+    }
+    *model = best;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{CompressedModel, CompressionConfig};
+    use hdc::hv::BipolarHv;
+    use hdc::model::ClassModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Noisy two-class encoded dataset plus an *initially wrong* model
+    /// (class hypervectors swapped) that retraining must fix.
+    fn swapped_setup(
+        dim: usize,
+        seed: u64,
+    ) -> (CompressedModel, ClassModel, Vec<DenseHv>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protos = [BipolarHv::random(dim, &mut rng), BipolarHv::random(dim, &mut rng)];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (c, p) in protos.iter().enumerate() {
+            for _ in 0..15 {
+                let mut hv = p.clone();
+                let idx: Vec<usize> = (0..dim / 20).map(|_| rng.gen_range(0..dim)).collect();
+                hv.flip(&idx);
+                xs.push(DenseHv::from(&hv));
+                ys.push(c);
+            }
+        }
+        // Model with the classes deliberately swapped.
+        let swapped_labels: Vec<usize> = ys.iter().map(|&y| 1 - y).collect();
+        let model = hdc::train::initial_fit(&xs, &swapped_labels, 2).unwrap();
+        let compressed = CompressedModel::compress(
+            &model,
+            &CompressionConfig::new().with_decorrelate(false),
+        )
+        .unwrap();
+        (compressed, model, xs, ys)
+    }
+
+    #[test]
+    fn retraining_fixes_a_swapped_model() {
+        let (mut compressed, _, xs, ys) = swapped_setup(2000, 1);
+        let acc_before = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(h, &y)| compressed.predict(h).unwrap() == y)
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc_before < 0.5, "setup should start broken: {acc_before}");
+        let report =
+            retrain_compressed(&mut compressed, &xs, &ys, 20, UpdateRule::Exact).unwrap();
+        let acc_after = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(h, &y)| compressed.predict(h).unwrap() == y)
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc_after > 0.9, "retraining failed: {acc_after}, report {report:?}");
+    }
+
+    #[test]
+    fn converged_model_stops_early() {
+        let (mut compressed, _, xs, ys) = swapped_setup(2000, 2);
+        retrain_compressed(&mut compressed, &xs, &ys, 30, UpdateRule::Exact).unwrap();
+        let report =
+            retrain_compressed(&mut compressed, &xs, &ys, 30, UpdateRule::Exact).unwrap();
+        assert!(report.epochs_run() <= 3, "already-converged model should stop: {report:?}");
+    }
+
+    #[test]
+    fn paper_shift_rule_also_learns() {
+        let (mut compressed, _, xs, ys) = swapped_setup(2000, 3);
+        let report =
+            retrain_compressed(&mut compressed, &xs, &ys, 30, UpdateRule::PaperShift).unwrap();
+        let acc = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(h, &y)| compressed.predict(h).unwrap() == y)
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc > 0.8, "paper-shift retraining too weak: {acc}, {report:?}");
+    }
+
+    #[test]
+    fn staged_updates_do_not_affect_same_epoch_predictions() {
+        // With a frozen model, the first epoch's accuracy equals the
+        // pre-retraining accuracy regardless of update order.
+        let (mut compressed, _, xs, ys) = swapped_setup(1000, 4);
+        let acc_before = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(h, &y)| compressed.predict(h).unwrap() == y)
+            .count() as f64
+            / xs.len() as f64;
+        let report = retrain_compressed(&mut compressed, &xs, &ys, 1, UpdateRule::Exact).unwrap();
+        assert!((report.epochs[0].train_accuracy - acc_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_stop_never_ends_worse_than_it_started() {
+        let (mut compressed, _, xs, ys) = swapped_setup(1000, 6);
+        let val = 10usize;
+        let start_acc = xs[..val]
+            .iter()
+            .zip(&ys[..val])
+            .filter(|(h, &y)| compressed.predict(h).unwrap() == y)
+            .count();
+        retrain_compressed_with_validation(
+            &mut compressed,
+            &xs[val..],
+            &ys[val..],
+            &xs[..val],
+            &ys[..val],
+            15,
+            3,
+            UpdateRule::Exact,
+        )
+        .unwrap();
+        let end_acc = xs[..val]
+            .iter()
+            .zip(&ys[..val])
+            .filter(|(h, &y)| compressed.predict(h).unwrap() == y)
+            .count();
+        assert!(end_acc >= start_acc, "rollback must keep the best snapshot");
+    }
+
+    #[test]
+    fn validation_stop_validates_inputs() {
+        let (mut compressed, _, xs, ys) = swapped_setup(256, 7);
+        assert!(retrain_compressed_with_validation(
+            &mut compressed,
+            &xs,
+            &ys,
+            &[],
+            &[],
+            5,
+            2,
+            UpdateRule::Exact
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (mut compressed, _, xs, _) = swapped_setup(500, 5);
+        assert!(retrain_compressed(&mut compressed, &[], &[], 5, UpdateRule::Exact).is_err());
+        assert!(retrain_compressed(&mut compressed, &xs, &[0], 5, UpdateRule::Exact).is_err());
+    }
+}

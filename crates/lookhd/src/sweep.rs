@@ -1,0 +1,234 @@
+//! Structured design-space sweeps over the LookHD hyperparameters.
+//!
+//! The paper's evaluation is a family of grid sweeps (Fig. 12: `r × q`;
+//! Table II: `D`; Fig. 15: `k`). This module packages that pattern into a
+//! reusable API: declare a grid, hand it a dataset, get one record per
+//! configuration with compressed and uncompressed accuracy.
+
+use hdc::metrics::accuracy;
+use hdc::{HdcError, Result};
+
+use crate::classifier::{LookHdClassifier, LookHdConfig};
+
+/// The grid of configurations to explore. Every combination of the listed
+/// values is fitted; other hyperparameters come from `base`.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Base configuration cloned for every grid point.
+    pub base: LookHdConfig,
+    /// Dimensionalities to try (empty ⇒ keep `base.dim`).
+    pub dims: Vec<usize>,
+    /// Quantization level counts to try (empty ⇒ keep `base.q`).
+    pub qs: Vec<usize>,
+    /// Chunk sizes to try (empty ⇒ keep `base.r`).
+    pub rs: Vec<usize>,
+}
+
+impl SweepGrid {
+    /// A grid holding everything at `base` (sweep nothing yet).
+    pub fn new(base: LookHdConfig) -> Self {
+        Self {
+            base,
+            dims: Vec::new(),
+            qs: Vec::new(),
+            rs: Vec::new(),
+        }
+    }
+
+    /// Sets the dimensionalities to sweep.
+    pub fn over_dims(mut self, dims: Vec<usize>) -> Self {
+        self.dims = dims;
+        self
+    }
+
+    /// Sets the quantization level counts to sweep.
+    pub fn over_qs(mut self, qs: Vec<usize>) -> Self {
+        self.qs = qs;
+        self
+    }
+
+    /// Sets the chunk sizes to sweep.
+    pub fn over_rs(mut self, rs: Vec<usize>) -> Self {
+        self.rs = rs;
+        self
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.dims.len().max(1) * self.qs.len().max(1) * self.rs.len().max(1)
+    }
+
+    /// True when the grid has exactly the base point.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty() && self.qs.is_empty() && self.rs.is_empty()
+    }
+
+    /// Materializes every configuration in the grid.
+    pub fn configs(&self) -> Vec<LookHdConfig> {
+        let dims = if self.dims.is_empty() { vec![self.base.dim] } else { self.dims.clone() };
+        let qs = if self.qs.is_empty() { vec![self.base.q] } else { self.qs.clone() };
+        let rs = if self.rs.is_empty() { vec![self.base.r] } else { self.rs.clone() };
+        let mut out = Vec::with_capacity(dims.len() * qs.len() * rs.len());
+        for &dim in &dims {
+            for &q in &qs {
+                for &r in &rs {
+                    out.push(self.base.clone().with_dim(dim).with_q(q).with_r(r));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct SweepRecord {
+    /// The configuration that was fitted.
+    pub config: LookHdConfig,
+    /// Test accuracy of the deployed (compressed) path.
+    pub accuracy: f64,
+    /// Test accuracy of the uncompressed model.
+    pub accuracy_uncompressed: f64,
+    /// Compressed model bytes.
+    pub model_bytes: usize,
+    /// Combined vectors the compression produced.
+    pub n_vectors: usize,
+}
+
+impl SweepRecord {
+    /// CSV header matching [`SweepRecord::to_csv_row`].
+    pub const CSV_HEADER: &'static str = "dim,q,r,accuracy,accuracy_uncompressed,model_bytes,n_vectors";
+
+    /// One CSV row for this record.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{:.4},{:.4},{},{}",
+            self.config.dim,
+            self.config.q,
+            self.config.r,
+            self.accuracy,
+            self.accuracy_uncompressed,
+            self.model_bytes,
+            self.n_vectors
+        )
+    }
+}
+
+/// Runs the sweep: fits every configuration on the training split and
+/// evaluates on the test split. `on_progress` is invoked after each grid
+/// point (e.g. for logging); pass `|_| {}` to ignore.
+///
+/// # Errors
+///
+/// Propagates the first training/evaluation error.
+pub fn run_sweep<F: FnMut(&SweepRecord)>(
+    grid: &SweepGrid,
+    train_features: &[Vec<f64>],
+    train_labels: &[usize],
+    test_features: &[Vec<f64>],
+    test_labels: &[usize],
+    mut on_progress: F,
+) -> Result<Vec<SweepRecord>> {
+    if test_features.is_empty() || test_features.len() != test_labels.len() {
+        return Err(HdcError::invalid_dataset(
+            "test split must be non-empty and consistent",
+        ));
+    }
+    let mut records = Vec::with_capacity(grid.len());
+    for config in grid.configs() {
+        let clf = LookHdClassifier::fit(&config, train_features, train_labels)?;
+        let predictions = clf.predict_batch(test_features)?;
+        let acc = accuracy(&predictions, test_labels)?;
+        let mut unc = 0usize;
+        for (x, &y) in test_features.iter().zip(test_labels) {
+            if clf.predict_uncompressed(x)? == y {
+                unc += 1;
+            }
+        }
+        let record = SweepRecord {
+            accuracy: acc,
+            accuracy_uncompressed: unc as f64 / test_features.len() as f64,
+            model_bytes: clf.compressed().size_bytes(),
+            n_vectors: clf.compressed().n_vectors(),
+            config,
+        };
+        on_progress(&record);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Renders records as a CSV document (header + rows).
+pub fn to_csv(records: &[SweepRecord]) -> String {
+    let mut out = String::from(SweepRecord::CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&r.to_csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![if i % 2 == 0 { 0.2 } else { 0.8 }; 10])
+            .collect();
+        let ys: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn grid_enumerates_cartesian_product() {
+        let grid = SweepGrid::new(LookHdConfig::new())
+            .over_dims(vec![128, 256])
+            .over_qs(vec![2, 4])
+            .over_rs(vec![3]);
+        assert_eq!(grid.len(), 4);
+        assert!(!grid.is_empty());
+        let configs = grid.configs();
+        assert_eq!(configs.len(), 4);
+        assert!(configs.iter().any(|c| c.dim == 128 && c.q == 4 && c.r == 3));
+    }
+
+    #[test]
+    fn empty_axes_fall_back_to_base() {
+        let base = LookHdConfig::new().with_dim(99).with_q(2).with_r(4);
+        let grid = SweepGrid::new(base.clone());
+        assert!(grid.is_empty());
+        assert_eq!(grid.len(), 1);
+        let configs = grid.configs();
+        assert_eq!(configs.len(), 1);
+        assert_eq!(configs[0].dim, 99);
+    }
+
+    #[test]
+    fn sweep_runs_and_reports() {
+        let (xs, ys) = toy();
+        let grid = SweepGrid::new(
+            LookHdConfig::new().with_dim(128).with_retrain_epochs(0),
+        )
+        .over_qs(vec![2, 4]);
+        let mut seen = 0usize;
+        let records = run_sweep(&grid, &xs, &ys, &xs, &ys, |_| seen += 1).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(seen, 2);
+        for r in &records {
+            assert!(r.accuracy > 0.9, "toy sweep should be easy: {}", r.accuracy);
+            assert!(r.model_bytes > 0);
+        }
+        let csv = to_csv(&records);
+        assert!(csv.starts_with(SweepRecord::CSV_HEADER));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn sweep_validates_test_split() {
+        let (xs, ys) = toy();
+        let grid = SweepGrid::new(LookHdConfig::new().with_dim(64));
+        assert!(run_sweep(&grid, &xs, &ys, &[], &[], |_| {}).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # lookhd-mlp — the Table IV MLP comparator
+//!
+//! The paper compares LookHD against an MLP mapped onto the same FPGA
+//! (DNNWeaver for inference, FPDeep for training). This crate provides a
+//! from-scratch multi-layer perceptron — dense layers, ReLU, softmax
+//! cross-entropy, per-sample SGD — for accuracy sanity, plus
+//! [`ops::MlpShape`] MAC/byte descriptors that the `lookhd-hwsim` platform
+//! models cost on the same device budget.
+//!
+//! ## Example
+//!
+//! ```
+//! use lookhd_mlp::{Mlp, MlpConfig};
+//!
+//! let xs = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+//! let ys = vec![1, 0];
+//! let config = MlpConfig::new().with_hidden(vec![8]).with_epochs(200);
+//! let mlp = Mlp::fit(&config, &xs, &ys);
+//! assert_eq!(mlp.predict(&[0.0, 1.0]), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layer;
+pub mod network;
+pub mod ops;
+
+pub use network::{Mlp, MlpConfig};
+pub use ops::MlpShape;

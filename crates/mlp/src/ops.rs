@@ -1,0 +1,96 @@
+//! Operation-count descriptors for the Table IV FPGA comparison.
+//!
+//! The paper maps MLP inference through DNNWeaver and MLP training through
+//! FPDeep; both are MAC-throughput designs. These helpers report the MAC
+//! and memory volumes of an MLP so the `lookhd-hwsim` platform models can
+//! cost it on the same device budget as LookHD.
+
+/// Static shape of an MLP workload: layer widths input-first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpShape {
+    widths: Vec<usize>,
+}
+
+impl MlpShape {
+    /// Builds a shape from layer widths `[n_in, hidden…, n_out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given or any width is zero.
+    pub fn new(widths: Vec<usize>) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        assert!(widths.iter().all(|&w| w > 0), "layer widths must be positive");
+        Self { widths }
+    }
+
+    /// The layer widths, input first.
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+
+    /// Multiply-accumulates for one forward pass.
+    pub fn inference_macs(&self) -> u64 {
+        self.widths
+            .windows(2)
+            .map(|w| (w[0] * w[1]) as u64)
+            .sum()
+    }
+
+    /// Multiply-accumulates for one SGD training step. Backprop costs one
+    /// forward pass plus two MAC passes (input gradients and weight
+    /// updates): ~3× inference (the FPDeep accounting).
+    pub fn training_step_macs(&self) -> u64 {
+        3 * self.inference_macs()
+    }
+
+    /// Parameter count (weights + biases).
+    pub fn n_params(&self) -> u64 {
+        self.widths
+            .windows(2)
+            .map(|w| (w[0] * w[1] + w[1]) as u64)
+            .sum()
+    }
+
+    /// Model bytes at 32-bit weights (the Table IV model-size comparison).
+    pub fn model_bytes(&self) -> u64 {
+        self.n_params() * 4
+    }
+
+    /// Weight bytes that must stream from memory per inference (each
+    /// weight read once).
+    pub fn inference_weight_bytes(&self) -> u64 {
+        self.inference_macs() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_match_hand_computation() {
+        let s = MlpShape::new(vec![617, 512, 26]);
+        assert_eq!(s.inference_macs(), 617 * 512 + 512 * 26);
+        assert_eq!(s.training_step_macs(), 3 * s.inference_macs());
+    }
+
+    #[test]
+    fn params_and_bytes() {
+        let s = MlpShape::new(vec![10, 4, 2]);
+        assert_eq!(s.n_params(), 10 * 4 + 4 + 4 * 2 + 2);
+        assert_eq!(s.model_bytes(), s.n_params() * 4);
+        assert_eq!(s.inference_weight_bytes(), (10 * 4 + 4 * 2) * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_single_width() {
+        let _ = MlpShape::new(vec![10]);
+    }
+
+    #[test]
+    fn widths_accessor() {
+        let s = MlpShape::new(vec![3, 2]);
+        assert_eq!(s.widths(), &[3, 2]);
+    }
+}

@@ -1,0 +1,324 @@
+//! Fixed-point emulation of the §V LookHD datapaths.
+//!
+//! Each block of Figs. 10/11 gets an emulated unit with explicit widths:
+//!
+//! * [`QuantizerUnit`] — subtract/abs/min comparator bank (Fig. 10 A–B);
+//! * [`CounterFile`] — per-chunk occurrence counters (Fig. 10 D);
+//! * [`WeightedAccumulator`] — counter × table-element multiply-accumulate
+//!   plus position-key negation (Fig. 10 E–F);
+//! * [`SearchUnit`] — the compressed associative search: shared products,
+//!   key-controlled add/sub accumulation (Fig. 11 D–G).
+//!
+//! [`WidthPlan`] derives sufficient widths from the workload's geometry;
+//! `crate::verify` then proves the emulated datapath bit-exact against the
+//! software reference at those widths.
+
+use crate::fixed::{Alu, OverflowMode, Width};
+
+/// Widths for every unit of the LookHD design, with the §V sizing rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthPlan {
+    /// Pre-stored chunk-table elements: values span `[-r, r]`.
+    pub table_element: Width,
+    /// Chunk counters: must count up to the per-class sample budget.
+    pub counter: Width,
+    /// Class-hypervector accumulators: bounded by `n` per dimension after
+    /// full aggregation (every feature contributes ±1).
+    pub class_accumulator: Width,
+    /// Query accumulators (same bound as class, per encoded query).
+    pub query_accumulator: Width,
+    /// Search accumulator: dot products up to `D · |H| · |C|`.
+    pub search_accumulator: Width,
+}
+
+impl WidthPlan {
+    /// Derives sufficient widths for a workload: chunk size `r`, feature
+    /// count `n`, dimensionality `d`, per-class training samples
+    /// `samples_per_class`, and the largest class-model magnitude
+    /// `max_class_value` the trained model holds.
+    pub fn derive(
+        r: usize,
+        n: usize,
+        d: usize,
+        samples_per_class: usize,
+        max_class_value: i64,
+    ) -> Self {
+        let table_element = Width::required_for(-(r as i64), r as i64);
+        let counter = Width::required_for(0, samples_per_class as i64);
+        // Each of the n features contributes ±1 to some dimension; the
+        // weighted accumulation additionally scales by counters, bounded by
+        // samples_per_class · r per table row and n · samples_per_class
+        // per dimension overall.
+        let class_bound = (n as i64) * (samples_per_class as i64);
+        let class_accumulator = Width::required_for(-class_bound, class_bound);
+        let query_bound = n as i64;
+        let query_accumulator = Width::required_for(-query_bound, query_bound);
+        let search_bound = (d as i64)
+            .saturating_mul(query_bound)
+            .saturating_mul(max_class_value.abs().max(1));
+        let search_accumulator = Width::required_for(-search_bound, search_bound);
+        Self {
+            table_element,
+            counter,
+            class_accumulator,
+            query_accumulator,
+            search_accumulator,
+        }
+    }
+}
+
+/// The Fig. 10-A quantizer: subtract the input from every level boundary
+/// and pick the level by comparator cascade. Works on integer millifeature
+/// units so the hardware sees fixed-point inputs.
+#[derive(Debug, Clone)]
+pub struct QuantizerUnit {
+    /// Interior boundaries in millifeature units, ascending.
+    boundaries_milli: Vec<i64>,
+    alu: Alu,
+}
+
+impl QuantizerUnit {
+    /// Scale factor from `f64` feature values to integer units.
+    pub const SCALE: f64 = 1000.0;
+
+    /// Builds the comparator bank from `f64` boundaries.
+    pub fn new(boundaries: &[f64], width: Width) -> Self {
+        Self {
+            boundaries_milli: boundaries
+                .iter()
+                .map(|&b| (b * Self::SCALE).round() as i64)
+                .collect(),
+            alu: Alu::new(width, OverflowMode::Saturate),
+        }
+    }
+
+    /// Quantizes one feature value (already scaled to integer units) by
+    /// counting boundaries `≤ x` — identical to the software rule.
+    pub fn level(&mut self, x_milli: i64) -> usize {
+        let mut level = 0usize;
+        for &b in &self.boundaries_milli {
+            // Hardware: sign of (x - b) selects the comparator output.
+            let diff = self.alu.sub(x_milli, b);
+            if diff >= 0 {
+                level += 1;
+            }
+        }
+        level.min(self.boundaries_milli.len())
+    }
+
+    /// Quantizes an `f64` feature value through the fixed-point path.
+    pub fn level_f64(&mut self, x: f64) -> usize {
+        self.level((x * Self::SCALE).round() as i64)
+    }
+
+    /// Overflow events in the comparator bank.
+    pub fn overflows(&self) -> u64 {
+        self.alu.overflows()
+    }
+}
+
+/// The Fig. 10-D counter register file for one chunk.
+#[derive(Debug, Clone)]
+pub struct CounterFile {
+    counters: Vec<i64>,
+    alu: Alu,
+}
+
+impl CounterFile {
+    /// Creates `rows` zeroed counters of the given width.
+    pub fn new(rows: usize, width: Width) -> Self {
+        Self {
+            counters: vec![0; rows],
+            alu: Alu::new(width, OverflowMode::Saturate),
+        }
+    }
+
+    /// Read-modify-write increment of the addressed counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn increment(&mut self, addr: usize) {
+        let v = self.counters[addr];
+        self.counters[addr] = self.alu.add(v, 1);
+    }
+
+    /// The counter value at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&self, addr: usize) -> i64 {
+        self.counters[addr]
+    }
+
+    /// Overflow (saturation) events.
+    pub fn overflows(&self) -> u64 {
+        self.alu.overflows()
+    }
+}
+
+/// The Fig. 10 E–F weighted accumulation: counter × table element products
+/// accumulated per dimension, then bound with the position key through a
+/// negation block.
+#[derive(Debug, Clone)]
+pub struct WeightedAccumulator {
+    acc: Vec<i64>,
+    alu: Alu,
+    element_alu: Alu,
+}
+
+impl WeightedAccumulator {
+    /// Creates a `d`-wide accumulator with the given accumulator and
+    /// table-element widths.
+    pub fn new(d: usize, accumulator: Width, element: Width) -> Self {
+        Self {
+            acc: vec![0; d],
+            alu: Alu::new(accumulator, OverflowMode::Saturate),
+            element_alu: Alu::new(element, OverflowMode::Saturate),
+        }
+    }
+
+    /// Accumulates `count · element` into dimension `dim`, optionally
+    /// negated by the position-key bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn accumulate(&mut self, dim: usize, count: i64, element: i64, negate: bool) {
+        let element = self.element_alu.coerce(element);
+        let product = self.alu.mul(count, element);
+        let signed = self.alu.negate_if(product, negate);
+        self.acc[dim] = self.alu.add(self.acc[dim], signed);
+    }
+
+    /// The accumulated vector.
+    pub fn values(&self) -> &[i64] {
+        &self.acc
+    }
+
+    /// Total overflow events across the accumulate and element paths.
+    pub fn overflows(&self) -> u64 {
+        self.alu.overflows() + self.element_alu.overflows()
+    }
+}
+
+/// The Fig. 11 D–G compressed associative search: the shared per-dimension
+/// products `H[d]·C[d]` feed `k` key-controlled add/sub accumulators.
+#[derive(Debug, Clone)]
+pub struct SearchUnit {
+    scores: Vec<i64>,
+    alu: Alu,
+}
+
+impl SearchUnit {
+    /// Creates a `k`-class search unit with the given accumulator width.
+    pub fn new(k: usize, width: Width) -> Self {
+        Self {
+            scores: vec![0; k],
+            alu: Alu::new(width, OverflowMode::Saturate),
+        }
+    }
+
+    /// Consumes one dimension: the shared product `h·c` is added to (or
+    /// subtracted from) every class accumulator according to its key bit.
+    pub fn consume(&mut self, h: i64, c: i64, key_negative: &[bool]) {
+        let product = self.alu.mul(h, c);
+        for (score, &neg) in self.scores.iter_mut().zip(key_negative) {
+            let signed = if neg { -product } else { product };
+            *score = self.alu.add(*score, signed);
+        }
+    }
+
+    /// Final scores, one per class.
+    pub fn scores(&self) -> &[i64] {
+        &self.scores
+    }
+
+    /// The winning class (ties to the lowest index).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0usize;
+        for (i, &s) in self.scores.iter().enumerate() {
+            if s > self.scores[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Overflow events.
+    pub fn overflows(&self) -> u64 {
+        self.alu.overflows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_plan_matches_paper_sizing() {
+        // SPEECH-ish: r=5, n=617, D=2000, 240 samples/class.
+        let plan = WidthPlan::derive(5, 617, 2000, 240, 1 << 14);
+        // Table elements span [-5, 5] → 4 bits, the paper's "log2 r bits"
+        // rounded to a signed format.
+        assert_eq!(plan.table_element.bits(), 4);
+        // Counters up to 240 → 9 bits signed.
+        assert_eq!(plan.counter.bits(), 9);
+        assert!(plan.class_accumulator.bits() >= 18);
+        assert!(plan.search_accumulator.bits() > plan.class_accumulator.bits());
+    }
+
+    #[test]
+    fn quantizer_matches_software_rule() {
+        let boundaries = [0.25, 0.5, 0.75];
+        let mut unit = QuantizerUnit::new(&boundaries, Width::new(16));
+        assert_eq!(unit.level_f64(0.0), 0);
+        assert_eq!(unit.level_f64(0.25), 1); // boundary goes up
+        assert_eq!(unit.level_f64(0.6), 2);
+        assert_eq!(unit.level_f64(0.9), 3);
+        assert_eq!(unit.overflows(), 0);
+    }
+
+    #[test]
+    fn counter_file_saturates_at_width() {
+        let mut file = CounterFile::new(4, Width::new(3)); // max 3
+        for _ in 0..10 {
+            file.increment(1);
+        }
+        assert_eq!(file.read(1), 3);
+        assert_eq!(file.read(0), 0);
+        assert!(file.overflows() > 0);
+    }
+
+    #[test]
+    fn weighted_accumulator_computes_signed_macs() {
+        let mut acc = WeightedAccumulator::new(2, Width::new(16), Width::new(4));
+        acc.accumulate(0, 3, 2, false); // +6
+        acc.accumulate(0, 2, -1, true); // -(-2) = +2
+        acc.accumulate(1, 5, 1, true); // -5
+        assert_eq!(acc.values(), &[8, -5]);
+        assert_eq!(acc.overflows(), 0);
+    }
+
+    #[test]
+    fn search_unit_sign_flips_shared_products() {
+        let mut unit = SearchUnit::new(2, Width::new(24));
+        // dims: h = [2, -1], c = [3, 4]; keys: class0 = ++, class1 = +-
+        unit.consume(2, 3, &[false, false]);
+        unit.consume(-1, 4, &[false, true]);
+        assert_eq!(unit.scores(), &[2, 10]); // [6-4, 6+4]
+        assert_eq!(unit.argmax(), 1);
+        assert_eq!(unit.overflows(), 0);
+    }
+
+    #[test]
+    fn narrow_search_accumulator_overflows_visibly() {
+        let mut unit = SearchUnit::new(1, Width::new(6)); // max 31
+        for _ in 0..10 {
+            unit.consume(3, 3, &[false]);
+        }
+        assert_eq!(unit.scores()[0], 31, "must saturate, not wrap silently");
+        assert!(unit.overflows() > 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Fixed-width integer arithmetic with overflow accounting.
+//!
+//! The §V hardware fixes every datapath width at synthesis time: table
+//! elements carry `⌈log2(2r+1)⌉` bits, counters are narrow registers,
+//! adder trees grow one bit per level. [`Alu`] evaluates integer
+//! expressions under such a width budget, either saturating (the usual DSP
+//! configuration) or wrapping (plain adders), and counts every overflow so
+//! verification can tell "width is sufficient" from "silently wrong".
+
+use std::fmt;
+
+/// Overflow behaviour of a hardware unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverflowMode {
+    /// Clamp to the representable range (DSP saturation logic).
+    Saturate,
+    /// Wrap modulo `2^bits` (plain binary adders).
+    Wrap,
+}
+
+/// A signed fixed-width integer format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Width {
+    bits: u32,
+}
+
+impl Width {
+    /// A signed two's-complement format with `bits` total bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ bits ≤ 63`.
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=63).contains(&bits), "width must be 2..=63 bits, got {bits}");
+        Self { bits }
+    }
+
+    /// The bit count.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Largest representable value, `2^{bits-1} − 1`.
+    pub fn max(&self) -> i64 {
+        (1i64 << (self.bits - 1)) - 1
+    }
+
+    /// Smallest representable value, `−2^{bits-1}`.
+    pub fn min(&self) -> i64 {
+        -(1i64 << (self.bits - 1))
+    }
+
+    /// Whether `v` fits without overflow.
+    pub fn fits(&self, v: i64) -> bool {
+        v >= self.min() && v <= self.max()
+    }
+
+    /// Minimal signed width that can hold every value in `[lo, hi]`.
+    pub fn required_for(lo: i64, hi: i64) -> Self {
+        for bits in 2..=63u32 {
+            let w = Width { bits };
+            if w.fits(lo) && w.fits(hi) {
+                return w;
+            }
+        }
+        Width { bits: 63 }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.bits)
+    }
+}
+
+/// A width-checked arithmetic unit that records overflow events.
+#[derive(Debug, Clone)]
+pub struct Alu {
+    width: Width,
+    mode: OverflowMode,
+    overflows: u64,
+}
+
+impl Alu {
+    /// Creates a unit with the given format and overflow behaviour.
+    pub fn new(width: Width, mode: OverflowMode) -> Self {
+        Self {
+            width,
+            mode,
+            overflows: 0,
+        }
+    }
+
+    /// The unit's format.
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// Overflow events observed so far.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// True when no overflow has occurred.
+    pub fn is_exact(&self) -> bool {
+        self.overflows == 0
+    }
+
+    /// Coerces a value into the format, applying the overflow mode.
+    pub fn coerce(&mut self, v: i64) -> i64 {
+        if self.width.fits(v) {
+            return v;
+        }
+        self.overflows += 1;
+        match self.mode {
+            OverflowMode::Saturate => v.clamp(self.width.min(), self.width.max()),
+            OverflowMode::Wrap => {
+                let span = 1i128 << self.width.bits();
+                let offset = 1i128 << (self.width.bits() - 1);
+                (((v as i128 + offset).rem_euclid(span)) - offset) as i64
+            }
+        }
+    }
+
+    /// `a + b` in this format.
+    pub fn add(&mut self, a: i64, b: i64) -> i64 {
+        self.coerce(a.saturating_add(b))
+    }
+
+    /// `a − b` in this format.
+    pub fn sub(&mut self, a: i64, b: i64) -> i64 {
+        self.coerce(a.saturating_sub(b))
+    }
+
+    /// `a · b` in this format.
+    pub fn mul(&mut self, a: i64, b: i64) -> i64 {
+        self.coerce(a.saturating_mul(b))
+    }
+
+    /// Conditional negation (the §V "negation block" — exact by
+    /// construction in two's complement unless negating the minimum).
+    pub fn negate_if(&mut self, v: i64, negate: bool) -> i64 {
+        if negate {
+            self.coerce(-v)
+        } else {
+            self.coerce(v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_bounds() {
+        let w = Width::new(4);
+        assert_eq!(w.max(), 7);
+        assert_eq!(w.min(), -8);
+        assert!(w.fits(7) && w.fits(-8));
+        assert!(!w.fits(8) && !w.fits(-9));
+        assert_eq!(format!("{w}"), "i4");
+    }
+
+    #[test]
+    fn required_width_is_minimal() {
+        assert_eq!(Width::required_for(-1, 1).bits(), 2);
+        assert_eq!(Width::required_for(-5, 5).bits(), 4);
+        assert_eq!(Width::required_for(0, 127).bits(), 8);
+        assert_eq!(Width::required_for(-128, 127).bits(), 8);
+        assert_eq!(Width::required_for(-129, 0).bits(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn rejects_tiny_widths() {
+        let _ = Width::new(1);
+    }
+
+    #[test]
+    fn saturation_clamps_and_counts() {
+        let mut alu = Alu::new(Width::new(4), OverflowMode::Saturate);
+        assert_eq!(alu.add(7, 5), 7);
+        assert_eq!(alu.sub(-8, 3), -8);
+        assert_eq!(alu.overflows(), 2);
+        assert!(!alu.is_exact());
+        assert_eq!(alu.add(3, 2), 5);
+        assert_eq!(alu.overflows(), 2);
+    }
+
+    #[test]
+    fn wrapping_matches_twos_complement() {
+        let mut alu = Alu::new(Width::new(4), OverflowMode::Wrap);
+        assert_eq!(alu.add(7, 1), -8); // 8 wraps to -8 in i4
+        assert_eq!(alu.add(-8, -1), 7);
+        assert_eq!(alu.mul(4, 4), 0); // 16 ≡ 0 (mod 16)
+        assert_eq!(alu.overflows(), 3);
+    }
+
+    #[test]
+    fn negation_block_is_exact_except_at_min() {
+        let mut alu = Alu::new(Width::new(4), OverflowMode::Saturate);
+        assert_eq!(alu.negate_if(5, true), -5);
+        assert_eq!(alu.negate_if(5, false), 5);
+        assert!(alu.is_exact());
+        assert_eq!(alu.negate_if(-8, true), 7); // |min| saturates
+        assert_eq!(alu.overflows(), 1);
+    }
+
+    #[test]
+    fn exact_values_pass_through_unchanged() {
+        let mut alu = Alu::new(Width::new(16), OverflowMode::Wrap);
+        for v in [-32768i64, -1, 0, 1, 32767] {
+            assert_eq!(alu.coerce(v), v);
+        }
+        assert!(alu.is_exact());
+    }
+}

@@ -1,0 +1,41 @@
+//! # lookhd-rtl — fixed-point datapath emulation and verification
+//!
+//! The paper's §V hardware fixes every datapath width at synthesis time:
+//! chunk-table elements carry `⌈log2(2r+1)⌉` bits, counters are narrow
+//! registers, adder trees and DSP accumulators have finite precision. This
+//! crate answers the question an RTL engineer would ask of the algorithm
+//! teams: *which widths are sufficient, and what breaks when they are not?*
+//!
+//! * [`fixed`] — width-checked arithmetic units ([`fixed::Alu`]) with
+//!   saturating/wrapping overflow semantics and overflow accounting;
+//! * [`datapath`] — emulated blocks of Figs. 10/11: quantizer comparator
+//!   banks, counter register files, weighted accumulation with position-key
+//!   negation, and the compressed associative search, plus
+//!   [`datapath::WidthPlan`] deriving sufficient widths from the workload;
+//! * [`verify`] — end-to-end bit-exactness proofs: the emulated training
+//!   and search datapaths are diffed element-by-element against the
+//!   `lookhd` software reference; zero mismatches + zero overflows at the
+//!   planned widths is a width-sufficiency certificate for that workload.
+//!
+//! ## Example
+//!
+//! ```
+//! use lookhd_rtl::datapath::WidthPlan;
+//!
+//! // SPEECH-like geometry: r = 5, n = 617, D = 2000, 240 samples/class.
+//! let plan = WidthPlan::derive(5, 617, 2000, 240, 1 << 14);
+//! assert_eq!(plan.table_element.bits(), 4); // the paper's "log2 r bits"
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datapath;
+#[cfg(test)]
+mod proptests;
+pub mod fixed;
+pub mod verify;
+
+pub use datapath::WidthPlan;
+pub use fixed::{Alu, OverflowMode, Width};
+pub use verify::{verify_search_datapath, verify_training_datapath, VerificationReport};

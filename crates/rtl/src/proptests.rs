@@ -1,0 +1,69 @@
+//! Property-based laws of the fixed-width arithmetic units.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::fixed::{Alu, OverflowMode, Width};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Saturating results always stay in range and are exact whenever the
+    /// true result fits.
+    #[test]
+    fn saturate_stays_in_range(bits in 2u32..40, a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let width = Width::new(bits);
+        let mut alu = Alu::new(width, OverflowMode::Saturate);
+        let sum = alu.add(a, b);
+        prop_assert!(width.fits(sum));
+        if width.fits(a + b) {
+            prop_assert_eq!(sum, a + b);
+        }
+        let product = alu.mul(a, b);
+        prop_assert!(width.fits(product));
+        if width.fits(a.saturating_mul(b)) {
+            prop_assert_eq!(product, a * b);
+        }
+    }
+
+    /// Wrapping arithmetic is a ring homomorphism: results agree with the
+    /// wide result modulo 2^bits.
+    #[test]
+    fn wrap_is_modular(bits in 2u32..32, a in -100_000i64..100_000, b in -100_000i64..100_000) {
+        let width = Width::new(bits);
+        let mut alu = Alu::new(width, OverflowMode::Wrap);
+        let span = 1i128 << bits;
+        let expect = |v: i64| -> i64 {
+            let offset = 1i128 << (bits - 1);
+            (((v as i128 + offset).rem_euclid(span)) - offset) as i64
+        };
+        prop_assert_eq!(alu.add(a, b), expect(a + b));
+        prop_assert_eq!(alu.sub(a, b), expect(a - b));
+        prop_assert_eq!(alu.mul(a, b), expect(a * b));
+    }
+
+    /// Width::required_for is tight: the value fits at the returned width
+    /// but (when possible) not one bit below.
+    #[test]
+    fn required_width_is_tight(lo in -1_000_000i64..0, hi in 0i64..1_000_000) {
+        let width = Width::required_for(lo, hi);
+        prop_assert!(width.fits(lo) && width.fits(hi));
+        if width.bits() > 2 {
+            let narrower = Width::new(width.bits() - 1);
+            prop_assert!(!narrower.fits(lo) || !narrower.fits(hi));
+        }
+    }
+
+    /// Negation blocks are involutive away from the minimum value.
+    #[test]
+    fn negation_is_involutive(bits in 3u32..40, v in -1000i64..1000) {
+        let width = Width::new(bits);
+        prop_assume!(width.fits(v) && width.fits(-v));
+        let mut alu = Alu::new(width, OverflowMode::Saturate);
+        let once = alu.negate_if(v, true);
+        let twice = alu.negate_if(once, true);
+        prop_assert_eq!(twice, v);
+        prop_assert!(alu.is_exact());
+    }
+}

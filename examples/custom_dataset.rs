@@ -1,0 +1,67 @@
+//! Bring your own data: parse CSV text, inspect it, train, persist — the
+//! library-level version of the `lookhd` CLI workflow.
+//!
+//! Run: `cargo run --release --example custom_dataset`
+
+use lookhd_paper::datasets::csv;
+use lookhd_paper::datasets::summary::{suggest_config, summarize};
+use lookhd_paper::hdc::HdcError;
+use lookhd_paper::lookhd::{LookHdClassifier, LookHdConfig};
+
+fn main() -> Result<(), HdcError> {
+    // Imagine this arrived as a file; labels in the last column.
+    let mut text = String::from("temp,vibration,current,label\n");
+    for i in 0..120 {
+        let class = i % 3;
+        let base = [0.2, 0.5, 0.8][class];
+        let j = (i % 9) as f64 * 0.005;
+        text.push_str(&format!(
+            "{:.3},{:.3},{:.3},{}\n",
+            base + j,
+            base - j,
+            (base + 2.0 * j).powi(2),
+            class
+        ));
+    }
+    let split = csv::parse_split(&text).expect("CSV parse failed");
+
+    // Inspect before choosing hyperparameters.
+    let summary = summarize(&split).expect("summary failed");
+    let hint = suggest_config(&summary);
+    println!(
+        "{} samples, n = {}, k = {}, skew {:+.2} -> suggested q = {}, r = {}, D = {}",
+        summary.n_samples,
+        summary.n_features,
+        summary.n_classes,
+        summary.skew_indicator,
+        hint.q,
+        hint.r,
+        hint.dim
+    );
+
+    // Train with the suggestion (scaled-down D for the example).
+    let config = LookHdConfig::new()
+        .with_dim(512)
+        .with_q(hint.q)
+        .with_r(hint.r)
+        .with_retrain_epochs(3);
+    let clf = LookHdClassifier::fit(&config, &split.features, &split.labels)?;
+    println!(
+        "train accuracy {:.1}%, model {} bytes ({} combined vectors)",
+        clf.score(&split.features, &split.labels)? * 100.0,
+        clf.compressed().size_bytes(),
+        clf.compressed().n_vectors()
+    );
+
+    // Persist for deployment and verify the round trip.
+    let bytes = clf.to_bytes();
+    let restored = LookHdClassifier::from_bytes(&bytes)?;
+    let probe = vec![0.21, 0.19, 0.04];
+    assert_eq!(clf.predict(&probe)?, restored.predict(&probe)?);
+    println!(
+        "persisted {} bytes; restored model classifies the probe as {}",
+        bytes.len(),
+        restored.predict(&probe)?
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Edge deployment planning with the hardware cost models.
+//!
+//! Given an application, sweep LookHD's `(q, r)` design space, check which
+//! configurations' lookup tables fit the KC705's BRAM (the §III
+//! feasibility constraint), and report estimated training time, per-query
+//! latency, and energy on both the FPGA and an ARM A53 — the
+//! design-space-exploration workflow the paper's architecture enables.
+//!
+//! Run: `cargo run --release --example edge_deployment`
+
+use lookhd_paper::datasets::apps::App;
+use lookhd_paper::hwsim::fpga::FpgaPhase;
+use lookhd_paper::hwsim::{CpuModel, FpgaModel, WorkloadShape};
+
+fn main() {
+    let profile = App::Physical.profile(); // n = 52, k = 12: a wearable
+    let cpu = CpuModel::cortex_a53();
+    let fpga = FpgaModel::kc705();
+    println!(
+        "design-space exploration for {} (n = {}, k = {}):\n",
+        profile.name, profile.n_features, profile.n_classes
+    );
+    println!(
+        "{:<10} {:<10} {:<12} {:<26} {:<26}",
+        "q, r", "BRAM fit", "table rows", "FPGA: train / query", "A53: train / query"
+    );
+    for q in [2usize, 4, 8, 16] {
+        for r in [3usize, 5, 8] {
+            let shape = WorkloadShape {
+                n_features: profile.n_features,
+                q,
+                dim: 2000,
+                n_classes: profile.n_classes,
+                r,
+                max_classes_per_vector: 12,
+                train_samples: profile.default_train_per_class * profile.n_classes,
+                retrain_epochs: 0,
+                avg_updates_per_epoch: 0,
+            };
+            let fits = fpga.tables_fit(&shape);
+            let f_train = fpga.initial_training_cost(&shape, FpgaPhase::LookHdTraining);
+            let f_query = fpga.execute_as(&shape.lookhd_inference(), FpgaPhase::LookHdInference);
+            let c_train = cpu.execute(&shape.lookhd_initial_training());
+            let c_query = cpu.execute(&shape.lookhd_inference());
+            println!(
+                "q={q:<2} r={r:<2}  {:<10} {:<12} {:>9.2} ms / {:>7.1} us   {:>9.2} ms / {:>7.1} us",
+                if fits { "yes" } else { "NO" },
+                shape.table_rows(),
+                f_train.seconds * 1e3,
+                f_query.seconds * 1e6,
+                c_train.seconds * 1e3,
+                c_query.seconds * 1e6,
+            );
+        }
+    }
+    println!(
+        "\nPick the largest (q, r) whose tables fit BRAM and whose training budget\n\
+         holds; the paper settles on q = 2..4, r = 5 for all five applications."
+    );
+}

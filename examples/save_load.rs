@@ -1,0 +1,45 @@
+//! Train once, deploy everywhere: persist a trained LookHD classifier to a
+//! file and reload it for inference (what an edge device would flash).
+//!
+//! Run: `cargo run --release --example save_load`
+
+use lookhd_paper::datasets::apps::App;
+use lookhd_paper::hdc::HdcError;
+use lookhd_paper::lookhd::{LookHdClassifier, LookHdConfig};
+
+fn main() -> Result<(), HdcError> {
+    let profile = App::Physical.profile();
+    let data = profile.generate_small(17);
+    let config = LookHdConfig::new().with_dim(1024).with_retrain_epochs(3);
+    let trained = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)?;
+    let accuracy = trained.score(&data.test.features, &data.test.labels)?;
+
+    // Persist: hyperparameters + quantizer + models. Level/position
+    // hypervectors regenerate from the seed, keeping the artifact small.
+    let bytes = trained.to_bytes();
+    let path = std::env::temp_dir().join("lookhd_physical.lks");
+    std::fs::write(&path, &bytes).expect("writing model file failed");
+    println!(
+        "trained {} (test accuracy {:.1}%), saved {} bytes to {}",
+        profile.name,
+        accuracy * 100.0,
+        bytes.len(),
+        path.display()
+    );
+
+    // …on the device: reload and classify.
+    let flashed = std::fs::read(&path).expect("reading model file failed");
+    let deployed = LookHdClassifier::from_bytes(&flashed)?;
+    let agree = data
+        .test
+        .features
+        .iter()
+        .filter(|x| deployed.predict(x).ok() == trained.predict(x).ok())
+        .count();
+    println!(
+        "reloaded model agrees with the original on {agree}/{} test queries",
+        data.test.len()
+    );
+    let _ = std::fs::remove_file(&path);
+    Ok(())
+}

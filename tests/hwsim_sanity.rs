@@ -1,0 +1,151 @@
+//! Sanity and shape checks on the hardware cost models: monotonicity,
+//! paper-band ratios, and feasibility rules.
+
+use lookhd_paper::datasets::apps::App;
+use lookhd_paper::hwsim::fpga::FpgaPhase;
+use lookhd_paper::hwsim::{CpuModel, FpgaModel, GpuModel, WorkloadShape};
+
+fn shape_for(app: App, q: usize) -> WorkloadShape {
+    let p = app.profile();
+    WorkloadShape {
+        n_features: p.n_features,
+        q,
+        dim: 2000,
+        n_classes: p.n_classes,
+        r: 5,
+        max_classes_per_vector: 12,
+        train_samples: p.default_train_per_class * p.n_classes,
+        retrain_epochs: 10,
+        avg_updates_per_epoch: p.default_train_per_class * p.n_classes / 10,
+    }
+}
+
+#[test]
+fn fpga_training_speedups_land_in_paper_band() {
+    // Paper: 5-app average 28.3x (q=2) and 14.1x (q=4), q=2 > q=4 > q=8.
+    let fpga = FpgaModel::kc705();
+    let mut means = Vec::new();
+    for q in [2usize, 4, 8] {
+        let mut ratios = Vec::new();
+        for app in App::ALL {
+            let look = shape_for(app, q);
+            let mut base = look;
+            base.q = app.profile().paper_q_baseline;
+            let f_base = fpga.initial_training_cost(&base, FpgaPhase::BaselineTraining);
+            let f_look = fpga.initial_training_cost(&look, FpgaPhase::LookHdTraining);
+            ratios.push(f_look.speedup_over(&f_base));
+        }
+        means.push(lookhd_paper::hwsim::geomean(&ratios));
+    }
+    assert!(
+        (10.0..100.0).contains(&means[0]),
+        "q=2 speedup {means:?} out of paper band"
+    );
+    assert!(means[0] > means[1], "q=2 must beat q=4: {means:?}");
+    assert!(means[1] > means[2], "q=4 must beat q=8: {means:?}");
+}
+
+#[test]
+fn search_speedup_grows_with_class_count() {
+    // The §II-D scalability complaint: baseline *associative search* cost
+    // grows with k while compressed search barely does (encoding costs are
+    // class-independent, so the whole-inference ratio is diluted by n).
+    let fpga = FpgaModel::kc705();
+    let ratio_for = |app: App| -> f64 {
+        let p = app.profile();
+        let shape = shape_for(app, p.paper_q_lookhd);
+        let base = fpga.execute_as(&shape.baseline_search(), FpgaPhase::BaselineInference);
+        let look = fpga.execute_as(&shape.lookhd_search(), FpgaPhase::LookHdInference);
+        look.speedup_over(&base)
+    };
+    let speech = ratio_for(App::Speech); // k = 26
+    let face = ratio_for(App::Face); // k = 2
+    assert!(
+        speech > face,
+        "k=26 should gain more than k=2: {speech} vs {face}"
+    );
+    // And the whole-inference path still favours LookHD everywhere.
+    for app in App::ALL {
+        let p = app.profile();
+        let shape = shape_for(app, p.paper_q_lookhd);
+        let base = fpga.execute_as(&shape.baseline_inference(), FpgaPhase::BaselineInference);
+        let look = fpga.execute_as(&shape.lookhd_inference(), FpgaPhase::LookHdInference);
+        assert!(look.speedup_over(&base) > 1.0, "{:?} should win end to end", app);
+    }
+}
+
+#[test]
+fn cpu_costs_are_monotone_in_work() {
+    let cpu = CpuModel::cortex_a53();
+    let small = shape_for(App::Extra, 4);
+    let mut big = small;
+    big.dim *= 2;
+    assert!(
+        cpu.execute(&big.baseline_inference()).seconds
+            > cpu.execute(&small.baseline_inference()).seconds
+    );
+    let mut more_classes = small;
+    more_classes.n_classes *= 2;
+    assert!(
+        cpu.execute(&more_classes.baseline_search()).seconds
+            > cpu.execute(&small.baseline_search()).seconds
+    );
+    let mut more_samples = small;
+    more_samples.train_samples *= 3;
+    assert!(
+        cpu.execute(&more_samples.baseline_initial_training()).seconds
+            > cpu.execute(&small.baseline_initial_training()).seconds
+    );
+}
+
+#[test]
+fn gpu_wins_time_fpga_wins_energy() {
+    // Table III's shape.
+    let gpu = GpuModel::gtx1080();
+    let cpu = CpuModel::cortex_a53();
+    let fpga = FpgaModel::kc705();
+    let shape = shape_for(App::Speech, 4);
+    let work = shape.baseline_training();
+    let g = gpu.execute(&work);
+    let c = cpu.execute(&work);
+    let f = fpga.execute_as(&work, FpgaPhase::BaselineTraining);
+    assert!(g.speedup_over(&c) > 50.0, "GPU should crush the A53 on time");
+    assert!(
+        f.energy_efficiency_over(&g) > 5.0,
+        "FPGA should be far more energy-efficient than the GPU"
+    );
+}
+
+#[test]
+fn bram_feasibility_matches_paper_design_points() {
+    // q=2/q=4 with r=5 fit the KC705; q=16 with r=5 does not (§III-B's
+    // motivation for quantization reduction).
+    let fpga = FpgaModel::kc705();
+    for app in App::ALL {
+        let fits2 = fpga.tables_fit(&shape_for(app, 2));
+        let fits4 = fpga.tables_fit(&shape_for(app, 4));
+        let fits16 = fpga.tables_fit(&shape_for(app, 16));
+        assert!(fits2 && fits4, "{app:?}: q=2/4 tables must fit");
+        assert!(!fits16, "{app:?}: q=16, r=5 tables must not fit");
+    }
+}
+
+#[test]
+fn model_size_reduction_matches_class_count() {
+    for app in App::ALL {
+        let p = app.profile();
+        let mut shape = shape_for(app, p.paper_q_lookhd);
+        shape.max_classes_per_vector = p.n_classes; // fully compressed
+        let (base, compressed) = shape.model_bytes();
+        assert_eq!(base / compressed, p.n_classes as u64, "{}", p.name);
+    }
+}
+
+#[test]
+fn lookhd_initial_training_cycles_scale_with_q() {
+    let fpga = FpgaModel::kc705();
+    let c2 = fpga.lookhd_initial_training_cycles(&shape_for(App::Speech, 2));
+    let c4 = fpga.lookhd_initial_training_cycles(&shape_for(App::Speech, 4));
+    let c8 = fpga.lookhd_initial_training_cycles(&shape_for(App::Speech, 8));
+    assert!(c2 < c4 && c4 < c8, "cycles must grow with q: {c2} {c4} {c8}");
+}

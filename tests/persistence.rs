@@ -1,0 +1,79 @@
+//! Persistence round-trips at classifier scale: a trained LookHD
+//! classifier serialized to bytes must predict identically after reload.
+
+use lookhd_paper::datasets::apps::App;
+use lookhd_paper::hdc::persist::{model_from_bytes, model_to_bytes};
+use lookhd_paper::lookhd::{CompressedModel, LookHdClassifier, LookHdConfig};
+
+#[test]
+fn classifier_round_trips_through_bytes() {
+    let profile = App::Physical.profile();
+    let data = profile.generate_small(41);
+    let config = LookHdConfig::new().with_dim(512).with_retrain_epochs(2);
+    let clf = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)
+        .expect("training failed");
+    let bytes = clf.to_bytes();
+    let back = LookHdClassifier::from_bytes(&bytes).expect("reload failed");
+    // Identical predictions on the whole test split — both compressed and
+    // uncompressed paths.
+    for x in &data.test.features {
+        assert_eq!(
+            clf.predict(x).expect("predict failed"),
+            back.predict(x).expect("predict failed")
+        );
+        assert_eq!(
+            clf.predict_uncompressed(x).expect("predict failed"),
+            back.predict_uncompressed(x).expect("predict failed")
+        );
+    }
+    // The regenerated encoder is bit-identical.
+    assert_eq!(
+        clf.encode(&data.test.features[0]).expect("encode failed"),
+        back.encode(&data.test.features[0]).expect("encode failed")
+    );
+}
+
+#[test]
+fn classifier_rejects_corrupted_bytes() {
+    let profile = App::Face.profile();
+    let data = profile.generate_small(42);
+    let clf = LookHdClassifier::fit(
+        &LookHdConfig::new().with_dim(256).with_retrain_epochs(0),
+        &data.train.features,
+        &data.train.labels,
+    )
+    .expect("training failed");
+    let bytes = clf.to_bytes();
+    assert!(LookHdClassifier::from_bytes(&bytes[..10]).is_err());
+    let mut bad = bytes.clone();
+    bad[1] = b'?';
+    assert!(LookHdClassifier::from_bytes(&bad).is_err());
+    assert!(LookHdClassifier::from_bytes(&[]).is_err());
+}
+
+#[test]
+fn uncompressed_and_compressed_models_round_trip_separately() {
+    let profile = App::Extra.profile();
+    let data = profile.generate_small(43);
+    let clf = LookHdClassifier::fit(
+        &LookHdConfig::new().with_dim(256).with_retrain_epochs(1),
+        &data.train.features,
+        &data.train.labels,
+    )
+    .expect("training failed");
+    // hdc::persist path for the uncompressed model.
+    let model_bytes = model_to_bytes(clf.model());
+    let model = model_from_bytes(&model_bytes).expect("model reload failed");
+    let q = clf.encode(&data.test.features[0]).expect("encode failed");
+    assert_eq!(
+        model.predict(&q).expect("predict failed"),
+        clf.model().predict(&q).expect("predict failed")
+    );
+    // lookhd compressed-model path.
+    let cm_bytes = clf.compressed().to_bytes();
+    let cm = CompressedModel::from_bytes(&cm_bytes).expect("compressed reload failed");
+    assert_eq!(
+        cm.predict(&q).expect("predict failed"),
+        clf.compressed().predict(&q).expect("predict failed")
+    );
+}

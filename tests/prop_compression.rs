@@ -1,0 +1,127 @@
+//! Property-based tests of model compression (Eq. 4/5 invariants).
+
+use lookhd_paper::hdc::hv::DenseHv;
+use lookhd_paper::hdc::model::ClassModel;
+use lookhd_paper::lookhd::{CompressedModel, CompressionConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_model(k: usize, d: usize, seed: u64) -> ClassModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = (0..k)
+        .map(|_| DenseHv::from_vec((0..d).map(|_| rng.gen_range(-30..=30)).collect()))
+        .collect();
+    ClassModel::from_classes(classes).expect("model build failed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Eq. 5 exactness: without decorrelation, the compressed score of a
+    /// class decomposes exactly into signal + noise, and summing the two
+    /// reproduces the score.
+    #[test]
+    fn signal_plus_noise_equals_score(
+        k in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let d = 512;
+        let model = random_model(k, d, seed);
+        let cfg = CompressionConfig::new().with_decorrelate(false);
+        let cm = CompressedModel::compress(&model, &cfg).unwrap();
+        let query = model.class(0).clone();
+        let scores = cm.scores(&query).unwrap();
+        let sn = cm.signal_noise(&model, &query).unwrap();
+        for j in 0..k {
+            let recomposed = sn[j].signal + sn[j].noise;
+            prop_assert!(
+                (recomposed - scores[j]).abs() < 1e-6,
+                "class {j}: {} + {} != {}",
+                sn[j].signal, sn[j].noise, scores[j]
+            );
+        }
+    }
+
+    /// One class per vector ⇒ no cross-talk at all: the noise term is
+    /// exactly zero and predictions match the uncompressed model.
+    #[test]
+    fn one_class_per_vector_is_noise_free(
+        k in 2usize..8,
+        seed in any::<u64>(),
+        qseed in any::<u64>(),
+    ) {
+        let d = 256;
+        let model = random_model(k, d, seed);
+        let cfg = CompressionConfig::new()
+            .with_decorrelate(false)
+            .with_max_classes_per_vector(1);
+        let cm = CompressedModel::compress(&model, &cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(qseed);
+        let query = DenseHv::from_vec((0..d).map(|_| rng.gen_range(-20..=20)).collect());
+        let sn = cm.signal_noise(&model, &query).unwrap();
+        for (j, s) in sn.iter().enumerate() {
+            prop_assert!(s.noise.abs() < 1e-6, "class {j} noise {}", s.noise);
+        }
+        prop_assert_eq!(cm.n_vectors(), k);
+    }
+
+    /// Grouping never changes the class count, group vectors count is
+    /// ⌈k / max⌉, and the paper's size accounting follows.
+    #[test]
+    fn grouping_and_size_accounting(
+        k in 1usize..40,
+        max_per in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let d = 128;
+        let model = random_model(k, d, seed);
+        let cfg = CompressionConfig::new().with_max_classes_per_vector(max_per);
+        let cm = CompressedModel::compress(&model, &cfg).unwrap();
+        prop_assert_eq!(cm.n_classes(), k);
+        prop_assert_eq!(cm.n_vectors(), k.div_ceil(max_per));
+        prop_assert_eq!(cm.size_bytes(), cm.n_vectors() * d * 4);
+        prop_assert!(cm.size_bytes_with_keys() > cm.size_bytes());
+    }
+
+    /// An update toward (correct, wrong) strictly increases the correct
+    /// class's score on that query and decreases the wrong one's.
+    #[test]
+    fn update_is_directionally_correct(
+        k in 2usize..10,
+        seed in any::<u64>(),
+        correct in 0usize..10,
+        wrong in 0usize..10,
+    ) {
+        let k = k.max(2);
+        let (correct, wrong) = (correct % k, wrong % k);
+        prop_assume!(correct != wrong);
+        let d = 512;
+        let model = random_model(k, d, seed);
+        let cfg = CompressionConfig::new().with_decorrelate(false);
+        let mut cm = CompressedModel::compress(&model, &cfg).unwrap();
+        let query = model.class(correct).clone();
+        let before = cm.scores(&query).unwrap();
+        cm.update(correct, wrong, &query).unwrap();
+        let after = cm.scores(&query).unwrap();
+        prop_assert!(after[correct] > before[correct]);
+        prop_assert!(after[wrong] < before[wrong]);
+    }
+
+    /// Compression is deterministic in the seed: same config ⇒ identical
+    /// combined vectors; different key seeds ⇒ different combined vectors.
+    #[test]
+    fn compression_determinism(k in 2usize..8, seed in any::<u64>()) {
+        let model = random_model(k, 128, seed);
+        let cfg = CompressionConfig::new();
+        let a = CompressedModel::compress(&model, &cfg).unwrap();
+        let b = CompressedModel::compress(&model, &cfg).unwrap();
+        prop_assert_eq!(a.combined(0), b.combined(0));
+        let other = CompressedModel::compress(
+            &model,
+            &CompressionConfig::new().with_seed(cfg.seed ^ 1),
+        )
+        .unwrap();
+        prop_assert_ne!(a.combined(0), other.combined(0));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based round-trip tests for the binary persistence formats.
+
+use lookhd_paper::hdc::hv::DenseHv;
+use lookhd_paper::hdc::model::ClassModel;
+use lookhd_paper::hdc::persist::{model_from_bytes, model_to_bytes};
+use lookhd_paper::lookhd::{CompressedModel, CompressionConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any valid class model survives HDC1 serialization bit-exactly.
+    #[test]
+    fn class_model_round_trips(
+        k in 1usize..8,
+        dim in 1usize..64,
+        seed in any::<i32>(),
+    ) {
+        let classes: Vec<DenseHv> = (0..k)
+            .map(|c| {
+                DenseHv::from_vec(
+                    (0..dim)
+                        .map(|d| seed.wrapping_mul(31).wrapping_add((c * dim + d) as i32))
+                        .collect(),
+                )
+            })
+            .collect();
+        let model = ClassModel::from_classes(classes).unwrap();
+        let back = model_from_bytes(&model_to_bytes(&model)).unwrap();
+        prop_assert_eq!(back.n_classes(), model.n_classes());
+        for c in 0..k {
+            prop_assert_eq!(back.class(c), model.class(c));
+        }
+    }
+
+    /// Truncating an HDC1 stream at any point fails cleanly (no panic).
+    #[test]
+    fn truncation_never_panics(cut in 0usize..200) {
+        let model = ClassModel::from_classes(vec![
+            DenseHv::from_vec(vec![1, 2, 3, 4]),
+            DenseHv::from_vec(vec![-1, -2, -3, -4]),
+        ])
+        .unwrap();
+        let bytes = model_to_bytes(&model);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        prop_assert!(model_from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// LKC1 compressed models round-trip for arbitrary grouping configs.
+    #[test]
+    fn compressed_model_round_trips(
+        k in 1usize..12,
+        group in 1usize..14,
+        decorrelate in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let dim = 96;
+        let classes: Vec<DenseHv> = (0..k)
+            .map(|c| {
+                DenseHv::from_vec(
+                    (0..dim).map(|d| ((c * 7 + d * 13) % 41) as i32 - 20).collect(),
+                )
+            })
+            .collect();
+        let model = ClassModel::from_classes(classes).unwrap();
+        let cfg = CompressionConfig::new()
+            .with_max_classes_per_vector(group)
+            .with_decorrelate(decorrelate)
+            .with_seed(seed);
+        let cm = CompressedModel::compress(&model, &cfg).unwrap();
+        let back = CompressedModel::from_bytes(&cm.to_bytes()).unwrap();
+        prop_assert_eq!(back.n_vectors(), cm.n_vectors());
+        let query = model.class(0).clone();
+        prop_assert_eq!(back.predict(&query).unwrap(), cm.predict(&query).unwrap());
+        let sa = cm.scores(&query).unwrap();
+        let sb = back.scores(&query).unwrap();
+        for (a, b) in sa.iter().zip(&sb) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

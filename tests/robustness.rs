@@ -1,0 +1,85 @@
+//! Fault-injection integration tests: HDC's graceful degradation.
+
+use lookhd_paper::datasets::apps::App;
+use lookhd_paper::hdc::noise::{corrupt_model, flip_bipolar};
+use lookhd_paper::hdc::hv::BipolarHv;
+use lookhd_paper::lookhd::{LookHdClassifier, LookHdConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn small_model_faults_do_not_change_accuracy_much() {
+    let profile = App::Physical.profile();
+    let data = profile.generate_small(31);
+    let clf = LookHdClassifier::fit(
+        &LookHdConfig::new().with_dim(1024).with_retrain_epochs(2),
+        &data.train.features,
+        &data.train.labels,
+    )
+    .expect("training failed");
+    let accuracy_with_faults = |p: f64, seed: u64| -> f64 {
+        let mut model = clf.model().clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        corrupt_model(&mut model, p, &mut rng);
+        let correct = data
+            .test
+            .features
+            .iter()
+            .zip(&data.test.labels)
+            .filter(|(x, &y)| {
+                let h = clf.encode(x).expect("encode failed");
+                model.predict(&h).expect("predict failed") == y
+            })
+            .count();
+        correct as f64 / data.test.len() as f64
+    };
+    let clean = accuracy_with_faults(0.0, 1);
+    let faulty = accuracy_with_faults(0.02, 2);
+    assert!(
+        faulty >= clean - 0.10,
+        "2% sign faults cost too much: {clean:.3} -> {faulty:.3}"
+    );
+}
+
+#[test]
+fn degradation_is_monotone_ish_in_fault_rate() {
+    let profile = App::Activity.profile();
+    let data = profile.generate_small(32);
+    let clf = LookHdClassifier::fit(
+        &LookHdConfig::new().with_dim(1024).with_retrain_epochs(2),
+        &data.train.features,
+        &data.train.labels,
+    )
+    .expect("training failed");
+    let acc_at = |p: f64| -> f64 {
+        let mut model = clf.model().clone();
+        let mut rng = StdRng::seed_from_u64(77);
+        corrupt_model(&mut model, p, &mut rng);
+        data.test
+            .features
+            .iter()
+            .zip(&data.test.labels)
+            .filter(|(x, &y)| {
+                let h = clf.encode(x).expect("encode failed");
+                model.predict(&h).expect("predict failed") == y
+            })
+            .count() as f64
+            / data.test.len() as f64
+    };
+    let low = acc_at(0.01);
+    let high = acc_at(0.40);
+    assert!(
+        low >= high - 0.05,
+        "1% faults ({low:.3}) should not be worse than 40% faults ({high:.3})"
+    );
+}
+
+#[test]
+fn bipolar_noise_injection_hits_requested_rate() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let original = BipolarHv::random(20_000, &mut rng);
+    let mut noisy = original.clone();
+    flip_bipolar(&mut noisy, 0.25, &mut rng);
+    let rate = original.hamming(&noisy) as f64 / 20_000.0;
+    assert!((rate - 0.25).abs() < 0.02, "flip rate {rate}");
+}

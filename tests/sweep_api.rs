@@ -1,0 +1,50 @@
+//! Integration test of the grid-sweep API on an application profile.
+
+use lookhd_paper::datasets::apps::App;
+use lookhd_paper::lookhd::sweep::{run_sweep, to_csv, SweepGrid, SweepRecord};
+use lookhd_paper::lookhd::LookHdConfig;
+
+#[test]
+fn sweep_covers_grid_and_reports_csv() {
+    let profile = App::Physical.profile();
+    let data = profile.generate_small(71);
+    let grid = SweepGrid::new(
+        LookHdConfig::new().with_dim(256).with_retrain_epochs(1),
+    )
+    .over_qs(vec![2, 4])
+    .over_rs(vec![3, 5]);
+    assert_eq!(grid.len(), 4);
+    let mut progress = 0usize;
+    let records = run_sweep(
+        &grid,
+        &data.train.features,
+        &data.train.labels,
+        &data.test.features,
+        &data.test.labels,
+        |_| progress += 1,
+    )
+    .expect("sweep failed");
+    assert_eq!(records.len(), 4);
+    assert_eq!(progress, 4);
+    for r in &records {
+        let chance = 1.0 / profile.n_classes as f64;
+        assert!(
+            r.accuracy > chance * 2.0,
+            "grid point q={} r={} too weak: {}",
+            r.config.q,
+            r.config.r,
+            r.accuracy
+        );
+        assert!(r.accuracy_uncompressed >= r.accuracy - 0.15);
+        assert!(r.n_vectors >= 1);
+    }
+    let csv = to_csv(&records);
+    assert!(csv.starts_with(SweepRecord::CSV_HEADER));
+    assert_eq!(csv.lines().count(), 5);
+    // CSV rows parse back as numbers.
+    for line in csv.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        assert_eq!(cells.len(), 7);
+        assert!(cells[3].parse::<f64>().is_ok());
+    }
+}
