@@ -1,0 +1,70 @@
+//! Criterion bench: thread scaling of the sharded execution engine on the
+//! SPEECH profile (the paper's largest workload by `n × k`).
+//!
+//! Times LookHD counter training and compressed batch inference at 1, 2,
+//! and 4 engine threads. The determinism contract means every variant
+//! produces bit-identical models and predictions — only wall-clock time
+//! may differ. On a single-core host all three variants necessarily cost
+//! the same (plus scheduling overhead); see results/ext_engine_scaling.txt
+//! for the recorded run and host note.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hdc::{Classifier, FitClassifier};
+use lookhd::{LookHdClassifier, LookHdConfig};
+use lookhd_datasets::apps::App;
+use lookhd_engine::EngineConfig;
+
+const DIM: usize = 1024;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn config(threads: usize) -> LookHdConfig {
+    LookHdConfig::new()
+        .with_dim(DIM)
+        .with_retrain_epochs(0)
+        .with_engine(EngineConfig::new().with_threads(threads))
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = App::Speech.profile().generate_small(42);
+    let mut group = c.benchmark_group("engine_scaling/train");
+    group.sample_size(10);
+    for threads in THREADS {
+        let cfg = config(threads);
+        group.bench_function(format!("threads={threads}"), |b| {
+            b.iter(|| {
+                LookHdClassifier::fit(
+                    black_box(&cfg),
+                    black_box(&data.train.features),
+                    black_box(&data.train.labels),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let data = App::Speech.profile().generate_small(42);
+    let clf = LookHdClassifier::fit(&config(1), &data.train.features, &data.train.labels)
+        .expect("training failed");
+    let mut group = c.benchmark_group("engine_scaling/predict_batch");
+    group.sample_size(10);
+    for threads in THREADS {
+        let mut threaded = clf.clone();
+        threaded.set_engine(EngineConfig::new().with_threads(threads));
+        group.bench_function(format!("threads={threads}"), |b| {
+            b.iter(|| {
+                threaded
+                    .predict_batch(black_box(&data.test.features))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

@@ -13,7 +13,9 @@ use rand::{Rng, SeedableRng};
 
 fn bench_quantization(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(31);
-    let values: Vec<f64> = (0..100_000).map(|_| rng.gen_range(0.0f64..1.0).powi(2)).collect();
+    let values: Vec<f64> = (0..100_000)
+        .map(|_| rng.gen_range(0.0f64..1.0).powi(2))
+        .collect();
     let mut group = c.benchmark_group("quantization_100k_values");
     group.sample_size(20);
     group.bench_function("fit_linear_q4", |b| {

@@ -22,11 +22,9 @@ fn setup() -> (ClassModel, CompressedModel, DenseHv) {
         .map(|_| DenseHv::from_vec((0..D).map(|_| rng.gen_range(-40..=40)).collect()))
         .collect();
     let model = ClassModel::from_classes(classes).unwrap();
-    let compressed = CompressedModel::compress(
-        &model,
-        &CompressionConfig::new().with_decorrelate(false),
-    )
-    .unwrap();
+    let compressed =
+        CompressedModel::compress(&model, &CompressionConfig::new().with_decorrelate(false))
+            .unwrap();
     let query = DenseHv::from_vec((0..D).map(|_| rng.gen_range(-30..=30)).collect());
     (model, compressed, query)
 }

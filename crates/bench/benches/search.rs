@@ -24,7 +24,13 @@ use rand::{Rng, SeedableRng};
 const D: usize = 2000;
 const K: usize = 26;
 
-fn setup() -> (ClassModel, CompressedModel, CompressedModel, CompressedModel, DenseHv) {
+fn setup() -> (
+    ClassModel,
+    CompressedModel,
+    CompressedModel,
+    CompressedModel,
+    DenseHv,
+) {
     let mut rng = StdRng::seed_from_u64(11);
     let classes: Vec<DenseHv> = (0..K)
         .map(|_| DenseHv::from_vec((0..D).map(|_| rng.gen_range(-40..=40)).collect()))

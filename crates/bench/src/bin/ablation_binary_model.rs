@@ -10,6 +10,7 @@
 
 use hdc::binary::BinaryModel;
 use hdc::encoding::Encode;
+use hdc::FitClassifier;
 use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 use lookhd_bench::context::Context;
 use lookhd_bench::table::{pct, Table};

@@ -13,6 +13,7 @@
 //! Run: `cargo run --release -p lookhd-bench --bin ablation_online`
 
 use hdc::model::ClassModel;
+use hdc::FitClassifier;
 use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 use lookhd::online::{OnlineConfig, OnlineTrainer};
 use lookhd::trainer::CounterTrainer;

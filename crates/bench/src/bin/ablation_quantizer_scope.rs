@@ -47,8 +47,7 @@ fn main() {
                         .expect("encoder build failed")
                 } else {
                     let pooled = data.train_values();
-                    let quantizer =
-                        Quantizer::fit(kind, &pooled, q).expect("quantizer fit failed");
+                    let quantizer = Quantizer::fit(kind, &pooled, q).expect("quantizer fit failed");
                     PermutationEncoder::new(levels, quantizer, profile.n_features)
                         .expect("encoder build failed")
                 };

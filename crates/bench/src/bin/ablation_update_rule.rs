@@ -9,6 +9,7 @@
 //! Run: `cargo run --release -p lookhd-bench --bin ablation_update_rule`
 
 use hdc::encoding::Encode;
+use hdc::FitClassifier;
 use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 use lookhd::retrain::{retrain_compressed, UpdateRule};
 use lookhd_bench::context::Context;

@@ -7,6 +7,7 @@
 //! Run: `cargo run --release -p lookhd-bench --bin calibration`
 
 use hdc::classifier::{HdcClassifier, HdcConfig};
+use hdc::{Classifier, FitClassifier};
 use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 use lookhd_bench::context::Context;
 use lookhd_bench::table::{pct, Table};
@@ -32,7 +33,7 @@ fn main() {
         let base = HdcClassifier::fit(&base_cfg, &data.train.features, &data.train.labels)
             .expect("baseline training failed");
         let base_acc = base
-            .score(&data.test.features, &data.test.labels)
+            .evaluate(&data.test.features, &data.test.labels)
             .expect("scoring failed");
         let look_cfg = LookHdConfig::new()
             .with_dim(ctx.dim())
@@ -41,7 +42,7 @@ fn main() {
         let look = LookHdClassifier::fit(&look_cfg, &data.train.features, &data.train.labels)
             .expect("LookHD training failed");
         let look_acc = look
-            .score(&data.test.features, &data.test.labels)
+            .evaluate(&data.test.features, &data.test.labels)
             .expect("scoring failed");
         let unc_acc = data
             .test
@@ -60,6 +61,9 @@ fn main() {
             pct(profile.paper_accuracy_lookhd_d2000),
         ]);
     }
-    println!("Calibration: measured vs paper accuracies (D = {})\n", ctx.dim());
+    println!(
+        "Calibration: measured vs paper accuracies (D = {})\n",
+        ctx.dim()
+    );
     table.print();
 }

@@ -10,6 +10,7 @@
 //! Run: `cargo run --release -p lookhd-bench --bin ext_compression_analysis`
 
 use hdc::encoding::Encode;
+use hdc::FitClassifier;
 use lookhd::analysis::analyze_compression;
 use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 use lookhd::{CompressedModel, CompressionConfig};
@@ -54,8 +55,8 @@ fn main() {
                 &CompressionConfig::new().with_max_classes_per_vector(group),
             )
             .expect("compression failed");
-            let analysis = analyze_compression(clf.model(), &compressed, &queries)
-                .expect("analysis failed");
+            let analysis =
+                analyze_compression(clf.model(), &compressed, &queries).expect("analysis failed");
             table.row([
                 profile.name.to_owned(),
                 group.to_string(),

@@ -1,0 +1,101 @@
+//! Extension — thread scaling of the sharded execution engine.
+//!
+//! Trains LookHD on the SPEECH profile (the paper's largest `n × k`
+//! workload) at 1, 2, and 4 engine threads and times counter training and
+//! compressed batch inference. The engine's determinism contract
+//! guarantees bit-identical models and predictions at every thread count
+//! (asserted here), so the only thing that may change is wall-clock time.
+//!
+//! Note: `--threads` parallelism is *host* wall-clock only — it is
+//! orthogonal to the `lookhd-hwsim` FPGA/ARM/GPU cost models, which
+//! describe the paper's hardware, not this machine.
+//!
+//! Run: `cargo run --release -p lookhd-bench --bin ext_engine_scaling`
+//! (set `LOOKHD_FAST=1` for a quick smoke run).
+
+use std::time::Instant;
+
+use hdc::{Classifier, FitClassifier};
+use lookhd::classifier::{LookHdClassifier, LookHdConfig};
+use lookhd_bench::context::Context;
+use lookhd_bench::table::{ratio, Table};
+use lookhd_datasets::apps::App;
+use lookhd_engine::EngineConfig;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let ctx = Context::from_env();
+    let profile = App::Speech.profile();
+    let data = ctx.dataset(&profile);
+    let config = LookHdConfig::new()
+        .with_dim(ctx.dim())
+        .with_q(profile.paper_q_lookhd)
+        .with_retrain_epochs(0);
+
+    let mut table = Table::new([
+        "threads",
+        "train wall (ms)",
+        "train speedup",
+        "counter phase (samples/s)",
+        "infer wall (ms)",
+        "infer speedup",
+    ]);
+    let mut reference: Option<(LookHdClassifier, Vec<usize>, f64, f64)> = None;
+    for threads in THREADS {
+        let cfg = config
+            .clone()
+            .with_engine(EngineConfig::new().with_threads(threads));
+        let t0 = Instant::now();
+        let clf = LookHdClassifier::fit(&cfg, &data.train.features, &data.train.labels)
+            .expect("training failed");
+        let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let counter_rate = clf.fit_stats().items_per_sec();
+
+        let t1 = Instant::now();
+        let preds = clf
+            .predict_batch(&data.test.features)
+            .expect("inference failed");
+        let infer_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let (train_base, infer_base) = match &reference {
+            None => {
+                reference = Some((clf.clone(), preds.clone(), train_ms, infer_ms));
+                (train_ms, infer_ms)
+            }
+            Some((serial, serial_preds, tb, ib)) => {
+                // The determinism contract, checked on every run.
+                assert_eq!(
+                    clf.model().classes(),
+                    serial.model().classes(),
+                    "{threads}-thread training diverged from serial"
+                );
+                assert_eq!(&preds, serial_preds, "{threads}-thread inference diverged");
+                (*tb, *ib)
+            }
+        };
+        table.row([
+            threads.to_string(),
+            format!("{train_ms:.1}"),
+            ratio(train_base / train_ms),
+            format!("{counter_rate:.0}"),
+            format!("{infer_ms:.1}"),
+            ratio(infer_base / infer_ms),
+        ]);
+    }
+    println!(
+        "Extension: engine thread scaling on SPEECH (D = {}, {} train / {} test samples)\n\
+         host parallelism: {} core(s) available\n",
+        ctx.dim(),
+        data.train.len(),
+        data.test.len(),
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    table.print();
+    println!(
+        "\nModels and predictions are bit-identical at every thread count (asserted\n\
+         above); --threads changes host wall-clock only and is orthogonal to the\n\
+         hwsim hardware cost models. Speedups are relative to threads = 1 and are\n\
+         bounded by the host core count."
+    );
+}

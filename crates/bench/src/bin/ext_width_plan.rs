@@ -40,13 +40,7 @@ fn main() {
         let q = profile.paper_q_lookhd;
         let r = 5usize;
         let data = profile.generate_sized(8, 2, 77);
-        let plan = WidthPlan::derive(
-            r,
-            profile.n_features,
-            d,
-            8,
-            (profile.n_features * 8) as i64,
-        );
+        let plan = WidthPlan::derive(r, profile.n_features, d, 8, (profile.n_features * 8) as i64);
         let mut rng = StdRng::seed_from_u64(77);
         let levels = LevelMemory::generate(d, q, LevelScheme::RandomFlips, &mut rng)
             .expect("level generation failed");
@@ -72,15 +66,13 @@ fn main() {
             profile.n_classes,
         )
         .expect("training failed");
-        let compressed = CompressedModel::compress(
-            &model,
-            &CompressionConfig::new().with_decorrelate(false),
-        )
-        .expect("compression failed");
+        let compressed =
+            CompressedModel::compress(&model, &CompressionConfig::new().with_decorrelate(false))
+                .expect("compression failed");
         let query = hdc::encoding::Encode::encode(&encoder, &data.test.features[0])
             .expect("encoding failed");
-        let search = verify_search_datapath(&compressed, &query, &plan)
-            .expect("search verification failed");
+        let search =
+            verify_search_datapath(&compressed, &query, &plan).expect("search verification failed");
 
         table.row([
             profile.name.to_owned(),
@@ -88,7 +80,11 @@ fn main() {
             plan.counter.to_string(),
             plan.class_accumulator.to_string(),
             plan.search_accumulator.to_string(),
-            format!("{} ({} elems)", train_report.is_bit_exact(), train_report.checked),
+            format!(
+                "{} ({} elems)",
+                train_report.is_bit_exact(),
+                train_report.checked
+            ),
             format!(
                 "{} (pred match: {})",
                 search.report.is_bit_exact(),

@@ -21,6 +21,7 @@
 use std::time::Instant;
 
 use hdc::classifier::{HdcClassifier, HdcConfig};
+use hdc::FitClassifier;
 use lookhd_bench::context::Context;
 use lookhd_bench::table::{pct, Table};
 use lookhd_datasets::apps::App;

@@ -21,7 +21,10 @@ fn main() {
     let all: Vec<f64> = data.train_values();
     let sample: Vec<f64> = all.iter().step_by(20).copied().collect();
 
-    println!("Fig. 3a: SPEECH feature-value distribution (5% sample, {} values)", sample.len());
+    println!(
+        "Fig. 3a: SPEECH feature-value distribution (5% sample, {} values)",
+        sample.len()
+    );
     let min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let bins = 20usize;
@@ -36,9 +39,15 @@ fn main() {
         println!("{lo:>8.3} | {:<40} {count}", bar(count as f64, peak, 40));
     }
 
-    for (name, kind) in [("linear", Quantization::Linear), ("equalized", Quantization::Equalized)] {
+    for (name, kind) in [
+        ("linear", Quantization::Linear),
+        ("equalized", Quantization::Equalized),
+    ] {
         let quantizer = Quantizer::fit(kind, &all, 4).expect("quantizer fit failed");
-        println!("\nFig. 3b ({name} q=4): boundaries {:?}", rounded(quantizer.boundaries()));
+        println!(
+            "\nFig. 3b ({name} q=4): boundaries {:?}",
+            rounded(quantizer.boundaries())
+        );
         let occupancy = quantizer.occupancy(&all);
         let total: usize = occupancy.iter().sum();
         let mut table = Table::new(["level", "values", "share"]);
@@ -58,5 +67,8 @@ fn main() {
 }
 
 fn rounded(values: &[f64]) -> Vec<f64> {
-    values.iter().map(|v| (v * 1000.0).round() / 1000.0).collect()
+    values
+        .iter()
+        .map(|v| (v * 1000.0).round() / 1000.0)
+        .collect()
 }

@@ -8,6 +8,7 @@
 //! Run: `cargo run --release -p lookhd-bench --bin fig04_quant_accuracy`
 
 use hdc::quantize::Quantization;
+use hdc::{Classifier, FitClassifier};
 use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 use lookhd_bench::context::Context;
 use lookhd_bench::table::{pct, Table};
@@ -20,7 +21,13 @@ fn main() {
     // Fig. 4 isolates the quantization effect, so score the uncompressed
     // model (compression noise is a separate §VI-G axis); the compressed
     // accuracy is shown alongside for completeness.
-    let mut table = Table::new(["q", "linear", "equalized", "linear (comp)", "equalized (comp)"]);
+    let mut table = Table::new([
+        "q",
+        "linear",
+        "equalized",
+        "linear (comp)",
+        "equalized (comp)",
+    ]);
     let mut results = Vec::new();
     for q in [2usize, 4, 8, 16] {
         let mut row = vec![q.to_string()];
@@ -34,7 +41,7 @@ fn main() {
             let clf = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)
                 .expect("training failed");
             let comp = clf
-                .score(&data.test.features, &data.test.labels)
+                .evaluate(&data.test.features, &data.test.labels)
                 .expect("scoring failed");
             let acc = data
                 .test

@@ -8,6 +8,7 @@
 //! Run: `cargo run --release -p lookhd-bench --bin fig08_cosine_dist`
 
 use hdc::encoding::Encode;
+use hdc::FitClassifier;
 use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 use lookhd::compress::decorrelate;
 use lookhd_bench::context::Context;

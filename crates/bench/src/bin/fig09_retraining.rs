@@ -7,6 +7,7 @@
 //! Run: `cargo run --release -p lookhd-bench --bin fig09_retraining`
 
 use hdc::encoding::Encode;
+use hdc::FitClassifier;
 use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 use lookhd::retrain::{retrain_compressed, UpdateRule};
 use lookhd_bench::context::Context;
@@ -17,8 +18,11 @@ fn main() {
     let ctx = Context::from_env();
     let max_epochs = ctx.scaled(12).max(3);
     let mut table = Table::new(
-        std::iter::once("iteration".to_owned())
-            .chain([App::Speech, App::Activity, App::Physical].iter().map(|a| a.profile().name.to_owned())),
+        std::iter::once("iteration".to_owned()).chain(
+            [App::Speech, App::Activity, App::Physical]
+                .iter()
+                .map(|a| a.profile().name.to_owned()),
+        ),
     );
     let mut columns: Vec<Vec<f64>> = Vec::new();
     for app in [App::Speech, App::Activity, App::Physical] {

@@ -9,6 +9,7 @@
 //! Run: `cargo run --release -p lookhd-bench --bin fig12_chunk_sweep`
 
 use hdc::classifier::{HdcClassifier, HdcConfig};
+use hdc::{Classifier, FitClassifier};
 use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 use lookhd_bench::context::Context;
 use lookhd_bench::table::{pct, Table};
@@ -16,7 +17,11 @@ use lookhd_datasets::apps::App;
 
 fn main() {
     let ctx = Context::from_env();
-    let r_values: Vec<usize> = if ctx.fast { vec![1, 5] } else { vec![1, 2, 3, 5, 7, 10] };
+    let r_values: Vec<usize> = if ctx.fast {
+        vec![1, 5]
+    } else {
+        vec![1, 2, 3, 5, 7, 10]
+    };
     let q_values: Vec<usize> = if ctx.fast { vec![2, 4] } else { vec![2, 4, 8] };
     let epochs = if ctx.fast { 1 } else { 3 };
     for app in App::ALL {
@@ -30,7 +35,7 @@ fn main() {
         let baseline = HdcClassifier::fit(&base_cfg, &data.train.features, &data.train.labels)
             .expect("baseline training failed");
         let base_acc = baseline
-            .score(&data.test.features, &data.test.labels)
+            .evaluate(&data.test.features, &data.test.labels)
             .expect("scoring failed");
         println!(
             "\nFig. 12 [{}]: baseline (linear q={}) = {}",
@@ -52,7 +57,7 @@ fn main() {
                 let clf = LookHdClassifier::fit(&cfg, &data.train.features, &data.train.labels)
                     .expect("training failed");
                 let acc = clf
-                    .score(&data.test.features, &data.test.labels)
+                    .evaluate(&data.test.features, &data.test.labels)
                     .expect("scoring failed");
                 row.push(pct(acc));
             }

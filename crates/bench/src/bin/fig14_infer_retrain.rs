@@ -11,6 +11,7 @@
 //!
 //! Run: `cargo run --release -p lookhd-bench --bin fig14_infer_retrain`
 
+use hdc::FitClassifier;
 use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 use lookhd_bench::context::Context;
 use lookhd_bench::shapes::{baseline_shape, lookhd_shape, ShapeParams};
@@ -68,15 +69,16 @@ fn main() {
             c_look.speedup_over(&c_base),
             c_look.energy_efficiency_over(&c_base),
         ];
-        infer.row(
-            std::iter::once(profile.name.to_owned()).chain(vals.iter().map(|&v| ratio(v))),
-        );
+        infer.row(std::iter::once(profile.name.to_owned()).chain(vals.iter().map(|&v| ratio(v))));
         for (series, &v) in infer_avgs.iter_mut().zip(&vals) {
             series.push(v);
         }
 
         // (b) one retraining iteration
-        let f_base = fpga.execute_as(&base.baseline_retrain_epoch(), FpgaPhase::BaselineRetraining);
+        let f_base = fpga.execute_as(
+            &base.baseline_retrain_epoch(),
+            FpgaPhase::BaselineRetraining,
+        );
         let f_look = fpga.execute_as(&look.lookhd_retrain_epoch(), FpgaPhase::LookHdRetraining);
         let c_base = cpu.execute(&base.baseline_retrain_epoch());
         let c_look = cpu.execute(&look.lookhd_retrain_epoch());
@@ -86,22 +88,20 @@ fn main() {
             c_look.speedup_over(&c_base),
             c_look.energy_efficiency_over(&c_base),
         ];
-        retrain.row(
-            std::iter::once(profile.name.to_owned()).chain(vals.iter().map(|&v| ratio(v))),
-        );
+        retrain.row(std::iter::once(profile.name.to_owned()).chain(vals.iter().map(|&v| ratio(v))));
         for (series, &v) in retrain_avgs.iter_mut().zip(&vals) {
             series.push(v);
         }
     }
     infer.row(
-        std::iter::once("GEOMEAN".to_owned())
-            .chain(infer_avgs.iter().map(|s| ratio(geomean(s)))),
+        std::iter::once("GEOMEAN".to_owned()).chain(infer_avgs.iter().map(|s| ratio(geomean(s)))),
     );
     retrain.row(
-        std::iter::once("GEOMEAN".to_owned())
-            .chain(retrain_avgs.iter().map(|s| ratio(geomean(s)))),
+        std::iter::once("GEOMEAN".to_owned()).chain(retrain_avgs.iter().map(|s| ratio(geomean(s)))),
     );
-    println!("Fig. 14a: single-query inference — LookHD improvement over baseline HDC (D = 2000)\n");
+    println!(
+        "Fig. 14a: single-query inference — LookHD improvement over baseline HDC (D = 2000)\n"
+    );
     infer.print();
     println!("\nPaper: FPGA 2.2x faster / 4.1x more energy-efficient; CPU 1.7x / 2.3x.\n");
     println!("Fig. 14b: one retraining iteration — LookHD improvement over baseline HDC\n");

@@ -48,7 +48,10 @@ fn main() {
         // Correlation matched to the trained app models (~0.55 pairwise).
         let class_vecs = correlated_class_vectors(k, dim, 0.75, 40.0, &mut rng);
         let model = ClassModel::from_classes(
-            class_vecs.iter().map(|v| DenseHv::from_vec(v.clone())).collect(),
+            class_vecs
+                .iter()
+                .map(|v| DenseHv::from_vec(v.clone()))
+                .collect(),
         )
         .expect("model build failed");
         // Noisy queries: a class vector plus Gaussian perturbation.
@@ -103,18 +106,10 @@ fn main() {
             retrain_epochs: 0,
             avg_updates_per_epoch: 0,
         };
-        let base_cost = fpga.execute_as(
-            &shape(1).baseline_search(),
-            FpgaPhase::BaselineInference,
-        );
-        let single_cost = fpga.execute_as(
-            &shape(k.max(1)).lookhd_search(),
-            FpgaPhase::LookHdInference,
-        );
-        let exact_cost = fpga.execute_as(
-            &shape(12).lookhd_search(),
-            FpgaPhase::LookHdInference,
-        );
+        let base_cost = fpga.execute_as(&shape(1).baseline_search(), FpgaPhase::BaselineInference);
+        let single_cost =
+            fpga.execute_as(&shape(k.max(1)).lookhd_search(), FpgaPhase::LookHdInference);
+        let exact_cost = fpga.execute_as(&shape(12).lookhd_search(), FpgaPhase::LookHdInference);
         let (base_bytes, single_bytes) = shape(k.max(1)).model_bytes();
         let (_, exact_bytes) = shape(12).model_bytes();
 

@@ -43,7 +43,11 @@ fn main() {
             "  BRAM feasibility of the chunk tables (q={}, r={}): {}",
             shape.q,
             shape.r,
-            if fpga.tables_fit(&shape) { "fits" } else { "DOES NOT FIT" }
+            if fpga.tables_fit(&shape) {
+                "fits"
+            } else {
+                "DOES NOT FIT"
+            }
         );
     }
     println!(

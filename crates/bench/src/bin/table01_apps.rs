@@ -9,6 +9,7 @@
 //! (set `LOOKHD_FAST=1` for a quick smoke run).
 
 use hdc::classifier::{HdcClassifier, HdcConfig};
+use hdc::{Classifier, FitClassifier};
 use lookhd_bench::context::Context;
 use lookhd_bench::table::{pct, Table};
 use lookhd_datasets::apps::App;
@@ -34,7 +35,7 @@ fn main() {
         let clf = HdcClassifier::fit(&config, &data.train.features, &data.train.labels)
             .expect("baseline training failed");
         let acc = clf
-            .score(&data.test.features, &data.test.labels)
+            .evaluate(&data.test.features, &data.test.labels)
             .expect("scoring failed");
         table.row([
             profile.name.to_owned(),

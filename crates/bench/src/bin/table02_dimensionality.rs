@@ -8,6 +8,7 @@
 //!
 //! Run: `cargo run --release -p lookhd-bench --bin table02_dimensionality`
 
+use hdc::{Classifier, FitClassifier};
 use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 use lookhd_bench::context::Context;
 use lookhd_bench::table::{pct, Table};
@@ -39,7 +40,7 @@ fn main() {
             let clf = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)
                 .expect("training failed");
             let comp = clf
-                .score(&data.test.features, &data.test.labels)
+                .evaluate(&data.test.features, &data.test.labels)
                 .expect("scoring failed");
             let unc = data
                 .test

@@ -52,9 +52,10 @@ fn main() {
     }
 
     let mut table = Table::new(["metric", "GPU", "LookHD D=2000", "LookHD D=1000"]);
-    for (phase, cpu_i, gpu_i, look_i, small_i) in
-        [("training", 0usize, 1usize, 2usize, 3usize), ("inference", 4, 5, 6, 7)]
-    {
+    for (phase, cpu_i, gpu_i, look_i, small_i) in [
+        ("training", 0usize, 1usize, 2usize, 3usize),
+        ("inference", 4, 5, 6, 7),
+    ] {
         let speed = |i: usize| -> f64 {
             geomean(
                 &rows

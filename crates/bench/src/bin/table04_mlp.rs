@@ -12,6 +12,7 @@
 //!
 //! Run: `cargo run --release -p lookhd-bench --bin table04_mlp`
 
+use hdc::{Classifier, FitClassifier};
 use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 use lookhd_bench::context::Context;
 use lookhd_bench::shapes::{lookhd_shape, ShapeParams};
@@ -49,13 +50,16 @@ fn main() {
         let look = LookHdClassifier::fit(&look_cfg, &data.train.features, &data.train.labels)
             .expect("LookHD training failed");
         let look_acc = look
-            .score(&data.test.features, &data.test.labels)
+            .evaluate(&data.test.features, &data.test.labels)
             .expect("scoring failed");
         let mlp_cfg = MlpConfig::new()
             .with_hidden(vec![if ctx.fast { 64 } else { hidden }])
             .with_epochs(if ctx.fast { 3 } else { mlp_epochs });
-        let mlp = Mlp::fit(&mlp_cfg, &data.train.features, &data.train.labels);
-        let mlp_acc = mlp.score(&data.test.features, &data.test.labels);
+        let mlp = Mlp::fit(&mlp_cfg, &data.train.features, &data.train.labels)
+            .expect("MLP training failed");
+        let mlp_acc = mlp
+            .evaluate(&data.test.features, &data.test.labels)
+            .expect("MLP scoring failed");
 
         // Cost comparison at paper scale.
         let mut params = ShapeParams::paper_default(&profile);
@@ -117,9 +121,7 @@ fn main() {
             .chain(avgs.iter().map(|s| ratio(geomean(s))))
             .chain(["".to_owned(), "".to_owned()]),
     );
-    println!(
-        "Table IV: LookHD vs MLP (hidden = {hidden}) on the KC705 (D = 2000)\n"
-    );
+    println!("Table IV: LookHD vs MLP (hidden = {hidden}) on the KC705 (D = 2000)\n");
     table.print();
     println!(
         "\nPaper (5-app average): training 23.1x faster / 43.6x more energy-efficient;\n\

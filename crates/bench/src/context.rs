@@ -20,7 +20,9 @@ impl Context {
     /// Reads the context from the environment.
     pub fn from_env() -> Self {
         Self {
-            fast: std::env::var("LOOKHD_FAST").map(|v| v == "1").unwrap_or(false),
+            fast: std::env::var("LOOKHD_FAST")
+                .map(|v| v == "1")
+                .unwrap_or(false),
             seed: 42,
         }
     }
@@ -75,8 +77,14 @@ mod tests {
 
     #[test]
     fn fast_mode_shrinks_everything() {
-        let fast = Context { fast: true, seed: 1 };
-        let full = Context { fast: false, seed: 1 };
+        let fast = Context {
+            fast: true,
+            seed: 1,
+        };
+        let full = Context {
+            fast: false,
+            seed: 1,
+        };
         assert!(fast.dim() < full.dim());
         assert!(fast.retrain_epochs() < full.retrain_epochs());
         assert!(fast.scaled(100) < 100);

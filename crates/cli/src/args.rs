@@ -65,7 +65,11 @@ impl Args {
                     .map(|t| !t.starts_with("--"))
                     .unwrap_or(false);
                 if next_is_value {
-                    if args.values.insert(name.to_owned(), tokens[i + 1].clone()).is_some() {
+                    if args
+                        .values
+                        .insert(name.to_owned(), tokens[i + 1].clone())
+                        .is_some()
+                    {
                         return Err(ArgError::Malformed(format!("--{name} given twice")));
                     }
                     i += 2;
@@ -80,7 +84,9 @@ impl Args {
                 args.subcommand = Some(token.clone());
                 i += 1;
             } else {
-                return Err(ArgError::Malformed(format!("unexpected positional `{token}`")));
+                return Err(ArgError::Malformed(format!(
+                    "unexpected positional `{token}`"
+                )));
             }
         }
         Ok(args)
@@ -156,7 +162,10 @@ mod tests {
     fn reports_missing_and_bad_values() {
         let a = parse(&["train", "--dim", "abc"]).unwrap();
         assert_eq!(a.require("data"), Err(ArgError::Missing("data")));
-        assert!(matches!(a.get_or("dim", 0usize), Err(ArgError::BadValue { .. })));
+        assert!(matches!(
+            a.get_or("dim", 0usize),
+            Err(ArgError::BadValue { .. })
+        ));
     }
 
     #[test]

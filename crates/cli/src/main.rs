@@ -3,9 +3,9 @@
 //!
 //! ```text
 //! lookhd train    --data train.csv --out model.lks [--dim 2000 --q 4 --r 5
-//!                 --epochs 10 --linear --group 12 --seed 42]
-//! lookhd evaluate --model model.lks --data test.csv [--uncompressed]
-//! lookhd predict  --model model.lks --data queries.csv
+//!                 --epochs 10 --linear --group 12 --seed 42 --threads 4]
+//! lookhd evaluate --model model.lks --data test.csv [--threads 4]
+//! lookhd predict  --model model.lks --data queries.csv [--threads 4]
 //! lookhd info     --model model.lks
 //! lookhd inspect  --data data.csv
 //! lookhd estimate --model model.lks [--samples 1000]
@@ -13,6 +13,10 @@
 //!
 //! CSV rows are `feature,…,feature,label` (labels in the final column;
 //! `predict` takes label-free rows). An optional header line is skipped.
+//!
+//! `--threads` shards training and batch inference across OS threads
+//! (`0` = all cores). Results are bit-identical for every thread count;
+//! only wall-clock time changes.
 
 mod args;
 
@@ -22,8 +26,10 @@ use std::process::ExitCode;
 
 use args::Args;
 use hdc::quantize::Quantization;
+use hdc::{Classifier, FitClassifier};
 use lookhd::{CompressionConfig, LookHdClassifier, LookHdConfig};
 use lookhd_datasets::csv;
+use lookhd_engine::EngineConfig;
 use lookhd_hwsim::fpga::FpgaPhase;
 use lookhd_hwsim::{CpuModel, FpgaModel, WorkloadShape};
 
@@ -64,17 +70,29 @@ fn run(raw: Vec<String>) -> Result<(), String> {
 
 const USAGE: &str = "usage:
   lookhd train    --data train.csv --out model.lks [--dim N --q N --r N
-                  --epochs N --linear --group N --seed N]
-  lookhd evaluate --model model.lks --data test.csv [--uncompressed]
-  lookhd predict  --model model.lks --data queries.csv
+                  --epochs N --linear --group N --seed N --threads N]
+  lookhd evaluate --model model.lks --data test.csv [--threads N]
+  lookhd predict  --model model.lks --data queries.csv [--threads N]
   lookhd info     --model model.lks
   lookhd inspect  --data data.csv
-  lookhd estimate --model model.lks [--samples N]";
+  lookhd estimate --model model.lks [--samples N]
+
+--threads shards work across OS threads (0 = all cores) without changing
+any result bit.";
 
 fn load_classifier(args: &Args) -> Result<LookHdClassifier, String> {
     let path = args.require("model").map_err(|e| e.to_string())?;
     let bytes = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    LookHdClassifier::from_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))
+    let mut clf =
+        LookHdClassifier::from_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))?;
+    clf.set_engine(engine_config(args)?);
+    Ok(clf)
+}
+
+/// The engine configuration from `--threads` (default: serial).
+fn engine_config(args: &Args) -> Result<EngineConfig, String> {
+    let threads = args.get_or("threads", 1usize).map_err(|e| e.to_string())?;
+    Ok(EngineConfig::new().with_threads(threads))
 }
 
 fn train(args: &Args) -> Result<(), String> {
@@ -86,21 +104,24 @@ fn train(args: &Args) -> Result<(), String> {
     let r = args.get_or("r", 5usize).map_err(|e| e.to_string())?;
     let epochs = args.get_or("epochs", 10usize).map_err(|e| e.to_string())?;
     let group = args.get_or("group", 12usize).map_err(|e| e.to_string())?;
-    let seed = args.get_or("seed", 0x10_0c_4du64).map_err(|e| e.to_string())?;
+    let seed = args
+        .get_or("seed", 0x10_0c_4du64)
+        .map_err(|e| e.to_string())?;
     let mut config = LookHdConfig::new()
         .with_dim(dim)
         .with_q(q)
         .with_r(r)
         .with_retrain_epochs(epochs)
         .with_compression(CompressionConfig::new().with_max_classes_per_vector(group.max(1)))
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_engine(engine_config(args)?);
     if args.switch("linear") {
         config = config.with_quantization(Quantization::Linear);
     }
     let clf = LookHdClassifier::fit(&config, &split.features, &split.labels)
         .map_err(|e| format!("training: {e}"))?;
     let train_acc = clf
-        .score(&split.features, &split.labels)
+        .evaluate(&split.features, &split.labels)
         .map_err(|e| format!("scoring: {e}"))?;
     let bytes = clf.to_bytes();
     fs::write(out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
@@ -124,21 +145,25 @@ fn evaluate(args: &Args) -> Result<(), String> {
     let clf = load_classifier(args)?;
     let data_path = args.require("data").map_err(|e| e.to_string())?;
     let split = csv::load_split(data_path).map_err(|e| format!("{data_path}: {e}"))?;
-    let (mut correct, mut correct_unc) = (0usize, 0usize);
-    for (x, &y) in split.features.iter().zip(&split.labels) {
-        if clf.predict(x).map_err(|e| e.to_string())? == y {
-            correct += 1;
-        }
-        if clf.predict_uncompressed(x).map_err(|e| e.to_string())? == y {
-            correct_unc += 1;
-        }
-    }
+    let compressed = clf
+        .predict_batch(&split.features)
+        .map_err(|e| e.to_string())?;
+    let uncompressed = clf
+        .predict_batch_uncompressed(&split.features)
+        .map_err(|e| e.to_string())?;
+    let hits = |preds: &[usize]| {
+        preds
+            .iter()
+            .zip(&split.labels)
+            .filter(|(p, y)| p == y)
+            .count()
+    };
     let n = split.len() as f64;
     out(format!(
         "accuracy over {} samples: {:.1}% compressed, {:.1}% uncompressed",
         split.len(),
-        100.0 * correct as f64 / n,
-        100.0 * correct_unc as f64 / n
+        100.0 * hits(&compressed) as f64 / n,
+        100.0 * hits(&uncompressed) as f64 / n
     ));
     Ok(())
 }
@@ -147,8 +172,7 @@ fn predict(args: &Args) -> Result<(), String> {
     let clf = load_classifier(args)?;
     let data_path = args.require("data").map_err(|e| e.to_string())?;
     let rows = csv::load_features(data_path).map_err(|e| format!("{data_path}: {e}"))?;
-    for row in &rows {
-        let class = clf.predict(row).map_err(|e| e.to_string())?;
+    for class in clf.predict_batch(&rows).map_err(|e| e.to_string())? {
         out(class);
     }
     Ok(())
@@ -159,7 +183,10 @@ fn info(args: &Args) -> Result<(), String> {
     let layout = clf.encoder().layout();
     out("LookHD classifier:");
     out(format!("  features (n):        {}", layout.n_features()));
-    out(format!("  classes (k):         {}", clf.compressed().n_classes()));
+    out(format!(
+        "  classes (k):         {}",
+        clf.compressed().n_classes()
+    ));
     out(format!("  dimensionality (D):  {}", clf.model().dim()));
     out(format!(
         "  quantization (q):    {} ({:?})",
@@ -171,14 +198,20 @@ fn info(args: &Args) -> Result<(), String> {
         layout.r(),
         layout.n_chunks()
     ));
-    out(format!("  table mode:          {:?}", clf.encoder().lut().mode()));
+    out(format!(
+        "  table mode:          {:?}",
+        clf.encoder().lut().mode()
+    ));
     out(format!(
         "  model size:          {} B compressed ({} vectors) / {} B uncompressed",
         clf.compressed().size_bytes(),
         clf.compressed().n_vectors(),
         clf.model().size_bytes()
     ));
-    out(format!("  class correlation:   {:.3}", clf.model().class_correlation()));
+    out(format!(
+        "  class correlation:   {:.3}",
+        clf.model().class_correlation()
+    ));
     Ok(())
 }
 
@@ -192,10 +225,7 @@ fn inspect(args: &Args) -> Result<(), String> {
     out(format!("  features (n):   {}", summary.n_features));
     out(format!("  classes (k):    {}", summary.n_classes));
     out(format!("  class counts:   {:?}", summary.class_counts));
-    out(format!(
-        "  imbalance:      {:.2}x",
-        summary.imbalance()
-    ));
+    out(format!("  imbalance:      {:.2}x", summary.imbalance()));
     out(format!(
         "  feature range:  [{:.4}, {:.4}], mean {:.4}",
         summary.min, summary.max, summary.mean
@@ -203,7 +233,11 @@ fn inspect(args: &Args) -> Result<(), String> {
     out(format!(
         "  marginal skew:  {:+.2} ({})",
         summary.skew_indicator,
-        if summary.is_skewed() { "skewed — equalized quantization recommended" } else { "roughly symmetric" }
+        if summary.is_skewed() {
+            "skewed — equalized quantization recommended"
+        } else {
+            "roughly symmetric"
+        }
     ));
     let hint = lookhd_datasets::summary::suggest_config(&summary);
     out(format!(
@@ -211,14 +245,20 @@ fn inspect(args: &Args) -> Result<(), String> {
         hint.q,
         hint.r,
         hint.dim,
-        if hint.equalized { " (equalized quantization, the default)" } else { " --linear" }
+        if hint.equalized {
+            " (equalized quantization, the default)"
+        } else {
+            " --linear"
+        }
     ));
     Ok(())
 }
 
 fn estimate(args: &Args) -> Result<(), String> {
     let clf = load_classifier(args)?;
-    let samples = args.get_or("samples", 1000usize).map_err(|e| e.to_string())?;
+    let samples = args
+        .get_or("samples", 1000usize)
+        .map_err(|e| e.to_string())?;
     let layout = clf.encoder().layout();
     let shape = WorkloadShape {
         n_features: layout.n_features(),

@@ -68,7 +68,11 @@ fn train_evaluate_predict_round_trip() {
         ])
         .output()
         .expect("run train");
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists(), "model file must be written");
 
     let out = bin()
@@ -83,8 +87,14 @@ fn train_evaluate_predict_round_trip() {
         .expect("run evaluate");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("accuracy over 15 samples"), "unexpected output: {text}");
-    assert!(text.contains("100.0% compressed"), "easy data should be perfect: {text}");
+    assert!(
+        text.contains("accuracy over 15 samples"),
+        "unexpected output: {text}"
+    );
+    assert!(
+        text.contains("100.0% compressed"),
+        "easy data should be perfect: {text}"
+    );
 
     let out = bin()
         .args([
@@ -148,12 +158,21 @@ fn helpful_errors_for_bad_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
 
-    let out = bin().args(["train", "--data", "missing.csv"]).output().expect("run");
+    let out = bin()
+        .args(["train", "--data", "missing.csv"])
+        .output()
+        .expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
 
     let out = bin()
-        .args(["evaluate", "--model", "/nonexistent/model.lks", "--data", "x.csv"])
+        .args([
+            "evaluate",
+            "--model",
+            "/nonexistent/model.lks",
+            "--data",
+            "x.csv",
+        ])
         .output()
         .expect("run");
     assert!(!out.status.success());

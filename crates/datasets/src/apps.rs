@@ -194,7 +194,8 @@ impl AppProfile {
         seed: u64,
     ) -> Dataset {
         // Mix the app into the seed so equal seeds give distinct data per app.
-        let mut rng = StdRng::seed_from_u64(seed ^ (self.n_features as u64) << 17 ^ self.n_classes as u64);
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (self.n_features as u64) << 17 ^ self.n_classes as u64);
         let generator = Generator::from_rng(self.generator_config(), &mut rng);
         generator.dataset(self.name, train_per_class, test_per_class, &mut rng)
     }
@@ -256,7 +257,10 @@ mod tests {
             let d = p.generate_small(1);
             assert_eq!(d.n_features, p.n_features, "{}", p.name);
             assert_eq!(d.n_classes, p.n_classes, "{}", p.name);
-            assert_eq!(d.train.class_counts(p.n_classes).iter().min(), d.train.class_counts(p.n_classes).iter().max());
+            assert_eq!(
+                d.train.class_counts(p.n_classes).iter().min(),
+                d.train.class_counts(p.n_classes).iter().max()
+            );
         }
     }
 

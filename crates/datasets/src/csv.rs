@@ -285,7 +285,10 @@ mod tests {
 
     #[test]
     fn rejects_ragged_and_empty() {
-        assert!(matches!(parse_split("1,2,0\n1,0\n"), Err(CsvError::Invalid(_))));
+        assert!(matches!(
+            parse_split("1,2,0\n1,0\n"),
+            Err(CsvError::Invalid(_))
+        ));
         assert!(matches!(parse_split("\n\n"), Err(CsvError::Invalid(_))));
         assert!(matches!(parse_split("5\n"), Err(CsvError::Parse { .. })));
     }

@@ -166,7 +166,12 @@ mod tests {
         };
         let ce = centroid(&early, &ey);
         let cl = centroid(&late, &ly);
-        let shift: f64 = ce.iter().zip(&cl).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+        let shift: f64 = ce
+            .iter()
+            .zip(&cl)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!(shift > 0.2, "prototypes should have moved: {shift}");
     }
 

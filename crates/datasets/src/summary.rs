@@ -155,9 +155,8 @@ mod tests {
         assert!(skewed.is_skewed(), "skew = {}", skewed.skew_indicator);
         assert!(skewed.skew_indicator > 0.0);
         // Uniform data is not skewed.
-        let rows: Vec<(Vec<f64>, usize)> = (0..200)
-            .map(|i| (vec![i as f64 / 200.0], i % 2))
-            .collect();
+        let rows: Vec<(Vec<f64>, usize)> =
+            (0..200).map(|i| (vec![i as f64 / 200.0], i % 2)).collect();
         let uniform = summarize(&split(rows)).unwrap();
         assert!(!uniform.is_skewed(), "skew = {}", uniform.skew_indicator);
     }

@@ -114,7 +114,9 @@ impl Generator {
     /// Panics on out-of-range configuration values (see field docs).
     pub fn from_rng<R: Rng + ?Sized>(config: GeneratorConfig, rng: &mut R) -> Self {
         config.validate();
-        let shared: Vec<f64> = (0..config.n_features).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let shared: Vec<f64> = (0..config.n_features)
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
         let w = config.shared_weight;
         let prototypes = (0..config.n_classes)
             .map(|_| {
@@ -123,8 +125,9 @@ impl Generator {
                     .collect()
             })
             .collect();
-        let informative_cut =
-            ((config.n_features as f64) * config.informative_fraction).round().max(1.0) as usize;
+        let informative_cut = ((config.n_features as f64) * config.informative_fraction)
+            .round()
+            .max(1.0) as usize;
         Self {
             config,
             prototypes,
@@ -253,9 +256,8 @@ mod tests {
         let a = g.sample(0, &mut rng);
         let same = g.sample(0, &mut rng);
         let other = g.sample(1, &mut rng);
-        let dist = |x: &[f64], y: &[f64]| -> f64 {
-            x.iter().zip(y).map(|(a, b)| (a - b).powi(2)).sum()
-        };
+        let dist =
+            |x: &[f64], y: &[f64]| -> f64 { x.iter().zip(y).map(|(a, b)| (a - b).powi(2)).sum() };
         assert!(dist(&a, &same) < dist(&a, &other));
     }
 
@@ -269,7 +271,10 @@ mod tests {
         let split = g.split(50, &mut rng);
         let values: Vec<f64> = split.features.iter().flatten().copied().collect();
         let below_mid = values.iter().filter(|&&v| v < 0.5).count() as f64 / values.len() as f64;
-        assert!(below_mid > 0.7, "power-4 marginal should pile up below 0.5: {below_mid}");
+        assert!(
+            below_mid > 0.7,
+            "power-4 marginal should pile up below 0.5: {below_mid}"
+        );
     }
 
     #[test]
@@ -330,8 +335,16 @@ mod tests {
         };
         let high = correlated_class_vectors(4, 4000, 0.95, 100.0, &mut rng);
         let low = correlated_class_vectors(4, 4000, 0.1, 100.0, &mut rng);
-        assert!(cos(&high[0], &high[1]) > 0.8, "high corr: {}", cos(&high[0], &high[1]));
-        assert!(cos(&low[0], &low[1]) < 0.3, "low corr: {}", cos(&low[0], &low[1]));
+        assert!(
+            cos(&high[0], &high[1]) > 0.8,
+            "high corr: {}",
+            cos(&high[0], &high[1])
+        );
+        assert!(
+            cos(&low[0], &low[1]) < 0.3,
+            "low corr: {}",
+            cos(&low[0], &low[1])
+        );
     }
 
     #[test]

@@ -120,7 +120,10 @@ mod tests {
 
     fn trained_pair(dim: usize, seed: u64) -> (ClassModel, Vec<DenseHv>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let protos = [BipolarHv::random(dim, &mut rng), BipolarHv::random(dim, &mut rng)];
+        let protos = [
+            BipolarHv::random(dim, &mut rng),
+            BipolarHv::random(dim, &mut rng),
+        ];
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for (c, p) in protos.iter().enumerate() {

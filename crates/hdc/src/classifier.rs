@@ -9,14 +9,15 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::encoding::{Encode, PermutationEncoder};
+use crate::classify::{Classifier, FitClassifier};
+use crate::encoding::{encode_batch_with, Encode, PermutationEncoder};
 use crate::error::{HdcError, Result};
 use crate::hv::DenseHv;
 use crate::levels::{LevelMemory, LevelScheme};
-use crate::metrics::accuracy;
 use crate::model::ClassModel;
 use crate::quantize::{Quantization, Quantizer};
-use crate::train::{initial_fit, retrain, TrainReport};
+use crate::train::{initial_fit_with, retrain, TrainReport};
+use lookhd_engine::{Engine, EngineConfig, EngineStats};
 
 /// Hyperparameters of the baseline HDC classifier.
 ///
@@ -36,6 +37,10 @@ pub struct HdcConfig {
     pub retrain_epochs: usize,
     /// RNG seed for reproducible level/position hypervectors.
     pub seed: u64,
+    /// Execution engine settings for training and batch inference.
+    /// Outputs are identical for every thread count (see
+    /// [`lookhd_engine`]'s determinism contract).
+    pub engine: EngineConfig,
 }
 
 impl HdcConfig {
@@ -49,6 +54,7 @@ impl HdcConfig {
             level_scheme: LevelScheme::RandomFlips,
             retrain_epochs: 10,
             seed: 0x10_0c_4d,
+            engine: EngineConfig::default(),
         }
     }
 
@@ -87,6 +93,18 @@ impl HdcConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the execution engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Convenience: sets only the engine thread count (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.engine = self.engine.with_threads(threads);
+        self
+    }
 }
 
 impl Default for HdcConfig {
@@ -97,10 +115,14 @@ impl Default for HdcConfig {
 
 /// A trained baseline HDC classifier.
 ///
+/// Construct with [`FitClassifier::fit`]; run inference through the
+/// [`Classifier`] trait.
+///
 /// # Examples
 ///
 /// ```
 /// use hdc::classifier::{HdcClassifier, HdcConfig};
+/// use hdc::{Classifier, FitClassifier};
 ///
 /// // Two 4-feature classes: low values vs high values.
 /// let xs: Vec<Vec<f64>> = (0..20)
@@ -118,34 +140,18 @@ pub struct HdcClassifier {
     encoder: PermutationEncoder,
     model: ClassModel,
     report: TrainReport,
+    engine: Engine,
+    fit_stats: EngineStats,
 }
 
 impl HdcClassifier {
-    /// Trains a classifier on `features`/`labels` with the given config.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`HdcError::InvalidDataset`] for an empty or ragged dataset
-    /// and [`HdcError::InvalidConfig`] for invalid hyperparameters.
-    pub fn fit(config: &HdcConfig, features: &[Vec<f64>], labels: &[usize]) -> Result<Self> {
-        let (encoder, encoded, n_classes) = Self::prepare(config, features, labels)?;
-        let mut model = initial_fit(&encoded, labels, n_classes)?;
-        let report = retrain(&mut model, &encoded, labels, config.retrain_epochs)?;
-        model.refresh_norms();
-        Ok(Self {
-            encoder,
-            model,
-            report,
-        })
-    }
-
     /// Builds the encoder and encodes the training set (shared with
-    /// [`HdcClassifier::fit`]; exposed via `fit` only).
+    /// [`FitClassifier::fit`]; exposed via `fit` only).
     fn prepare(
         config: &HdcConfig,
         features: &[Vec<f64>],
         labels: &[usize],
-    ) -> Result<(PermutationEncoder, Vec<DenseHv>, usize)> {
+    ) -> Result<(PermutationEncoder, Vec<DenseHv>, usize, Engine)> {
         if features.is_empty() {
             return Err(HdcError::invalid_dataset("cannot train on zero samples"));
         }
@@ -166,36 +172,45 @@ impl HdcClassifier {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let levels = LevelMemory::generate(config.dim, config.q, config.level_scheme, &mut rng)?;
         let encoder = PermutationEncoder::new(levels, quantizer, n_features)?;
-        let encoded = encoder.encode_batch(features)?;
-        Ok((encoder, encoded, n_classes))
+        let engine = Engine::new(config.engine);
+        let (encoded, _) = encode_batch_with(&engine, &encoder, features)?;
+        Ok((encoder, encoded, n_classes, engine))
     }
 
-    /// Predicts the class of a raw feature vector.
+    /// Predicts a batch and returns the labels together with the engine's
+    /// run statistics (per-shard timings, merge time, throughput).
     ///
     /// # Errors
     ///
-    /// Returns an encoding error for a wrong-arity feature vector.
-    pub fn predict(&self, features: &[f64]) -> Result<usize> {
-        let h = self.encoder.encode(features)?;
-        self.model.predict(&h)
+    /// Propagates the first prediction error in sample order.
+    pub fn predict_batch_stats(&self, features: &[Vec<f64>]) -> Result<(Vec<usize>, EngineStats)> {
+        let (preds, stats) = self.engine.map_reduce(
+            features.len(),
+            |range| {
+                features[range]
+                    .iter()
+                    .map(|f| self.predict(f))
+                    .collect::<Result<Vec<usize>>>()
+            },
+            |shards| {
+                let mut out = Vec::with_capacity(features.len());
+                for shard in shards {
+                    out.extend(shard?);
+                }
+                Ok::<Vec<usize>, HdcError>(out)
+            },
+        );
+        Ok((preds?, stats))
     }
 
-    /// Predicts a batch and returns the labels.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first prediction error.
-    pub fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<usize>> {
-        features.iter().map(|f| self.predict(f)).collect()
+    /// Engine statistics of the initial bundling phase of training.
+    pub fn fit_stats(&self) -> &EngineStats {
+        &self.fit_stats
     }
 
-    /// Convenience: accuracy over a labelled test set.
-    ///
-    /// # Errors
-    ///
-    /// Propagates prediction/metric errors.
-    pub fn score(&self, features: &[Vec<f64>], labels: &[usize]) -> Result<f64> {
-        accuracy(&self.predict_batch(features)?, labels)
+    /// The execution engine this classifier runs batch inference on.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// The trained class model.
@@ -220,6 +235,49 @@ impl HdcClassifier {
     /// Returns an encoding error for a wrong-arity feature vector.
     pub fn encode(&self, features: &[f64]) -> Result<DenseHv> {
         self.encoder.encode(features)
+    }
+}
+
+impl Classifier for HdcClassifier {
+    fn num_classes(&self) -> usize {
+        self.model.n_classes()
+    }
+
+    fn predict(&self, features: &[f64]) -> Result<usize> {
+        let h = self.encoder.encode(features)?;
+        self.model.predict(&h)
+    }
+
+    fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<usize>> {
+        Ok(self.predict_batch_stats(features)?.0)
+    }
+}
+
+impl FitClassifier for HdcClassifier {
+    type Config = HdcConfig;
+
+    /// Trains a classifier on `features`/`labels` with the given config.
+    ///
+    /// The initial bundling phase is sharded across the configured
+    /// engine's threads; retraining is inherently sequential and runs
+    /// serially. Results are identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] for an empty or ragged dataset
+    /// and [`HdcError::InvalidConfig`] for invalid hyperparameters.
+    fn fit(config: &HdcConfig, features: &[Vec<f64>], labels: &[usize]) -> Result<Self> {
+        let (encoder, encoded, n_classes, engine) = Self::prepare(config, features, labels)?;
+        let (mut model, fit_stats) = initial_fit_with(&engine, &encoded, labels, n_classes)?;
+        let report = retrain(&mut model, &encoded, labels, config.retrain_epochs)?;
+        model.refresh_norms();
+        Ok(Self {
+            encoder,
+            model,
+            report,
+            engine,
+            fit_stats,
+        })
     }
 }
 
@@ -249,10 +307,15 @@ mod tests {
     #[test]
     fn fit_and_score_separable_data() {
         let (xs, ys) = blobs(30, 1);
-        let config = HdcConfig::new().with_dim(512).with_q(8).with_retrain_epochs(5);
+        let config = HdcConfig::new()
+            .with_dim(512)
+            .with_q(8)
+            .with_retrain_epochs(5);
         let clf = HdcClassifier::fit(&config, &xs, &ys).unwrap();
-        let acc = clf.score(&xs, &ys).unwrap();
+        let acc = clf.evaluate(&xs, &ys).unwrap();
         assert!(acc > 0.9, "train accuracy too low: {acc}");
+        assert_eq!(clf.num_classes(), 3);
+        assert_eq!(clf.fit_stats().items, xs.len());
     }
 
     #[test]
@@ -283,20 +346,51 @@ mod tests {
             .with_quantization(Quantization::Equalized)
             .with_level_scheme(LevelScheme::DisjointFlips)
             .with_retrain_epochs(3)
-            .with_seed(7);
+            .with_seed(7)
+            .with_engine(EngineConfig::new().with_shard_size(64))
+            .with_threads(2);
         assert_eq!(c.dim, 1000);
         assert_eq!(c.q, 4);
         assert_eq!(c.quantization, Quantization::Equalized);
         assert_eq!(c.level_scheme, LevelScheme::DisjointFlips);
         assert_eq!(c.retrain_epochs, 3);
         assert_eq!(c.seed, 7);
+        assert_eq!(
+            c.engine,
+            EngineConfig::new().with_shard_size(64).with_threads(2)
+        );
         assert_eq!(HdcConfig::default(), HdcConfig::new());
+    }
+
+    #[test]
+    fn threaded_training_and_inference_match_serial() {
+        let (xs, ys) = blobs(20, 11);
+        let base = HdcConfig::new().with_dim(256).with_q(4);
+        let serial = HdcClassifier::fit(&base, &xs, &ys).unwrap();
+        let serial_preds = serial.predict_batch(&xs).unwrap();
+        for threads in [2, 3, 8] {
+            let cfg = base
+                .clone()
+                .with_engine(EngineConfig::new().with_threads(threads).with_shard_size(7));
+            let clf = HdcClassifier::fit(&cfg, &xs, &ys).unwrap();
+            assert_eq!(
+                clf.predict_batch(&xs).unwrap(),
+                serial_preds,
+                "threads={threads}"
+            );
+            for (a, b) in clf.model().classes().iter().zip(serial.model().classes()) {
+                assert_eq!(a, b, "threads={threads}");
+            }
+        }
     }
 
     #[test]
     fn report_reflects_retraining() {
         let (xs, ys) = blobs(20, 3);
-        let config = HdcConfig::new().with_dim(256).with_q(4).with_retrain_epochs(8);
+        let config = HdcConfig::new()
+            .with_dim(256)
+            .with_q(4)
+            .with_retrain_epochs(8);
         let clf = HdcClassifier::fit(&config, &xs, &ys).unwrap();
         assert!(clf.report().epochs_run() >= 1);
         assert!(clf.report().final_accuracy() > 0.8);
@@ -308,17 +402,23 @@ mod tests {
         let config = HdcConfig::new().with_dim(512).with_q(8);
         let clf = HdcClassifier::fit(&config, &xs, &ys).unwrap();
         let (test_xs, test_ys) = blobs(10, 99);
-        let acc = clf.score(&test_xs, &test_ys).unwrap();
+        let acc = clf.evaluate(&test_xs, &test_ys).unwrap();
         assert!(acc > 0.8, "test accuracy too low: {acc}");
     }
 
     #[test]
     fn encode_exposes_query_hypervector() {
         let (xs, ys) = blobs(5, 5);
-        let config = HdcConfig::new().with_dim(128).with_q(2).with_retrain_epochs(0);
+        let config = HdcConfig::new()
+            .with_dim(128)
+            .with_q(2)
+            .with_retrain_epochs(0);
         let clf = HdcClassifier::fit(&config, &xs, &ys).unwrap();
         let h = clf.encode(&xs[0]).unwrap();
         assert_eq!(h.dim(), 128);
-        assert_eq!(clf.model().predict(&h).unwrap(), clf.predict(&xs[0]).unwrap());
+        assert_eq!(
+            clf.model().predict(&h).unwrap(),
+            clf.predict(&xs[0]).unwrap()
+        );
     }
 }

@@ -1,0 +1,127 @@
+//! The common classifier interface shared by every model family in this
+//! workspace.
+//!
+//! [`Classifier`] is the object-safe inference surface: the baseline HDC
+//! classifier, the LookHD classifier, and the MLP baseline all implement
+//! it, so experiment drivers can hold a `Box<dyn Classifier>` and swap
+//! model families without changing evaluation code. [`FitClassifier`] adds
+//! the associated-config constructor, which cannot live on the object-safe
+//! trait (it returns `Self`).
+//!
+//! # Examples
+//!
+//! ```
+//! use hdc::classify::{Classifier, FitClassifier};
+//! use hdc::classifier::{HdcClassifier, HdcConfig};
+//!
+//! let xs: Vec<Vec<f64>> = (0..20)
+//!     .map(|i| vec![if i % 2 == 0 { 0.1 } else { 0.9 }; 4])
+//!     .collect();
+//! let ys: Vec<usize> = (0..20).map(|i| i % 2).collect();
+//! let config = HdcConfig::new().with_dim(256).with_q(4);
+//! let clf: Box<dyn Classifier> = Box::new(HdcClassifier::fit(&config, &xs, &ys)?);
+//! assert_eq!(clf.num_classes(), 2);
+//! assert_eq!(clf.predict(&[0.9; 4])?, 1);
+//! assert!(clf.evaluate(&xs, &ys)? > 0.9);
+//! # Ok::<(), hdc::HdcError>(())
+//! ```
+
+use crate::error::Result;
+use crate::metrics::accuracy;
+
+/// Object-safe inference interface of a trained classifier.
+///
+/// Implementations must be deterministic: the same query yields the same
+/// label on every call, whatever execution configuration (thread count)
+/// the implementation uses internally.
+pub trait Classifier {
+    /// Number of classes the model distinguishes.
+    fn num_classes(&self) -> usize;
+
+    /// Predicts the label of one raw feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a wrong-arity feature vector.
+    fn predict(&self, features: &[f64]) -> Result<usize>;
+
+    /// Predicts labels for a batch of feature vectors.
+    ///
+    /// The default implementation maps [`Classifier::predict`] serially;
+    /// implementations may override it with a parallel path as long as
+    /// outputs stay identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first prediction error in sample order.
+    fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<usize>> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Accuracy over a labelled evaluation set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors and
+    /// [`crate::HdcError::InvalidDataset`] for mismatched lengths.
+    fn evaluate(&self, features: &[Vec<f64>], labels: &[usize]) -> Result<f64> {
+        accuracy(&self.predict_batch(features)?, labels)
+    }
+}
+
+/// Training constructor for a classifier family.
+///
+/// Split from [`Classifier`] so the latter stays object-safe: `fit`
+/// returns `Self` and refers to an associated config type, neither of
+/// which a `dyn Classifier` can carry.
+pub trait FitClassifier: Classifier + Sized {
+    /// The hyperparameter set of this classifier family.
+    type Config: Default;
+
+    /// Trains a classifier on `features`/`labels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid hyperparameters or an empty, ragged,
+    /// or mismatched dataset.
+    fn fit(config: &Self::Config, features: &[Vec<f64>], labels: &[usize]) -> Result<Self>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::HdcError;
+
+    /// A trivial stub: classifies by sign of the first feature.
+    struct SignStub;
+
+    impl Classifier for SignStub {
+        fn num_classes(&self) -> usize {
+            2
+        }
+
+        fn predict(&self, features: &[f64]) -> Result<usize> {
+            match features.first() {
+                Some(&v) => Ok(usize::from(v >= 0.0)),
+                None => Err(HdcError::invalid_dataset("empty feature vector")),
+            }
+        }
+    }
+
+    #[test]
+    fn default_batch_and_evaluate_use_predict() {
+        let clf = SignStub;
+        let xs = vec![vec![-1.0], vec![2.0], vec![-0.5], vec![3.0]];
+        assert_eq!(clf.predict_batch(&xs).unwrap(), vec![0, 1, 0, 1]);
+        assert_eq!(clf.evaluate(&xs, &[0, 1, 0, 1]).unwrap(), 1.0);
+        assert_eq!(clf.evaluate(&xs, &[1, 1, 0, 1]).unwrap(), 0.75);
+    }
+
+    #[test]
+    fn trait_object_is_usable() {
+        let clf: Box<dyn Classifier> = Box::new(SignStub);
+        assert_eq!(clf.num_classes(), 2);
+        assert_eq!(clf.predict(&[-4.0]).unwrap(), 0);
+        assert!(clf.predict(&[]).is_err());
+    }
+}

@@ -95,7 +95,11 @@ pub fn kmeans<R: Rng + ?Sized>(
     if encoded.iter().any(|h| h.dim() != dim) {
         return Err(HdcError::DimensionMismatch {
             expected: dim,
-            actual: encoded.iter().find(|h| h.dim() != dim).expect("exists").dim(),
+            actual: encoded
+                .iter()
+                .find(|h| h.dim() != dim)
+                .expect("exists")
+                .dim(),
         });
     }
     // Seed with k distinct samples.
@@ -163,7 +167,13 @@ mod tests {
     use rand::SeedableRng;
 
     /// Encoded samples around `k` random prototypes.
-    fn blobs(k: usize, per: usize, dim: usize, flips: usize, seed: u64) -> (Vec<DenseHv>, Vec<usize>) {
+    fn blobs(
+        k: usize,
+        per: usize,
+        dim: usize,
+        flips: usize,
+        seed: u64,
+    ) -> (Vec<DenseHv>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let protos: Vec<BipolarHv> = (0..k).map(|_| BipolarHv::random(dim, &mut rng)).collect();
         let mut xs = Vec::new();
@@ -186,7 +196,10 @@ mod tests {
         for (&a, &t) in assignments.iter().zip(truth) {
             counts[a][t] += 1;
         }
-        let correct: usize = counts.iter().map(|row| row.iter().max().copied().unwrap_or(0)).sum();
+        let correct: usize = counts
+            .iter()
+            .map(|row| row.iter().max().copied().unwrap_or(0))
+            .sum();
         correct as f64 / assignments.len() as f64
     }
 
@@ -217,7 +230,11 @@ mod tests {
         let (xs, _) = blobs(2, 15, 512, 10, 5);
         let mut rng = StdRng::seed_from_u64(6);
         let clustering = kmeans(&xs, 2, 50, &mut rng).unwrap();
-        assert!(clustering.iterations < 50, "should converge early: {}", clustering.iterations);
+        assert!(
+            clustering.iterations < 50,
+            "should converge early: {}",
+            clustering.iterations
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::error::{HdcError, Result};
 use crate::hv::DenseHv;
 use crate::levels::LevelMemory;
 use crate::quantize::{FeatureQuantizers, Quantizer};
+use lookhd_engine::{Engine, EngineStats};
 
 /// Maps a raw feature vector to a dense query/encoding hypervector.
 ///
@@ -44,6 +45,38 @@ pub trait Encode {
     fn encode_batch(&self, features: &[Vec<f64>]) -> Result<Vec<DenseHv>> {
         features.iter().map(|f| self.encode(f)).collect()
     }
+}
+
+/// Encodes a batch through an engine, sharding the rows across worker
+/// threads. Encoding is per-sample deterministic and results are
+/// concatenated in shard order, so the output equals
+/// [`Encode::encode_batch`] for every thread count.
+///
+/// # Errors
+///
+/// Propagates the first encoding error in sample order.
+pub fn encode_batch_with<E: Encode + Sync>(
+    engine: &Engine,
+    encoder: &E,
+    features: &[Vec<f64>],
+) -> Result<(Vec<DenseHv>, EngineStats)> {
+    let (encoded, stats) = engine.map_reduce(
+        features.len(),
+        |range| {
+            features[range]
+                .iter()
+                .map(|f| encoder.encode(f))
+                .collect::<Result<Vec<DenseHv>>>()
+        },
+        |shards| {
+            let mut out = Vec::with_capacity(features.len());
+            for shard in shards {
+                out.extend(shard?);
+            }
+            Ok::<Vec<DenseHv>, HdcError>(out)
+        },
+    );
+    Ok((encoded?, stats))
 }
 
 /// The baseline permutation ("record-based") encoder of §II-A.
@@ -97,7 +130,10 @@ impl PermutationEncoder {
     /// quantizer's level count differs from the level memory's.
     pub fn new(levels: LevelMemory, quantizer: Quantizer, n_features: usize) -> Result<Self> {
         if n_features == 0 {
-            return Err(HdcError::invalid_config("n_features", "need at least one feature"));
+            return Err(HdcError::invalid_config(
+                "n_features",
+                "need at least one feature",
+            ));
         }
         if quantizer.levels() != levels.levels() {
             return Err(HdcError::invalid_config(
@@ -285,13 +321,17 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..100)
             .map(|i| vec![i as f64 / 100.0, 100.0 + i as f64])
             .collect();
-        let fq = crate::quantize::FeatureQuantizers::fit(Quantization::Equalized, &rows, 4)
-            .unwrap();
+        let fq =
+            crate::quantize::FeatureQuantizers::fit(Quantization::Equalized, &rows, 4).unwrap();
         let enc = PermutationEncoder::with_feature_quantizers(levels.clone(), fq).unwrap();
         assert!(enc.quantizer().is_none());
         let a = enc.encode(&[0.05, 150.0]).unwrap();
         let b = enc.encode(&[0.95, 150.0]).unwrap();
-        assert!(a.cosine(&b) < 0.9, "per-feature levels must differ: {}", a.cosine(&b));
+        assert!(
+            a.cosine(&b) < 0.9,
+            "per-feature levels must differ: {}",
+            a.cosine(&b)
+        );
 
         // A global *linear* quantizer over the pooled values cannot see
         // column 0 (all of [0, 1] falls in the lowest bin of [0, 200]).

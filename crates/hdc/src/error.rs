@@ -60,10 +60,16 @@ impl fmt::Display for HdcError {
             }
             Self::InvalidDataset { message } => write!(f, "invalid dataset: {message}"),
             Self::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: expected D={expected}, got D={actual}")
+                write!(
+                    f,
+                    "dimension mismatch: expected D={expected}, got D={actual}"
+                )
             }
             Self::UnknownClass { label, n_classes } => {
-                write!(f, "class label {label} out of range for {n_classes} classes")
+                write!(
+                    f,
+                    "class label {label} out of range for {n_classes} classes"
+                )
             }
         }
     }
@@ -81,7 +87,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let e = HdcError::invalid_config("q", "must be at least 2");
-        assert_eq!(e.to_string(), "invalid configuration for `q`: must be at least 2");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration for `q`: must be at least 2"
+        );
         let e = HdcError::DimensionMismatch {
             expected: 2000,
             actual: 1000,

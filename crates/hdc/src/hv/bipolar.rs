@@ -91,7 +91,11 @@ impl BipolarHv {
     /// Panics if `i >= self.dim()`.
     #[inline]
     pub fn value(&self, i: usize) -> i32 {
-        assert!(i < self.dim, "dimension {i} out of range for D={}", self.dim);
+        assert!(
+            i < self.dim,
+            "dimension {i} out of range for D={}",
+            self.dim
+        );
         if self.bit(i) {
             -1
         } else {
@@ -105,7 +109,11 @@ impl BipolarHv {
     ///
     /// Panics if `i >= self.dim()` or `v` is not `1` or `-1`.
     pub fn set(&mut self, i: usize, v: i32) {
-        assert!(i < self.dim, "dimension {i} out of range for D={}", self.dim);
+        assert!(
+            i < self.dim,
+            "dimension {i} out of range for D={}",
+            self.dim
+        );
         match v {
             1 => self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS)),
             -1 => self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS),
@@ -132,7 +140,11 @@ impl BipolarHv {
     /// Panics if any index is out of range.
     pub fn flip(&mut self, indices: &[usize]) {
         for &i in indices {
-            assert!(i < self.dim, "dimension {i} out of range for D={}", self.dim);
+            assert!(
+                i < self.dim,
+                "dimension {i} out of range for D={}",
+                self.dim
+            );
             self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
         }
     }
@@ -419,7 +431,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let a = BipolarHv::random(10_000, &mut rng);
         for k in [1usize, 3, 100, 617] {
-            assert!(a.cosine(&a.rotated(k)).abs() < 0.05, "rotation {k} not orthogonal");
+            assert!(
+                a.cosine(&a.rotated(k)).abs() < 0.05,
+                "rotation {k} not orthogonal"
+            );
         }
     }
 
@@ -467,11 +482,7 @@ mod tests {
         for dim in [64usize, 128, 512, 2048] {
             let hv = BipolarHv::random(dim, &mut rng);
             for k in [0usize, 1, 7, 63, 64, 65, 200, dim - 1, dim, dim + 3] {
-                assert_eq!(
-                    hv.rotated(k),
-                    rotated_reference(&hv, k),
-                    "dim={dim}, k={k}"
-                );
+                assert_eq!(hv.rotated(k), rotated_reference(&hv, k), "dim={dim}, k={k}");
             }
         }
     }

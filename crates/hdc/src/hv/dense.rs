@@ -214,13 +214,29 @@ impl DenseHv {
         self.values
             .iter()
             .enumerate()
-            .map(|(i, &v)| if hv.is_negative(i) { -(v as i64) } else { v as i64 })
+            .map(|(i, &v)| {
+                if hv.is_negative(i) {
+                    -(v as i64)
+                } else {
+                    v as i64
+                }
+            })
             .sum()
     }
 
     /// Euclidean norm `‖self‖`.
+    ///
+    /// Accumulates in `f64` so extreme component magnitudes cannot
+    /// overflow the integer dot product.
     pub fn norm(&self) -> f64 {
-        (self.dot(self) as f64).sqrt()
+        self.values
+            .iter()
+            .map(|&v| {
+                let f = v as f64;
+                f * f
+            })
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Cosine similarity `self·other / (‖self‖‖other‖)`.
@@ -273,7 +289,12 @@ impl FromIterator<i32> for DenseHv {
 
 impl fmt::Debug for DenseHv {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DenseHv(D={}, {:?}", self.dim(), &self.values[..self.dim().min(8)])?;
+        write!(
+            f,
+            "DenseHv(D={}, {:?}",
+            self.dim(),
+            &self.values[..self.dim().min(8)]
+        )?;
         if self.dim() > 8 {
             write!(f, "…")?;
         }

@@ -71,7 +71,10 @@ impl LevelMemory {
         rng: &mut R,
     ) -> Result<Self> {
         if dim == 0 {
-            return Err(HdcError::invalid_config("dim", "dimension must be positive"));
+            return Err(HdcError::invalid_config(
+                "dim",
+                "dimension must be positive",
+            ));
         }
         if q == 0 {
             return Err(HdcError::invalid_config("q", "need at least one level"));
@@ -178,7 +181,10 @@ mod tests {
             assert!(w[0] >= w[1] - 1e-9, "profile not decreasing: {prof:?}");
         }
         // Far end is orthogonal by construction (D/2 flipped dims).
-        assert!(prof.last().unwrap().abs() < 0.05, "far level not orthogonal: {prof:?}");
+        assert!(
+            prof.last().unwrap().abs() < 0.05,
+            "far level not orthogonal: {prof:?}"
+        );
     }
 
     #[test]
@@ -189,7 +195,10 @@ mod tests {
         assert!(prof[1] > 0.8, "neighbour level too dissimilar: {}", prof[1]);
         // The theoretical asymptote for the far level is 1 - 2·(1-e^{-2·15/16})/2 ≈ 0.156.
         let far = *prof.last().unwrap();
-        assert!(far.abs() < 0.25, "far level similarity {far} not near-orthogonal");
+        assert!(
+            far.abs() < 0.25,
+            "far level similarity {far} not near-orthogonal"
+        );
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   permutation encoder (Eq. 1 of the paper);
 //! * [`model`] — class models and cosine/dot associative search;
 //! * [`train`] — initial bundling training and perceptron-style retraining;
+//! * [`classify`] — the [`Classifier`] / [`FitClassifier`] traits every
+//!   model family in the workspace implements;
 //! * [`classifier`] — the end-to-end baseline [`classifier::HdcClassifier`];
 //! * [`binary`] — majority-thresholded binary models (prior-work regime);
 //! * [`noise`] — fault injection for robustness studies;
@@ -28,6 +30,7 @@
 //!
 //! ```
 //! use hdc::classifier::{HdcClassifier, HdcConfig};
+//! use hdc::{Classifier, FitClassifier};
 //!
 //! // A tiny two-class problem: low feature values vs high feature values.
 //! let xs: Vec<Vec<f64>> = (0..20)
@@ -47,6 +50,7 @@
 
 pub mod binary;
 pub mod classifier;
+pub mod classify;
 pub mod cluster;
 pub mod encoding;
 mod error;
@@ -60,4 +64,5 @@ pub mod quantize;
 pub mod sequence;
 pub mod train;
 
+pub use classify::{Classifier, FitClassifier};
 pub use error::{HdcError, Result};

@@ -65,7 +65,10 @@ impl ClassModel {
             return Err(HdcError::invalid_config("k", "need at least one class"));
         }
         if dim == 0 {
-            return Err(HdcError::invalid_config("dim", "dimension must be positive"));
+            return Err(HdcError::invalid_config(
+                "dim",
+                "dimension must be positive",
+            ));
         }
         Ok(Self {
             classes: vec![DenseHv::zeros(dim); k],
@@ -207,6 +210,37 @@ impl ClassModel {
         Ok(())
     }
 
+    /// Element-wise adds every class hypervector of `other` into this
+    /// model (`C_i += C'_i`), the merge step of sharded training. Integer
+    /// addition is associative and commutative, so merging per-shard
+    /// partial models in shard order is bit-identical to serial
+    /// accumulation. Norms are refreshed lazily: call
+    /// [`ClassModel::refresh_norms`] after the final merge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] if the class counts differ and
+    /// [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn merge_add(&mut self, other: &Self) -> Result<()> {
+        if other.n_classes() != self.n_classes() {
+            return Err(HdcError::invalid_dataset(format!(
+                "cannot merge a {}-class model into a {}-class model",
+                other.n_classes(),
+                self.n_classes()
+            )));
+        }
+        if other.dim() != self.dim() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other.dim(),
+            });
+        }
+        for (c, oc) in self.classes.iter_mut().zip(&other.classes) {
+            c.add_assign_hv(oc);
+        }
+        Ok(())
+    }
+
     /// Recomputes the cached class norms after in-place updates.
     pub fn refresh_norms(&mut self) {
         for (n, c) in self.norms.iter_mut().zip(&self.classes) {
@@ -321,11 +355,17 @@ mod tests {
         let mut m = toy_model();
         assert!(matches!(
             m.predict(&DenseHv::zeros(3)),
-            Err(HdcError::DimensionMismatch { expected: 4, actual: 3 })
+            Err(HdcError::DimensionMismatch {
+                expected: 4,
+                actual: 3
+            })
         ));
         assert!(matches!(
             m.add(7, &DenseHv::zeros(4)),
-            Err(HdcError::UnknownClass { label: 7, n_classes: 3 })
+            Err(HdcError::UnknownClass {
+                label: 7,
+                n_classes: 3
+            })
         ));
         assert!(matches!(
             m.add(0, &DenseHv::zeros(5)),

@@ -16,7 +16,10 @@ use crate::model::ClassModel;
 ///
 /// Panics if `p` is not in `[0, 1]`.
 pub fn flip_bipolar<R: Rng + ?Sized>(hv: &mut BipolarHv, p: f64, rng: &mut R) {
-    assert!((0.0..=1.0).contains(&p), "flip probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "flip probability must be in [0, 1]"
+    );
     let idx: Vec<usize> = (0..hv.dim()).filter(|_| rng.gen_bool(p)).collect();
     hv.flip(&idx);
 }
@@ -28,7 +31,10 @@ pub fn flip_bipolar<R: Rng + ?Sized>(hv: &mut BipolarHv, p: f64, rng: &mut R) {
 ///
 /// Panics if `p` is not in `[0, 1]`.
 pub fn flip_signs<R: Rng + ?Sized>(hv: &mut DenseHv, p: f64, rng: &mut R) {
-    assert!((0.0..=1.0).contains(&p), "flip probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "flip probability must be in [0, 1]"
+    );
     for v in hv.as_mut_slice() {
         if rng.gen_bool(p) {
             *v = -*v;
@@ -94,7 +100,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let a = BipolarHv::random(4000, &mut rng);
         let b = BipolarHv::random(4000, &mut rng);
-        let mut model = ClassModel::from_classes(vec![DenseHv::from(&a), DenseHv::from(&b)]).unwrap();
+        let mut model =
+            ClassModel::from_classes(vec![DenseHv::from(&a), DenseHv::from(&b)]).unwrap();
         let query = DenseHv::from(&a);
         assert_eq!(model.predict(&query).unwrap(), 0);
         corrupt_model(&mut model, 0.01, &mut rng);

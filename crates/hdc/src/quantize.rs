@@ -58,10 +58,15 @@ impl Quantizer {
     /// non-finite number.
     pub fn fit(kind: Quantization, values: &[f64], q: usize) -> Result<Self> {
         if q < 2 {
-            return Err(HdcError::invalid_config("q", format!("need at least 2 levels, got {q}")));
+            return Err(HdcError::invalid_config(
+                "q",
+                format!("need at least 2 levels, got {q}"),
+            ));
         }
         if values.is_empty() {
-            return Err(HdcError::invalid_dataset("cannot fit a quantizer to zero values"));
+            return Err(HdcError::invalid_dataset(
+                "cannot fit a quantizer to zero values",
+            ));
         }
         if values.iter().any(|v| !v.is_finite()) {
             return Err(HdcError::invalid_dataset("feature values must be finite"));
@@ -85,13 +90,22 @@ impl Quantizer {
     /// sorted, or not finite.
     pub fn from_boundaries(kind: Quantization, boundaries: Vec<f64>) -> Result<Self> {
         if boundaries.is_empty() {
-            return Err(HdcError::invalid_config("boundaries", "need at least one boundary"));
+            return Err(HdcError::invalid_config(
+                "boundaries",
+                "need at least one boundary",
+            ));
         }
         if boundaries.iter().any(|b| !b.is_finite()) {
-            return Err(HdcError::invalid_config("boundaries", "boundaries must be finite"));
+            return Err(HdcError::invalid_config(
+                "boundaries",
+                "boundaries must be finite",
+            ));
         }
         if boundaries.windows(2).any(|w| w[0] > w[1]) {
-            return Err(HdcError::invalid_config("boundaries", "boundaries must be ascending"));
+            return Err(HdcError::invalid_config(
+                "boundaries",
+                "boundaries must be ascending",
+            ));
         }
         let q = boundaries.len() + 1;
         Ok(Self {
@@ -172,7 +186,6 @@ impl Quantizer {
     }
 }
 
-
 /// Independent quantizers per feature column (an alternative to the
 /// paper's single global quantizer fitted over all feature values).
 ///
@@ -194,11 +207,15 @@ impl FeatureQuantizers {
     /// and propagates per-column fit errors.
     pub fn fit(kind: Quantization, rows: &[Vec<f64>], q: usize) -> Result<Self> {
         if rows.is_empty() {
-            return Err(HdcError::invalid_dataset("cannot fit quantizers to zero rows"));
+            return Err(HdcError::invalid_dataset(
+                "cannot fit quantizers to zero rows",
+            ));
         }
         let width = rows[0].len();
         if width == 0 || rows.iter().any(|r| r.len() != width) {
-            return Err(HdcError::invalid_dataset("feature matrix must be rectangular and non-empty"));
+            return Err(HdcError::invalid_dataset(
+                "feature matrix must be rectangular and non-empty",
+            ));
         }
         let mut columns = Vec::with_capacity(width);
         for j in 0..width {
@@ -284,7 +301,10 @@ mod tests {
         // …equalized bins are near-uniform.
         let max = *eq_occ.iter().max().unwrap() as f64;
         let min = *eq_occ.iter().min().unwrap() as f64;
-        assert!(max / min < 1.1, "equalized occupancy unbalanced: {eq_occ:?}");
+        assert!(
+            max / min < 1.1,
+            "equalized occupancy unbalanced: {eq_occ:?}"
+        );
     }
 
     #[test]

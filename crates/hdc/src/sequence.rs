@@ -42,7 +42,10 @@ impl<T: Eq + Hash + Clone + std::fmt::Debug> ItemMemory<T> {
     /// Returns [`HdcError::InvalidConfig`] if `dim == 0`.
     pub fn new(dim: usize, seed: u64) -> Result<Self> {
         if dim == 0 {
-            return Err(HdcError::invalid_config("dim", "dimension must be positive"));
+            return Err(HdcError::invalid_config(
+                "dim",
+                "dimension must be positive",
+            ));
         }
         Ok(Self {
             dim,
@@ -98,7 +101,10 @@ impl<T: Eq + Hash + Clone + std::fmt::Debug> NgramEncoder<T> {
     /// Returns [`HdcError::InvalidConfig`] if `n == 0` or `dim == 0`.
     pub fn new(dim: usize, n: usize, seed: u64) -> Result<Self> {
         if n == 0 {
-            return Err(HdcError::invalid_config("n", "n-gram size must be positive"));
+            return Err(HdcError::invalid_config(
+                "n",
+                "n-gram size must be positive",
+            ));
         }
         Ok(Self {
             memory: ItemMemory::new(dim, seed)?,
@@ -206,9 +212,15 @@ mod tests {
     #[test]
     fn similar_texts_encode_similarly() {
         let mut enc = NgramEncoder::<char>::new(4096, 3, 2).unwrap();
-        let a = enc.encode_str("the quick brown fox jumps over the lazy dog").unwrap();
-        let b = enc.encode_str("the quick brown fox jumped over a lazy dog").unwrap();
-        let c = enc.encode_str("zzzz qqqq kkkk wwww vvvv xxxx jjjj").unwrap();
+        let a = enc
+            .encode_str("the quick brown fox jumps over the lazy dog")
+            .unwrap();
+        let b = enc
+            .encode_str("the quick brown fox jumped over a lazy dog")
+            .unwrap();
+        let c = enc
+            .encode_str("zzzz qqqq kkkk wwww vvvv xxxx jjjj")
+            .unwrap();
         assert!(a.cosine(&b) > a.cosine(&c) + 0.2);
     }
 

@@ -9,6 +9,7 @@
 use crate::error::{HdcError, Result};
 use crate::hv::DenseHv;
 use crate::model::ClassModel;
+use lookhd_engine::{Engine, EngineStats};
 
 /// Per-epoch statistics produced by [`retrain`].
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +81,54 @@ pub fn initial_fit(encoded: &[DenseHv], labels: &[usize], n_classes: usize) -> R
     }
     model.refresh_norms();
     Ok(model)
+}
+
+/// Sharded variant of [`initial_fit`]: each engine worker bundles a
+/// private partial model over its shard of samples, and the partials are
+/// element-wise added in shard order. Because bundling is integer
+/// addition (associative and commutative), the result is **bit-identical**
+/// to [`initial_fit`] for every thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`initial_fit`].
+pub fn initial_fit_with(
+    engine: &Engine,
+    encoded: &[DenseHv],
+    labels: &[usize],
+    n_classes: usize,
+) -> Result<(ClassModel, EngineStats)> {
+    if encoded.is_empty() {
+        return Err(HdcError::invalid_dataset("cannot train on zero samples"));
+    }
+    if encoded.len() != labels.len() {
+        return Err(HdcError::invalid_dataset(format!(
+            "{} samples but {} labels",
+            encoded.len(),
+            labels.len()
+        )));
+    }
+    let dim = encoded[0].dim();
+    let (merged, stats) = engine.map_reduce(
+        encoded.len(),
+        |range| {
+            let mut partial = ClassModel::zeros(n_classes, dim)?;
+            for i in range {
+                partial.add(labels[i], &encoded[i])?;
+            }
+            Ok::<ClassModel, HdcError>(partial)
+        },
+        |partials| {
+            let mut iter = partials.into_iter();
+            let mut model = iter.next().expect("non-empty input implies >= 1 shard")?;
+            for partial in iter {
+                model.merge_add(&partial?)?;
+            }
+            model.refresh_norms();
+            Ok::<ClassModel, HdcError>(model)
+        },
+    );
+    Ok((merged?, stats))
 }
 
 /// Runs up to `max_epochs` of perceptron-style retraining, stopping early
@@ -213,7 +262,10 @@ mod tests {
         seed: u64,
     ) -> (Vec<DenseHv>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let protos = [BipolarHv::random(dim, &mut rng), BipolarHv::random(dim, &mut rng)];
+        let protos = [
+            BipolarHv::random(dim, &mut rng),
+            BipolarHv::random(dim, &mut rng),
+        ];
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for (c, proto) in protos.iter().enumerate() {
@@ -293,8 +345,16 @@ mod tests {
     fn report_statistics_are_consistent() {
         let stats = TrainReport {
             epochs: vec![
-                EpochStats { epoch: 0, updates: 10, train_accuracy: 0.8 },
-                EpochStats { epoch: 1, updates: 4, train_accuracy: 0.95 },
+                EpochStats {
+                    epoch: 0,
+                    updates: 10,
+                    train_accuracy: 0.8,
+                },
+                EpochStats {
+                    epoch: 1,
+                    updates: 4,
+                    train_accuracy: 0.95,
+                },
             ],
         };
         assert_eq!(stats.epochs_run(), 2);
@@ -329,16 +389,8 @@ mod tests {
         model.refresh_norms();
         // Use the tail of the data as validation.
         let (vx, vy) = (&xs[30..], &ys[30..]);
-        let report = retrain_with_validation(
-            &mut model,
-            &xs[..30],
-            &ys[..30],
-            vx,
-            vy,
-            20,
-            3,
-        )
-        .unwrap();
+        let report =
+            retrain_with_validation(&mut model, &xs[..30], &ys[..30], vx, vy, 20, 3).unwrap();
         assert!(report.epochs_run() >= 1);
         let val_acc = vx
             .iter()

@@ -378,7 +378,10 @@ mod tests {
         let speedup = look.speedup_over(&base);
         assert!(speedup > 2.0, "LookHD should win on FPGA: {speedup}");
         let eff = look.energy_efficiency_over(&base);
-        assert!(eff > speedup, "energy gain should exceed speedup: {eff} vs {speedup}");
+        assert!(
+            eff > speedup,
+            "energy gain should exceed speedup: {eff} vs {speedup}"
+        );
     }
 
     #[test]
@@ -389,7 +392,10 @@ mod tests {
         let observe = model.execute(&shape.lookhd_observe());
         let p_search = search.joules / search.seconds;
         let p_observe = observe.joules / observe.seconds;
-        assert!(p_observe < p_search, "counter pass should be low power: {p_observe} vs {p_search}");
+        assert!(
+            p_observe < p_search,
+            "counter pass should be low power: {p_observe} vs {p_search}"
+        );
     }
 
     #[test]
@@ -408,7 +414,10 @@ mod tests {
         let usage = model.lookhd_inference_usage(&shape);
         let (l, f, d, b) = usage.utilization(&model.device);
         assert!(l > 0.0 && f > 0.0 && d > 0.0 && b > 0.0);
-        assert!(usage.fits(&model.device), "SPEECH inference should fit: {l} {f} {d} {b}");
+        assert!(
+            usage.fits(&model.device),
+            "SPEECH inference should fit: {l} {f} {d} {b}"
+        );
     }
 
     #[test]

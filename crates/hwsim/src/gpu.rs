@@ -94,7 +94,10 @@ mod tests {
             ..OpCounts::zero()
         };
         let t = gpu.execute(&tiny).seconds;
-        assert!((t - 60e-6).abs() / 60e-6 < 0.01, "tiny phase should be all overhead: {t}");
+        assert!(
+            (t - 60e-6).abs() / 60e-6 < 0.01,
+            "tiny phase should be all overhead: {t}"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Stage {
     /// Panics if `latency == 0` or `initiation_interval == 0`.
     pub fn new(name: &'static str, latency: u64, initiation_interval: u64) -> Self {
         assert!(latency >= 1, "stage latency must be at least one cycle");
-        assert!(initiation_interval >= 1, "initiation interval must be at least one cycle");
+        assert!(
+            initiation_interval >= 1,
+            "initiation interval must be at least one cycle"
+        );
         Self {
             name,
             latency,

@@ -19,8 +19,14 @@ impl CostEstimate {
     ///
     /// Panics on negative or non-finite inputs.
     pub fn new(seconds: f64, joules: f64) -> Self {
-        assert!(seconds.is_finite() && seconds >= 0.0, "invalid seconds {seconds}");
-        assert!(joules.is_finite() && joules >= 0.0, "invalid joules {joules}");
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid seconds {seconds}"
+        );
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "invalid joules {joules}"
+        );
         Self { seconds, joules }
     }
 

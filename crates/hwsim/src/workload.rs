@@ -133,7 +133,9 @@ impl WorkloadShape {
     /// Full baseline training: initial pass plus all retraining epochs.
     pub fn baseline_training(&self) -> OpCounts {
         self.baseline_initial_training()
-            + self.baseline_retrain_epoch().scaled(self.retrain_epochs as u64)
+            + self
+                .baseline_retrain_epoch()
+                .scaled(self.retrain_epochs as u64)
     }
 
     /// Full baseline inference for one query: encode + search.
@@ -211,8 +213,8 @@ impl WorkloadShape {
         OpCounts {
             mults: weighted_rows * d,
             adds: weighted_rows * d + k * m * d + counter_scan, // accumulate + aggregation + scan
-            compares: counter_scan, // zero tests while scanning
-            negations: k * m * d,   // position-key binding
+            compares: counter_scan,                             // zero tests while scanning
+            negations: k * m * d,                               // position-key binding
             lookups: weighted_rows,
             mem_bytes: weighted_rows * self.lut_row_bytes() + counter_scan * 4,
         }
@@ -253,7 +255,9 @@ impl WorkloadShape {
         self.lookhd_observe().scaled(self.train_samples as u64)
             + self.lookhd_finalize()
             + compress
-            + self.lookhd_retrain_epoch().scaled(self.retrain_epochs as u64)
+            + self
+                .lookhd_retrain_epoch()
+                .scaled(self.retrain_epochs as u64)
     }
 
     /// Full LookHD inference for one query: lookup encode + compressed
@@ -327,7 +331,12 @@ mod tests {
         };
         let base = s.baseline_encode();
         let look = s.lookhd_encode();
-        assert!(base.adds > 4 * look.adds, "base {} vs look {}", base.adds, look.adds);
+        assert!(
+            base.adds > 4 * look.adds,
+            "base {} vs look {}",
+            base.adds,
+            look.adds
+        );
     }
 
     #[test]
@@ -348,7 +357,10 @@ mod tests {
         let s = shape();
         let c = s.lookhd_observe();
         assert_eq!(c.mults, 0);
-        assert!(c.adds < (s.dim as u64), "per-sample adds must be D-independent");
+        assert!(
+            c.adds < (s.dim as u64),
+            "per-sample adds must be D-independent"
+        );
     }
 
     #[test]

@@ -104,11 +104,8 @@ pub fn analyze_compression(
         }
     }
     let noise_stats = Stats::of(&ratios)?;
-    let at_risk = margins
-        .iter()
-        .filter(|&&m| m < noise_stats.mean)
-        .count() as f64
-        / margins.len() as f64;
+    let at_risk =
+        margins.iter().filter(|&&m| m < noise_stats.mean).count() as f64 / margins.len() as f64;
     Ok(CompressionAnalysis {
         margins: Stats::of(&margins)?,
         noise_to_signal: noise_stats,
@@ -168,11 +165,9 @@ mod tests {
     #[test]
     fn orthogonal_classes_have_high_agreement_and_low_risk() {
         let model = random_model(4, 4000, 1);
-        let compressed = CompressedModel::compress(
-            &model,
-            &CompressionConfig::new().with_decorrelate(false),
-        )
-        .unwrap();
+        let compressed =
+            CompressedModel::compress(&model, &CompressionConfig::new().with_decorrelate(false))
+                .unwrap();
         let queries: Vec<DenseHv> = (0..4).map(|c| model.class(c).clone()).collect();
         let analysis = analyze_compression(&model, &compressed, &queries).unwrap();
         assert_eq!(analysis.agreement, 1.0, "{analysis:?}");
@@ -221,8 +216,7 @@ mod tests {
     #[test]
     fn validates_inputs() {
         let model = random_model(2, 64, 4);
-        let compressed =
-            CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
+        let compressed = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
         assert!(analyze_compression(&model, &compressed, &[]).is_err());
     }
 

@@ -47,7 +47,10 @@ impl ChunkLayout {
     /// [`ChunkLayout::MAX_ADDRESS_BITS`].
     pub fn new(n_features: usize, r: usize, q: usize) -> Result<Self> {
         if n_features == 0 {
-            return Err(HdcError::invalid_config("n_features", "need at least one feature"));
+            return Err(HdcError::invalid_config(
+                "n_features",
+                "need at least one feature",
+            ));
         }
         if r == 0 {
             return Err(HdcError::invalid_config("r", "chunk size must be positive"));

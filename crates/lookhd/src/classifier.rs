@@ -4,14 +4,15 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use hdc::encoding::Encode;
+use hdc::encoding::{encode_batch_with, Encode};
 use hdc::hv::DenseHv;
 use hdc::levels::{LevelMemory, LevelScheme};
 use hdc::metrics::accuracy;
 use hdc::model::ClassModel;
 use hdc::quantize::{Quantization, Quantizer};
 use hdc::train::TrainReport;
-use hdc::{HdcError, Result};
+use hdc::{Classifier, FitClassifier, HdcError, Result};
+use lookhd_engine::{Engine, EngineConfig, EngineStats};
 
 use crate::chunking::ChunkLayout;
 use crate::compress::{CompressedModel, CompressionConfig};
@@ -56,6 +57,10 @@ pub struct LookHdConfig {
     pub update_rule: UpdateRule,
     /// RNG seed (level memory, position keys).
     pub seed: u64,
+    /// Execution engine for the counter-training and batch-inference
+    /// phases. The default is serial; any thread count produces
+    /// bit-identical models and predictions.
+    pub engine: EngineConfig,
 }
 
 impl LookHdConfig {
@@ -75,6 +80,7 @@ impl LookHdConfig {
             adaptive_grouping: true,
             update_rule: UpdateRule::Exact,
             seed: 0x10_0c_4d,
+            engine: EngineConfig::new(),
         }
     }
 
@@ -149,6 +155,18 @@ impl LookHdConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the execution-engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the engine thread count (`0` = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.engine = self.engine.with_threads(threads);
+        self
+    }
 }
 
 impl Default for LookHdConfig {
@@ -162,6 +180,7 @@ impl Default for LookHdConfig {
 /// # Examples
 ///
 /// ```
+/// use hdc::{Classifier, FitClassifier};
 /// use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 ///
 /// // Two 10-feature classes: low values vs high values.
@@ -184,16 +203,12 @@ pub struct LookHdClassifier {
     report: TrainReport,
     /// The RNG seed levels/positions were generated from (for persistence).
     seed: u64,
+    engine: Engine,
+    fit_stats: EngineStats,
 }
 
 impl LookHdClassifier {
-    /// Trains the full pipeline on `features`/`labels`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`HdcError::InvalidDataset`] for empty/ragged data and
-    /// [`HdcError::InvalidConfig`] for invalid hyperparameters.
-    pub fn fit(config: &LookHdConfig, features: &[Vec<f64>], labels: &[usize]) -> Result<Self> {
+    fn fit_impl(config: &LookHdConfig, features: &[Vec<f64>], labels: &[usize]) -> Result<Self> {
         if !(0.0..0.9).contains(&config.validation_fraction) {
             return Err(HdcError::invalid_config(
                 "validation_fraction",
@@ -202,8 +217,11 @@ impl LookHdClassifier {
         }
         let encoder = Self::build_encoder(config, features)?;
         let n_classes = labels.iter().max().map_or(0, |m| m + 1);
-        // Counter-based training (encoding-free per sample).
-        let mut model = CounterTrainer::fit(&encoder, features, labels, n_classes)?;
+        let engine = Engine::new(config.engine);
+        // Counter-based training (encoding-free per sample), sharded over
+        // the engine's threads with bit-identical counter merges.
+        let (mut model, fit_stats) =
+            CounterTrainer::fit_with(&engine, &encoder, features, labels, n_classes)?;
         model.refresh_norms();
 
         // Validation split for compression tuning and retraining stop
@@ -215,9 +233,10 @@ impl LookHdClassifier {
         };
         let use_validation = n_val >= 8 && features.len() - n_val >= 8;
 
-        let needs_encodes = config.retrain_epochs > 0 || (use_validation && config.adaptive_grouping);
+        let needs_encodes =
+            config.retrain_epochs > 0 || (use_validation && config.adaptive_grouping);
         let encoded = if needs_encodes {
-            encoder.encode_batch(features)?
+            encode_batch_with(&engine, &encoder, features)?.0
         } else {
             Vec::new()
         };
@@ -300,6 +319,8 @@ impl LookHdClassifier {
             compressed,
             report,
             seed: config.seed,
+            engine,
+            fit_stats,
         })
     }
 
@@ -328,17 +349,6 @@ impl LookHdClassifier {
         }
     }
 
-    /// Predicts the class of a raw feature vector using the compressed
-    /// model (the deployment path).
-    ///
-    /// # Errors
-    ///
-    /// Propagates encoding errors.
-    pub fn predict(&self, features: &[f64]) -> Result<usize> {
-        let h = self.encoder.encode(features)?;
-        self.compressed.predict(&h)
-    }
-
     /// Predicts using the *uncompressed* model (ablation / exact reference).
     ///
     /// # Errors
@@ -349,22 +359,82 @@ impl LookHdClassifier {
         self.model.predict(&h)
     }
 
-    /// Predicts a batch of feature vectors.
+    /// Predicts a batch with the compressed model, sharded across the
+    /// engine's threads, and returns the engine statistics alongside the
+    /// predictions. Results are identical for every thread count.
     ///
     /// # Errors
     ///
     /// Propagates the first prediction error.
-    pub fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<usize>> {
-        features.iter().map(|f| self.predict(f)).collect()
+    pub fn predict_batch_stats(&self, features: &[Vec<f64>]) -> Result<(Vec<usize>, EngineStats)> {
+        self.batch_with(features, |f| self.predict(f))
     }
 
-    /// Accuracy over a labelled test set (compressed path).
+    /// Predicts a batch with the *uncompressed* model, sharded across the
+    /// engine's threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first prediction error.
+    pub fn predict_batch_uncompressed(&self, features: &[Vec<f64>]) -> Result<Vec<usize>> {
+        Ok(self
+            .batch_with(features, |f| self.predict_uncompressed(f))?
+            .0)
+    }
+
+    /// Accuracy over a labelled test set using the *uncompressed* model
+    /// (ablation / exact reference for [`Classifier::evaluate`]).
     ///
     /// # Errors
     ///
     /// Propagates prediction/metric errors.
-    pub fn score(&self, features: &[Vec<f64>], labels: &[usize]) -> Result<f64> {
-        accuracy(&self.predict_batch(features)?, labels)
+    pub fn evaluate_uncompressed(&self, features: &[Vec<f64>], labels: &[usize]) -> Result<f64> {
+        accuracy(&self.predict_batch_uncompressed(features)?, labels)
+    }
+
+    /// Runs `per_query` over `features` partitioned into engine shards,
+    /// concatenating shard results in shard order.
+    fn batch_with<F>(
+        &self,
+        features: &[Vec<f64>],
+        per_query: F,
+    ) -> Result<(Vec<usize>, EngineStats)>
+    where
+        F: Fn(&[f64]) -> Result<usize> + Sync,
+    {
+        let (preds, stats) = self.engine.map_reduce(
+            features.len(),
+            |range| {
+                features[range]
+                    .iter()
+                    .map(|f| per_query(f))
+                    .collect::<Result<Vec<usize>>>()
+            },
+            |shards| {
+                let mut out = Vec::with_capacity(features.len());
+                for shard in shards {
+                    out.extend(shard?);
+                }
+                Ok::<Vec<usize>, HdcError>(out)
+            },
+        );
+        Ok((preds?, stats))
+    }
+
+    /// Engine statistics of the counter-training phase.
+    pub fn fit_stats(&self) -> &EngineStats {
+        &self.fit_stats
+    }
+
+    /// The execution engine batch inference runs on.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Replaces the execution engine (e.g. after [`LookHdClassifier::from_bytes`],
+    /// which restores a serial engine).
+    pub fn set_engine(&mut self, config: EngineConfig) {
+        self.engine = Engine::new(config);
     }
 
     /// The lookup encoder.
@@ -458,7 +528,9 @@ impl LookHdClassifier {
             return Err(bad("bad magic: not an LKS1 classifier"));
         }
         let u32v = |pos: &mut usize| -> Result<u32> {
-            Ok(u32::from_le_bytes(take(pos, 4)?.try_into().expect("len checked")))
+            Ok(u32::from_le_bytes(
+                take(pos, 4)?.try_into().expect("len checked"),
+            ))
         };
         let dim = u32v(&mut pos)? as usize;
         let q = u32v(&mut pos)? as usize;
@@ -507,7 +579,47 @@ impl LookHdClassifier {
             compressed,
             report: TrainReport::default(),
             seed,
+            // The engine is an execution detail, not part of the model;
+            // deserialized classifiers start serial (see `set_engine`).
+            engine: Engine::serial(),
+            fit_stats: EngineStats::default(),
         })
+    }
+}
+
+impl Classifier for LookHdClassifier {
+    fn num_classes(&self) -> usize {
+        self.model.n_classes()
+    }
+
+    /// Predicts the class of a raw feature vector using the compressed
+    /// model (the deployment path).
+    fn predict(&self, features: &[f64]) -> Result<usize> {
+        let h = self.encoder.encode(features)?;
+        self.compressed.predict(&h)
+    }
+
+    fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<usize>> {
+        Ok(self.predict_batch_stats(features)?.0)
+    }
+}
+
+impl FitClassifier for LookHdClassifier {
+    type Config = LookHdConfig;
+
+    /// Trains the full pipeline on `features`/`labels`.
+    ///
+    /// The counter-training and batch-encoding phases are sharded across
+    /// the configured engine's threads; compression and retraining are
+    /// inherently sequential and run serially. The trained model is
+    /// bit-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] for empty/ragged data and
+    /// [`HdcError::InvalidConfig`] for invalid hyperparameters.
+    fn fit(config: &LookHdConfig, features: &[Vec<f64>], labels: &[usize]) -> Result<Self> {
+        Self::fit_impl(config, features, labels)
     }
 }
 
@@ -552,7 +664,7 @@ mod tests {
         let (xs, ys) = blobs(20, 3, 25, 0.05, 1);
         let config = LookHdConfig::new().with_dim(1024).with_retrain_epochs(5);
         let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
-        let acc = clf.score(&xs, &ys).unwrap();
+        let acc = clf.evaluate(&xs, &ys).unwrap();
         assert!(acc > 0.9, "train accuracy too low: {acc}");
     }
 
@@ -580,7 +692,7 @@ mod tests {
         let (txs, tys) = blobs(30, 4, 8, 0.05, 3); // same protos (same seed)
         let config = LookHdConfig::new().with_dim(1024).with_retrain_epochs(5);
         let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
-        let acc = clf.score(&txs, &tys).unwrap();
+        let acc = clf.evaluate(&txs, &tys).unwrap();
         assert!(acc > 0.85, "test accuracy too low: {acc}");
     }
 
@@ -621,7 +733,9 @@ mod tests {
             .with_compression(CompressionConfig::new().with_seed(5))
             .with_retrain_epochs(2)
             .with_update_rule(UpdateRule::PaperShift)
-            .with_seed(77);
+            .with_seed(77)
+            .with_engine(EngineConfig::new().with_shard_size(64))
+            .with_threads(4);
         assert_eq!(c.dim, 4000);
         assert_eq!(c.q, 8);
         assert_eq!(c.r, 3);
@@ -630,7 +744,34 @@ mod tests {
         assert_eq!(c.retrain_epochs, 2);
         assert_eq!(c.update_rule, UpdateRule::PaperShift);
         assert_eq!(c.seed, 77);
+        assert_eq!(c.engine.threads, 4);
+        assert_eq!(c.engine.shard_size, 64);
         assert_eq!(LookHdConfig::default(), LookHdConfig::new());
+    }
+
+    #[test]
+    fn threaded_fit_and_inference_match_serial() {
+        let (xs, ys) = blobs(12, 3, 17, 0.08, 9);
+        let base = LookHdConfig::new().with_dim(512).with_retrain_epochs(3);
+        let serial = LookHdClassifier::fit(&base, &xs, &ys).unwrap();
+        let serial_preds = serial.predict_batch(&xs).unwrap();
+        for threads in [2usize, 3, 8] {
+            let config = base
+                .clone()
+                .with_engine(EngineConfig::new().with_threads(threads).with_shard_size(7));
+            let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+            assert_eq!(
+                clf.predict_batch(&xs).unwrap(),
+                serial_preds,
+                "{threads} threads diverged from serial"
+            );
+            assert_eq!(
+                clf.predict_batch_uncompressed(&xs).unwrap(),
+                serial.predict_batch_uncompressed(&xs).unwrap(),
+                "{threads}-thread uncompressed path diverged"
+            );
+            assert_eq!(clf.model().classes(), serial.model().classes());
+        }
     }
 
     #[test]
@@ -648,12 +789,11 @@ mod tests {
         let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
         assert!(clf.compressed().size_bytes() < clf.model().size_bytes());
         // With adaptive grouping off, 6 classes compress into one vector.
-        let fixed = LookHdClassifier::fit(
-            &config.clone().with_adaptive_grouping(false),
-            &xs,
-            &ys,
-        )
-        .unwrap();
-        assert_eq!(fixed.model().size_bytes() / fixed.compressed().size_bytes(), 6);
+        let fixed =
+            LookHdClassifier::fit(&config.clone().with_adaptive_grouping(false), &xs, &ys).unwrap();
+        assert_eq!(
+            fixed.model().size_bytes() / fixed.compressed().size_bytes(),
+            6
+        );
     }
 }

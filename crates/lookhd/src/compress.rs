@@ -398,7 +398,12 @@ impl CompressedModel {
     /// Like [`CompressedModel::whiten`] but rounded back to integers, for
     /// model updates.
     fn whiten_int(&self, query: &DenseHv) -> DenseHv {
-        DenseHv::from_vec(self.whiten(query).iter().map(|&x| x.round() as i32).collect())
+        DenseHv::from_vec(
+            self.whiten(query)
+                .iter()
+                .map(|&x| x.round() as i32)
+                .collect(),
+        )
     }
 
     /// Scores every class against a query: `D` multiplications per combined
@@ -573,7 +578,12 @@ impl CompressedModel {
     /// # Errors
     ///
     /// Same as [`CompressedModel::update`].
-    pub fn update_paper_shift(&mut self, correct: usize, wrong: usize, query: &DenseHv) -> Result<()> {
+    pub fn update_paper_shift(
+        &mut self,
+        correct: usize,
+        wrong: usize,
+        query: &DenseHv,
+    ) -> Result<()> {
         self.check_update(correct, wrong, query)?;
         let gc = self.group_of[correct];
         let gw = self.group_of[wrong];
@@ -724,35 +734,49 @@ impl CompressedModel {
         impl<'a> Reader<'a> {
             fn take(&mut self, n: usize) -> Result<&'a [u8]> {
                 if self.pos + n > self.bytes.len() {
-                    return Err(HdcError::invalid_dataset("truncated compressed-model stream"));
+                    return Err(HdcError::invalid_dataset(
+                        "truncated compressed-model stream",
+                    ));
                 }
                 let out = &self.bytes[self.pos..self.pos + n];
                 self.pos += n;
                 Ok(out)
             }
             fn u32(&mut self) -> Result<u32> {
-                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
+                Ok(u32::from_le_bytes(
+                    self.take(4)?.try_into().expect("len checked"),
+                ))
             }
             fn u8(&mut self) -> Result<u8> {
                 Ok(self.take(1)?[0])
             }
             fn i32(&mut self) -> Result<i32> {
-                Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
+                Ok(i32::from_le_bytes(
+                    self.take(4)?.try_into().expect("len checked"),
+                ))
             }
             fn u64(&mut self) -> Result<u64> {
-                Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+                Ok(u64::from_le_bytes(
+                    self.take(8)?.try_into().expect("len checked"),
+                ))
             }
             fn f64(&mut self) -> Result<f64> {
-                Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+                Ok(f64::from_le_bytes(
+                    self.take(8)?.try_into().expect("len checked"),
+                ))
             }
         }
         let mut r = Reader { bytes, pos: 0 };
         if r.take(4)? != b"LKC1" {
-            return Err(HdcError::invalid_dataset("bad magic: not an LKC1 compressed model"));
+            return Err(HdcError::invalid_dataset(
+                "bad magic: not an LKC1 compressed model",
+            ));
         }
         let dim = r.u32()? as usize;
         if dim == 0 {
-            return Err(HdcError::invalid_dataset("zero-dimensional compressed model"));
+            return Err(HdcError::invalid_dataset(
+                "zero-dimensional compressed model",
+            ));
         }
         let max_classes_per_vector = r.u32()? as usize;
         let decorrelate = r.u8()? != 0;
@@ -837,9 +861,17 @@ mod tests {
     }
 
     /// A model of `k` highly correlated classes (shared component + id).
-    fn correlated_model(k: usize, d: usize, shared_range: i32, id_range: i32, seed: u64) -> ClassModel {
+    fn correlated_model(
+        k: usize,
+        d: usize,
+        shared_range: i32,
+        id_range: i32,
+        seed: u64,
+    ) -> ClassModel {
         let mut rng = StdRng::seed_from_u64(seed);
-        let shared: Vec<i32> = (0..d).map(|_| rng.gen_range(-shared_range..=shared_range)).collect();
+        let shared: Vec<i32> = (0..d)
+            .map(|_| rng.gen_range(-shared_range..=shared_range))
+            .collect();
         let classes = (0..k)
             .map(|_| {
                 DenseHv::from_vec(
@@ -874,7 +906,11 @@ mod tests {
         let query = model.class(0).clone();
         let sn = compressed.signal_noise(&model, &query).unwrap();
         assert!(sn[0].signal > 0.0);
-        assert!(sn[0].noise_to_signal() < 0.2, "n/s = {}", sn[0].noise_to_signal());
+        assert!(
+            sn[0].noise_to_signal() < 0.2,
+            "n/s = {}",
+            sn[0].noise_to_signal()
+        );
     }
 
     #[test]
@@ -882,16 +918,25 @@ mod tests {
         let d = 4000;
         let mut ratios = Vec::new();
         for &k in &[2usize, 12, 48] {
-            let model = random_model(k, d, 3);
-            let cfg = CompressionConfig::new()
-                .with_decorrelate(false)
-                .with_max_classes_per_vector(k); // force single vector
-            let compressed = CompressedModel::compress(&model, &cfg).unwrap();
-            let query = model.class(0).clone();
-            let sn = compressed.signal_noise(&model, &query).unwrap();
-            ratios.push(sn[0].noise_to_signal());
+            // Single-seed ratios are high-variance; average a few seeds so
+            // the monotone trend is the signal being tested, not the draw.
+            let mut ratio = 0.0;
+            for seed in 0..5 {
+                let model = random_model(k, d, seed);
+                let cfg = CompressionConfig::new()
+                    .with_decorrelate(false)
+                    .with_max_classes_per_vector(k); // force single vector
+                let compressed = CompressedModel::compress(&model, &cfg).unwrap();
+                let query = model.class(0).clone();
+                let sn = compressed.signal_noise(&model, &query).unwrap();
+                ratio += sn[0].noise_to_signal();
+            }
+            ratios.push(ratio / 5.0);
         }
-        assert!(ratios[0] < ratios[2], "noise should grow with k: {ratios:?}");
+        assert!(
+            ratios[0] < ratios[2],
+            "noise should grow with k: {ratios:?}"
+        );
     }
 
     #[test]
@@ -935,11 +980,9 @@ mod tests {
         // query whitening) they all survive (Fig. 8's motivation).
         let model = correlated_model(8, 4000, 60, 6, 7);
         let with = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
-        let without = CompressedModel::compress(
-            &model,
-            &CompressionConfig::new().with_decorrelate(false),
-        )
-        .unwrap();
+        let without =
+            CompressedModel::compress(&model, &CompressionConfig::new().with_decorrelate(false))
+                .unwrap();
         let count_correct = |cm: &CompressedModel| {
             (0..8)
                 .filter(|&label| cm.predict(model.class(label)).unwrap() == label)
@@ -947,7 +990,10 @@ mod tests {
         };
         let with_acc = count_correct(&with);
         let without_acc = count_correct(&without);
-        assert!(with_acc >= 7, "decorrelated compression too weak: {with_acc}/8");
+        assert!(
+            with_acc >= 7,
+            "decorrelated compression too weak: {with_acc}/8"
+        );
         assert!(
             with_acc >= without_acc,
             "decorrelation should not hurt: {with_acc} vs {without_acc}"
@@ -1008,7 +1054,9 @@ mod tests {
     #[test]
     fn fixed_scale_mode_still_works() {
         let model = random_model(3, 1000, 11);
-        let cfg = CompressionConfig::new().with_decorrelate(false).with_scale(1024);
+        let cfg = CompressionConfig::new()
+            .with_decorrelate(false)
+            .with_scale(1024);
         let cm = CompressedModel::compress(&model, &cfg).unwrap();
         for label in 0..3 {
             assert_eq!(cm.predict(model.class(label)).unwrap(), label);

@@ -72,6 +72,23 @@ impl CounterStore {
             Self::Sparse(m) => m.values().map(|&c| c as u64).sum(),
         }
     }
+
+    fn merge(&mut self, other: &Self) {
+        match (self, other) {
+            (Self::Dense(a), Self::Dense(b)) => {
+                for (x, &y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            }
+            (Self::Sparse(a), Self::Sparse(b)) => {
+                for (&addr, &count) in b {
+                    *a.entry(addr).or_insert(0) += count;
+                }
+            }
+            // Same layout ⇒ same storage flavour; mixed merges cannot occur.
+            _ => unreachable!("counter stores of one layout share a storage flavour"),
+        }
+    }
 }
 
 /// Per-class, per-chunk occurrence counters over the chunk address space.
@@ -161,6 +178,37 @@ impl ChunkCounters {
         self.stores[class][0].total()
     }
 
+    /// Element-wise adds `other`'s counters into this set — the merge step
+    /// of sharded counter training. Counter addition is associative and
+    /// commutative, so merging per-shard counter sets in any order yields
+    /// exactly the counters of a serial pass over the same samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if the layouts differ and
+    /// [`HdcError::InvalidDataset`] if the class counts differ.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        if other.layout != self.layout {
+            return Err(HdcError::invalid_config(
+                "layout",
+                "cannot merge counters over different chunk layouts",
+            ));
+        }
+        if other.n_classes() != self.n_classes() {
+            return Err(HdcError::invalid_dataset(format!(
+                "cannot merge {}-class counters into {}-class counters",
+                other.n_classes(),
+                self.n_classes()
+            )));
+        }
+        for (mine, theirs) in self.stores.iter_mut().zip(&other.stores) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.merge(b);
+            }
+        }
+        Ok(())
+    }
+
     /// Number of classes `k`.
     pub fn n_classes(&self) -> usize {
         self.stores.len()
@@ -229,5 +277,64 @@ mod tests {
         ));
         assert!(c.observe(0, &[0]).is_err());
         assert!(ChunkCounters::new(layout(), 0).is_err());
+    }
+
+    #[test]
+    fn merge_equals_serial_observation() {
+        let samples: Vec<(usize, [u64; 2])> = vec![
+            (0, [3, 7]),
+            (1, [3, 9]),
+            (0, [3, 7]),
+            (1, [1, 7]),
+            (0, [2, 9]),
+        ];
+        let mut serial = ChunkCounters::new(layout(), 2).unwrap();
+        for (class, addrs) in &samples {
+            serial.observe(*class, addrs).unwrap();
+        }
+        let mut left = ChunkCounters::new(layout(), 2).unwrap();
+        let mut right = ChunkCounters::new(layout(), 2).unwrap();
+        for (class, addrs) in &samples[..2] {
+            left.observe(*class, addrs).unwrap();
+        }
+        for (class, addrs) in &samples[2..] {
+            right.observe(*class, addrs).unwrap();
+        }
+        left.merge(&right).unwrap();
+        for class in 0..2 {
+            assert_eq!(left.samples_seen(class), serial.samples_seen(class));
+            for chunk in 0..2 {
+                for addr in 0..10 {
+                    assert_eq!(
+                        left.count(class, chunk, addr),
+                        serial.count(class, chunk, addr),
+                        "class {class} chunk {chunk} addr {addr}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_validates_shape() {
+        let mut a = ChunkCounters::new(layout(), 2).unwrap();
+        let b = ChunkCounters::new(layout(), 3).unwrap();
+        assert!(a.merge(&b).is_err());
+        let other_layout = ChunkLayout::new(20, 5, 4).unwrap();
+        let c = ChunkCounters::new(other_layout, 2).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn sparse_stores_merge_too() {
+        let big = ChunkLayout::new(20, 10, 8).unwrap();
+        let mut a = ChunkCounters::new(big, 1).unwrap();
+        let mut b = ChunkCounters::new(big, 1).unwrap();
+        a.observe(0, &[123_456_789, 1]).unwrap();
+        b.observe(0, &[123_456_789, 2]).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(0, 0, 123_456_789), 2);
+        assert_eq!(a.count(0, 1, 1), 1);
+        assert_eq!(a.count(0, 1, 2), 1);
     }
 }

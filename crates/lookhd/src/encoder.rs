@@ -162,7 +162,10 @@ impl LookupEncoder {
         let mut addrs = Vec::with_capacity(layout.n_chunks());
         for c in 0..layout.n_chunks() {
             let range = layout.feature_range(c);
-            let levels: Vec<usize> = features[range].iter().map(|&x| self.quantizer.level(x)).collect();
+            let levels: Vec<usize> = features[range]
+                .iter()
+                .map(|&x| self.quantizer.level(x))
+                .collect();
             addrs.push(layout.address(c, &levels));
         }
         Ok(addrs)
@@ -256,8 +259,14 @@ mod tests {
         let samples: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
         let quantizer = Quantizer::fit(Quantization::Equalized, &samples, 4).unwrap();
         let layout = ChunkLayout::new(13, 5, 4).unwrap();
-        let a = LookupEncoder::new(layout, &levels, quantizer.clone(), TableMode::Materialized, 9)
-            .unwrap();
+        let a = LookupEncoder::new(
+            layout,
+            &levels,
+            quantizer.clone(),
+            TableMode::Materialized,
+            9,
+        )
+        .unwrap();
         let b = LookupEncoder::new(layout, &levels, quantizer, TableMode::OnTheFly, 9).unwrap();
         let f: Vec<f64> = (0..13).map(|i| i as f64 / 13.0).collect();
         assert_eq!(a.encode(&f).unwrap(), b.encode(&f).unwrap());

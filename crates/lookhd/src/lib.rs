@@ -32,6 +32,7 @@
 //! ## Example
 //!
 //! ```
+//! use hdc::{Classifier, FitClassifier};
 //! use lookhd::classifier::{LookHdClassifier, LookHdConfig};
 //!
 //! let xs: Vec<Vec<f64>> = (0..30)

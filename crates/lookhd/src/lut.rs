@@ -120,12 +120,12 @@ impl ChunkLut {
             mode: TableMode::OnTheFly,
             tables: Vec::new(),
         };
-        let mode = if probe.materialized_bytes() <= budget_bytes.min(Self::MATERIALIZE_HARD_LIMIT_BYTES)
-        {
-            TableMode::Materialized
-        } else {
-            TableMode::OnTheFly
-        };
+        let mode =
+            if probe.materialized_bytes() <= budget_bytes.min(Self::MATERIALIZE_HARD_LIMIT_BYTES) {
+                TableMode::Materialized
+            } else {
+                TableMode::OnTheFly
+            };
         Self::new(layout, levels, mode)
     }
 
@@ -277,7 +277,11 @@ mod tests {
         let fly = ChunkLut::new(layout, &levels, TableMode::OnTheFly).unwrap();
         for chunk in 0..layout.n_chunks() {
             for addr in [0u64, 1, layout.table_rows(chunk) as u64 - 1] {
-                assert_eq!(mat.row(chunk, addr), fly.row(chunk, addr), "chunk {chunk} addr {addr}");
+                assert_eq!(
+                    mat.row(chunk, addr),
+                    fly.row(chunk, addr),
+                    "chunk {chunk} addr {addr}"
+                );
             }
         }
     }

@@ -79,10 +79,16 @@ impl OnlineTrainer {
             return Err(HdcError::invalid_config("k", "need at least one class"));
         }
         if dim == 0 {
-            return Err(HdcError::invalid_config("dim", "dimension must be positive"));
+            return Err(HdcError::invalid_config(
+                "dim",
+                "dimension must be positive",
+            ));
         }
         if config.learning_rate <= 0.0 {
-            return Err(HdcError::invalid_config("learning_rate", "must be positive"));
+            return Err(HdcError::invalid_config(
+                "learning_rate",
+                "must be positive",
+            ));
         }
         if config.output_scale <= 0.0 {
             return Err(HdcError::invalid_config("output_scale", "must be positive"));
@@ -170,7 +176,9 @@ impl OnlineTrainer {
     /// Returns [`HdcError::InvalidDataset`] if no samples were observed.
     pub fn finalize(&self) -> Result<ClassModel> {
         if self.seen == 0 {
-            return Err(HdcError::invalid_dataset("cannot finalize with zero observed samples"));
+            return Err(HdcError::invalid_dataset(
+                "cannot finalize with zero observed samples",
+            ));
         }
         let max_norm = self.norms.iter().cloned().fold(0.0f64, f64::max);
         let scale = if max_norm > 0.0 {
@@ -263,7 +271,11 @@ mod tests {
         let mut ys = Vec::new();
         for (c, p) in protos.iter().enumerate() {
             for _ in 0..per_class {
-                xs.push(p.iter().map(|&v| (v + rng.gen_range(-0.35..0.35)).clamp(0.0, 1.0)).collect());
+                xs.push(
+                    p.iter()
+                        .map(|&v| (v + rng.gen_range(-0.35f64..0.35)).clamp(0.0, 1.0))
+                        .collect(),
+                );
                 ys.push(c);
             }
         }
@@ -281,13 +293,21 @@ mod tests {
 
     #[test]
     fn online_single_pass_beats_plain_bundling_on_hard_data() {
+        // Averaged over dataset seeds: a single split is too noisy for the
+        // "matches or beats" claim to be a property of the algorithm.
         let enc = encoder(40, 4, 2048, 1);
-        let (xs, ys) = hard_dataset(40, 60, 2);
-        let (txs, tys) = hard_dataset(40, 20, 3);
-        let bundled = CounterTrainer::fit(&enc, &xs, &ys, 3).unwrap();
-        let online = OnlineTrainer::fit(&enc, &xs, &ys, 3, OnlineConfig::new()).unwrap();
-        let acc_bundled = accuracy(&bundled, &enc, &txs, &tys);
-        let acc_online = accuracy(&online, &enc, &txs, &tys);
+        let (mut sum_bundled, mut sum_online) = (0.0, 0.0);
+        let trials = 5;
+        for seed in 0..trials {
+            let (xs, ys) = hard_dataset(40, 60, 2 + 2 * seed);
+            let (txs, tys) = hard_dataset(40, 20, 3 + 2 * seed);
+            let bundled = CounterTrainer::fit(&enc, &xs, &ys, 3).unwrap();
+            let online = OnlineTrainer::fit(&enc, &xs, &ys, 3, OnlineConfig::new()).unwrap();
+            sum_bundled += accuracy(&bundled, &enc, &txs, &tys);
+            sum_online += accuracy(&online, &enc, &txs, &tys);
+        }
+        let acc_bundled = sum_bundled / trials as f64;
+        let acc_online = sum_online / trials as f64;
         assert!(
             acc_online + 0.02 >= acc_bundled,
             "online ({acc_online:.3}) should match or beat single-pass bundling ({acc_bundled:.3})"
@@ -356,7 +376,9 @@ mod tests {
 
     #[test]
     fn config_builder_round_trips() {
-        let c = OnlineConfig::new().with_learning_rate(0.5).with_output_scale(128.0);
+        let c = OnlineConfig::new()
+            .with_learning_rate(0.5)
+            .with_output_scale(128.0);
         assert_eq!(c.learning_rate, 0.5);
         assert_eq!(c.output_scale, 128.0);
         assert_eq!(OnlineConfig::default(), OnlineConfig::new());

@@ -117,8 +117,7 @@ pub fn retrain_compressed_with_validation(
     let mut since_best = 0usize;
     let mut report = TrainReport::default();
     for epoch in 0..max_epochs {
-        let mut epoch_report =
-            retrain_compressed(model, train_encoded, train_labels, 1, rule)?;
+        let mut epoch_report = retrain_compressed(model, train_encoded, train_labels, 1, rule)?;
         if let Some(mut stats) = epoch_report.epochs.pop() {
             stats.epoch = epoch;
             report.epochs.push(stats);
@@ -158,7 +157,10 @@ mod tests {
         seed: u64,
     ) -> (CompressedModel, ClassModel, Vec<DenseHv>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let protos = [BipolarHv::random(dim, &mut rng), BipolarHv::random(dim, &mut rng)];
+        let protos = [
+            BipolarHv::random(dim, &mut rng),
+            BipolarHv::random(dim, &mut rng),
+        ];
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for (c, p) in protos.iter().enumerate() {
@@ -173,11 +175,9 @@ mod tests {
         // Model with the classes deliberately swapped.
         let swapped_labels: Vec<usize> = ys.iter().map(|&y| 1 - y).collect();
         let model = hdc::train::initial_fit(&xs, &swapped_labels, 2).unwrap();
-        let compressed = CompressedModel::compress(
-            &model,
-            &CompressionConfig::new().with_decorrelate(false),
-        )
-        .unwrap();
+        let compressed =
+            CompressedModel::compress(&model, &CompressionConfig::new().with_decorrelate(false))
+                .unwrap();
         (compressed, model, xs, ys)
     }
 
@@ -191,24 +191,28 @@ mod tests {
             .count() as f64
             / xs.len() as f64;
         assert!(acc_before < 0.5, "setup should start broken: {acc_before}");
-        let report =
-            retrain_compressed(&mut compressed, &xs, &ys, 20, UpdateRule::Exact).unwrap();
+        let report = retrain_compressed(&mut compressed, &xs, &ys, 20, UpdateRule::Exact).unwrap();
         let acc_after = xs
             .iter()
             .zip(&ys)
             .filter(|(h, &y)| compressed.predict(h).unwrap() == y)
             .count() as f64
             / xs.len() as f64;
-        assert!(acc_after > 0.9, "retraining failed: {acc_after}, report {report:?}");
+        assert!(
+            acc_after > 0.9,
+            "retraining failed: {acc_after}, report {report:?}"
+        );
     }
 
     #[test]
     fn converged_model_stops_early() {
         let (mut compressed, _, xs, ys) = swapped_setup(2000, 2);
         retrain_compressed(&mut compressed, &xs, &ys, 30, UpdateRule::Exact).unwrap();
-        let report =
-            retrain_compressed(&mut compressed, &xs, &ys, 30, UpdateRule::Exact).unwrap();
-        assert!(report.epochs_run() <= 3, "already-converged model should stop: {report:?}");
+        let report = retrain_compressed(&mut compressed, &xs, &ys, 30, UpdateRule::Exact).unwrap();
+        assert!(
+            report.epochs_run() <= 3,
+            "already-converged model should stop: {report:?}"
+        );
     }
 
     #[test]
@@ -222,7 +226,10 @@ mod tests {
             .filter(|(h, &y)| compressed.predict(h).unwrap() == y)
             .count() as f64
             / xs.len() as f64;
-        assert!(acc > 0.8, "paper-shift retraining too weak: {acc}, {report:?}");
+        assert!(
+            acc > 0.8,
+            "paper-shift retraining too weak: {acc}, {report:?}"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! configuration with compressed and uncompressed accuracy.
 
 use hdc::metrics::accuracy;
-use hdc::{HdcError, Result};
+use hdc::{Classifier, FitClassifier, HdcError, Result};
 
 use crate::classifier::{LookHdClassifier, LookHdConfig};
 
@@ -65,9 +65,21 @@ impl SweepGrid {
 
     /// Materializes every configuration in the grid.
     pub fn configs(&self) -> Vec<LookHdConfig> {
-        let dims = if self.dims.is_empty() { vec![self.base.dim] } else { self.dims.clone() };
-        let qs = if self.qs.is_empty() { vec![self.base.q] } else { self.qs.clone() };
-        let rs = if self.rs.is_empty() { vec![self.base.r] } else { self.rs.clone() };
+        let dims = if self.dims.is_empty() {
+            vec![self.base.dim]
+        } else {
+            self.dims.clone()
+        };
+        let qs = if self.qs.is_empty() {
+            vec![self.base.q]
+        } else {
+            self.qs.clone()
+        };
+        let rs = if self.rs.is_empty() {
+            vec![self.base.r]
+        } else {
+            self.rs.clone()
+        };
         let mut out = Vec::with_capacity(dims.len() * qs.len() * rs.len());
         for &dim in &dims {
             for &q in &qs {
@@ -97,7 +109,8 @@ pub struct SweepRecord {
 
 impl SweepRecord {
     /// CSV header matching [`SweepRecord::to_csv_row`].
-    pub const CSV_HEADER: &'static str = "dim,q,r,accuracy,accuracy_uncompressed,model_bytes,n_vectors";
+    pub const CSV_HEADER: &'static str =
+        "dim,q,r,accuracy,accuracy_uncompressed,model_bytes,n_vectors";
 
     /// One CSV row for this record.
     pub fn to_csv_row(&self) -> String {
@@ -208,10 +221,8 @@ mod tests {
     #[test]
     fn sweep_runs_and_reports() {
         let (xs, ys) = toy();
-        let grid = SweepGrid::new(
-            LookHdConfig::new().with_dim(128).with_retrain_epochs(0),
-        )
-        .over_qs(vec![2, 4]);
+        let grid = SweepGrid::new(LookHdConfig::new().with_dim(128).with_retrain_epochs(0))
+            .over_qs(vec![2, 4]);
         let mut seen = 0usize;
         let records = run_sweep(&grid, &xs, &ys, &xs, &ys, |_| seen += 1).unwrap();
         assert_eq!(records.len(), 2);

@@ -4,6 +4,7 @@
 use hdc::hv::DenseHv;
 use hdc::model::ClassModel;
 use hdc::{HdcError, Result};
+use lookhd_engine::{Engine, EngineStats};
 
 use crate::counters::ChunkCounters;
 use crate::encoder::LookupEncoder;
@@ -37,7 +38,12 @@ impl CounterTrainer {
     /// # Errors
     ///
     /// Propagates encoding and counter errors.
-    pub fn observe(&mut self, encoder: &LookupEncoder, features: &[f64], label: usize) -> Result<()> {
+    pub fn observe(
+        &mut self,
+        encoder: &LookupEncoder,
+        features: &[f64],
+        label: usize,
+    ) -> Result<()> {
         let addrs = encoder.addresses(features)?;
         self.counters.observe(label, &addrs)
     }
@@ -50,31 +56,59 @@ impl CounterTrainer {
     ///
     /// Returns [`HdcError::InvalidDataset`] if no samples were observed.
     pub fn finalize(&self, encoder: &LookupEncoder) -> Result<ClassModel> {
+        Ok(self.finalize_with(&Engine::serial(), encoder)?.0)
+    }
+
+    /// [`CounterTrainer::finalize`] with class materialization sharded
+    /// across the engine's threads. Classes are independent, so the result
+    /// is identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] if no samples were observed.
+    pub fn finalize_with(
+        &self,
+        engine: &Engine,
+        encoder: &LookupEncoder,
+    ) -> Result<(ClassModel, EngineStats)> {
         let total: u64 = (0..self.counters.n_classes())
             .map(|c| self.counters.samples_seen(c))
             .sum();
         if total == 0 {
-            return Err(HdcError::invalid_dataset("cannot finalize with zero observed samples"));
+            return Err(HdcError::invalid_dataset(
+                "cannot finalize with zero observed samples",
+            ));
         }
         let dim = encoder.lut().levels().dim();
-        let mut classes = Vec::with_capacity(self.counters.n_classes());
-        for class in 0..self.counters.n_classes() {
-            let mut acc = DenseHv::zeros(dim);
-            for chunk in 0..self.counters.layout().n_chunks() {
-                let key = encoder.positions().key(chunk);
-                // Collect first: accumulate_row borrows the LUT immutably and
-                // the iterator borrows the counters; both are disjoint from
-                // `acc`, so this is purely to keep lifetimes simple.
-                let entries: Vec<(u64, u32)> = self.counters.nonzero(class, chunk).collect();
-                for (addr, count) in entries {
-                    encoder
-                        .lut()
-                        .accumulate_row(chunk, addr, key, count as i32, &mut acc);
-                }
+        let (classes, stats) = engine.map_reduce(
+            self.counters.n_classes(),
+            |class_range| {
+                class_range
+                    .map(|class| self.materialize_class(encoder, class, dim))
+                    .collect::<Vec<DenseHv>>()
+            },
+            |shards| shards.into_iter().flatten().collect::<Vec<DenseHv>>(),
+        );
+        Ok((ClassModel::from_classes(classes)?, stats))
+    }
+
+    /// Materializes one class hypervector from its counters (Fig. 6 steps
+    /// E–F).
+    fn materialize_class(&self, encoder: &LookupEncoder, class: usize, dim: usize) -> DenseHv {
+        let mut acc = DenseHv::zeros(dim);
+        for chunk in 0..self.counters.layout().n_chunks() {
+            let key = encoder.positions().key(chunk);
+            // Collect first: accumulate_row borrows the LUT immutably and
+            // the iterator borrows the counters; both are disjoint from
+            // `acc`, so this is purely to keep lifetimes simple.
+            let entries: Vec<(u64, u32)> = self.counters.nonzero(class, chunk).collect();
+            for (addr, count) in entries {
+                encoder
+                    .lut()
+                    .accumulate_row(chunk, addr, key, count as i32, &mut acc);
             }
-            classes.push(acc);
         }
-        ClassModel::from_classes(classes)
+        acc
     }
 
     /// One-shot convenience: observe every `(features, label)` pair and
@@ -107,6 +141,58 @@ impl CounterTrainer {
         trainer.finalize(encoder)
     }
 
+    /// Sharded variant of [`CounterTrainer::fit`]: each engine worker
+    /// accumulates a **private** counter set over its shard of samples;
+    /// the per-shard counters are element-wise added in shard order and
+    /// materialized once. Counter addition is associative and commutative,
+    /// so the trained model is **bit-identical** to the serial
+    /// [`CounterTrainer::fit`] for every thread count.
+    ///
+    /// Returned stats cover the counting phase; materialization is also
+    /// sharded (over classes) via [`CounterTrainer::finalize_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CounterTrainer::fit`].
+    pub fn fit_with(
+        engine: &Engine,
+        encoder: &LookupEncoder,
+        features: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+    ) -> Result<(ClassModel, EngineStats)> {
+        if features.is_empty() {
+            return Err(HdcError::invalid_dataset("cannot train on zero samples"));
+        }
+        if features.len() != labels.len() {
+            return Err(HdcError::invalid_dataset(format!(
+                "{} samples but {} labels",
+                features.len(),
+                labels.len()
+            )));
+        }
+        let (trainer, count_stats) = engine.map_reduce(
+            features.len(),
+            |range| {
+                let mut shard = Self::new(encoder, n_classes)?;
+                for i in range {
+                    shard.observe(encoder, &features[i], labels[i])?;
+                }
+                Ok::<Self, HdcError>(shard)
+            },
+            |shards| {
+                let mut iter = shards.into_iter();
+                let mut merged = iter.next().expect("non-empty input implies >= 1 shard")?;
+                for shard in iter {
+                    merged.counters.merge(&shard?.counters)?;
+                }
+                Ok::<Self, HdcError>(merged)
+            },
+        );
+        let (model, _) = trainer?.finalize_with(engine, encoder)?;
+        Ok((model, count_stats))
+    }
+
     /// Read access to the counter state (for the hardware cost models).
     pub fn counters(&self) -> &ChunkCounters {
         &self.counters
@@ -134,7 +220,12 @@ mod tests {
         LookupEncoder::new(layout, &levels, quantizer, TableMode::Materialized, seed).unwrap()
     }
 
-    fn random_dataset(n: usize, samples: usize, k: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn random_dataset(
+        n: usize,
+        samples: usize,
+        k: usize,
+        seed: u64,
+    ) -> (Vec<Vec<f64>>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let xs = (0..samples)
             .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
@@ -184,6 +275,28 @@ mod tests {
         let b = CounterTrainer::fit(&enc, &xs, &ys, 2).unwrap();
         assert_eq!(a.class(0), b.class(0));
         assert_eq!(a.class(1), b.class(1));
+    }
+
+    #[test]
+    fn sharded_fit_is_bit_identical_to_serial() {
+        use lookhd_engine::EngineConfig;
+        let enc = encoder(13, 5, 4, 256, 21);
+        let (xs, ys) = random_dataset(13, 50, 3, 22);
+        let serial = CounterTrainer::fit(&enc, &xs, &ys, 3).unwrap();
+        // 50 % 7 != 0 exercises the remainder shard.
+        for threads in [1, 2, 3, 8] {
+            let engine = Engine::new(EngineConfig::new().with_threads(threads).with_shard_size(7));
+            let (model, stats) = CounterTrainer::fit_with(&engine, &enc, &xs, &ys, 3).unwrap();
+            for c in 0..3 {
+                assert_eq!(
+                    model.class(c),
+                    serial.class(c),
+                    "threads={threads} class={c}"
+                );
+            }
+            assert_eq!(stats.items, 50);
+            assert_eq!(stats.shards.len(), 8);
+        }
     }
 
     #[test]

@@ -85,7 +85,11 @@ impl Dense {
         let mut dl_dx = vec![0.0; self.n_in];
         for o in 0..self.n_out {
             // ReLU gate: no gradient through inactive units.
-            let g = if self.relu && y[o] <= 0.0 { 0.0 } else { dl_dy[o] };
+            let g = if self.relu && y[o] <= 0.0 {
+                0.0
+            } else {
+                dl_dy[o]
+            };
             if g == 0.0 {
                 continue;
             }

@@ -10,13 +10,15 @@
 //! ## Example
 //!
 //! ```
+//! use hdc::{Classifier, FitClassifier};
 //! use lookhd_mlp::{Mlp, MlpConfig};
 //!
 //! let xs = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
 //! let ys = vec![1, 0];
 //! let config = MlpConfig::new().with_hidden(vec![8]).with_epochs(200);
-//! let mlp = Mlp::fit(&config, &xs, &ys);
-//! assert_eq!(mlp.predict(&[0.0, 1.0]), 1);
+//! let mlp = Mlp::fit(&config, &xs, &ys)?;
+//! assert_eq!(mlp.predict(&[0.0, 1.0])?, 1);
+//! # Ok::<(), hdc::HdcError>(())
 //! ```
 
 #![forbid(unsafe_code)]

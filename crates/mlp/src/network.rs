@@ -4,6 +4,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use hdc::{Classifier, FitClassifier, HdcError, Result};
+use lookhd_engine::{Engine, EngineConfig, EngineStats};
+
 use crate::layer::{softmax, softmax_ce_grad, Dense};
 
 /// MLP hyperparameters.
@@ -18,6 +21,10 @@ pub struct MlpConfig {
     pub epochs: usize,
     /// RNG seed (init + shuffling).
     pub seed: u64,
+    /// Execution engine for batch inference. SGD training is inherently
+    /// sequential (each step depends on the previous weights) and always
+    /// runs serially, so `threads` only affects `predict_batch`.
+    pub engine: EngineConfig,
 }
 
 impl MlpConfig {
@@ -28,6 +35,7 @@ impl MlpConfig {
             learning_rate: 0.01,
             epochs: 20,
             seed: 0x41_1F,
+            engine: EngineConfig::new(),
         }
     }
 
@@ -54,6 +62,18 @@ impl MlpConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the execution-engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the engine thread count (`0` = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.engine = self.engine.with_threads(threads);
+        self
+    }
 }
 
 impl Default for MlpConfig {
@@ -67,6 +87,7 @@ impl Default for MlpConfig {
 /// # Examples
 ///
 /// ```
+/// use hdc::{Classifier, FitClassifier};
 /// use lookhd_mlp::{Mlp, MlpConfig};
 ///
 /// // XOR-ish toy problem.
@@ -78,30 +99,45 @@ impl Default for MlpConfig {
 ///     .with_hidden(vec![16])
 ///     .with_epochs(500)
 ///     .with_learning_rate(0.1);
-/// let mlp = Mlp::fit(&config, &xs, &ys);
-/// assert_eq!(mlp.predict(&[1.0, 0.0]), 1);
-/// assert_eq!(mlp.predict(&[1.0, 1.0]), 0);
+/// let mlp = Mlp::fit(&config, &xs, &ys)?;
+/// assert_eq!(mlp.predict(&[1.0, 0.0])?, 1);
+/// assert_eq!(mlp.predict(&[1.0, 1.0])?, 0);
+/// # Ok::<(), hdc::HdcError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Dense>,
+    engine: Engine,
 }
 
 impl Mlp {
-    /// Trains an MLP with per-sample SGD.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the dataset is empty, ragged, or labels/features lengths
-    /// differ.
-    pub fn fit(config: &MlpConfig, features: &[Vec<f64>], labels: &[usize]) -> Self {
-        assert!(!features.is_empty(), "cannot train on zero samples");
-        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+    fn fit_impl(config: &MlpConfig, features: &[Vec<f64>], labels: &[usize]) -> Result<Self> {
+        if features.is_empty() {
+            return Err(HdcError::invalid_dataset("cannot train on zero samples"));
+        }
+        if features.len() != labels.len() {
+            return Err(HdcError::invalid_dataset(format!(
+                "{} feature rows but {} labels",
+                features.len(),
+                labels.len()
+            )));
+        }
         let n_in = features[0].len();
-        assert!(
-            features.iter().all(|f| f.len() == n_in),
-            "ragged feature matrix"
-        );
+        if features.iter().any(|f| f.len() != n_in) {
+            return Err(HdcError::invalid_dataset("ragged feature matrix"));
+        }
+        if config.learning_rate <= 0.0 || !config.learning_rate.is_finite() {
+            return Err(HdcError::invalid_config(
+                "learning_rate",
+                "must be positive and finite",
+            ));
+        }
+        if config.hidden.contains(&0) {
+            return Err(HdcError::invalid_config(
+                "hidden",
+                "hidden layers need at least one unit",
+            ));
+        }
         let n_out = labels.iter().max().map_or(1, |m| m + 1);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut layers = Vec::new();
@@ -111,7 +147,10 @@ impl Mlp {
             width = h;
         }
         layers.push(Dense::new(width, n_out, false, &mut rng));
-        let mut mlp = Self { layers };
+        let mut mlp = Self {
+            layers,
+            engine: Engine::new(config.engine),
+        };
         let mut order: Vec<usize> = (0..features.len()).collect();
         for _ in 0..config.epochs {
             order.shuffle(&mut rng);
@@ -119,7 +158,7 @@ impl Mlp {
                 mlp.train_step(&features[i], labels[i], config.learning_rate);
             }
         }
-        mlp
+        Ok(mlp)
     }
 
     fn train_step(&mut self, x: &[f64], y: usize, lr: f64) {
@@ -139,47 +178,54 @@ impl Mlp {
 
     /// Class probabilities for one input.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an input-width mismatch.
-    pub fn probabilities(&self, x: &[f64]) -> Vec<f64> {
+    /// Returns [`HdcError::DimensionMismatch`] on an input-width mismatch.
+    pub fn probabilities(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let expected = self.layers[0].n_in();
+        if x.len() != expected {
+            return Err(HdcError::DimensionMismatch {
+                expected,
+                actual: x.len(),
+            });
+        }
         let mut h = x.to_vec();
         for layer in &self.layers {
             h = layer.forward(&h);
         }
-        softmax(&h)
+        Ok(softmax(&h))
     }
 
-    /// Predicted class for one input.
+    /// Predicts a batch, sharded across the engine's threads, returning
+    /// the engine statistics alongside the predictions. Results are
+    /// identical for every thread count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an input-width mismatch.
-    pub fn predict(&self, x: &[f64]) -> usize {
-        let p = self.probabilities(x);
-        let mut best = 0;
-        for (i, &v) in p.iter().enumerate() {
-            if v > p[best] {
-                best = i;
-            }
-        }
-        best
+    /// Propagates the first prediction error.
+    pub fn predict_batch_stats(&self, features: &[Vec<f64>]) -> Result<(Vec<usize>, EngineStats)> {
+        let (preds, stats) = self.engine.map_reduce(
+            features.len(),
+            |range| {
+                features[range]
+                    .iter()
+                    .map(|f| self.predict(f))
+                    .collect::<Result<Vec<usize>>>()
+            },
+            |shards| {
+                let mut out = Vec::with_capacity(features.len());
+                for shard in shards {
+                    out.extend(shard?);
+                }
+                Ok::<Vec<usize>, HdcError>(out)
+            },
+        );
+        Ok((preds?, stats))
     }
 
-    /// Accuracy over a labelled set.
-    ///
-    /// # Panics
-    ///
-    /// Panics on empty or mismatched inputs.
-    pub fn score(&self, features: &[Vec<f64>], labels: &[usize]) -> f64 {
-        assert!(!features.is_empty(), "cannot score zero samples");
-        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
-        let correct = features
-            .iter()
-            .zip(labels)
-            .filter(|(x, &y)| self.predict(x) == y)
-            .count();
-        correct as f64 / features.len() as f64
+    /// The execution engine batch inference runs on.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Total trainable parameters.
@@ -192,6 +238,42 @@ impl Mlp {
         let mut w: Vec<usize> = self.layers.iter().map(Dense::n_in).collect();
         w.push(self.layers.last().expect("at least one layer").n_out());
         w
+    }
+}
+
+impl Classifier for Mlp {
+    fn num_classes(&self) -> usize {
+        self.layers.last().expect("at least one layer").n_out()
+    }
+
+    fn predict(&self, features: &[f64]) -> Result<usize> {
+        let p = self.probabilities(features)?;
+        let mut best = 0;
+        for (i, &v) in p.iter().enumerate() {
+            if v > p[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<usize>> {
+        Ok(self.predict_batch_stats(features)?.0)
+    }
+}
+
+impl FitClassifier for Mlp {
+    type Config = MlpConfig;
+
+    /// Trains an MLP with per-sample SGD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] for an empty, ragged, or
+    /// mismatched dataset and [`HdcError::InvalidConfig`] for invalid
+    /// hyperparameters.
+    fn fit(config: &MlpConfig, features: &[Vec<f64>], labels: &[usize]) -> Result<Self> {
+        Self::fit_impl(config, features, labels)
     }
 }
 
@@ -220,8 +302,8 @@ mod tests {
     fn learns_linearly_separable_blobs() {
         let (xs, ys) = blobs(10, 3, 30, 1);
         let config = MlpConfig::new().with_hidden(vec![32]).with_epochs(30);
-        let mlp = Mlp::fit(&config, &xs, &ys);
-        assert!(mlp.score(&xs, &ys) > 0.95);
+        let mlp = Mlp::fit(&config, &xs, &ys).unwrap();
+        assert!(mlp.evaluate(&xs, &ys).unwrap() > 0.95);
     }
 
     #[test]
@@ -238,29 +320,60 @@ mod tests {
             .with_epochs(800)
             .with_learning_rate(0.1)
             .with_seed(3);
-        let mlp = Mlp::fit(&config, &xs, &ys);
-        assert_eq!(mlp.score(&xs, &ys), 1.0, "XOR not learned");
+        let mlp = Mlp::fit(&config, &xs, &ys).unwrap();
+        assert_eq!(mlp.evaluate(&xs, &ys).unwrap(), 1.0, "XOR not learned");
     }
 
     #[test]
     fn deterministic_per_seed() {
         let (xs, ys) = blobs(6, 2, 10, 2);
-        let config = MlpConfig::new().with_hidden(vec![8]).with_epochs(5).with_seed(7);
-        let a = Mlp::fit(&config, &xs, &ys);
-        let b = Mlp::fit(&config, &xs, &ys);
-        for x in &xs {
-            assert_eq!(a.predict(x), b.predict(x));
+        let config = MlpConfig::new()
+            .with_hidden(vec![8])
+            .with_epochs(5)
+            .with_seed(7);
+        let a = Mlp::fit(&config, &xs, &ys).unwrap();
+        let b = Mlp::fit(&config, &xs, &ys).unwrap();
+        assert_eq!(a.predict_batch(&xs).unwrap(), b.predict_batch(&xs).unwrap());
+    }
+
+    #[test]
+    fn threaded_predict_batch_matches_serial() {
+        let (xs, ys) = blobs(8, 3, 15, 6);
+        let serial = Mlp::fit(
+            &MlpConfig::new().with_hidden(vec![16]).with_epochs(5),
+            &xs,
+            &ys,
+        )
+        .unwrap();
+        let serial_preds = serial.predict_batch(&xs).unwrap();
+        for threads in [2usize, 3, 8] {
+            let config = MlpConfig::new()
+                .with_hidden(vec![16])
+                .with_epochs(5)
+                .with_engine(EngineConfig::new().with_threads(threads).with_shard_size(7));
+            let mlp = Mlp::fit(&config, &xs, &ys).unwrap();
+            assert_eq!(
+                mlp.predict_batch(&xs).unwrap(),
+                serial_preds,
+                "{threads} threads diverged from serial"
+            );
         }
     }
 
     #[test]
     fn probabilities_are_a_distribution() {
         let (xs, ys) = blobs(4, 3, 5, 4);
-        let mlp = Mlp::fit(&MlpConfig::new().with_hidden(vec![8]).with_epochs(2), &xs, &ys);
-        let p = mlp.probabilities(&xs[0]);
+        let mlp = Mlp::fit(
+            &MlpConfig::new().with_hidden(vec![8]).with_epochs(2),
+            &xs,
+            &ys,
+        )
+        .unwrap();
+        let p = mlp.probabilities(&xs[0]).unwrap();
         assert_eq!(p.len(), 3);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(p.iter().all(|&v| v >= 0.0));
+        assert_eq!(mlp.num_classes(), 3);
     }
 
     #[test]
@@ -270,15 +383,42 @@ mod tests {
             &MlpConfig::new().with_hidden(vec![32, 16]).with_epochs(1),
             &xs,
             &ys,
-        );
+        )
+        .unwrap();
         assert_eq!(mlp.widths(), vec![10, 32, 16, 4]);
         assert_eq!(mlp.n_params(), 10 * 32 + 32 + 32 * 16 + 16 + 16 * 4 + 4);
     }
 
     #[test]
-    #[should_panic(expected = "zero samples")]
-    fn rejects_empty_training_set() {
-        let _ = Mlp::fit(&MlpConfig::new(), &[], &[]);
+    fn rejects_bad_data_and_config() {
+        assert!(matches!(
+            Mlp::fit(&MlpConfig::new(), &[], &[]),
+            Err(HdcError::InvalidDataset { .. })
+        ));
+        let xs = vec![vec![0.0, 1.0], vec![1.0]];
+        assert!(Mlp::fit(&MlpConfig::new(), &xs, &[0, 1]).is_err());
+        let xs = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert!(Mlp::fit(&MlpConfig::new(), &xs, &[0]).is_err());
+        assert!(Mlp::fit(&MlpConfig::new().with_learning_rate(0.0), &xs, &[0, 1]).is_err());
+        assert!(Mlp::fit(&MlpConfig::new().with_hidden(vec![8, 0]), &xs, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn predict_rejects_wrong_arity() {
+        let (xs, ys) = blobs(6, 2, 5, 8);
+        let mlp = Mlp::fit(
+            &MlpConfig::new().with_hidden(vec![8]).with_epochs(1),
+            &xs,
+            &ys,
+        )
+        .unwrap();
+        assert!(matches!(
+            mlp.predict(&[0.0; 3]),
+            Err(HdcError::DimensionMismatch {
+                expected: 6,
+                actual: 3
+            })
+        ));
     }
 
     #[test]
@@ -287,11 +427,15 @@ mod tests {
             .with_hidden(vec![64])
             .with_learning_rate(0.5)
             .with_epochs(3)
-            .with_seed(9);
+            .with_seed(9)
+            .with_engine(EngineConfig::new().with_shard_size(32))
+            .with_threads(2);
         assert_eq!(c.hidden, vec![64]);
         assert_eq!(c.learning_rate, 0.5);
         assert_eq!(c.epochs, 3);
         assert_eq!(c.seed, 9);
+        assert_eq!(c.engine.threads, 2);
+        assert_eq!(c.engine.shard_size, 32);
         assert_eq!(MlpConfig::default(), MlpConfig::new());
     }
 }

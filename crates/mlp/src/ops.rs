@@ -19,7 +19,10 @@ impl MlpShape {
     /// Panics if fewer than two widths are given or any width is zero.
     pub fn new(widths: Vec<usize>) -> Self {
         assert!(widths.len() >= 2, "need at least input and output widths");
-        assert!(widths.iter().all(|&w| w > 0), "layer widths must be positive");
+        assert!(
+            widths.iter().all(|&w| w > 0),
+            "layer widths must be positive"
+        );
         Self { widths }
     }
 
@@ -30,10 +33,7 @@ impl MlpShape {
 
     /// Multiply-accumulates for one forward pass.
     pub fn inference_macs(&self) -> u64 {
-        self.widths
-            .windows(2)
-            .map(|w| (w[0] * w[1]) as u64)
-            .sum()
+        self.widths.windows(2).map(|w| (w[0] * w[1]) as u64).sum()
     }
 
     /// Multiply-accumulates for one SGD training step. Backprop costs one

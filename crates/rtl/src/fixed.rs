@@ -31,7 +31,10 @@ impl Width {
     ///
     /// Panics unless `2 ≤ bits ≤ 63`.
     pub fn new(bits: u32) -> Self {
-        assert!((2..=63).contains(&bits), "width must be 2..=63 bits, got {bits}");
+        assert!(
+            (2..=63).contains(&bits),
+            "width must be 2..=63 bits, got {bits}"
+        );
         Self { bits }
     }
 

@@ -31,9 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod datapath;
+pub mod fixed;
 #[cfg(test)]
 mod proptests;
-pub mod fixed;
 pub mod verify;
 
 pub use datapath::WidthPlan;

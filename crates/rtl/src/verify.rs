@@ -251,7 +251,10 @@ mod tests {
         plan.counter = Width::new(3);
         let report = verify_training_datapath(&encoder, &xs, &ys, 1, &plan).unwrap();
         assert!(report.overflows > 0, "saturation must be visible");
-        assert!(report.mismatches > 0, "saturated counters must change outputs");
+        assert!(
+            report.mismatches > 0,
+            "saturated counters must change outputs"
+        );
     }
 
     #[test]
@@ -261,11 +264,9 @@ mod tests {
             .map(|_| DenseHv::from_vec((0..256).map(|_| rng.gen_range(-20..=20)).collect()))
             .collect();
         let model = hdc::model::ClassModel::from_classes(classes).unwrap();
-        let compressed = CompressedModel::compress(
-            &model,
-            &CompressionConfig::new().with_decorrelate(false),
-        )
-        .unwrap();
+        let compressed =
+            CompressedModel::compress(&model, &CompressionConfig::new().with_decorrelate(false))
+                .unwrap();
         let plan = WidthPlan::derive(5, 256, 256, 10, 25_000);
         for label in 0..5 {
             let query = model.class(label).clone();
@@ -282,8 +283,7 @@ mod tests {
             .map(|_| DenseHv::from_vec((0..64).map(|_| rng.gen_range(-5..=5)).collect()))
             .collect();
         let model = hdc::model::ClassModel::from_classes(classes).unwrap();
-        let compressed =
-            CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
+        let compressed = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
         let plan = WidthPlan::derive(5, 64, 64, 10, 100);
         let query = DenseHv::zeros(64);
         assert!(verify_search_datapath(&compressed, &query, &plan).is_err());
@@ -296,11 +296,9 @@ mod tests {
             .map(|_| DenseHv::from_vec((0..256).map(|_| rng.gen_range(-30..=30)).collect()))
             .collect();
         let model = hdc::model::ClassModel::from_classes(classes).unwrap();
-        let compressed = CompressedModel::compress(
-            &model,
-            &CompressionConfig::new().with_decorrelate(false),
-        )
-        .unwrap();
+        let compressed =
+            CompressedModel::compress(&model, &CompressionConfig::new().with_decorrelate(false))
+                .unwrap();
         let mut plan = WidthPlan::derive(5, 256, 256, 10, 30_000);
         plan.search_accumulator = Width::new(10);
         let query = model.class(0).clone();

@@ -9,15 +9,22 @@
 
 use lookhd_paper::datasets::apps::App;
 use lookhd_paper::hdc::encoding::Encode;
+use lookhd_paper::hdc::FitClassifier;
 use lookhd_paper::hdc::HdcError;
 use lookhd_paper::lookhd::compress::decorrelate;
 use lookhd_paper::lookhd::retrain::{retrain_compressed, UpdateRule};
 use lookhd_paper::lookhd::{CompressedModel, CompressionConfig, LookHdClassifier, LookHdConfig};
 
 fn main() -> Result<(), HdcError> {
-    let fast = std::env::var("LOOKHD_FAST").map(|v| v == "1").unwrap_or(false);
+    let fast = std::env::var("LOOKHD_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let profile = App::Activity.profile();
-    let data = if fast { profile.generate_small(3) } else { profile.generate(3) };
+    let data = if fast {
+        profile.generate_small(3)
+    } else {
+        profile.generate(3)
+    };
     let dim = if fast { 512 } else { 2000 };
 
     // 1. Counter-based training (no per-sample hypervector arithmetic).

@@ -11,6 +11,7 @@ use lookhd_paper::datasets::drift::DriftStream;
 use lookhd_paper::datasets::synthetic::GeneratorConfig;
 use lookhd_paper::hdc::encoding::Encode;
 use lookhd_paper::hdc::HdcError;
+use lookhd_paper::hdc::{Classifier, FitClassifier};
 use lookhd_paper::lookhd::online::{OnlineConfig, OnlineTrainer};
 use lookhd_paper::lookhd::{LookHdClassifier, LookHdConfig};
 use rand::rngs::StdRng;
@@ -42,7 +43,10 @@ fn main() -> Result<(), HdcError> {
         adaptive.observe(&encoder.encode(x)?, y)?;
     }
 
-    println!("{:<10} {:>8} {:>12} {:>12}", "samples", "drift", "static", "adaptive");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12}",
+        "samples", "drift", "static", "adaptive"
+    );
     // Phase 2: deployment. The static model is frozen; the adaptive one
     // keeps learning from the (labelled) stream.
     for checkpoint in 1..=6 {

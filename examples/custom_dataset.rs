@@ -6,6 +6,7 @@
 use lookhd_paper::datasets::csv;
 use lookhd_paper::datasets::summary::{suggest_config, summarize};
 use lookhd_paper::hdc::HdcError;
+use lookhd_paper::hdc::{Classifier, FitClassifier};
 use lookhd_paper::lookhd::{LookHdClassifier, LookHdConfig};
 
 fn main() -> Result<(), HdcError> {
@@ -48,7 +49,7 @@ fn main() -> Result<(), HdcError> {
     let clf = LookHdClassifier::fit(&config, &split.features, &split.labels)?;
     println!(
         "train accuracy {:.1}%, model {} bytes ({} combined vectors)",
-        clf.score(&split.features, &split.labels)? * 100.0,
+        clf.evaluate(&split.features, &split.labels)? * 100.0,
         clf.compressed().size_bytes(),
         clf.compressed().n_vectors()
     );

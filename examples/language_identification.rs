@@ -37,7 +37,11 @@ const PSEUDO_GERMAN: &[&str] = &[
 fn main() -> Result<(), HdcError> {
     let dim = 8192;
     let mut encoder = NgramEncoder::<char>::new(dim, 3, 0xBABE)?;
-    let corpora = [("english", ENGLISH), ("spanish", PSEUDO_SPANISH), ("german", PSEUDO_GERMAN)];
+    let corpora = [
+        ("english", ENGLISH),
+        ("spanish", PSEUDO_SPANISH),
+        ("german", PSEUDO_GERMAN),
+    ];
 
     // Train: bundle every sentence's trigram profile per language.
     let mut profiles: Vec<(String, DenseHv)> = Vec::new();

@@ -6,21 +6,31 @@
 
 use lookhd_paper::datasets::apps::App;
 use lookhd_paper::hdc::noise::corrupt_model;
+use lookhd_paper::hdc::FitClassifier;
 use lookhd_paper::hdc::HdcError;
 use lookhd_paper::lookhd::{LookHdClassifier, LookHdConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), HdcError> {
-    let fast = std::env::var("LOOKHD_FAST").map(|v| v == "1").unwrap_or(false);
+    let fast = std::env::var("LOOKHD_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let profile = App::Physical.profile();
-    let data = if fast { profile.generate_small(5) } else { profile.generate(5) };
+    let data = if fast {
+        profile.generate_small(5)
+    } else {
+        profile.generate(5)
+    };
     let dim = if fast { 512 } else { 2000 };
     let config = LookHdConfig::new().with_dim(dim).with_retrain_epochs(3);
     let clf = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)?;
 
     let mut rng = StdRng::seed_from_u64(99);
-    println!("{} model under sign-fault injection (D = {dim}):\n", profile.name);
+    println!(
+        "{} model under sign-fault injection (D = {dim}):\n",
+        profile.name
+    );
     println!("{:<12} {:<10}", "fault rate", "accuracy");
     for &p in &[0.0, 0.005, 0.01, 0.02, 0.05, 0.10] {
         let mut model = clf.model().clone();

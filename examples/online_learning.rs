@@ -10,14 +10,21 @@
 
 use lookhd_paper::datasets::apps::App;
 use lookhd_paper::hdc::encoding::Encode;
+use lookhd_paper::hdc::FitClassifier;
 use lookhd_paper::hdc::HdcError;
 use lookhd_paper::lookhd::online::{OnlineConfig, OnlineTrainer};
 use lookhd_paper::lookhd::{CompressedModel, CompressionConfig, LookHdClassifier, LookHdConfig};
 
 fn main() -> Result<(), HdcError> {
-    let fast = std::env::var("LOOKHD_FAST").map(|v| v == "1").unwrap_or(false);
+    let fast = std::env::var("LOOKHD_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let profile = App::Activity.profile();
-    let data = if fast { profile.generate_small(23) } else { profile.generate(23) };
+    let data = if fast {
+        profile.generate_small(23)
+    } else {
+        profile.generate(23)
+    };
     let dim = if fast { 512 } else { 2000 };
 
     // Borrow the encoder from a zero-epoch classifier fit (same pipeline).
@@ -31,7 +38,13 @@ fn main() -> Result<(), HdcError> {
     let mut trainer = OnlineTrainer::new(profile.n_classes, dim, OnlineConfig::new())?;
     let checkpoint_every = (data.train.len() / 6).max(1);
     println!("streaming {} samples, one pass:\n", data.train.len());
-    for (i, (x, &y)) in data.train.features.iter().zip(&data.train.labels).enumerate() {
+    for (i, (x, &y)) in data
+        .train
+        .features
+        .iter()
+        .zip(&data.train.labels)
+        .enumerate()
+    {
         trainer.observe(&encoder.encode(x)?, y)?;
         if (i + 1) % checkpoint_every == 0 {
             let model = trainer.finalize()?;

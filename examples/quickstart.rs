@@ -3,6 +3,7 @@
 //! Run: `cargo run --release --example quickstart`
 
 use lookhd_paper::hdc::HdcError;
+use lookhd_paper::hdc::{Classifier, FitClassifier};
 use lookhd_paper::lookhd::{LookHdClassifier, LookHdConfig};
 
 fn main() -> Result<(), HdcError> {
@@ -26,12 +27,18 @@ fn main() -> Result<(), HdcError> {
 
     let probe_low = vec![0.16; 12];
     let probe_high = vec![0.86; 12];
-    println!("low-regime probe  -> class {}", classifier.predict(&probe_low)?);
-    println!("high-regime probe -> class {}", classifier.predict(&probe_high)?);
+    println!(
+        "low-regime probe  -> class {}",
+        classifier.predict(&probe_low)?
+    );
+    println!(
+        "high-regime probe -> class {}",
+        classifier.predict(&probe_high)?
+    );
 
     println!(
         "training accuracy: {:.1}%",
-        classifier.score(&features, &labels)? * 100.0
+        classifier.evaluate(&features, &labels)? * 100.0
     );
     println!(
         "model: {} classes compressed into {} hypervector(s), {} bytes \

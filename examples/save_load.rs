@@ -5,6 +5,7 @@
 
 use lookhd_paper::datasets::apps::App;
 use lookhd_paper::hdc::HdcError;
+use lookhd_paper::hdc::{Classifier, FitClassifier};
 use lookhd_paper::lookhd::{LookHdClassifier, LookHdConfig};
 
 fn main() -> Result<(), HdcError> {
@@ -12,7 +13,7 @@ fn main() -> Result<(), HdcError> {
     let data = profile.generate_small(17);
     let config = LookHdConfig::new().with_dim(1024).with_retrain_epochs(3);
     let trained = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)?;
-    let accuracy = trained.score(&data.test.features, &data.test.labels)?;
+    let accuracy = trained.evaluate(&data.test.features, &data.test.labels)?;
 
     // Persist: hyperparameters + quantizer + models. Level/position
     // hypervectors regenerate from the seed, keeping the artifact small.

@@ -10,14 +10,21 @@
 use lookhd_paper::datasets::apps::App;
 use lookhd_paper::hdc::classifier::{HdcClassifier, HdcConfig};
 use lookhd_paper::hdc::HdcError;
+use lookhd_paper::hdc::{Classifier, FitClassifier};
 use lookhd_paper::hwsim::fpga::FpgaPhase;
 use lookhd_paper::hwsim::{CpuModel, FpgaModel, WorkloadShape};
 use lookhd_paper::lookhd::{LookHdClassifier, LookHdConfig};
 
 fn main() -> Result<(), HdcError> {
-    let fast = std::env::var("LOOKHD_FAST").map(|v| v == "1").unwrap_or(false);
+    let fast = std::env::var("LOOKHD_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let profile = App::Speech.profile();
-    let data = if fast { profile.generate_small(7) } else { profile.generate(7) };
+    let data = if fast {
+        profile.generate_small(7)
+    } else {
+        profile.generate(7)
+    };
     let dim = if fast { 512 } else { 2000 };
     println!("dataset: {data}");
 
@@ -27,12 +34,12 @@ fn main() -> Result<(), HdcError> {
         .with_q(profile.paper_q_baseline)
         .with_retrain_epochs(5);
     let baseline = HdcClassifier::fit(&base_cfg, &data.train.features, &data.train.labels)?;
-    let base_acc = baseline.score(&data.test.features, &data.test.labels)?;
+    let base_acc = baseline.evaluate(&data.test.features, &data.test.labels)?;
 
     // LookHD: q = 4 equalized levels, r = 5 chunks, compressed model.
     let look_cfg = LookHdConfig::new().with_dim(dim).with_retrain_epochs(5);
     let lookhd = LookHdClassifier::fit(&look_cfg, &data.train.features, &data.train.labels)?;
-    let look_acc = lookhd.score(&data.test.features, &data.test.labels)?;
+    let look_acc = lookhd.evaluate(&data.test.features, &data.test.labels)?;
     let mut unc = 0usize;
     for (x, &y) in data.test.features.iter().zip(&data.test.labels) {
         if lookhd.predict_uncompressed(x)? == y {

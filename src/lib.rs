@@ -20,7 +20,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use lookhd_paper::lookhd::{LookHdClassifier, LookHdConfig};
+//! use lookhd_paper::prelude::*;
 //!
 //! let xs: Vec<Vec<f64>> = (0..30)
 //!     .map(|i| vec![if i % 2 == 0 { 0.2 } else { 0.8 }; 10])
@@ -40,6 +40,32 @@
 
 pub use hdc;
 pub use lookhd;
+
+/// The deterministic sharded execution engine behind `--threads`.
+pub use lookhd_engine as engine;
+
+/// One-stop imports: the classifier traits, the three model families,
+/// their configs, and the execution-engine types.
+///
+/// ```
+/// use lookhd_paper::prelude::*;
+///
+/// let xs = vec![vec![0.1; 4], vec![0.9; 4]];
+/// let ys = vec![0, 1];
+/// let config = HdcConfig::new().with_dim(256).with_engine(
+///     EngineConfig::new().with_threads(2),
+/// );
+/// let clf = HdcClassifier::fit(&config, &xs, &ys)?;
+/// assert_eq!(clf.num_classes(), 2);
+/// # Ok::<(), HdcError>(())
+/// ```
+pub mod prelude {
+    pub use hdc::classifier::{HdcClassifier, HdcConfig};
+    pub use hdc::{Classifier, FitClassifier, HdcError, Result};
+    pub use lookhd::{LookHdClassifier, LookHdConfig};
+    pub use lookhd_engine::{Engine, EngineConfig, EngineStats};
+    pub use lookhd_mlp::{Mlp, MlpConfig};
+}
 
 /// Synthetic stand-ins for the paper's five evaluation datasets.
 pub use lookhd_datasets as datasets;

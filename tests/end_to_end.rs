@@ -3,6 +3,7 @@
 
 use lookhd_paper::datasets::apps::App;
 use lookhd_paper::hdc::classifier::{HdcClassifier, HdcConfig};
+use lookhd_paper::hdc::{Classifier, FitClassifier};
 use lookhd_paper::lookhd::{LookHdClassifier, LookHdConfig};
 
 const DIM: usize = 768;
@@ -19,7 +20,7 @@ fn lookhd_learns_every_application_profile() {
         let clf = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)
             .expect("training failed");
         let acc = clf
-            .score(&data.test.features, &data.test.labels)
+            .evaluate(&data.test.features, &data.test.labels)
             .expect("scoring failed");
         let chance = 1.0 / profile.n_classes as f64;
         // Halfway between chance and the paper's accuracy for this app
@@ -46,7 +47,7 @@ fn baseline_learns_every_application_profile() {
         let clf = HdcClassifier::fit(&config, &data.train.features, &data.train.labels)
             .expect("training failed");
         let acc = clf
-            .score(&data.test.features, &data.test.labels)
+            .evaluate(&data.test.features, &data.test.labels)
             .expect("scoring failed");
         let chance = 1.0 / profile.n_classes as f64;
         let floor = chance + 0.5 * (profile.paper_accuracy_baseline - chance);
@@ -84,7 +85,7 @@ fn uncompressed_lookhd_matches_baseline_on_easy_profile() {
     )
     .expect("lookhd failed");
     let base_acc = base
-        .score(&data.test.features, &data.test.labels)
+        .evaluate(&data.test.features, &data.test.labels)
         .expect("scoring failed");
     let mut unc = 0usize;
     for (x, &y) in data.test.features.iter().zip(&data.test.labels) {
@@ -103,14 +104,19 @@ fn uncompressed_lookhd_matches_baseline_on_easy_profile() {
 fn whole_pipeline_is_deterministic() {
     let profile = App::Extra.profile();
     let data = profile.generate_small(14);
-    let config = LookHdConfig::new().with_dim(512).with_seed(1234).with_retrain_epochs(2);
+    let config = LookHdConfig::new()
+        .with_dim(512)
+        .with_seed(1234)
+        .with_retrain_epochs(2);
     let a = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)
         .expect("training failed");
     let b = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)
         .expect("training failed");
     assert_eq!(
-        a.predict_batch(&data.test.features).expect("predict failed"),
-        b.predict_batch(&data.test.features).expect("predict failed")
+        a.predict_batch(&data.test.features)
+            .expect("predict failed"),
+        b.predict_batch(&data.test.features)
+            .expect("predict failed")
     );
 }
 
@@ -150,6 +156,11 @@ fn compressed_model_is_smaller_for_every_app() {
             &data.train.labels,
         )
         .expect("training failed");
-        assert_eq!(fixed.compressed().n_vectors(), min_vectors, "{}", profile.name);
+        assert_eq!(
+            fixed.compressed().n_vectors(),
+            min_vectors,
+            "{}",
+            profile.name
+        );
     }
 }

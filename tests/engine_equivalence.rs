@@ -1,0 +1,161 @@
+//! The engine determinism contract, end to end: sharded training and
+//! parallel batch inference must be *bit-identical* to the serial path
+//! for every thread count, including shard counts that do not divide the
+//! sample count evenly.
+
+use lookhd_paper::datasets::apps::App;
+use lookhd_paper::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+/// 7 does not divide the sample counts below: the last shard is a
+/// remainder shard, exercising the uneven-partition path.
+const SHARD: usize = 7;
+
+type Split = (Vec<Vec<f64>>, Vec<usize>, Vec<Vec<f64>>, Vec<usize>);
+
+fn dataset() -> Split {
+    let data = App::Physical.profile().generate_small(97);
+    (
+        data.train.features,
+        data.train.labels,
+        data.test.features,
+        data.test.labels,
+    )
+}
+
+#[test]
+fn sharded_counter_training_is_bit_identical() {
+    let (xs, ys, txs, _) = dataset();
+    assert_ne!(xs.len() % SHARD, 0, "want a remainder shard");
+    let base = LookHdConfig::new().with_dim(512).with_retrain_epochs(2);
+    let serial = LookHdClassifier::fit(&base, &xs, &ys).unwrap();
+    for threads in THREADS {
+        let config = base.clone().with_engine(
+            EngineConfig::new()
+                .with_threads(threads)
+                .with_shard_size(SHARD),
+        );
+        let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+        assert_eq!(
+            clf.model().classes(),
+            serial.model().classes(),
+            "{threads}-thread counter training diverged from serial"
+        );
+        assert_eq!(
+            clf.predict_batch(&txs).unwrap(),
+            serial.predict_batch(&txs).unwrap()
+        );
+    }
+}
+
+#[test]
+fn sharded_bundling_training_is_bit_identical() {
+    let (xs, ys, txs, _) = dataset();
+    let base = HdcConfig::new().with_dim(512).with_retrain_epochs(2);
+    let serial = HdcClassifier::fit(&base, &xs, &ys).unwrap();
+    for threads in THREADS {
+        let config = base.clone().with_engine(
+            EngineConfig::new()
+                .with_threads(threads)
+                .with_shard_size(SHARD),
+        );
+        let clf = HdcClassifier::fit(&config, &xs, &ys).unwrap();
+        assert_eq!(
+            clf.model().classes(),
+            serial.model().classes(),
+            "{threads}-thread bundling diverged from serial"
+        );
+        assert_eq!(
+            clf.predict_batch(&txs).unwrap(),
+            serial.predict_batch(&txs).unwrap()
+        );
+    }
+}
+
+#[test]
+fn parallel_batch_inference_matches_serial_on_both_models() {
+    let (xs, ys, txs, _) = dataset();
+    let clf = LookHdClassifier::fit(
+        &LookHdConfig::new().with_dim(512).with_retrain_epochs(1),
+        &xs,
+        &ys,
+    )
+    .unwrap();
+    let serial_compressed = clf.predict_batch(&txs).unwrap();
+    let serial_uncompressed = clf.predict_batch_uncompressed(&txs).unwrap();
+    for threads in THREADS {
+        let mut threaded = clf.clone();
+        threaded.set_engine(
+            EngineConfig::new()
+                .with_threads(threads)
+                .with_shard_size(SHARD),
+        );
+        assert_eq!(threaded.predict_batch(&txs).unwrap(), serial_compressed);
+        assert_eq!(
+            threaded.predict_batch_uncompressed(&txs).unwrap(),
+            serial_uncompressed
+        );
+    }
+}
+
+#[test]
+fn engine_stats_account_for_every_sample() {
+    let (xs, ys, txs, _) = dataset();
+    let config = LookHdConfig::new()
+        .with_dim(256)
+        .with_retrain_epochs(0)
+        .with_engine(EngineConfig::new().with_threads(2).with_shard_size(SHARD));
+    let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+    assert_eq!(clf.fit_stats().items, xs.len());
+    assert_eq!(clf.fit_stats().threads, 2);
+    let (preds, stats) = clf.predict_batch_stats(&txs).unwrap();
+    assert_eq!(preds.len(), txs.len());
+    assert_eq!(stats.items, txs.len());
+    assert_eq!(stats.shards.len(), txs.len().div_ceil(SHARD));
+}
+
+/// All three model families construct and run through `dyn Classifier`.
+#[test]
+fn all_classifiers_work_through_trait_objects() {
+    let (xs, ys, txs, tys) = dataset();
+    let n_classes = ys.iter().max().unwrap() + 1;
+    let models: Vec<Box<dyn Classifier>> = vec![
+        Box::new(
+            HdcClassifier::fit(
+                &HdcConfig::new().with_dim(256).with_retrain_epochs(1),
+                &xs,
+                &ys,
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            LookHdClassifier::fit(
+                &LookHdConfig::new().with_dim(256).with_retrain_epochs(1),
+                &xs,
+                &ys,
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            Mlp::fit(
+                &MlpConfig::new().with_hidden(vec![32]).with_epochs(10),
+                &xs,
+                &ys,
+            )
+            .unwrap(),
+        ),
+    ];
+    for model in &models {
+        assert_eq!(model.num_classes(), n_classes);
+        let preds = model.predict_batch(&txs).unwrap();
+        assert_eq!(preds.len(), txs.len());
+        assert!(preds.iter().all(|&p| p < n_classes));
+        let acc = model.evaluate(&txs, &tys).unwrap();
+        assert!(
+            acc > 1.0 / n_classes as f64,
+            "trait-object path should beat chance, got {acc}"
+        );
+        // Single-query path agrees with the batch path.
+        assert_eq!(model.predict(&txs[0]).unwrap(), preds[0]);
+    }
+}

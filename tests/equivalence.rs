@@ -38,11 +38,15 @@ fn counter_training_equals_bundling_on_app_data() {
     let encoded = encoder
         .encode_batch(&data.train.features)
         .expect("encoding failed");
-    let bundled = initial_fit(&encoded, &data.train.labels, profile.n_classes)
-        .expect("bundling failed");
+    let bundled =
+        initial_fit(&encoded, &data.train.labels, profile.n_classes).expect("bundling failed");
 
     for c in 0..profile.n_classes {
-        assert_eq!(counter_model.class(c), bundled.class(c), "class {c} differs");
+        assert_eq!(
+            counter_model.class(c),
+            bundled.class(c),
+            "class {c} differs"
+        );
     }
 }
 
@@ -58,8 +62,14 @@ fn table_modes_agree_across_dataset() {
     let quantizer = Quantizer::fit(Quantization::Equalized, &data.train_values(), 4)
         .expect("quantizer fit failed");
     let layout = ChunkLayout::new(profile.n_features, 5, 4).expect("layout failed");
-    let a = LookupEncoder::new(layout, &levels, quantizer.clone(), TableMode::Materialized, 9)
-        .expect("encoder build failed");
+    let a = LookupEncoder::new(
+        layout,
+        &levels,
+        quantizer.clone(),
+        TableMode::Materialized,
+        9,
+    )
+    .expect("encoder build failed");
     let b = LookupEncoder::new(layout, &levels, quantizer, TableMode::OnTheFly, 9)
         .expect("encoder build failed");
     for x in data.train.features.iter().take(40) {

@@ -70,7 +70,11 @@ fn search_speedup_grows_with_class_count() {
         let shape = shape_for(app, p.paper_q_lookhd);
         let base = fpga.execute_as(&shape.baseline_inference(), FpgaPhase::BaselineInference);
         let look = fpga.execute_as(&shape.lookhd_inference(), FpgaPhase::LookHdInference);
-        assert!(look.speedup_over(&base) > 1.0, "{:?} should win end to end", app);
+        assert!(
+            look.speedup_over(&base) > 1.0,
+            "{:?} should win end to end",
+            app
+        );
     }
 }
 
@@ -93,7 +97,8 @@ fn cpu_costs_are_monotone_in_work() {
     let mut more_samples = small;
     more_samples.train_samples *= 3;
     assert!(
-        cpu.execute(&more_samples.baseline_initial_training()).seconds
+        cpu.execute(&more_samples.baseline_initial_training())
+            .seconds
             > cpu.execute(&small.baseline_initial_training()).seconds
     );
 }
@@ -109,7 +114,10 @@ fn gpu_wins_time_fpga_wins_energy() {
     let g = gpu.execute(&work);
     let c = cpu.execute(&work);
     let f = fpga.execute_as(&work, FpgaPhase::BaselineTraining);
-    assert!(g.speedup_over(&c) > 50.0, "GPU should crush the A53 on time");
+    assert!(
+        g.speedup_over(&c) > 50.0,
+        "GPU should crush the A53 on time"
+    );
     assert!(
         f.energy_efficiency_over(&g) > 5.0,
         "FPGA should be far more energy-efficient than the GPU"
@@ -147,5 +155,8 @@ fn lookhd_initial_training_cycles_scale_with_q() {
     let c2 = fpga.lookhd_initial_training_cycles(&shape_for(App::Speech, 2));
     let c4 = fpga.lookhd_initial_training_cycles(&shape_for(App::Speech, 4));
     let c8 = fpga.lookhd_initial_training_cycles(&shape_for(App::Speech, 8));
-    assert!(c2 < c4 && c4 < c8, "cycles must grow with q: {c2} {c4} {c8}");
+    assert!(
+        c2 < c4 && c4 < c8,
+        "cycles must grow with q: {c2} {c4} {c8}"
+    );
 }

@@ -3,6 +3,7 @@
 
 use lookhd_paper::datasets::apps::App;
 use lookhd_paper::hdc::persist::{model_from_bytes, model_to_bytes};
+use lookhd_paper::hdc::{Classifier, FitClassifier};
 use lookhd_paper::lookhd::{CompressedModel, LookHdClassifier, LookHdConfig};
 
 #[test]

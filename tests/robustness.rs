@@ -1,8 +1,9 @@
 //! Fault-injection integration tests: HDC's graceful degradation.
 
 use lookhd_paper::datasets::apps::App;
-use lookhd_paper::hdc::noise::{corrupt_model, flip_bipolar};
 use lookhd_paper::hdc::hv::BipolarHv;
+use lookhd_paper::hdc::noise::{corrupt_model, flip_bipolar};
+use lookhd_paper::hdc::FitClassifier;
 use lookhd_paper::lookhd::{LookHdClassifier, LookHdConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -8,11 +8,9 @@ use lookhd_paper::lookhd::LookHdConfig;
 fn sweep_covers_grid_and_reports_csv() {
     let profile = App::Physical.profile();
     let data = profile.generate_small(71);
-    let grid = SweepGrid::new(
-        LookHdConfig::new().with_dim(256).with_retrain_epochs(1),
-    )
-    .over_qs(vec![2, 4])
-    .over_rs(vec![3, 5]);
+    let grid = SweepGrid::new(LookHdConfig::new().with_dim(256).with_retrain_epochs(1))
+        .over_qs(vec![2, 4])
+        .over_rs(vec![3, 5]);
     assert_eq!(grid.len(), 4);
     let mut progress = 0usize;
     let records = run_sweep(

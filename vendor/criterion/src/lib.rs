@@ -1,0 +1,220 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the small benchmarking surface the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`] /
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::finish`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! It measures wall-clock time only: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples, and prints min / median / mean per
+//! iteration. There is no statistical outlier analysis, no HTML report,
+//! and no saved baselines — numbers are indicative, not publication-grade.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching upstream's API.
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions by [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in this group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, &id, &bencher.samples);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting happens per function).
+    pub fn finish(self) {}
+}
+
+/// Collects timed samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly, recording per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and calibration of iterations-per-sample so that very
+        // fast routines are timed over enough iterations to be resolvable.
+        let calibration = Instant::now();
+        black_box(routine());
+        let once = calibration.elapsed();
+        let iters = iters_per_sample(once);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// counted. `batch_size` is accepted for API parity — every call here
+    /// runs setup once per timed call, like upstream's `PerIteration`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, batch_size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = batch_size;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// How much setup output a batched benchmark amortises per timed run.
+/// Accepted for upstream API parity; this harness always sets up per
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: upstream batches many per allocation.
+    SmallInput,
+    /// Large inputs: upstream batches few per allocation.
+    LargeInput,
+    /// One setup per timed call.
+    PerIteration,
+}
+
+/// Picks an iteration count so each sample spans at least ~1ms.
+fn iters_per_sample(once: Duration) -> u32 {
+    let floor = Duration::from_millis(1);
+    if once >= floor {
+        1
+    } else {
+        let once_nanos = once.as_nanos().max(1);
+        (floor.as_nanos() / once_nanos).clamp(1, 10_000) as u32
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("  {id}: no samples collected");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    println!(
+        "  {group}/{id}: min {min:?}  median {median:?}  mean {mean:?}  ({} samples)",
+        sorted.len()
+    );
+}
+
+/// Declares a benchmark group function, mirroring upstream's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_smoke(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_smoke);
+
+    #[test]
+    fn harness_runs_and_samples() {
+        benches();
+    }
+
+    #[test]
+    fn calibration_bounds_iteration_count() {
+        assert_eq!(iters_per_sample(Duration::from_millis(5)), 1);
+        assert!(iters_per_sample(Duration::from_nanos(10)) > 1);
+        assert!(iters_per_sample(Duration::from_nanos(1)) <= 10_000);
+    }
+}

@@ -1,0 +1,260 @@
+//! Strategies: deterministic samplers for test-case inputs.
+
+use std::marker::PhantomData;
+
+/// The deterministic sample source driving a property test (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Derives a generator from a test name, so every property gets a
+    /// distinct but reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut state = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in name.bytes() {
+            state ^= b as u64;
+            state = state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state }
+    }
+
+    /// Returns the next random 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A sampler of values for one test parameter.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, gen: &mut Gen) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (gen.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, gen: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (gen.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (self.end - self.start) * gen.next_unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_float_range!(f32, f64);
+
+/// Types [`crate::any`] can produce.
+pub trait Arbitrary: Sized {
+    /// Draws one value over the whole domain.
+    fn arbitrary(gen: &mut Gen) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(gen: &mut Gen) -> Self {
+                gen.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(gen: &mut Gen) -> Self {
+        gen.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(gen: &mut Gen) -> Self {
+        gen.next_unit_f64()
+    }
+}
+
+/// Length specifications accepted by [`crate::collection::vec`].
+pub trait SizeRange {
+    /// Converts to a half-open length range.
+    fn into_range(self) -> std::ops::Range<usize>;
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn into_range(self) -> std::ops::Range<usize> {
+        self
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn into_range(self) -> std::ops::Range<usize> {
+        *self.start()..self.end() + 1
+    }
+}
+
+impl SizeRange for usize {
+    fn into_range(self) -> std::ops::Range<usize> {
+        self..self + 1
+    }
+}
+
+/// The strategy returned by [`crate::any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, gen: &mut Gen) -> T {
+        T::arbitrary(gen)
+    }
+}
+
+/// String strategy from a miniature regex: a single character class with a
+/// bounded repetition, e.g. `"[a-d]{4,24}"` (the only pattern shape the
+/// workspace uses). Upstream proptest accepts full regexes; unsupported
+/// shapes panic with a clear message rather than silently mis-sampling.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, gen: &mut Gen) -> String {
+        let (chars, lo, hi) = parse_mini_regex(self);
+        let span = hi - lo + 1;
+        let len = lo + (gen.next_u64() as usize) % span;
+        (0..len)
+            .map(|_| chars[(gen.next_u64() as usize) % chars.len()])
+            .collect()
+    }
+}
+
+/// Parses `[class]{m}`, `[class]{m,n}` where class is literal chars and
+/// `a-z`-style ranges.
+fn parse_mini_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+    fn unsupported(pattern: &str) -> ! {
+        panic!("unsupported mini-regex strategy: {pattern:?}")
+    }
+    let rest = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| unsupported(pattern));
+    let (class, rep) = rest.split_once(']').unwrap_or_else(|| unsupported(pattern));
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (a, b) = (cs[i] as u32, cs[i + 2] as u32);
+            assert!(a <= b, "bad char range in {pattern:?}");
+            chars.extend((a..=b).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    assert!(!chars.is_empty(), "empty char class in {pattern:?}");
+    let rep = rep
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| unsupported(pattern));
+    let (lo, hi) = match rep.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok(), h.trim().parse().ok()),
+        None => {
+            let n = rep.trim().parse().ok();
+            (n, n)
+        }
+    };
+    match (lo, hi) {
+        (Some(l), Some(h)) if l <= h => (chars, l, h),
+        _ => unsupported(pattern),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut gen = Gen::from_name("ranges");
+        for _ in 0..500 {
+            let v = (3usize..17).sample(&mut gen);
+            assert!((3..17).contains(&v));
+            let w = (-100_000i64..100_000).sample(&mut gen);
+            assert!((-100_000..100_000).contains(&w));
+            let f = (-2e3f64..2e3).sample(&mut gen);
+            assert!((-2e3..2e3).contains(&f));
+        }
+    }
+
+    #[test]
+    fn mini_regex_samples_class_and_length() {
+        let mut gen = Gen::from_name("regex");
+        for _ in 0..200 {
+            let s = "[a-d]{4,24}".sample(&mut gen);
+            assert!((4..=24).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut gen = Gen::from_name("vecs");
+        for _ in 0..200 {
+            let v = crate::collection::vec(-50i32..50, 1..200).sample(&mut gen);
+            assert!((1..200).contains(&v.len()));
+            assert!(v.iter().all(|x| (-50..50).contains(x)));
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        let mut a = Gen::from_name("same");
+        let mut b = Gen::from_name("same");
+        let mut c = Gen::from_name("different");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(Gen::from_name("same").next_u64(), c.next_u64());
+    }
+}
