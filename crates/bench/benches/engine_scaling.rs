@@ -66,5 +66,33 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training, bench_inference);
+/// Same single-threaded training workload with the observability registry
+/// off vs on — the delta is the full cost of span/counter instrumentation
+/// on the hot path (budget: < 5%; disabled, it is one relaxed atomic load
+/// per site).
+fn bench_obs_overhead(c: &mut Criterion) {
+    let data = App::Speech.profile().generate_small(42);
+    let cfg = config(1);
+    let mut group = c.benchmark_group("engine_scaling/obs_overhead");
+    group.sample_size(10);
+    for enabled in [false, true] {
+        let label = if enabled { "enabled" } else { "disabled" };
+        group.bench_function(label, |b| {
+            obs::set_enabled(enabled);
+            b.iter(|| {
+                LookHdClassifier::fit(
+                    black_box(&cfg),
+                    black_box(&data.train.features),
+                    black_box(&data.train.labels),
+                )
+                .unwrap()
+            });
+            obs::set_enabled(false);
+            obs::reset();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference, bench_obs_overhead);
 criterion_main!(benches);

@@ -98,4 +98,5 @@ fn main() {
          hwsim hardware cost models. Speedups are relative to threads = 1 and are\n\
          bounded by the host core count."
     );
+    ctx.write_metrics();
 }

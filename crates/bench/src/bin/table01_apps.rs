@@ -54,4 +54,5 @@ fn main() {
         "The naive per-app lookup table (q^n rows) is astronomically infeasible,\n\
          motivating LookHD's chunked tables: q=4, r=5 needs only 4^5 = 1024 rows."
     );
+    ctx.write_metrics();
 }

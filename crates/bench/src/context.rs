@@ -3,6 +3,11 @@
 //! Every experiment binary honours `LOOKHD_FAST=1`, which shrinks datasets,
 //! dimensionality, and retraining epochs so the whole suite runs in
 //! seconds. The default sizes match the DESIGN.md per-experiment index.
+//!
+//! `LOOKHD_METRICS=path.json` additionally enables the [`obs`]
+//! observability registry for the run; experiments that call
+//! [`Context::write_metrics`] at the end dump the recorded spans and
+//! counters as one JSON document.
 
 use lookhd_datasets::apps::AppProfile;
 use lookhd_datasets::Dataset;
@@ -14,16 +19,40 @@ pub struct Context {
     pub fast: bool,
     /// Dataset seed (fixed for reproducibility).
     pub seed: u64,
+    /// Where to write the observability snapshot (`LOOKHD_METRICS`), if
+    /// anywhere. Leaked to keep `Context` `Copy`; one leak per process.
+    pub metrics: Option<&'static str>,
 }
 
 impl Context {
-    /// Reads the context from the environment.
+    /// Reads the context from the environment. When `LOOKHD_METRICS` is
+    /// set, the global observability registry is switched on so spans and
+    /// counters accumulate for [`Self::write_metrics`].
     pub fn from_env() -> Self {
+        let metrics = std::env::var("LOOKHD_METRICS")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(|p| &*Box::leak(p.into_boxed_str()));
+        if metrics.is_some() {
+            obs::set_enabled(true);
+        }
         Self {
             fast: std::env::var("LOOKHD_FAST")
                 .map(|v| v == "1")
                 .unwrap_or(false),
             seed: 42,
+            metrics,
+        }
+    }
+
+    /// Writes the observability snapshot as JSON to the `LOOKHD_METRICS`
+    /// path. A no-op when the variable is unset; I/O failures are reported
+    /// on stderr rather than aborting an otherwise-finished experiment.
+    pub fn write_metrics(&self) {
+        let Some(path) = self.metrics else { return };
+        let json = obs::snapshot().to_json();
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("warning: writing metrics to {path}: {e}");
         }
     }
 
@@ -80,15 +109,38 @@ mod tests {
         let fast = Context {
             fast: true,
             seed: 1,
+            metrics: None,
         };
         let full = Context {
             fast: false,
             seed: 1,
+            metrics: None,
         };
         assert!(fast.dim() < full.dim());
         assert!(fast.retrain_epochs() < full.retrain_epochs());
         assert!(fast.scaled(100) < 100);
         let p = App::Physical.profile();
         assert!(fast.dataset(&p).train.len() < full.dataset(&p).train.len());
+    }
+
+    #[test]
+    fn write_metrics_is_a_noop_without_a_path_and_writes_json_with_one() {
+        let silent = Context {
+            fast: true,
+            seed: 1,
+            metrics: None,
+        };
+        silent.write_metrics();
+        let path = std::env::temp_dir().join("lookhd_ctx_metrics_test.json");
+        let leaked: &'static str = Box::leak(path.display().to_string().into_boxed_str());
+        let ctx = Context {
+            fast: true,
+            seed: 1,
+            metrics: Some(leaked),
+        };
+        ctx.write_metrics();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"version\": 1"));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -110,7 +110,6 @@ impl Args {
     }
 
     /// An optional string flag.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn get(&self, flag: &str) -> Option<&str> {
         self.values.get(flag).map(String::as_str)
     }

@@ -17,6 +17,10 @@
 //! `--threads` shards training and batch inference across OS threads
 //! (`0` = all cores). Results are bit-identical for every thread count;
 //! only wall-clock time changes.
+//!
+//! `--metrics out.json` (valid on every subcommand) enables the
+//! observability registry for the run and writes one JSON document of
+//! timing spans and counters when the command finishes.
 
 mod args;
 
@@ -53,7 +57,11 @@ fn out(line: impl std::fmt::Display) {
 
 fn run(raw: Vec<String>) -> Result<(), String> {
     let args = Args::parse(raw).map_err(|e| e.to_string())?;
-    match args.subcommand() {
+    let metrics_path = args.get("metrics").map(str::to_owned);
+    if metrics_path.is_some() {
+        obs::set_enabled(true);
+    }
+    let result = match args.subcommand() {
         Some("train") => train(&args),
         Some("evaluate") => evaluate(&args),
         Some("predict") => predict(&args),
@@ -65,6 +73,17 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             out(USAGE);
             Ok(())
         }
+    };
+    if let Some(path) = metrics_path {
+        // Write whatever was recorded even when the command failed — a
+        // partial trace is exactly what you want when diagnosing the
+        // failure. The command's own error still wins.
+        let json = obs::snapshot().to_json();
+        let write_result =
+            fs::write(&path, json).map_err(|e| format!("writing metrics to {path}: {e}"));
+        result.and(write_result)
+    } else {
+        result
     }
 }
 
@@ -78,7 +97,9 @@ const USAGE: &str = "usage:
   lookhd estimate --model model.lks [--samples N]
 
 --threads shards work across OS threads (0 = all cores) without changing
-any result bit.";
+any result bit.
+--metrics out.json (any subcommand) records per-stage timing spans and
+counters and writes one JSON document when the command finishes.";
 
 fn load_classifier(args: &Args) -> Result<LookHdClassifier, String> {
     let path = args.require("model").map_err(|e| e.to_string())?;
@@ -123,7 +144,7 @@ fn train(args: &Args) -> Result<(), String> {
     let train_acc = clf
         .evaluate(&split.features, &split.labels)
         .map_err(|e| format!("scoring: {e}"))?;
-    let bytes = clf.to_bytes();
+    let bytes = clf.to_bytes().map_err(|e| format!("serializing: {e}"))?;
     fs::write(out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
     out(format!(
         "trained on {} samples ({} features, {} classes): train accuracy {:.1}%",

@@ -20,7 +20,10 @@
 //!
 //! Every run also produces [`EngineStats`]: per-shard wall-clock timings,
 //! merge time, and overall throughput, which the CLI and benchmark
-//! binaries surface to users.
+//! binaries surface to users. When the [`obs`] registry is enabled, the
+//! same timings are folded into it as `engine/run`, `engine/shard`, and
+//! `engine/merge` spans, so sharded stages show up in `--metrics` output
+//! alongside the algorithmic spans recorded by the callers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -132,6 +135,21 @@ impl EngineStats {
     pub fn total_shard_time(&self) -> Duration {
         self.shards.iter().map(|s| s.elapsed).sum()
     }
+
+    /// Folds this run's timings into the global [`obs`] registry (one
+    /// `engine/shard` observation per shard, one `engine/run` for the
+    /// whole run, plus an `engine.items` counter). No-op while the
+    /// registry is disabled.
+    pub fn fold_into_obs(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        for shard in &self.shards {
+            obs::record("engine/shard", shard.elapsed);
+        }
+        obs::record("engine/run", self.wall_time);
+        obs::counter("engine.items", self.items as u64);
+    }
 }
 
 impl fmt::Display for EngineStats {
@@ -211,6 +229,7 @@ impl Engine {
             merge_time: Duration::ZERO,
             wall_time: started.elapsed(),
         };
+        stats.fold_into_obs();
         (results, stats)
     }
 
@@ -229,6 +248,9 @@ impl Engine {
         let merged = reduce(results);
         stats.merge_time = merge_started.elapsed();
         stats.wall_time = started.elapsed();
+        if obs::enabled() {
+            obs::record("engine/merge", stats.merge_time);
+        }
         (merged, stats)
     }
 }
@@ -368,6 +390,33 @@ mod tests {
         assert_eq!(stats.items, 0);
         assert_eq!(stats.items_per_sec(), 0.0);
         assert!(stats.max_shard_time().is_none());
+    }
+
+    #[test]
+    fn runs_fold_timings_into_obs_when_enabled() {
+        // The fold targets the process-global registry, and sibling tests
+        // in this binary may run engines concurrently while it is enabled,
+        // so assert lower bounds rather than exact counts.
+        obs::reset();
+        obs::set_enabled(true);
+        let engine = Engine::new(EngineConfig::new().with_threads(2).with_shard_size(5));
+        let (_, stats) = engine.map_reduce(
+            20,
+            |range| range.len(),
+            |partials| partials.into_iter().sum::<usize>(),
+        );
+        obs::set_enabled(false);
+        let snap = obs::snapshot();
+        obs::reset();
+        let shard = snap
+            .spans
+            .iter()
+            .find(|s| s.path == "engine/shard")
+            .expect("engine/shard span recorded");
+        assert!(shard.count as usize >= stats.shards.len());
+        assert!(snap.spans.iter().any(|s| s.path == "engine/run"));
+        assert!(snap.spans.iter().any(|s| s.path == "engine/merge"));
+        assert!(snap.counter("engine.items") >= 20);
     }
 
     #[test]

@@ -60,6 +60,8 @@ pub fn encode_batch_with<E: Encode + Sync>(
     encoder: &E,
     features: &[Vec<f64>],
 ) -> Result<(Vec<DenseHv>, EngineStats)> {
+    let _span = obs::span("encode_batch");
+    obs::counter("encode_batch.samples", features.len() as u64);
     let (encoded, stats) = engine.map_reduce(
         features.len(),
         |range| {

@@ -6,6 +6,21 @@
 //!
 //! Format (`HDC1`): magic, then `u32` counts followed by `i32` payloads,
 //! all little-endian.
+//!
+//! ## Hardened format limits
+//!
+//! Length headers come from untrusted storage, so readers treat them as
+//! hostile until proven otherwise:
+//!
+//! * dimensions are capped at [`MAX_DIM`] and class counts at
+//!   [`MAX_CLASSES`] — far above any real configuration, but small enough
+//!   that a corrupt header cannot request a multi-GB allocation;
+//! * preallocation is additionally bounded (readers reserve at most
+//!   [`PREALLOC_LIMIT`] elements up front), so even an in-cap lying
+//!   header fails with `UnexpectedEof` while buffers are still small;
+//! * writers reject values that exceed the caps (or would silently
+//!   truncate into the `u32` headers) instead of producing a
+//!   corrupt-but-well-formed artifact.
 
 use std::io::{self, Read, Write};
 
@@ -13,6 +28,28 @@ use crate::hv::DenseHv;
 use crate::model::ClassModel;
 
 const MAGIC: &[u8; 4] = b"HDC1";
+
+/// Largest hypervector dimensionality the `HDC1` format accepts (2^20).
+pub const MAX_DIM: usize = 1 << 20;
+
+/// Largest class count the `HDC1` format accepts (2^16).
+pub const MAX_CLASSES: usize = 1 << 16;
+
+/// Readers never `Vec::with_capacity` more than this many elements on the
+/// strength of a length header alone; larger (valid) payloads grow
+/// incrementally, so truncated streams fail before large allocations.
+pub const PREALLOC_LIMIT: usize = 1 << 16;
+
+/// Converts a count to the `u32` the format stores, rejecting values above
+/// `cap` with `InvalidData` naming the field.
+fn checked_u32(what: &str, value: usize, cap: usize) -> io::Result<u32> {
+    if value > cap.min(u32::MAX as usize) {
+        return Err(invalid(&format!(
+            "{what} {value} exceeds the serialized format's limit of {cap}"
+        )));
+    }
+    Ok(value as u32)
+}
 
 fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -32,9 +69,10 @@ fn invalid(msg: &str) -> io::Error {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the writer.
+/// Returns `InvalidData` when the dimensionality exceeds [`MAX_DIM`] and
+/// propagates I/O errors from the writer.
 pub fn write_dense<W: Write>(w: &mut W, hv: &DenseHv) -> io::Result<()> {
-    write_u32(w, hv.dim() as u32)?;
+    write_u32(w, checked_u32("dim", hv.dim(), MAX_DIM)?)?;
     for &v in hv.as_slice() {
         w.write_all(&v.to_le_bytes())?;
     }
@@ -51,7 +89,15 @@ pub fn read_dense<R: Read>(r: &mut R) -> io::Result<DenseHv> {
     if dim == 0 {
         return Err(invalid("zero-dimensional hypervector"));
     }
-    let mut values = Vec::with_capacity(dim);
+    if dim > MAX_DIM {
+        return Err(invalid(&format!(
+            "dim {dim} exceeds the format limit of {MAX_DIM}"
+        )));
+    }
+    // The header is untrusted: reserve a bounded amount and let larger
+    // payloads grow as bytes actually arrive, so a lying header hits
+    // `UnexpectedEof` instead of a huge allocation.
+    let mut values = Vec::with_capacity(dim.min(PREALLOC_LIMIT));
     let mut buf = [0u8; 4];
     for _ in 0..dim {
         r.read_exact(&mut buf)?;
@@ -64,10 +110,12 @@ pub fn read_dense<R: Read>(r: &mut R) -> io::Result<DenseHv> {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the writer.
+/// Returns `InvalidData` when the class count exceeds [`MAX_CLASSES`] or
+/// the dimensionality exceeds [`MAX_DIM`], and propagates I/O errors from
+/// the writer.
 pub fn write_model<W: Write>(w: &mut W, model: &ClassModel) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    write_u32(w, model.n_classes() as u32)?;
+    write_u32(w, checked_u32("n_classes", model.n_classes(), MAX_CLASSES)?)?;
     for c in model.classes() {
         write_dense(w, c)?;
     }
@@ -90,15 +138,28 @@ pub fn read_model<R: Read>(r: &mut R) -> io::Result<ClassModel> {
     if k == 0 {
         return Err(invalid("model with zero classes"));
     }
-    let classes: Vec<DenseHv> = (0..k).map(|_| read_dense(r)).collect::<io::Result<_>>()?;
+    if k > MAX_CLASSES {
+        return Err(invalid(&format!(
+            "class count {k} exceeds the format limit of {MAX_CLASSES}"
+        )));
+    }
+    let mut classes = Vec::with_capacity(k.min(PREALLOC_LIMIT));
+    for _ in 0..k {
+        classes.push(read_dense(r)?);
+    }
     ClassModel::from_classes(classes).map_err(|e| invalid(&e.to_string()))
 }
 
 /// Serializes a model to a byte vector.
-pub fn model_to_bytes(model: &ClassModel) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Same conditions as [`write_model`] (over-cap dimensions or class
+/// counts); plain I/O cannot fail when writing to a `Vec`.
+pub fn model_to_bytes(model: &ClassModel) -> io::Result<Vec<u8>> {
     let mut out = Vec::with_capacity(8 + model.n_classes() * (4 + model.dim() * 4));
-    write_model(&mut out, model).expect("writing to a Vec cannot fail");
-    out
+    write_model(&mut out, model)?;
+    Ok(out)
 }
 
 /// Deserializes a model from bytes.
@@ -125,7 +186,7 @@ mod tests {
     #[test]
     fn model_round_trips() {
         let model = toy_model();
-        let bytes = model_to_bytes(&model);
+        let bytes = model_to_bytes(&model).unwrap();
         let back = model_from_bytes(&bytes).unwrap();
         assert_eq!(back.n_classes(), 2);
         for c in 0..2 {
@@ -144,14 +205,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        let mut bytes = model_to_bytes(&toy_model());
+        let mut bytes = model_to_bytes(&toy_model()).unwrap();
         bytes[0] = b'X';
         assert!(model_from_bytes(&bytes).is_err());
     }
 
     #[test]
     fn rejects_truncated_stream() {
-        let bytes = model_to_bytes(&toy_model());
+        let bytes = model_to_bytes(&toy_model()).unwrap();
         assert!(model_from_bytes(&bytes[..bytes.len() - 3]).is_err());
         assert!(model_from_bytes(&bytes[..6]).is_err());
     }
@@ -159,8 +220,26 @@ mod tests {
     #[test]
     fn predictions_survive_round_trip() {
         let model = toy_model();
-        let back = model_from_bytes(&model_to_bytes(&model)).unwrap();
+        let back = model_from_bytes(&model_to_bytes(&model).unwrap()).unwrap();
         let q = DenseHv::from_vec(vec![1, -2, 3, 0]);
         assert_eq!(model.predict(&q).unwrap(), back.predict(&q).unwrap());
+    }
+
+    #[test]
+    fn huge_length_headers_error_instead_of_allocating() {
+        // dim header claiming 4 billion values: rejected by the cap.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_dense(&mut io::Cursor::new(&bytes)).is_err());
+        // In-cap but lying header: EOF before any large allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_DIM as u32).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(read_dense(&mut io::Cursor::new(&bytes)).is_err());
+        // Model header claiming 4 billion classes: rejected by the cap.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(model_from_bytes(&bytes).is_err());
     }
 }

@@ -65,6 +65,7 @@ impl TrainReport {
 /// differs from `labels`, [`HdcError::UnknownClass`] for an out-of-range
 /// label, and [`HdcError::DimensionMismatch`] for inconsistent dimensions.
 pub fn initial_fit(encoded: &[DenseHv], labels: &[usize], n_classes: usize) -> Result<ClassModel> {
+    let _span = obs::span("bundle_train");
     if encoded.is_empty() {
         return Err(HdcError::invalid_dataset("cannot train on zero samples"));
     }
@@ -98,6 +99,7 @@ pub fn initial_fit_with(
     labels: &[usize],
     n_classes: usize,
 ) -> Result<(ClassModel, EngineStats)> {
+    let _span = obs::span("bundle_train");
     if encoded.is_empty() {
         return Err(HdcError::invalid_dataset("cannot train on zero samples"));
     }

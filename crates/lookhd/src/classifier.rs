@@ -209,6 +209,7 @@ pub struct LookHdClassifier {
 
 impl LookHdClassifier {
     fn fit_impl(config: &LookHdConfig, features: &[Vec<f64>], labels: &[usize]) -> Result<Self> {
+        let _span = obs::span("fit");
         if !(0.0..0.9).contains(&config.validation_fraction) {
             return Err(HdcError::invalid_config(
                 "validation_fraction",
@@ -288,6 +289,7 @@ impl LookHdClassifier {
 
         // Retrain on the compressed model, rolling back to the best
         // validation snapshot when a validation split is available.
+        let _retrain_span = obs::span("retrain");
         let report = if config.retrain_epochs > 0 {
             if use_validation {
                 let cut = features.len() - n_val;
@@ -313,6 +315,7 @@ impl LookHdClassifier {
         } else {
             TrainReport::default()
         };
+        drop(_retrain_span);
         Ok(Self {
             encoder,
             model,
@@ -471,15 +474,33 @@ impl LookHdClassifier {
     /// compressed model. Level and position hypervectors are *not* stored;
     /// they regenerate deterministically from the seed, which keeps the
     /// artifact close to the paper's deployable model size.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] when a dimension, count, or
+    /// section length exceeds the format's u32 headers or the
+    /// [`crate::compress::MAX_SERIAL_DIM`] /
+    /// [`crate::compress::MAX_SERIAL_CLASSES`] caps, instead of silently
+    /// truncating, and propagates embedded-model serialization errors.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        use crate::compress::{check_regen, serial_u32, MAX_SERIAL_DIM, MAX_SERIAL_FEATURES};
         let mut out = Vec::new();
         out.extend_from_slice(CLASSIFIER_MAGIC);
         let w32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
         let layout = self.encoder.layout();
-        w32(&mut out, self.encoder.lut().levels().dim() as u32);
-        w32(&mut out, layout.q() as u32);
-        w32(&mut out, layout.r() as u32);
-        w32(&mut out, layout.n_features() as u32);
+        let dim = self.encoder.lut().levels().dim();
+        check_regen("q", layout.q(), dim)?;
+        check_regen("n_chunks", layout.n_chunks(), dim)?;
+        w32(
+            &mut out,
+            serial_u32("dim", self.encoder.lut().levels().dim(), MAX_SERIAL_DIM)?,
+        );
+        w32(&mut out, serial_u32("q", layout.q(), MAX_SERIAL_DIM)?);
+        w32(&mut out, serial_u32("r", layout.r(), MAX_SERIAL_FEATURES)?);
+        w32(
+            &mut out,
+            serial_u32("n_features", layout.n_features(), MAX_SERIAL_FEATURES)?,
+        );
         out.push(match self.encoder.quantizer().kind() {
             Quantization::Linear => 0,
             Quantization::Equalized => 1,
@@ -494,25 +515,46 @@ impl LookHdClassifier {
         });
         out.extend_from_slice(&self.seed.to_le_bytes());
         let boundaries = self.encoder.quantizer().boundaries();
-        w32(&mut out, boundaries.len() as u32);
+        w32(
+            &mut out,
+            serial_u32("n_boundaries", boundaries.len(), u32::MAX as usize)?,
+        );
         for &b in boundaries {
             out.extend_from_slice(&b.to_le_bytes());
         }
-        let model_bytes = hdc::persist::model_to_bytes(&self.model);
-        w32(&mut out, model_bytes.len() as u32);
+        let model_bytes = hdc::persist::model_to_bytes(&self.model)
+            .map_err(|e| HdcError::invalid_config("model", format!("embedded model: {e}")))?;
+        w32(
+            &mut out,
+            serial_u32("model section length", model_bytes.len(), u32::MAX as usize)?,
+        );
         out.extend_from_slice(&model_bytes);
-        let compressed_bytes = self.compressed.to_bytes();
-        w32(&mut out, compressed_bytes.len() as u32);
+        let compressed_bytes = self.compressed.to_bytes()?;
+        w32(
+            &mut out,
+            serial_u32(
+                "compressed section length",
+                compressed_bytes.len(),
+                u32::MAX as usize,
+            )?,
+        );
         out.extend_from_slice(&compressed_bytes);
-        out
+        Ok(out)
     }
 
     /// Deserializes a classifier written by [`LookHdClassifier::to_bytes`],
     /// regenerating level and position hypervectors from the stored seed.
     ///
+    /// Length headers are validated against the remaining stream length
+    /// and the [`crate::compress::MAX_SERIAL_DIM`] cap before any
+    /// allocation, so corrupt or hostile headers produce an error rather
+    /// than a multi-GB allocation; trailing bytes after the compressed
+    /// section are rejected with the offending byte offset.
+    ///
     /// # Errors
     ///
-    /// Returns [`HdcError::InvalidDataset`] for a malformed stream.
+    /// Returns [`HdcError::InvalidDataset`] for a malformed, truncated, or
+    /// over-long stream.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let bad = |m: &str| HdcError::invalid_dataset(m.to_owned());
         let mut pos = 0usize;
@@ -533,9 +575,35 @@ impl LookHdClassifier {
             ))
         };
         let dim = u32v(&mut pos)? as usize;
+        if dim > crate::compress::MAX_SERIAL_DIM {
+            return Err(HdcError::invalid_dataset(format!(
+                "dim {dim} exceeds the format limit of {}",
+                crate::compress::MAX_SERIAL_DIM
+            )));
+        }
         let q = u32v(&mut pos)? as usize;
         let r = u32v(&mut pos)? as usize;
         let n_features = u32v(&mut pos)? as usize;
+        if q > crate::compress::MAX_SERIAL_DIM {
+            return Err(HdcError::invalid_dataset(format!(
+                "q {q} exceeds the format limit of {}",
+                crate::compress::MAX_SERIAL_DIM
+            )));
+        }
+        if r > crate::compress::MAX_SERIAL_FEATURES
+            || n_features > crate::compress::MAX_SERIAL_FEATURES
+        {
+            return Err(HdcError::invalid_dataset(format!(
+                "r {r} / n_features {n_features} exceed the format limit of {}",
+                crate::compress::MAX_SERIAL_FEATURES
+            )));
+        }
+        // Every header field can be individually in-cap while the seeded
+        // regeneration they jointly request (q level hypervectors, one
+        // position key per chunk, each of `dim` elements) is still huge;
+        // bound the products before any of it is built.
+        crate::compress::check_regen("q", q, dim)?;
+        crate::compress::check_regen("n_chunks", n_features.div_ceil(r.max(1)), dim)?;
         let quant_kind = match take(&mut pos, 1)?[0] {
             0 => Quantization::Linear,
             1 => Quantization::Equalized,
@@ -553,6 +621,14 @@ impl LookHdClassifier {
         };
         let seed = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("len checked"));
         let n_boundaries = u32v(&mut pos)? as usize;
+        // Each boundary is 8 bytes, so a header claiming more boundaries
+        // than the remaining stream could hold is corrupt; checking first
+        // keeps the preallocation bounded by the artifact's actual size.
+        if n_boundaries > (bytes.len() - pos) / 8 {
+            return Err(HdcError::invalid_dataset(format!(
+                "boundary count {n_boundaries} exceeds remaining stream length"
+            )));
+        }
         let mut boundaries = Vec::with_capacity(n_boundaries);
         for _ in 0..n_boundaries {
             boundaries.push(f64::from_le_bytes(
@@ -564,6 +640,12 @@ impl LookHdClassifier {
             .map_err(|e| bad(&format!("embedded model: {e}")))?;
         let compressed_len = u32v(&mut pos)? as usize;
         let compressed = CompressedModel::from_bytes(take(&mut pos, compressed_len)?)?;
+        if pos != bytes.len() {
+            return Err(HdcError::invalid_dataset(format!(
+                "{} trailing byte(s) after classifier (offset {pos})",
+                bytes.len() - pos
+            )));
+        }
         // Rebuild the encoder deterministically.
         let quantizer = Quantizer::from_boundaries(quant_kind, boundaries)?;
         if quantizer.levels() != q {
@@ -595,6 +677,7 @@ impl Classifier for LookHdClassifier {
     /// Predicts the class of a raw feature vector using the compressed
     /// model (the deployment path).
     fn predict(&self, features: &[f64]) -> Result<usize> {
+        let _span = obs::span("predict");
         let h = self.encoder.encode(features)?;
         self.compressed.predict(&h)
     }

@@ -244,6 +244,59 @@ fn dot_i32_f64(a: &[i32], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(&x, y)| x as f64 * y).sum()
 }
 
+/// Largest hypervector dimensionality the `LKC1`/`LKS1` serialized formats
+/// accept (2^20). Far above any configuration the paper or the benchmarks
+/// use, but small enough that a corrupt length header cannot trigger a
+/// multi-GB allocation or a huge key regeneration.
+pub const MAX_SERIAL_DIM: usize = 1 << 20;
+
+/// Largest class/group/direction count the serialized formats accept
+/// (2^16). Bounds the `P'` key regeneration (`k · dim` bits) a corrupt
+/// header could otherwise request.
+pub const MAX_SERIAL_CLASSES: usize = 1 << 16;
+
+/// Largest feature count the `LKS1` format accepts (2^20).
+pub const MAX_SERIAL_FEATURES: usize = 1 << 20;
+
+/// Ceiling on the total elements (`count × dim`) any deserializer will
+/// regenerate from a seed (2^28 ≈ 268M, ~1 GiB of `i32`). Individual
+/// header fields can each be in-cap while their *product* — position keys
+/// for `⌈n/r⌉` chunks, `q` level hypervectors, `k` class keys — is still
+/// absurd; this bounds the product. Serializers apply the same check so a
+/// writable artifact is always readable.
+pub const MAX_REGEN_ELEMENTS: usize = 1 << 28;
+
+/// Rejects a seeded regeneration of `count × dim` elements that exceeds
+/// [`MAX_REGEN_ELEMENTS`], naming the field.
+pub(crate) fn check_regen(what: &'static str, count: usize, dim: usize) -> Result<()> {
+    if count
+        .checked_mul(dim)
+        .is_none_or(|n| n > MAX_REGEN_ELEMENTS)
+    {
+        return Err(HdcError::invalid_config(
+            what,
+            format!(
+                "regenerating {count} x {dim} elements exceeds the \
+                 {MAX_REGEN_ELEMENTS}-element limit"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Converts a count to the `u32` the serialized formats store, rejecting
+/// values above `cap` (and, implicitly, anything that would silently
+/// truncate) with an error naming the field.
+pub(crate) fn serial_u32(what: &'static str, value: usize, cap: usize) -> Result<u32> {
+    if value > cap.min(u32::MAX as usize) {
+        return Err(HdcError::invalid_config(
+            what,
+            format!("{value} exceeds the serialized format's limit of {cap}"),
+        ));
+    }
+    Ok(value as u32)
+}
+
 /// Per-class signal/noise decomposition of a compressed score (Eq. 5).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SignalNoise {
@@ -291,6 +344,7 @@ impl CompressedModel {
     /// Returns [`HdcError::InvalidConfig`] if `max_classes_per_vector == 0`
     /// or a fixed scale is non-positive.
     pub fn compress(model: &ClassModel, config: &CompressionConfig) -> Result<Self> {
+        let _span = obs::span("compress");
         if config.max_classes_per_vector == 0 {
             return Err(HdcError::invalid_config(
                 "max_classes_per_vector",
@@ -414,6 +468,8 @@ impl CompressedModel {
     ///
     /// Returns [`HdcError::DimensionMismatch`] on dimension disagreement.
     pub fn scores(&self, query: &DenseHv) -> Result<Vec<f64>> {
+        let _span = obs::span("score");
+        obs::counter("score.queries", 1);
         if query.dim() != self.dim {
             return Err(HdcError::DimensionMismatch {
                 expected: self.dim,
@@ -685,14 +741,36 @@ impl CompressedModel {
     /// combined vectors, and whitening directions. The `P'` keys are *not*
     /// stored — they regenerate from [`CompressionConfig::seed`], which is
     /// exactly the paper's model-size accounting.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] when a count exceeds the u32
+    /// headers of the format (or the [`MAX_SERIAL_DIM`] /
+    /// [`MAX_SERIAL_CLASSES`] caps [`CompressedModel::from_bytes`]
+    /// enforces), instead of silently truncating.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        check_regen("n_classes", self.n_classes(), self.dim)?;
         let mut out = Vec::new();
         out.extend_from_slice(b"LKC1");
         let w32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
-        w32(&mut out, self.dim as u32);
-        w32(&mut out, self.config.max_classes_per_vector as u32);
+        w32(&mut out, serial_u32("dim", self.dim, MAX_SERIAL_DIM)?);
+        w32(
+            &mut out,
+            serial_u32(
+                "max_classes_per_vector",
+                self.config.max_classes_per_vector,
+                MAX_SERIAL_CLASSES,
+            )?,
+        );
         out.push(u8::from(self.config.decorrelate));
-        w32(&mut out, self.config.decorrelate_rounds as u32);
+        w32(
+            &mut out,
+            serial_u32(
+                "decorrelate_rounds",
+                self.config.decorrelate_rounds,
+                u32::MAX as usize,
+            )?,
+        );
         match self.config.scale {
             ScaleMode::AverageNorm => {
                 out.push(0);
@@ -704,28 +782,43 @@ impl CompressedModel {
             }
         }
         out.extend_from_slice(&self.config.seed.to_le_bytes());
-        w32(&mut out, self.n_classes() as u32);
-        w32(&mut out, self.n_vectors() as u32);
+        w32(
+            &mut out,
+            serial_u32("n_classes", self.n_classes(), MAX_SERIAL_CLASSES)?,
+        );
+        w32(
+            &mut out,
+            serial_u32("n_vectors", self.n_vectors(), MAX_SERIAL_CLASSES)?,
+        );
         for combined in &self.combined {
             for &v in combined.as_slice() {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         }
-        w32(&mut out, self.directions.len() as u32);
+        w32(
+            &mut out,
+            serial_u32("n_directions", self.directions.len(), MAX_SERIAL_CLASSES)?,
+        );
         for dir in &self.directions {
             for &v in dir {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         }
-        out
+        Ok(out)
     }
 
     /// Deserializes a model written by [`CompressedModel::to_bytes`].
     ///
+    /// Length headers are validated against the remaining stream length
+    /// and the [`MAX_SERIAL_DIM`] / [`MAX_SERIAL_CLASSES`] caps before any
+    /// allocation, so corrupt or hostile headers produce an error rather
+    /// than a multi-GB allocation. Trailing bytes after the last section
+    /// are rejected.
+    ///
     /// # Errors
     ///
-    /// Returns [`HdcError::InvalidDataset`] for a malformed or truncated
-    /// byte stream.
+    /// Returns [`HdcError::InvalidDataset`] for a malformed, truncated, or
+    /// over-long byte stream.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         struct Reader<'a> {
             bytes: &'a [u8],
@@ -765,6 +858,18 @@ impl CompressedModel {
                     self.take(8)?.try_into().expect("len checked"),
                 ))
             }
+            /// Errors unless at least `count * width` bytes remain — called
+            /// before bulk preallocation so a corrupt header fails here
+            /// instead of in the allocator.
+            fn expect_remaining(&self, count: usize, width: usize, what: &str) -> Result<()> {
+                let needed = count.checked_mul(width);
+                if needed.is_none_or(|n| n > self.bytes.len() - self.pos) {
+                    return Err(HdcError::invalid_dataset(format!(
+                        "compressed-model stream too short for {what}"
+                    )));
+                }
+                Ok(())
+            }
         }
         let mut r = Reader { bytes, pos: 0 };
         if r.take(4)? != b"LKC1" {
@@ -777,6 +882,11 @@ impl CompressedModel {
             return Err(HdcError::invalid_dataset(
                 "zero-dimensional compressed model",
             ));
+        }
+        if dim > MAX_SERIAL_DIM {
+            return Err(HdcError::invalid_dataset(format!(
+                "dim {dim} exceeds the format limit of {MAX_SERIAL_DIM}"
+            )));
         }
         let max_classes_per_vector = r.u32()? as usize;
         let decorrelate = r.u8()? != 0;
@@ -804,6 +914,13 @@ impl CompressedModel {
         if k == 0 || n_groups != k.div_ceil(config.max_classes_per_vector) {
             return Err(HdcError::invalid_dataset("inconsistent class/group counts"));
         }
+        if k > MAX_SERIAL_CLASSES {
+            return Err(HdcError::invalid_dataset(format!(
+                "n_classes {k} exceeds the format limit of {MAX_SERIAL_CLASSES}"
+            )));
+        }
+        check_regen("n_classes", k, dim)?;
+        r.expect_remaining(n_groups.saturating_mul(dim), 4, "combined vectors")?;
         let mut combined = Vec::with_capacity(n_groups);
         for _ in 0..n_groups {
             let mut values = Vec::with_capacity(dim);
@@ -816,6 +933,7 @@ impl CompressedModel {
         if n_directions > k {
             return Err(HdcError::invalid_dataset("more directions than classes"));
         }
+        r.expect_remaining(n_directions.saturating_mul(dim), 8, "whitening directions")?;
         let mut directions = Vec::with_capacity(n_directions);
         for _ in 0..n_directions {
             let mut dir = Vec::with_capacity(dim);
@@ -823,6 +941,13 @@ impl CompressedModel {
                 dir.push(r.f64()?);
             }
             directions.push(dir);
+        }
+        if r.pos != bytes.len() {
+            return Err(HdcError::invalid_dataset(format!(
+                "{} trailing byte(s) after compressed model (offset {})",
+                bytes.len() - r.pos,
+                r.pos
+            )));
         }
         // Regenerate keys and grouping deterministically from the config.
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -1100,7 +1225,7 @@ mod tests {
     fn compressed_model_round_trips_through_bytes() {
         let model = correlated_model(7, 600, 40, 6, 21);
         let cm = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
-        let bytes = cm.to_bytes();
+        let bytes = cm.to_bytes().unwrap();
         let back = CompressedModel::from_bytes(&bytes).unwrap();
         assert_eq!(back.n_classes(), cm.n_classes());
         assert_eq!(back.n_vectors(), cm.n_vectors());
@@ -1119,7 +1244,7 @@ mod tests {
         assert!(CompressedModel::from_bytes(b"nope").is_err());
         let model = random_model(3, 64, 22);
         let cm = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
-        let bytes = cm.to_bytes();
+        let bytes = cm.to_bytes().unwrap();
         assert!(CompressedModel::from_bytes(&bytes[..bytes.len() - 5]).is_err());
         let mut bad = bytes.clone();
         bad[0] = b'X';

@@ -213,6 +213,8 @@ impl Encode for LookupEncoder {
     }
 
     fn encode(&self, features: &[f64]) -> Result<DenseHv> {
+        let _span = obs::span("encode");
+        obs::counter("encode.samples", 1);
         let addrs = self.addresses(features)?;
         Ok(self.aggregate(&addrs))
     }

@@ -45,6 +45,7 @@ impl CounterTrainer {
         label: usize,
     ) -> Result<()> {
         let addrs = encoder.addresses(features)?;
+        obs::counter("counter_train.samples", 1);
         self.counters.observe(label, &addrs)
     }
 
@@ -71,6 +72,7 @@ impl CounterTrainer {
         engine: &Engine,
         encoder: &LookupEncoder,
     ) -> Result<(ClassModel, EngineStats)> {
+        let _span = obs::span("materialize");
         let total: u64 = (0..self.counters.n_classes())
             .map(|c| self.counters.samples_seen(c))
             .sum();
@@ -124,6 +126,7 @@ impl CounterTrainer {
         labels: &[usize],
         n_classes: usize,
     ) -> Result<ClassModel> {
+        let _span = obs::span("counter_train");
         if features.is_empty() {
             return Err(HdcError::invalid_dataset("cannot train on zero samples"));
         }
@@ -161,6 +164,7 @@ impl CounterTrainer {
         labels: &[usize],
         n_classes: usize,
     ) -> Result<(ClassModel, EngineStats)> {
+        let _span = obs::span("counter_train");
         if features.is_empty() {
             return Err(HdcError::invalid_dataset("cannot train on zero samples"));
         }

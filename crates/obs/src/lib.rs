@@ -1,0 +1,722 @@
+//! Std-only observability layer: hierarchical spans, counters, and
+//! duration histograms behind a cheap process-global registry.
+//!
+//! The ROADMAP's serving ambitions need stage-level cost accounting — the
+//! paper's Fig. 2 breakdown (encode vs train-add vs associative search) as
+//! a *measured* artifact of every run, not a one-off experiment. This
+//! crate provides that accounting with zero external dependencies:
+//!
+//! * **Spans** — scope-guard timers ([`span`]) that nest hierarchically
+//!   per thread: a span opened while another is active on the same thread
+//!   records under `parent/child`. Each distinct path aggregates a count,
+//!   total/min/max, and a fixed power-of-two-nanosecond histogram.
+//! * **Counters** — monotonic `u64` counters ([`counter`]).
+//! * **Raw durations** — [`record`] files a duration under an explicit
+//!   path, ignoring the thread's span stack; the execution engine uses it
+//!   to fold per-shard timings into the same registry.
+//!
+//! ## Cost model
+//!
+//! The registry is **disabled by default**. Every instrumentation entry
+//! point first checks one relaxed atomic load and returns immediately when
+//! disabled, so instrumented hot paths (per-sample encode, per-query
+//! predict) cost one predictable branch. When enabled, closing a span
+//! costs a thread-local string edit plus one short mutex-protected map
+//! update (~a hundred nanoseconds) — small against the microsecond-scale
+//! stages it wraps, but not free; enable it for runs you want to measure
+//! (CLI `--metrics`, `LOOKHD_METRICS=1` benches), not in inner loops of
+//! your own.
+//!
+//! Worker threads spawned by `lookhd-engine` start with an empty span
+//! stack, so per-sample spans executed on workers record under their own
+//! root (e.g. `encode`) rather than under the dispatching span (e.g.
+//! `fit/encode_batch/encode`). Consumers should therefore match stage
+//! names by path *segment*, not by exact path (see
+//! [`Snapshot::total_for`]).
+//!
+//! ## Emitters
+//!
+//! [`Snapshot::to_json`] renders the deterministic JSON document written
+//! by the CLI's `--metrics` flag (schema documented on the method);
+//! [`Snapshot::to_pretty`] renders an aligned text table for humans.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets. Bucket `i` holds durations whose
+/// nanosecond count has bit-length `i` (i.e. `2^(i-1) ≤ ns < 2^i`;
+/// bucket 0 holds exact zeros). 40 buckets span 1 ns to ~9 minutes;
+/// longer durations clamp into the last bucket.
+pub const N_BUCKETS: usize = 40;
+
+/// Separator between nested span names in a recorded path.
+pub const PATH_SEPARATOR: char = '/';
+
+thread_local! {
+    /// The calling thread's active span path ("a/b/c" while spans a, b, c
+    /// are open). Guards push on creation and truncate back on drop.
+    static SPAN_PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Accum {
+    count: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+    buckets: [u64; N_BUCKETS],
+}
+
+impl Accum {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+
+    fn observe(&mut self, d: Duration) {
+        self.count += 1;
+        self.total += d;
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+        self.buckets[bucket_index(d)] += 1;
+    }
+}
+
+/// The histogram bucket a duration falls into (bit length of its
+/// nanosecond count, clamped to the last bucket).
+pub fn bucket_index(d: Duration) -> usize {
+    let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let bits = (u64::BITS - ns.leading_zeros()) as usize;
+    bits.min(N_BUCKETS - 1)
+}
+
+/// Inclusive nanosecond upper bound of histogram bucket `i`.
+pub fn bucket_upper_ns(i: usize) -> u64 {
+    if i >= N_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: BTreeMap<String, Accum>,
+    counters: BTreeMap<String, u64>,
+}
+
+/// A metrics registry: named span statistics plus named counters.
+///
+/// All methods are thread-safe. The process-global instance behind
+/// [`global`] is what the free-function API ([`span`], [`counter`],
+/// [`record`], [`snapshot`]) operates on.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Creates a disabled, empty registry.
+    pub const fn new() -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(Inner {
+                spans: BTreeMap::new(),
+                counters: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Whether instrumentation records into this registry.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off. Existing data is kept.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Clears all recorded spans and counters (the enabled flag is kept).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.spans.clear();
+        inner.counters.clear();
+    }
+
+    /// Records one duration observation under `path`, bypassing the
+    /// calling thread's span stack. No-op while disabled.
+    pub fn record_span(&self, path: &str, d: Duration) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        inner
+            .spans
+            .entry(path.to_owned())
+            .or_insert_with(Accum::new)
+            .observe(d);
+    }
+
+    /// Adds `delta` to the monotonic counter `name`. No-op while disabled.
+    pub fn add(&self, name: &str, delta: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// A point-in-time copy of every span and counter, sorted by path.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            spans: inner
+                .spans
+                .iter()
+                .map(|(path, a)| SpanStats {
+                    path: path.clone(),
+                    count: a.count,
+                    total: a.total,
+                    min: if a.count == 0 { Duration::ZERO } else { a.min },
+                    max: a.max,
+                    buckets: a.buckets,
+                })
+                .collect(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, &value)| (name.clone(), value))
+                .collect(),
+        }
+    }
+
+    /// Locks the interior map, recovering from a poisoned lock (a panic
+    /// while holding it can at worst lose in-flight observations).
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-global registry used by the free-function API.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Whether the global registry is recording.
+pub fn enabled() -> bool {
+    GLOBAL.enabled()
+}
+
+/// Enables or disables recording into the global registry.
+pub fn set_enabled(on: bool) {
+    GLOBAL.set_enabled(on);
+}
+
+/// Clears the global registry's recorded data.
+pub fn reset() {
+    GLOBAL.reset();
+}
+
+/// Adds `delta` to global counter `name` (one atomic load when disabled).
+pub fn counter(name: &str, delta: u64) {
+    GLOBAL.add(name, delta);
+}
+
+/// Records a duration under an explicit `path` in the global registry,
+/// independent of the calling thread's span stack.
+pub fn record(path: &str, d: Duration) {
+    GLOBAL.record_span(path, d);
+}
+
+/// A point-in-time copy of the global registry.
+pub fn snapshot() -> Snapshot {
+    GLOBAL.snapshot()
+}
+
+/// Opens a scope-guard span named `name` on the calling thread.
+///
+/// While the guard lives, further spans on the same thread nest under it
+/// (`parent/child` paths). Dropping the guard records the elapsed time.
+/// When the registry is disabled at open time the guard is inert — one
+/// relaxed atomic load is the entire cost.
+#[must_use = "a span records its duration when dropped"]
+pub fn span(name: &str) -> SpanGuard {
+    if !GLOBAL.enabled() {
+        return SpanGuard {
+            active: None,
+            _not_send: PhantomData,
+        };
+    }
+    let prev_len = SPAN_PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let prev = p.len();
+        if !p.is_empty() {
+            p.push(PATH_SEPARATOR);
+        }
+        p.push_str(name);
+        prev
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            started: Instant::now(),
+            prev_len,
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    started: Instant,
+    prev_len: usize,
+}
+
+/// Scope guard returned by [`span`]; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+    /// Guards edit a thread-local path stack, so they must be dropped on
+    /// the thread that created them.
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let elapsed = active.started.elapsed();
+        SPAN_PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            GLOBAL.record_span(&p, elapsed);
+            p.truncate(active.prev_len);
+        });
+    }
+}
+
+/// Aggregated statistics of one span path in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Hierarchical path, e.g. `fit/counter_train`.
+    pub path: String,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observed durations.
+    pub total: Duration,
+    /// Smallest observation ([`Duration::ZERO`] when `count == 0`).
+    pub min: Duration,
+    /// Largest observation.
+    pub max: Duration,
+    /// Power-of-two-nanosecond histogram (see [`bucket_index`]).
+    pub buckets: [u64; N_BUCKETS],
+}
+
+impl SpanStats {
+    /// Mean observation duration (zero when nothing was recorded).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+
+    /// The final path segment (the span's own name).
+    pub fn name(&self) -> &str {
+        self.path
+            .rsplit(PATH_SEPARATOR)
+            .next()
+            .unwrap_or(&self.path)
+    }
+}
+
+/// A point-in-time copy of a registry: spans and counters, sorted by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Span statistics, sorted by path.
+    pub spans: Vec<SpanStats>,
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Snapshot {
+    /// Sum of total durations over every span *named* `name` — i.e. whose
+    /// final path segment equals it exactly, so `encode` matches
+    /// `fit/encode_batch/encode` but neither `fit/encode_batch` nor a
+    /// nested child of an `encode` span. This is the stage-attribution
+    /// query: it folds the same logical stage recorded at different
+    /// nesting depths (serial vs worker-thread execution) into one number
+    /// without double-counting parents.
+    pub fn total_for(&self, name: &str) -> Duration {
+        self.spans
+            .iter()
+            .filter(|s| s.name() == name)
+            .map(|s| s.total)
+            .sum()
+    }
+
+    /// Value of counter `name`, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Renders the snapshot as one deterministic JSON document.
+    ///
+    /// Schema (`version` 1):
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "spans": [
+    ///     {
+    ///       "path": "fit/counter_train",
+    ///       "count": 1,
+    ///       "total_ns": 1234567,
+    ///       "min_ns": 1234567,
+    ///       "max_ns": 1234567,
+    ///       "mean_ns": 1234567,
+    ///       "buckets": [ { "le_ns": 2097151, "count": 1 } ]
+    ///     }
+    ///   ],
+    ///   "counters": [ { "name": "encode.samples", "value": 60 } ]
+    /// }
+    /// ```
+    ///
+    /// Only non-empty histogram buckets are emitted; `le_ns` is the
+    /// bucket's inclusive nanosecond upper bound. Span entries are sorted
+    /// by path, counters by name.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 160 * self.spans.len());
+        out.push_str("{\n  \"version\": 1,\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"path\": {}, \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}, \"buckets\": [",
+                json_string(&s.path),
+                s.count,
+                s.total.as_nanos(),
+                s.min.as_nanos(),
+                s.max.as_nanos(),
+                s.mean().as_nanos(),
+            );
+            let mut first = true;
+            for (b, &count) in s.buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"le_ns\": {}, \"count\": {count}}}",
+                    bucket_upper_ns(b)
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ],\n  \"counters\": [");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"value\": {value}}}",
+                json_string(name)
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders an aligned human-readable table, spans sorted by total
+    /// time descending.
+    pub fn to_pretty(&self) -> String {
+        let mut spans: Vec<&SpanStats> = self.spans.iter().collect();
+        spans.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.path.cmp(&b.path)));
+        let width = spans
+            .iter()
+            .map(|s| s.path.len())
+            .chain(self.counters.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        let mut out = String::new();
+        out.push_str("spans (by total time):\n");
+        if spans.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for s in spans {
+            let _ = writeln!(
+                out,
+                "  {:width$}  {:>8}x  total {:>10}  mean {:>10}  max {:>10}",
+                s.path,
+                s.count,
+                fmt_duration(s.total),
+                fmt_duration(s.mean()),
+                fmt_duration(s.max),
+            );
+        }
+        out.push_str("counters:\n");
+        if self.counters.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  {name:width$}  {value}");
+        }
+        out
+    }
+}
+
+/// Formats a duration compactly (ns/µs/ms/s with 1 decimal).
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Escapes and quotes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The global registry is process-wide state shared by every `#[test]`
+    /// thread, so tests that enable it must hold this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_enabled_global<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(true);
+        let out = f();
+        set_enabled(false);
+        reset();
+        out
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::new();
+        r.record_span("x", Duration::from_millis(1));
+        r.add("c", 5);
+        let snap = r.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+    }
+
+    #[test]
+    fn registry_accumulates_spans_and_counters() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.record_span("a", Duration::from_micros(10));
+        r.record_span("a", Duration::from_micros(30));
+        r.record_span("b", Duration::from_micros(5));
+        r.add("hits", 2);
+        r.add("hits", 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let a = &snap.spans[0];
+        assert_eq!(a.path, "a");
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total, Duration::from_micros(40));
+        assert_eq!(a.min, Duration::from_micros(10));
+        assert_eq!(a.max, Duration::from_micros(30));
+        assert_eq!(a.mean(), Duration::from_micros(20));
+        assert_eq!(snap.counter("hits"), 5);
+        assert_eq!(snap.counter("misses"), 0);
+        r.reset();
+        assert!(r.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_hierarchically_per_thread() {
+        with_enabled_global(|| {
+            {
+                let _outer = span("outer");
+                {
+                    let _inner = span("inner");
+                }
+                {
+                    let _inner = span("inner");
+                }
+            }
+            let _root = span("root");
+            drop(_root);
+            let snap = snapshot();
+            let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+            assert_eq!(paths, vec!["outer", "outer/inner", "root"]);
+            assert_eq!(snap.spans[1].count, 2);
+            assert_eq!(snap.spans[1].name(), "inner");
+        });
+    }
+
+    #[test]
+    fn span_is_inert_when_disabled() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        assert!(!enabled());
+        {
+            let _s = span("never");
+        }
+        assert!(snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn worker_threads_record_independent_roots() {
+        with_enabled_global(|| {
+            let _outer = span("outer");
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _inner = span("inner");
+                });
+            });
+            drop(_outer);
+            let snap = snapshot();
+            let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+            // The worker's TLS stack is empty, so its span is a root.
+            assert_eq!(paths, vec!["inner", "outer"]);
+        });
+    }
+
+    #[test]
+    fn total_for_matches_segments_not_substrings() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.record_span("fit/encode_batch", Duration::from_micros(7));
+        r.record_span("fit/encode_batch/encode", Duration::from_micros(3));
+        r.record_span("encode", Duration::from_micros(2));
+        let snap = r.snapshot();
+        assert_eq!(snap.total_for("encode"), Duration::from_micros(5));
+        assert_eq!(snap.total_for("encode_batch"), Duration::from_micros(7));
+        assert_eq!(snap.total_for("absent"), Duration::ZERO);
+    }
+
+    #[test]
+    fn bucket_indexing_is_power_of_two() {
+        assert_eq!(bucket_index(Duration::ZERO), 0);
+        assert_eq!(bucket_index(Duration::from_nanos(1)), 1);
+        assert_eq!(bucket_index(Duration::from_nanos(2)), 2);
+        assert_eq!(bucket_index(Duration::from_nanos(3)), 2);
+        assert_eq!(bucket_index(Duration::from_nanos(1024)), 11);
+        assert_eq!(bucket_index(Duration::from_secs(3600)), N_BUCKETS - 1);
+        assert_eq!(bucket_upper_ns(2), 3);
+        assert_eq!(bucket_upper_ns(N_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn json_output_is_well_formed_and_complete() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.record_span("fit/encode", Duration::from_micros(12));
+        r.record_span("fit/encode", Duration::from_millis(1));
+        r.add("samples", 60);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"path\": \"fit/encode\""));
+        assert!(json.contains("\"count\": 2"));
+        assert!(json.contains("\"name\": \"samples\""));
+        assert!(json.contains("\"value\": 60"));
+        assert!(json.contains("\"le_ns\""));
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_output_sorts_by_total_time() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.record_span("small", Duration::from_micros(1));
+        r.record_span("big", Duration::from_millis(5));
+        r.add("n", 3);
+        let text = r.snapshot().to_pretty();
+        let big = text.find("big").expect("big span listed");
+        let small = text.find("small").expect("small span listed");
+        assert!(big < small, "{text}");
+        assert!(text.contains("counters:"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = Registry::new().snapshot();
+        assert!(snap.to_pretty().contains("(none)"));
+        assert!(snap.to_json().contains("\"version\": 1"));
+    }
+
+    #[test]
+    fn durations_format_human_readably() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.0us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -55,7 +55,7 @@ fn main() -> Result<(), HdcError> {
     );
 
     // Persist for deployment and verify the round trip.
-    let bytes = clf.to_bytes();
+    let bytes = clf.to_bytes()?;
     let restored = LookHdClassifier::from_bytes(&bytes)?;
     let probe = vec![0.21, 0.19, 0.04];
     assert_eq!(clf.predict(&probe)?, restored.predict(&probe)?);

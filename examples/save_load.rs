@@ -17,7 +17,7 @@ fn main() -> Result<(), HdcError> {
 
     // Persist: hyperparameters + quantizer + models. Level/position
     // hypervectors regenerate from the seed, keeping the artifact small.
-    let bytes = trained.to_bytes();
+    let bytes = trained.to_bytes()?;
     let path = std::env::temp_dir().join("lookhd_physical.lks");
     std::fs::write(&path, &bytes).expect("writing model file failed");
     println!(

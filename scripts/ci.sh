@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the full test suite.
+# Local CI gate: formatting, lints, the full test suite, the persistence
+# corruption sweep, and a CLI metrics smoke test.
 # Usage: scripts/ci.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -12,5 +13,37 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "== persistence corruption sweep"
+cargo test -q --test persist_corruption
+
+echo "== CLI metrics smoke test"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+python3 - "$smoke_dir/train.csv" << 'EOF'
+import sys
+rows = ["f0,f1,f2,label"]
+for i in range(90):
+    c = i % 3
+    base = [0.2, 0.5, 0.8][c]
+    j = (i % 9) * 0.005
+    rows.append(f"{base + j:.4f},{base - j:.4f},{base + 2 * j:.4f},{c}")
+open(sys.argv[1], "w").write("\n".join(rows) + "\n")
+EOF
+cargo run --release -q -p lookhd-cli -- train \
+    --data "$smoke_dir/train.csv" --out "$smoke_dir/model.lks" \
+    --dim 512 --epochs 2 --metrics "$smoke_dir/metrics.json"
+python3 - "$smoke_dir/metrics.json" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["version"] == 1, doc
+paths = [s["path"] for s in doc["spans"]]
+for stage in ("encode", "counter_train", "compress", "predict"):
+    assert any(stage in p for p in paths), f"missing stage {stage}: {paths}"
+assert any(s["total_ns"] > 0 for s in doc["spans"]), "all durations zero"
+counters = {c["name"] for c in doc["counters"]}
+assert "counter_train.samples" in counters, counters
+print(f"metrics OK: {len(paths)} spans, {len(counters)} counters")
+EOF
 
 echo "CI OK"

@@ -11,7 +11,9 @@
 //!   applications;
 //! * [`hwsim`] — analytic FPGA / ARM / GPU cost models;
 //! * [`mlp`] — the Table IV MLP comparator;
-//! * [`rtl`] — fixed-point datapath emulation and width verification.
+//! * [`rtl`] — fixed-point datapath emulation and width verification;
+//! * [`obs`] — std-only timing spans / counters behind the CLI's
+//!   `--metrics` flag.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, DESIGN.md for the
 //! system inventory and per-experiment index, and EXPERIMENTS.md for
@@ -43,6 +45,10 @@ pub use lookhd;
 
 /// The deterministic sharded execution engine behind `--threads`.
 pub use lookhd_engine as engine;
+
+/// The std-only observability layer behind `--metrics` (timing spans,
+/// counters, latency histograms).
+pub use obs;
 
 /// One-stop imports: the classifier traits, the three model families,
 /// their configs, and the execution-engine types.

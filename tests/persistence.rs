@@ -13,7 +13,7 @@ fn classifier_round_trips_through_bytes() {
     let config = LookHdConfig::new().with_dim(512).with_retrain_epochs(2);
     let clf = LookHdClassifier::fit(&config, &data.train.features, &data.train.labels)
         .expect("training failed");
-    let bytes = clf.to_bytes();
+    let bytes = clf.to_bytes().expect("serialization failed");
     let back = LookHdClassifier::from_bytes(&bytes).expect("reload failed");
     // Identical predictions on the whole test split — both compressed and
     // uncompressed paths.
@@ -44,7 +44,7 @@ fn classifier_rejects_corrupted_bytes() {
         &data.train.labels,
     )
     .expect("training failed");
-    let bytes = clf.to_bytes();
+    let bytes = clf.to_bytes().expect("serialization failed");
     assert!(LookHdClassifier::from_bytes(&bytes[..10]).is_err());
     let mut bad = bytes.clone();
     bad[1] = b'?';
@@ -63,7 +63,7 @@ fn uncompressed_and_compressed_models_round_trip_separately() {
     )
     .expect("training failed");
     // hdc::persist path for the uncompressed model.
-    let model_bytes = model_to_bytes(clf.model());
+    let model_bytes = model_to_bytes(clf.model()).expect("model serialization failed");
     let model = model_from_bytes(&model_bytes).expect("model reload failed");
     let q = clf.encode(&data.test.features[0]).expect("encode failed");
     assert_eq!(
@@ -71,7 +71,7 @@ fn uncompressed_and_compressed_models_round_trip_separately() {
         clf.model().predict(&q).expect("predict failed")
     );
     // lookhd compressed-model path.
-    let cm_bytes = clf.compressed().to_bytes();
+    let cm_bytes = clf.compressed().to_bytes().expect("serialization failed");
     let cm = CompressedModel::from_bytes(&cm_bytes).expect("compressed reload failed");
     assert_eq!(
         cm.predict(&q).expect("predict failed"),

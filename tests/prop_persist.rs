@@ -26,7 +26,7 @@ proptest! {
             })
             .collect();
         let model = ClassModel::from_classes(classes).unwrap();
-        let back = model_from_bytes(&model_to_bytes(&model)).unwrap();
+        let back = model_from_bytes(&model_to_bytes(&model).unwrap()).unwrap();
         prop_assert_eq!(back.n_classes(), model.n_classes());
         for c in 0..k {
             prop_assert_eq!(back.class(c), model.class(c));
@@ -41,7 +41,7 @@ proptest! {
             DenseHv::from_vec(vec![-1, -2, -3, -4]),
         ])
         .unwrap();
-        let bytes = model_to_bytes(&model);
+        let bytes = model_to_bytes(&model).unwrap();
         let cut = cut.min(bytes.len().saturating_sub(1));
         prop_assert!(model_from_bytes(&bytes[..cut]).is_err());
     }
@@ -68,7 +68,7 @@ proptest! {
             .with_decorrelate(decorrelate)
             .with_seed(seed);
         let cm = CompressedModel::compress(&model, &cfg).unwrap();
-        let back = CompressedModel::from_bytes(&cm.to_bytes()).unwrap();
+        let back = CompressedModel::from_bytes(&cm.to_bytes().unwrap()).unwrap();
         prop_assert_eq!(back.n_vectors(), cm.n_vectors());
         let query = model.class(0).clone();
         prop_assert_eq!(back.predict(&query).unwrap(), cm.predict(&query).unwrap());
