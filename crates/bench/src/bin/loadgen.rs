@@ -1,0 +1,227 @@
+//! `loadgen` — concurrent-connection load generator for `lookhd serve`.
+//!
+//! Drives N closed-loop client connections against a running server,
+//! measures per-request latency, and writes a percentile report under
+//! `results/` — the serving-path analogue of the paper's throughput
+//! experiments.
+//!
+//! ```text
+//! cargo run --release -p lookhd-bench --bin loadgen -- \
+//!     --addr 127.0.0.1:4100 --data queries.csv \
+//!     [--connections 4 --requests 100 --out results/serve_loadgen.txt
+//!      --shutdown]
+//! ```
+//!
+//! Feature vectors come from `--data` (label-free CSV rows, reused
+//! round-robin). `--shutdown` sends a graceful-shutdown frame after the
+//! burst, which is how `scripts/ci.sh` stops its smoke-test server.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lookhd_serve::wire::Response;
+use lookhd_serve::Client;
+
+/// Latency samples and failure tallies from one connection.
+#[derive(Default)]
+struct ConnReport {
+    latencies_ns: Vec<u64>,
+    errors: usize,
+    mismatches: usize,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)]
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("loadgen: {message}");
+    std::process::exit(1);
+}
+
+/// Minimal `--flag value` / `--switch` parser (the bench crate stays
+/// dependency-free; mirrors the CLI's conventions).
+struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse() -> Self {
+        let tokens: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let Some(name) = tokens[i].strip_prefix("--") else {
+                fail(&format!("unexpected positional argument `{}`", tokens[i]));
+            };
+            match tokens.get(i + 1) {
+                Some(value) if !value.starts_with("--") => {
+                    pairs.push((name.to_owned(), value.clone()));
+                    i += 2;
+                }
+                _ => {
+                    switches.push(name.to_owned());
+                    i += 1;
+                }
+            }
+        }
+        Self { pairs, switches }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("bad value for --{name}: `{raw}`"))),
+        }
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn main() {
+    let flags = Flags::parse();
+    let addr = flags
+        .get("addr")
+        .unwrap_or_else(|| fail("--addr HOST:PORT is required"))
+        .to_owned();
+    let connections = flags.get_or("connections", 4usize).max(1);
+    let requests = flags.get_or("requests", 100usize).max(1);
+    let out_path = flags
+        .get("out")
+        .unwrap_or("results/serve_loadgen.txt")
+        .to_owned();
+
+    // Query rows: CSV if given, else a deterministic synthetic ramp.
+    let rows: Vec<Vec<f64>> = match flags.get("data") {
+        Some(path) => lookhd_datasets::csv::load_features(path)
+            .unwrap_or_else(|e| fail(&format!("{path}: {e}"))),
+        None => {
+            let dim = flags.get_or("features", 4usize).max(1);
+            (0..64)
+                .map(|i| (0..dim).map(|j| ((i + j) % 10) as f64 / 10.0).collect())
+                .collect()
+        }
+    };
+    if rows.is_empty() {
+        fail("no query rows");
+    }
+    let rows = Arc::new(rows);
+
+    let started = Instant::now();
+    let reports: Vec<ConnReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn_idx| {
+                let addr = addr.clone();
+                let rows = Arc::clone(&rows);
+                scope.spawn(move || {
+                    let mut report = ConnReport::default();
+                    let mut client = Client::connect(&addr)
+                        .unwrap_or_else(|e| fail(&format!("connecting {addr}: {e}")));
+                    let _ = client.set_read_timeout(Some(Duration::from_secs(30)));
+                    for i in 0..requests {
+                        let id = (conn_idx * requests + i) as u64;
+                        let row = &rows[(conn_idx + i) % rows.len()];
+                        let sent = Instant::now();
+                        match client.predict(id, row) {
+                            Ok(Response::Predict { id: got, .. }) => {
+                                report.latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                                if got != id {
+                                    report.mismatches += 1;
+                                }
+                            }
+                            Ok(_) => report.errors += 1,
+                            Err(e) => {
+                                eprintln!("loadgen: request {id}: {e}");
+                                report.errors += 1;
+                            }
+                        }
+                    }
+                    report
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen connection thread panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    if flags.switch("shutdown") {
+        let mut client = Client::connect(&addr)
+            .unwrap_or_else(|e| fail(&format!("connecting {addr} for shutdown: {e}")));
+        match client.shutdown_server(u64::MAX) {
+            Ok(Response::Pong { .. }) => {}
+            other => eprintln!("loadgen: unexpected shutdown acknowledgement: {other:?}"),
+        }
+    }
+
+    let mut latencies: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let errors: usize = reports.iter().map(|r| r.errors).sum();
+    let mismatches: usize = reports.iter().map(|r| r.mismatches).sum();
+    let ok = latencies.len();
+    let total = connections * requests;
+    let throughput = ok as f64 / wall.as_secs_f64().max(1e-9);
+    let mean_ns = if ok == 0 {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / ok as u64
+    };
+
+    let mut report = String::new();
+    report.push_str("# loadgen — lookhd-serve latency under concurrent load\n");
+    report.push_str(&format!(
+        "addr {addr}; {connections} connection(s) x {requests} request(s), closed loop\n"
+    ));
+    report.push_str(&format!(
+        "ok {ok}/{total}, errors {errors}, id mismatches {mismatches}, wall {:.1} ms, \
+         throughput {throughput:.0} req/s\n",
+        wall.as_secs_f64() * 1e3
+    ));
+    report.push_str(&format!(
+        "latency ms: mean {:.3}  p50 {:.3}  p90 {:.3}  p99 {:.3}  max {:.3}\n",
+        ms(mean_ns),
+        ms(percentile(&latencies, 0.50)),
+        ms(percentile(&latencies, 0.90)),
+        ms(percentile(&latencies, 0.99)),
+        ms(latencies.last().copied().unwrap_or(0)),
+    ));
+    print!("{report}");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(report.as_bytes())) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => fail(&format!("writing {out_path}: {e}")),
+    }
+    if mismatches > 0 {
+        fail("response ids did not match requests");
+    }
+}

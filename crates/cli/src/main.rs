@@ -9,6 +9,8 @@
 //! lookhd info     --model model.lks
 //! lookhd inspect  --data data.csv
 //! lookhd estimate --model model.lks [--samples 1000]
+//! lookhd serve    --model model.lks [--addr 127.0.0.1:4100 --threads 1
+//!                 --max-batch 16 --queue-cap 1024 --timeout-ms 1000]
 //! ```
 //!
 //! CSV rows are `feature,…,feature,label` (labels in the final column;
@@ -68,6 +70,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         Some("info") => info(&args),
         Some("inspect") => inspect(&args),
         Some("estimate") => estimate(&args),
+        Some("serve") => serve(&args),
         Some(other) => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
         None => {
             out(USAGE);
@@ -95,9 +98,11 @@ const USAGE: &str = "usage:
   lookhd info     --model model.lks
   lookhd inspect  --data data.csv
   lookhd estimate --model model.lks [--samples N]
+  lookhd serve    --model model.lks [--addr HOST:PORT --threads N
+                  --max-batch N --queue-cap N --timeout-ms N]
 
 --threads shards work across OS threads (0 = all cores) without changing
-any result bit.
+any result bit; under `serve` it sets the batch-worker count instead.
 --metrics out.json (any subcommand) records per-stage timing spans and
 counters and writes one JSON document when the command finishes.";
 
@@ -272,6 +277,48 @@ fn inspect(args: &Args) -> Result<(), String> {
             " --linear"
         }
     ));
+    Ok(())
+}
+
+/// Serves a persisted model (`LKS1`, `HDC1`, or `LKC1`) over TCP until a
+/// shutdown frame arrives (e.g. `loadgen --shutdown`).
+fn serve(args: &Args) -> Result<(), String> {
+    let model_path = args.require("model").map_err(|e| e.to_string())?;
+    let model = lookhd_serve::load_classifier(std::path::Path::new(model_path))
+        .map_err(|e| format!("loading {model_path}: {e}"))?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:4100");
+    let workers = args.get_or("threads", 1usize).map_err(|e| e.to_string())?;
+    let max_batch = args
+        .get_or("max-batch", 16usize)
+        .map_err(|e| e.to_string())?;
+    let queue_cap = args
+        .get_or("queue-cap", 1024usize)
+        .map_err(|e| e.to_string())?;
+    let timeout_ms = args
+        .get_or("timeout-ms", 1000u64)
+        .map_err(|e| e.to_string())?;
+    let config = lookhd_serve::ServeConfig::new()
+        .with_workers(workers)
+        .with_max_batch(max_batch)
+        .with_queue_cap(queue_cap)
+        .with_timeout(std::time::Duration::from_millis(timeout_ms));
+    let n_classes = model.num_classes();
+    let handle =
+        lookhd_serve::start(addr, model, config).map_err(|e| format!("binding {addr}: {e}"))?;
+    let workers_label = if workers == 0 {
+        "auto".to_owned()
+    } else {
+        workers.to_string()
+    };
+    out(format!(
+        "serving on {} ({} classes; workers {workers_label}, max batch {max_batch}, \
+         queue cap {queue_cap}, timeout {timeout_ms} ms)",
+        handle.addr(),
+        n_classes,
+    ));
+    out("send a shutdown frame (e.g. loadgen --shutdown) to stop");
+    handle.join();
+    out("server drained and stopped");
     Ok(())
 }
 

@@ -1,0 +1,100 @@
+//! A minimal blocking client for the `lookhd-serve` wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection. Requests may be pipelined
+//! ([`Client::send`] many, then [`Client::recv`] many); responses carry
+//! the request id, so out-of-order completion under server-side batching
+//! is unambiguous. The convenience calls ([`Client::predict`],
+//! [`Client::ping`]) are strict request/response round trips.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{self, Request, Response, WireResult};
+
+/// A blocking connection to a `lookhd-serve` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Bounds how long [`Client::recv`] blocks (`None` = forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option errors.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request frame without waiting for the response
+    /// (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        wire::write_request(&mut self.stream, request)
+    }
+
+    /// Reads the next response frame, in server completion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`wire::WireError`] for transport failures or a
+    /// malformed response.
+    pub fn recv(&mut self) -> WireResult<Response> {
+        wire::read_response(&mut self.stream)
+    }
+
+    /// Round-trips one predict request.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::send`] and [`Client::recv`].
+    pub fn predict(&mut self, id: u64, features: &[f64]) -> WireResult<Response> {
+        self.send(&Request::Predict {
+            id,
+            features: features.to_vec(),
+        })?;
+        self.recv()
+    }
+
+    /// Round-trips one ping.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::send`] and [`Client::recv`].
+    pub fn ping(&mut self, id: u64) -> WireResult<Response> {
+        self.send(&Request::Ping { id })?;
+        self.recv()
+    }
+
+    /// Asks the server to shut down gracefully and waits for the
+    /// acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::send`] and [`Client::recv`].
+    pub fn shutdown_server(&mut self, id: u64) -> WireResult<Response> {
+        self.send(&Request::Shutdown { id })?;
+        self.recv()
+    }
+
+    /// The underlying stream (for tests that need raw byte access).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,53 @@
+//! # lookhd-serve — a batched TCP inference service for trained models
+//!
+//! The paper's deployment story is real-time classification on low-power
+//! nodes; this crate is the serving half of that story: a std-only,
+//! threaded TCP server that loads any persisted model (`LKS1`, `HDC1`,
+//! `LKC1`) behind the object-safe [`hdc::Classifier`] trait and answers
+//! length-prefixed binary predict requests, coalescing concurrent
+//! requests into micro-batches.
+//!
+//! * [`wire`] — the hardened frame/message codec (magic + version +
+//!   request id + payload; every length capped before allocation);
+//! * [`server`] — accept loop, per-connection readers, the bounded
+//!   request queue with backpressure and deadlines, batch workers, and
+//!   graceful shutdown;
+//! * [`client`] — a small blocking client (used by the CLI tests and the
+//!   `loadgen` benchmark driver);
+//! * [`model`] — format sniffing and [`Classifier`] adapters for the
+//!   encoder-less formats.
+//!
+//! The correctness contract, pinned by `tests/serve_differential.rs`:
+//! responses are **bit-identical** to direct single-threaded
+//! [`Classifier::predict`] calls on the same model, whatever the worker
+//! count, batch size, or request interleaving.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use lookhd_serve::{client::Client, server, ServeConfig};
+//! use hdc::{FitClassifier, Classifier};
+//! use lookhd::{LookHdClassifier, LookHdConfig};
+//!
+//! let xs = vec![vec![0.1; 4], vec![0.9; 4]];
+//! let ys = vec![0, 1];
+//! let clf = LookHdClassifier::fit(&LookHdConfig::new().with_dim(128), &xs, &ys)?;
+//! let handle = server::start("127.0.0.1:0", Arc::new(clf), ServeConfig::new())?;
+//! let mut client = Client::connect(handle.addr())?;
+//! let response = client.predict(1, &[0.9; 4]);
+//! handle.shutdown();
+//! handle.join();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod model;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use model::{classifier_from_bytes, load_classifier, SharedClassifier};
+pub use server::{start, ServeConfig, ServerHandle};
+pub use wire::{ErrorCode, Request, Response, WireError};

@@ -1,0 +1,611 @@
+//! The threaded, micro-batching TCP inference server.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  accept thread ──▶ one reader thread per connection
+//!                         │  decode frame, answer pings inline
+//!                         ▼
+//!                 bounded request queue (Mutex<VecDeque> + Condvar)
+//!                         │  full → immediate Overloaded rejection
+//!                         ▼
+//!            N batch workers: pop ≤ max_batch requests per wakeup,
+//!            drop deadline-expired ones with DeadlineExceeded, run
+//!            Classifier::predict_batch on the rest, write responses
+//!            back through each connection's shared write half
+//! ```
+//!
+//! Batching is opportunistic: a worker takes whatever has accumulated in
+//! the queue (up to [`ServeConfig::max_batch`]) in one lock acquisition,
+//! so under light load requests run solo with no added latency, and under
+//! concurrent load batches form naturally while workers are busy.
+//!
+//! ## Correctness contract
+//!
+//! Responses are **bit-identical** to direct single-threaded
+//! [`Classifier::predict`] calls on the same model, regardless of worker
+//! count, batch size, or request interleaving: the classifier trait
+//! guarantees `predict_batch` equals a serial `predict` map, and the
+//! server never reorders a request's features or mutates the model
+//! (`tests/serve_differential.rs` pins this across the wire).
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or a [`Request::Shutdown`] frame) stops
+//! the accept loop, half-closes every connection's read side so readers
+//! drain out, lets workers finish everything already queued, and then
+//! joins all threads ([`ServerHandle::join`]).
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::model::SharedClassifier;
+use crate::wire::{self, ErrorCode, Request, Response, WireError};
+
+/// Tuning knobs of a server instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Batch worker thread count (`0` = the host's available
+    /// parallelism). Each worker runs whole batches, so this is the
+    /// server's inference parallelism.
+    pub workers: usize,
+    /// Most requests a worker coalesces into one
+    /// [`hdc::Classifier::predict_batch`] call.
+    pub max_batch: usize,
+    /// Bound on the request queue; a full queue rejects new requests
+    /// with [`ErrorCode::Overloaded`] instead of growing without limit.
+    pub queue_cap: usize,
+    /// Per-request deadline, measured from enqueue to worker pickup. A
+    /// request that waits longer is dropped with
+    /// [`ErrorCode::DeadlineExceeded`] without running inference.
+    pub timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            max_batch: 16,
+            queue_cap: 1024,
+            timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration (1 worker, batches of ≤ 16, queue of
+    /// 1024, 1 s deadline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count (`0` = auto-detect).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the maximum batch size (clamped up to 1).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the queue bound (clamped up to 1).
+    pub fn with_queue_cap(mut self, queue_cap: usize) -> Self {
+        self.queue_cap = queue_cap.max(1);
+        self
+    }
+
+    /// Sets the per-request deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The worker count a server will actually spawn.
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// The write half of one client connection, shared between its reader
+/// thread and every batch worker.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    /// Writes one response frame; transport errors are swallowed (a
+    /// vanished client is not the server's problem).
+    fn send(&self, response: &Response) {
+        if let Ok(mut stream) = self.stream.lock() {
+            let _ = wire::write_response(&mut *stream, response);
+        }
+    }
+
+    fn shutdown_read(&self) {
+        if let Ok(stream) = self.stream.lock() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// One queued predict request.
+struct Pending {
+    id: u64,
+    features: Vec<f64>,
+    enqueued: Instant,
+    conn: Arc<ConnWriter>,
+}
+
+/// State shared by the accept loop, readers, and workers.
+struct Inner {
+    model: SharedClassifier,
+    config: ServeConfig,
+    local_addr: SocketAddr,
+    queue: Mutex<VecDeque<Pending>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    conns: Mutex<Vec<Arc<ConnWriter>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    /// Idempotent shutdown trigger: stops the accept loop, half-closes
+    /// every connection's read side, and wakes all workers so they can
+    /// drain the queue and exit.
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop (it re-checks the flag per connection).
+        let _ = TcpStream::connect(self.local_addr);
+        let conns = self.conns.lock().expect("conns lock poisoned");
+        for conn in conns.iter() {
+            conn.shutdown_read();
+        }
+        drop(conns);
+        self.work_ready.notify_all();
+    }
+
+    /// Enqueues one predict request, or answers immediately with a
+    /// backpressure/shutdown rejection. The shutdown check happens under
+    /// the queue lock so no request can slip in after the workers'
+    /// drain-and-exit decision.
+    fn enqueue(&self, conn: &Arc<ConnWriter>, id: u64, features: Vec<f64>) {
+        let depth = {
+            let mut queue = self.queue.lock().expect("queue lock poisoned");
+            if self.shutdown.load(Ordering::SeqCst) {
+                drop(queue);
+                conn.send(&Response::Error {
+                    id,
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is shutting down".into(),
+                });
+                obs::counter("serve.responses.error", 1);
+                return;
+            }
+            if queue.len() >= self.config.queue_cap {
+                drop(queue);
+                obs::counter("serve.overload_rejections", 1);
+                obs::counter("serve.responses.error", 1);
+                conn.send(&Response::Error {
+                    id,
+                    code: ErrorCode::Overloaded,
+                    message: format!("request queue full ({} pending)", self.config.queue_cap),
+                });
+                return;
+            }
+            queue.push_back(Pending {
+                id,
+                features,
+                enqueued: Instant::now(),
+                conn: Arc::clone(conn),
+            });
+            queue.len()
+        };
+        obs::counter("serve.requests", 1);
+        if obs::enabled() {
+            // Dimensionless histogram: depth n recorded as n ns (see
+            // DESIGN.md §9).
+            obs::record("serve/queue_depth", Duration::from_nanos(depth as u64));
+        }
+        self.work_ready.notify_one();
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] and [`ServerHandle::join`].
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Triggers a graceful shutdown: no new connections or requests are
+    /// accepted, queued requests are still answered. Idempotent; does
+    /// not block — call [`ServerHandle::join`] to wait.
+    pub fn shutdown(&self) {
+        self.inner.trigger_shutdown();
+    }
+
+    /// Whether a shutdown has been triggered (locally or by a
+    /// [`Request::Shutdown`] frame).
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server has shut down (via [`ServerHandle::shutdown`]
+    /// or a remote shutdown frame) and every thread has exited: the
+    /// accept loop first, then all connection readers, then the batch
+    /// workers after they drain the queue.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // The accept loop has exited, so no new readers can appear.
+        let readers = std::mem::take(&mut *self.inner.readers.lock().expect("readers lock"));
+        for reader in readers {
+            let _ = reader.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts serving `model`. Returns once the listener is
+/// live; use the handle to discover the bound port (`addr` may be
+/// `127.0.0.1:0`), trigger shutdown, and join.
+///
+/// # Errors
+///
+/// Returns the bind error; everything after the bind is reported
+/// per-connection over the wire.
+pub fn start<A: ToSocketAddrs>(
+    addr: A,
+    model: SharedClassifier,
+    config: ServeConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let inner = Arc::new(Inner {
+        model,
+        config,
+        local_addr,
+        queue: Mutex::new(VecDeque::new()),
+        work_ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+        readers: Mutex::new(Vec::new()),
+    });
+
+    let workers = (0..config.effective_workers())
+        .map(|_| {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || worker_loop(&inner))
+        })
+        .collect();
+
+    let accept = {
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || accept_loop(&listener, &inner))
+    };
+
+    Ok(ServerHandle {
+        inner,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Responses are small frames written one at a time; without
+        // nodelay, Nagle holds each behind the previous frame's ACK.
+        let _ = stream.set_nodelay(true);
+        obs::counter("serve.connections", 1);
+        let conn = match stream.try_clone() {
+            Ok(write_half) => Arc::new(ConnWriter {
+                stream: Mutex::new(write_half),
+            }),
+            Err(_) => continue,
+        };
+        inner
+            .conns
+            .lock()
+            .expect("conns lock poisoned")
+            .push(Arc::clone(&conn));
+        let reader = {
+            let inner = Arc::clone(inner);
+            std::thread::spawn(move || {
+                reader_loop(&inner, stream, &conn);
+                // Forget the write half so a long-lived server does not
+                // accumulate dead connections.
+                let mut conns = inner.conns.lock().expect("conns lock poisoned");
+                conns.retain(|c| !Arc::ptr_eq(c, &conn));
+            })
+        };
+        inner
+            .readers
+            .lock()
+            .expect("readers lock poisoned")
+            .push(reader);
+    }
+}
+
+/// Reads frames off one connection until EOF, transport error, or an
+/// unrecoverable framing error.
+fn reader_loop(inner: &Arc<Inner>, mut stream: TcpStream, conn: &Arc<ConnWriter>) {
+    loop {
+        match wire::read_request(&mut stream) {
+            Err(WireError::Io(_)) => break,
+            Err(e @ (WireError::TooLarge { .. } | WireError::Truncated { .. })) => {
+                // The byte stream is no longer frame-aligned (an
+                // over-cap length prefix or a mid-frame EOF): answer
+                // with a protocol error and drop the connection.
+                obs::counter("serve.bad_frames", 1);
+                conn.send(&Response::Error {
+                    id: 0,
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                });
+                break;
+            }
+            Err(e) => {
+                // The frame arrived intact but its body was malformed;
+                // framing is still aligned, so keep the connection.
+                obs::counter("serve.bad_frames", 1);
+                conn.send(&Response::Error {
+                    id: 0,
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                });
+            }
+            Ok(Request::Ping { id }) => conn.send(&Response::Pong { id }),
+            Ok(Request::Shutdown { id }) => {
+                conn.send(&Response::Pong { id });
+                inner.trigger_shutdown();
+                break;
+            }
+            Ok(Request::Predict { id, features }) => inner.enqueue(conn, id, features),
+        }
+    }
+}
+
+/// Pops batches off the queue until shutdown *and* the queue is drained.
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let batch: Vec<Pending> = {
+            let mut queue = inner.queue.lock().expect("queue lock poisoned");
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner.work_ready.wait(queue).expect("queue lock poisoned");
+            }
+            let take = queue.len().min(inner.config.max_batch);
+            queue.drain(..take).collect()
+        };
+        process_batch(inner, batch);
+    }
+}
+
+fn process_batch(inner: &Arc<Inner>, batch: Vec<Pending>) {
+    // Expire requests that waited past their deadline before spending any
+    // inference time on them; expiry frees their queue slots for free.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for pending in batch {
+        if now.duration_since(pending.enqueued) > inner.config.timeout {
+            obs::counter("serve.deadline_misses", 1);
+            obs::counter("serve.responses.error", 1);
+            pending.conn.send(&Response::Error {
+                id: pending.id,
+                code: ErrorCode::DeadlineExceeded,
+                message: format!(
+                    "request waited past the {} ms deadline",
+                    inner.config.timeout.as_millis()
+                ),
+            });
+            continue;
+        }
+        live.push(pending);
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    obs::counter("serve.batches", 1);
+    if obs::enabled() {
+        // Dimensionless histogram: batch of n recorded as n ns.
+        obs::record("serve/batch_size", Duration::from_nanos(live.len() as u64));
+    }
+
+    let features: Vec<Vec<f64>> = live
+        .iter_mut()
+        .map(|p| std::mem::take(&mut p.features))
+        .collect();
+    let started = Instant::now();
+    match inner.model.predict_batch(&features) {
+        Ok(predictions) => {
+            if obs::enabled() {
+                obs::record("serve/batch", started.elapsed());
+            }
+            for (pending, class) in live.iter().zip(predictions) {
+                respond_ok(pending, class);
+            }
+        }
+        // The batch call propagates its *first* error, which would
+        // poison every request sharing the batch; fall back to
+        // per-request predictions so one bad feature vector only fails
+        // its own request.
+        Err(_) => {
+            for (pending, feats) in live.iter().zip(&features) {
+                match inner.model.predict(feats) {
+                    Ok(class) => respond_ok(pending, class),
+                    Err(e) => {
+                        obs::counter("serve.responses.error", 1);
+                        pending.conn.send(&Response::Error {
+                            id: pending.id,
+                            code: ErrorCode::BadRequest,
+                            message: e.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn respond_ok(pending: &Pending, class: usize) {
+    obs::counter("serve.responses.ok", 1);
+    if obs::enabled() {
+        obs::record("serve/request", pending.enqueued.elapsed());
+    }
+    pending.conn.send(&Response::Predict {
+        id: pending.id,
+        class: u32::try_from(class).unwrap_or(u32::MAX),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use hdc::{HdcError, Result};
+
+    /// Classifies by sign of the first feature; errors on empty input.
+    struct SignStub;
+
+    impl hdc::Classifier for SignStub {
+        fn num_classes(&self) -> usize {
+            2
+        }
+
+        fn predict(&self, features: &[f64]) -> Result<usize> {
+            match features.first() {
+                Some(&v) => Ok(usize::from(v >= 0.0)),
+                None => Err(HdcError::invalid_dataset("empty feature vector")),
+            }
+        }
+    }
+
+    fn start_stub(config: ServeConfig) -> ServerHandle {
+        start("127.0.0.1:0", Arc::new(SignStub), config).expect("bind failed")
+    }
+
+    #[test]
+    fn serves_predictions_and_pings() {
+        let handle = start_stub(ServeConfig::new());
+        let mut client = Client::connect(handle.addr()).unwrap();
+        assert_eq!(
+            client.predict(1, &[2.5]).unwrap(),
+            Response::Predict { id: 1, class: 1 }
+        );
+        assert_eq!(
+            client.predict(2, &[-2.5]).unwrap(),
+            Response::Predict { id: 2, class: 0 }
+        );
+        assert_eq!(client.ping(3).unwrap(), Response::Pong { id: 3 });
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn bad_feature_vectors_fail_alone_in_a_batch() {
+        let handle = start_stub(ServeConfig::new().with_max_batch(8));
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // Pipeline a good, an empty (model-rejected), and another good
+        // request so they can share a batch.
+        client
+            .send(&Request::Predict {
+                id: 1,
+                features: vec![1.0],
+            })
+            .unwrap();
+        client
+            .send(&Request::Predict {
+                id: 2,
+                features: vec![],
+            })
+            .unwrap();
+        client
+            .send(&Request::Predict {
+                id: 3,
+                features: vec![-1.0],
+            })
+            .unwrap();
+        let mut ok = 0;
+        let mut errors = 0;
+        for _ in 0..3 {
+            match client.recv().unwrap() {
+                Response::Predict { id, class } => {
+                    ok += 1;
+                    assert_eq!(class, usize::from(id == 1) as u32);
+                }
+                Response::Error { id, code, .. } => {
+                    errors += 1;
+                    assert_eq!(id, 2);
+                    assert_eq!(code, ErrorCode::BadRequest);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!((ok, errors), (2, 1));
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn remote_shutdown_frame_stops_the_server() {
+        let handle = start_stub(ServeConfig::new());
+        let addr = handle.addr();
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.shutdown_server(9).unwrap(), Response::Pong { id: 9 });
+        handle.join();
+        // The listener is gone: new connections are refused (allow a
+        // moment for the OS to tear the socket down).
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(Client::connect(addr).is_err());
+    }
+
+    #[test]
+    fn config_builder_clamps_and_chains() {
+        let c = ServeConfig::new()
+            .with_workers(4)
+            .with_max_batch(0)
+            .with_queue_cap(0)
+            .with_timeout(Duration::from_millis(5));
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.max_batch, 1);
+        assert_eq!(c.queue_cap, 1);
+        assert_eq!(c.timeout, Duration::from_millis(5));
+        assert!(ServeConfig::new().with_workers(0).effective_workers() >= 1);
+    }
+}

@@ -1,0 +1,786 @@
+//! The `lookhd-serve` binary wire protocol.
+//!
+//! Every message on the wire is one *frame*: a little-endian `u32` body
+//! length followed by that many body bytes. Frame bodies begin with a
+//! 4-byte magic ([`REQUEST_MAGIC`] / [`RESPONSE_MAGIC`]) and a version
+//! byte, mirroring the hardening conventions of the `HDC1`/`LKS1`/`LKC1`
+//! persistence formats: length headers are untrusted until proven
+//! otherwise.
+//!
+//! ## Request body (`LHQ1`)
+//!
+//! | field      | size | notes                                    |
+//! |------------|------|------------------------------------------|
+//! | magic      | 4    | `LHQ1`                                   |
+//! | version    | 1    | [`WIRE_VERSION`]                         |
+//! | kind       | 1    | 1 = predict, 2 = ping, 3 = shutdown      |
+//! | request id | 8    | echoed verbatim in the response          |
+//! | n_features | 4    | predict only; capped at [`MAX_FEATURES`] |
+//! | features   | 8·n  | predict only; `f64` little-endian        |
+//!
+//! ## Response body (`LHR1`)
+//!
+//! | field      | size | notes                                        |
+//! |------------|------|----------------------------------------------|
+//! | magic      | 4    | `LHR1`                                       |
+//! | version    | 1    | [`WIRE_VERSION`]                             |
+//! | request id | 8    | copied from the request                      |
+//! | status     | 1    | 0 = predict ok, 1 = pong, 2 = error          |
+//! | class      | 4    | predict ok only                              |
+//! | error code | 1    | error only ([`ErrorCode`])                   |
+//! | msg len    | 2    | error only; capped at [`MAX_ERROR_MESSAGE`]  |
+//! | msg        | len  | error only; UTF-8                            |
+//!
+//! ## Hardening
+//!
+//! * A frame length above [`MAX_FRAME_LEN`] is rejected **before** any
+//!   allocation; in-cap lengths are read through [`std::io::Read::take`],
+//!   so a lying header hits EOF while buffers are still small.
+//! * `n_features` is checked against both [`MAX_FEATURES`] and the bytes
+//!   actually present in the body before the feature vector is allocated.
+//! * Trailing bytes after a complete message are rejected with the
+//!   offending offset; decoders never panic on arbitrary input (see
+//!   `tests/prop_serve_wire.rs` and `tests/serve_corruption.rs`).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Request-body magic bytes.
+pub const REQUEST_MAGIC: &[u8; 4] = b"LHQ1";
+
+/// Response-body magic bytes.
+pub const RESPONSE_MAGIC: &[u8; 4] = b"LHR1";
+
+/// Protocol version both sides must agree on.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Largest feature count a predict request may carry (2^16). Far above
+/// any real model arity, small enough that a corrupt count cannot demand
+/// a multi-GB allocation.
+pub const MAX_FEATURES: usize = 1 << 16;
+
+/// Longest error message a response may carry.
+pub const MAX_ERROR_MESSAGE: usize = 1 << 10;
+
+/// Largest frame body either side accepts: a maximal predict request
+/// (header + `MAX_FEATURES` doubles) with headroom. Checked against the
+/// length prefix before any allocation happens.
+pub const MAX_FRAME_LEN: usize = 64 + 8 * MAX_FEATURES;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Classify one feature vector.
+    Predict {
+        /// Caller-chosen id echoed in the response (responses may arrive
+        /// out of order under pipelining).
+        id: u64,
+        /// Raw feature values, in model arity.
+        features: Vec<f64>,
+    },
+    /// Liveness probe answered directly by the connection reader,
+    /// bypassing the batch queue.
+    Ping {
+        /// Caller-chosen id echoed in the pong.
+        id: u64,
+    },
+    /// Ask the server to shut down gracefully (drain the queue, join all
+    /// workers). Acknowledged with a pong before the drain begins.
+    Shutdown {
+        /// Caller-chosen id echoed in the acknowledgement.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The caller-chosen request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Self::Predict { id, .. } | Self::Ping { id } | Self::Shutdown { id } => *id,
+        }
+    }
+}
+
+/// Why a request failed, as carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request was malformed or the model rejected its features
+    /// (wrong arity, non-finite values, …).
+    BadRequest = 1,
+    /// The request sat in the queue past its deadline and was dropped
+    /// without running inference.
+    DeadlineExceeded = 2,
+    /// The bounded request queue was full; the client should back off and
+    /// retry.
+    Overloaded = 3,
+    /// The server failed internally while processing the request.
+    Internal = 4,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown = 5,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(Self::BadRequest),
+            2 => Some(Self::DeadlineExceeded),
+            3 => Some(Self::Overloaded),
+            4 => Some(Self::Internal),
+            5 => Some(Self::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::BadRequest => "bad request",
+            Self::DeadlineExceeded => "deadline exceeded",
+            Self::Overloaded => "overloaded",
+            Self::Internal => "internal error",
+            Self::ShuttingDown => "shutting down",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Successful classification.
+    Predict {
+        /// The id of the request this answers.
+        id: u64,
+        /// The predicted class label.
+        class: u32,
+    },
+    /// Answer to a ping or shutdown request.
+    Pong {
+        /// The id of the request this answers.
+        id: u64,
+    },
+    /// The request failed; `code` says why.
+    Error {
+        /// The id of the request this answers (0 when the request never
+        /// parsed far enough to carry one).
+        id: u64,
+        /// Machine-readable failure category.
+        code: ErrorCode,
+        /// Human-readable detail (capped at [`MAX_ERROR_MESSAGE`]).
+        message: String,
+    },
+}
+
+impl Response {
+    /// The id of the request this response answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            Self::Predict { id, .. } | Self::Pong { id } | Self::Error { id, .. } => *id,
+        }
+    }
+}
+
+/// Decoding/transport failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// The message ended before a required field.
+    Truncated {
+        /// Offset at which more bytes were needed.
+        offset: usize,
+        /// The field being read.
+        field: &'static str,
+    },
+    /// The body did not start with the expected magic.
+    BadMagic,
+    /// The version byte differs from [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// An unknown request kind / response status / error code byte.
+    BadTag {
+        /// The field holding the tag.
+        field: &'static str,
+        /// The unrecognised value.
+        value: u8,
+    },
+    /// A length field exceeded its cap.
+    TooLarge {
+        /// The field holding the length.
+        field: &'static str,
+        /// The claimed value.
+        value: usize,
+        /// The cap it violated.
+        cap: usize,
+    },
+    /// Bytes remained after a complete message.
+    Trailing {
+        /// Offset of the first trailing byte.
+        offset: usize,
+        /// How many bytes were left over.
+        count: usize,
+    },
+    /// An error message was not valid UTF-8.
+    BadUtf8,
+    /// An underlying transport error.
+    Io(io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { offset, field } => {
+                write!(f, "truncated at offset {offset} while reading {field}")
+            }
+            Self::BadMagic => write!(f, "bad magic: not a lookhd-serve message"),
+            Self::BadVersion(v) => write!(f, "unsupported wire version {v} (want {WIRE_VERSION})"),
+            Self::BadTag { field, value } => write!(f, "unknown {field} tag {value}"),
+            Self::TooLarge { field, value, cap } => {
+                write!(f, "{field} {value} exceeds the wire limit of {cap}")
+            }
+            Self::Trailing { offset, count } => {
+                write!(
+                    f,
+                    "{count} trailing byte(s) after message (offset {offset})"
+                )
+            }
+            Self::BadUtf8 => write!(f, "error message is not valid UTF-8"),
+            Self::Io(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Specialized result for wire operations.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+// ---------------------------------------------------------------------------
+// Byte-slice cursor (decoding)
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> WireResult<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(WireError::Truncated {
+                offset: self.pos,
+                field,
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, field: &'static str) -> WireResult<u8> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u16(&mut self, field: &'static str) -> WireResult<u16> {
+        let b = self.take(2, field)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, field: &'static str) -> WireResult<u32> {
+        let b = self.take(4, field)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, field: &'static str) -> WireResult<u64> {
+        let b = self.take(8, field)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn finish(self) -> WireResult<()> {
+        let count = self.bytes.len() - self.pos;
+        if count != 0 {
+            return Err(WireError::Trailing {
+                offset: self.pos,
+                count,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn check_header(c: &mut Cursor<'_>, magic: &[u8; 4]) -> WireResult<()> {
+    if c.take(4, "magic")? != magic {
+        return Err(WireError::BadMagic);
+    }
+    let version = c.u8("version")?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Request codec
+// ---------------------------------------------------------------------------
+
+const KIND_PREDICT: u8 = 1;
+const KIND_PING: u8 = 2;
+const KIND_SHUTDOWN: u8 = 3;
+
+/// Encodes a request body (without the frame length prefix).
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(REQUEST_MAGIC);
+    out.push(WIRE_VERSION);
+    match request {
+        Request::Predict { id, features } => {
+            out.push(KIND_PREDICT);
+            out.extend_from_slice(&id.to_le_bytes());
+            debug_assert!(features.len() <= MAX_FEATURES);
+            out.extend_from_slice(&(features.len() as u32).to_le_bytes());
+            for v in features {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Request::Ping { id } => {
+            out.push(KIND_PING);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Request::Shutdown { id } => {
+            out.push(KIND_SHUTDOWN);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a request body. Never panics, whatever the input.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] describing the first malformed field.
+pub fn decode_request(bytes: &[u8]) -> WireResult<Request> {
+    let mut c = Cursor::new(bytes);
+    check_header(&mut c, REQUEST_MAGIC)?;
+    let kind = c.u8("kind")?;
+    let id = c.u64("request id")?;
+    let request = match kind {
+        KIND_PREDICT => {
+            let n = c.u32("n_features")? as usize;
+            if n > MAX_FEATURES {
+                return Err(WireError::TooLarge {
+                    field: "n_features",
+                    value: n,
+                    cap: MAX_FEATURES,
+                });
+            }
+            // The count is untrusted: make sure the bytes are actually
+            // present before allocating the feature vector.
+            let payload = c.take(n * 8, "features")?;
+            let features = payload
+                .chunks_exact(8)
+                .map(|b| {
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(b);
+                    f64::from_le_bytes(buf)
+                })
+                .collect();
+            Request::Predict { id, features }
+        }
+        KIND_PING => Request::Ping { id },
+        KIND_SHUTDOWN => Request::Shutdown { id },
+        value => {
+            return Err(WireError::BadTag {
+                field: "request kind",
+                value,
+            })
+        }
+    };
+    c.finish()?;
+    Ok(request)
+}
+
+// ---------------------------------------------------------------------------
+// Response codec
+// ---------------------------------------------------------------------------
+
+const STATUS_PREDICT: u8 = 0;
+const STATUS_PONG: u8 = 1;
+const STATUS_ERROR: u8 = 2;
+
+/// Encodes a response body (without the frame length prefix). Error
+/// messages longer than [`MAX_ERROR_MESSAGE`] bytes are truncated at a
+/// character boundary.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(RESPONSE_MAGIC);
+    out.push(WIRE_VERSION);
+    match response {
+        Response::Predict { id, class } => {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(STATUS_PREDICT);
+            out.extend_from_slice(&class.to_le_bytes());
+        }
+        Response::Pong { id } => {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(STATUS_PONG);
+        }
+        Response::Error { id, code, message } => {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(STATUS_ERROR);
+            out.push(*code as u8);
+            let mut msg = message.as_str();
+            while msg.len() > MAX_ERROR_MESSAGE {
+                let mut cut = MAX_ERROR_MESSAGE;
+                while !msg.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                msg = &msg[..cut];
+            }
+            out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+            out.extend_from_slice(msg.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a response body. Never panics, whatever the input.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] describing the first malformed field.
+pub fn decode_response(bytes: &[u8]) -> WireResult<Response> {
+    let mut c = Cursor::new(bytes);
+    check_header(&mut c, RESPONSE_MAGIC)?;
+    let id = c.u64("request id")?;
+    let status = c.u8("status")?;
+    let response = match status {
+        STATUS_PREDICT => Response::Predict {
+            id,
+            class: c.u32("class")?,
+        },
+        STATUS_PONG => Response::Pong { id },
+        STATUS_ERROR => {
+            let code_byte = c.u8("error code")?;
+            let code = ErrorCode::from_u8(code_byte).ok_or(WireError::BadTag {
+                field: "error code",
+                value: code_byte,
+            })?;
+            let len = c.u16("msg len")? as usize;
+            if len > MAX_ERROR_MESSAGE {
+                return Err(WireError::TooLarge {
+                    field: "msg len",
+                    value: len,
+                    cap: MAX_ERROR_MESSAGE,
+                });
+            }
+            let raw = c.take(len, "msg")?;
+            let message = std::str::from_utf8(raw)
+                .map_err(|_| WireError::BadUtf8)?
+                .to_owned();
+            Response::Error { id, code, message }
+        }
+        value => {
+            return Err(WireError::BadTag {
+                field: "response status",
+                value,
+            })
+        }
+    };
+    c.finish()?;
+    Ok(response)
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one frame (length prefix + body).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a body above [`MAX_FRAME_LEN`] and
+/// propagates I/O errors from the writer.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame body of {} bytes exceeds the wire limit of {MAX_FRAME_LEN}",
+                body.len()
+            ),
+        ));
+    }
+    // One buffered write per frame: splitting the prefix and body into
+    // separate writes triggers Nagle/delayed-ACK stalls (~40 ms per
+    // round trip) on sockets without `TCP_NODELAY`.
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one frame body.
+///
+/// The length prefix is untrusted: lengths above [`MAX_FRAME_LEN`] are
+/// rejected before any allocation, and in-cap bodies are read through
+/// [`Read::take`] so a lying length hits EOF with buffers still small.
+///
+/// # Errors
+///
+/// Returns [`WireError::TooLarge`] for an over-cap length,
+/// [`WireError::Io`] for transport failures, and
+/// [`WireError::Truncated`] when the stream ends mid-frame.
+pub fn read_frame<R: Read>(r: &mut R) -> WireResult<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::TooLarge {
+            field: "frame length",
+            value: len,
+            cap: MAX_FRAME_LEN,
+        });
+    }
+    let mut body = Vec::new();
+    r.take(len as u64).read_to_end(&mut body)?;
+    if body.len() != len {
+        return Err(WireError::Truncated {
+            offset: body.len(),
+            field: "frame body",
+        });
+    }
+    Ok(body)
+}
+
+/// Writes a request as one frame.
+///
+/// # Errors
+///
+/// Same conditions as [`write_frame`].
+pub fn write_request<W: Write>(w: &mut W, request: &Request) -> io::Result<()> {
+    write_frame(w, &encode_request(request))
+}
+
+/// Reads and decodes one request frame.
+///
+/// # Errors
+///
+/// Same conditions as [`read_frame`] plus [`decode_request`] failures.
+pub fn read_request<R: Read>(r: &mut R) -> WireResult<Request> {
+    decode_request(&read_frame(r)?)
+}
+
+/// Writes a response as one frame.
+///
+/// # Errors
+///
+/// Same conditions as [`write_frame`].
+pub fn write_response<W: Write>(w: &mut W, response: &Response) -> io::Result<()> {
+    write_frame(w, &encode_response(response))
+}
+
+/// Reads and decodes one response frame.
+///
+/// # Errors
+///
+/// Same conditions as [`read_frame`] plus [`decode_response`] failures.
+pub fn read_response<R: Read>(r: &mut R) -> WireResult<Response> {
+    decode_response(&read_frame(r)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_bodies_round_trip() {
+        let requests = [
+            Request::Predict {
+                id: 7,
+                features: vec![0.25, -1.5, 1e300, f64::MIN_POSITIVE],
+            },
+            Request::Predict {
+                id: u64::MAX,
+                features: Vec::new(),
+            },
+            Request::Ping { id: 0 },
+            Request::Shutdown { id: 42 },
+        ];
+        for request in &requests {
+            let back = decode_request(&encode_request(request)).unwrap();
+            assert_eq!(&back, request);
+            assert_eq!(back.id(), request.id());
+        }
+    }
+
+    #[test]
+    fn response_bodies_round_trip() {
+        let responses = [
+            Response::Predict {
+                id: 3,
+                class: u32::MAX,
+            },
+            Response::Pong { id: 9 },
+            Response::Error {
+                id: 1,
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+            },
+            Response::Error {
+                id: 2,
+                code: ErrorCode::DeadlineExceeded,
+                message: String::new(),
+            },
+        ];
+        for response in &responses {
+            let back = decode_response(&encode_response(response)).unwrap();
+            assert_eq!(&back, response);
+            assert_eq!(back.id(), response.id());
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let request = Request::Predict {
+            id: 5,
+            features: vec![1.0, 2.0],
+        };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &request).unwrap();
+        write_response(&mut buf, &Response::Pong { id: 5 }).unwrap();
+        let mut r = io::Cursor::new(&buf);
+        assert_eq!(read_request(&mut r).unwrap(), request);
+        assert_eq!(read_response(&mut r).unwrap(), Response::Pong { id: 5 });
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_before_allocation() {
+        // Frame length prefix claiming 4 GB.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(&bytes)),
+            Err(WireError::TooLarge { .. })
+        ));
+        // In-cap but lying frame length: EOF before large buffers.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_LEN as u32).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(&bytes)),
+            Err(WireError::Truncated { .. })
+        ));
+        // Feature count above the cap inside a request body.
+        let mut body = Vec::new();
+        body.extend_from_slice(REQUEST_MAGIC);
+        body.push(WIRE_VERSION);
+        body.push(KIND_PREDICT);
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_request(&body),
+            Err(WireError::TooLarge { .. })
+        ));
+        // Over-long frame body on the write side.
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(write_frame(&mut Vec::new(), &huge).is_err());
+    }
+
+    #[test]
+    fn bad_magic_version_and_tags_are_rejected() {
+        let mut body = encode_request(&Request::Ping { id: 1 });
+        body[0] = b'X';
+        assert!(matches!(decode_request(&body), Err(WireError::BadMagic)));
+        let mut body = encode_request(&Request::Ping { id: 1 });
+        body[4] = 99;
+        assert!(matches!(
+            decode_request(&body),
+            Err(WireError::BadVersion(99))
+        ));
+        let mut body = encode_request(&Request::Ping { id: 1 });
+        body[5] = 200;
+        assert!(matches!(
+            decode_request(&body),
+            Err(WireError::BadTag { .. })
+        ));
+        let mut body = encode_response(&Response::Pong { id: 1 });
+        body[13] = 200;
+        assert!(matches!(
+            decode_response(&body),
+            Err(WireError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = encode_request(&Request::Ping { id: 1 });
+        body.push(0);
+        assert!(matches!(
+            decode_request(&body),
+            Err(WireError::Trailing { .. })
+        ));
+        let mut body = encode_response(&Response::Predict { id: 1, class: 2 });
+        body.push(0);
+        assert!(matches!(
+            decode_response(&body),
+            Err(WireError::Trailing { .. })
+        ));
+    }
+
+    #[test]
+    fn long_error_messages_are_truncated_on_encode() {
+        let response = Response::Error {
+            id: 1,
+            code: ErrorCode::Internal,
+            message: "x".repeat(MAX_ERROR_MESSAGE * 2),
+        };
+        let back = decode_response(&encode_response(&response)).unwrap();
+        match back {
+            Response::Error { message, .. } => assert_eq!(message.len(), MAX_ERROR_MESSAGE),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_display_cleanly() {
+        let errors: Vec<WireError> = vec![
+            WireError::Truncated {
+                offset: 3,
+                field: "magic",
+            },
+            WireError::BadMagic,
+            WireError::BadVersion(9),
+            WireError::BadTag {
+                field: "kind",
+                value: 7,
+            },
+            WireError::TooLarge {
+                field: "n_features",
+                value: 1 << 30,
+                cap: MAX_FEATURES,
+            },
+            WireError::Trailing {
+                offset: 10,
+                count: 2,
+            },
+            WireError::BadUtf8,
+            WireError::Io(io::Error::other("boom")),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, the full test suite, the persistence
-# corruption sweep, and a CLI metrics smoke test.
+# and wire-protocol corruption sweeps, a CLI metrics smoke test, and an
+# end-to-end serve + loadgen smoke test.
 # Usage: scripts/ci.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -17,10 +18,13 @@ cargo test --workspace -q
 echo "== persistence corruption sweep"
 cargo test -q --test persist_corruption
 
+echo "== wire protocol corruption sweep"
+cargo test -q --test serve_corruption
+
 echo "== CLI metrics smoke test"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
-python3 - "$smoke_dir/train.csv" << 'EOF'
+python3 - "$smoke_dir/train.csv" "$smoke_dir/queries.csv" << 'EOF'
 import sys
 rows = ["f0,f1,f2,label"]
 for i in range(90):
@@ -29,6 +33,12 @@ for i in range(90):
     j = (i % 9) * 0.005
     rows.append(f"{base + j:.4f},{base - j:.4f},{base + 2 * j:.4f},{c}")
 open(sys.argv[1], "w").write("\n".join(rows) + "\n")
+# Label-free query rows for `lookhd predict` / `loadgen --data`.
+queries = ["f0,f1,f2"]
+for i in range(40):
+    t = i / 39.0
+    queries.append(f"{t:.4f},{1 - t:.4f},{0.3 + t / 2:.4f}")
+open(sys.argv[2], "w").write("\n".join(queries) + "\n")
 EOF
 cargo run --release -q -p lookhd-cli -- train \
     --data "$smoke_dir/train.csv" --out "$smoke_dir/model.lks" \
@@ -44,6 +54,51 @@ assert any(s["total_ns"] > 0 for s in doc["spans"]), "all durations zero"
 counters = {c["name"] for c in doc["counters"]}
 assert "counter_train.samples" in counters, counters
 print(f"metrics OK: {len(paths)} spans, {len(counters)} counters")
+EOF
+
+echo "== serve + loadgen smoke test"
+# Build both binaries up front so the startup poll below is not racing
+# a compile.
+cargo build --release -q -p lookhd-cli
+cargo build --release -q -p lookhd-bench --bin loadgen
+cargo run --release -q -p lookhd-cli -- serve \
+    --model "$smoke_dir/model.lks" --addr 127.0.0.1:0 --threads 2 \
+    --max-batch 8 --queue-cap 256 --timeout-ms 5000 \
+    --metrics "$smoke_dir/serve_metrics.json" \
+    > "$smoke_dir/serve.log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2> /dev/null || true; rm -rf "$smoke_dir"' EXIT
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr="$(sed -n 's/^serving on \([0-9.:]*\) .*/\1/p' "$smoke_dir/serve.log")"
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "serve smoke: server did not start"
+    cat "$smoke_dir/serve.log"
+    exit 1
+fi
+cargo run --release -q -p lookhd-bench --bin loadgen -- \
+    --addr "$serve_addr" --data "$smoke_dir/queries.csv" \
+    --connections 4 --requests 50 \
+    --out results/serve_loadgen.txt --shutdown
+wait "$serve_pid" # graceful shutdown: drains, joins, writes metrics
+grep -q "latency ms:" results/serve_loadgen.txt
+python3 - "$smoke_dir/serve_metrics.json" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["version"] == 1, doc
+paths = [s["path"] for s in doc["spans"]]
+for path in ("serve/request", "serve/batch_size", "serve/queue_depth"):
+    assert path in paths, f"missing span {path}: {paths}"
+counters = {c["name"]: c["value"] for c in doc["counters"]}
+assert counters.get("serve.responses.ok") == 200, counters
+assert counters.get("serve.requests") == 200, counters
+assert counters.get("serve.batches", 0) >= 1, counters
+assert counters.get("serve.connections", 0) >= 5, counters
+print(f"serve metrics OK: {counters['serve.batches']} batches "
+      f"for {counters['serve.requests']} requests")
 EOF
 
 echo "CI OK"

@@ -13,7 +13,10 @@
 //! * [`mlp`] — the Table IV MLP comparator;
 //! * [`rtl`] — fixed-point datapath emulation and width verification;
 //! * [`obs`] — std-only timing spans / counters behind the CLI's
-//!   `--metrics` flag.
+//!   `--metrics` flag;
+//! * [`serve`] — the batched TCP inference service behind `lookhd serve`
+//!   (hardened wire protocol, micro-batching queue, backpressure,
+//!   deadlines, graceful shutdown).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, DESIGN.md for the
 //! system inventory and per-experiment index, and EXPERIMENTS.md for
@@ -72,6 +75,9 @@ pub mod prelude {
     pub use lookhd_engine::{Engine, EngineConfig, EngineStats};
     pub use lookhd_mlp::{Mlp, MlpConfig};
 }
+
+/// The batched TCP inference service (`lookhd serve` + `loadgen`).
+pub use lookhd_serve as serve;
 
 /// Synthetic stand-ins for the paper's five evaluation datasets.
 pub use lookhd_datasets as datasets;

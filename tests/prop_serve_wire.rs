@@ -1,0 +1,108 @@
+//! Property-based tests for the `lookhd-serve` wire codec: encode→decode
+//! round trips for arbitrary feature vectors and request ids, and
+//! decoder totality (never panics, never overallocates) on arbitrary
+//! byte soup.
+
+use lookhd_paper::serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ErrorCode, Request, Response, WireError, MAX_FRAME_LEN,
+};
+use proptest::prelude::*;
+
+fn error_code(tag: u8) -> ErrorCode {
+    match tag % 5 {
+        0 => ErrorCode::BadRequest,
+        1 => ErrorCode::DeadlineExceeded,
+        2 => ErrorCode::Overloaded,
+        3 => ErrorCode::Internal,
+        _ => ErrorCode::ShuttingDown,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Predict requests round-trip bit-exactly for arbitrary ids and
+    /// feature vectors (f64 LE bytes are preserved verbatim).
+    #[test]
+    fn predict_request_round_trips(
+        id in any::<u64>(),
+        features in proptest::collection::vec(-1e9f64..1e9, 0..300),
+    ) {
+        let request = Request::Predict { id, features };
+        let body = encode_request(&request);
+        let back = decode_request(&body).unwrap();
+        prop_assert_eq!(&back, &request);
+        // And through framing.
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &body).unwrap();
+        let unframed = read_frame(&mut std::io::Cursor::new(&framed)).unwrap();
+        prop_assert_eq!(decode_request(&unframed).unwrap(), request);
+    }
+
+    /// Control requests round-trip for arbitrary ids.
+    #[test]
+    fn control_requests_round_trip(id in any::<u64>(), shutdown in any::<bool>()) {
+        let request = if shutdown {
+            Request::Shutdown { id }
+        } else {
+            Request::Ping { id }
+        };
+        prop_assert_eq!(decode_request(&encode_request(&request)).unwrap(), request);
+    }
+
+    /// Responses round-trip for arbitrary ids, classes, error codes, and
+    /// in-cap messages.
+    #[test]
+    fn responses_round_trip(
+        id in any::<u64>(),
+        class in any::<u32>(),
+        tag in any::<u8>(),
+        message in "[a-z ]{0,80}",
+    ) {
+        let responses = [
+            Response::Predict { id, class },
+            Response::Pong { id },
+            Response::Error { id, code: error_code(tag), message },
+        ];
+        for response in responses {
+            prop_assert_eq!(
+                decode_response(&encode_response(&response)).unwrap(),
+                response
+            );
+        }
+    }
+
+    /// The request decoder is total on arbitrary bytes: it returns, never
+    /// panics, and any Ok re-encodes to something it decodes again.
+    #[test]
+    fn request_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        if let Ok(request) = decode_request(&bytes) {
+            prop_assert_eq!(decode_request(&encode_request(&request)).unwrap(), request);
+        }
+    }
+
+    /// The response decoder is total on arbitrary bytes.
+    #[test]
+    fn response_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        if let Ok(response) = decode_response(&bytes) {
+            prop_assert_eq!(decode_response(&encode_response(&response)).unwrap(), response);
+        }
+    }
+
+    /// The frame reader is total on arbitrary byte streams and never
+    /// hands back a body larger than the cap, whatever the length prefix
+    /// claims.
+    #[test]
+    fn frame_reader_never_panics_or_overallocates(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        match read_frame(&mut std::io::Cursor::new(&bytes)) {
+            Ok(body) => prop_assert!(body.len() <= MAX_FRAME_LEN),
+            Err(
+                WireError::TooLarge { .. } | WireError::Truncated { .. } | WireError::Io(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected framing error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Protocol corruption sweep for the `lookhd-serve` wire format, in the
+//! style of `tests/persist_corruption.rs`: bytes arriving over a socket
+//! cross a trust boundary, so the decoder must never panic, hang, or
+//! preallocate multi-GB buffers on hostile input. Every truncation of a
+//! valid request frame must yield a clean protocol error, every
+//! single-byte flip must decode cleanly or fail cleanly, and oversized
+//! length headers must be rejected against a cap *before* allocation —
+//! at the codec layer and against a live server.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lookhd_paper::serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ErrorCode, Request, Response, WireError, MAX_FRAME_LEN,
+};
+use lookhd_paper::serve::{self, Client, ServeConfig};
+
+fn sample_request() -> Request {
+    Request::Predict {
+        id: 0x0123_4567_89ab_cdef,
+        features: vec![0.25, -1.5, 3.75, 0.0, 1e12],
+    }
+}
+
+/// A full frame (length prefix + body) for the sample request.
+fn framed(request: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_frame(&mut out, &encode_request(request)).unwrap();
+    out
+}
+
+#[test]
+fn request_body_truncated_at_every_length_errors() {
+    let body = encode_request(&sample_request());
+    for cut in 0..body.len() {
+        assert!(
+            decode_request(&body[..cut]).is_err(),
+            "truncation at {cut}/{} parsed successfully",
+            body.len()
+        );
+    }
+    let mut longer = body.clone();
+    longer.push(0);
+    assert!(matches!(
+        decode_request(&longer),
+        Err(WireError::Trailing { .. })
+    ));
+}
+
+#[test]
+fn response_body_truncated_at_every_length_errors() {
+    for response in [
+        Response::Predict { id: 7, class: 3 },
+        Response::Error {
+            id: 9,
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+        },
+    ] {
+        let body = encode_response(&response);
+        for cut in 0..body.len() {
+            assert!(
+                decode_response(&body[..cut]).is_err(),
+                "truncation at {cut}/{} parsed successfully",
+                body.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn request_survives_every_single_byte_flip() {
+    let request = sample_request();
+    let body = encode_request(&request);
+    for i in 0..body.len() {
+        for flip in [0xFFu8, 0x01, 0x80] {
+            let mut bad = body.clone();
+            bad[i] ^= flip;
+            // Structural corruption must error; payload corruption may
+            // decode into a different-but-valid request. Either way: no
+            // panic, and any Ok must still round-trip.
+            if let Ok(back) = decode_request(&bad) {
+                let re = decode_request(&encode_request(&back)).unwrap();
+                assert_eq!(re, back);
+            }
+        }
+    }
+}
+
+#[test]
+fn frame_length_corruption_never_overallocates() {
+    let frame = framed(&sample_request());
+    // Flip every byte of the 4-byte length prefix in every position: the
+    // reader must reject over-cap lengths before allocating and hit a
+    // clean truncation error for in-cap lies.
+    for i in 0..4 {
+        for flip in 1..=255u8 {
+            let mut bad = frame.clone();
+            bad[i] ^= flip;
+            let claimed = u32::from_le_bytes([bad[0], bad[1], bad[2], bad[3]]) as usize;
+            match read_frame(&mut std::io::Cursor::new(&bad)) {
+                Ok(body) => assert!(body.len() <= MAX_FRAME_LEN && body.len() == claimed),
+                Err(WireError::TooLarge { value, cap, .. }) => {
+                    assert_eq!(value, claimed);
+                    assert_eq!(cap, MAX_FRAME_LEN);
+                }
+                Err(WireError::Truncated { .. } | WireError::Io(_)) => {}
+                Err(other) => panic!("unexpected framing error {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn decoders_reject_arbitrary_magic_prefixes() {
+    // All 256 first-byte values: only the genuine magic parses.
+    let body = encode_request(&sample_request());
+    for b in 0..=255u8 {
+        let mut candidate = body.clone();
+        candidate[0] = b;
+        let result = decode_request(&candidate);
+        if b == b'L' {
+            assert!(result.is_ok());
+        } else {
+            assert!(matches!(result, Err(WireError::BadMagic)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-server sweeps
+// ---------------------------------------------------------------------------
+
+/// Sign-of-first-feature stub so the server sweep needs no training.
+struct SignStub;
+
+impl lookhd_paper::hdc::Classifier for SignStub {
+    fn num_classes(&self) -> usize {
+        2
+    }
+
+    fn predict(&self, features: &[f64]) -> lookhd_paper::hdc::Result<usize> {
+        match features.first() {
+            Some(&v) => Ok(usize::from(v >= 0.0)),
+            None => Err(lookhd_paper::hdc::HdcError::invalid_dataset("empty")),
+        }
+    }
+}
+
+fn start_server() -> serve::ServerHandle {
+    serve::start(
+        "127.0.0.1:0",
+        Arc::new(SignStub),
+        ServeConfig::new().with_workers(2),
+    )
+    .expect("bind failed")
+}
+
+/// Checks the server at `addr` still answers a well-formed request.
+fn assert_still_serving(addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect failed");
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match client.predict(1, &[1.0]).expect("round trip failed") {
+        Response::Predict { id: 1, class: 1 } => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+/// Every truncation of a valid frame, sent raw and then half-closed,
+/// leaves the server alive and serving.
+#[test]
+fn live_server_survives_every_frame_truncation() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let frame = framed(&sample_request());
+    for cut in 0..frame.len() {
+        let mut raw = TcpStream::connect(addr).expect("connect failed");
+        raw.write_all(&frame[..cut]).expect("write failed");
+        drop(raw); // mid-frame EOF
+    }
+    assert_still_serving(addr);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Every single-byte flip of a valid frame elicits a response or a clean
+/// close — never a hang — and the server keeps serving afterwards.
+#[test]
+fn live_server_survives_every_single_byte_flip() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let frame = framed(&sample_request());
+    for i in 0..frame.len() {
+        let mut bad = frame.clone();
+        bad[i] ^= 0xFF;
+        let mut client = Client::connect(addr).expect("connect failed");
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        client.stream().write_all(&bad).expect("write failed");
+        // A length-prefix flip usually leaves the server waiting for the
+        // rest of a (now longer) frame; half-close the write side so it
+        // sees EOF instead of waiting on this client forever.
+        let _ = client.stream().shutdown(std::net::Shutdown::Write);
+        // The server must answer (predict result, protocol error) or
+        // close; blocking forever trips the read timeout and fails.
+        match client.recv() {
+            Ok(_) => {}
+            Err(WireError::Io(e)) => assert!(
+                e.kind() != std::io::ErrorKind::WouldBlock
+                    && e.kind() != std::io::ErrorKind::TimedOut,
+                "server hung on flipped byte {i}: {e}"
+            ),
+            Err(other) => panic!("malformed server response for flipped byte {i}: {other:?}"),
+        }
+    }
+    assert_still_serving(addr);
+    handle.shutdown();
+    handle.join();
+}
+
+/// An oversized length header is rejected against the cap before any
+/// allocation; the server answers with a protocol error (or closes) and
+/// keeps running.
+#[test]
+fn live_server_rejects_oversized_length_headers() {
+    let handle = start_server();
+    let addr = handle.addr();
+    for claimed in [u32::MAX, (MAX_FRAME_LEN as u32) + 1, 1 << 30] {
+        let mut client = Client::connect(addr).expect("connect failed");
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        client
+            .stream()
+            .write_all(&claimed.to_le_bytes())
+            .expect("write failed");
+        client.stream().write_all(&[0u8; 16]).expect("write failed");
+        match client.recv() {
+            Ok(Response::Error { code, message, .. }) => {
+                assert_eq!(code, ErrorCode::BadRequest);
+                assert!(message.contains("limit"), "unexpected message: {message}");
+            }
+            Ok(other) => panic!("unexpected response {other:?}"),
+            Err(WireError::Io(_)) => {} // clean close is acceptable
+            Err(other) => panic!("malformed server response: {other:?}"),
+        }
+    }
+    assert_still_serving(addr);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Garbage that parses as a frame but not as a request gets a BadRequest
+/// error while the connection stays frame-aligned and usable.
+#[test]
+fn malformed_bodies_get_error_responses_without_dropping_the_connection() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect failed");
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut garbage = encode_request(&sample_request());
+    garbage[0] = b'X'; // breaks the magic, not the framing
+    write_frame(client.stream(), &garbage).expect("write failed");
+    match client.recv().expect("recv failed") {
+        Response::Error { id: 0, code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("unexpected response {other:?}"),
+    }
+    // Same connection still serves valid requests afterwards.
+    match client.predict(5, &[2.0]).expect("round trip failed") {
+        Response::Predict { id: 5, class: 1 } => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+    handle.shutdown();
+    handle.join();
+}

@@ -1,0 +1,210 @@
+//! Differential equivalence of the batched inference server: every
+//! response from `lookhd-serve` must be **bit-identical** to a direct
+//! single-threaded `Classifier::predict` call on the same deserialized
+//! model, regardless of worker count, batch size, thread interleaving, or
+//! pipelining depth. This extends the engine determinism contract of
+//! `tests/engine_equivalence.rs` across the wire.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lookhd_paper::prelude::*;
+use lookhd_paper::serve::{self, Client, Request, Response, ServeConfig};
+
+/// Worker counts the acceptance criteria pin.
+const WORKERS: [usize; 3] = [1, 2, 8];
+/// Batch sizes the acceptance criteria pin (7 exercises ragged batches).
+const MAX_BATCH: [usize; 3] = [1, 7, 64];
+
+/// Well-separated 3-class training set plus off-grid query rows.
+fn dataset() -> (Vec<Vec<f64>>, Vec<usize>, Vec<Vec<f64>>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..45 {
+        let class = i % 3;
+        let base = [0.2, 0.5, 0.8][class];
+        let jitter = (i / 3) as f64 * 0.006;
+        xs.push(vec![base + jitter, base - jitter, base, 1.0 - base, base]);
+        ys.push(class);
+    }
+    let queries = (0..37)
+        .map(|i| {
+            let t = i as f64 / 36.0;
+            vec![t, 1.0 - t, 0.5 + t / 3.0, t * t, 0.3 + t / 2.0]
+        })
+        .collect();
+    (xs, ys, queries)
+}
+
+fn trained_bytes() -> (Vec<u8>, Vec<Vec<f64>>) {
+    let (xs, ys, queries) = dataset();
+    let config = LookHdConfig::new().with_dim(256).with_retrain_epochs(2);
+    let clf = LookHdClassifier::fit(&config, &xs, &ys).expect("training failed");
+    (clf.to_bytes().expect("serialization failed"), queries)
+}
+
+/// Every (workers × max_batch) combination serves predictions identical
+/// to the direct single-threaded path on the same model bytes, under
+/// concurrent clients with varied pipelining interleavings.
+#[test]
+fn server_matches_direct_predictions_for_all_configs() {
+    let (bytes, queries) = trained_bytes();
+    let direct = LookHdClassifier::from_bytes(&bytes).expect("reload failed");
+    let expected: Vec<usize> = queries
+        .iter()
+        .map(|q| direct.predict(q).expect("direct predict failed"))
+        .collect();
+    let queries = Arc::new(queries);
+    let expected = Arc::new(expected);
+
+    for workers in WORKERS {
+        for max_batch in MAX_BATCH {
+            let model = serve::classifier_from_bytes(&bytes).expect("model load failed");
+            let config = ServeConfig::new()
+                .with_workers(workers)
+                .with_max_batch(max_batch)
+                .with_queue_cap(4096)
+                .with_timeout(Duration::from_secs(30));
+            let handle = serve::start("127.0.0.1:0", model, config).expect("bind failed");
+            let addr = handle.addr();
+
+            // 4 concurrent client threads, each with a different
+            // pipelining window so request interleavings vary: windows of
+            // 1 (strict request/response), 3, 5, and the whole set.
+            std::thread::scope(|scope| {
+                for (thread_idx, window) in [1usize, 3, 5, usize::MAX].into_iter().enumerate() {
+                    let queries = Arc::clone(&queries);
+                    let expected = Arc::clone(&expected);
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect failed");
+                        client
+                            .set_read_timeout(Some(Duration::from_secs(30)))
+                            .unwrap();
+                        let window = window.min(queries.len());
+                        let mut next_send = 0usize;
+                        let mut outstanding = 0usize;
+                        let mut seen = 0usize;
+                        while seen < queries.len() {
+                            while outstanding < window && next_send < queries.len() {
+                                client
+                                    .send(&Request::Predict {
+                                        id: next_send as u64,
+                                        features: queries[next_send].clone(),
+                                    })
+                                    .expect("send failed");
+                                next_send += 1;
+                                outstanding += 1;
+                            }
+                            match client.recv().expect("recv failed") {
+                                Response::Predict { id, class } => {
+                                    let idx = id as usize;
+                                    assert_eq!(
+                                        class as usize, expected[idx],
+                                        "client {thread_idx}: query {idx} diverged \
+                                         (workers={workers}, max_batch={max_batch})"
+                                    );
+                                }
+                                other => panic!(
+                                    "client {thread_idx}: unexpected response {other:?} \
+                                     (workers={workers}, max_batch={max_batch})"
+                                ),
+                            }
+                            outstanding -= 1;
+                            seen += 1;
+                        }
+                    });
+                }
+            });
+
+            handle.shutdown();
+            handle.join();
+        }
+    }
+}
+
+/// The encoder-less formats (`HDC1` raw models, `LKC1` compressed
+/// models) serve pre-encoded hypervector queries identically to direct
+/// model calls.
+#[test]
+fn raw_and_compressed_formats_match_direct_predictions() {
+    let (bytes, queries) = trained_bytes();
+    let direct = LookHdClassifier::from_bytes(&bytes).expect("reload failed");
+    let encoded: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|q| {
+            direct
+                .encode(q)
+                .expect("encode failed")
+                .as_slice()
+                .iter()
+                .map(|&v| v as f64)
+                .collect()
+        })
+        .collect();
+
+    let hdc1 = lookhd_paper::hdc::persist::model_to_bytes(direct.model()).unwrap();
+    let lkc1 = direct.compressed().to_bytes().unwrap();
+    for (label, artifact) in [("HDC1", hdc1), ("LKC1", lkc1)] {
+        let model = serve::classifier_from_bytes(&artifact).expect("model load failed");
+        let expected: Vec<usize> = encoded
+            .iter()
+            .map(|h| model.predict(h).expect("direct predict failed"))
+            .collect();
+        let handle = serve::start(
+            "127.0.0.1:0",
+            serve::classifier_from_bytes(&artifact).unwrap(),
+            ServeConfig::new().with_workers(2).with_max_batch(7),
+        )
+        .expect("bind failed");
+        let mut client = Client::connect(handle.addr()).expect("connect failed");
+        for (i, h) in encoded.iter().enumerate() {
+            match client.predict(i as u64, h).expect("round trip failed") {
+                Response::Predict { id, class } => {
+                    assert_eq!(id, i as u64);
+                    assert_eq!(class as usize, expected[i], "{label} query {i} diverged");
+                }
+                other => panic!("{label}: unexpected response {other:?}"),
+            }
+        }
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+/// Repeating the same query through different server configurations
+/// always yields the same class — servers are stateless and
+/// deterministic end to end.
+#[test]
+fn repeated_queries_are_stable_across_server_restarts() {
+    let (bytes, queries) = trained_bytes();
+    let mut first: Option<Vec<u32>> = None;
+    for (workers, max_batch) in [(1, 1), (8, 64), (2, 7)] {
+        let model = serve::classifier_from_bytes(&bytes).unwrap();
+        let handle = serve::start(
+            "127.0.0.1:0",
+            model,
+            ServeConfig::new()
+                .with_workers(workers)
+                .with_max_batch(max_batch),
+        )
+        .expect("bind failed");
+        let mut client = Client::connect(handle.addr()).expect("connect failed");
+        let classes: Vec<u32> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| match client.predict(i as u64, q).unwrap() {
+                Response::Predict { class, .. } => class,
+                other => panic!("unexpected response {other:?}"),
+            })
+            .collect();
+        match &first {
+            None => first = Some(classes),
+            Some(reference) => assert_eq!(
+                &classes, reference,
+                "server (workers={workers}, max_batch={max_batch}) diverged"
+            ),
+        }
+        handle.shutdown();
+        handle.join();
+    }
+}
