@@ -1,0 +1,96 @@
+//! Criterion microbench: the score-LUT inference kernel vs the dense
+//! compressed path on a Table-I-shaped workload (SPEECH: n = 617
+//! features, k = 26 classes, q = 4, r = 5, D = 2000).
+//!
+//! Both models are trained identically (decorrelation off — the kernel's
+//! eligibility requirement) and predict bit-identically; the bench
+//! isolates the per-query cost of materialize-H-then-score against
+//! address-extraction + table gathers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hdc::{Classifier, FitClassifier};
+use lookhd::{CompressionConfig, LookHdClassifier, LookHdConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_FEATURES: usize = 617;
+const N_CLASSES: usize = 26;
+
+/// A SPEECH-shaped synthetic training set: 26 class prototypes over 617
+/// features with mild jitter.
+fn dataset() -> (Vec<Vec<f64>>, Vec<usize>, Vec<Vec<f64>>) {
+    let mut rng = StdRng::seed_from_u64(617);
+    let protos: Vec<Vec<f64>> = (0..N_CLASSES)
+        .map(|_| (0..N_FEATURES).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (c, p) in protos.iter().enumerate() {
+        for _ in 0..8 {
+            xs.push(
+                p.iter()
+                    .map(|&v| (v + rng.gen_range(-0.05f64..0.05)).clamp(0.0, 1.0))
+                    .collect(),
+            );
+            ys.push(c);
+        }
+    }
+    let queries = (0..64)
+        .map(|i| {
+            let p = &protos[i % N_CLASSES];
+            p.iter()
+                .map(|&v| (v + rng.gen_range(-0.05f64..0.05)).clamp(0.0, 1.0))
+                .collect()
+        })
+        .collect();
+    (xs, ys, queries)
+}
+
+fn bench_score_lut(c: &mut Criterion) {
+    let (xs, ys, queries) = dataset();
+    // Retraining and validation are inference-irrelevant; keep training
+    // cheap so the bench starts quickly.
+    let base = LookHdConfig::new()
+        .with_retrain_epochs(0)
+        .with_validation_fraction(0.0)
+        .with_compression(CompressionConfig::new().with_decorrelate(false));
+    let dense = LookHdClassifier::fit(&base, &xs, &ys).expect("dense training failed");
+    let fast = LookHdClassifier::fit(&base.clone().with_score_lut(true), &xs, &ys)
+        .expect("lut training failed");
+    let lut = fast.score_lut().expect("kernel should have been built");
+    eprintln!(
+        "score-LUT tables: {} chunks x {} classes = {} MiB",
+        lut.n_chunks(),
+        lut.n_classes(),
+        lut.size_bytes() >> 20
+    );
+    // Differential sanity before timing anything.
+    for q in &queries {
+        assert_eq!(
+            fast.predict(q).unwrap(),
+            dense.predict(q).unwrap(),
+            "kernel diverged from dense path"
+        );
+    }
+
+    let mut group = c.benchmark_group("score_lut_table1_speech");
+    group.sample_size(20);
+    group.bench_function("dense_predict_1", |b| {
+        b.iter(|| dense.predict(black_box(&queries[0])).unwrap())
+    });
+    group.bench_function("lut_predict_1", |b| {
+        b.iter(|| fast.predict(black_box(&queries[0])).unwrap())
+    });
+    group.bench_function("dense_predict_batch_64", |b| {
+        b.iter(|| dense.predict_batch(black_box(&queries)).unwrap())
+    });
+    group.bench_function("lut_predict_batch_64", |b| {
+        b.iter(|| fast.predict_batch(black_box(&queries)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_score_lut);
+criterion_main!(benches);

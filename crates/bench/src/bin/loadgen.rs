@@ -31,11 +31,16 @@ struct ConnReport {
     mismatches: usize,
 }
 
+/// Ceil-rank percentile over an ascending-sorted sample: the smallest
+/// sample ≥ the requested fraction of the distribution. Nearest-rank
+/// rounding under-reports tail percentiles on small counts (with n=100,
+/// `round(0.99·99) = 98` returns the 99th-largest sample instead of the
+/// 100th), so the rank is always rounded *up*.
 fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
     if sorted_ns.is_empty() {
         return 0;
     }
-    let rank = (p * (sorted_ns.len() - 1) as f64).round() as usize;
+    let rank = (p * (sorted_ns.len() - 1) as f64).ceil() as usize;
     sorted_ns[rank.min(sorted_ns.len() - 1)]
 }
 
@@ -223,5 +228,36 @@ fn main() {
     }
     if mismatches > 0 {
         fail("response ids did not match requests");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentiles_pin_known_small_arrays() {
+        // n=100, values 1..=100: p99 must be the maximum (the regression
+        // this pins — nearest-rank returned 99, the second-largest).
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&hundred, 0.50), 51); // ceil(0.50·99) = 50
+        assert_eq!(percentile(&hundred, 0.90), 91); // ceil(0.90·99) = 90
+        assert_eq!(percentile(&hundred, 0.99), 100); // ceil(0.99·99) = 99
+
+        let five = [10u64, 20, 30, 40, 50];
+        assert_eq!(percentile(&five, 0.50), 30); // ceil(0.50·4) = 2
+        assert_eq!(percentile(&five, 0.90), 50); // ceil(0.90·4) = 4
+        assert_eq!(percentile(&five, 0.99), 50);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 0.99), 0);
+        assert_eq!(percentile(&[7], 0.50), 7);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        let two = [3u64, 9];
+        assert_eq!(percentile(&two, 0.0), 3);
+        assert_eq!(percentile(&two, 0.50), 9); // ceil(0.5·1) = 1
+        assert_eq!(percentile(&two, 1.0), 9);
     }
 }

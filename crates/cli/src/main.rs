@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! lookhd train    --data train.csv --out model.lks [--dim 2000 --q 4 --r 5
-//!                 --epochs 10 --linear --group 12 --seed 42 --threads 4]
+//!                 --epochs 10 --linear --group 12 --seed 42 --threads 4
+//!                 --score-lut]
 //! lookhd evaluate --model model.lks --data test.csv [--threads 4]
 //! lookhd predict  --model model.lks --data queries.csv [--threads 4]
 //! lookhd info     --model model.lks
@@ -23,6 +24,12 @@
 //! `--metrics out.json` (valid on every subcommand) enables the
 //! observability registry for the run and writes one JSON document of
 //! timing spans and counters when the command finishes.
+//!
+//! `--score-lut` (train only) precomputes the score-LUT inference kernel:
+//! per-chunk, per-class partial-score tables that make predict a handful
+//! of table reads and adds, bit-identical to the dense path. It disables
+//! decorrelation (the kernel's eligibility requirement) and falls back to
+//! the dense path when the tables would exceed the 64 MiB budget.
 
 mod args;
 
@@ -92,7 +99,8 @@ fn run(raw: Vec<String>) -> Result<(), String> {
 
 const USAGE: &str = "usage:
   lookhd train    --data train.csv --out model.lks [--dim N --q N --r N
-                  --epochs N --linear --group N --seed N --threads N]
+                  --epochs N --linear --group N --seed N --threads N
+                  --score-lut]
   lookhd evaluate --model model.lks --data test.csv [--threads N]
   lookhd predict  --model model.lks --data queries.csv [--threads N]
   lookhd info     --model model.lks
@@ -103,6 +111,9 @@ const USAGE: &str = "usage:
 
 --threads shards work across OS threads (0 = all cores) without changing
 any result bit; under `serve` it sets the batch-worker count instead.
+--score-lut (train) folds class scoring into precomputed tables — predict
+becomes table reads + adds, bit-identical to the dense path; implies
+compression without decorrelation.
 --metrics out.json (any subcommand) records per-stage timing spans and
 counters and writes one JSON document when the command finishes.";
 
@@ -133,14 +144,22 @@ fn train(args: &Args) -> Result<(), String> {
     let seed = args
         .get_or("seed", 0x10_0c_4du64)
         .map_err(|e| e.to_string())?;
+    let score_lut = args.switch("score-lut");
+    let mut compression = CompressionConfig::new().with_max_classes_per_vector(group.max(1));
+    if score_lut {
+        // The integer kernel requires exact integer scoring end to end;
+        // decorrelation whitens queries through f64 arithmetic.
+        compression = compression.with_decorrelate(false);
+    }
     let mut config = LookHdConfig::new()
         .with_dim(dim)
         .with_q(q)
         .with_r(r)
         .with_retrain_epochs(epochs)
-        .with_compression(CompressionConfig::new().with_max_classes_per_vector(group.max(1)))
+        .with_compression(compression)
         .with_seed(seed)
-        .with_engine(engine_config(args)?);
+        .with_engine(engine_config(args)?)
+        .with_score_lut(score_lut);
     if args.switch("linear") {
         config = config.with_quantization(Quantization::Linear);
     }
@@ -164,6 +183,17 @@ fn train(args: &Args) -> Result<(), String> {
         clf.compressed().n_vectors(),
         clf.report().epochs_run()
     ));
+    if score_lut {
+        match clf.score_lut() {
+            Some(lut) => out(format!(
+                "score-LUT kernel: {} chunk tables x {} classes, {} B",
+                lut.n_chunks(),
+                lut.n_classes(),
+                lut.size_bytes()
+            )),
+            None => out("score-LUT kernel: fell back to the dense path (over budget)"),
+        }
+    }
     Ok(())
 }
 
@@ -233,6 +263,13 @@ fn info(args: &Args) -> Result<(), String> {
         clf.compressed().size_bytes(),
         clf.compressed().n_vectors(),
         clf.model().size_bytes()
+    ));
+    out(format!(
+        "  score-LUT kernel:    {}",
+        match clf.score_lut() {
+            Some(lut) => format!("{} B precomputed tables", lut.size_bytes()),
+            None => "none (dense scoring path)".to_owned(),
+        }
     ));
     out(format!(
         "  class correlation:   {:.3}",

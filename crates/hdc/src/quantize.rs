@@ -72,8 +72,8 @@ impl Quantizer {
             return Err(HdcError::invalid_dataset("feature values must be finite"));
         }
         let boundaries = match kind {
-            Quantization::Linear => Self::linear_boundaries(values, q),
-            Quantization::Equalized => Self::equalized_boundaries(values, q),
+            Quantization::Linear => Self::linear_boundaries(values, q)?,
+            Quantization::Equalized => Self::equalized_boundaries(values, q)?,
         };
         Ok(Self {
             boundaries,
@@ -115,7 +115,14 @@ impl Quantizer {
         })
     }
 
-    fn linear_boundaries(values: &[f64], q: usize) -> Vec<f64> {
+    fn linear_boundaries(values: &[f64], q: usize) -> Result<Vec<f64>> {
+        // `fit` rejects empty input, but guard here too: on empty values
+        // min stays +∞ and every boundary would be non-finite.
+        if values.is_empty() {
+            return Err(HdcError::invalid_dataset(
+                "cannot derive linear boundaries from zero values",
+            ));
+        }
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         for &v in values {
@@ -125,23 +132,30 @@ impl Quantizer {
         if min == max {
             // Degenerate constant feature: all boundaries collapse, every
             // value lands in the top level. Still valid.
-            return vec![min; q - 1];
+            return Ok(vec![min; q - 1]);
         }
         let width = (max - min) / q as f64;
-        (1..q).map(|i| min + width * i as f64).collect()
+        Ok((1..q).map(|i| min + width * i as f64).collect())
     }
 
-    fn equalized_boundaries(values: &[f64], q: usize) -> Vec<f64> {
+    fn equalized_boundaries(values: &[f64], q: usize) -> Result<Vec<f64>> {
+        // `fit` rejects empty input, but guard here too: with n = 0 the
+        // `n - 1` clamp below underflows.
+        if values.is_empty() {
+            return Err(HdcError::invalid_dataset(
+                "cannot derive equalized boundaries from zero values",
+            ));
+        }
         let mut sorted: Vec<f64> = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("values checked finite"));
         let n = sorted.len();
-        (1..q)
+        Ok((1..q)
             .map(|i| {
                 // The i-th q-quantile of the empirical distribution.
                 let pos = (i * n) / q;
                 sorted[pos.min(n - 1)]
             })
-            .collect()
+            .collect())
     }
 
     /// Maps a value to its level index in `0..q`.
@@ -163,6 +177,16 @@ impl Quantizer {
     /// The fitted interior boundaries (length `q - 1`, ascending).
     pub fn boundaries(&self) -> &[f64] {
         &self.boundaries
+    }
+
+    /// Number of *unreachable* interior levels: adjacent equal boundaries
+    /// leave no value that can land between them. Equalized fitting on
+    /// duplicate-heavy data collapses quantiles silently (more than half
+    /// the mass on one value pins several quantiles to it); callers can
+    /// check this to detect that fewer than `q` levels are effectively in
+    /// use. Zero for any strictly-ascending boundary set.
+    pub fn collapsed_levels(&self) -> usize {
+        self.boundaries.windows(2).filter(|w| w[0] == w[1]).count()
     }
 
     /// The rule this quantizer was fitted with.
@@ -340,6 +364,57 @@ mod tests {
             Quantizer::fit(Quantization::Linear, &[f64::NAN], 4),
             Err(HdcError::InvalidDataset { .. })
         ));
+    }
+
+    #[test]
+    fn empty_input_errors_through_every_entry_point() {
+        // The public fit path rejects empty values for both rules…
+        for kind in [Quantization::Linear, Quantization::Equalized] {
+            assert!(matches!(
+                Quantizer::fit(kind, &[], 4),
+                Err(HdcError::InvalidDataset { .. })
+            ));
+        }
+        // …and the boundary builders guard themselves too (equalized used
+        // to underflow `n - 1` when reached with zero values).
+        assert!(Quantizer::linear_boundaries(&[], 4).is_err());
+        assert!(Quantizer::equalized_boundaries(&[], 4).is_err());
+    }
+
+    #[test]
+    fn all_equal_input_collapses_but_stays_usable() {
+        for kind in [Quantization::Linear, Quantization::Equalized] {
+            let q = Quantizer::fit(kind, &[5.0; 32], 4).unwrap();
+            assert_eq!(q.boundaries(), &[5.0; 3]);
+            // All 3 interior boundaries coincide: the 2 levels between
+            // them are unreachable, which collapsed_levels reports.
+            assert_eq!(q.collapsed_levels(), 2);
+            assert_eq!(q.level(5.0), 3);
+            assert_eq!(q.level(4.9), 0);
+            assert!(q.boundaries().iter().all(|b| b.is_finite()));
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_input_reports_collapsed_levels() {
+        // 3/4 of the mass sits on 1.0: the q=4 equalized quantiles at
+        // 1/4 and 2/4 of the sorted data both land on 1.0, silently
+        // merging the two middle levels.
+        let mut data = vec![1.0; 75];
+        data.extend((0..25).map(|i| 2.0 + i as f64 / 25.0));
+        let eq = Quantizer::fit(Quantization::Equalized, &data, 4).unwrap();
+        assert_eq!(eq.boundaries(), &[1.0, 1.0, 2.0]);
+        assert_eq!(eq.collapsed_levels(), 1);
+        // Only two levels are actually reachable on this data…
+        let occupied = eq.occupancy(&data).iter().filter(|&&c| c > 0).count();
+        assert_eq!(occupied, 2);
+        // …while linear boundaries stay strictly ascending and lossless.
+        let lin = Quantizer::fit(Quantization::Linear, &data, 4).unwrap();
+        assert_eq!(lin.collapsed_levels(), 0);
+        assert!(lin.boundaries().windows(2).all(|w| w[0] < w[1]));
+        // A healthy equalized fit reports zero collapsed levels.
+        let healthy = Quantizer::fit(Quantization::Equalized, &uniform(100), 4).unwrap();
+        assert_eq!(healthy.collapsed_levels(), 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::compress::{CompressedModel, CompressionConfig};
 use crate::encoder::LookupEncoder;
 use crate::lut::TableMode;
 use crate::retrain::{retrain_compressed, UpdateRule};
+use crate::score_lut::{ScoreLut, ScoreLutMode};
 use crate::trainer::CounterTrainer;
 
 const CLASSIFIER_MAGIC: &[u8; 4] = b"LKS1";
@@ -55,6 +56,12 @@ pub struct LookHdConfig {
     pub adaptive_grouping: bool,
     /// Retraining update arithmetic.
     pub update_rule: UpdateRule,
+    /// Score-LUT inference kernel: precompute per-chunk, per-class partial
+    /// scores at fit time so predict is table gathers + adds (no
+    /// hypervector on the query path). Requires `decorrelate=false`;
+    /// ineligible or over-budget models fall back to the dense path
+    /// (counted as `score_lut.fallback`).
+    pub score_lut: ScoreLutMode,
     /// RNG seed (level memory, position keys).
     pub seed: u64,
     /// Execution engine for the counter-training and batch-inference
@@ -79,6 +86,7 @@ impl LookHdConfig {
             validation_fraction: 0.15,
             adaptive_grouping: true,
             update_rule: UpdateRule::Exact,
+            score_lut: ScoreLutMode::Off,
             seed: 0x10_0c_4d,
             engine: EngineConfig::new(),
         }
@@ -150,6 +158,28 @@ impl LookHdConfig {
         self
     }
 
+    /// Enables (or disables) the score-LUT inference kernel under the
+    /// default 64 MiB table budget. The kernel is exact — bit-identical
+    /// scores and argmax — but requires compression without decorrelation
+    /// ([`CompressionConfig::with_decorrelate`]`(false)`); ineligible
+    /// models fall back to the dense path at fit time.
+    pub fn with_score_lut(mut self, on: bool) -> Self {
+        self.score_lut = if on {
+            ScoreLutMode::Auto {
+                budget_bytes: ScoreLutMode::DEFAULT_BUDGET_BYTES,
+            }
+        } else {
+            ScoreLutMode::Off
+        };
+        self
+    }
+
+    /// Enables the score-LUT kernel with an explicit table byte budget.
+    pub fn with_score_lut_budget(mut self, budget_bytes: usize) -> Self {
+        self.score_lut = ScoreLutMode::Auto { budget_bytes };
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -200,6 +230,10 @@ pub struct LookHdClassifier {
     /// The uncompressed trained model (kept for analysis and ablations).
     model: ClassModel,
     compressed: CompressedModel,
+    /// Precomputed score-LUT kernel; `None` means predict runs the dense
+    /// compressed path. Built after retraining (the tables bake in the
+    /// final combined vectors) and persisted with the classifier.
+    score_lut: Option<ScoreLut>,
     report: TrainReport,
     /// The RNG seed levels/positions were generated from (for persistence).
     seed: u64,
@@ -316,10 +350,29 @@ impl LookHdClassifier {
             TrainReport::default()
         };
         drop(_retrain_span);
+
+        // Build the score-LUT kernel from the *final* compressed model —
+        // retraining mutates the combined vectors the tables bake in.
+        let score_lut = match config.score_lut {
+            ScoreLutMode::Off => None,
+            ScoreLutMode::Auto { budget_bytes } => {
+                match ScoreLut::build(&encoder, &compressed, budget_bytes) {
+                    Ok(lut) => Some(lut),
+                    Err(_) => {
+                        // Ineligible (whitened / over budget / out of
+                        // bound): the dense path serves identically, just
+                        // slower, so fall back rather than fail the fit.
+                        obs::counter("score_lut.fallback", 1);
+                        None
+                    }
+                }
+            }
+        };
         Ok(Self {
             encoder,
             model,
             compressed,
+            score_lut,
             report,
             seed: config.seed,
             engine,
@@ -455,6 +508,28 @@ impl LookHdClassifier {
         &self.compressed
     }
 
+    /// The score-LUT inference kernel, when one was built (see
+    /// [`LookHdConfig::with_score_lut`]).
+    pub fn score_lut(&self) -> Option<&ScoreLut> {
+        self.score_lut.as_ref()
+    }
+
+    /// Per-class scores for a raw feature vector on the deployment path —
+    /// the score-LUT kernel when present, otherwise the dense compressed
+    /// path. The two are exactly equal (see [`crate::score_lut`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding/arity errors.
+    pub fn scores(&self, features: &[f64]) -> Result<Vec<f64>> {
+        if let Some(lut) = &self.score_lut {
+            let addrs = self.encoder.addresses(features)?;
+            return lut.scores(&addrs);
+        }
+        let h = self.encoder.encode(features)?;
+        self.compressed.scores(&h)
+    }
+
     /// The compressed-retraining report.
     pub fn report(&self) -> &TrainReport {
         &self.report
@@ -539,6 +614,24 @@ impl LookHdClassifier {
             )?,
         );
         out.extend_from_slice(&compressed_bytes);
+        // Score-LUT flag byte is mandatory (0 = none, 1 = SLT1 section
+        // follows) so every truncation of the stream stays detectable.
+        match &self.score_lut {
+            None => out.push(0),
+            Some(lut) => {
+                out.push(1);
+                let lut_bytes = lut.to_bytes()?;
+                w32(
+                    &mut out,
+                    serial_u32(
+                        "score-lut section length",
+                        lut_bytes.len(),
+                        u32::MAX as usize,
+                    )?,
+                );
+                out.extend_from_slice(&lut_bytes);
+            }
+        }
         Ok(out)
     }
 
@@ -640,6 +733,14 @@ impl LookHdClassifier {
             .map_err(|e| bad(&format!("embedded model: {e}")))?;
         let compressed_len = u32v(&mut pos)? as usize;
         let compressed = CompressedModel::from_bytes(take(&mut pos, compressed_len)?)?;
+        let score_lut = match take(&mut pos, 1)?[0] {
+            0 => None,
+            1 => {
+                let lut_len = u32v(&mut pos)? as usize;
+                Some(ScoreLut::from_bytes(take(&mut pos, lut_len)?)?)
+            }
+            _ => return Err(bad("unknown score-lut flag")),
+        };
         if pos != bytes.len() {
             return Err(HdcError::invalid_dataset(format!(
                 "{} trailing byte(s) after classifier (offset {pos})",
@@ -652,6 +753,11 @@ impl LookHdClassifier {
             return Err(bad("quantizer boundaries disagree with q"));
         }
         let layout = ChunkLayout::new(n_features, r, q)?;
+        if let Some(lut) = &score_lut {
+            // The kernel arrived as an independent section; make sure its
+            // geometry agrees with the layout and model it will serve.
+            lut.validate_against(&layout, &compressed)?;
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let levels = LevelMemory::generate(dim, q, scheme, &mut rng)?;
         let encoder = LookupEncoder::new(layout, &levels, quantizer, table_mode, seed)?;
@@ -659,6 +765,7 @@ impl LookHdClassifier {
             encoder,
             model,
             compressed,
+            score_lut,
             report: TrainReport::default(),
             seed,
             // The engine is an execution detail, not part of the model;
@@ -675,9 +782,15 @@ impl Classifier for LookHdClassifier {
     }
 
     /// Predicts the class of a raw feature vector using the compressed
-    /// model (the deployment path).
+    /// model (the deployment path). With the score-LUT kernel built, this
+    /// is address extraction + table gathers — no hypervector is
+    /// materialized — and the result is bit-identical to the dense path.
     fn predict(&self, features: &[f64]) -> Result<usize> {
         let _span = obs::span("predict");
+        if let Some(lut) = &self.score_lut {
+            let addrs = self.encoder.addresses(features)?;
+            return lut.predict(&addrs);
+        }
         let h = self.encoder.encode(features)?;
         self.compressed.predict(&h)
     }
@@ -855,6 +968,80 @@ mod tests {
             );
             assert_eq!(clf.model().classes(), serial.model().classes());
         }
+    }
+
+    #[test]
+    fn score_lut_predictions_match_dense_path() {
+        let (xs, ys) = blobs(13, 4, 20, 0.08, 21);
+        let base = LookHdConfig::new()
+            .with_dim(512)
+            .with_retrain_epochs(3)
+            .with_compression(CompressionConfig::new().with_decorrelate(false));
+        let dense = LookHdClassifier::fit(&base, &xs, &ys).unwrap();
+        let fast = LookHdClassifier::fit(&base.clone().with_score_lut(true), &xs, &ys).unwrap();
+        assert!(dense.score_lut().is_none());
+        let lut = fast.score_lut().expect("kernel should build");
+        assert_eq!(lut.n_classes(), 4);
+        assert_eq!(
+            fast.predict_batch(&xs).unwrap(),
+            dense.predict_batch(&xs).unwrap()
+        );
+        for x in &xs {
+            assert_eq!(fast.scores(x).unwrap(), dense.scores(x).unwrap());
+        }
+        // Sharded batches dispatch through the kernel per query, so any
+        // thread count stays bit-identical too.
+        let mut threaded = fast.clone();
+        threaded.set_engine(EngineConfig::new().with_threads(3).with_shard_size(7));
+        assert_eq!(
+            threaded.predict_batch(&xs).unwrap(),
+            dense.predict_batch(&xs).unwrap()
+        );
+    }
+
+    #[test]
+    fn score_lut_falls_back_when_ineligible() {
+        let (xs, ys) = blobs(10, 3, 15, 0.08, 22);
+        // Default compression decorrelates — whitening disqualifies the
+        // integer kernel, so the fit falls back silently.
+        let whitened = LookHdConfig::new()
+            .with_dim(256)
+            .with_retrain_epochs(0)
+            .with_score_lut(true);
+        let clf = LookHdClassifier::fit(&whitened, &xs, &ys).unwrap();
+        assert!(clf.score_lut().is_none());
+        // A one-byte budget can never hold the tables.
+        let starved = LookHdConfig::new()
+            .with_dim(256)
+            .with_retrain_epochs(0)
+            .with_compression(CompressionConfig::new().with_decorrelate(false))
+            .with_score_lut_budget(1);
+        let clf = LookHdClassifier::fit(&starved, &xs, &ys).unwrap();
+        assert!(clf.score_lut().is_none());
+        assert!(clf.predict(&xs[0]).is_ok());
+    }
+
+    #[test]
+    fn score_lut_survives_persistence() {
+        let (xs, ys) = blobs(11, 3, 18, 0.08, 23);
+        let config = LookHdConfig::new()
+            .with_dim(256)
+            .with_retrain_epochs(2)
+            .with_compression(CompressionConfig::new().with_decorrelate(false))
+            .with_score_lut(true);
+        let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+        assert!(clf.score_lut().is_some());
+        let bytes = clf.to_bytes().unwrap();
+        let back = LookHdClassifier::from_bytes(&bytes).unwrap();
+        assert_eq!(back.score_lut(), clf.score_lut());
+        for x in &xs {
+            assert_eq!(back.predict(x).unwrap(), clf.predict(x).unwrap());
+            assert_eq!(back.scores(x).unwrap(), clf.scores(x).unwrap());
+        }
+        // A kernel-less artifact round-trips to a kernel-less classifier.
+        let dense = LookHdClassifier::fit(&config.clone().with_score_lut(false), &xs, &ys).unwrap();
+        let back = LookHdClassifier::from_bytes(&dense.to_bytes().unwrap()).unwrap();
+        assert!(back.score_lut().is_none());
     }
 
     #[test]

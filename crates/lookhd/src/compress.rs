@@ -717,6 +717,21 @@ impl CompressedModel {
         self.keys.key(label)
     }
 
+    /// The combined-vector group holding class `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= self.n_classes()`.
+    pub fn group_of(&self, label: usize) -> usize {
+        self.group_of[label]
+    }
+
+    /// Number of principal common directions removed by decorrelation
+    /// (0 when `decorrelate=false` — the integer fast-path precondition).
+    pub fn n_directions(&self) -> usize {
+        self.directions.len()
+    }
+
     /// The compression configuration.
     pub fn config(&self) -> &CompressionConfig {
         &self.config

@@ -18,6 +18,10 @@
 //!   (the paper's ref \[13\]; an extension beyond the core LookHD pipeline);
 //! * [`retrain`] — staged retraining on the compressed model, with both
 //!   exact and paper-hardware update rules (§IV-D, §V-C);
+//! * [`score_lut`] — the score-LUT inference kernel: per-chunk, per-class
+//!   partial-score tables folding Eq. 5 scoring into the lookup table, so
+//!   predict is `m` table reads and `m·k` adds (§III, §V applied to the
+//!   scoring stage);
 //! * [`classifier`] — the end-to-end [`classifier::LookHdClassifier`];
 //! * [`sweep`] — structured hyperparameter grid sweeps (the Fig. 12 /
 //!   Table II experiment pattern, reusable on any dataset);
@@ -58,8 +62,10 @@ pub mod encoder;
 pub mod lut;
 pub mod online;
 pub mod retrain;
+pub mod score_lut;
 pub mod sweep;
 pub mod trainer;
 
 pub use classifier::{LookHdClassifier, LookHdConfig};
 pub use compress::{CompressedModel, CompressionConfig};
+pub use score_lut::{ScoreLut, ScoreLutMode};

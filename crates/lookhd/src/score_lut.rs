@@ -1,0 +1,773 @@
+//! Score-LUT inference kernel: fold class scoring into the lookup table.
+//!
+//! The dense compressed path (§IV, Eq. 5) materializes the query
+//! hypervector `H = Σ_i P_i ⊙ LUT_i[addr_i]` (Eq. 3) and then scores each
+//! class with a `D`-wide multiply-accumulate. But scoring is *linear* in
+//! `H`, so the per-class score decomposes chunk by chunk:
+//!
+//! ```text
+//! score_c(H) = Σ_d P'_c[d] · H[d] · C[d]
+//!            = Σ_i (P'_c ⊙ C ⊙ P_i) · LUT_i[addr_i]
+//!            = Σ_i S_i[c][addr_i]
+//! ```
+//!
+//! where `C` is the combined vector holding class `c`. Every partial score
+//! `S_i[c][addr]` depends only on the trained model, so it is precomputed
+//! once at model-finalize time. Prediction is then address extraction
+//! (quantize + concatenated-codebook addressing, shared with the encoder)
+//! followed by `m` table reads and `m·k` integer adds — no hypervector is
+//! materialized on the query path. This applies the paper's
+//! arithmetic-to-memory substitution (§III, §V) to the scoring stage.
+//!
+//! ## Exactness
+//!
+//! All quantities are integers and `i64` addition is associative, so the
+//! gathered total equals the dense integer path *bit for bit* provided
+//! nothing overflows. [`ScoreLut::build`] enforces
+//! `D · max|C| · n ≤ 2^52`, which bounds every partial sum and keeps the
+//! final scores exactly representable as `f64` — the dense path's return
+//! type — so argmax and scores are identical, not merely close.
+//!
+//! The kernel is only valid *without* decorrelation: whitening projects
+//! queries through `f64` arithmetic whose rounding does not commute with
+//! the per-chunk decomposition. [`ScoreLut::build`] rejects whitened
+//! models and the classifier falls back to the dense path.
+//!
+//! ## Build cost
+//!
+//! The naive build (synthesize all `q^r` rows, bind, dot) costs
+//! `O(m·k·q^r·D)`. Instead we use the row structure
+//! `LUT(addr) = Σ_j ρ^j(L_{digit_j})`: with
+//! `T_i[c][j][lv] = (P'_c ⊙ P_i ⊙ ρ^j(L_lv)) · C`, each table entry is
+//! `S_i[c][addr] = Σ_j T_i[c][j][digit_j(addr)]` — only `m·k·r·q` masked
+//! dot products of length `D`, then `r` adds per entry.
+
+use hdc::hv::BipolarHv;
+use hdc::{HdcError, Result};
+
+use crate::chunking::ChunkLayout;
+use crate::compress::{serial_u32, CompressedModel, MAX_SERIAL_CLASSES, MAX_SERIAL_FEATURES};
+use crate::encoder::LookupEncoder;
+
+/// Whether (and under what memory budget) the classifier precomputes the
+/// score-LUT inference kernel at model-finalize time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoreLutMode {
+    /// Never build the kernel; always score via the dense compressed path.
+    #[default]
+    Off,
+    /// Build the kernel when the table fits `budget_bytes` and the model
+    /// is eligible (no whitening, in-bound scores); otherwise fall back to
+    /// the dense path silently (counted as `score_lut.fallback`).
+    Auto {
+        /// Byte ceiling for the precomputed tables (`m·k·q^r` × 8 bytes).
+        budget_bytes: usize,
+    },
+}
+
+impl ScoreLutMode {
+    /// Default table budget for [`ScoreLutMode::Auto`] (64 MiB — holds the
+    /// Table I SPEECH shape, `124·26·4^5` entries ≈ 26 MiB, with room).
+    pub const DEFAULT_BUDGET_BYTES: usize = 64 << 20;
+}
+
+/// Ceiling on serialized/loaded score-LUT entries (2^27 ≈ 134M entries,
+/// 1 GiB of `i64`) — same role as [`crate::compress::MAX_REGEN_ELEMENTS`]:
+/// a corrupt header must not request a multi-GB allocation.
+pub const MAX_SERIAL_SCORE_ENTRIES: usize = 1 << 27;
+
+/// Largest score magnitude the kernel accepts: `2^52`, chosen so every
+/// partial sum fits `i64` with headroom *and* round-trips `i64 → f64`
+/// exactly (f64 mantissa is 53 bits). The dense path returns scores as
+/// `f64`, so this bound is what makes the two paths bit-identical rather
+/// than approximately equal.
+pub const MAX_EXACT_SCORE: i64 = 1 << 52;
+
+/// Rejects a model whose worst-case score `D · max|C| · n` could exceed
+/// [`MAX_EXACT_SCORE`]. Every per-chunk partial score is bounded by
+/// `D · max|C| · r` and the full score by `D · max|C| · n`, so this single
+/// product check covers both the `i64` accumulation and the exact-`f64`
+/// representability of the result.
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidConfig`] when the bound is exceeded (or the
+/// bound computation itself overflows).
+pub fn check_exact_score_bound(dim: usize, max_abs_combined: i64, n_features: usize) -> Result<()> {
+    let bound = (dim as i64)
+        .checked_mul(max_abs_combined)
+        .and_then(|v| v.checked_mul(n_features as i64));
+    match bound {
+        Some(b) if b <= MAX_EXACT_SCORE => Ok(()),
+        _ => Err(HdcError::invalid_config(
+            "score_lut",
+            format!(
+                "worst-case score D·max|C|·n = {dim}·{max_abs_combined}·{n_features} \
+                 exceeds the exact-integer bound 2^52"
+            ),
+        )),
+    }
+}
+
+/// The precomputed per-chunk, per-class partial-score tables
+/// `S_i[c][addr] = (P'_c ⊙ C ⊙ P_i) · LUT_i[addr]`.
+///
+/// Storage is one flat `i64` vector, chunk-major then address-major then
+/// class-minor: the entry for `(chunk i, addr, class c)` lives at
+/// `offsets[i] + addr·k + c`, so one prediction gathers `m` contiguous
+/// `k`-length rows — cache-friendly and trivially vectorizable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreLut {
+    /// Flat partial scores (see struct docs for the layout).
+    entries: Vec<i64>,
+    /// Entry offset of each chunk's table; length `m + 1`, so chunk `i`
+    /// spans `offsets[i]..offsets[i+1]` and holds `rows_i · k` entries.
+    offsets: Vec<usize>,
+    n_classes: usize,
+}
+
+impl ScoreLut {
+    /// Precomputes the kernel from a fitted encoder and compressed model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] when the model is ineligible —
+    /// whitening directions present (decorrelation breaks integer
+    /// exactness), the table would exceed `budget_bytes` or
+    /// [`MAX_SERIAL_SCORE_ENTRIES`], or the worst-case score violates
+    /// [`MAX_EXACT_SCORE`] — and [`HdcError::DimensionMismatch`] when the
+    /// encoder and compressed model disagree on `D`. Callers treat these
+    /// as "fall back to the dense path".
+    pub fn build(
+        encoder: &LookupEncoder,
+        compressed: &CompressedModel,
+        budget_bytes: usize,
+    ) -> Result<Self> {
+        let _span = obs::span("score_lut_build");
+        if compressed.n_directions() != 0 {
+            return Err(HdcError::invalid_config(
+                "score_lut",
+                "whitened (decorrelated) models score through f64 projections; \
+                 the integer score-LUT kernel requires decorrelate=false",
+            ));
+        }
+        let levels = encoder.lut().levels();
+        let dim = levels.dim();
+        if dim != compressed.dim() {
+            return Err(HdcError::DimensionMismatch {
+                expected: compressed.dim(),
+                actual: dim,
+            });
+        }
+        let layout = *encoder.layout();
+        let k = compressed.n_classes();
+        let total_entries = (k as u128).saturating_mul(layout.total_table_rows());
+        let cap = (budget_bytes / std::mem::size_of::<i64>()).min(MAX_SERIAL_SCORE_ENTRIES);
+        if total_entries > cap as u128 {
+            return Err(HdcError::invalid_config(
+                "score_lut",
+                format!(
+                    "table needs {total_entries} entries ({} bytes) > cap {cap} \
+                     ({budget_bytes}-byte budget); falling back to the dense path",
+                    total_entries.saturating_mul(8)
+                ),
+            ));
+        }
+        let max_abs = (0..compressed.n_vectors())
+            .map(|g| compressed.combined(g).max_abs() as i64)
+            .max()
+            .unwrap_or(0);
+        check_exact_score_bound(dim, max_abs, layout.n_features())?;
+
+        let m = layout.n_chunks();
+        let q = layout.q();
+        let r_max = layout.chunk_len(0);
+        // Rotated level hypervectors ρ^j(L_lv), shared by every chunk.
+        let rotated: Vec<Vec<BipolarHv>> = (0..r_max)
+            .map(|j| (0..q).map(|lv| levels.level(lv).rotated(j)).collect())
+            .collect();
+        let combined_i64: Vec<Vec<i64>> = (0..compressed.n_vectors())
+            .map(|g| {
+                compressed
+                    .combined(g)
+                    .as_slice()
+                    .iter()
+                    .map(|&v| v as i64)
+                    .collect()
+            })
+            .collect();
+        // Per-chunk entry bound for the debug overflow check below.
+        let chunk_bound = (dim as i64) * max_abs * (r_max as i64);
+
+        let mut entries = Vec::with_capacity(total_entries as usize);
+        let mut offsets = Vec::with_capacity(m + 1);
+        offsets.push(0usize);
+        // T[c][j][lv] laid out flat at c·(r_max·q) + j·q + lv; rebuilt per
+        // chunk (only the first chunk_len·q slots per class are used).
+        let mut t = vec![0i64; k * r_max * q];
+        for chunk in 0..m {
+            let chunk_len = layout.chunk_len(chunk);
+            let rows = layout.table_rows(chunk);
+            let p_i = encoder.positions().key(chunk);
+            for c in 0..k {
+                let sign = compressed.key(c).bind(p_i);
+                let weights = &combined_i64[compressed.group_of(c)];
+                let base = c * r_max * q;
+                for (j, rotated_row) in rotated.iter().enumerate().take(chunk_len) {
+                    for (lv, rot) in rotated_row.iter().enumerate() {
+                        t[base + j * q + lv] = Self::masked_sum(weights, &sign.bind(rot));
+                    }
+                }
+            }
+            // Walk addresses 0..rows with a base-q odometer over the digit
+            // vector (most-significant digit first, matching
+            // `ChunkLayout::address`): the next address increments the
+            // least-significant (last) digit with carry.
+            let mut digits = vec![0usize; chunk_len];
+            for _addr in 0..rows {
+                for c in 0..k {
+                    let base = c * r_max * q;
+                    let mut s = 0i64;
+                    for (j, &dg) in digits.iter().enumerate() {
+                        s += t[base + j * q + dg];
+                    }
+                    debug_assert!(
+                        s.abs() <= chunk_bound,
+                        "chunk {chunk} partial score {s} exceeds bound {chunk_bound}"
+                    );
+                    entries.push(s);
+                }
+                for d in digits.iter_mut().rev() {
+                    *d += 1;
+                    if *d < q {
+                        break;
+                    }
+                    *d = 0;
+                }
+            }
+            offsets.push(entries.len());
+        }
+        Ok(Self {
+            entries,
+            offsets,
+            n_classes: k,
+        })
+    }
+
+    /// `Σ_d ±v[d]` with signs from the packed bipolar key (bit 1 ⇔ −1),
+    /// computed as `Σv − 2·Σ_{negative dims} v` — the same branchless
+    /// masked sum as the dense path's per-class accumulation.
+    fn masked_sum(v: &[i64], key: &BipolarHv) -> i64 {
+        let total: i64 = v.iter().sum();
+        let mut negative: i64 = 0;
+        for (wi, &word) in key.words().iter().enumerate() {
+            let base = wi * 64;
+            let end = (base + 64).min(v.len());
+            let mut bits = word;
+            for &vd in &v[base..end] {
+                negative += vd & -((bits & 1) as i64);
+                bits >>= 1;
+            }
+        }
+        total - 2 * negative
+    }
+
+    /// Per-class integer scores for pre-extracted chunk addresses: `m`
+    /// contiguous table gathers and `m·k` adds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] when the address count differs
+    /// from `m` or an address exceeds its chunk's table.
+    pub fn scores_i64(&self, addrs: &[u64]) -> Result<Vec<i64>> {
+        let _span = obs::span("score_lut");
+        obs::counter("score_lut.queries", 1);
+        let m = self.n_chunks();
+        if addrs.len() != m {
+            return Err(HdcError::invalid_dataset(format!(
+                "expected {m} chunk addresses, got {}",
+                addrs.len()
+            )));
+        }
+        let k = self.n_classes;
+        let mut scores = vec![0i64; k];
+        for (i, &addr) in addrs.iter().enumerate() {
+            let start = self.offsets[i];
+            let rows = (self.offsets[i + 1] - start) / k;
+            if addr as usize >= rows {
+                return Err(HdcError::invalid_dataset(format!(
+                    "address {addr} out of range for chunk {i} ({rows} rows)"
+                )));
+            }
+            let row = &self.entries[start + addr as usize * k..start + (addr as usize + 1) * k];
+            for (s, &v) in scores.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        obs::counter("score_lut.table_reads", m as u64);
+        Ok(scores)
+    }
+
+    /// Per-class scores as `f64` — exactly equal to the dense path's
+    /// output (the build-time [`MAX_EXACT_SCORE`] bound guarantees the
+    /// `i64 → f64` cast is lossless).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScoreLut::scores_i64`].
+    pub fn scores(&self, addrs: &[u64]) -> Result<Vec<f64>> {
+        Ok(self.scores_i64(addrs)?.iter().map(|&s| s as f64).collect())
+    }
+
+    /// Argmax over [`ScoreLut::scores_i64`] — first maximum wins, the same
+    /// strict-`>` rule as [`CompressedModel::predict`], so ties break
+    /// identically.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScoreLut::scores_i64`].
+    pub fn predict(&self, addrs: &[u64]) -> Result<usize> {
+        let scores = self.scores_i64(addrs)?;
+        let mut best = 0;
+        let mut best_score = i64::MIN;
+        for (i, &s) in scores.iter().enumerate() {
+            if s > best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Number of chunk tables `m`.
+    pub fn n_chunks(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of classes `k` per table row.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Table rows of chunk `i` (`q^len(i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n_chunks()`.
+    pub fn rows(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) / self.n_classes
+    }
+
+    /// Bytes held by the precomputed tables.
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<i64>()
+    }
+
+    /// Checks this kernel is consistent with the layout and compressed
+    /// model it will serve — chunk count, per-chunk row counts, class
+    /// count, and the no-whitening eligibility rule. Used after
+    /// deserialization, where the three sections arrive independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] on any disagreement.
+    pub fn validate_against(
+        &self,
+        layout: &ChunkLayout,
+        compressed: &CompressedModel,
+    ) -> Result<()> {
+        if compressed.n_directions() != 0 {
+            return Err(HdcError::invalid_dataset(
+                "score-LUT section present on a whitened (decorrelated) model",
+            ));
+        }
+        if self.n_chunks() != layout.n_chunks() {
+            return Err(HdcError::invalid_dataset(format!(
+                "score-LUT has {} chunk tables, layout expects {}",
+                self.n_chunks(),
+                layout.n_chunks()
+            )));
+        }
+        if self.n_classes != compressed.n_classes() {
+            return Err(HdcError::invalid_dataset(format!(
+                "score-LUT has {} classes, compressed model has {}",
+                self.n_classes,
+                compressed.n_classes()
+            )));
+        }
+        for i in 0..self.n_chunks() {
+            if self.rows(i) != layout.table_rows(i) {
+                return Err(HdcError::invalid_dataset(format!(
+                    "score-LUT chunk {i} has {} rows, layout expects {}",
+                    self.rows(i),
+                    layout.table_rows(i)
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the kernel (`SLT1` format): chunk count, class count,
+    /// per-chunk row counts, then the flat `i64` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] when a count exceeds the format
+    /// caps (cannot happen for a kernel built by [`ScoreLut::build`]).
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SLT1");
+        let w32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
+        w32(
+            &mut out,
+            serial_u32("score-lut chunks", self.n_chunks(), MAX_SERIAL_FEATURES)?,
+        );
+        w32(
+            &mut out,
+            serial_u32("score-lut classes", self.n_classes, MAX_SERIAL_CLASSES)?,
+        );
+        for i in 0..self.n_chunks() {
+            out.extend_from_slice(&(self.rows(i) as u64).to_le_bytes());
+        }
+        for &e in &self.entries {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    /// Deserializes a kernel written by [`ScoreLut::to_bytes`].
+    ///
+    /// Headers are validated against the remaining stream length and the
+    /// [`MAX_SERIAL_SCORE_ENTRIES`] / [`crate::compress::MAX_SERIAL_CLASSES`]
+    /// / [`crate::compress::MAX_SERIAL_FEATURES`] caps *before* any
+    /// allocation, so a corrupt artifact errors instead of requesting a
+    /// multi-GB buffer; trailing bytes are rejected with the offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] for a malformed, truncated, or
+    /// over-long stream.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            if *pos + n > bytes.len() {
+                return Err(HdcError::invalid_dataset("truncated score-LUT stream"));
+            }
+            let out = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(out)
+        };
+        if take(&mut pos, 4)? != b"SLT1" {
+            return Err(HdcError::invalid_dataset(
+                "bad magic: not an SLT1 score-LUT",
+            ));
+        }
+        let u32v = |pos: &mut usize| -> Result<u32> {
+            Ok(u32::from_le_bytes(
+                take(pos, 4)?.try_into().expect("len checked"),
+            ))
+        };
+        let m = u32v(&mut pos)? as usize;
+        let k = u32v(&mut pos)? as usize;
+        if m == 0 || m > MAX_SERIAL_FEATURES {
+            return Err(HdcError::invalid_dataset(format!(
+                "score-LUT chunk count {m} outside 1..={MAX_SERIAL_FEATURES}"
+            )));
+        }
+        if k == 0 || k > MAX_SERIAL_CLASSES {
+            return Err(HdcError::invalid_dataset(format!(
+                "score-LUT class count {k} outside 1..={MAX_SERIAL_CLASSES}"
+            )));
+        }
+        // Row counts: 8 bytes each, checked against the remaining stream
+        // before the loop allocates anything.
+        if m.saturating_mul(8) > bytes.len() - pos {
+            return Err(HdcError::invalid_dataset(
+                "score-LUT stream too short for chunk row counts",
+            ));
+        }
+        let mut offsets = Vec::with_capacity(m + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for i in 0..m {
+            let rows = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("len checked"));
+            if rows == 0 {
+                return Err(HdcError::invalid_dataset(format!(
+                    "score-LUT chunk {i} claims zero rows"
+                )));
+            }
+            let chunk_entries = usize::try_from(rows)
+                .ok()
+                .and_then(|r| r.checked_mul(k))
+                .and_then(|e| e.checked_add(total))
+                .filter(|&e| e <= MAX_SERIAL_SCORE_ENTRIES)
+                .ok_or_else(|| {
+                    HdcError::invalid_dataset(format!(
+                        "score-LUT chunk {i} pushes the entry count past the \
+                         {MAX_SERIAL_SCORE_ENTRIES}-entry limit"
+                    ))
+                })?;
+            total = chunk_entries;
+            offsets.push(total);
+        }
+        if total.saturating_mul(8) > bytes.len() - pos {
+            return Err(HdcError::invalid_dataset(
+                "score-LUT stream too short for its entries",
+            ));
+        }
+        let mut entries = Vec::with_capacity(total);
+        for _ in 0..total {
+            entries.push(i64::from_le_bytes(
+                take(&mut pos, 8)?.try_into().expect("len checked"),
+            ));
+        }
+        if pos != bytes.len() {
+            return Err(HdcError::invalid_dataset(format!(
+                "{} trailing byte(s) after score-LUT (offset {pos})",
+                bytes.len() - pos
+            )));
+        }
+        Ok(Self {
+            entries,
+            offsets,
+            n_classes: k,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::encoding::Encode;
+    use hdc::hv::DenseHv;
+    use hdc::levels::{LevelMemory, LevelScheme};
+    use hdc::model::ClassModel;
+    use hdc::quantize::{Quantization, Quantizer};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use crate::compress::CompressionConfig;
+    use crate::lut::TableMode;
+
+    /// A fitted encoder + compressed model pair over random classes.
+    fn setup(
+        n: usize,
+        r: usize,
+        q: usize,
+        dim: usize,
+        k: usize,
+        group: usize,
+        seed: u64,
+    ) -> (LookupEncoder, CompressedModel) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let levels = LevelMemory::generate(dim, q, LevelScheme::RandomFlips, &mut rng).unwrap();
+        let samples: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+        let quantizer = Quantizer::fit(Quantization::Equalized, &samples, q).unwrap();
+        let layout = ChunkLayout::new(n, r, q).unwrap();
+        let encoder =
+            LookupEncoder::new(layout, &levels, quantizer, TableMode::Materialized, seed).unwrap();
+        let classes = (0..k)
+            .map(|_| DenseHv::from_vec((0..dim).map(|_| rng.gen_range(-30..=30)).collect()))
+            .collect();
+        let model = ClassModel::from_classes(classes).unwrap();
+        let config = CompressionConfig::new()
+            .with_decorrelate(false)
+            .with_max_classes_per_vector(group);
+        let compressed = CompressedModel::compress(&model, &config).unwrap();
+        (encoder, compressed)
+    }
+
+    fn random_features(n: usize, rng: &mut StdRng) -> Vec<f64> {
+        (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+
+    /// The core exactness contract: for random models (remainder chunks
+    /// and multi-group class packing included), the kernel's scores equal
+    /// the dense path's f64 scores exactly and the argmax is identical.
+    #[test]
+    fn kernel_scores_match_dense_path_exactly() {
+        for (n, r, q, dim, k, group) in [
+            (10, 5, 4, 128, 3, 12),
+            (13, 5, 4, 200, 7, 3),  // remainder chunk + multiple groups
+            (23, 4, 2, 64, 26, 12), // many classes, 3 groups
+        ] {
+            let (encoder, compressed) = setup(n, r, q, dim, k, group, 42 + n as u64);
+            let lut = ScoreLut::build(&encoder, &compressed, usize::MAX).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..25 {
+                let features = random_features(n, &mut rng);
+                let addrs = encoder.addresses(&features).unwrap();
+                let h = encoder.encode(&features).unwrap();
+                let dense = compressed.scores(&h).unwrap();
+                let fast = lut.scores(&addrs).unwrap();
+                assert_eq!(fast, dense, "scores diverged (n={n}, k={k})");
+                assert_eq!(
+                    lut.predict(&addrs).unwrap(),
+                    compressed.predict(&h).unwrap(),
+                    "argmax diverged (n={n}, k={k})"
+                );
+            }
+        }
+    }
+
+    /// The dense integer scores are whole numbers; the kernel reproduces
+    /// them in i64 without any f64 round-trip.
+    #[test]
+    fn kernel_scores_are_exact_integers() {
+        let (encoder, compressed) = setup(13, 5, 4, 200, 5, 12, 5);
+        let lut = ScoreLut::build(&encoder, &compressed, usize::MAX).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let features = random_features(13, &mut rng);
+        let addrs = encoder.addresses(&features).unwrap();
+        let ints = lut.scores_i64(&addrs).unwrap();
+        let floats = lut.scores(&addrs).unwrap();
+        let dense = compressed
+            .scores(&encoder.encode(&features).unwrap())
+            .unwrap();
+        for ((i, f), d) in ints.iter().zip(&floats).zip(&dense) {
+            assert_eq!(*i as f64, *f);
+            assert_eq!(*f, *d);
+            assert_eq!(d.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_whitened_models() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let levels = LevelMemory::generate(64, 4, LevelScheme::RandomFlips, &mut rng).unwrap();
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let quantizer = Quantizer::fit(Quantization::Equalized, &samples, 4).unwrap();
+        let layout = ChunkLayout::new(10, 5, 4).unwrap();
+        let encoder =
+            LookupEncoder::new(layout, &levels, quantizer, TableMode::OnTheFly, 11).unwrap();
+        let classes = (0..3)
+            .map(|_| DenseHv::from_vec((0..64).map(|_| rng.gen_range(-20..=20)).collect()))
+            .collect();
+        let model = ClassModel::from_classes(classes).unwrap();
+        let whitened = CompressedModel::compress(&model, &CompressionConfig::new()).unwrap();
+        assert!(whitened.n_directions() > 0);
+        let err = ScoreLut::build(&encoder, &whitened, usize::MAX).unwrap_err();
+        assert!(err.to_string().contains("decorrelate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_budget_overflow() {
+        let (encoder, compressed) = setup(10, 5, 4, 64, 3, 12, 13);
+        // 2 chunks × 1024 rows × 3 classes × 8 B = 49 KiB > 1 KiB budget.
+        let err = ScoreLut::build(&encoder, &compressed, 1024).unwrap_err();
+        assert!(err.to_string().contains("budget"), "{err}");
+        assert!(ScoreLut::build(&encoder, &compressed, 64 << 10).is_ok());
+    }
+
+    #[test]
+    fn score_bound_check_rejects_oversized_products() {
+        assert!(check_exact_score_bound(2000, 1000, 617).is_ok());
+        assert!(check_exact_score_bound(1 << 20, 1 << 20, 1 << 20).is_err());
+        // Exactly at the bound is accepted, one past is not.
+        assert!(check_exact_score_bound(1 << 26, 1 << 26, 1).is_ok());
+        assert!(check_exact_score_bound(1 << 26, (1 << 26) + 1, 1).is_err());
+    }
+
+    #[test]
+    fn build_rejects_out_of_bound_scores() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // Fixed-scale compression rescales each class to L2 norm `s`, so a
+        // constant class lands at s/√D per dim and the worst-case score is
+        // √D·s·n. With D=1024, s=i32::MAX, n=2^17 that is ≈ 2^53 > 2^52.
+        let dim = 1024;
+        let n = 1 << 17;
+        let levels = LevelMemory::generate(dim, 2, LevelScheme::RandomFlips, &mut rng).unwrap();
+        let quantizer = Quantizer::fit(Quantization::Linear, &[0.0, 1.0], 2).unwrap();
+        let layout = ChunkLayout::new(n, 8, 2).unwrap();
+        let encoder =
+            LookupEncoder::new(layout, &levels, quantizer, TableMode::OnTheFly, 17).unwrap();
+        let classes = vec![DenseHv::from_vec(vec![1; dim]), DenseHv::zeros(dim)];
+        let model = ClassModel::from_classes(classes).unwrap();
+        let config = CompressionConfig::new()
+            .with_decorrelate(false)
+            .with_scale(i32::MAX);
+        let compressed = CompressedModel::compress(&model, &config).unwrap();
+        let err = ScoreLut::build(&encoder, &compressed, usize::MAX).unwrap_err();
+        assert!(err.to_string().contains("2^52"), "{err}");
+    }
+
+    #[test]
+    fn address_validation_errors_cleanly() {
+        let (encoder, compressed) = setup(10, 5, 4, 64, 3, 12, 19);
+        let lut = ScoreLut::build(&encoder, &compressed, usize::MAX).unwrap();
+        assert!(lut.scores_i64(&[0]).is_err()); // wrong count
+        assert!(lut.scores_i64(&[0, 1024]).is_err()); // addr ≥ rows
+        assert!(lut.scores_i64(&[0, 1023]).is_ok());
+    }
+
+    #[test]
+    fn accessors_report_geometry() {
+        let (encoder, compressed) = setup(13, 5, 2, 64, 4, 12, 23);
+        let lut = ScoreLut::build(&encoder, &compressed, usize::MAX).unwrap();
+        assert_eq!(lut.n_chunks(), 3);
+        assert_eq!(lut.n_classes(), 4);
+        assert_eq!(lut.rows(0), 32);
+        assert_eq!(lut.rows(2), 8); // remainder chunk: 3 features, 2^3
+        assert_eq!(lut.size_bytes(), (32 + 32 + 8) * 4 * 8);
+        lut.validate_against(encoder.layout(), &compressed).unwrap();
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let (encoder, compressed) = setup(13, 5, 4, 128, 5, 3, 29);
+        let lut = ScoreLut::build(&encoder, &compressed, usize::MAX).unwrap();
+        let bytes = lut.to_bytes().unwrap();
+        let back = ScoreLut::from_bytes(&bytes).unwrap();
+        assert_eq!(back, lut);
+        back.validate_against(encoder.layout(), &compressed)
+            .unwrap();
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption() {
+        let (encoder, compressed) = setup(10, 5, 2, 64, 3, 12, 31);
+        let lut = ScoreLut::build(&encoder, &compressed, usize::MAX).unwrap();
+        let bytes = lut.to_bytes().unwrap();
+        // Every truncation errors; trailing bytes error.
+        for cut in 0..bytes.len() {
+            assert!(
+                ScoreLut::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} parsed"
+            );
+        }
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(ScoreLut::from_bytes(&longer).is_err());
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(ScoreLut::from_bytes(&bad).is_err());
+        // A row-count header lying about a huge table must be rejected
+        // before allocation (chunk count at offset 4, rows at offset 12).
+        let mut lying = bytes.clone();
+        lying[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(ScoreLut::from_bytes(&lying).is_err());
+        // Byte flips never panic; survivors must stay usable.
+        let addrs = encoder.addresses(&[0.5; 10]).unwrap();
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0xFF;
+            if let Ok(back) = ScoreLut::from_bytes(&flipped) {
+                let _ = back.scores_i64(&addrs);
+            }
+        }
+        let _ = compressed; // geometry partner kept alive for clarity
+    }
+
+    #[test]
+    fn validate_against_catches_mismatches() {
+        let (encoder, compressed) = setup(10, 5, 4, 64, 3, 12, 37);
+        let lut = ScoreLut::build(&encoder, &compressed, usize::MAX).unwrap();
+        let other_layout = ChunkLayout::new(15, 5, 4).unwrap();
+        assert!(lut.validate_against(&other_layout, &compressed).is_err());
+        let (_, other_k) = setup(10, 5, 4, 64, 5, 12, 37);
+        assert!(lut.validate_against(encoder.layout(), &other_k).is_err());
+        let wrong_rows = ChunkLayout::new(10, 5, 2).unwrap();
+        assert!(lut.validate_against(&wrong_rows, &compressed).is_err());
+    }
+}

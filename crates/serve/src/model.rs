@@ -6,7 +6,10 @@
 //!
 //! * **`LKS1`** — a full [`LookHdClassifier`] (quantizer, lookup encoder,
 //!   and compressed model). Requests carry *raw feature vectors*; the
-//!   server encodes and classifies exactly like `lookhd predict`.
+//!   server encodes and classifies exactly like `lookhd predict`. When the
+//!   artifact carries a score-LUT kernel (`--score-lut` at train time),
+//!   the server picks it up transparently — the kernel is bit-identical
+//!   to the dense path, so responses do not change, only their latency.
 //! * **`HDC1`** — a bare [`ClassModel`] with no encoder. Requests carry a
 //!   *pre-encoded hypervector* (one `f64` per dimension, rounded to the
 //!   nearest `i32`); the edge device runs the cheap lookup encoding and
@@ -186,6 +189,35 @@ mod tests {
                 clf.compressed().predict(&h).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn score_lut_artifact_loads_and_matches_dense_sibling() {
+        let (dense_clf, features) = tiny_lookhd();
+        // Same data and seed, kernel enabled (which needs decorrelation
+        // off — also turn it off for the dense sibling so the two models
+        // are trained identically).
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..24 {
+            let class = i % 2;
+            let base = if class == 0 { 0.25 } else { 0.75 };
+            let jitter = (i / 2) as f64 * 0.01;
+            xs.push(vec![base + jitter, base - jitter, base, 1.0 - base]);
+            ys.push(class);
+        }
+        let base_cfg = LookHdConfig::new()
+            .with_dim(64)
+            .with_retrain_epochs(1)
+            .with_compression(lookhd::CompressionConfig::new().with_decorrelate(false));
+        let dense = LookHdClassifier::fit(&base_cfg, &xs, &ys).unwrap();
+        let fast = LookHdClassifier::fit(&base_cfg.clone().with_score_lut(true), &xs, &ys).unwrap();
+        assert!(fast.score_lut().is_some());
+        let served = classifier_from_bytes(&fast.to_bytes().unwrap()).unwrap();
+        for x in &features {
+            assert_eq!(served.predict(x).unwrap(), dense.predict(x).unwrap());
+        }
+        let _ = dense_clf;
     }
 
     #[test]

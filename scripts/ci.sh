@@ -21,6 +21,16 @@ cargo test -q --test persist_corruption
 echo "== wire protocol corruption sweep"
 cargo test -q --test serve_corruption
 
+echo "== encoder table-mode parity (proptest differential)"
+cargo test -q --test prop_encoder_parity
+
+echo "== score-LUT kernel differential + serve matrix"
+cargo test -q -p lookhd score_lut
+cargo test -q --test serve_differential score_lut_kernel_serves_identically_to_dense_path
+
+echo "== quantizer degenerate-input regressions"
+cargo test -q -p hdc quantize
+
 echo "== CLI metrics smoke test"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -42,13 +52,13 @@ open(sys.argv[2], "w").write("\n".join(queries) + "\n")
 EOF
 cargo run --release -q -p lookhd-cli -- train \
     --data "$smoke_dir/train.csv" --out "$smoke_dir/model.lks" \
-    --dim 512 --epochs 2 --metrics "$smoke_dir/metrics.json"
+    --dim 512 --epochs 2 --score-lut --metrics "$smoke_dir/metrics.json"
 python3 - "$smoke_dir/metrics.json" << 'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["version"] == 1, doc
 paths = [s["path"] for s in doc["spans"]]
-for stage in ("encode", "counter_train", "compress", "predict"):
+for stage in ("encode", "counter_train", "compress", "predict", "score_lut"):
     assert any(stage in p for p in paths), f"missing stage {stage}: {paths}"
 assert any(s["total_ns"] > 0 for s in doc["spans"]), "all durations zero"
 counters = {c["name"] for c in doc["counters"]}

@@ -9,7 +9,7 @@
 
 use lookhd_paper::hdc::persist::{model_from_bytes, model_to_bytes};
 use lookhd_paper::hdc::{Classifier, FitClassifier};
-use lookhd_paper::lookhd::{CompressedModel, LookHdClassifier, LookHdConfig};
+use lookhd_paper::lookhd::{CompressedModel, CompressionConfig, LookHdClassifier, LookHdConfig};
 
 /// A tiny but non-trivial trained classifier (small dim keeps the byte
 /// sweeps fast: the artifact is ~1–2 KB, and we parse it once per byte).
@@ -70,6 +70,71 @@ fn classifier_intact_round_trip_predicts_identically() {
         assert_eq!(
             clf.predict(x).expect("predict failed"),
             back.predict(x).expect("predict failed")
+        );
+    }
+}
+
+/// Like [`tiny_classifier`] but with the score-LUT kernel built, so the
+/// sweeps also cover the SLT1 section and its flag byte. Small q/r keep
+/// the tables (and thus the per-byte parse cost) tiny.
+fn tiny_lut_classifier() -> (LookHdClassifier, Vec<Vec<f64>>) {
+    let (_, features) = tiny_classifier();
+    let labels: Vec<usize> = (0..features.len()).map(|i| i % 2).collect();
+    let config = LookHdConfig::new()
+        .with_dim(64)
+        .with_q(2)
+        .with_r(2)
+        .with_retrain_epochs(1)
+        .with_compression(CompressionConfig::new().with_decorrelate(false))
+        .with_score_lut(true);
+    let clf = LookHdClassifier::fit(&config, &features, &labels).expect("training failed");
+    assert!(clf.score_lut().is_some(), "kernel should have been built");
+    (clf, features)
+}
+
+#[test]
+fn lut_classifier_truncated_at_every_length_errors() {
+    let (clf, _) = tiny_lut_classifier();
+    let bytes = clf.to_bytes().expect("serialization failed");
+    for cut in 0..bytes.len() {
+        assert!(
+            LookHdClassifier::from_bytes(&bytes[..cut]).is_err(),
+            "lut truncation at {cut}/{} parsed successfully",
+            bytes.len()
+        );
+    }
+    let mut longer = bytes.clone();
+    longer.push(0);
+    assert!(LookHdClassifier::from_bytes(&longer).is_err());
+}
+
+#[test]
+fn lut_classifier_survives_every_single_byte_flip() {
+    let (clf, features) = tiny_lut_classifier();
+    let bytes = clf.to_bytes().expect("serialization failed");
+    for i in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0xFF;
+        if let Ok(back) = LookHdClassifier::from_bytes(&bad) {
+            let _ = back.predict(&features[0]);
+        }
+    }
+}
+
+#[test]
+fn lut_classifier_intact_round_trip_predicts_identically() {
+    let (clf, features) = tiny_lut_classifier();
+    let bytes = clf.to_bytes().expect("serialization failed");
+    let back = LookHdClassifier::from_bytes(&bytes).expect("reload failed");
+    assert!(back.score_lut().is_some(), "kernel lost in round trip");
+    for x in &features {
+        assert_eq!(
+            clf.predict(x).expect("predict failed"),
+            back.predict(x).expect("predict failed")
+        );
+        assert_eq!(
+            clf.scores(x).expect("scores failed"),
+            back.scores(x).expect("scores failed")
         );
     }
 }

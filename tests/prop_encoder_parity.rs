@@ -1,0 +1,108 @@
+//! Differential property test: the two lookup-table storage modes are
+//! interchangeable. `TableMode::Materialized` (BRAM-style pre-stored
+//! rows) and `TableMode::OnTheFly` (rows synthesized per lookup) must
+//! produce bit-identical hypervectors and identical chunk addresses for
+//! every layout — including `n % r != 0` remainder chunks — so address
+//! extraction (which the score-LUT kernel reuses) can safely run against
+//! either mode.
+
+use lookhd_paper::hdc::encoding::Encode;
+use lookhd_paper::hdc::levels::{LevelMemory, LevelScheme};
+use lookhd_paper::hdc::quantize::{Quantization, Quantizer};
+use lookhd_paper::lookhd::chunking::ChunkLayout;
+use lookhd_paper::lookhd::encoder::LookupEncoder;
+use lookhd_paper::lookhd::lut::TableMode;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both table modes agree on every address and every encoded
+    /// hypervector, bit for bit, across random layouts and queries.
+    #[test]
+    fn table_modes_encode_identically(
+        n in 1usize..24,
+        r in 1usize..8,
+        q in 2usize..5,
+        dim in 64usize..320,
+        seed in 0u64..1_000,
+        quant_linear in proptest::any::<bool>(),
+        queries in proptest::collection::vec(
+            proptest::collection::vec(-2.0f64..2.0, 24), 1..8),
+    ) {
+        let r = r.min(n);
+        let layout = ChunkLayout::new(n, r, q).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let levels =
+            LevelMemory::generate(dim, q, LevelScheme::RandomFlips, &mut rng).unwrap();
+        let kind = if quant_linear {
+            Quantization::Linear
+        } else {
+            Quantization::Equalized
+        };
+        let samples: Vec<f64> = (0..200).map(|i| (i as f64 / 50.0) - 2.0).collect();
+        let quantizer = Quantizer::fit(kind, &samples, q).unwrap();
+        let materialized = LookupEncoder::new(
+            layout, &levels, quantizer.clone(), TableMode::Materialized, seed,
+        ).unwrap();
+        let on_the_fly = LookupEncoder::new(
+            layout, &levels, quantizer, TableMode::OnTheFly, seed,
+        ).unwrap();
+        prop_assert_eq!(materialized.lut().mode(), TableMode::Materialized);
+        prop_assert_eq!(on_the_fly.lut().mode(), TableMode::OnTheFly);
+        for query in &queries {
+            let features = &query[..n];
+            let a = materialized.addresses(features).unwrap();
+            let b = on_the_fly.addresses(features).unwrap();
+            prop_assert_eq!(&a, &b, "addresses diverged (n={}, r={}, q={})", n, r, q);
+            // Addresses stay inside each chunk's table.
+            for (chunk, &addr) in a.iter().enumerate() {
+                prop_assert!((addr as usize) < layout.table_rows(chunk));
+            }
+            let ha = materialized.encode(features).unwrap();
+            let hb = on_the_fly.encode(features).unwrap();
+            prop_assert_eq!(
+                ha.as_slice(), hb.as_slice(),
+                "hypervectors diverged (n={}, r={}, q={}, dim={})", n, r, q, dim
+            );
+        }
+    }
+
+    /// Remainder chunks specifically: layouts where the final chunk is
+    /// shorter than `r` get a smaller table, and both modes must agree on
+    /// its rows too (synthesize vs pre-store take different code paths
+    /// for the short shape).
+    #[test]
+    fn remainder_chunk_rows_agree(
+        full_chunks in 1usize..4,
+        r in 2usize..6,
+        tail in 1usize..5,
+        q in 2usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let tail = tail.min(r - 1); // force n % r != 0
+        let n = full_chunks * r + tail;
+        let layout = ChunkLayout::new(n, r, q).unwrap();
+        prop_assert_eq!(layout.chunk_len(layout.n_chunks() - 1), tail);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let levels =
+            LevelMemory::generate(128, q, LevelScheme::RandomFlips, &mut rng).unwrap();
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let quantizer = Quantizer::fit(Quantization::Equalized, &samples, q).unwrap();
+        let materialized = LookupEncoder::new(
+            layout, &levels, quantizer.clone(), TableMode::Materialized, seed,
+        ).unwrap();
+        let on_the_fly = LookupEncoder::new(
+            layout, &levels, quantizer, TableMode::OnTheFly, seed,
+        ).unwrap();
+        // Walk every address of the remainder chunk through both LUTs.
+        let last = layout.n_chunks() - 1;
+        for addr in 0..layout.table_rows(last) as u64 {
+            let row_a = materialized.lut().row(last, addr);
+            let row_b = on_the_fly.lut().row(last, addr);
+            prop_assert_eq!(row_a.as_slice(), row_b.as_slice(), "row {} diverged", addr);
+        }
+    }
+}

@@ -171,6 +171,71 @@ fn raw_and_compressed_formats_match_direct_predictions() {
     }
 }
 
+/// An LKS1 artifact carrying the score-LUT kernel serves responses
+/// byte-identical to the dense-path server across the full workers ×
+/// max-batch matrix: the kernel is an exact integer refactoring of the
+/// dense scoring, so only latency may differ, never a class.
+#[test]
+fn score_lut_kernel_serves_identically_to_dense_path() {
+    let (xs, ys, queries) = dataset();
+    // The kernel requires decorrelation off; train the dense sibling with
+    // the same compression so both models are identical up to the kernel.
+    let base = LookHdConfig::new()
+        .with_dim(256)
+        .with_retrain_epochs(2)
+        .with_compression(lookhd_paper::lookhd::CompressionConfig::new().with_decorrelate(false));
+    let dense = LookHdClassifier::fit(&base, &xs, &ys).expect("dense training failed");
+    let fast =
+        LookHdClassifier::fit(&base.clone().with_score_lut(true), &xs, &ys).expect("lut training");
+    assert!(fast.score_lut().is_some(), "kernel should have been built");
+    let lut_bytes = fast.to_bytes().expect("serialization failed");
+    // The kernel survives the LKS1 round trip into the served model.
+    let reloaded = LookHdClassifier::from_bytes(&lut_bytes).expect("reload failed");
+    assert!(reloaded.score_lut().is_some(), "kernel lost in round trip");
+
+    let expected: Vec<usize> = queries
+        .iter()
+        .map(|q| dense.predict(q).expect("dense predict failed"))
+        .collect();
+    for workers in WORKERS {
+        for max_batch in MAX_BATCH {
+            let model = serve::classifier_from_bytes(&lut_bytes).expect("model load failed");
+            let handle = serve::start(
+                "127.0.0.1:0",
+                model,
+                ServeConfig::new()
+                    .with_workers(workers)
+                    .with_max_batch(max_batch)
+                    .with_queue_cap(4096)
+                    .with_timeout(Duration::from_secs(30)),
+            )
+            .expect("bind failed");
+            let mut client = Client::connect(handle.addr()).expect("connect failed");
+            client
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            for (i, q) in queries.iter().enumerate() {
+                match client.predict(i as u64, q).expect("round trip failed") {
+                    Response::Predict { id, class } => {
+                        assert_eq!(id, i as u64);
+                        assert_eq!(
+                            class as usize, expected[i],
+                            "score-LUT server diverged from dense path on query {i} \
+                             (workers={workers}, max_batch={max_batch})"
+                        );
+                    }
+                    other => panic!(
+                        "unexpected response {other:?} \
+                         (workers={workers}, max_batch={max_batch})"
+                    ),
+                }
+            }
+            handle.shutdown();
+            handle.join();
+        }
+    }
+}
+
 /// Repeating the same query through different server configurations
 /// always yields the same class — servers are stateless and
 /// deterministic end to end.
