@@ -6,9 +6,17 @@
 //! eligibility requirement) and predict bit-identically; the bench
 //! isolates the per-query cost of materialize-H-then-score against
 //! address-extraction + table gathers.
+//!
+//! Besides the per-function criterion report, the bench self-times the
+//! same four operations and writes a schema-versioned perf-trajectory
+//! record to `BENCH_score_lut.json` at the repo root (override with
+//! `LOOKHD_BENCH_OUT`), so future PRs can diff medians/percentiles
+//! against this baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
 use std::hint::black_box;
+use std::time::Instant;
 
 use hdc::{Classifier, FitClassifier};
 use lookhd::{CompressionConfig, LookHdClassifier, LookHdConfig};
@@ -90,6 +98,82 @@ fn bench_score_lut(c: &mut Criterion) {
         b.iter(|| fast.predict_batch(black_box(&queries)).unwrap())
     });
     group.finish();
+
+    write_bench_json(&dense, &fast, &queries);
+}
+
+/// Timed nanosecond samples for one closure: short warm-up, then `n`
+/// wall-clock samples.
+fn sample_ns(n: usize, mut f: impl FnMut()) -> Vec<u64> {
+    for _ in 0..(n / 10).max(3) {
+        f();
+    }
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect()
+}
+
+/// Renders `{"min": .., "mean": .., "p50": .., "p90": .., "p99": .., "max": ..}`
+/// from raw nanosecond samples.
+fn stats_json(mut samples: Vec<u64>) -> String {
+    samples.sort_unstable();
+    let pct = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+    let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+    format!(
+        "{{\"min\": {}, \"mean\": {mean}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+        samples[0],
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        samples[samples.len() - 1]
+    )
+}
+
+/// Self-times the four benched operations and writes the perf-trajectory
+/// record (separate from criterion's console report, whose samples are
+/// not exposed by the vendored stub).
+fn write_bench_json(dense: &LookHdClassifier, fast: &LookHdClassifier, queries: &[Vec<f64>]) {
+    const SAMPLES: usize = 200;
+    let ops: [(&str, &dyn Fn()); 4] = [
+        ("dense_predict_1_ns", &|| {
+            dense.predict(black_box(&queries[0])).unwrap();
+        }),
+        ("lut_predict_1_ns", &|| {
+            fast.predict(black_box(&queries[0])).unwrap();
+        }),
+        ("dense_predict_batch_64_ns", &|| {
+            dense.predict_batch(black_box(queries)).unwrap();
+        }),
+        ("lut_predict_batch_64_ns", &|| {
+            fast.predict_batch(black_box(queries)).unwrap();
+        }),
+    ];
+    let mut results = String::new();
+    for (i, (name, op)) in ops.iter().enumerate() {
+        if i > 0 {
+            results.push_str(",\n    ");
+        }
+        let n = if name.contains("batch") { 50 } else { SAMPLES };
+        let _ = write!(results, "\"{name}\": {}", stats_json(sample_ns(n, op)));
+    }
+    let cores = std::thread::available_parallelism().map_or(0, usize::from);
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"score_lut_table1_speech\",\n  \
+         \"workload\": {{\"n_features\": {N_FEATURES}, \"n_classes\": {N_CLASSES}, \
+         \"dim\": 2000, \"q\": 4, \"r\": 5, \"batch\": 64, \"samples\": {SAMPLES}}},\n  \
+         \"host\": {{\"cores\": {cores}}},\n  \"results\": {{\n    {results}\n  }}\n}}\n"
+    );
+    let path = std::env::var("LOOKHD_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_score_lut.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote perf trajectory to {path}"),
+        Err(e) => eprintln!("warning: writing {path}: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_score_lut);

@@ -9,12 +9,21 @@
 //! cargo run --release -p lookhd-bench --bin loadgen -- \
 //!     --addr 127.0.0.1:4100 --data queries.csv \
 //!     [--connections 4 --requests 100 --out results/serve_loadgen.txt
+//!      --trace --admin 127.0.0.1:4101 --bench-out BENCH_serve.json
 //!      --shutdown]
 //! ```
 //!
 //! Feature vectors come from `--data` (label-free CSV rows, reused
 //! round-robin). `--shutdown` sends a graceful-shutdown frame after the
 //! burst, which is how `scripts/ci.sh` stops its smoke-test server.
+//!
+//! `--trace` sends every request as a v2 frame with a distinct trace id
+//! (`request id + 1`) and fails the run if a response echoes the wrong
+//! id — the client half of the end-to-end tracing contract. `--admin`
+//! scrapes the server's live `/metrics.json` after the burst and reports
+//! server-side queue-wait percentiles next to the client-side latency.
+//! `--bench-out` additionally writes a schema-versioned machine-readable
+//! summary (workload shape, percentiles, throughput, host cores).
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -46,6 +55,22 @@ fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
 
 fn ms(ns: u64) -> f64 {
     ns as f64 / 1e6
+}
+
+/// Pulls `"<field>": <uint>` out of a snapshot JSON document, scanning
+/// forward from the first occurrence of `anchor`. The snapshot format is
+/// deterministic (see `obs::Snapshot::to_json`), so a string scan is
+/// enough — the bench crate deliberately has no JSON parser.
+fn json_field_u64(doc: &str, anchor: &str, field: &str) -> Option<u64> {
+    let from = doc.find(anchor)? + anchor.len();
+    let rest = &doc[from..];
+    let needle = format!("\"{field}\": ");
+    let at = rest.find(&needle)? + needle.len();
+    let digits: String = rest[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
 }
 
 fn fail(message: &str) -> ! {
@@ -113,6 +138,9 @@ fn main() {
         .to_owned();
     let connections = flags.get_or("connections", 4usize).max(1);
     let requests = flags.get_or("requests", 100usize).max(1);
+    let traced = flags.switch("trace");
+    let admin_addr = flags.get("admin").map(str::to_owned);
+    let bench_out = flags.get("bench-out").map(str::to_owned);
     let out_path = flags
         .get("out")
         .unwrap_or("results/serve_loadgen.txt")
@@ -147,12 +175,19 @@ fn main() {
                     let _ = client.set_read_timeout(Some(Duration::from_secs(30)));
                     for i in 0..requests {
                         let id = (conn_idx * requests + i) as u64;
+                        // Trace ids are request id + 1: distinct per
+                        // request, never the reserved 0.
+                        let trace_id = if traced { id + 1 } else { 0 };
                         let row = &rows[(conn_idx + i) % rows.len()];
                         let sent = Instant::now();
-                        match client.predict(id, row) {
-                            Ok(Response::Predict { id: got, .. }) => {
+                        match client.predict_traced(id, trace_id, row) {
+                            Ok(Response::Predict {
+                                id: got,
+                                trace_id: got_trace,
+                                ..
+                            }) => {
                                 report.latencies_ns.push(sent.elapsed().as_nanos() as u64);
-                                if got != id {
+                                if got != id || got_trace != trace_id {
                                     report.mismatches += 1;
                                 }
                             }
@@ -173,6 +208,19 @@ fn main() {
             .collect()
     });
     let wall = started.elapsed();
+
+    // Scrape the live admin endpoint *before* any shutdown frame: the
+    // admin listener stops when the server drains.
+    let server_queue_wait: Option<(u64, u64, u64)> = admin_addr.as_deref().map(|admin| {
+        let doc = lookhd_serve::http_get(admin, "/metrics.json")
+            .unwrap_or_else(|e| fail(&format!("scraping {admin}/metrics.json: {e}")));
+        let anchor = "\"path\": \"serve/queue_wait\"";
+        let get = |field| {
+            json_field_u64(&doc, anchor, field)
+                .unwrap_or_else(|| fail(&format!("no {field} for serve/queue_wait in {admin}")))
+        };
+        (get("p50_ns"), get("p95_ns"), get("p99_ns"))
+    });
 
     if flags.switch("shutdown") {
         let mut client = Client::connect(&addr)
@@ -217,7 +265,52 @@ fn main() {
         ms(percentile(&latencies, 0.99)),
         ms(latencies.last().copied().unwrap_or(0)),
     ));
+    if traced {
+        report.push_str("trace ids: propagated and echo-checked on every request\n");
+    }
+    if let Some((p50, p95, p99)) = server_queue_wait {
+        report.push_str(&format!(
+            "server queue wait ms (from /metrics.json): p50 {:.3}  p95 {:.3}  p99 {:.3}\n",
+            ms(p50),
+            ms(p95),
+            ms(p99),
+        ));
+    }
     print!("{report}");
+
+    if let Some(bench_path) = &bench_out {
+        let n_features = rows.first().map_or(0, Vec::len);
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"schema_version\": 1,\n");
+        json.push_str("  \"bench\": \"serve_loadgen\",\n");
+        json.push_str(&format!(
+            "  \"workload\": {{\"connections\": {connections}, \"requests_per_connection\": {requests}, \"n_features\": {n_features}, \"traced\": {traced}}},\n"
+        ));
+        json.push_str(&format!("  \"host\": {{\"cores\": {cores}}},\n"));
+        json.push_str(&format!(
+            "  \"results\": {{\"ok\": {ok}, \"errors\": {errors}, \"id_mismatches\": {mismatches}, \"throughput_rps\": {throughput:.1}}},\n"
+        ));
+        json.push_str(&format!(
+            "  \"client_latency_ns\": {{\"mean\": {mean_ns}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.90),
+            percentile(&latencies, 0.99),
+            latencies.last().copied().unwrap_or(0),
+        ));
+        match server_queue_wait {
+            Some((p50, p95, p99)) => json.push_str(&format!(
+                ",\n  \"server_queue_wait_ns\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}\n"
+            )),
+            None => json.push('\n'),
+        }
+        json.push_str("}\n");
+        match std::fs::write(bench_path, &json) {
+            Ok(()) => println!("wrote {bench_path}"),
+            Err(e) => fail(&format!("writing {bench_path}: {e}")),
+        }
+    }
 
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         let _ = std::fs::create_dir_all(dir);
@@ -233,7 +326,23 @@ fn main() {
 
 #[cfg(test)]
 mod tests {
-    use super::percentile;
+    use super::{json_field_u64, percentile};
+
+    #[test]
+    fn json_field_scan_anchors_to_the_right_span() {
+        let doc = r#"{"spans": [
+            {"path": "serve/decode", "p50_ns": 11, "p95_ns": 12, "p99_ns": 13},
+            {"path": "serve/queue_wait", "p50_ns": 21, "p95_ns": 22, "p99_ns": 23}]}"#;
+        let anchor = "\"path\": \"serve/queue_wait\"";
+        assert_eq!(json_field_u64(doc, anchor, "p50_ns"), Some(21));
+        assert_eq!(json_field_u64(doc, anchor, "p99_ns"), Some(23));
+        assert_eq!(
+            json_field_u64(doc, "\"path\": \"serve/decode\"", "p50_ns"),
+            Some(11)
+        );
+        assert_eq!(json_field_u64(doc, anchor, "nope"), None);
+        assert_eq!(json_field_u64(doc, "\"path\": \"missing\"", "p50_ns"), None);
+    }
 
     #[test]
     fn percentiles_pin_known_small_arrays() {

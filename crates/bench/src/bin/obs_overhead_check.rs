@@ -1,0 +1,87 @@
+//! CI gate for the observability overhead budget: with the registry
+//! *enabled*, instrumented LookHD training must stay within 5% of the
+//! obs-disabled wall time (DESIGN.md §8; disabled, every site is one
+//! relaxed atomic load).
+//!
+//! The `engine_scaling/obs_overhead` criterion group reports the same
+//! delta but only prints it; this binary *enforces* the budget with a
+//! nonzero exit so `scripts/ci.sh` can fail on regressions.
+//!
+//! Methodology: disabled/enabled fits are interleaved (A B A B …) so
+//! slow drift on a shared host hits both arms equally, the comparison
+//! uses medians (robust to one-off scheduler stalls), and a failed
+//! round retries up to [`MAX_ROUNDS`] times before the check fails —
+//! a genuine regression fails every round, noise does not.
+//!
+//! Usage: `obs_overhead_check [--budget-pct 5] [--pairs 9]`
+
+use std::time::Instant;
+
+use hdc::FitClassifier;
+use lookhd::{LookHdClassifier, LookHdConfig};
+use lookhd_datasets::apps::App;
+
+const MAX_ROUNDS: usize = 3;
+
+fn median_ns(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut budget_pct = 5.0f64;
+    let mut pairs = 9usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--budget-pct" => budget_pct = value("--budget-pct").parse().expect("bad budget"),
+            "--pairs" => pairs = value("--pairs").parse().expect("bad pairs"),
+            other => panic!("unknown argument {other:?} (see module doc)"),
+        }
+    }
+
+    let data = App::Speech.profile().generate_small(42);
+    let cfg = LookHdConfig::new().with_dim(1024).with_retrain_epochs(0);
+    let fit = |enabled: bool| -> u64 {
+        obs::set_enabled(enabled);
+        let start = Instant::now();
+        let model = LookHdClassifier::fit(&cfg, &data.train.features, &data.train.labels)
+            .expect("training failed");
+        let ns = start.elapsed().as_nanos() as u64;
+        obs::set_enabled(false);
+        obs::reset();
+        std::hint::black_box(model);
+        ns
+    };
+
+    // Warm-up: page in the dataset and JIT-warm the allocator.
+    fit(false);
+    fit(true);
+
+    for round in 1..=MAX_ROUNDS {
+        let mut disabled = Vec::with_capacity(pairs);
+        let mut enabled = Vec::with_capacity(pairs);
+        for _ in 0..pairs {
+            disabled.push(fit(false));
+            enabled.push(fit(true));
+        }
+        let (off, on) = (median_ns(disabled), median_ns(enabled));
+        let overhead_pct = (on as f64 - off as f64) / off as f64 * 100.0;
+        println!(
+            "round {round}/{MAX_ROUNDS}: disabled median {:.2}ms, enabled median {:.2}ms, \
+             overhead {overhead_pct:+.2}% (budget {budget_pct}%)",
+            off as f64 / 1e6,
+            on as f64 / 1e6,
+        );
+        if overhead_pct <= budget_pct {
+            println!("obs overhead OK");
+            return;
+        }
+    }
+    eprintln!("obs overhead check FAILED: budget exceeded in all {MAX_ROUNDS} rounds");
+    std::process::exit(1);
+}

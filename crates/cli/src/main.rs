@@ -11,7 +11,8 @@
 //! lookhd inspect  --data data.csv
 //! lookhd estimate --model model.lks [--samples 1000]
 //! lookhd serve    --model model.lks [--addr 127.0.0.1:4100 --threads 1
-//!                 --max-batch 16 --queue-cap 1024 --timeout-ms 1000]
+//!                 --max-batch 16 --queue-cap 1024 --timeout-ms 1000
+//!                 --admin-addr 127.0.0.1:4101 --metrics-interval 1000]
 //! ```
 //!
 //! CSV rows are `feature,…,feature,label` (labels in the final column;
@@ -24,6 +25,16 @@
 //! `--metrics out.json` (valid on every subcommand) enables the
 //! observability registry for the run and writes one JSON document of
 //! timing spans and counters when the command finishes.
+//!
+//! `--admin-addr HOST:PORT` (serve only) binds a second, HTTP listener
+//! with live telemetry: `/metrics.json` (snapshot JSON), `/metrics`
+//! (Prometheus text), `/trace.json` (Chrome trace-event export of the
+//! per-request trace ring), `/healthz`. It enables the metrics registry
+//! and the trace ring for the server's lifetime.
+//!
+//! `--metrics-interval MS` (serve only, requires `--metrics`) rewrites
+//! the metrics file every `MS` milliseconds, atomically, so a crashed or
+//! killed server still leaves a recent snapshot behind.
 //!
 //! `--score-lut` (train only) precomputes the score-LUT inference kernel:
 //! per-chunk, per-class partial-score tables that make predict a handful
@@ -107,7 +118,8 @@ const USAGE: &str = "usage:
   lookhd inspect  --data data.csv
   lookhd estimate --model model.lks [--samples N]
   lookhd serve    --model model.lks [--addr HOST:PORT --threads N
-                  --max-batch N --queue-cap N --timeout-ms N]
+                  --max-batch N --queue-cap N --timeout-ms N
+                  --admin-addr HOST:PORT --metrics-interval MS]
 
 --threads shards work across OS threads (0 = all cores) without changing
 any result bit; under `serve` it sets the batch-worker count instead.
@@ -115,7 +127,11 @@ any result bit; under `serve` it sets the batch-worker count instead.
 becomes table reads + adds, bit-identical to the dense path; implies
 compression without decorrelation.
 --metrics out.json (any subcommand) records per-stage timing spans and
-counters and writes one JSON document when the command finishes.";
+counters and writes one JSON document when the command finishes.
+--admin-addr (serve) adds a live-telemetry HTTP listener: /metrics.json,
+/metrics (Prometheus), /trace.json (Chrome trace events), /healthz.
+--metrics-interval MS (serve, with --metrics) rewrites the metrics file
+atomically every MS milliseconds so a killed server keeps its data.";
 
 fn load_classifier(args: &Args) -> Result<LookHdClassifier, String> {
     let path = args.require("model").map_err(|e| e.to_string())?;
@@ -334,11 +350,41 @@ fn serve(args: &Args) -> Result<(), String> {
     let timeout_ms = args
         .get_or("timeout-ms", 1000u64)
         .map_err(|e| e.to_string())?;
+    let admin_addr = args.get("admin-addr").map(str::to_owned);
+    let metrics_interval_ms = args
+        .get_or("metrics-interval", 0u64)
+        .map_err(|e| e.to_string())?;
     let config = lookhd_serve::ServeConfig::new()
         .with_workers(workers)
         .with_max_batch(max_batch)
         .with_queue_cap(queue_cap)
         .with_timeout(std::time::Duration::from_millis(timeout_ms));
+
+    // The admin endpoint is only useful with live data behind it: enable
+    // the metrics registry and the trace ring for the server's lifetime.
+    let admin = match &admin_addr {
+        Some(admin_addr) => {
+            obs::set_enabled(true);
+            obs::trace::set_enabled(true);
+            Some(
+                lookhd_serve::start_admin(admin_addr.as_str())
+                    .map_err(|e| format!("binding admin {admin_addr}: {e}"))?,
+            )
+        }
+        None => None,
+    };
+    // The periodic flusher needs a file to flush to: it rides --metrics.
+    let flusher = match (args.get("metrics"), metrics_interval_ms) {
+        (Some(path), ms) if ms > 0 => Some(lookhd_serve::MetricsFlusher::start(
+            std::path::PathBuf::from(path),
+            std::time::Duration::from_millis(ms),
+        )),
+        (None, ms) if ms > 0 => {
+            return Err("--metrics-interval requires --metrics FILE".to_owned());
+        }
+        _ => None,
+    };
+
     let n_classes = model.num_classes();
     let handle =
         lookhd_serve::start(addr, model, config).map_err(|e| format!("binding {addr}: {e}"))?;
@@ -353,8 +399,23 @@ fn serve(args: &Args) -> Result<(), String> {
         handle.addr(),
         n_classes,
     ));
+    if let Some(admin) = &admin {
+        out(format!(
+            "admin on {} (/metrics.json /metrics /trace.json /healthz)",
+            admin.addr()
+        ));
+    }
     out("send a shutdown frame (e.g. loadgen --shutdown) to stop");
     handle.join();
+    if let Some(admin) = admin {
+        admin.shutdown();
+        admin.join();
+    }
+    if let Some(flusher) = flusher {
+        flusher
+            .stop()
+            .map_err(|e| format!("final metrics flush: {e}"))?;
+    }
     out("server drained and stopped");
     Ok(())
 }

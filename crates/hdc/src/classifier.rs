@@ -251,6 +251,11 @@ impl Classifier for HdcClassifier {
     fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<usize>> {
         Ok(self.predict_batch_stats(features)?.0)
     }
+
+    fn class_scores(&self, features: &[f64]) -> Result<Option<Vec<f64>>> {
+        let h = self.encoder.encode(features)?;
+        self.model.scores(&h).map(Some)
+    }
 }
 
 impl FitClassifier for HdcClassifier {

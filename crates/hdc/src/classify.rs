@@ -67,6 +67,20 @@ pub trait Classifier {
     fn evaluate(&self, features: &[Vec<f64>], labels: &[usize]) -> Result<f64> {
         accuracy(&self.predict_batch(features)?, labels)
     }
+
+    /// Per-class scores for one feature vector, when the model family
+    /// exposes them (`Ok(None)` otherwise — the default). Higher is more
+    /// confident; `predict` returns the argmax. Observability consumers
+    /// use this for prediction-margin (top1−top2) drift telemetry
+    /// without touching the prediction path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Classifier::predict`].
+    fn class_scores(&self, features: &[f64]) -> Result<Option<Vec<f64>>> {
+        let _ = features;
+        Ok(None)
+    }
 }
 
 /// Training constructor for a classifier family.

@@ -518,14 +518,24 @@ impl LookHdClassifier {
     /// the score-LUT kernel when present, otherwise the dense compressed
     /// path. The two are exactly equal (see [`crate::score_lut`]).
     ///
+    /// When metrics are enabled, each call ticks
+    /// `score_lut.scores.hit` or `score_lut.scores.fallback`, so a serve
+    /// deployment can watch the fraction of score requests that miss the
+    /// fast kernel (e.g. after a model swap to an artifact trained
+    /// without `--score-lut`). The build-time counter
+    /// `score_lut.fallback` is different: it ticks once per fit whose
+    /// kernel construction was skipped.
+    ///
     /// # Errors
     ///
     /// Propagates encoding/arity errors.
     pub fn scores(&self, features: &[f64]) -> Result<Vec<f64>> {
         if let Some(lut) = &self.score_lut {
+            obs::counter("score_lut.scores.hit", 1);
             let addrs = self.encoder.addresses(features)?;
             return lut.scores(&addrs);
         }
+        obs::counter("score_lut.scores.fallback", 1);
         let h = self.encoder.encode(features)?;
         self.compressed.scores(&h)
     }
@@ -797,6 +807,13 @@ impl Classifier for LookHdClassifier {
 
     fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<usize>> {
         Ok(self.predict_batch_stats(features)?.0)
+    }
+
+    /// Per-class scores via the inherent [`LookHdClassifier::scores`]
+    /// (score-LUT kernel when built, dense compressed scoring
+    /// otherwise — the two are bit-identical).
+    fn class_scores(&self, features: &[f64]) -> Result<Option<Vec<f64>>> {
+        self.scores(features).map(Some)
     }
 }
 

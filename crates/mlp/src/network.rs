@@ -260,6 +260,10 @@ impl Classifier for Mlp {
     fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<usize>> {
         Ok(self.predict_batch_stats(features)?.0)
     }
+
+    fn class_scores(&self, features: &[f64]) -> Result<Option<Vec<f64>>> {
+        self.probabilities(features).map(Some)
+    }
 }
 
 impl FitClassifier for Mlp {

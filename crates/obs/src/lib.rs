@@ -38,10 +38,20 @@
 //!
 //! [`Snapshot::to_json`] renders the deterministic JSON document written
 //! by the CLI's `--metrics` flag (schema documented on the method);
-//! [`Snapshot::to_pretty`] renders an aligned text table for humans.
+//! [`Snapshot::to_pretty`] renders an aligned text table for humans;
+//! [`Snapshot::to_prometheus`] renders Prometheus text exposition for
+//! live scraping (the serve admin endpoint).
+//!
+//! ## Tracing
+//!
+//! The [`trace`] module is the per-request complement to this aggregate
+//! registry: a bounded, lock-striped ring of begin/end events carrying
+//! propagated trace ids, exportable as Chrome trace-event JSON.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -59,6 +69,21 @@ pub const N_BUCKETS: usize = 40;
 
 /// Separator between nested span names in a recorded path.
 pub const PATH_SEPARATOR: char = '/';
+
+/// Most distinct span paths a registry will hold. Callers that
+/// interpolate unbounded values into span names (request ids, user
+/// input) can no longer grow the map without limit: observations for
+/// paths beyond the cap are dropped and tallied in the
+/// [`DROPPED_NAMES_COUNTER`] counter instead of allocating.
+pub const MAX_SPAN_PATHS: usize = 1024;
+
+/// Most distinct counter names a registry will hold (see
+/// [`MAX_SPAN_PATHS`]).
+pub const MAX_COUNTER_NAMES: usize = 1024;
+
+/// Counter name under which dropped-by-cardinality-cap observations are
+/// reported in snapshots.
+pub const DROPPED_NAMES_COUNTER: &str = "obs.dropped_names";
 
 thread_local! {
     /// The calling thread's active span path ("a/b/c" while spans a, b, c
@@ -117,6 +142,8 @@ pub fn bucket_upper_ns(i: usize) -> u64 {
 struct Inner {
     spans: BTreeMap<String, Accum>,
     counters: BTreeMap<String, u64>,
+    /// Observations dropped because a cardinality cap was hit.
+    dropped_names: u64,
 }
 
 /// A metrics registry: named span statistics plus named counters.
@@ -138,6 +165,7 @@ impl Registry {
             inner: Mutex::new(Inner {
                 spans: BTreeMap::new(),
                 counters: BTreeMap::new(),
+                dropped_names: 0,
             }),
         }
     }
@@ -157,15 +185,22 @@ impl Registry {
         let mut inner = self.lock();
         inner.spans.clear();
         inner.counters.clear();
+        inner.dropped_names = 0;
     }
 
     /// Records one duration observation under `path`, bypassing the
-    /// calling thread's span stack. No-op while disabled.
+    /// calling thread's span stack. No-op while disabled. A *new* path
+    /// beyond [`MAX_SPAN_PATHS`] is dropped (tallied in
+    /// [`DROPPED_NAMES_COUNTER`]) instead of growing the map.
     pub fn record_span(&self, path: &str, d: Duration) {
         if !self.enabled() {
             return;
         }
         let mut inner = self.lock();
+        if !inner.spans.contains_key(path) && inner.spans.len() >= MAX_SPAN_PATHS {
+            inner.dropped_names += 1;
+            return;
+        }
         inner
             .spans
             .entry(path.to_owned())
@@ -173,18 +208,43 @@ impl Registry {
             .observe(d);
     }
 
-    /// Adds `delta` to the monotonic counter `name`. No-op while disabled.
+    /// Adds `delta` to the monotonic counter `name`. No-op while
+    /// disabled. A *new* name beyond [`MAX_COUNTER_NAMES`] is dropped
+    /// (tallied in [`DROPPED_NAMES_COUNTER`]) instead of growing the map.
     pub fn add(&self, name: &str, delta: u64) {
         if !self.enabled() {
             return;
         }
         let mut inner = self.lock();
+        if !inner.counters.contains_key(name) && inner.counters.len() >= MAX_COUNTER_NAMES {
+            inner.dropped_names += 1;
+            return;
+        }
         *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
     }
 
     /// A point-in-time copy of every span and counter, sorted by path.
+    /// Observations dropped by the cardinality caps surface as the
+    /// [`DROPPED_NAMES_COUNTER`] counter.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.lock();
+        let mut counters: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .map(|(name, &value)| (name.clone(), value))
+            .collect();
+        if inner.dropped_names > 0 {
+            match counters
+                .iter_mut()
+                .find(|(n, _)| n == DROPPED_NAMES_COUNTER)
+            {
+                Some((_, v)) => *v += inner.dropped_names,
+                None => {
+                    counters.push((DROPPED_NAMES_COUNTER.to_owned(), inner.dropped_names));
+                    counters.sort_by(|a, b| a.0.cmp(&b.0));
+                }
+            }
+        }
         Snapshot {
             spans: inner
                 .spans
@@ -198,11 +258,7 @@ impl Registry {
                     buckets: a.buckets,
                 })
                 .collect(),
-            counters: inner
-                .counters
-                .iter()
-                .map(|(name, &value)| (name.clone(), value))
-                .collect(),
+            counters,
         }
     }
 
@@ -352,6 +408,39 @@ impl SpanStats {
             .next()
             .unwrap_or(&self.path)
     }
+
+    /// Exact-rank quantile extracted from the power-of-two histogram, in
+    /// nanoseconds.
+    ///
+    /// The rank is `max(1, ceil(p · count))` (the same ceil-rank
+    /// convention as `loadgen`: p99 of 100 observations is the 99th in
+    /// ascending order, never an earlier one). The returned value is the
+    /// inclusive upper bound of the bucket holding that observation,
+    /// clamped to the observed `[min, max]` — an upper bound on the true
+    /// quantile that is tight to within the bucket's power-of-two width
+    /// (< 2× relative error) and exact when the bucket holds the
+    /// extremes. Returns 0 when nothing was recorded.
+    pub fn quantile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let min_ns = duration_ns(self.min);
+        let max_ns = duration_ns(self.max);
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_ns(i).clamp(min_ns, max_ns);
+            }
+        }
+        max_ns
+    }
+}
+
+/// A duration's nanosecond count, saturated to `u64`.
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 /// A point-in-time copy of a registry: spans and counters, sorted by name.
@@ -389,11 +478,12 @@ impl Snapshot {
 
     /// Renders the snapshot as one deterministic JSON document.
     ///
-    /// Schema (`version` 1):
+    /// Schema (`version` 2 — version 1 plus the `p50_ns`/`p95_ns`/
+    /// `p99_ns` quantile fields, see [`SpanStats::quantile_ns`]):
     ///
     /// ```json
     /// {
-    ///   "version": 1,
+    ///   "version": 2,
     ///   "spans": [
     ///     {
     ///       "path": "fit/counter_train",
@@ -402,6 +492,9 @@ impl Snapshot {
     ///       "min_ns": 1234567,
     ///       "max_ns": 1234567,
     ///       "mean_ns": 1234567,
+    ///       "p50_ns": 1234567,
+    ///       "p95_ns": 1234567,
+    ///       "p99_ns": 1234567,
     ///       "buckets": [ { "le_ns": 2097151, "count": 1 } ]
     ///     }
     ///   ],
@@ -414,20 +507,23 @@ impl Snapshot {
     /// by path, counters by name.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + 160 * self.spans.len());
-        out.push_str("{\n  \"version\": 1,\n  \"spans\": [");
+        out.push_str("{\n  \"version\": 2,\n  \"spans\": [");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             let _ = write!(
                 out,
-                "\n    {{\"path\": {}, \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}, \"buckets\": [",
+                "\n    {{\"path\": {}, \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"buckets\": [",
                 json_string(&s.path),
                 s.count,
                 s.total.as_nanos(),
                 s.min.as_nanos(),
                 s.max.as_nanos(),
                 s.mean().as_nanos(),
+                s.quantile_ns(0.50),
+                s.quantile_ns(0.95),
+                s.quantile_ns(0.99),
             );
             let mut first = true;
             for (b, &count) in s.buckets.iter().enumerate() {
@@ -481,11 +577,13 @@ impl Snapshot {
         for s in spans {
             let _ = writeln!(
                 out,
-                "  {:width$}  {:>8}x  total {:>10}  mean {:>10}  max {:>10}",
+                "  {:width$}  {:>8}x  total {:>10}  mean {:>10}  p50 {:>10}  p99 {:>10}  max {:>10}",
                 s.path,
                 s.count,
                 fmt_duration(s.total),
                 fmt_duration(s.mean()),
+                fmt_duration(Duration::from_nanos(s.quantile_ns(0.50))),
+                fmt_duration(Duration::from_nanos(s.quantile_ns(0.99))),
                 fmt_duration(s.max),
             );
         }
@@ -498,6 +596,57 @@ impl Snapshot {
         }
         out
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (format version 0.0.4), for live scraping.
+    ///
+    /// Name mapping (documented in DESIGN.md §11): every character
+    /// outside `[a-zA-Z0-9_]` in a span path or counter name becomes
+    /// `_`, counters are prefixed `lookhd_` and spans `lookhd_span_`
+    /// with an `_ns` unit suffix, so `serve/queue_wait` exports as the
+    /// histogram `lookhd_span_serve_queue_wait_ns`. Buckets are
+    /// **cumulative** with integer-nanosecond `le` bounds (the
+    /// power-of-two `2^i - 1` uppers; a deliberate deviation from the
+    /// seconds-base-unit convention to keep every exported number an
+    /// exact integer); only buckets holding observations are listed plus
+    /// the mandatory `+Inf`. Output is deterministic: spans sorted by
+    /// path, counters by name, fixed field order.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(256 + 256 * self.spans.len());
+        for s in &self.spans {
+            let name = format!("lookhd_span_{}_ns", prometheus_sanitize(&s.path));
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (b, &count) in s.buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                cumulative += count;
+                let upper = bucket_upper_ns(b);
+                if upper == u64::MAX {
+                    continue; // folded into +Inf below
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", s.count);
+            let _ = writeln!(out, "{name}_sum {}", s.total.as_nanos());
+            let _ = writeln!(out, "{name}_count {}", s.count);
+        }
+        for (name, value) in &self.counters {
+            let metric = format!("lookhd_{}", prometheus_sanitize(name));
+            let _ = writeln!(out, "# TYPE {metric} counter");
+            let _ = writeln!(out, "{metric} {value}");
+        }
+        out
+    }
+}
+
+/// Maps an arbitrary span/counter name onto the Prometheus metric-name
+/// alphabet: every character outside `[a-zA-Z0-9_]` becomes `_`.
+fn prometheus_sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// Formats a duration compactly (ns/µs/ms/s with 1 decimal).
@@ -670,7 +819,9 @@ mod tests {
         r.record_span("fit/encode", Duration::from_millis(1));
         r.add("samples", 60);
         let json = r.snapshot().to_json();
-        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"version\": 2"));
+        assert!(json.contains("\"p50_ns\""));
+        assert!(json.contains("\"p99_ns\""));
         assert!(json.contains("\"path\": \"fit/encode\""));
         assert!(json.contains("\"count\": 2"));
         assert!(json.contains("\"name\": \"samples\""));
@@ -709,7 +860,148 @@ mod tests {
     fn empty_snapshot_renders() {
         let snap = Registry::new().snapshot();
         assert!(snap.to_pretty().contains("(none)"));
-        assert!(snap.to_json().contains("\"version\": 1"));
+        assert!(snap.to_json().contains("\"version\": 2"));
+        assert!(snap.to_prometheus().is_empty());
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets_with_ceil_rank() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        for _ in 0..50 {
+            r.record_span("q", Duration::from_nanos(10));
+        }
+        for _ in 0..45 {
+            r.record_span("q", Duration::from_nanos(100));
+        }
+        for _ in 0..5 {
+            r.record_span("q", Duration::from_nanos(1000));
+        }
+        let snap = r.snapshot();
+        let s = &snap.spans[0];
+        // rank 50 lands in the 10 ns bucket (upper 2^4-1 = 15).
+        assert_eq!(s.quantile_ns(0.50), 15);
+        // rank 95 lands in the 100 ns bucket (upper 2^7-1 = 127).
+        assert_eq!(s.quantile_ns(0.95), 127);
+        // rank 99 lands in the 1000 ns bucket (upper 1023, clamped to
+        // the observed max of 1000).
+        assert_eq!(s.quantile_ns(0.99), 1000);
+        assert_eq!(s.quantile_ns(1.0), 1000);
+        // A single observation clamps exactly to itself.
+        r.record_span("one", Duration::from_nanos(777));
+        let snap = r.snapshot();
+        let one = snap.spans.iter().find(|s| s.path == "one").unwrap();
+        assert_eq!(one.quantile_ns(0.50), 777);
+        assert_eq!(one.quantile_ns(0.99), 777);
+        // Empty stats report zero.
+        let empty = SpanStats {
+            path: "e".into(),
+            count: 0,
+            total: Duration::ZERO,
+            min: Duration::ZERO,
+            max: Duration::ZERO,
+            buckets: [0; N_BUCKETS],
+        };
+        assert_eq!(empty.quantile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn cardinality_caps_drop_overflow_names() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        for i in 0..MAX_COUNTER_NAMES + 10 {
+            r.add(&format!("c{i:05}"), 1);
+        }
+        for i in 0..MAX_SPAN_PATHS + 7 {
+            r.record_span(&format!("s{i:05}"), Duration::from_nanos(1));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), MAX_SPAN_PATHS);
+        // The cap plus the synthetic dropped-names counter itself.
+        assert_eq!(snap.counters.len(), MAX_COUNTER_NAMES + 1);
+        assert_eq!(snap.counter(DROPPED_NAMES_COUNTER), 17);
+        // Existing names keep recording after the cap is reached.
+        r.add("c00000", 4);
+        r.record_span("s00000", Duration::from_nanos(9));
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c00000"), 5);
+        assert_eq!(snap.spans[0].count, 2);
+        // Counters stay sorted even with the synthetic entry inserted.
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        // Reset clears the drop tally with everything else.
+        r.reset();
+        assert_eq!(r.snapshot().counter(DROPPED_NAMES_COUNTER), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_exact_totals() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 1000;
+        let r = Registry::new();
+        r.set_enabled(true);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        r.record_span("stress", Duration::from_nanos(3));
+                        r.add("stress.count", 2);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        let total = (THREADS * PER_THREAD) as u64;
+        assert_eq!(snap.spans[0].count, total);
+        assert_eq!(snap.spans[0].total, Duration::from_nanos(3 * total));
+        assert_eq!(
+            snap.spans[0].buckets[bucket_index(Duration::from_nanos(3))],
+            total
+        );
+        assert_eq!(snap.counter("stress.count"), 2 * total);
+        assert_eq!(snap.counter(DROPPED_NAMES_COUNTER), 0);
+    }
+
+    #[test]
+    fn concurrent_span_guards_keep_exact_totals_in_the_global() {
+        with_enabled_global(|| {
+            const THREADS: usize = 4;
+            const PER_THREAD: usize = 250;
+            std::thread::scope(|scope| {
+                for _ in 0..THREADS {
+                    scope.spawn(|| {
+                        for _ in 0..PER_THREAD {
+                            let _g = span("worker_stage");
+                        }
+                    });
+                }
+            });
+            let snap = snapshot();
+            assert_eq!(snap.total_for("worker_stage"), snap.spans[0].total);
+            assert_eq!(snap.spans[0].count, (THREADS * PER_THREAD) as u64);
+        });
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative_and_sanitized() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.record_span("serve/queue_wait", Duration::from_nanos(10));
+        r.record_span("serve/queue_wait", Duration::from_nanos(100));
+        r.record_span("serve/queue_wait", Duration::from_secs(4000)); // top bucket
+        r.add("serve.requests", 7);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE lookhd_span_serve_queue_wait_ns histogram"));
+        assert!(text.contains("lookhd_span_serve_queue_wait_ns_bucket{le=\"15\"} 1"));
+        assert!(text.contains("lookhd_span_serve_queue_wait_ns_bucket{le=\"127\"} 2"));
+        // The clamp bucket has no finite upper; it only appears as +Inf.
+        assert!(text.contains("lookhd_span_serve_queue_wait_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lookhd_span_serve_queue_wait_ns_count 3"));
+        assert!(text.contains("# TYPE lookhd_serve_requests counter"));
+        assert!(text.contains("lookhd_serve_requests 7"));
+        assert!(!text.contains("le=\"18446744073709551615\""));
     }
 
     #[test]

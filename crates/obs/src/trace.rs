@@ -1,0 +1,440 @@
+//! Bounded, lock-striped trace-event ring buffer with a Chrome
+//! trace-event JSON exporter.
+//!
+//! Where the registry in the crate root aggregates (histograms and
+//! counters with no per-request identity), this module records *events*:
+//! begin/end pairs with a monotonic nanosecond timestamp, the recording
+//! thread's id, and a caller-propagated 64-bit trace id. The serve path
+//! stamps the client-supplied trace id onto every pipeline stage
+//! (decode → queue wait → batch assembly → predict → encode), so one
+//! request's journey through reader and worker threads can be followed
+//! end to end in Perfetto or `chrome://tracing`.
+//!
+//! ## Cost model
+//!
+//! Tracing is **disabled by default** behind one relaxed atomic load,
+//! exactly like the registry. When enabled, an event is one short
+//! mutex-protected ring write; the ring is striped by thread id so
+//! unrelated threads rarely contend. The ring is bounded: when full, the
+//! **oldest events are overwritten** — recording never blocks on a
+//! consumer and never allocates past the configured capacity.
+//!
+//! ## Export
+//!
+//! [`to_chrome_json`] renders the ring as a Chrome trace-event JSON
+//! document (deterministic field order, std-only). Begin/end pairs are
+//! emitted as *async* events (`"ph": "b"` / `"ph": "e"`) keyed by the
+//! trace id, because one request's stages span multiple threads — async
+//! events are the trace-event flavour that tolerates cross-thread pairing.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of independently locked ring stripes. Events are striped by
+/// recording thread, so up to this many threads record without
+/// contending.
+pub const N_STRIPES: usize = 8;
+
+/// Default total event capacity across all stripes.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Smallest per-stripe capacity [`set_capacity`] will configure.
+const MIN_STRIPE_CAPACITY: usize = 64;
+
+/// Whether a [`TraceEvent`] opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The span begins at the event's timestamp.
+    Begin,
+    /// The span ends at the event's timestamp.
+    End,
+}
+
+/// One recorded begin/end event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Stage name (static so recording never allocates).
+    pub name: &'static str,
+    /// Caller-propagated trace id tying events of one request together.
+    pub trace_id: u64,
+    /// Small sequential id of the recording thread.
+    pub tid: u64,
+    /// Nanoseconds since the process-wide trace epoch.
+    pub ts_ns: u64,
+    /// Whether the span begins or ends here.
+    pub phase: Phase,
+}
+
+struct Stripe {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    /// Configured capacity (0 = use [`DEFAULT_CAPACITY`] split evenly).
+    cap: usize,
+    /// Events overwritten because the stripe was full.
+    dropped: u64,
+}
+
+impl Stripe {
+    const fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            head: 0,
+            cap: 0,
+            dropped: 0,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        if self.cap == 0 {
+            DEFAULT_CAPACITY / N_STRIPES
+        } else {
+            self.cap
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        let cap = self.capacity();
+        if self.buf.len() < cap {
+            self.buf.push(event);
+        } else {
+            // Full: overwrite the oldest event in place. The hot path
+            // never waits for a consumer and never grows the buffer.
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in recording order (oldest first).
+    fn ordered(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..].iter().chain(&self.buf[..self.head])
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STRIPES: [Mutex<Stripe>; N_STRIPES] = [const { Mutex::new(Stripe::new()) }; N_STRIPES];
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// Sequential per-thread id, assigned on first trace use.
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn lock(i: usize) -> std::sync::MutexGuard<'static, Stripe> {
+    STRIPES[i].lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether trace recording is on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns trace recording on or off. Existing events are kept.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Clears every stripe (events, wrap state, and drop counts).
+pub fn reset() {
+    for i in 0..N_STRIPES {
+        let mut stripe = lock(i);
+        stripe.buf.clear();
+        stripe.head = 0;
+        stripe.dropped = 0;
+    }
+}
+
+/// Reconfigures the **total** ring capacity (split evenly across
+/// stripes, at least [`MIN_STRIPE_CAPACITY`](self) events each) and
+/// clears the ring.
+pub fn set_capacity(total: usize) {
+    let per_stripe = (total / N_STRIPES).max(MIN_STRIPE_CAPACITY);
+    for i in 0..N_STRIPES {
+        let mut stripe = lock(i);
+        stripe.buf = Vec::new();
+        stripe.head = 0;
+        stripe.cap = per_stripe;
+        stripe.dropped = 0;
+    }
+}
+
+/// Nanoseconds since the process-wide trace epoch (the first call wins
+/// the epoch; all timestamps share it, whatever thread records them).
+pub fn now_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The calling thread's small sequential trace id.
+pub fn thread_id() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// Records one event with an explicit timestamp (from [`now_ns`]) — the
+/// serve path captures timestamps before the trace id is known (the
+/// decode stage starts before the frame is parsed) and emits afterwards.
+/// No-op while disabled.
+pub fn emit_at(name: &'static str, trace_id: u64, phase: Phase, ts_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let tid = thread_id();
+    let event = TraceEvent {
+        name,
+        trace_id,
+        tid,
+        ts_ns,
+        phase,
+    };
+    lock((tid as usize) % N_STRIPES).push(event);
+}
+
+/// Records one event timestamped now. No-op while disabled.
+pub fn emit(name: &'static str, trace_id: u64, phase: Phase) {
+    if !enabled() {
+        return;
+    }
+    emit_at(name, trace_id, phase, now_ns());
+}
+
+/// Records a complete begin/end pair from captured timestamps.
+pub fn pair(name: &'static str, trace_id: u64, begin_ns: u64, end_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    emit_at(name, trace_id, Phase::Begin, begin_ns);
+    emit_at(name, trace_id, Phase::End, end_ns);
+}
+
+/// Opens a scope guard that emits a begin event now and the matching end
+/// event on drop. Inert while disabled.
+#[must_use = "a trace span emits its end event when dropped"]
+pub fn span(name: &'static str, trace_id: u64) -> TraceGuard {
+    if !enabled() {
+        return TraceGuard { active: None };
+    }
+    emit(name, trace_id, Phase::Begin);
+    TraceGuard {
+        active: Some((name, trace_id)),
+    }
+}
+
+/// Scope guard returned by [`span`]; emits the end event on drop.
+#[derive(Debug)]
+pub struct TraceGuard {
+    active: Option<(&'static str, u64)>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some((name, trace_id)) = self.active.take() {
+            emit(name, trace_id, Phase::End);
+        }
+    }
+}
+
+/// Number of events currently buffered across all stripes.
+pub fn len() -> usize {
+    (0..N_STRIPES).map(|i| lock(i).buf.len()).sum()
+}
+
+/// Total events overwritten (evicted) because a stripe was full.
+pub fn dropped() -> u64 {
+    (0..N_STRIPES).map(|i| lock(i).dropped).sum()
+}
+
+/// A point-in-time copy of every buffered event, sorted by timestamp
+/// (ties broken by thread id, then name, then phase so the output is
+/// deterministic for a fixed set of events).
+pub fn events() -> Vec<TraceEvent> {
+    let mut out = Vec::with_capacity(len());
+    for i in 0..N_STRIPES {
+        let stripe = lock(i);
+        out.extend(stripe.ordered().copied());
+    }
+    out.sort_by(|a, b| {
+        a.ts_ns
+            .cmp(&b.ts_ns)
+            .then_with(|| a.tid.cmp(&b.tid))
+            .then_with(|| a.name.cmp(b.name))
+            .then_with(|| matches!(a.phase, Phase::End).cmp(&matches!(b.phase, Phase::End)))
+    });
+    out
+}
+
+/// Renders the ring as one Chrome trace-event JSON document
+/// (`chrome://tracing` / Perfetto "JSON" format).
+///
+/// Every begin/end pair becomes an async event pair (`"ph": "b"` /
+/// `"ph": "e"`) in category `"lookhd"`, keyed by the trace id — async
+/// events pair across threads, which request stages do (queue wait
+/// begins on a reader thread and ends on a worker). Field order is
+/// fixed; timestamps are microseconds with nanosecond decimals.
+pub fn to_chrome_json() -> String {
+    render_chrome_json(&events())
+}
+
+/// Renders an explicit event list (see [`to_chrome_json`]).
+pub fn render_chrome_json(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + 96 * events.len());
+    out.push_str("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ph = match e.phase {
+            Phase::Begin => "b",
+            Phase::End => "e",
+        };
+        // Trace-event `ts` is in microseconds; keep nanosecond precision
+        // with three fixed decimals.
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"cat\": \"lookhd\", \"ph\": \"{ph}\", \
+             \"id\": \"0x{:x}\", \"pid\": 1, \"tid\": {}, \"ts\": {}.{:03}}}",
+            e.name,
+            e.trace_id,
+            e.tid,
+            e.ts_ns / 1_000,
+            e.ts_ns % 1_000,
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trace ring is process-global; tests that touch it serialize
+    /// here (separate from the registry's own test lock — no test uses
+    /// both).
+    static TRACE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_trace<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = TRACE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_capacity(DEFAULT_CAPACITY);
+        set_enabled(true);
+        let out = f();
+        set_enabled(false);
+        set_capacity(DEFAULT_CAPACITY);
+        out
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let _guard = TRACE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_capacity(DEFAULT_CAPACITY);
+        assert!(!enabled());
+        emit("never", 1, Phase::Begin);
+        pair("never", 1, 0, 10);
+        let _span = span("never", 1);
+        drop(_span);
+        assert_eq!(len(), 0);
+    }
+
+    #[test]
+    fn events_pair_and_sort_deterministically() {
+        with_trace(|| {
+            pair("decode", 7, 100, 200);
+            pair("predict", 7, 250, 300);
+            emit_at("queue_wait", 8, Phase::Begin, 150);
+            emit_at("queue_wait", 8, Phase::End, 260);
+            let all = events();
+            assert_eq!(all.len(), 6);
+            let ts: Vec<u64> = all.iter().map(|e| e.ts_ns).collect();
+            let mut sorted = ts.clone();
+            sorted.sort_unstable();
+            assert_eq!(ts, sorted);
+            assert_eq!(all[0].name, "decode");
+            assert_eq!(all[0].phase, Phase::Begin);
+            assert_eq!(all[0].trace_id, 7);
+        });
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_without_blocking() {
+        with_trace(|| {
+            // Single thread → a single stripe with this capacity.
+            set_capacity(0); // clamps to MIN_STRIPE_CAPACITY per stripe
+            let cap = MIN_STRIPE_CAPACITY;
+            for i in 0..(cap as u64 + 10) {
+                emit_at("e", i, Phase::Begin, i);
+            }
+            assert_eq!(len(), cap, "ring must stay bounded");
+            assert_eq!(dropped(), 10);
+            let all = events();
+            // The 10 oldest events (ts 0..9) were overwritten.
+            assert_eq!(all.first().map(|e| e.ts_ns), Some(10));
+            assert_eq!(all.last().map(|e| e.ts_ns), Some(cap as u64 + 9));
+        });
+    }
+
+    #[test]
+    fn span_guard_emits_begin_and_end() {
+        with_trace(|| {
+            {
+                let _g = span("stage", 42);
+            }
+            let all = events();
+            assert_eq!(all.len(), 2);
+            assert_eq!(all[0].phase, Phase::Begin);
+            assert_eq!(all[1].phase, Phase::End);
+            assert!(all[0].ts_ns <= all[1].ts_ns);
+            assert_eq!(all[0].tid, all[1].tid);
+        });
+    }
+
+    #[test]
+    fn chrome_json_is_deterministic_and_balanced() {
+        let events = vec![
+            TraceEvent {
+                name: "decode",
+                trace_id: 0x2a,
+                tid: 3,
+                ts_ns: 1_234_567,
+                phase: Phase::Begin,
+            },
+            TraceEvent {
+                name: "decode",
+                trace_id: 0x2a,
+                tid: 3,
+                ts_ns: 1_236_067,
+                phase: Phase::End,
+            },
+        ];
+        let json = render_chrome_json(&events);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"b\""));
+        assert!(json.contains("\"ph\": \"e\""));
+        assert!(json.contains("\"id\": \"0x2a\""));
+        assert!(json.contains("\"ts\": 1234.567"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json, render_chrome_json(&events), "deterministic");
+    }
+
+    #[test]
+    fn concurrent_emitters_never_block_or_lose_structure() {
+        with_trace(|| {
+            set_capacity(N_STRIPES * MIN_STRIPE_CAPACITY);
+            std::thread::scope(|scope| {
+                for t in 0..8u64 {
+                    scope.spawn(move || {
+                        for i in 0..500u64 {
+                            emit_at("spin", t * 1000 + i, Phase::Begin, i);
+                        }
+                    });
+                }
+            });
+            // Bounded regardless of how much was written.
+            assert!(len() <= N_STRIPES * MIN_STRIPE_CAPACITY);
+            assert!(dropped() > 0);
+        });
+    }
+}

@@ -1,0 +1,330 @@
+//! The live-telemetry admin endpoint: a tiny std-only HTTP listener.
+//!
+//! The inference listener speaks the binary `LHQ1` protocol; operators
+//! and scrapers want plain HTTP. A second listener (`--admin-addr` on
+//! the CLI) serves read-only views of the process's observability state:
+//!
+//! | route           | content                                            |
+//! |-----------------|----------------------------------------------------|
+//! | `/metrics.json` | [`obs::snapshot`] as deterministic JSON            |
+//! | `/metrics`      | the same snapshot in Prometheus text exposition    |
+//! | `/trace.json`   | the trace ring as Chrome trace-event JSON          |
+//! | `/healthz`      | `ok` — liveness probe                              |
+//!
+//! The server is deliberately minimal: HTTP/1.0, `Connection: close`,
+//! one short-lived thread per request, no keep-alive, no TLS, no
+//! routing beyond exact path match. It must never interfere with the
+//! inference path — every response is built from a snapshot or an
+//! export call, both of which only briefly lock the registries. Bind it
+//! to loopback (or an otherwise trusted interface); it has no
+//! authentication.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cap on an accepted request head (request line + headers). Anything
+/// longer is answered `400` — this endpoint serves four fixed routes and
+/// has no business buffering large requests.
+const MAX_REQUEST_HEAD: usize = 8 * 1024;
+
+/// Read/write timeout on admin connections, so one stalled scraper can
+/// never pin a handler thread forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A running admin listener. Dropping the handle does **not** stop it;
+/// call [`AdminHandle::shutdown`] then [`AdminHandle::join`].
+pub struct AdminHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl AdminHandle {
+    /// The address the listener actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting new admin connections. Idempotent, non-blocking.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop; it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Blocks until the accept loop has exited. In-flight request
+    /// handlers are detached and finish on their own (each is bounded by
+    /// [`IO_TIMEOUT`]).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts serving the admin routes. Returns once the
+/// listener is live; use [`AdminHandle::addr`] to discover the bound
+/// port.
+///
+/// # Errors
+///
+/// Returns the bind error.
+pub fn start_admin<A: ToSocketAddrs>(addr: A) -> io::Result<AdminHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || accept_loop(&listener, &stop))
+    };
+    Ok(AdminHandle {
+        local_addr,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // One thread per request: admin traffic is a handful of scrapes
+        // per interval, not a fan-in workload.
+        std::thread::spawn(move || handle_connection(stream));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let head = match read_request_head(&mut stream) {
+        Ok(head) => head,
+        Err(_) => return,
+    };
+    let (status, content_type, body) = match parse_request_line(&head) {
+        Some(("GET", "/metrics.json")) => (200, "application/json", obs::snapshot().to_json()),
+        Some(("GET", "/metrics")) => (
+            200,
+            "text/plain; version=0.0.4",
+            obs::snapshot().to_prometheus(),
+        ),
+        Some(("GET", "/trace.json")) => (200, "application/json", obs::trace::to_chrome_json()),
+        Some(("GET", "/healthz")) => (200, "text/plain", "ok\n".to_string()),
+        Some(("GET", path)) => (
+            404,
+            "text/plain",
+            format!(
+                "no such route: {path}\navailable: /metrics.json /metrics /trace.json /healthz\n"
+            ),
+        ),
+        Some((method, _)) => (405, "text/plain", format!("method {method} not allowed\n")),
+        None => (400, "text/plain", "malformed request line\n".to_string()),
+    };
+    let _ = write_response(&mut stream, status, content_type, &body);
+}
+
+/// Reads until the blank line ending the request head, bounded by
+/// [`MAX_REQUEST_HEAD`]. Only the request line is ever inspected, but
+/// draining the headers first keeps clients that send them happy.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if head.len() > MAX_REQUEST_HEAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+    }
+    Ok(String::from_utf8_lossy(&head).into_owned())
+}
+
+/// Splits `GET /path HTTP/1.x` into `(method, path)`.
+fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    // Ignore query strings: `/metrics.json?x=1` still routes.
+    let path = path.split('?').next().unwrap_or(path);
+    Some((method, path))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let header = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal blocking HTTP GET against an admin endpoint: sends the
+/// request, requires a `200`, and returns the response body. Shared by
+/// the load generator, the CI smoke, and the tests so none of them grow
+/// their own HTTP client.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a non-200 status or an unparsable response,
+/// and propagates transport errors.
+pub fn http_get<A: ToSocketAddrs>(addr: A, path: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let request = format!("GET {path} HTTP/1.0\r\nHost: lookhd-admin\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .or_else(|| raw.split_once("\n\n"))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line: {status_line}"),
+            )
+        })?;
+    if status != 200 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("GET {path} returned {status}"),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::obs_test_guard as locked;
+
+    #[test]
+    fn serves_all_routes_and_shuts_down() {
+        let _guard = locked();
+        obs::set_enabled(true);
+        obs::reset();
+        obs::trace::set_enabled(true);
+        obs::trace::reset();
+        obs::counter("admin.test.hits", 3);
+        obs::record("admin/test", Duration::from_nanos(100));
+        obs::trace::pair("admin_span", 7, 10, 20);
+
+        let admin = start_admin("127.0.0.1:0").unwrap();
+        let addr = admin.addr();
+
+        let health = http_get(addr, "/healthz").unwrap();
+        assert_eq!(health, "ok\n");
+
+        let json = http_get(addr, "/metrics.json").unwrap();
+        assert!(json.contains("\"version\": 2"));
+        assert!(json.contains("{\"name\": \"admin.test.hits\", \"value\": 3}"));
+        assert!(json.contains("\"admin/test\""));
+
+        let prom = http_get(addr, "/metrics").unwrap();
+        assert!(prom.contains("# TYPE lookhd_admin_test_hits counter"));
+        assert!(prom.contains("lookhd_admin_test_hits 3"));
+        assert!(prom.contains("# TYPE lookhd_span_admin_test_ns histogram"));
+
+        let trace = http_get(addr, "/trace.json").unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"admin_span\""));
+        assert!(trace.contains("\"id\": \"0x7\""));
+
+        assert!(http_get(addr, "/nope").is_err());
+
+        admin.shutdown();
+        admin.shutdown(); // idempotent
+        admin.join();
+        // The listener is gone.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(http_get(addr, "/healthz").is_err());
+
+        obs::trace::set_enabled(false);
+        obs::trace::reset();
+        obs::set_enabled(false);
+        obs::reset();
+    }
+
+    #[test]
+    fn malformed_requests_get_clean_errors() {
+        let _guard = locked();
+        let admin = start_admin("127.0.0.1:0").unwrap();
+        let addr = admin.addr();
+
+        // POST is not allowed.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.0 405"), "got: {raw}");
+
+        // Garbage request line.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"garbage\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.0 400"), "got: {raw}");
+
+        // Query strings are ignored for routing.
+        assert_eq!(http_get(addr, "/healthz?probe=1").unwrap(), "ok\n");
+
+        admin.shutdown();
+        admin.join();
+    }
+
+    #[test]
+    fn request_head_cap_is_enforced() {
+        let _guard = locked();
+        let admin = start_admin("127.0.0.1:0").unwrap();
+        let addr = admin.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // A never-ending header stream: the handler must give up at the
+        // cap and drop the connection rather than buffer forever.
+        let filler = vec![b'a'; MAX_REQUEST_HEAD + 1024];
+        let _ = stream.write_all(b"GET /healthz HTTP/1.0\r\n");
+        let _ = stream.write_all(&filler);
+        let mut raw = String::new();
+        let _ = stream.read_to_string(&mut raw);
+        assert!(raw.is_empty(), "expected a dropped connection, got: {raw}");
+        admin.shutdown();
+        admin.join();
+    }
+}

@@ -59,14 +59,32 @@ impl Client {
         wire::read_response(&mut self.stream)
     }
 
-    /// Round-trips one predict request.
+    /// Round-trips one untraced predict request (a v1 frame on the wire).
     ///
     /// # Errors
     ///
     /// Same conditions as [`Client::send`] and [`Client::recv`].
     pub fn predict(&mut self, id: u64, features: &[f64]) -> WireResult<Response> {
+        self.predict_traced(id, 0, features)
+    }
+
+    /// Round-trips one predict request carrying a client trace id. A
+    /// non-zero `trace_id` selects the v2 frame layout; the server echoes
+    /// the id in the response and stamps it on every per-request span it
+    /// records (see `obs::trace`). A zero id degrades to [`Client::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::send`] and [`Client::recv`].
+    pub fn predict_traced(
+        &mut self,
+        id: u64,
+        trace_id: u64,
+        features: &[f64],
+    ) -> WireResult<Response> {
         self.send(&Request::Predict {
             id,
+            trace_id,
             features: features.to_vec(),
         })?;
         self.recv()

@@ -8,14 +8,20 @@
 //! requests into micro-batches.
 //!
 //! * [`wire`] — the hardened frame/message codec (magic + version +
-//!   request id + payload; every length capped before allocation);
+//!   request id + payload; every length capped before allocation), with
+//!   an optional v2 layout carrying a client trace id;
 //! * [`server`] — accept loop, per-connection readers, the bounded
-//!   request queue with backpressure and deadlines, batch workers, and
-//!   graceful shutdown;
+//!   request queue with backpressure and deadlines, batch workers,
+//!   graceful shutdown, and per-request tracing + model-quality
+//!   telemetry when observability is on;
 //! * [`client`] — a small blocking client (used by the CLI tests and the
 //!   `loadgen` benchmark driver);
 //! * [`model`] — format sniffing and [`Classifier`] adapters for the
-//!   encoder-less formats.
+//!   encoder-less formats;
+//! * [`admin`] — the std-only HTTP admin listener serving live snapshot
+//!   JSON, Prometheus text, and Chrome trace-event exports;
+//! * [`metrics`] — the periodic snapshot flusher for crash-safe
+//!   `--metrics` files.
 //!
 //! The correctness contract, pinned by `tests/serve_differential.rs`:
 //! responses are **bit-identical** to direct single-threaded
@@ -42,12 +48,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod client;
+pub mod metrics;
 pub mod model;
 pub mod server;
 pub mod wire;
 
+pub use admin::{http_get, start_admin, AdminHandle};
 pub use client::Client;
+pub use metrics::MetricsFlusher;
 pub use model::{classifier_from_bytes, load_classifier, SharedClassifier};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use wire::{ErrorCode, Request, Response, WireError};
+
+/// Serializes every in-crate test that mutates the global obs/trace
+/// state (admin routes, the flusher) so they cannot race each other.
+#[cfg(test)]
+pub(crate) static OBS_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+pub(crate) fn obs_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    OBS_TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,150 @@
+//! Periodic snapshot flushing for long-lived servers.
+//!
+//! `lookhd --metrics out.json serve …` originally wrote its snapshot
+//! once, after the server drained — so a crash, OOM-kill, or `kill -9`
+//! lost every observation. The [`MetricsFlusher`] closes that hole: a
+//! background thread rewrites the snapshot file every interval, and
+//! [`MetricsFlusher::stop`] performs one final flush before joining.
+//!
+//! Each flush writes to `<path>.tmp` and renames it over `<path>`, so a
+//! reader never sees a half-written file (rename is atomic on the same
+//! filesystem, which a sibling tmp file guarantees).
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running periodic flusher. Call [`MetricsFlusher::stop`] for the
+/// final flush; dropping the handle abandons the thread (it keeps
+/// flushing until the process exits, which is harmless but sloppy).
+pub struct MetricsFlusher {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<JoinHandle<()>>,
+    path: PathBuf,
+}
+
+impl MetricsFlusher {
+    /// Spawns a thread that writes [`obs::snapshot`] JSON to `path`
+    /// every `interval` (clamped up to 10 ms so a zero interval cannot
+    /// spin). The first write happens after one interval, not
+    /// immediately — an empty snapshot at startup carries no signal.
+    pub fn start(path: PathBuf, interval: Duration) -> Self {
+        let interval = interval.max(Duration::from_millis(10));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let (lock, cv) = &*stop;
+                let mut stopped = lock.lock().expect("flusher lock poisoned");
+                while !*stopped {
+                    let (guard, timeout) = cv
+                        .wait_timeout(stopped, interval)
+                        .expect("flusher lock poisoned");
+                    stopped = guard;
+                    if timeout.timed_out() && !*stopped {
+                        // Flush errors are deliberately swallowed: a full
+                        // disk must not take the inference path down, and
+                        // the next tick retries anyway.
+                        let _ = flush_snapshot(&path);
+                    }
+                }
+            })
+        };
+        Self {
+            stop,
+            thread: Some(thread),
+            path,
+        }
+    }
+
+    /// Stops the flusher thread and writes one final snapshot, so the
+    /// file always reflects the full run when the server exits
+    /// gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final flush's I/O error (the thread is joined either
+    /// way).
+    pub fn stop(mut self) -> io::Result<()> {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().expect("flusher lock poisoned") = true;
+        cv.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        flush_snapshot(&self.path)
+    }
+}
+
+/// Writes the current snapshot JSON to `path` via a sibling tmp file +
+/// atomic rename.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn flush_snapshot(path: &Path) -> io::Result<()> {
+    let json = obs::snapshot().to_json();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, &json)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flusher_writes_periodically_and_on_stop() {
+        let _guard = crate::obs_test_guard();
+        obs::set_enabled(true);
+        obs::reset();
+        obs::counter("flusher.test", 1);
+
+        let dir = std::env::temp_dir().join(format!("lookhd-flusher-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+
+        let flusher = MetricsFlusher::start(path.clone(), Duration::from_millis(20));
+        // Wait for at least one periodic flush.
+        let mut saw_periodic = false;
+        for _ in 0..100 {
+            std::thread::sleep(Duration::from_millis(10));
+            if path.exists() {
+                saw_periodic = true;
+                break;
+            }
+        }
+        assert!(saw_periodic, "no periodic flush within 1 s");
+
+        obs::counter("flusher.test", 41);
+        flusher.stop().unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"version\": 2"), "got: {json}");
+        assert!(
+            json.contains("{\"name\": \"flusher.test\", \"value\": 42}"),
+            "got: {json}"
+        );
+        // The tmp file never survives a completed flush.
+        assert!(!dir.join("metrics.json.tmp").exists());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        obs::set_enabled(false);
+        obs::reset();
+    }
+
+    #[test]
+    fn zero_interval_is_clamped_not_spinning() {
+        let dir = std::env::temp_dir().join(format!("lookhd-flusher0-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        let flusher = MetricsFlusher::start(path, Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(30));
+        flusher.stop().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

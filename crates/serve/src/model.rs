@@ -74,6 +74,12 @@ impl Classifier for RawModelClassifier {
         self.model
             .predict(&query_from_features(features, self.model.dim())?)
     }
+
+    fn class_scores(&self, features: &[f64]) -> Result<Option<Vec<f64>>> {
+        self.model
+            .scores(&query_from_features(features, self.model.dim())?)
+            .map(Some)
+    }
 }
 
 /// [`Classifier`] adapter over a bare `LKC1` compressed model: features
@@ -103,6 +109,12 @@ impl Classifier for CompressedModelClassifier {
     fn predict(&self, features: &[f64]) -> Result<usize> {
         self.model
             .predict(&query_from_features(features, self.model.dim())?)
+    }
+
+    fn class_scores(&self, features: &[f64]) -> Result<Option<Vec<f64>>> {
+        self.model
+            .scores(&query_from_features(features, self.model.dim())?)
+            .map(Some)
     }
 }
 

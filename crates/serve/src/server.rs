@@ -35,6 +35,22 @@
 //! the accept loop, half-closes every connection's read side so readers
 //! drain out, lets workers finish everything already queued, and then
 //! joins all threads ([`ServerHandle::join`]).
+//!
+//! ## Tracing and telemetry
+//!
+//! When metrics are enabled the server records stage histograms
+//! (`serve/decode`, `serve/queue_wait`, `serve/batch`, `serve/encode`,
+//! `serve/request`) and, when the trace ring is also enabled
+//! (`obs::trace::set_enabled`), emits begin/end trace events for every
+//! request that carried a non-zero client trace id — one
+//! `decode → queue_wait → batch_assembly → predict → encode` chain per
+//! request, keyed by that id, exportable as Chrome trace-event JSON.
+//! Model-quality drift signals ride the same switch: a top1−top2 score
+//! margin histogram (`serve/margin`, micro-units), per-class prediction
+//! counters (`serve.predicted.<class>`), and the score-LUT fallback
+//! counters ticked inside the model's score path. All of it is
+//! observation only — the batched predict path and its bit-identity
+//! contract are untouched.
 
 use std::collections::VecDeque;
 use std::io;
@@ -43,6 +59,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use obs::trace::{self, Phase};
 
 use crate::model::SharedClassifier;
 use crate::wire::{self, ErrorCode, Request, Response, WireError};
@@ -145,9 +163,26 @@ impl ConnWriter {
 /// One queued predict request.
 struct Pending {
     id: u64,
+    /// Client-supplied trace id (`0` = untraced): echoed in the response
+    /// and stamped on every trace event this request emits.
+    trace_id: u64,
     features: Vec<f64>,
     enqueued: Instant,
+    /// Trace-clock timestamp of the enqueue (`0` when tracing is off);
+    /// the begin edge of the `queue_wait` span.
+    enqueued_ns: u64,
     conn: Arc<ConnWriter>,
+}
+
+impl Pending {
+    /// Emits one begin/end trace pair stamped with this request's trace
+    /// id, when both the ring and the id are live.
+    fn trace_pair(&self, name: &'static str, begin_ns: u64, end_ns: u64) {
+        if self.trace_id != 0 && trace::enabled() {
+            trace::emit_at(name, self.trace_id, Phase::Begin, begin_ns);
+            trace::emit_at(name, self.trace_id, Phase::End, end_ns);
+        }
+    }
 }
 
 /// State shared by the accept loop, readers, and workers.
@@ -184,13 +219,14 @@ impl Inner {
     /// backpressure/shutdown rejection. The shutdown check happens under
     /// the queue lock so no request can slip in after the workers'
     /// drain-and-exit decision.
-    fn enqueue(&self, conn: &Arc<ConnWriter>, id: u64, features: Vec<f64>) {
+    fn enqueue(&self, conn: &Arc<ConnWriter>, id: u64, trace_id: u64, features: Vec<f64>) {
         let depth = {
             let mut queue = self.queue.lock().expect("queue lock poisoned");
             if self.shutdown.load(Ordering::SeqCst) {
                 drop(queue);
                 conn.send(&Response::Error {
                     id,
+                    trace_id,
                     code: ErrorCode::ShuttingDown,
                     message: "server is shutting down".into(),
                 });
@@ -203,6 +239,7 @@ impl Inner {
                 obs::counter("serve.responses.error", 1);
                 conn.send(&Response::Error {
                     id,
+                    trace_id,
                     code: ErrorCode::Overloaded,
                     message: format!("request queue full ({} pending)", self.config.queue_cap),
                 });
@@ -210,8 +247,14 @@ impl Inner {
             }
             queue.push_back(Pending {
                 id,
+                trace_id,
                 features,
                 enqueued: Instant::now(),
+                enqueued_ns: if trace_id != 0 && trace::enabled() {
+                    trace::now_ns()
+                } else {
+                    0
+                },
                 conn: Arc::clone(conn),
             });
             queue.len()
@@ -358,17 +401,43 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
 
 /// Reads frames off one connection until EOF, transport error, or an
 /// unrecoverable framing error.
+///
+/// Framing and decoding are separate steps so the `serve/decode` span
+/// measures parsing work only, never the idle socket wait for the next
+/// frame. The error classification is unchanged from the fused
+/// [`wire::read_request`] path: transport errors and frame-alignment
+/// damage (over-cap length prefix, mid-frame EOF, or a body shorter than
+/// its own fields) drop the connection; any other malformed body keeps
+/// it.
 fn reader_loop(inner: &Arc<Inner>, mut stream: TcpStream, conn: &Arc<ConnWriter>) {
     loop {
-        match wire::read_request(&mut stream) {
+        let body = match wire::read_frame(&mut stream) {
+            Ok(body) => body,
             Err(WireError::Io(_)) => break,
-            Err(e @ (WireError::TooLarge { .. } | WireError::Truncated { .. })) => {
-                // The byte stream is no longer frame-aligned (an
-                // over-cap length prefix or a mid-frame EOF): answer
-                // with a protocol error and drop the connection.
+            Err(e) => {
+                // read_frame only fails with Io, TooLarge, or Truncated;
+                // the latter two mean the stream is no longer
+                // frame-aligned.
                 obs::counter("serve.bad_frames", 1);
                 conn.send(&Response::Error {
                     id: 0,
+                    trace_id: 0,
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                });
+                break;
+            }
+        };
+        let decode_begin_ns = if obs::enabled() { trace::now_ns() } else { 0 };
+        match wire::decode_request(&body) {
+            Err(e @ (WireError::TooLarge { .. } | WireError::Truncated { .. })) => {
+                // A lying in-body count (the frame held fewer bytes than
+                // its fields claim): treated as alignment damage, answer
+                // and drop the connection.
+                obs::counter("serve.bad_frames", 1);
+                conn.send(&Response::Error {
+                    id: 0,
+                    trace_id: 0,
                     code: ErrorCode::BadRequest,
                     message: e.to_string(),
                 });
@@ -380,6 +449,7 @@ fn reader_loop(inner: &Arc<Inner>, mut stream: TcpStream, conn: &Arc<ConnWriter>
                 obs::counter("serve.bad_frames", 1);
                 conn.send(&Response::Error {
                     id: 0,
+                    trace_id: 0,
                     code: ErrorCode::BadRequest,
                     message: e.to_string(),
                 });
@@ -390,7 +460,24 @@ fn reader_loop(inner: &Arc<Inner>, mut stream: TcpStream, conn: &Arc<ConnWriter>
                 inner.trigger_shutdown();
                 break;
             }
-            Ok(Request::Predict { id, features }) => inner.enqueue(conn, id, features),
+            Ok(Request::Predict {
+                id,
+                trace_id,
+                features,
+            }) => {
+                if obs::enabled() {
+                    let decode_end_ns = trace::now_ns();
+                    obs::record(
+                        "serve/decode",
+                        Duration::from_nanos(decode_end_ns.saturating_sub(decode_begin_ns)),
+                    );
+                    if trace_id != 0 && trace::enabled() {
+                        trace::emit_at("decode", trace_id, Phase::Begin, decode_begin_ns);
+                        trace::emit_at("decode", trace_id, Phase::End, decode_end_ns);
+                    }
+                }
+                inner.enqueue(conn, id, trace_id, features);
+            }
         }
     }
 }
@@ -420,13 +507,21 @@ fn process_batch(inner: &Arc<Inner>, batch: Vec<Pending>) {
     // Expire requests that waited past their deadline before spending any
     // inference time on them; expiry frees their queue slots for free.
     let now = Instant::now();
+    let pop_ns = if obs::enabled() { trace::now_ns() } else { 0 };
     let mut live = Vec::with_capacity(batch.len());
     for pending in batch {
+        if obs::enabled() {
+            obs::record("serve/queue_wait", now.duration_since(pending.enqueued));
+            if pending.enqueued_ns != 0 {
+                pending.trace_pair("queue_wait", pending.enqueued_ns, pop_ns);
+            }
+        }
         if now.duration_since(pending.enqueued) > inner.config.timeout {
             obs::counter("serve.deadline_misses", 1);
             obs::counter("serve.responses.error", 1);
             pending.conn.send(&Response::Error {
                 id: pending.id,
+                trace_id: pending.trace_id,
                 code: ErrorCode::DeadlineExceeded,
                 message: format!(
                     "request waited past the {} ms deadline",
@@ -452,10 +547,23 @@ fn process_batch(inner: &Arc<Inner>, batch: Vec<Pending>) {
         .map(|p| std::mem::take(&mut p.features))
         .collect();
     let started = Instant::now();
+    let predict_begin_ns = if obs::enabled() { trace::now_ns() } else { 0 };
+    if obs::enabled() {
+        // Batch assembly = everything between queue pop and the predict
+        // call: expiry checks and feature gathering.
+        for pending in &live {
+            pending.trace_pair("batch_assembly", pop_ns, predict_begin_ns);
+        }
+    }
     match inner.model.predict_batch(&features) {
         Ok(predictions) => {
             if obs::enabled() {
                 obs::record("serve/batch", started.elapsed());
+                let predict_end_ns = trace::now_ns();
+                for pending in &live {
+                    pending.trace_pair("predict", predict_begin_ns, predict_end_ns);
+                }
+                record_quality_signals(inner, &features, &predictions);
             }
             for (pending, class) in live.iter().zip(predictions) {
                 respond_ok(pending, class);
@@ -473,6 +581,7 @@ fn process_batch(inner: &Arc<Inner>, batch: Vec<Pending>) {
                         obs::counter("serve.responses.error", 1);
                         pending.conn.send(&Response::Error {
                             id: pending.id,
+                            trace_id: pending.trace_id,
                             code: ErrorCode::BadRequest,
                             message: e.to_string(),
                         });
@@ -483,15 +592,67 @@ fn process_batch(inner: &Arc<Inner>, batch: Vec<Pending>) {
     }
 }
 
+/// Scale for the `serve/margin` histogram: a top1−top2 score margin of
+/// `m` is recorded as `m × 1e6` dimensionless "nanoseconds", giving six
+/// decimal digits of margin resolution inside integer buckets.
+pub const MARGIN_SCALE: f64 = 1e6;
+
+/// Records the model-quality drift signals for one successfully
+/// predicted batch: per-class prediction counters and the top1−top2
+/// score margin histogram. Runs only when metrics are enabled — the
+/// margin needs a second [`hdc::Classifier::class_scores`] pass, which
+/// must cost nothing when observability is off.
+fn record_quality_signals(inner: &Arc<Inner>, features: &[Vec<f64>], predictions: &[usize]) {
+    for class in predictions {
+        obs::counter(&format!("serve.predicted.{class}"), 1);
+    }
+    for feats in features {
+        match inner.model.class_scores(feats) {
+            Ok(Some(scores)) if scores.len() >= 2 => {
+                let mut top1 = f64::NEG_INFINITY;
+                let mut top2 = f64::NEG_INFINITY;
+                for &s in &scores {
+                    if s > top1 {
+                        top2 = top1;
+                        top1 = s;
+                    } else if s > top2 {
+                        top2 = s;
+                    }
+                }
+                let margin = (top1 - top2).max(0.0);
+                if margin.is_finite() {
+                    obs::record(
+                        "serve/margin",
+                        Duration::from_nanos((margin * MARGIN_SCALE) as u64),
+                    );
+                }
+            }
+            // Score-less models (or a scoring error) simply contribute no
+            // margin samples; the counter keeps the gap visible.
+            _ => obs::counter("serve.margin_unavailable", 1),
+        }
+    }
+}
+
 fn respond_ok(pending: &Pending, class: usize) {
     obs::counter("serve.responses.ok", 1);
     if obs::enabled() {
         obs::record("serve/request", pending.enqueued.elapsed());
     }
-    pending.conn.send(&Response::Predict {
+    let response = Response::Predict {
         id: pending.id,
+        trace_id: pending.trace_id,
         class: u32::try_from(class).unwrap_or(u32::MAX),
-    });
+    };
+    if obs::enabled() {
+        let encode_begin_ns = trace::now_ns();
+        let started = Instant::now();
+        pending.conn.send(&response);
+        obs::record("serve/encode", started.elapsed());
+        pending.trace_pair("encode", encode_begin_ns, trace::now_ns());
+    } else {
+        pending.conn.send(&response);
+    }
 }
 
 #[cfg(test)]
@@ -526,13 +687,48 @@ mod tests {
         let mut client = Client::connect(handle.addr()).unwrap();
         assert_eq!(
             client.predict(1, &[2.5]).unwrap(),
-            Response::Predict { id: 1, class: 1 }
+            Response::Predict {
+                id: 1,
+                trace_id: 0,
+                class: 1
+            }
         );
         assert_eq!(
             client.predict(2, &[-2.5]).unwrap(),
-            Response::Predict { id: 2, class: 0 }
+            Response::Predict {
+                id: 2,
+                trace_id: 0,
+                class: 0
+            }
         );
         assert_eq!(client.ping(3).unwrap(), Response::Pong { id: 3 });
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn traced_requests_echo_the_trace_id() {
+        // Tracing on the server side is *not* enabled here: the echo is a
+        // pure wire-level contract and must hold regardless.
+        let handle = start_stub(ServeConfig::new());
+        let mut client = Client::connect(handle.addr()).unwrap();
+        assert_eq!(
+            client.predict_traced(1, 0xfeed, &[2.5]).unwrap(),
+            Response::Predict {
+                id: 1,
+                trace_id: 0xfeed,
+                class: 1
+            }
+        );
+        // Bad requests echo it too.
+        match client.predict_traced(2, 0xbeef, &[]).unwrap() {
+            Response::Error {
+                id, trace_id, code, ..
+            } => {
+                assert_eq!((id, trace_id, code), (2, 0xbeef, ErrorCode::BadRequest));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
         handle.shutdown();
         handle.join();
     }
@@ -546,18 +742,21 @@ mod tests {
         client
             .send(&Request::Predict {
                 id: 1,
+                trace_id: 0,
                 features: vec![1.0],
             })
             .unwrap();
         client
             .send(&Request::Predict {
                 id: 2,
+                trace_id: 0,
                 features: vec![],
             })
             .unwrap();
         client
             .send(&Request::Predict {
                 id: 3,
+                trace_id: 0,
                 features: vec![-1.0],
             })
             .unwrap();
@@ -565,7 +764,7 @@ mod tests {
         let mut errors = 0;
         for _ in 0..3 {
             match client.recv().unwrap() {
-                Response::Predict { id, class } => {
+                Response::Predict { id, class, .. } => {
                     ok += 1;
                     assert_eq!(class, usize::from(id == 1) as u32);
                 }

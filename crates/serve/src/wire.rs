@@ -9,27 +9,39 @@
 //!
 //! ## Request body (`LHQ1`)
 //!
-//! | field      | size | notes                                    |
-//! |------------|------|------------------------------------------|
-//! | magic      | 4    | `LHQ1`                                   |
-//! | version    | 1    | [`WIRE_VERSION`]                         |
-//! | kind       | 1    | 1 = predict, 2 = ping, 3 = shutdown      |
-//! | request id | 8    | echoed verbatim in the response          |
-//! | n_features | 4    | predict only; capped at [`MAX_FEATURES`] |
-//! | features   | 8·n  | predict only; `f64` little-endian        |
+//! | field      | size | notes                                       |
+//! |------------|------|---------------------------------------------|
+//! | magic      | 4    | `LHQ1`                                      |
+//! | version    | 1    | [`WIRE_VERSION`] or [`WIRE_VERSION_TRACED`] |
+//! | kind       | 1    | 1 = predict, 2 = ping, 3 = shutdown         |
+//! | request id | 8    | echoed verbatim in the response             |
+//! | trace id   | 8    | **version 2 only**; echoed in the response  |
+//! | n_features | 4    | predict only; capped at [`MAX_FEATURES`]    |
+//! | features   | 8·n  | predict only; `f64` little-endian           |
 //!
 //! ## Response body (`LHR1`)
 //!
 //! | field      | size | notes                                        |
 //! |------------|------|----------------------------------------------|
 //! | magic      | 4    | `LHR1`                                       |
-//! | version    | 1    | [`WIRE_VERSION`]                             |
+//! | version    | 1    | [`WIRE_VERSION`] or [`WIRE_VERSION_TRACED`]  |
 //! | request id | 8    | copied from the request                      |
+//! | trace id   | 8    | **version 2 only**; copied from the request  |
 //! | status     | 1    | 0 = predict ok, 1 = pong, 2 = error          |
 //! | class      | 4    | predict ok only                              |
 //! | error code | 1    | error only ([`ErrorCode`])                   |
 //! | msg len    | 2    | error only; capped at [`MAX_ERROR_MESSAGE`]  |
 //! | msg        | len  | error only; UTF-8                            |
+//!
+//! ## Versioning
+//!
+//! Version 2 is version 1 plus one 64-bit trace-id field immediately
+//! after the request id, in **both** directions and for **every**
+//! kind/status. Decoders accept both versions; encoders emit version 2
+//! exactly when the message carries a non-zero trace id, so untraced
+//! traffic (and every v1 client) keeps exchanging byte-identical v1
+//! frames — a v1 client never receives a v2 response. Trace id 0 means
+//! "untraced" and is therefore not representable on the wire as v2.
 //!
 //! ## Hardening
 //!
@@ -51,8 +63,13 @@ pub const REQUEST_MAGIC: &[u8; 4] = b"LHQ1";
 /// Response-body magic bytes.
 pub const RESPONSE_MAGIC: &[u8; 4] = b"LHR1";
 
-/// Protocol version both sides must agree on.
+/// Baseline protocol version (no trace id on the wire).
 pub const WIRE_VERSION: u8 = 1;
+
+/// Traced protocol version: identical to [`WIRE_VERSION`] plus one
+/// 64-bit trace-id field after the request id. Emitted exactly when a
+/// message carries a non-zero trace id; decoders accept both versions.
+pub const WIRE_VERSION_TRACED: u8 = 2;
 
 /// Largest feature count a predict request may carry (2^16). Far above
 /// any real model arity, small enough that a corrupt count cannot demand
@@ -75,6 +92,10 @@ pub enum Request {
         /// Caller-chosen id echoed in the response (responses may arrive
         /// out of order under pipelining).
         id: u64,
+        /// Caller-chosen trace id stamped onto the server's per-stage
+        /// trace events and echoed in the response. `0` = untraced (the
+        /// request travels as a v1 frame).
+        trace_id: u64,
         /// Raw feature values, in model arity.
         features: Vec<f64>,
     },
@@ -97,6 +118,15 @@ impl Request {
     pub fn id(&self) -> u64 {
         match self {
             Self::Predict { id, .. } | Self::Ping { id } | Self::Shutdown { id } => *id,
+        }
+    }
+
+    /// The trace id this request propagates (0 = untraced; pings and
+    /// shutdowns are never traced).
+    pub fn trace_id(&self) -> u64 {
+        match self {
+            Self::Predict { trace_id, .. } => *trace_id,
+            Self::Ping { .. } | Self::Shutdown { .. } => 0,
         }
     }
 }
@@ -153,6 +183,9 @@ pub enum Response {
     Predict {
         /// The id of the request this answers.
         id: u64,
+        /// The trace id echoed from the request (0 = untraced, answered
+        /// as a v1 frame).
+        trace_id: u64,
         /// The predicted class label.
         class: u32,
     },
@@ -166,6 +199,9 @@ pub enum Response {
         /// The id of the request this answers (0 when the request never
         /// parsed far enough to carry one).
         id: u64,
+        /// The trace id echoed from the request (0 when untraced or the
+        /// request never parsed far enough to carry one).
+        trace_id: u64,
         /// Machine-readable failure category.
         code: ErrorCode,
         /// Human-readable detail (capped at [`MAX_ERROR_MESSAGE`]).
@@ -178,6 +214,15 @@ impl Response {
     pub fn id(&self) -> u64 {
         match self {
             Self::Predict { id, .. } | Self::Pong { id } | Self::Error { id, .. } => *id,
+        }
+    }
+
+    /// The trace id echoed to the client (0 = untraced; pongs are never
+    /// traced).
+    pub fn trace_id(&self) -> u64 {
+        match self {
+            Self::Predict { trace_id, .. } | Self::Error { trace_id, .. } => *trace_id,
+            Self::Pong { .. } => 0,
         }
     }
 }
@@ -194,7 +239,8 @@ pub enum WireError {
     },
     /// The body did not start with the expected magic.
     BadMagic,
-    /// The version byte differs from [`WIRE_VERSION`].
+    /// The version byte is neither [`WIRE_VERSION`] nor
+    /// [`WIRE_VERSION_TRACED`].
     BadVersion(u8),
     /// An unknown request kind / response status / error code byte.
     BadTag {
@@ -232,7 +278,10 @@ impl fmt::Display for WireError {
                 write!(f, "truncated at offset {offset} while reading {field}")
             }
             Self::BadMagic => write!(f, "bad magic: not a lookhd-serve message"),
-            Self::BadVersion(v) => write!(f, "unsupported wire version {v} (want {WIRE_VERSION})"),
+            Self::BadVersion(v) => write!(
+                f,
+                "unsupported wire version {v} (want {WIRE_VERSION} or {WIRE_VERSION_TRACED})"
+            ),
             Self::BadTag { field, value } => write!(f, "unknown {field} tag {value}"),
             Self::TooLarge { field, value, cap } => {
                 write!(f, "{field} {value} exceeds the wire limit of {cap}")
@@ -319,15 +368,26 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn check_header(c: &mut Cursor<'_>, magic: &[u8; 4]) -> WireResult<()> {
+/// Validates magic + version and returns the accepted version byte
+/// ([`WIRE_VERSION`] or [`WIRE_VERSION_TRACED`]).
+fn check_header(c: &mut Cursor<'_>, magic: &[u8; 4]) -> WireResult<u8> {
     if c.take(4, "magic")? != magic {
         return Err(WireError::BadMagic);
     }
     let version = c.u8("version")?;
-    if version != WIRE_VERSION {
+    if version != WIRE_VERSION && version != WIRE_VERSION_TRACED {
         return Err(WireError::BadVersion(version));
     }
-    Ok(())
+    Ok(version)
+}
+
+/// Reads the v2 trace-id field (absent and zero in v1).
+fn read_trace_id(c: &mut Cursor<'_>, version: u8) -> WireResult<u64> {
+    if version == WIRE_VERSION_TRACED {
+        c.u64("trace id")
+    } else {
+        Ok(0)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -338,15 +398,25 @@ const KIND_PREDICT: u8 = 1;
 const KIND_PING: u8 = 2;
 const KIND_SHUTDOWN: u8 = 3;
 
-/// Encodes a request body (without the frame length prefix).
+/// Encodes a request body (without the frame length prefix). A non-zero
+/// trace id selects the v2 layout; everything else stays byte-identical
+/// to v1.
 pub fn encode_request(request: &Request) -> Vec<u8> {
-    let mut out = Vec::with_capacity(32);
+    let trace_id = request.trace_id();
+    let mut out = Vec::with_capacity(40);
     out.extend_from_slice(REQUEST_MAGIC);
-    out.push(WIRE_VERSION);
+    out.push(if trace_id == 0 {
+        WIRE_VERSION
+    } else {
+        WIRE_VERSION_TRACED
+    });
     match request {
-        Request::Predict { id, features } => {
+        Request::Predict { id, features, .. } => {
             out.push(KIND_PREDICT);
             out.extend_from_slice(&id.to_le_bytes());
+            if trace_id != 0 {
+                out.extend_from_slice(&trace_id.to_le_bytes());
+            }
             debug_assert!(features.len() <= MAX_FEATURES);
             out.extend_from_slice(&(features.len() as u32).to_le_bytes());
             for v in features {
@@ -372,9 +442,12 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
 /// Returns a [`WireError`] describing the first malformed field.
 pub fn decode_request(bytes: &[u8]) -> WireResult<Request> {
     let mut c = Cursor::new(bytes);
-    check_header(&mut c, REQUEST_MAGIC)?;
+    let version = check_header(&mut c, REQUEST_MAGIC)?;
     let kind = c.u8("kind")?;
     let id = c.u64("request id")?;
+    // The v2 trace-id field follows the request id for every kind; ping
+    // and shutdown consume and ignore it (they are never traced).
+    let trace_id = read_trace_id(&mut c, version)?;
     let request = match kind {
         KIND_PREDICT => {
             let n = c.u32("n_features")? as usize;
@@ -396,7 +469,11 @@ pub fn decode_request(bytes: &[u8]) -> WireResult<Request> {
                     f64::from_le_bytes(buf)
                 })
                 .collect();
-            Request::Predict { id, features }
+            Request::Predict {
+                id,
+                trace_id,
+                features,
+            }
         }
         KIND_PING => Request::Ping { id },
         KIND_SHUTDOWN => Request::Shutdown { id },
@@ -419,16 +496,25 @@ const STATUS_PREDICT: u8 = 0;
 const STATUS_PONG: u8 = 1;
 const STATUS_ERROR: u8 = 2;
 
-/// Encodes a response body (without the frame length prefix). Error
-/// messages longer than [`MAX_ERROR_MESSAGE`] bytes are truncated at a
-/// character boundary.
+/// Encodes a response body (without the frame length prefix). A
+/// non-zero trace id selects the v2 layout (so v1 clients, which never
+/// send one, always receive v1 frames). Error messages longer than
+/// [`MAX_ERROR_MESSAGE`] bytes are truncated at a character boundary.
 pub fn encode_response(response: &Response) -> Vec<u8> {
-    let mut out = Vec::with_capacity(32);
+    let trace_id = response.trace_id();
+    let mut out = Vec::with_capacity(40);
     out.extend_from_slice(RESPONSE_MAGIC);
-    out.push(WIRE_VERSION);
+    out.push(if trace_id == 0 {
+        WIRE_VERSION
+    } else {
+        WIRE_VERSION_TRACED
+    });
     match response {
-        Response::Predict { id, class } => {
+        Response::Predict { id, class, .. } => {
             out.extend_from_slice(&id.to_le_bytes());
+            if trace_id != 0 {
+                out.extend_from_slice(&trace_id.to_le_bytes());
+            }
             out.push(STATUS_PREDICT);
             out.extend_from_slice(&class.to_le_bytes());
         }
@@ -436,8 +522,13 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             out.extend_from_slice(&id.to_le_bytes());
             out.push(STATUS_PONG);
         }
-        Response::Error { id, code, message } => {
+        Response::Error {
+            id, code, message, ..
+        } => {
             out.extend_from_slice(&id.to_le_bytes());
+            if trace_id != 0 {
+                out.extend_from_slice(&trace_id.to_le_bytes());
+            }
             out.push(STATUS_ERROR);
             out.push(*code as u8);
             let mut msg = message.as_str();
@@ -462,12 +553,14 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
 /// Returns a [`WireError`] describing the first malformed field.
 pub fn decode_response(bytes: &[u8]) -> WireResult<Response> {
     let mut c = Cursor::new(bytes);
-    check_header(&mut c, RESPONSE_MAGIC)?;
+    let version = check_header(&mut c, RESPONSE_MAGIC)?;
     let id = c.u64("request id")?;
+    let trace_id = read_trace_id(&mut c, version)?;
     let status = c.u8("status")?;
     let response = match status {
         STATUS_PREDICT => Response::Predict {
             id,
+            trace_id,
             class: c.u32("class")?,
         },
         STATUS_PONG => Response::Pong { id },
@@ -489,7 +582,12 @@ pub fn decode_response(bytes: &[u8]) -> WireResult<Response> {
             let message = std::str::from_utf8(raw)
                 .map_err(|_| WireError::BadUtf8)?
                 .to_owned();
-            Response::Error { id, code, message }
+            Response::Error {
+                id,
+                trace_id,
+                code,
+                message,
+            }
         }
         value => {
             return Err(WireError::BadTag {
@@ -610,11 +708,18 @@ mod tests {
         let requests = [
             Request::Predict {
                 id: 7,
+                trace_id: 0,
                 features: vec![0.25, -1.5, 1e300, f64::MIN_POSITIVE],
             },
             Request::Predict {
                 id: u64::MAX,
+                trace_id: 0,
                 features: Vec::new(),
+            },
+            Request::Predict {
+                id: 11,
+                trace_id: u64::MAX,
+                features: vec![0.5],
             },
             Request::Ping { id: 0 },
             Request::Shutdown { id: 42 },
@@ -623,6 +728,7 @@ mod tests {
             let back = decode_request(&encode_request(request)).unwrap();
             assert_eq!(&back, request);
             assert_eq!(back.id(), request.id());
+            assert_eq!(back.trace_id(), request.trace_id());
         }
     }
 
@@ -631,16 +737,24 @@ mod tests {
         let responses = [
             Response::Predict {
                 id: 3,
+                trace_id: 0,
                 class: u32::MAX,
+            },
+            Response::Predict {
+                id: 4,
+                trace_id: 0xdead_beef,
+                class: 1,
             },
             Response::Pong { id: 9 },
             Response::Error {
                 id: 1,
+                trace_id: 0,
                 code: ErrorCode::Overloaded,
                 message: "queue full".into(),
             },
             Response::Error {
                 id: 2,
+                trace_id: 77,
                 code: ErrorCode::DeadlineExceeded,
                 message: String::new(),
             },
@@ -649,13 +763,89 @@ mod tests {
             let back = decode_response(&encode_response(response)).unwrap();
             assert_eq!(&back, response);
             assert_eq!(back.id(), response.id());
+            assert_eq!(back.trace_id(), response.trace_id());
         }
+    }
+
+    #[test]
+    fn trace_id_selects_the_wire_version() {
+        // Untraced messages stay byte-identical to v1.
+        let untraced = encode_request(&Request::Predict {
+            id: 7,
+            trace_id: 0,
+            features: vec![1.0],
+        });
+        assert_eq!(untraced[4], WIRE_VERSION);
+        let traced = encode_request(&Request::Predict {
+            id: 7,
+            trace_id: 9,
+            features: vec![1.0],
+        });
+        assert_eq!(traced[4], WIRE_VERSION_TRACED);
+        assert_eq!(traced.len(), untraced.len() + 8);
+        // The v2 layout is v1 plus the trace id spliced after the id.
+        assert_eq!(&traced[..4], &untraced[..4]);
+        assert_eq!(&traced[5..14], &untraced[5..14]);
+        assert_eq!(&traced[14..22], &9u64.to_le_bytes());
+        assert_eq!(&traced[22..], &untraced[14..]);
+        // Same rule on the response side.
+        let pong = encode_response(&Response::Pong { id: 3 });
+        assert_eq!(pong[4], WIRE_VERSION);
+        let err = encode_response(&Response::Error {
+            id: 3,
+            trace_id: 5,
+            code: ErrorCode::Internal,
+            message: "x".into(),
+        });
+        assert_eq!(err[4], WIRE_VERSION_TRACED);
+    }
+
+    #[test]
+    fn v2_frames_harden_like_v1() {
+        // Truncation inside the trace-id field is caught.
+        let body = encode_request(&Request::Predict {
+            id: 1,
+            trace_id: 42,
+            features: vec![2.0],
+        });
+        for cut in 14..22 {
+            assert!(matches!(
+                decode_request(&body[..cut]),
+                Err(WireError::Truncated { .. })
+            ));
+        }
+        // Trailing bytes after a complete v2 message are rejected.
+        let mut extended = body.clone();
+        extended.push(0);
+        assert!(matches!(
+            decode_request(&extended),
+            Err(WireError::Trailing { .. })
+        ));
+        // A v2 ping (foreign encoder) must carry the trace-id field;
+        // it is consumed and ignored.
+        let mut ping = encode_request(&Request::Ping { id: 6 });
+        ping[4] = WIRE_VERSION_TRACED;
+        assert!(matches!(
+            decode_request(&ping),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut id_then_trace = ping[..14].to_vec();
+        id_then_trace.extend_from_slice(&123u64.to_le_bytes());
+        assert_eq!(
+            decode_request(&id_then_trace).unwrap(),
+            Request::Ping { id: 6 }
+        );
+        // Version 3 is still rejected.
+        let mut v3 = encode_request(&Request::Ping { id: 6 });
+        v3[4] = 3;
+        assert!(matches!(decode_request(&v3), Err(WireError::BadVersion(3))));
     }
 
     #[test]
     fn frames_round_trip_over_a_stream() {
         let request = Request::Predict {
             id: 5,
+            trace_id: 0,
             features: vec![1.0, 2.0],
         };
         let mut buf = Vec::new();
@@ -732,7 +922,11 @@ mod tests {
             decode_request(&body),
             Err(WireError::Trailing { .. })
         ));
-        let mut body = encode_response(&Response::Predict { id: 1, class: 2 });
+        let mut body = encode_response(&Response::Predict {
+            id: 1,
+            trace_id: 0,
+            class: 2,
+        });
         body.push(0);
         assert!(matches!(
             decode_response(&body),
@@ -744,6 +938,7 @@ mod tests {
     fn long_error_messages_are_truncated_on_encode() {
         let response = Response::Error {
             id: 1,
+            trace_id: 0,
             code: ErrorCode::Internal,
             message: "x".repeat(MAX_ERROR_MESSAGE * 2),
         };

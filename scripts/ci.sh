@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, the full test suite, the persistence
-# and wire-protocol corruption sweeps, a CLI metrics smoke test, and an
-# end-to-end serve + loadgen smoke test.
+# and wire-protocol corruption sweeps, a CLI metrics smoke test, an
+# end-to-end serve + loadgen smoke test (admin telemetry endpoint, trace
+# export, perf-trajectory files), and the observability overhead budget.
 # Usage: scripts/ci.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -56,7 +57,7 @@ cargo run --release -q -p lookhd-cli -- train \
 python3 - "$smoke_dir/metrics.json" << 'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["version"] == 1, doc
+assert doc["version"] == 2, doc
 paths = [s["path"] for s in doc["spans"]]
 for stage in ("encode", "counter_train", "compress", "predict", "score_lut"):
     assert any(stage in p for p in paths), f"missing stage {stage}: {paths}"
@@ -66,7 +67,7 @@ assert "counter_train.samples" in counters, counters
 print(f"metrics OK: {len(paths)} spans, {len(counters)} counters")
 EOF
 
-echo "== serve + loadgen smoke test"
+echo "== serve + loadgen + live telemetry smoke test"
 # Build both binaries up front so the startup poll below is not racing
 # a compile.
 cargo build --release -q -p lookhd-cli
@@ -74,41 +75,111 @@ cargo build --release -q -p lookhd-bench --bin loadgen
 cargo run --release -q -p lookhd-cli -- serve \
     --model "$smoke_dir/model.lks" --addr 127.0.0.1:0 --threads 2 \
     --max-batch 8 --queue-cap 256 --timeout-ms 5000 \
-    --metrics "$smoke_dir/serve_metrics.json" \
+    --metrics "$smoke_dir/serve_metrics.json" --metrics-interval 200 \
+    --admin-addr 127.0.0.1:0 \
     > "$smoke_dir/serve.log" 2>&1 &
 serve_pid=$!
 trap 'kill "$serve_pid" 2> /dev/null || true; rm -rf "$smoke_dir"' EXIT
 serve_addr=""
+admin_addr=""
 for _ in $(seq 1 100); do
     serve_addr="$(sed -n 's/^serving on \([0-9.:]*\) .*/\1/p' "$smoke_dir/serve.log")"
-    [ -n "$serve_addr" ] && break
+    admin_addr="$(sed -n 's/^admin on \([0-9.:]*\) .*/\1/p' "$smoke_dir/serve.log")"
+    [ -n "$serve_addr" ] && [ -n "$admin_addr" ] && break
     sleep 0.1
 done
-if [ -z "$serve_addr" ]; then
-    echo "serve smoke: server did not start"
+if [ -z "$serve_addr" ] || [ -z "$admin_addr" ]; then
+    echo "serve smoke: server did not start (serve='$serve_addr' admin='$admin_addr')"
     cat "$smoke_dir/serve.log"
     exit 1
 fi
+# Traced load with no --shutdown: the admin endpoint must stay up for
+# the scrapes below. The run also records the serve perf trajectory.
 cargo run --release -q -p lookhd-bench --bin loadgen -- \
     --addr "$serve_addr" --data "$smoke_dir/queries.csv" \
-    --connections 4 --requests 50 \
-    --out results/serve_loadgen.txt --shutdown
-wait "$serve_pid" # graceful shutdown: drains, joins, writes metrics
+    --connections 4 --requests 50 --trace --admin "$admin_addr" \
+    --bench-out BENCH_serve.json --out results/serve_loadgen.txt
 grep -q "latency ms:" results/serve_loadgen.txt
+grep -q "trace ids: propagated" results/serve_loadgen.txt
+# Live scrapes: snapshot JSON, Prometheus text, and the Chrome
+# trace-event export, each validated by an independent parser.
+python3 - "$admin_addr" << 'EOF'
+import json, urllib.request
+
+def get(addr, path):
+    with urllib.request.urlopen(f"http://{addr}{path}", timeout=10) as r:
+        assert r.status == 200, (path, r.status)
+        return r.read().decode()
+
+import sys
+addr = sys.argv[1]
+assert get(addr, "/healthz").strip() == "ok"
+
+doc = json.loads(get(addr, "/metrics.json"))
+assert doc["version"] == 2, doc["version"]
+paths = {s["path"] for s in doc["spans"]}
+for path in ("serve/request", "serve/decode", "serve/queue_wait",
+             "serve/encode", "serve/margin"):
+    assert path in paths, f"missing span {path}: {sorted(paths)}"
+counters = {c["name"]: c["value"] for c in doc["counters"]}
+assert counters.get("serve.responses.ok") == 200, counters
+predicted = sum(v for n, v in counters.items() if n.startswith("serve.predicted."))
+assert predicted == 200, f"per-class prediction counters sum to {predicted}"
+
+prom = get(addr, "/metrics")
+assert "# TYPE lookhd_span_serve_request_ns histogram" in prom, prom[:400]
+assert "lookhd_serve_responses_ok 200" in prom, prom[:400]
+
+# Chrome trace-event export: every traced request (trace ids 1..=200,
+# one per loadgen request) must carry a balanced begin/end pair for
+# each pipeline stage, keyed by its client-chosen trace id.
+trace = json.loads(get(addr, "/trace.json"))
+events = trace["traceEvents"]
+stages = ("decode", "queue_wait", "batch_assembly", "predict", "encode")
+seen = {}
+for e in events:
+    assert e["ph"] in ("b", "e"), e
+    assert e["id"] != "0x0", e
+    seen.setdefault((e["id"], e["name"]), []).append(e["ph"])
+for tid in range(1, 201):
+    for stage in stages:
+        phases = seen.get((f"0x{tid:x}", stage))
+        assert phases == ["b", "e"], f"trace 0x{tid:x} {stage}: {phases}"
+print(f"admin telemetry OK: {len(paths)} spans, {len(events)} trace events")
+EOF
+# The periodic flusher must have produced a parseable snapshot by now.
+python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$smoke_dir/serve_metrics.json"
+# Graceful shutdown via a second (untraced) loadgen connection.
+cargo run --release -q -p lookhd-bench --bin loadgen -- \
+    --addr "$serve_addr" --data "$smoke_dir/queries.csv" \
+    --connections 1 --requests 1 \
+    --out "$smoke_dir/shutdown_loadgen.txt" --shutdown
+wait "$serve_pid" # graceful shutdown: drains, joins, writes metrics
 python3 - "$smoke_dir/serve_metrics.json" << 'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["version"] == 1, doc
+assert doc["version"] == 2, doc
 paths = [s["path"] for s in doc["spans"]]
 for path in ("serve/request", "serve/batch_size", "serve/queue_depth"):
     assert path in paths, f"missing span {path}: {paths}"
 counters = {c["name"]: c["value"] for c in doc["counters"]}
-assert counters.get("serve.responses.ok") == 200, counters
-assert counters.get("serve.requests") == 200, counters
+assert counters.get("serve.responses.ok") == 201, counters
+assert counters.get("serve.requests") == 201, counters
 assert counters.get("serve.batches", 0) >= 1, counters
 assert counters.get("serve.connections", 0) >= 5, counters
 print(f"serve metrics OK: {counters['serve.batches']} batches "
       f"for {counters['serve.requests']} requests")
 EOF
+python3 - << 'EOF'
+import json
+for path in ("BENCH_serve.json", "BENCH_score_lut.json"):
+    doc = json.load(open(path))
+    assert doc["schema_version"] == 1, (path, doc)
+    assert doc["host"]["cores"] >= 1, (path, doc)
+print("perf trajectory files OK")
+EOF
+
+echo "== observability overhead budget (< 5%)"
+cargo run --release -q -p lookhd-bench --bin obs_overhead_check
 
 echo "CI OK"

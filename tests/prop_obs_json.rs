@@ -1,0 +1,201 @@
+//! Property test: `obs::Snapshot::to_json` emits *standard* JSON for
+//! arbitrary span and counter names — quotes, backslashes, control
+//! characters, and non-ASCII included. Each case round-trips the
+//! snapshot through `python3 -c "import json"` (a second, independent
+//! JSON implementation) and compares per-name fingerprints (character
+//! count + codepoint sum) computed on both sides, so an escaping bug
+//! cannot hide behind "it parsed".
+//!
+//! Cases are few (each spawns a python3 process) but each case batches
+//! several adversarial names.
+
+use std::collections::BTreeSet;
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use lookhd_paper::obs;
+use proptest::prelude::*;
+
+/// Characters chosen to stress every branch of the JSON escaper: the
+/// two mandatory escapes, the named control escapes, bare control
+/// characters (must become `\u00XX`), DEL, multi-byte UTF-8, and an
+/// astral-plane scalar, plus benign filler.
+const PALETTE: &[char] = &[
+    '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{b}', '\u{1f}', '\u{7f}', 'é', '∆', '日', '🦀', 'a',
+    'Z', '0', ' ', '/', '<', '&',
+];
+
+/// The global obs registry is process-wide; cases must not interleave.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Decodes a flat byte stream into 1..=8-char names over [`PALETTE`].
+fn names_from_bytes(bytes: &[u8]) -> Vec<String> {
+    bytes
+        .chunks(8)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&b| PALETTE[b as usize % PALETTE.len()])
+                .collect()
+        })
+        .collect()
+}
+
+/// `(char count, codepoint sum)` — the fingerprint python echoes back.
+fn fingerprint(name: &str) -> (u64, u64) {
+    (
+        name.chars().count() as u64,
+        name.chars().map(|c| c as u64).sum(),
+    )
+}
+
+/// Parses python's `count sum` echo lines.
+fn parse_echo(stdout: &str) -> Vec<(u64, u64)> {
+    stdout
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let count = it.next().and_then(|v| v.parse().ok()).expect("echo count");
+            let sum = it.next().and_then(|v| v.parse().ok()).expect("echo sum");
+            (count, sum)
+        })
+        .collect()
+}
+
+const PY_VALIDATE: &str = r#"
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["version"] == 2, doc["version"]
+for name in sorted(s["path"] for s in doc["spans"]):
+    print(len(name), sum(ord(c) for c in name))
+print("---")
+for name in sorted(c["name"] for c in doc["counters"]):
+    print(len(name), sum(ord(c) for c in name))
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary names recorded as spans and counters come back from an
+    /// independent JSON parser with identical fingerprints.
+    #[test]
+    fn snapshot_json_is_standard_json_for_arbitrary_names(
+        raw in proptest::collection::vec(any::<u8>(), 1..64),
+        split in any::<bool>(),
+    ) {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        obs::reset();
+        obs::set_enabled(true);
+        let names = names_from_bytes(&raw);
+        // Alternate which table each name lands in (and sometimes both),
+        // so spans and counters both see adversarial input.
+        for (i, name) in names.iter().enumerate() {
+            if split && i % 2 == 0 {
+                obs::record(name, Duration::from_nanos(i as u64 + 1));
+            } else {
+                obs::counter(name, i as u64 + 1);
+            }
+            if i % 3 == 0 {
+                obs::record(name, Duration::from_nanos(7));
+            }
+        }
+        let json = obs::snapshot().to_json();
+        obs::set_enabled(false);
+        obs::reset();
+
+        // Expected fingerprints, sorted the way python's sorted() sorts
+        // str (codepoint order == UTF-8 byte order).
+        let mut span_names = BTreeSet::new();
+        let mut counter_names = BTreeSet::new();
+        for (i, name) in names.iter().enumerate() {
+            if split && i % 2 == 0 {
+                span_names.insert(name.clone());
+            } else {
+                counter_names.insert(name.clone());
+            }
+            if i % 3 == 0 {
+                span_names.insert(name.clone());
+            }
+        }
+
+        let mut child = Command::new("python3")
+            .args(["-c", PY_VALIDATE])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("python3 must be available (ci.sh depends on it)");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(json.as_bytes())
+            .expect("write to python stdin");
+        let out = child.wait_with_output().expect("python3 did not run");
+        prop_assert!(
+            out.status.success(),
+            "python rejected the snapshot JSON:\n{}\n--- document ---\n{json}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("python echo not UTF-8");
+        let (span_part, counter_part) =
+            stdout.split_once("---").expect("echo separator missing");
+        let expected_spans: Vec<(u64, u64)> =
+            span_names.iter().map(|n| fingerprint(n)).collect();
+        let expected_counters: Vec<(u64, u64)> =
+            counter_names.iter().map(|n| fingerprint(n)).collect();
+        prop_assert_eq!(parse_echo(span_part), expected_spans);
+        prop_assert_eq!(parse_echo(counter_part), expected_counters);
+    }
+}
+
+/// A fixed worst-case name exercises every escaper branch in one shot
+/// and survives python verbatim (deterministic companion to the
+/// property above).
+#[test]
+fn kitchen_sink_name_round_trips_through_python() {
+    let _guard = OBS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    obs::reset();
+    obs::set_enabled(true);
+    let name = "a\"b\\c\nd\re\tf\u{1}g\u{1f}h\u{7f}i∆🦀/日";
+    obs::counter(name, 5);
+    obs::record(name, Duration::from_micros(3));
+    let json = obs::snapshot().to_json();
+    obs::set_enabled(false);
+    obs::reset();
+
+    let py = r#"
+import json, sys
+doc = json.load(sys.stdin)
+[counter] = doc["counters"]
+[span] = doc["spans"]
+assert counter["value"] == 5, counter
+assert counter["name"] == span["path"]
+sys.stdout.write(counter["name"])
+"#;
+    let mut child = Command::new("python3")
+        .args(["-c", py])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("python3 must be available (ci.sh depends on it)");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(json.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "python rejected the snapshot JSON:\n{}\n--- document ---\n{json}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), name);
+}

@@ -22,14 +22,16 @@ fn error_code(tag: u8) -> ErrorCode {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Predict requests round-trip bit-exactly for arbitrary ids and
-    /// feature vectors (f64 LE bytes are preserved verbatim).
+    /// Predict requests round-trip bit-exactly for arbitrary ids, trace
+    /// ids (zero = v1 layout, non-zero = v2), and feature vectors (f64 LE
+    /// bytes are preserved verbatim).
     #[test]
     fn predict_request_round_trips(
         id in any::<u64>(),
+        trace_id in any::<u64>(),
         features in proptest::collection::vec(-1e9f64..1e9, 0..300),
     ) {
-        let request = Request::Predict { id, features };
+        let request = Request::Predict { id, trace_id, features };
         let body = encode_request(&request);
         let back = decode_request(&body).unwrap();
         prop_assert_eq!(&back, &request);
@@ -38,6 +40,25 @@ proptest! {
         write_frame(&mut framed, &body).unwrap();
         let unframed = read_frame(&mut std::io::Cursor::new(&framed)).unwrap();
         prop_assert_eq!(decode_request(&unframed).unwrap(), request);
+    }
+
+    /// A v2 frame is exactly its v1 sibling with the 8-byte trace id
+    /// spliced in after the request id, for every id/payload.
+    #[test]
+    fn traced_layout_is_v1_plus_spliced_trace_id(
+        id in any::<u64>(),
+        trace_id in 1u64..=u64::MAX,
+        features in proptest::collection::vec(-1e9f64..1e9, 0..50),
+    ) {
+        let v1 = encode_request(&Request::Predict { id, trace_id: 0, features: features.clone() });
+        let v2 = encode_request(&Request::Predict { id, trace_id, features });
+        prop_assert_eq!(v2.len(), v1.len() + 8);
+        prop_assert_eq!(&v2[..4], &v1[..4]);           // magic
+        prop_assert_eq!(v1[4], 1u8);                   // version
+        prop_assert_eq!(v2[4], 2u8);
+        prop_assert_eq!(&v2[5..14], &v1[5..14]);       // kind + request id
+        prop_assert_eq!(&v2[14..22], &trace_id.to_le_bytes()[..]);
+        prop_assert_eq!(&v2[22..], &v1[14..]);         // payload
     }
 
     /// Control requests round-trip for arbitrary ids.
@@ -56,14 +77,15 @@ proptest! {
     #[test]
     fn responses_round_trip(
         id in any::<u64>(),
+        trace_id in any::<u64>(),
         class in any::<u32>(),
         tag in any::<u8>(),
         message in "[a-z ]{0,80}",
     ) {
         let responses = [
-            Response::Predict { id, class },
+            Response::Predict { id, trace_id, class },
             Response::Pong { id },
-            Response::Error { id, code: error_code(tag), message },
+            Response::Error { id, trace_id, code: error_code(tag), message },
         ];
         for response in responses {
             prop_assert_eq!(

@@ -21,6 +21,17 @@ use lookhd_paper::serve::{self, Client, ServeConfig};
 fn sample_request() -> Request {
     Request::Predict {
         id: 0x0123_4567_89ab_cdef,
+        trace_id: 0,
+        features: vec![0.25, -1.5, 3.75, 0.0, 1e12],
+    }
+}
+
+/// The same request as a v2 frame (non-zero trace id selects the traced
+/// layout on the wire).
+fn sample_traced_request() -> Request {
+    Request::Predict {
+        id: 0x0123_4567_89ab_cdef,
+        trace_id: 0xfeed_f00d_dead_beef,
         features: vec![0.25, -1.5, 3.75, 0.0, 1e12],
     }
 }
@@ -34,28 +45,46 @@ fn framed(request: &Request) -> Vec<u8> {
 
 #[test]
 fn request_body_truncated_at_every_length_errors() {
-    let body = encode_request(&sample_request());
-    for cut in 0..body.len() {
-        assert!(
-            decode_request(&body[..cut]).is_err(),
-            "truncation at {cut}/{} parsed successfully",
-            body.len()
-        );
+    for request in [sample_request(), sample_traced_request()] {
+        let body = encode_request(&request);
+        for cut in 0..body.len() {
+            assert!(
+                decode_request(&body[..cut]).is_err(),
+                "truncation at {cut}/{} parsed successfully",
+                body.len()
+            );
+        }
+        let mut longer = body.clone();
+        longer.push(0);
+        assert!(matches!(
+            decode_request(&longer),
+            Err(WireError::Trailing { .. })
+        ));
     }
-    let mut longer = body.clone();
-    longer.push(0);
-    assert!(matches!(
-        decode_request(&longer),
-        Err(WireError::Trailing { .. })
-    ));
 }
 
 #[test]
 fn response_body_truncated_at_every_length_errors() {
     for response in [
-        Response::Predict { id: 7, class: 3 },
+        Response::Predict {
+            id: 7,
+            trace_id: 0,
+            class: 3,
+        },
+        Response::Predict {
+            id: 7,
+            trace_id: 0xabcd,
+            class: 3,
+        },
         Response::Error {
             id: 9,
+            trace_id: 0,
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+        },
+        Response::Error {
+            id: 9,
+            trace_id: 42,
             code: ErrorCode::Overloaded,
             message: "queue full".into(),
         },
@@ -73,18 +102,19 @@ fn response_body_truncated_at_every_length_errors() {
 
 #[test]
 fn request_survives_every_single_byte_flip() {
-    let request = sample_request();
-    let body = encode_request(&request);
-    for i in 0..body.len() {
-        for flip in [0xFFu8, 0x01, 0x80] {
-            let mut bad = body.clone();
-            bad[i] ^= flip;
-            // Structural corruption must error; payload corruption may
-            // decode into a different-but-valid request. Either way: no
-            // panic, and any Ok must still round-trip.
-            if let Ok(back) = decode_request(&bad) {
-                let re = decode_request(&encode_request(&back)).unwrap();
-                assert_eq!(re, back);
+    for request in [sample_request(), sample_traced_request()] {
+        let body = encode_request(&request);
+        for i in 0..body.len() {
+            for flip in [0xFFu8, 0x01, 0x80] {
+                let mut bad = body.clone();
+                bad[i] ^= flip;
+                // Structural corruption must error; payload corruption may
+                // decode into a different-but-valid request. Either way: no
+                // panic, and any Ok must still round-trip.
+                if let Ok(back) = decode_request(&bad) {
+                    let re = decode_request(&encode_request(&back)).unwrap();
+                    assert_eq!(re, back);
+                }
             }
         }
     }
@@ -166,7 +196,11 @@ fn assert_still_serving(addr: std::net::SocketAddr) {
         .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
     match client.predict(1, &[1.0]).expect("round trip failed") {
-        Response::Predict { id: 1, class: 1 } => {}
+        Response::Predict {
+            id: 1,
+            trace_id: 0,
+            class: 1,
+        } => {}
         other => panic!("unexpected response {other:?}"),
     }
 }
@@ -177,11 +211,12 @@ fn assert_still_serving(addr: std::net::SocketAddr) {
 fn live_server_survives_every_frame_truncation() {
     let handle = start_server();
     let addr = handle.addr();
-    let frame = framed(&sample_request());
-    for cut in 0..frame.len() {
-        let mut raw = TcpStream::connect(addr).expect("connect failed");
-        raw.write_all(&frame[..cut]).expect("write failed");
-        drop(raw); // mid-frame EOF
+    for frame in [framed(&sample_request()), framed(&sample_traced_request())] {
+        for cut in 0..frame.len() {
+            let mut raw = TcpStream::connect(addr).expect("connect failed");
+            raw.write_all(&frame[..cut]).expect("write failed");
+            drop(raw); // mid-frame EOF
+        }
     }
     assert_still_serving(addr);
     handle.shutdown();
@@ -275,7 +310,11 @@ fn malformed_bodies_get_error_responses_without_dropping_the_connection() {
     }
     // Same connection still serves valid requests afterwards.
     match client.predict(5, &[2.0]).expect("round trip failed") {
-        Response::Predict { id: 5, class: 1 } => {}
+        Response::Predict {
+            id: 5,
+            trace_id: 0,
+            class: 1,
+        } => {}
         other => panic!("unexpected response {other:?}"),
     }
     handle.shutdown();

@@ -81,6 +81,16 @@ fn server_matches_direct_predictions_for_all_configs() {
                             .set_read_timeout(Some(Duration::from_secs(30)))
                             .unwrap();
                         let window = window.min(queries.len());
+                        // Odd-numbered clients speak the traced v2 wire
+                        // layout, even ones stay on v1 — the server must
+                        // serve the mixed population identically.
+                        let trace_of = |id: u64| {
+                            if thread_idx % 2 == 1 {
+                                id + 1000
+                            } else {
+                                0
+                            }
+                        };
                         let mut next_send = 0usize;
                         let mut outstanding = 0usize;
                         let mut seen = 0usize;
@@ -89,6 +99,7 @@ fn server_matches_direct_predictions_for_all_configs() {
                                 client
                                     .send(&Request::Predict {
                                         id: next_send as u64,
+                                        trace_id: trace_of(next_send as u64),
                                         features: queries[next_send].clone(),
                                     })
                                     .expect("send failed");
@@ -96,8 +107,17 @@ fn server_matches_direct_predictions_for_all_configs() {
                                 outstanding += 1;
                             }
                             match client.recv().expect("recv failed") {
-                                Response::Predict { id, class } => {
+                                Response::Predict {
+                                    id,
+                                    trace_id,
+                                    class,
+                                } => {
                                     let idx = id as usize;
+                                    assert_eq!(
+                                        trace_id,
+                                        trace_of(id),
+                                        "client {thread_idx}: trace id not echoed"
+                                    );
                                     assert_eq!(
                                         class as usize, expected[idx],
                                         "client {thread_idx}: query {idx} diverged \
@@ -159,7 +179,7 @@ fn raw_and_compressed_formats_match_direct_predictions() {
         let mut client = Client::connect(handle.addr()).expect("connect failed");
         for (i, h) in encoded.iter().enumerate() {
             match client.predict(i as u64, h).expect("round trip failed") {
-                Response::Predict { id, class } => {
+                Response::Predict { id, class, .. } => {
                     assert_eq!(id, i as u64);
                     assert_eq!(class as usize, expected[i], "{label} query {i} diverged");
                 }
@@ -216,7 +236,7 @@ fn score_lut_kernel_serves_identically_to_dense_path() {
                 .unwrap();
             for (i, q) in queries.iter().enumerate() {
                 match client.predict(i as u64, q).expect("round trip failed") {
-                    Response::Predict { id, class } => {
+                    Response::Predict { id, class, .. } => {
                         assert_eq!(id, i as u64);
                         assert_eq!(
                             class as usize, expected[i],
@@ -234,6 +254,121 @@ fn score_lut_kernel_serves_identically_to_dense_path() {
             handle.join();
         }
     }
+}
+
+/// With the metrics registry *and* the trace ring enabled, a server
+/// facing mixed v1/v2 clients still answers bit-identically to the
+/// direct path — tracing is pure observation — and every traced request
+/// leaves a complete decode → queue_wait → batch_assembly → predict →
+/// encode span chain in the ring, keyed by its client trace id.
+#[test]
+fn tracing_enabled_keeps_responses_identical_and_records_span_chains() {
+    use lookhd_paper::obs;
+
+    let (bytes, queries) = trained_bytes();
+    let direct = LookHdClassifier::from_bytes(&bytes).expect("reload failed");
+    let expected: Vec<usize> = queries
+        .iter()
+        .map(|q| direct.predict(q).expect("direct predict failed"))
+        .collect();
+
+    obs::set_enabled(true);
+    obs::trace::set_enabled(true);
+    obs::trace::reset();
+
+    let model = serve::classifier_from_bytes(&bytes).expect("model load failed");
+    let handle = serve::start(
+        "127.0.0.1:0",
+        model,
+        ServeConfig::new().with_workers(2).with_max_batch(7),
+    )
+    .expect("bind failed");
+    let mut v2 = Client::connect(handle.addr()).expect("connect failed");
+    let mut v1 = Client::connect(handle.addr()).expect("connect failed");
+    for client in [&mut v2, &mut v1] {
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+    }
+    for (i, q) in queries.iter().enumerate() {
+        let id = i as u64;
+        let trace_id = id + 1;
+        match v2
+            .predict_traced(id, trace_id, q)
+            .expect("traced round trip failed")
+        {
+            Response::Predict {
+                id: got,
+                trace_id: got_trace,
+                class,
+            } => {
+                assert_eq!((got, got_trace), (id, trace_id));
+                assert_eq!(class as usize, expected[i], "traced query {i} diverged");
+            }
+            other => panic!("unexpected traced response {other:?}"),
+        }
+        match v1.predict(id, q).expect("v1 round trip failed") {
+            Response::Predict {
+                id: got,
+                trace_id: 0,
+                class,
+            } => {
+                assert_eq!(got, id);
+                assert_eq!(class as usize, expected[i], "v1 query {i} diverged");
+            }
+            other => panic!("unexpected v1 response {other:?}"),
+        }
+    }
+    handle.shutdown();
+    handle.join();
+
+    // Every traced request left its full five-stage span chain; the v1
+    // client (trace id 0) left none.
+    let events = obs::trace::events();
+    const STAGES: [&str; 5] = [
+        "decode",
+        "queue_wait",
+        "batch_assembly",
+        "predict",
+        "encode",
+    ];
+    for i in 0..queries.len() {
+        let trace_id = i as u64 + 1;
+        for stage in STAGES {
+            let begins = events
+                .iter()
+                .filter(|e| {
+                    e.trace_id == trace_id && e.name == stage && e.phase == obs::trace::Phase::Begin
+                })
+                .count();
+            let ends = events
+                .iter()
+                .filter(|e| {
+                    e.trace_id == trace_id && e.name == stage && e.phase == obs::trace::Phase::End
+                })
+                .count();
+            assert_eq!(
+                (begins, ends),
+                (1, 1),
+                "trace {trace_id} stage {stage}: want exactly one begin/end pair"
+            );
+        }
+    }
+    assert!(
+        events.iter().all(|e| e.trace_id != 0),
+        "untraced requests must not emit events"
+    );
+    // The export is Chrome trace-event JSON carrying (at least) one b/e
+    // pair per stage per traced request. Other tests in this binary may
+    // be emitting concurrently, so the counts are lower bounds.
+    let chrome = obs::trace::to_chrome_json();
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("\"id\": \"0x1\""));
+    assert!(chrome.matches("\"ph\": \"b\"").count() >= STAGES.len() * queries.len());
+
+    obs::trace::set_enabled(false);
+    obs::trace::reset();
+    obs::set_enabled(false);
 }
 
 /// Repeating the same query through different server configurations

@@ -57,6 +57,7 @@ fn queued_requests_past_their_deadline_time_out() {
         client
             .send(&Request::Predict {
                 id,
+                trace_id: 0,
                 features: vec![1.0],
             })
             .expect("send failed");
@@ -78,7 +79,9 @@ fn queued_requests_past_their_deadline_time_out() {
 
     // The expired requests freed their slots: a fresh request succeeds.
     match client.predict(99, &[1.0]).expect("round trip failed") {
-        Response::Predict { id: 99, class: 1 } => {}
+        Response::Predict {
+            id: 99, class: 1, ..
+        } => {}
         other => panic!("unexpected response {other:?}"),
     }
 
@@ -109,6 +112,7 @@ fn full_queue_rejects_with_backpressure_error() {
         client
             .send(&Request::Predict {
                 id,
+                trace_id: 0,
                 features: vec![1.0],
             })
             .expect("send failed");
@@ -117,7 +121,7 @@ fn full_queue_rejects_with_backpressure_error() {
     let mut rejected = Vec::new();
     for _ in 0..BURST {
         match client.recv().expect("recv failed") {
-            Response::Predict { id, class: 1 } => served.push(id),
+            Response::Predict { id, class: 1, .. } => served.push(id),
             Response::Error {
                 id,
                 code: ErrorCode::Overloaded,
@@ -141,7 +145,9 @@ fn full_queue_rejects_with_backpressure_error() {
 
     // Once the backlog drains, capacity is available again.
     match client.predict(1000, &[1.0]).expect("round trip failed") {
-        Response::Predict { id: 1000, class: 1 } => {}
+        Response::Predict {
+            id: 1000, class: 1, ..
+        } => {}
         other => panic!("unexpected response {other:?}"),
     }
 
@@ -171,6 +177,7 @@ fn graceful_shutdown_drains_accepted_requests() {
         client
             .send(&Request::Predict {
                 id,
+                trace_id: 0,
                 features: vec![1.0],
             })
             .expect("send failed");
@@ -190,7 +197,7 @@ fn graceful_shutdown_drains_accepted_requests() {
                 assert_eq!(id, u64::MAX);
                 pongs += 1;
             }
-            Response::Predict { id, class } => classes[id as usize] = Some(class),
+            Response::Predict { id, class, .. } => classes[id as usize] = Some(class),
             other => panic!("unexpected response {other:?}"),
         }
     }
@@ -200,7 +207,7 @@ fn graceful_shutdown_drains_accepted_requests() {
     handle.shutdown();
     while classes.iter().any(Option::is_none) {
         match client.recv().expect("shutdown dropped an accepted request") {
-            Response::Predict { id, class } => classes[id as usize] = Some(class),
+            Response::Predict { id, class, .. } => classes[id as usize] = Some(class),
             other => panic!("unexpected response {other:?}"),
         }
     }
