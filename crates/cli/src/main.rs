@@ -4,15 +4,17 @@
 //! ```text
 //! lookhd train    --data train.csv --out model.lks [--dim 2000 --q 4 --r 5
 //!                 --epochs 10 --linear --group 12 --seed 42 --threads 4
-//!                 --score-lut]
+//!                 --kernel auto|dense|lut|binary --kernel-budget BYTES
+//!                 --multifold N]
 //! lookhd evaluate --model model.lks --data test.csv [--threads 4]
 //! lookhd predict  --model model.lks --data queries.csv [--threads 4]
-//! lookhd info     --model model.lks
+//! lookhd info     --model model.lks [--kernel KIND]
 //! lookhd inspect  --data data.csv
 //! lookhd estimate --model model.lks [--samples 1000]
 //! lookhd serve    --model model.lks [--addr 127.0.0.1:4100 --threads 1
 //!                 --max-batch 16 --queue-cap 1024 --timeout-ms 1000
-//!                 --admin-addr 127.0.0.1:4101 --metrics-interval 1000]
+//!                 --admin-addr 127.0.0.1:4101 --metrics-interval 1000
+//!                 --kernel KIND]
 //! ```
 //!
 //! CSV rows are `feature,…,feature,label` (labels in the final column;
@@ -36,11 +38,17 @@
 //! the metrics file every `MS` milliseconds, atomically, so a crashed or
 //! killed server still leaves a recent snapshot behind.
 //!
-//! `--score-lut` (train only) precomputes the score-LUT inference kernel:
-//! per-chunk, per-class partial-score tables that make predict a handful
-//! of table reads and adds, bit-identical to the dense path. It disables
-//! decorrelation (the kernel's eligibility requirement) and falls back to
-//! the dense path when the tables would exceed the 64 MiB budget.
+//! `--kernel {auto,dense,lut,binary}` selects the scoring kernel. On
+//! `train` it is built at fit time and persisted with the model; on
+//! `info` and `serve` it rebuilds the kernel of a loaded `LKS1` artifact
+//! without retraining. `auto` tries the score-LUT and falls back to dense
+//! when ineligible; `lut` (exact, precomputed tables; `--kernel-budget`
+//! caps their bytes) and `binary` (approximate bit-packed Hamming
+//! scoring; `--multifold N` enables prefix-scoring with margin-gated
+//! escalation) are hard requests that fail when the model cannot satisfy
+//! them. Non-dense kinds imply compression without decorrelation at train
+//! time. `--score-lut` (train only) is the deprecated spelling of
+//! `--kernel auto`.
 
 mod args;
 
@@ -51,7 +59,7 @@ use std::process::ExitCode;
 use args::Args;
 use hdc::quantize::Quantization;
 use hdc::{Classifier, FitClassifier};
-use lookhd::{CompressionConfig, LookHdClassifier, LookHdConfig};
+use lookhd::{CompressionConfig, KernelKind, KernelSpec, LookHdClassifier, LookHdConfig};
 use lookhd_datasets::csv;
 use lookhd_engine::EngineConfig;
 use lookhd_hwsim::fpga::FpgaPhase;
@@ -111,21 +119,28 @@ fn run(raw: Vec<String>) -> Result<(), String> {
 const USAGE: &str = "usage:
   lookhd train    --data train.csv --out model.lks [--dim N --q N --r N
                   --epochs N --linear --group N --seed N --threads N
-                  --score-lut]
+                  --kernel auto|dense|lut|binary --kernel-budget BYTES
+                  --multifold N]
   lookhd evaluate --model model.lks --data test.csv [--threads N]
   lookhd predict  --model model.lks --data queries.csv [--threads N]
-  lookhd info     --model model.lks
+  lookhd info     --model model.lks [--kernel KIND]
   lookhd inspect  --data data.csv
   lookhd estimate --model model.lks [--samples N]
   lookhd serve    --model model.lks [--addr HOST:PORT --threads N
                   --max-batch N --queue-cap N --timeout-ms N
-                  --admin-addr HOST:PORT --metrics-interval MS]
+                  --admin-addr HOST:PORT --metrics-interval MS
+                  --kernel KIND]
 
 --threads shards work across OS threads (0 = all cores) without changing
 any result bit; under `serve` it sets the batch-worker count instead.
---score-lut (train) folds class scoring into precomputed tables — predict
-becomes table reads + adds, bit-identical to the dense path; implies
-compression without decorrelation.
+--kernel selects the scoring kernel: auto (score-LUT with dense fallback),
+dense (exact reference), lut (exact precomputed tables; --kernel-budget
+caps their bytes), binary (approximate bit-packed Hamming scoring;
+--multifold N scores word prefixes and escalates only on thin margins).
+On train it is built and persisted with the model (non-dense kinds imply
+compression without decorrelation); on info/serve it rebuilds the kernel
+of a loaded LKS1 artifact without retraining. --score-lut (train) is the
+deprecated spelling of --kernel auto.
 --metrics out.json (any subcommand) records per-stage timing spans and
 counters and writes one JSON document when the command finishes.
 --admin-addr (serve) adds a live-telemetry HTTP listener: /metrics.json,
@@ -148,6 +163,47 @@ fn engine_config(args: &Args) -> Result<EngineConfig, String> {
     Ok(EngineConfig::new().with_threads(threads))
 }
 
+/// Kernel selection from `--kernel {auto,dense,lut,binary}` plus the
+/// `--kernel-budget BYTES` / `--multifold N` knobs. `--score-lut` stays
+/// as the deprecated spelling of `--kernel auto`; an explicit `--kernel`
+/// wins when both appear. `None` means the flag family was absent.
+fn kernel_spec(args: &Args) -> Result<Option<KernelSpec>, String> {
+    let kind = match args.get("kernel") {
+        Some(raw) => Some(raw.parse::<KernelKind>().map_err(|e| e.to_string())?),
+        None if args.switch("score-lut") => Some(KernelKind::Auto),
+        None => None,
+    };
+    let Some(kind) = kind else {
+        return Ok(None);
+    };
+    let budget = args
+        .get_or("kernel-budget", KernelSpec::DEFAULT_BUDGET_BYTES)
+        .map_err(|e| e.to_string())?;
+    let multifold = args
+        .get_or("multifold", 0usize)
+        .map_err(|e| e.to_string())?;
+    Ok(Some(
+        KernelSpec::new(kind)
+            .with_budget_bytes(budget)
+            .with_multifold(multifold),
+    ))
+}
+
+/// One human-readable line describing a classifier's active kernel.
+fn kernel_line(clf: &LookHdClassifier) -> String {
+    let kernel = clf.kernel();
+    format!(
+        "{} ({}; {})",
+        kernel.name(),
+        if kernel.is_exact() {
+            "exact"
+        } else {
+            "approximate"
+        },
+        kernel.describe()
+    )
+}
+
 fn train(args: &Args) -> Result<(), String> {
     let data_path = args.require("data").map_err(|e| e.to_string())?;
     let out_path = args.require("out").map_err(|e| e.to_string())?;
@@ -160,11 +216,12 @@ fn train(args: &Args) -> Result<(), String> {
     let seed = args
         .get_or("seed", 0x10_0c_4du64)
         .map_err(|e| e.to_string())?;
-    let score_lut = args.switch("score-lut");
+    let kernel = kernel_spec(args)?;
     let mut compression = CompressionConfig::new().with_max_classes_per_vector(group.max(1));
-    if score_lut {
-        // The integer kernel requires exact integer scoring end to end;
-        // decorrelation whitens queries through f64 arithmetic.
+    if kernel.is_some_and(|k| k.kind != KernelKind::Dense) {
+        // The lut and binary kernels require integer per-dimension
+        // scoring end to end; decorrelation whitens queries through f64
+        // arithmetic, so non-dense kernel requests turn it off.
         compression = compression.with_decorrelate(false);
     }
     let mut config = LookHdConfig::new()
@@ -175,7 +232,7 @@ fn train(args: &Args) -> Result<(), String> {
         .with_compression(compression)
         .with_seed(seed)
         .with_engine(engine_config(args)?)
-        .with_score_lut(score_lut);
+        .with_kernel(kernel.unwrap_or_default());
     if args.switch("linear") {
         config = config.with_quantization(Quantization::Linear);
     }
@@ -199,15 +256,12 @@ fn train(args: &Args) -> Result<(), String> {
         clf.compressed().n_vectors(),
         clf.report().epochs_run()
     ));
-    if score_lut {
-        match clf.score_lut() {
-            Some(lut) => out(format!(
-                "score-LUT kernel: {} chunk tables x {} classes, {} B",
-                lut.n_chunks(),
-                lut.n_classes(),
-                lut.size_bytes()
-            )),
-            None => out("score-LUT kernel: fell back to the dense path (over budget)"),
+    if let Some(requested) = kernel {
+        let active = clf.kernel();
+        if requested.kind == KernelKind::Auto && active.name() == "dense" {
+            out("kernel: auto fell back to the dense path (model ineligible or over budget)");
+        } else {
+            out(format!("kernel: {}", kernel_line(&clf)));
         }
     }
     Ok(())
@@ -251,7 +305,13 @@ fn predict(args: &Args) -> Result<(), String> {
 }
 
 fn info(args: &Args) -> Result<(), String> {
-    let clf = load_classifier(args)?;
+    let mut clf = load_classifier(args)?;
+    if let Some(spec) = kernel_spec(args)? {
+        // Inspect what a different kernel would look like on this model
+        // (rebuilt in place, nothing persisted).
+        clf.set_kernel(&spec)
+            .map_err(|e| format!("rebuilding kernel: {e}"))?;
+    }
     let layout = clf.encoder().layout();
     out("LookHD classifier:");
     out(format!("  features (n):        {}", layout.n_features()));
@@ -280,13 +340,7 @@ fn info(args: &Args) -> Result<(), String> {
         clf.compressed().n_vectors(),
         clf.model().size_bytes()
     ));
-    out(format!(
-        "  score-LUT kernel:    {}",
-        match clf.score_lut() {
-            Some(lut) => format!("{} B precomputed tables", lut.size_bytes()),
-            None => "none (dense scoring path)".to_owned(),
-        }
-    ));
+    out(format!("  kernel:              {}", kernel_line(&clf)));
     out(format!(
         "  class correlation:   {:.3}",
         clf.model().class_correlation()
@@ -337,8 +391,24 @@ fn inspect(args: &Args) -> Result<(), String> {
 /// shutdown frame arrives (e.g. `loadgen --shutdown`).
 fn serve(args: &Args) -> Result<(), String> {
     let model_path = args.require("model").map_err(|e| e.to_string())?;
-    let model = lookhd_serve::load_classifier(std::path::Path::new(model_path))
-        .map_err(|e| format!("loading {model_path}: {e}"))?;
+    let model = match kernel_spec(args)? {
+        // A kernel override rebuilds the scoring kernel of a full LKS1
+        // classifier before it starts serving (the encoder-less formats
+        // have no kernel to swap).
+        Some(spec) => {
+            let bytes = fs::read(model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+            if bytes.get(..4) != Some(b"LKS1".as_slice()) {
+                return Err("--kernel override requires a full LKS1 model artifact".to_owned());
+            }
+            let mut clf = LookHdClassifier::from_bytes(&bytes)
+                .map_err(|e| format!("loading {model_path}: {e}"))?;
+            clf.set_kernel(&spec)
+                .map_err(|e| format!("rebuilding kernel: {e}"))?;
+            std::sync::Arc::new(clf) as lookhd_serve::SharedClassifier
+        }
+        None => lookhd_serve::load_classifier(std::path::Path::new(model_path))
+            .map_err(|e| format!("loading {model_path}: {e}"))?,
+    };
     let addr = args.get("addr").unwrap_or("127.0.0.1:4100");
     let workers = args.get_or("threads", 1usize).map_err(|e| e.to_string())?;
     let max_batch = args

@@ -137,6 +137,135 @@ fn train_evaluate_predict_round_trip() {
 }
 
 #[test]
+fn kernel_flags_select_and_report_kernels() {
+    let dir = workdir("kernel_flags");
+    let (train, test, _) = write_dataset(&dir);
+
+    // New spelling: an explicit binary kernel with multifold enabled.
+    let binary_model = dir.join("binary.lks");
+    let out = bin()
+        .args([
+            "train",
+            "--data",
+            train.to_str().unwrap(),
+            "--out",
+            binary_model.to_str().unwrap(),
+            "--dim",
+            "256",
+            "--epochs",
+            "2",
+            "--kernel",
+            "binary",
+            "--multifold",
+            "2",
+        ])
+        .output()
+        .expect("run train --kernel binary");
+    assert!(
+        out.status.success(),
+        "binary train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("kernel: binary (approximate;"),
+        "missing kernel report: {text}"
+    );
+
+    // The artifact reports its kernel in `info`, and a `--kernel` override
+    // rebuilds it in place.
+    let out = bin()
+        .args(["info", "--model", binary_model.to_str().unwrap()])
+        .output()
+        .expect("run info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kernel:              binary"), "{text}");
+    let out = bin()
+        .args([
+            "info",
+            "--model",
+            binary_model.to_str().unwrap(),
+            "--kernel",
+            "dense",
+        ])
+        .output()
+        .expect("run info --kernel dense");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kernel:              dense"), "{text}");
+
+    // The binary model still classifies the easy test split.
+    let out = bin()
+        .args([
+            "evaluate",
+            "--model",
+            binary_model.to_str().unwrap(),
+            "--data",
+            test.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("100.0% compressed"), "{text}");
+
+    // Deprecated spelling: --score-lut still trains the LUT kernel.
+    let lut_model = dir.join("lut.lks");
+    let out = bin()
+        .args([
+            "train",
+            "--data",
+            train.to_str().unwrap(),
+            "--out",
+            lut_model.to_str().unwrap(),
+            "--dim",
+            "256",
+            "--epochs",
+            "2",
+            "--score-lut",
+        ])
+        .output()
+        .expect("run train --score-lut");
+    assert!(
+        out.status.success(),
+        "score-lut train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kernel: lut (exact;"), "{text}");
+    let out = bin()
+        .args(["info", "--model", lut_model.to_str().unwrap()])
+        .output()
+        .expect("run info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kernel:              lut"), "{text}");
+
+    // Unknown kinds are rejected with the expected vocabulary.
+    let out = bin()
+        .args([
+            "train",
+            "--data",
+            train.to_str().unwrap(),
+            "--out",
+            dir.join("bogus.lks").to_str().unwrap(),
+            "--kernel",
+            "bogus",
+        ])
+        .output()
+        .expect("run train --kernel bogus");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("expected auto, dense, lut, or binary"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn inspect_summarizes_a_csv() {
     let dir = workdir("inspect");
     let (train, _, _) = write_dataset(&dir);

@@ -81,6 +81,15 @@ pub trait Classifier {
         let _ = features;
         Ok(None)
     }
+
+    /// The name of the scoring kernel serving predictions, when the model
+    /// family distinguishes kernels (`None` otherwise — the default).
+    /// Telemetry surfaces (`info` output, the serve admin snapshot) report
+    /// this so operators can tell which kernel actually serves — automatic
+    /// kernel selection may silently fall back to a slower exact path.
+    fn kernel_name(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 /// Training constructor for a classifier family.

@@ -19,6 +19,9 @@ use crate::compress::{CompressedModel, CompressionConfig};
 use crate::encoder::LookupEncoder;
 use crate::lut::TableMode;
 use crate::retrain::{retrain_compressed, UpdateRule};
+use crate::score_kernel::{
+    build_kernel, kernel_from_section, KernelSpec, LutKernel, ScoreKernel, KERNEL_SECTION_NONE,
+};
 use crate::score_lut::{ScoreLut, ScoreLutMode};
 use crate::trainer::CounterTrainer;
 
@@ -56,12 +59,12 @@ pub struct LookHdConfig {
     pub adaptive_grouping: bool,
     /// Retraining update arithmetic.
     pub update_rule: UpdateRule,
-    /// Score-LUT inference kernel: precompute per-chunk, per-class partial
-    /// scores at fit time so predict is table gathers + adds (no
-    /// hypervector on the query path). Requires `decorrelate=false`;
-    /// ineligible or over-budget models fall back to the dense path
-    /// (counted as `score_lut.fallback`).
-    pub score_lut: ScoreLutMode,
+    /// Which scoring kernel to build at fit time (see
+    /// [`crate::score_kernel`]). [`crate::score_kernel::KernelKind::Auto`]
+    /// tries the score-LUT and falls back to the dense path when the model
+    /// is ineligible (counted as `kernel.fallback`); explicit `lut` /
+    /// `binary` requests make ineligibility a fit error instead.
+    pub kernel: KernelSpec,
     /// RNG seed (level memory, position keys).
     pub seed: u64,
     /// Execution engine for the counter-training and batch-inference
@@ -86,7 +89,7 @@ impl LookHdConfig {
             validation_fraction: 0.15,
             adaptive_grouping: true,
             update_rule: UpdateRule::Exact,
-            score_lut: ScoreLutMode::Off,
+            kernel: KernelSpec::dense(),
             seed: 0x10_0c_4d,
             engine: EngineConfig::new(),
         }
@@ -158,25 +161,45 @@ impl LookHdConfig {
         self
     }
 
+    /// Selects the scoring kernel built at fit time (see
+    /// [`crate::score_kernel::KernelSpec`]).
+    pub fn with_kernel(mut self, kernel: KernelSpec) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Enables (or disables) the score-LUT inference kernel under the
     /// default 64 MiB table budget. The kernel is exact — bit-identical
     /// scores and argmax — but requires compression without decorrelation
     /// ([`CompressionConfig::with_decorrelate`]`(false)`); ineligible
     /// models fall back to the dense path at fit time.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_kernel(KernelSpec::auto())` instead"
+    )]
     pub fn with_score_lut(mut self, on: bool) -> Self {
-        self.score_lut = if on {
-            ScoreLutMode::Auto {
-                budget_bytes: ScoreLutMode::DEFAULT_BUDGET_BYTES,
-            }
+        self.kernel = if on {
+            KernelSpec::auto()
         } else {
-            ScoreLutMode::Off
+            KernelSpec::dense()
         };
         self
     }
 
     /// Enables the score-LUT kernel with an explicit table byte budget.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_kernel(KernelSpec::auto().with_budget_bytes(..))` instead"
+    )]
     pub fn with_score_lut_budget(mut self, budget_bytes: usize) -> Self {
-        self.score_lut = ScoreLutMode::Auto { budget_bytes };
+        self.kernel = KernelSpec::auto().with_budget_bytes(budget_bytes);
+        self
+    }
+
+    /// Sets the scoring-kernel selection from the superseded
+    /// [`ScoreLutMode`] type (a migration shim for persisted configs).
+    pub fn with_score_lut_mode(mut self, mode: ScoreLutMode) -> Self {
+        self.kernel = KernelSpec::from(mode);
         self
     }
 
@@ -230,10 +253,11 @@ pub struct LookHdClassifier {
     /// The uncompressed trained model (kept for analysis and ablations).
     model: ClassModel,
     compressed: CompressedModel,
-    /// Precomputed score-LUT kernel; `None` means predict runs the dense
-    /// compressed path. Built after retraining (the tables bake in the
-    /// final combined vectors) and persisted with the classifier.
-    score_lut: Option<ScoreLut>,
+    /// The scoring kernel every predict/scores call dispatches through
+    /// (see [`crate::score_kernel`]). Built after retraining — precomputed
+    /// kernels bake in the final combined vectors — and persisted with the
+    /// classifier when the kernel carries state.
+    kernel: Box<dyn ScoreKernel>,
     report: TrainReport,
     /// The RNG seed levels/positions were generated from (for persistence).
     seed: u64,
@@ -351,28 +375,16 @@ impl LookHdClassifier {
         };
         drop(_retrain_span);
 
-        // Build the score-LUT kernel from the *final* compressed model —
-        // retraining mutates the combined vectors the tables bake in.
-        let score_lut = match config.score_lut {
-            ScoreLutMode::Off => None,
-            ScoreLutMode::Auto { budget_bytes } => {
-                match ScoreLut::build(&encoder, &compressed, budget_bytes) {
-                    Ok(lut) => Some(lut),
-                    Err(_) => {
-                        // Ineligible (whitened / over budget / out of
-                        // bound): the dense path serves identically, just
-                        // slower, so fall back rather than fail the fit.
-                        obs::counter("score_lut.fallback", 1);
-                        None
-                    }
-                }
-            }
-        };
+        // Build the scoring kernel from the *final* compressed model —
+        // retraining mutates the combined vectors precomputed kernels
+        // bake in. Auto resolution (with its dense fallback) lives in
+        // `build_kernel`; explicit ineligible requests fail the fit.
+        let kernel = build_kernel(&encoder, &compressed, &config.kernel)?;
         Ok(Self {
             encoder,
             model,
             compressed,
-            score_lut,
+            kernel,
             report,
             seed: config.seed,
             engine,
@@ -508,36 +520,61 @@ impl LookHdClassifier {
         &self.compressed
     }
 
-    /// The score-LUT inference kernel, when one was built (see
-    /// [`LookHdConfig::with_score_lut`]).
-    pub fn score_lut(&self) -> Option<&ScoreLut> {
-        self.score_lut.as_ref()
+    /// The active scoring kernel.
+    pub fn kernel(&self) -> &dyn ScoreKernel {
+        self.kernel.as_ref()
     }
 
-    /// Per-class scores for a raw feature vector on the deployment path —
-    /// the score-LUT kernel when present, otherwise the dense compressed
-    /// path. The two are exactly equal (see [`crate::score_lut`]).
+    /// Rebuilds the scoring kernel in place from a new [`KernelSpec`]
+    /// (e.g. to switch a loaded artifact onto the binary kernel without
+    /// retraining). The encoder and models are untouched.
     ///
-    /// When metrics are enabled, each call ticks
-    /// `score_lut.scores.hit` or `score_lut.scores.fallback`, so a serve
-    /// deployment can watch the fraction of score requests that miss the
-    /// fast kernel (e.g. after a model swap to an artifact trained
-    /// without `--score-lut`). The build-time counter
-    /// `score_lut.fallback` is different: it ticks once per fit whose
-    /// kernel construction was skipped.
+    /// # Errors
+    ///
+    /// Propagates kernel-build errors (the previous kernel is kept).
+    pub fn set_kernel(&mut self, spec: &KernelSpec) -> Result<()> {
+        self.kernel = build_kernel(&self.encoder, &self.compressed, spec)?;
+        Ok(())
+    }
+
+    /// The score-LUT inference kernel, when the active kernel is one (see
+    /// [`LookHdConfig::with_kernel`]).
+    pub fn score_lut(&self) -> Option<&ScoreLut> {
+        self.kernel
+            .as_any()
+            .downcast_ref::<LutKernel>()
+            .map(LutKernel::lut)
+    }
+
+    /// Per-class scores for a raw feature vector on the deployment path,
+    /// through the active [`ScoreKernel`]. Exact kernels (dense, lut)
+    /// return bit-identical values; the binary kernel returns its Hamming
+    /// agreement scores.
+    ///
+    /// When metrics are enabled, each call ticks `kernel.<name>.scores`.
+    /// The superseded names `score_lut.scores.hit` (lut) and
+    /// `score_lut.scores.fallback` (dense) are still emitted as aliases
+    /// for one release. The build-time counter `kernel.fallback` (alias
+    /// `score_lut.fallback`) is different: it ticks once per fit/load
+    /// whose requested kernel fell back to dense under Auto resolution.
     ///
     /// # Errors
     ///
     /// Propagates encoding/arity errors.
     pub fn scores(&self, features: &[f64]) -> Result<Vec<f64>> {
-        if let Some(lut) = &self.score_lut {
-            obs::counter("score_lut.scores.hit", 1);
-            let addrs = self.encoder.addresses(features)?;
-            return lut.scores(&addrs);
+        match self.kernel.name() {
+            "lut" => {
+                obs::counter("kernel.lut.scores", 1);
+                obs::counter("score_lut.scores.hit", 1); // deprecated alias
+            }
+            "binary" => obs::counter("kernel.binary.scores", 1),
+            _ => {
+                obs::counter("kernel.dense.scores", 1);
+                obs::counter("score_lut.scores.fallback", 1); // deprecated alias
+            }
         }
-        obs::counter("score_lut.scores.fallback", 1);
-        let h = self.encoder.encode(features)?;
-        self.compressed.scores(&h)
+        self.kernel
+            .scores(&self.encoder, &self.compressed, features)
     }
 
     /// The compressed-retraining report.
@@ -624,22 +661,18 @@ impl LookHdClassifier {
             )?,
         );
         out.extend_from_slice(&compressed_bytes);
-        // Score-LUT flag byte is mandatory (0 = none, 1 = SLT1 section
-        // follows) so every truncation of the stream stays detectable.
-        match &self.score_lut {
-            None => out.push(0),
-            Some(lut) => {
-                out.push(1);
-                let lut_bytes = lut.to_bytes()?;
+        // The kernel-section tag byte is mandatory (0 = none/dense,
+        // 1 = SLT1, 2 = BIN1) so every truncation of the stream stays
+        // detectable.
+        match self.kernel.persist()? {
+            None => out.push(KERNEL_SECTION_NONE),
+            Some((tag, payload)) => {
+                out.push(tag);
                 w32(
                     &mut out,
-                    serial_u32(
-                        "score-lut section length",
-                        lut_bytes.len(),
-                        u32::MAX as usize,
-                    )?,
+                    serial_u32("kernel section length", payload.len(), u32::MAX as usize)?,
                 );
-                out.extend_from_slice(&lut_bytes);
+                out.extend_from_slice(&payload);
             }
         }
         Ok(out)
@@ -743,13 +776,12 @@ impl LookHdClassifier {
             .map_err(|e| bad(&format!("embedded model: {e}")))?;
         let compressed_len = u32v(&mut pos)? as usize;
         let compressed = CompressedModel::from_bytes(take(&mut pos, compressed_len)?)?;
-        let score_lut = match take(&mut pos, 1)?[0] {
-            0 => None,
-            1 => {
-                let lut_len = u32v(&mut pos)? as usize;
-                Some(ScoreLut::from_bytes(take(&mut pos, lut_len)?)?)
+        let kernel = match take(&mut pos, 1)?[0] {
+            KERNEL_SECTION_NONE => kernel_from_section(KERNEL_SECTION_NONE, &[])?,
+            tag => {
+                let kernel_len = u32v(&mut pos)? as usize;
+                kernel_from_section(tag, take(&mut pos, kernel_len)?)?
             }
-            _ => return Err(bad("unknown score-lut flag")),
         };
         if pos != bytes.len() {
             return Err(HdcError::invalid_dataset(format!(
@@ -763,11 +795,9 @@ impl LookHdClassifier {
             return Err(bad("quantizer boundaries disagree with q"));
         }
         let layout = ChunkLayout::new(n_features, r, q)?;
-        if let Some(lut) = &score_lut {
-            // The kernel arrived as an independent section; make sure its
-            // geometry agrees with the layout and model it will serve.
-            lut.validate_against(&layout, &compressed)?;
-        }
+        // The kernel arrived as an independent section; make sure its
+        // geometry agrees with the layout and model it will serve.
+        kernel.validate_against(&layout, &compressed)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let levels = LevelMemory::generate(dim, q, scheme, &mut rng)?;
         let encoder = LookupEncoder::new(layout, &levels, quantizer, table_mode, seed)?;
@@ -775,7 +805,7 @@ impl LookHdClassifier {
             encoder,
             model,
             compressed,
-            score_lut,
+            kernel,
             report: TrainReport::default(),
             seed,
             // The engine is an execution detail, not part of the model;
@@ -791,18 +821,15 @@ impl Classifier for LookHdClassifier {
         self.model.n_classes()
     }
 
-    /// Predicts the class of a raw feature vector using the compressed
-    /// model (the deployment path). With the score-LUT kernel built, this
-    /// is address extraction + table gathers — no hypervector is
-    /// materialized — and the result is bit-identical to the dense path.
+    /// Predicts the class of a raw feature vector through the active
+    /// [`ScoreKernel`] (the deployment path). With the score-LUT kernel
+    /// this is address extraction + table gathers; with the binary kernel
+    /// it is XOR+popcount over packed words (multifold early exit when
+    /// enabled); the dense kernel scores the compressed model directly.
     fn predict(&self, features: &[f64]) -> Result<usize> {
         let _span = obs::span("predict");
-        if let Some(lut) = &self.score_lut {
-            let addrs = self.encoder.addresses(features)?;
-            return lut.predict(&addrs);
-        }
-        let h = self.encoder.encode(features)?;
-        self.compressed.predict(&h)
+        self.kernel
+            .predict(&self.encoder, &self.compressed, features)
     }
 
     fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<usize>> {
@@ -810,10 +837,14 @@ impl Classifier for LookHdClassifier {
     }
 
     /// Per-class scores via the inherent [`LookHdClassifier::scores`]
-    /// (score-LUT kernel when built, dense compressed scoring
-    /// otherwise — the two are bit-identical).
+    /// (the active kernel; dense and lut are bit-identical).
     fn class_scores(&self, features: &[f64]) -> Result<Option<Vec<f64>>> {
         self.scores(features).map(Some)
+    }
+
+    /// The active scoring kernel's name, for telemetry surfaces.
+    fn kernel_name(&self) -> Option<&'static str> {
+        Some(self.kernel.name())
     }
 }
 
@@ -946,6 +977,7 @@ mod tests {
             .with_compression(CompressionConfig::new().with_seed(5))
             .with_retrain_epochs(2)
             .with_update_rule(UpdateRule::PaperShift)
+            .with_kernel(KernelSpec::binary().with_multifold(4))
             .with_seed(77)
             .with_engine(EngineConfig::new().with_shard_size(64))
             .with_threads(4);
@@ -956,10 +988,36 @@ mod tests {
         assert_eq!(c.table_mode, Some(TableMode::OnTheFly));
         assert_eq!(c.retrain_epochs, 2);
         assert_eq!(c.update_rule, UpdateRule::PaperShift);
+        assert_eq!(c.kernel, KernelSpec::binary().with_multifold(4));
         assert_eq!(c.seed, 77);
         assert_eq!(c.engine.threads, 4);
         assert_eq!(c.engine.shard_size, 64);
         assert_eq!(LookHdConfig::default(), LookHdConfig::new());
+    }
+
+    /// The deprecated `with_score_lut*` shims must keep selecting the
+    /// same behavior through the new [`KernelSpec`] field.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_score_lut_shims_map_onto_kernel_spec() {
+        assert_eq!(
+            LookHdConfig::new().with_score_lut(true).kernel,
+            KernelSpec::auto()
+        );
+        assert_eq!(
+            LookHdConfig::new().with_score_lut(false).kernel,
+            KernelSpec::dense()
+        );
+        assert_eq!(
+            LookHdConfig::new().with_score_lut_budget(123).kernel,
+            KernelSpec::auto().with_budget_bytes(123)
+        );
+        assert_eq!(
+            LookHdConfig::new()
+                .with_score_lut_mode(ScoreLutMode::Auto { budget_bytes: 9 })
+                .kernel,
+            KernelSpec::auto().with_budget_bytes(9)
+        );
     }
 
     #[test]
@@ -995,8 +1053,12 @@ mod tests {
             .with_retrain_epochs(3)
             .with_compression(CompressionConfig::new().with_decorrelate(false));
         let dense = LookHdClassifier::fit(&base, &xs, &ys).unwrap();
-        let fast = LookHdClassifier::fit(&base.clone().with_score_lut(true), &xs, &ys).unwrap();
+        let fast =
+            LookHdClassifier::fit(&base.clone().with_kernel(KernelSpec::auto()), &xs, &ys).unwrap();
         assert!(dense.score_lut().is_none());
+        assert_eq!(dense.kernel().name(), "dense");
+        assert_eq!(fast.kernel().name(), "lut");
+        assert_eq!(Classifier::kernel_name(&fast), Some("lut"));
         let lut = fast.score_lut().expect("kernel should build");
         assert_eq!(lut.n_classes(), 4);
         assert_eq!(
@@ -1017,16 +1079,18 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the legacy shims on the fallback path
     fn score_lut_falls_back_when_ineligible() {
         let (xs, ys) = blobs(10, 3, 15, 0.08, 22);
         // Default compression decorrelates — whitening disqualifies the
-        // integer kernel, so the fit falls back silently.
+        // integer kernel, so Auto resolution falls back silently.
         let whitened = LookHdConfig::new()
             .with_dim(256)
             .with_retrain_epochs(0)
             .with_score_lut(true);
         let clf = LookHdClassifier::fit(&whitened, &xs, &ys).unwrap();
         assert!(clf.score_lut().is_none());
+        assert_eq!(clf.kernel().name(), "dense");
         // A one-byte budget can never hold the tables.
         let starved = LookHdConfig::new()
             .with_dim(256)
@@ -1036,9 +1100,21 @@ mod tests {
         let clf = LookHdClassifier::fit(&starved, &xs, &ys).unwrap();
         assert!(clf.score_lut().is_none());
         assert!(clf.predict(&xs[0]).is_ok());
+        // Explicit (non-Auto) requests fail the fit instead.
+        assert!(
+            LookHdClassifier::fit(&whitened.clone().with_kernel(KernelSpec::lut()), &xs, &ys)
+                .is_err()
+        );
+        assert!(LookHdClassifier::fit(
+            &whitened.clone().with_kernel(KernelSpec::binary()),
+            &xs,
+            &ys
+        )
+        .is_err());
     }
 
     #[test]
+    #[allow(deprecated)] // `with_score_lut` persistence must keep working
     fn score_lut_survives_persistence() {
         let (xs, ys) = blobs(11, 3, 18, 0.08, 23);
         let config = LookHdConfig::new()
@@ -1059,6 +1135,43 @@ mod tests {
         let dense = LookHdClassifier::fit(&config.clone().with_score_lut(false), &xs, &ys).unwrap();
         let back = LookHdClassifier::from_bytes(&dense.to_bytes().unwrap()).unwrap();
         assert!(back.score_lut().is_none());
+    }
+
+    #[test]
+    fn binary_kernel_survives_persistence_and_set_kernel_switches() {
+        let (xs, ys) = blobs(11, 3, 18, 0.08, 24);
+        let config = LookHdConfig::new()
+            .with_dim(256)
+            .with_retrain_epochs(2)
+            .with_compression(CompressionConfig::new().with_decorrelate(false))
+            .with_kernel(KernelSpec::binary().with_multifold(2));
+        let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
+        assert_eq!(clf.kernel().name(), "binary");
+        assert!(!clf.kernel().is_exact());
+        assert!(clf.score_lut().is_none());
+        let bytes = clf.to_bytes().unwrap();
+        let back = LookHdClassifier::from_bytes(&bytes).unwrap();
+        assert_eq!(back.kernel().name(), "binary");
+        for x in &xs {
+            assert_eq!(back.predict(x).unwrap(), clf.predict(x).unwrap());
+            assert_eq!(back.scores(x).unwrap(), clf.scores(x).unwrap());
+        }
+        // `set_kernel` swaps a loaded artifact onto a different kernel
+        // without retraining; the dense path is the exact reference.
+        let mut switched = back.clone();
+        switched.set_kernel(&KernelSpec::dense()).unwrap();
+        assert_eq!(switched.kernel().name(), "dense");
+        switched.set_kernel(&KernelSpec::lut()).unwrap();
+        assert_eq!(switched.kernel().name(), "lut");
+        let dense_ref = {
+            let mut c = back.clone();
+            c.set_kernel(&KernelSpec::dense()).unwrap();
+            c
+        };
+        assert_eq!(
+            switched.predict_batch(&xs).unwrap(),
+            dense_ref.predict_batch(&xs).unwrap()
+        );
     }
 
     #[test]

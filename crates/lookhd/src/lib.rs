@@ -22,6 +22,9 @@
 //!   partial-score tables folding Eq. 5 scoring into the lookup table, so
 //!   predict is `m` table reads and `m·k` adds (§III, §V applied to the
 //!   scoring stage);
+//! * [`score_kernel`] — the pluggable [`score_kernel::ScoreKernel`] seam
+//!   the classifier scores through: dense, score-LUT, and bit-packed
+//!   binary Hamming kernels selected by [`score_kernel::KernelSpec`];
 //! * [`classifier`] — the end-to-end [`classifier::LookHdClassifier`];
 //! * [`sweep`] — structured hyperparameter grid sweeps (the Fig. 12 /
 //!   Table II experiment pattern, reusable on any dataset);
@@ -62,10 +65,14 @@ pub mod encoder;
 pub mod lut;
 pub mod online;
 pub mod retrain;
+pub mod score_kernel;
 pub mod score_lut;
 pub mod sweep;
 pub mod trainer;
 
 pub use classifier::{LookHdClassifier, LookHdConfig};
 pub use compress::{CompressedModel, CompressionConfig};
+pub use score_kernel::{
+    build_kernel, BinaryKernel, DenseKernel, KernelKind, KernelSpec, LutKernel, ScoreKernel,
+};
 pub use score_lut::{ScoreLut, ScoreLutMode};

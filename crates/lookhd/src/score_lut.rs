@@ -51,6 +51,10 @@ use crate::encoder::LookupEncoder;
 
 /// Whether (and under what memory budget) the classifier precomputes the
 /// score-LUT inference kernel at model-finalize time.
+///
+/// Superseded by [`crate::score_kernel::KernelSpec`], which also selects
+/// the dense and binary kernels; `From<ScoreLutMode> for KernelSpec`
+/// migrates old configs (`Off` → dense, `Auto` → auto).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ScoreLutMode {
     /// Never build the kernel; always score via the dense compressed path.
@@ -281,7 +285,8 @@ impl ScoreLut {
     /// from `m` or an address exceeds its chunk's table.
     pub fn scores_i64(&self, addrs: &[u64]) -> Result<Vec<i64>> {
         let _span = obs::span("score_lut");
-        obs::counter("score_lut.queries", 1);
+        obs::counter("kernel.lut.queries", 1);
+        obs::counter("score_lut.queries", 1); // deprecated alias
         let m = self.n_chunks();
         if addrs.len() != m {
             return Err(HdcError::invalid_dataset(format!(
@@ -304,7 +309,8 @@ impl ScoreLut {
                 *s += v;
             }
         }
-        obs::counter("score_lut.table_reads", m as u64);
+        obs::counter("kernel.lut.table_reads", m as u64);
+        obs::counter("score_lut.table_reads", m as u64); // deprecated alias
         Ok(scores)
     }
 

@@ -7,9 +7,12 @@
 //! * **`LKS1`** — a full [`LookHdClassifier`] (quantizer, lookup encoder,
 //!   and compressed model). Requests carry *raw feature vectors*; the
 //!   server encodes and classifies exactly like `lookhd predict`. When the
-//!   artifact carries a score-LUT kernel (`--score-lut` at train time),
-//!   the server picks it up transparently — the kernel is bit-identical
-//!   to the dense path, so responses do not change, only their latency.
+//!   artifact carries a scoring-kernel section (`--kernel` at train time:
+//!   an SLT1 score-LUT or a BIN1 binary kernel), the server picks it up
+//!   transparently and reports the active kernel in the admin snapshot
+//!   (`kernel.active.<name>`). The score-LUT is bit-identical to the
+//!   dense path, so responses do not change, only their latency; the
+//!   binary kernel is an explicitly opted-in approximation.
 //! * **`HDC1`** — a bare [`ClassModel`] with no encoder. Requests carry a
 //!   *pre-encoded hypervector* (one `f64` per dimension, rounded to the
 //!   nearest `i32`); the edge device runs the cheap lookup encoding and
@@ -223,13 +226,47 @@ mod tests {
             .with_retrain_epochs(1)
             .with_compression(lookhd::CompressionConfig::new().with_decorrelate(false));
         let dense = LookHdClassifier::fit(&base_cfg, &xs, &ys).unwrap();
-        let fast = LookHdClassifier::fit(&base_cfg.clone().with_score_lut(true), &xs, &ys).unwrap();
+        let fast = LookHdClassifier::fit(
+            &base_cfg.clone().with_kernel(lookhd::KernelSpec::auto()),
+            &xs,
+            &ys,
+        )
+        .unwrap();
         assert!(fast.score_lut().is_some());
         let served = classifier_from_bytes(&fast.to_bytes().unwrap()).unwrap();
+        assert_eq!(served.kernel_name(), Some("lut"));
         for x in &features {
             assert_eq!(served.predict(x).unwrap(), dense.predict(x).unwrap());
         }
         let _ = dense_clf;
+    }
+
+    #[test]
+    fn binary_kernel_artifact_loads_and_reports_its_kernel() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..24 {
+            let class = i % 2;
+            let base = if class == 0 { 0.25 } else { 0.75 };
+            let jitter = (i / 2) as f64 * 0.01;
+            xs.push(vec![base + jitter, base - jitter, base, 1.0 - base]);
+            ys.push(class);
+        }
+        let cfg = LookHdConfig::new()
+            .with_dim(64)
+            .with_retrain_epochs(1)
+            .with_compression(lookhd::CompressionConfig::new().with_decorrelate(false))
+            .with_kernel(lookhd::KernelSpec::binary().with_multifold(2));
+        let clf = LookHdClassifier::fit(&cfg, &xs, &ys).unwrap();
+        let served = classifier_from_bytes(&clf.to_bytes().unwrap()).unwrap();
+        assert_eq!(served.kernel_name(), Some("binary"));
+        for x in &xs {
+            assert_eq!(served.predict(x).unwrap(), clf.predict(x).unwrap());
+        }
+        // Encoder-less formats report no kernel.
+        let raw =
+            classifier_from_bytes(&hdc::persist::model_to_bytes(clf.model()).unwrap()).unwrap();
+        assert_eq!(raw.kernel_name(), None);
     }
 
     #[test]

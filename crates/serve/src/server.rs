@@ -330,6 +330,11 @@ pub fn start<A: ToSocketAddrs>(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
+    // Surface which scoring kernel actually serves (automatic selection
+    // may have silently fallen back) in the admin counter snapshot.
+    if let Some(name) = model.kernel_name() {
+        obs::counter(&format!("kernel.active.{name}"), 1);
+    }
     let inner = Arc::new(Inner {
         model,
         config,

@@ -25,9 +25,12 @@ cargo test -q --test serve_corruption
 echo "== encoder table-mode parity (proptest differential)"
 cargo test -q --test prop_encoder_parity
 
-echo "== score-LUT kernel differential + serve matrix"
+echo "== scoring-kernel differential suites + serve matrix"
 cargo test -q -p lookhd score_lut
+cargo test -q -p lookhd score_kernel
+cargo test -q --test kernel_differential
 cargo test -q --test serve_differential score_lut_kernel_serves_identically_to_dense_path
+cargo test -q --test serve_differential binary_kernel_serves_identically_to_direct_calls
 
 echo "== quantizer degenerate-input regressions"
 cargo test -q -p hdc quantize
@@ -64,8 +67,27 @@ for stage in ("encode", "counter_train", "compress", "predict", "score_lut"):
 assert any(s["total_ns"] > 0 for s in doc["spans"]), "all durations zero"
 counters = {c["name"] for c in doc["counters"]}
 assert "counter_train.samples" in counters, counters
+# The LUT kernel's generalized counter scheme (and its one-release
+# compatibility aliases) must both be live.
+assert "kernel.lut.queries" in counters, counters
+assert "score_lut.queries" in counters, counters
 print(f"metrics OK: {len(paths)} spans, {len(counters)} counters")
 EOF
+
+echo "== binary-kernel CLI smoke test"
+cargo run --release -q -p lookhd-cli -- train \
+    --data "$smoke_dir/train.csv" --out "$smoke_dir/model_bin.lks" \
+    --dim 512 --epochs 2 --kernel binary --multifold 2 \
+    > "$smoke_dir/train_bin.log"
+grep -q "kernel: binary (approximate;" "$smoke_dir/train_bin.log"
+cargo run --release -q -p lookhd-cli -- info \
+    --model "$smoke_dir/model_bin.lks" > "$smoke_dir/info_bin.log"
+grep -q "kernel: *binary" "$smoke_dir/info_bin.log"
+# The same artifact rebuilt behind the exact reference kernel.
+cargo run --release -q -p lookhd-cli -- info \
+    --model "$smoke_dir/model_bin.lks" --kernel dense \
+    > "$smoke_dir/info_dense.log"
+grep -q "kernel: *dense" "$smoke_dir/info_dense.log"
 
 echo "== serve + loadgen + live telemetry smoke test"
 # Build both binaries up front so the startup poll below is not racing
@@ -125,6 +147,9 @@ counters = {c["name"]: c["value"] for c in doc["counters"]}
 assert counters.get("serve.responses.ok") == 200, counters
 predicted = sum(v for n, v in counters.items() if n.startswith("serve.predicted."))
 assert predicted == 200, f"per-class prediction counters sum to {predicted}"
+# The server announces the artifact's active scoring kernel at startup
+# (the smoke model was trained with --score-lut, so the LUT is active).
+assert counters.get("kernel.active.lut") == 1, counters
 
 prom = get(addr, "/metrics")
 assert "# TYPE lookhd_span_serve_request_ns histogram" in prom, prom[:400]
@@ -176,6 +201,17 @@ for path in ("BENCH_serve.json", "BENCH_score_lut.json"):
     doc = json.load(open(path))
     assert doc["schema_version"] == 1, (path, doc)
     assert doc["host"]["cores"] >= 1, (path, doc)
+# The score-LUT record is a per-kernel matrix: dense/lut/binary medians
+# for single and batch-64 predicts, plus the binary kernel's recorded
+# quality (argmax agreement with dense and the accuracy delta).
+doc = json.load(open("BENCH_score_lut.json"))
+assert doc["kernels"] == ["dense", "lut", "binary"], doc["kernels"]
+for kernel in doc["kernels"]:
+    for op in (f"{kernel}_predict_1_ns", f"{kernel}_predict_batch_64_ns"):
+        assert doc["results"][op]["p50"] > 0, (op, doc["results"].get(op))
+quality = doc["binary_quality"]
+assert 0.5 <= quality["argmax_agreement"] <= 1.0, quality
+assert -1.0 <= quality["accuracy_delta"] <= 1.0, quality
 print("perf trajectory files OK")
 EOF
 

@@ -9,7 +9,9 @@
 
 use lookhd_paper::hdc::persist::{model_from_bytes, model_to_bytes};
 use lookhd_paper::hdc::{Classifier, FitClassifier};
-use lookhd_paper::lookhd::{CompressedModel, CompressionConfig, LookHdClassifier, LookHdConfig};
+use lookhd_paper::lookhd::{
+    CompressedModel, CompressionConfig, KernelSpec, LookHdClassifier, LookHdConfig,
+};
 
 /// A tiny but non-trivial trained classifier (small dim keeps the byte
 /// sweeps fast: the artifact is ~1–2 KB, and we parse it once per byte).
@@ -86,7 +88,7 @@ fn tiny_lut_classifier() -> (LookHdClassifier, Vec<Vec<f64>>) {
         .with_r(2)
         .with_retrain_epochs(1)
         .with_compression(CompressionConfig::new().with_decorrelate(false))
-        .with_score_lut(true);
+        .with_kernel(KernelSpec::auto());
     let clf = LookHdClassifier::fit(&config, &features, &labels).expect("training failed");
     assert!(clf.score_lut().is_some(), "kernel should have been built");
     (clf, features)
@@ -127,6 +129,70 @@ fn lut_classifier_intact_round_trip_predicts_identically() {
     let bytes = clf.to_bytes().expect("serialization failed");
     let back = LookHdClassifier::from_bytes(&bytes).expect("reload failed");
     assert!(back.score_lut().is_some(), "kernel lost in round trip");
+    for x in &features {
+        assert_eq!(
+            clf.predict(x).expect("predict failed"),
+            back.predict(x).expect("predict failed")
+        );
+        assert_eq!(
+            clf.scores(x).expect("scores failed"),
+            back.scores(x).expect("scores failed")
+        );
+    }
+}
+
+/// Like [`tiny_lut_classifier`] but carrying a `BIN1` binary-kernel
+/// section (multifold on, so the escalation fields round-trip too).
+fn tiny_binary_classifier() -> (LookHdClassifier, Vec<Vec<f64>>) {
+    let (_, features) = tiny_classifier();
+    let labels: Vec<usize> = (0..features.len()).map(|i| i % 2).collect();
+    let config = LookHdConfig::new()
+        .with_dim(64)
+        .with_q(2)
+        .with_r(2)
+        .with_retrain_epochs(1)
+        .with_compression(CompressionConfig::new().with_decorrelate(false))
+        .with_kernel(KernelSpec::binary().with_multifold(2));
+    let clf = LookHdClassifier::fit(&config, &features, &labels).expect("training failed");
+    assert_eq!(clf.kernel().name(), "binary");
+    (clf, features)
+}
+
+#[test]
+fn binary_classifier_truncated_at_every_length_errors() {
+    let (clf, _) = tiny_binary_classifier();
+    let bytes = clf.to_bytes().expect("serialization failed");
+    for cut in 0..bytes.len() {
+        assert!(
+            LookHdClassifier::from_bytes(&bytes[..cut]).is_err(),
+            "binary truncation at {cut}/{} parsed successfully",
+            bytes.len()
+        );
+    }
+    let mut longer = bytes.clone();
+    longer.push(0);
+    assert!(LookHdClassifier::from_bytes(&longer).is_err());
+}
+
+#[test]
+fn binary_classifier_survives_every_single_byte_flip() {
+    let (clf, features) = tiny_binary_classifier();
+    let bytes = clf.to_bytes().expect("serialization failed");
+    for i in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0xFF;
+        if let Ok(back) = LookHdClassifier::from_bytes(&bad) {
+            let _ = back.predict(&features[0]);
+        }
+    }
+}
+
+#[test]
+fn binary_classifier_intact_round_trip_predicts_identically() {
+    let (clf, features) = tiny_binary_classifier();
+    let bytes = clf.to_bytes().expect("serialization failed");
+    let back = LookHdClassifier::from_bytes(&bytes).expect("reload failed");
+    assert_eq!(back.kernel().name(), "binary", "kernel lost in round trip");
     for x in &features {
         assert_eq!(
             clf.predict(x).expect("predict failed"),

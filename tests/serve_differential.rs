@@ -205,8 +205,14 @@ fn score_lut_kernel_serves_identically_to_dense_path() {
         .with_retrain_epochs(2)
         .with_compression(lookhd_paper::lookhd::CompressionConfig::new().with_decorrelate(false));
     let dense = LookHdClassifier::fit(&base, &xs, &ys).expect("dense training failed");
-    let fast =
-        LookHdClassifier::fit(&base.clone().with_score_lut(true), &xs, &ys).expect("lut training");
+    let fast = LookHdClassifier::fit(
+        &base
+            .clone()
+            .with_kernel(lookhd_paper::lookhd::KernelSpec::auto()),
+        &xs,
+        &ys,
+    )
+    .expect("lut training");
     assert!(fast.score_lut().is_some(), "kernel should have been built");
     let lut_bytes = fast.to_bytes().expect("serialization failed");
     // The kernel survives the LKS1 round trip into the served model.
@@ -241,6 +247,71 @@ fn score_lut_kernel_serves_identically_to_dense_path() {
                         assert_eq!(
                             class as usize, expected[i],
                             "score-LUT server diverged from dense path on query {i} \
+                             (workers={workers}, max_batch={max_batch})"
+                        );
+                    }
+                    other => panic!(
+                        "unexpected response {other:?} \
+                         (workers={workers}, max_batch={max_batch})"
+                    ),
+                }
+            }
+            handle.shutdown();
+            handle.join();
+        }
+    }
+}
+
+/// An LKS1 artifact carrying the binary Hamming kernel serves responses
+/// identical to a *direct* call on the same reloaded artifact across the
+/// workers × max-batch matrix: the kernel is approximate relative to the
+/// dense path, but the served approximation must be deterministic and
+/// bit-stable — batching, threading, and the wire must add nothing.
+#[test]
+fn binary_kernel_serves_identically_to_direct_calls() {
+    let (xs, ys, queries) = dataset();
+    let config = LookHdConfig::new()
+        .with_dim(256)
+        .with_retrain_epochs(2)
+        .with_compression(lookhd_paper::lookhd::CompressionConfig::new().with_decorrelate(false))
+        .with_kernel(lookhd_paper::lookhd::KernelSpec::binary().with_multifold(2));
+    let clf = LookHdClassifier::fit(&config, &xs, &ys).expect("binary training failed");
+    let bytes = clf.to_bytes().expect("serialization failed");
+    let direct = LookHdClassifier::from_bytes(&bytes).expect("reload failed");
+    assert_eq!(
+        direct.kernel().name(),
+        "binary",
+        "kernel lost in round trip"
+    );
+    let expected: Vec<usize> = queries
+        .iter()
+        .map(|q| direct.predict(q).expect("direct predict failed"))
+        .collect();
+    for workers in WORKERS {
+        for max_batch in MAX_BATCH {
+            let model = serve::classifier_from_bytes(&bytes).expect("model load failed");
+            assert_eq!(model.kernel_name(), Some("binary"));
+            let handle = serve::start(
+                "127.0.0.1:0",
+                model,
+                ServeConfig::new()
+                    .with_workers(workers)
+                    .with_max_batch(max_batch)
+                    .with_queue_cap(4096)
+                    .with_timeout(Duration::from_secs(30)),
+            )
+            .expect("bind failed");
+            let mut client = Client::connect(handle.addr()).expect("connect failed");
+            client
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            for (i, q) in queries.iter().enumerate() {
+                match client.predict(i as u64, q).expect("round trip failed") {
+                    Response::Predict { id, class, .. } => {
+                        assert_eq!(id, i as u64);
+                        assert_eq!(
+                            class as usize, expected[i],
+                            "binary-kernel server diverged from direct path on query {i} \
                              (workers={workers}, max_batch={max_batch})"
                         );
                     }
