@@ -1,17 +1,32 @@
-//! `loadgen` — concurrent-connection load generator for `lookhd serve`.
+//! `loadgen` — multiplexed load generator for `lookhd serve`.
 //!
-//! Drives N closed-loop client connections against a running server,
-//! measures per-request latency, and writes a percentile report under
+//! Drives up to thousands of concurrent connections against a running
+//! server from a single thread: every socket is nonblocking and
+//! multiplexed over a [`netpoll::Poller`], with pipelined requests,
+//! optional open-loop rate pacing, and a per-request response deadline.
+//! Measures per-request latency and writes a percentile report under
 //! `results/` — the serving-path analogue of the paper's throughput
 //! experiments.
 //!
 //! ```text
 //! cargo run --release -p lookhd-bench --bin loadgen -- \
 //!     --addr 127.0.0.1:4100 --data queries.csv \
-//!     [--connections 4 --requests 100 --out results/serve_loadgen.txt
-//!      --trace --admin 127.0.0.1:4101 --bench-out BENCH_serve.json
-//!      --shutdown]
+//!     [--connections 4 --requests 100 --pipeline 1 --rate 0
+//!      --deadline-ms 30000 --curve 4,64,256,1024
+//!      --out results/serve_loadgen.txt --trace --admin 127.0.0.1:4101
+//!      --bench-out BENCH_serve.json --shutdown]
 //! ```
+//!
+//! * `--connections N` — concurrent connections (one curve point);
+//! * `--curve A,B,C` — sweep several connection counts in one run and
+//!   record a throughput/latency-vs-connections curve;
+//! * `--requests N` — requests per connection (per curve point);
+//! * `--pipeline D` — max outstanding requests per connection (1 =
+//!   closed loop per connection);
+//! * `--rate R` — open-loop aggregate issue rate in requests/second
+//!   (0 = as fast as the pipeline window allows);
+//! * `--deadline-ms T` — a response slower than this counts as dropped;
+//!   the run fails if any in-deadline request is dropped.
 //!
 //! Feature vectors come from `--data` (label-free CSV rows, reused
 //! round-robin). `--shutdown` sends a graceful-shutdown frame after the
@@ -23,22 +38,22 @@
 //! scrapes the server's live `/metrics.json` after the burst and reports
 //! server-side queue-wait percentiles next to the client-side latency.
 //! `--bench-out` additionally writes a schema-versioned machine-readable
-//! summary (workload shape, percentiles, throughput, host cores).
+//! summary (schema v2: workload shape, host cores, and one curve entry
+//! per connection count with percentiles and throughput).
 
-use std::io::Write as _;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use lookhd_serve::wire::Response;
+use lookhd_serve::wire::{decode_response, encode_request, FrameDecoder, Request, Response};
 use lookhd_serve::Client;
+use netpoll::{is_would_block, raw_fd, Interest, Poller};
 
-/// Latency samples and failure tallies from one connection.
-#[derive(Default)]
-struct ConnReport {
-    latencies_ns: Vec<u64>,
-    errors: usize,
-    mismatches: usize,
-}
+/// Upper bound on one point's run, relative to the response deadline:
+/// after the last request is issued, the server gets one full deadline
+/// to answer; a stall beyond that counts the remainder as dropped.
+const POLL_TICK: Duration = Duration::from_millis(50);
 
 /// Ceil-rank percentile over an ascending-sorted sample: the smallest
 /// sample ≥ the requested fraction of the distribution. Nearest-rank
@@ -130,6 +145,299 @@ impl Flags {
     }
 }
 
+/// One connection's client-side state in the multiplexed loop.
+struct Slot {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Request id → send instant, matched when the response arrives.
+    inflight: HashMap<u64, Instant>,
+    /// Requests encoded so far (bounded by the per-connection quota).
+    queued: usize,
+    interest: Interest,
+    dead: bool,
+}
+
+impl Slot {
+    fn backlog(&self) -> usize {
+        self.outbuf.len() - self.outpos
+    }
+}
+
+/// Everything measured at one connection count.
+struct PointReport {
+    connections: usize,
+    ok: usize,
+    errors: usize,
+    mismatches: usize,
+    /// Requests with no response inside the deadline (late responses
+    /// and requests still unanswered when the point gave up).
+    dropped: usize,
+    wall: Duration,
+    /// Ascending in-deadline latencies.
+    latencies_ns: Vec<u64>,
+}
+
+impl PointReport {
+    fn throughput_rps(&self) -> f64 {
+        self.ok as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn mean_ns(&self) -> u64 {
+        if self.latencies_ns.is_empty() {
+            0
+        } else {
+            self.latencies_ns.iter().sum::<u64>() / self.latencies_ns.len() as u64
+        }
+    }
+}
+
+struct Workload<'a> {
+    addr: &'a str,
+    rows: &'a [Vec<f64>],
+    requests_per_conn: usize,
+    pipeline: usize,
+    rate_rps: u64,
+    deadline: Duration,
+    traced: bool,
+}
+
+/// Runs one curve point: `connections` multiplexed clients, each issuing
+/// its quota with up to `pipeline` outstanding, paced to `rate_rps`
+/// aggregate when nonzero.
+fn run_point(w: &Workload<'_>, connections: usize) -> PointReport {
+    let poller = Poller::new().unwrap_or_else(|e| fail(&format!("creating poller: {e}")));
+    let mut slots: Vec<Slot> = Vec::with_capacity(connections);
+    for c in 0..connections {
+        // Brief retries absorb SYN-backlog overflow when thousands of
+        // connects race the server's accept loop.
+        let mut stream = None;
+        for attempt in 0..50 {
+            match TcpStream::connect(w.addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) if attempt == 49 => fail(&format!("connecting {} (conn {c}): {e}", w.addr)),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        let stream = stream.unwrap();
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_nonblocking(true)
+            .unwrap_or_else(|e| fail(&format!("nonblocking conn {c}: {e}")));
+        poller
+            .register(raw_fd(&stream), c as u64, Interest::READABLE)
+            .unwrap_or_else(|e| fail(&format!("registering conn {c}: {e}")));
+        slots.push(Slot {
+            stream,
+            decoder: FrameDecoder::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            inflight: HashMap::new(),
+            queued: 0,
+            interest: Interest::READABLE,
+            dead: false,
+        });
+    }
+
+    let total = connections * w.requests_per_conn;
+    let mut report = PointReport {
+        connections,
+        ok: 0,
+        errors: 0,
+        mismatches: 0,
+        dropped: 0,
+        wall: Duration::ZERO,
+        latencies_ns: Vec::with_capacity(total),
+    };
+    let started = Instant::now();
+    let mut issued_total = 0usize;
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut events = Vec::new();
+    let mut frames = Vec::new();
+    let mut last_progress = Instant::now();
+
+    loop {
+        let accounted = report.ok + report.errors + report.dropped;
+        if accounted >= total {
+            break;
+        }
+        // Watchdog: no response for a full deadline → everything still
+        // outstanding (or never issued) is dropped.
+        if last_progress.elapsed() > w.deadline + POLL_TICK {
+            report.dropped = total - report.ok - report.errors;
+            break;
+        }
+
+        // Issue phase: rate budget, then fill each connection's window.
+        let mut budget = if w.rate_rps == 0 {
+            usize::MAX
+        } else {
+            let allowed = (started.elapsed().as_secs_f64() * w.rate_rps as f64) as usize;
+            allowed.saturating_sub(issued_total)
+        };
+        for (c, slot) in slots.iter_mut().enumerate() {
+            if slot.dead {
+                continue;
+            }
+            while budget > 0
+                && slot.queued < w.requests_per_conn
+                && slot.inflight.len() < w.pipeline
+            {
+                let id = (c * w.requests_per_conn + slot.queued) as u64;
+                // Trace ids are request id + 1: distinct per request,
+                // never the reserved 0.
+                let trace_id = if w.traced { id + 1 } else { 0 };
+                let row = &w.rows[(c + slot.queued) % w.rows.len()];
+                let body = encode_request(&Request::Predict {
+                    id,
+                    trace_id,
+                    features: row.clone(),
+                });
+                slot.outbuf
+                    .extend_from_slice(&u32::try_from(body.len()).unwrap().to_le_bytes());
+                slot.outbuf.extend_from_slice(&body);
+                slot.inflight.insert(id, Instant::now());
+                slot.queued += 1;
+                issued_total += 1;
+                budget -= 1;
+            }
+        }
+
+        // Flush phase: write every backlog until it drains or blocks.
+        for (c, slot) in slots.iter_mut().enumerate() {
+            if slot.dead || slot.backlog() == 0 {
+                continue;
+            }
+            loop {
+                match slot.stream.write(&slot.outbuf[slot.outpos..]) {
+                    Ok(0) => {
+                        slot.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        slot.outpos += n;
+                        if slot.backlog() == 0 {
+                            slot.outbuf.clear();
+                            slot.outpos = 0;
+                            break;
+                        }
+                    }
+                    Err(e) if is_would_block(&e) => break,
+                    Err(_) => {
+                        slot.dead = true;
+                        break;
+                    }
+                }
+            }
+            let want = if slot.backlog() > 0 {
+                Interest::BOTH
+            } else {
+                Interest::READABLE
+            };
+            if !slot.dead && (want.is_writable() != slot.interest.is_writable()) {
+                let _ = poller.modify(raw_fd(&slot.stream), c as u64, want);
+                slot.interest = want;
+            }
+        }
+
+        // Wait: short tick so rate pacing and the watchdog stay live.
+        poller
+            .wait(&mut events, Some(POLL_TICK))
+            .unwrap_or_else(|e| fail(&format!("poll: {e}")));
+        for event in &events {
+            let c = event.token as usize;
+            if c >= slots.len() {
+                continue;
+            }
+            let slot = &mut slots[c];
+            if slot.dead {
+                continue;
+            }
+            if event.readable || event.hangup {
+                loop {
+                    match slot.stream.read(&mut scratch) {
+                        Ok(0) => {
+                            slot.dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            frames.clear();
+                            if slot.decoder.feed(&scratch[..n], &mut frames).is_err() {
+                                slot.dead = true;
+                            }
+                            for frame in frames.drain(..) {
+                                match decode_response(&frame) {
+                                    Ok(Response::Predict {
+                                        id,
+                                        trace_id: got_trace,
+                                        ..
+                                    }) => match slot.inflight.remove(&id) {
+                                        Some(sent) => {
+                                            let took = sent.elapsed();
+                                            if took > w.deadline {
+                                                report.dropped += 1;
+                                            } else {
+                                                report.latencies_ns.push(took.as_nanos() as u64);
+                                                report.ok += 1;
+                                            }
+                                            let want_trace = if w.traced { id + 1 } else { 0 };
+                                            if got_trace != want_trace {
+                                                report.mismatches += 1;
+                                            }
+                                            last_progress = Instant::now();
+                                        }
+                                        None => report.mismatches += 1,
+                                    },
+                                    Ok(Response::Error { id, .. }) => {
+                                        if slot.inflight.remove(&id).is_some() {
+                                            report.errors += 1;
+                                            last_progress = Instant::now();
+                                        }
+                                    }
+                                    Ok(_) => report.errors += 1,
+                                    Err(e) => {
+                                        eprintln!("loadgen: conn {c}: bad response: {e}");
+                                        slot.dead = true;
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) if is_would_block(&e) => break,
+                        Err(_) => {
+                            slot.dead = true;
+                            break;
+                        }
+                    }
+                    if slot.dead {
+                        break;
+                    }
+                }
+            } else if event.writable && slot.backlog() > 0 {
+                // Next outer iteration's flush phase retries the write;
+                // nothing to do here beyond waking up.
+            }
+            if slot.dead {
+                // A closed connection answers nothing further: its
+                // outstanding and unissued requests are all lost.
+                let lost = slot.inflight.len() + (w.requests_per_conn - slot.queued);
+                report.errors += lost;
+                issued_total += w.requests_per_conn - slot.queued;
+                slot.queued = w.requests_per_conn;
+                slot.inflight.clear();
+                let _ = poller.deregister(raw_fd(&slot.stream));
+            }
+        }
+    }
+
+    report.wall = started.elapsed();
+    report.latencies_ns.sort_unstable();
+    report
+}
+
 fn main() {
     let flags = Flags::parse();
     let addr = flags
@@ -138,6 +446,9 @@ fn main() {
         .to_owned();
     let connections = flags.get_or("connections", 4usize).max(1);
     let requests = flags.get_or("requests", 100usize).max(1);
+    let pipeline = flags.get_or("pipeline", 1usize).max(1);
+    let rate_rps = flags.get_or("rate", 0u64);
+    let deadline = Duration::from_millis(flags.get_or("deadline-ms", 30_000u64).max(1));
     let traced = flags.switch("trace");
     let admin_addr = flags.get("admin").map(str::to_owned);
     let bench_out = flags.get("bench-out").map(str::to_owned);
@@ -145,6 +456,22 @@ fn main() {
         .get("out")
         .unwrap_or("results/serve_loadgen.txt")
         .to_owned();
+    let curve: Vec<usize> = match flags.get("curve") {
+        None => vec![connections],
+        Some(raw) => raw
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| fail(&format!("bad --curve entry `{t}`")))
+            })
+            .collect(),
+    };
+    if curve.is_empty() {
+        fail("--curve needs at least one connection count");
+    }
 
     // Query rows: CSV if given, else a deterministic synthetic ramp.
     let rows: Vec<Vec<f64>> = match flags.get("data") {
@@ -160,54 +487,17 @@ fn main() {
     if rows.is_empty() {
         fail("no query rows");
     }
-    let rows = Arc::new(rows);
 
-    let started = Instant::now();
-    let reports: Vec<ConnReport> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..connections)
-            .map(|conn_idx| {
-                let addr = addr.clone();
-                let rows = Arc::clone(&rows);
-                scope.spawn(move || {
-                    let mut report = ConnReport::default();
-                    let mut client = Client::connect(&addr)
-                        .unwrap_or_else(|e| fail(&format!("connecting {addr}: {e}")));
-                    let _ = client.set_read_timeout(Some(Duration::from_secs(30)));
-                    for i in 0..requests {
-                        let id = (conn_idx * requests + i) as u64;
-                        // Trace ids are request id + 1: distinct per
-                        // request, never the reserved 0.
-                        let trace_id = if traced { id + 1 } else { 0 };
-                        let row = &rows[(conn_idx + i) % rows.len()];
-                        let sent = Instant::now();
-                        match client.predict_traced(id, trace_id, row) {
-                            Ok(Response::Predict {
-                                id: got,
-                                trace_id: got_trace,
-                                ..
-                            }) => {
-                                report.latencies_ns.push(sent.elapsed().as_nanos() as u64);
-                                if got != id || got_trace != trace_id {
-                                    report.mismatches += 1;
-                                }
-                            }
-                            Ok(_) => report.errors += 1,
-                            Err(e) => {
-                                eprintln!("loadgen: request {id}: {e}");
-                                report.errors += 1;
-                            }
-                        }
-                    }
-                    report
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("loadgen connection thread panicked"))
-            .collect()
-    });
-    let wall = started.elapsed();
+    let workload = Workload {
+        addr: &addr,
+        rows: &rows,
+        requests_per_conn: requests,
+        pipeline,
+        rate_rps,
+        deadline,
+        traced,
+    };
+    let points: Vec<PointReport> = curve.iter().map(|&n| run_point(&workload, n)).collect();
 
     // Scrape the live admin endpoint *before* any shutdown frame: the
     // admin listener stops when the server drains.
@@ -231,40 +521,41 @@ fn main() {
         }
     }
 
-    let mut latencies: Vec<u64> = reports
-        .iter()
-        .flat_map(|r| r.latencies_ns.iter().copied())
-        .collect();
-    latencies.sort_unstable();
-    let errors: usize = reports.iter().map(|r| r.errors).sum();
-    let mismatches: usize = reports.iter().map(|r| r.mismatches).sum();
-    let ok = latencies.len();
-    let total = connections * requests;
-    let throughput = ok as f64 / wall.as_secs_f64().max(1e-9);
-    let mean_ns = if ok == 0 {
-        0
-    } else {
-        latencies.iter().sum::<u64>() / ok as u64
-    };
-
     let mut report = String::new();
     report.push_str("# loadgen — lookhd-serve latency under concurrent load\n");
     report.push_str(&format!(
-        "addr {addr}; {connections} connection(s) x {requests} request(s), closed loop\n"
+        "addr {addr}; {requests} request(s)/connection, pipeline {pipeline}, \
+         rate {}, deadline {} ms\n",
+        if rate_rps == 0 {
+            "unpaced".to_owned()
+        } else {
+            format!("{rate_rps} req/s")
+        },
+        deadline.as_millis(),
     ));
-    report.push_str(&format!(
-        "ok {ok}/{total}, errors {errors}, id mismatches {mismatches}, wall {:.1} ms, \
-         throughput {throughput:.0} req/s\n",
-        wall.as_secs_f64() * 1e3
-    ));
-    report.push_str(&format!(
-        "latency ms: mean {:.3}  p50 {:.3}  p90 {:.3}  p99 {:.3}  max {:.3}\n",
-        ms(mean_ns),
-        ms(percentile(&latencies, 0.50)),
-        ms(percentile(&latencies, 0.90)),
-        ms(percentile(&latencies, 0.99)),
-        ms(latencies.last().copied().unwrap_or(0)),
-    ));
+    for p in &points {
+        let total = p.connections * requests;
+        report.push_str(&format!(
+            "connections {}: ok {}/{}, errors {}, dropped {}, id mismatches {}, \
+             wall {:.1} ms, throughput {:.0} req/s\n",
+            p.connections,
+            p.ok,
+            total,
+            p.errors,
+            p.dropped,
+            p.mismatches,
+            p.wall.as_secs_f64() * 1e3,
+            p.throughput_rps(),
+        ));
+        report.push_str(&format!(
+            "latency ms: mean {:.3}  p50 {:.3}  p90 {:.3}  p99 {:.3}  max {:.3}\n",
+            ms(p.mean_ns()),
+            ms(percentile(&p.latencies_ns, 0.50)),
+            ms(percentile(&p.latencies_ns, 0.90)),
+            ms(percentile(&p.latencies_ns, 0.99)),
+            ms(p.latencies_ns.last().copied().unwrap_or(0)),
+        ));
+    }
     if traced {
         report.push_str("trace ids: propagated and echo-checked on every request\n");
     }
@@ -283,22 +574,37 @@ fn main() {
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let mut json = String::new();
         json.push_str("{\n");
-        json.push_str("  \"schema_version\": 1,\n");
+        json.push_str("  \"schema_version\": 2,\n");
         json.push_str("  \"bench\": \"serve_loadgen\",\n");
         json.push_str(&format!(
-            "  \"workload\": {{\"connections\": {connections}, \"requests_per_connection\": {requests}, \"n_features\": {n_features}, \"traced\": {traced}}},\n"
+            "  \"workload\": {{\"requests_per_connection\": {requests}, \"pipeline\": {pipeline}, \
+             \"rate_rps\": {rate_rps}, \"deadline_ms\": {}, \"n_features\": {n_features}, \
+             \"traced\": {traced}}},\n",
+            deadline.as_millis(),
         ));
         json.push_str(&format!("  \"host\": {{\"cores\": {cores}}},\n"));
-        json.push_str(&format!(
-            "  \"results\": {{\"ok\": {ok}, \"errors\": {errors}, \"id_mismatches\": {mismatches}, \"throughput_rps\": {throughput:.1}}},\n"
-        ));
-        json.push_str(&format!(
-            "  \"client_latency_ns\": {{\"mean\": {mean_ns}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
-            percentile(&latencies, 0.50),
-            percentile(&latencies, 0.90),
-            percentile(&latencies, 0.99),
-            latencies.last().copied().unwrap_or(0),
-        ));
+        json.push_str("  \"curve\": [\n");
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"connections\": {}, \"ok\": {}, \"errors\": {}, \"dropped\": {}, \
+                 \"id_mismatches\": {}, \"throughput_rps\": {:.1}, \
+                 \"latency_ns\": {{\"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+                 \"max\": {}}}}}{}\n",
+                p.connections,
+                p.ok,
+                p.errors,
+                p.dropped,
+                p.mismatches,
+                p.throughput_rps(),
+                p.mean_ns(),
+                percentile(&p.latencies_ns, 0.50),
+                percentile(&p.latencies_ns, 0.90),
+                percentile(&p.latencies_ns, 0.99),
+                p.latencies_ns.last().copied().unwrap_or(0),
+                if i + 1 == points.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ]");
         match server_queue_wait {
             Some((p50, p95, p99)) => json.push_str(&format!(
                 ",\n  \"server_queue_wait_ns\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}\n"
@@ -319,8 +625,15 @@ fn main() {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => fail(&format!("writing {out_path}: {e}")),
     }
+    let mismatches: usize = points.iter().map(|p| p.mismatches).sum();
+    let dropped: usize = points.iter().map(|p| p.dropped).sum();
     if mismatches > 0 {
         fail("response ids did not match requests");
+    }
+    if dropped > 0 {
+        fail(&format!(
+            "{dropped} request(s) missed the response deadline"
+        ));
     }
 }
 

@@ -47,8 +47,7 @@
 //! scoring; `--multifold N` enables prefix-scoring with margin-gated
 //! escalation) are hard requests that fail when the model cannot satisfy
 //! them. Non-dense kinds imply compression without decorrelation at train
-//! time. `--score-lut` (train only) is the deprecated spelling of
-//! `--kernel auto`.
+//! time.
 
 mod args;
 
@@ -128,6 +127,7 @@ const USAGE: &str = "usage:
   lookhd estimate --model model.lks [--samples N]
   lookhd serve    --model model.lks [--addr HOST:PORT --threads N
                   --max-batch N --queue-cap N --timeout-ms N
+                  --reactors N --max-conns N
                   --admin-addr HOST:PORT --metrics-interval MS
                   --kernel KIND]
 
@@ -139,8 +139,10 @@ caps their bytes), binary (approximate bit-packed Hamming scoring;
 --multifold N scores word prefixes and escalates only on thin margins).
 On train it is built and persisted with the model (non-dense kinds imply
 compression without decorrelation); on info/serve it rebuilds the kernel
-of a loaded LKS1 artifact without retraining. --score-lut (train) is the
-deprecated spelling of --kernel auto.
+of a loaded LKS1 artifact without retraining.
+--reactors N (serve) sets the I/O event-loop thread count; --max-conns N
+caps concurrently open connections (excess connects get one Overloaded
+frame and are closed).
 --metrics out.json (any subcommand) records per-stage timing spans and
 counters and writes one JSON document when the command finishes.
 --admin-addr (serve) adds a live-telemetry HTTP listener: /metrics.json,
@@ -164,13 +166,17 @@ fn engine_config(args: &Args) -> Result<EngineConfig, String> {
 }
 
 /// Kernel selection from `--kernel {auto,dense,lut,binary}` plus the
-/// `--kernel-budget BYTES` / `--multifold N` knobs. `--score-lut` stays
-/// as the deprecated spelling of `--kernel auto`; an explicit `--kernel`
-/// wins when both appear. `None` means the flag family was absent.
+/// `--kernel-budget BYTES` / `--multifold N` knobs. `None` means the
+/// flag family was absent.
 fn kernel_spec(args: &Args) -> Result<Option<KernelSpec>, String> {
+    // The one-release deprecation window for `--score-lut` is over; the
+    // argument parser ignores unknown switches, so reject the removed
+    // spelling explicitly instead of silently serving a dense kernel.
+    if args.switch("score-lut") {
+        return Err("--score-lut was removed; use --kernel auto (or lut)".to_owned());
+    }
     let kind = match args.get("kernel") {
         Some(raw) => Some(raw.parse::<KernelKind>().map_err(|e| e.to_string())?),
-        None if args.switch("score-lut") => Some(KernelKind::Auto),
         None => None,
     };
     let Some(kind) = kind else {
@@ -420,6 +426,10 @@ fn serve(args: &Args) -> Result<(), String> {
     let timeout_ms = args
         .get_or("timeout-ms", 1000u64)
         .map_err(|e| e.to_string())?;
+    let reactors = args.get_or("reactors", 1usize).map_err(|e| e.to_string())?;
+    let max_conns = args
+        .get_or("max-conns", 8192usize)
+        .map_err(|e| e.to_string())?;
     let admin_addr = args.get("admin-addr").map(str::to_owned);
     let metrics_interval_ms = args
         .get_or("metrics-interval", 0u64)
@@ -428,7 +438,9 @@ fn serve(args: &Args) -> Result<(), String> {
         .with_workers(workers)
         .with_max_batch(max_batch)
         .with_queue_cap(queue_cap)
-        .with_timeout(std::time::Duration::from_millis(timeout_ms));
+        .with_timeout(std::time::Duration::from_millis(timeout_ms))
+        .with_reactors(reactors)
+        .with_max_conns(max_conns);
 
     // The admin endpoint is only useful with live data behind it: enable
     // the metrics registry and the trace ring for the server's lifetime.
@@ -465,7 +477,8 @@ fn serve(args: &Args) -> Result<(), String> {
     };
     out(format!(
         "serving on {} ({} classes; workers {workers_label}, max batch {max_batch}, \
-         queue cap {queue_cap}, timeout {timeout_ms} ms)",
+         queue cap {queue_cap}, timeout {timeout_ms} ms, reactors {reactors}, \
+         max conns {max_conns})",
         handle.addr(),
         n_classes,
     ));

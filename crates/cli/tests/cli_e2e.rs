@@ -210,7 +210,26 @@ fn kernel_flags_select_and_report_kernels() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("100.0% compressed"), "{text}");
 
-    // Deprecated spelling: --score-lut still trains the LUT kernel.
+    // The removed --score-lut spelling is rejected with a pointer to
+    // the replacement, not silently ignored.
+    let out = bin()
+        .args([
+            "train",
+            "--data",
+            train.to_str().unwrap(),
+            "--out",
+            dir.join("removed.lks").to_str().unwrap(),
+            "--score-lut",
+        ])
+        .output()
+        .expect("run train --score-lut");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--score-lut was removed"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
     let lut_model = dir.join("lut.lks");
     let out = bin()
         .args([
@@ -223,13 +242,14 @@ fn kernel_flags_select_and_report_kernels() {
             "256",
             "--epochs",
             "2",
-            "--score-lut",
+            "--kernel",
+            "auto",
         ])
         .output()
-        .expect("run train --score-lut");
+        .expect("run train --kernel auto");
     assert!(
         out.status.success(),
-        "score-lut train failed: {}",
+        "kernel-auto train failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
     let text = String::from_utf8_lossy(&out.stdout);

@@ -22,7 +22,7 @@ use crate::retrain::{retrain_compressed, UpdateRule};
 use crate::score_kernel::{
     build_kernel, kernel_from_section, KernelSpec, LutKernel, ScoreKernel, KERNEL_SECTION_NONE,
 };
-use crate::score_lut::{ScoreLut, ScoreLutMode};
+use crate::score_lut::ScoreLut;
 use crate::trainer::CounterTrainer;
 
 const CLASSIFIER_MAGIC: &[u8; 4] = b"LKS1";
@@ -165,41 +165,6 @@ impl LookHdConfig {
     /// [`crate::score_kernel::KernelSpec`]).
     pub fn with_kernel(mut self, kernel: KernelSpec) -> Self {
         self.kernel = kernel;
-        self
-    }
-
-    /// Enables (or disables) the score-LUT inference kernel under the
-    /// default 64 MiB table budget. The kernel is exact — bit-identical
-    /// scores and argmax — but requires compression without decorrelation
-    /// ([`CompressionConfig::with_decorrelate`]`(false)`); ineligible
-    /// models fall back to the dense path at fit time.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_kernel(KernelSpec::auto())` instead"
-    )]
-    pub fn with_score_lut(mut self, on: bool) -> Self {
-        self.kernel = if on {
-            KernelSpec::auto()
-        } else {
-            KernelSpec::dense()
-        };
-        self
-    }
-
-    /// Enables the score-LUT kernel with an explicit table byte budget.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_kernel(KernelSpec::auto().with_budget_bytes(..))` instead"
-    )]
-    pub fn with_score_lut_budget(mut self, budget_bytes: usize) -> Self {
-        self.kernel = KernelSpec::auto().with_budget_bytes(budget_bytes);
-        self
-    }
-
-    /// Sets the scoring-kernel selection from the superseded
-    /// [`ScoreLutMode`] type (a migration shim for persisted configs).
-    pub fn with_score_lut_mode(mut self, mode: ScoreLutMode) -> Self {
-        self.kernel = KernelSpec::from(mode);
         self
     }
 
@@ -552,26 +517,18 @@ impl LookHdClassifier {
     /// agreement scores.
     ///
     /// When metrics are enabled, each call ticks `kernel.<name>.scores`.
-    /// The superseded names `score_lut.scores.hit` (lut) and
-    /// `score_lut.scores.fallback` (dense) are still emitted as aliases
-    /// for one release. The build-time counter `kernel.fallback` (alias
-    /// `score_lut.fallback`) is different: it ticks once per fit/load
-    /// whose requested kernel fell back to dense under Auto resolution.
+    /// The build-time counter `kernel.fallback` is different: it ticks
+    /// once per fit/load whose requested kernel fell back to dense under
+    /// Auto resolution.
     ///
     /// # Errors
     ///
     /// Propagates encoding/arity errors.
     pub fn scores(&self, features: &[f64]) -> Result<Vec<f64>> {
         match self.kernel.name() {
-            "lut" => {
-                obs::counter("kernel.lut.scores", 1);
-                obs::counter("score_lut.scores.hit", 1); // deprecated alias
-            }
+            "lut" => obs::counter("kernel.lut.scores", 1),
             "binary" => obs::counter("kernel.binary.scores", 1),
-            _ => {
-                obs::counter("kernel.dense.scores", 1);
-                obs::counter("score_lut.scores.fallback", 1); // deprecated alias
-            }
+            _ => obs::counter("kernel.dense.scores", 1),
         }
         self.kernel
             .scores(&self.encoder, &self.compressed, features)
@@ -995,31 +952,6 @@ mod tests {
         assert_eq!(LookHdConfig::default(), LookHdConfig::new());
     }
 
-    /// The deprecated `with_score_lut*` shims must keep selecting the
-    /// same behavior through the new [`KernelSpec`] field.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_score_lut_shims_map_onto_kernel_spec() {
-        assert_eq!(
-            LookHdConfig::new().with_score_lut(true).kernel,
-            KernelSpec::auto()
-        );
-        assert_eq!(
-            LookHdConfig::new().with_score_lut(false).kernel,
-            KernelSpec::dense()
-        );
-        assert_eq!(
-            LookHdConfig::new().with_score_lut_budget(123).kernel,
-            KernelSpec::auto().with_budget_bytes(123)
-        );
-        assert_eq!(
-            LookHdConfig::new()
-                .with_score_lut_mode(ScoreLutMode::Auto { budget_bytes: 9 })
-                .kernel,
-            KernelSpec::auto().with_budget_bytes(9)
-        );
-    }
-
     #[test]
     fn threaded_fit_and_inference_match_serial() {
         let (xs, ys) = blobs(12, 3, 17, 0.08, 9);
@@ -1079,7 +1011,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the legacy shims on the fallback path
     fn score_lut_falls_back_when_ineligible() {
         let (xs, ys) = blobs(10, 3, 15, 0.08, 22);
         // Default compression decorrelates — whitening disqualifies the
@@ -1087,7 +1018,7 @@ mod tests {
         let whitened = LookHdConfig::new()
             .with_dim(256)
             .with_retrain_epochs(0)
-            .with_score_lut(true);
+            .with_kernel(KernelSpec::auto());
         let clf = LookHdClassifier::fit(&whitened, &xs, &ys).unwrap();
         assert!(clf.score_lut().is_none());
         assert_eq!(clf.kernel().name(), "dense");
@@ -1096,7 +1027,7 @@ mod tests {
             .with_dim(256)
             .with_retrain_epochs(0)
             .with_compression(CompressionConfig::new().with_decorrelate(false))
-            .with_score_lut_budget(1);
+            .with_kernel(KernelSpec::auto().with_budget_bytes(1));
         let clf = LookHdClassifier::fit(&starved, &xs, &ys).unwrap();
         assert!(clf.score_lut().is_none());
         assert!(clf.predict(&xs[0]).is_ok());
@@ -1114,14 +1045,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // `with_score_lut` persistence must keep working
     fn score_lut_survives_persistence() {
         let (xs, ys) = blobs(11, 3, 18, 0.08, 23);
         let config = LookHdConfig::new()
             .with_dim(256)
             .with_retrain_epochs(2)
             .with_compression(CompressionConfig::new().with_decorrelate(false))
-            .with_score_lut(true);
+            .with_kernel(KernelSpec::auto());
         let clf = LookHdClassifier::fit(&config, &xs, &ys).unwrap();
         assert!(clf.score_lut().is_some());
         let bytes = clf.to_bytes().unwrap();
@@ -1132,7 +1062,9 @@ mod tests {
             assert_eq!(back.scores(x).unwrap(), clf.scores(x).unwrap());
         }
         // A kernel-less artifact round-trips to a kernel-less classifier.
-        let dense = LookHdClassifier::fit(&config.clone().with_score_lut(false), &xs, &ys).unwrap();
+        let dense =
+            LookHdClassifier::fit(&config.clone().with_kernel(KernelSpec::dense()), &xs, &ys)
+                .unwrap();
         let back = LookHdClassifier::from_bytes(&dense.to_bytes().unwrap()).unwrap();
         assert!(back.score_lut().is_none());
     }

@@ -75,4 +75,4 @@ pub use compress::{CompressedModel, CompressionConfig};
 pub use score_kernel::{
     build_kernel, BinaryKernel, DenseKernel, KernelKind, KernelSpec, LutKernel, ScoreKernel,
 };
-pub use score_lut::{ScoreLut, ScoreLutMode};
+pub use score_lut::ScoreLut;

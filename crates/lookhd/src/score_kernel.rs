@@ -25,8 +25,7 @@
 //! (`LookHdConfig::with_kernel`). [`KernelKind::Auto`] resolves
 //! `lut → dense`: it tries the score-LUT and silently falls back to the
 //! dense path when the model is ineligible (whitened, over budget, out of
-//! integer bound), counted as `kernel.fallback` (alias
-//! `score_lut.fallback` for one release). The binary kernel is
+//! integer bound), counted as `kernel.fallback`. The binary kernel is
 //! approximate, so it is never chosen automatically — only an explicit
 //! [`KernelKind::Binary`] selects it.
 //!
@@ -191,17 +190,6 @@ impl Default for KernelSpec {
     }
 }
 
-impl From<crate::score_lut::ScoreLutMode> for KernelSpec {
-    fn from(mode: crate::score_lut::ScoreLutMode) -> Self {
-        match mode {
-            crate::score_lut::ScoreLutMode::Off => Self::dense(),
-            crate::score_lut::ScoreLutMode::Auto { budget_bytes } => {
-                Self::auto().with_budget_bytes(budget_bytes)
-            }
-        }
-    }
-}
-
 /// First-maximum argmax with the strict-`>` rule every scoring path in
 /// this workspace uses, so ties break identically across kernels.
 fn argmax_f64(scores: &[f64]) -> usize {
@@ -299,9 +287,8 @@ impl Clone for Box<dyn ScoreKernel> {
 /// compressed model.
 ///
 /// [`KernelKind::Auto`] resolves `lut → dense`: an ineligible score-LUT
-/// build falls back to [`DenseKernel`] silently, ticking `kernel.fallback`
-/// (and its one-release alias `score_lut.fallback`). Explicit kinds
-/// propagate build errors instead.
+/// build falls back to [`DenseKernel`] silently, ticking
+/// `kernel.fallback`. Explicit kinds propagate build errors instead.
 ///
 /// # Errors
 ///
@@ -330,7 +317,6 @@ pub fn build_kernel(
                 // Ineligible (whitened / over budget / out of bound): the
                 // dense path serves identically, just slower.
                 obs::counter("kernel.fallback", 1);
-                obs::counter("score_lut.fallback", 1); // deprecated alias
                 Ok(Box::new(DenseKernel))
             }
         },
@@ -1101,20 +1087,12 @@ mod tests {
     }
 
     #[test]
-    fn spec_builders_and_legacy_conversion() {
+    fn spec_builders_chain() {
         let spec = KernelSpec::binary().with_multifold(4).with_budget_bytes(99);
         assert_eq!(spec.kind, KernelKind::Binary);
         assert_eq!(spec.multifold, 4);
         assert_eq!(spec.budget_bytes, 99);
         assert_eq!(KernelSpec::default(), KernelSpec::dense());
-        assert_eq!(
-            KernelSpec::from(crate::score_lut::ScoreLutMode::Off),
-            KernelSpec::dense()
-        );
-        assert_eq!(
-            KernelSpec::from(crate::score_lut::ScoreLutMode::Auto { budget_bytes: 7 }),
-            KernelSpec::auto().with_budget_bytes(7)
-        );
     }
 
     #[test]

@@ -49,32 +49,6 @@ use crate::chunking::ChunkLayout;
 use crate::compress::{serial_u32, CompressedModel, MAX_SERIAL_CLASSES, MAX_SERIAL_FEATURES};
 use crate::encoder::LookupEncoder;
 
-/// Whether (and under what memory budget) the classifier precomputes the
-/// score-LUT inference kernel at model-finalize time.
-///
-/// Superseded by [`crate::score_kernel::KernelSpec`], which also selects
-/// the dense and binary kernels; `From<ScoreLutMode> for KernelSpec`
-/// migrates old configs (`Off` → dense, `Auto` → auto).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ScoreLutMode {
-    /// Never build the kernel; always score via the dense compressed path.
-    #[default]
-    Off,
-    /// Build the kernel when the table fits `budget_bytes` and the model
-    /// is eligible (no whitening, in-bound scores); otherwise fall back to
-    /// the dense path silently (counted as `score_lut.fallback`).
-    Auto {
-        /// Byte ceiling for the precomputed tables (`m·k·q^r` × 8 bytes).
-        budget_bytes: usize,
-    },
-}
-
-impl ScoreLutMode {
-    /// Default table budget for [`ScoreLutMode::Auto`] (64 MiB — holds the
-    /// Table I SPEECH shape, `124·26·4^5` entries ≈ 26 MiB, with room).
-    pub const DEFAULT_BUDGET_BYTES: usize = 64 << 20;
-}
-
 /// Ceiling on serialized/loaded score-LUT entries (2^27 ≈ 134M entries,
 /// 1 GiB of `i64`) — same role as [`crate::compress::MAX_REGEN_ELEMENTS`]:
 /// a corrupt header must not request a multi-GB allocation.
@@ -286,7 +260,6 @@ impl ScoreLut {
     pub fn scores_i64(&self, addrs: &[u64]) -> Result<Vec<i64>> {
         let _span = obs::span("score_lut");
         obs::counter("kernel.lut.queries", 1);
-        obs::counter("score_lut.queries", 1); // deprecated alias
         let m = self.n_chunks();
         if addrs.len() != m {
             return Err(HdcError::invalid_dataset(format!(
@@ -310,7 +283,6 @@ impl ScoreLut {
             }
         }
         obs::counter("kernel.lut.table_reads", m as u64);
-        obs::counter("score_lut.table_reads", m as u64); // deprecated alias
         Ok(scores)
     }
 

@@ -1,0 +1,767 @@
+//! # netpoll — a thin, dependency-free readiness-polling shim
+//!
+//! `lookhd-serve`'s event loop needs exactly four OS facilities: "tell me
+//! which of these sockets are readable/writable", "let another thread
+//! wake the poll", nonblocking accept, and nothing else. This crate
+//! wraps them behind a tiny safe API so the serve crate itself can stay
+//! `#![forbid(unsafe_code)]` while the workspace stays free of external
+//! dependencies (the usual `mio`/`libc` route is unavailable offline).
+//!
+//! * On **Linux** the backend is raw `epoll` — `epoll_create1` /
+//!   `epoll_ctl` / `epoll_wait` declared as `extern "C"` bindings against
+//!   the libc that `std` already links, plus an `eventfd` for cross-thread
+//!   wakeups. Level-triggered mode only: it needs no speculative drain
+//!   loops and gives natural round-robin fairness across ready
+//!   connections (an undrained socket simply shows up again next wait).
+//! * On **other Unixes** the same API is served by POSIX `poll(2)` with a
+//!   self-pipe waker. O(n) per wait, fine as a portability fallback.
+//!
+//! The `unsafe` in this crate is confined to the `sys` FFI declarations
+//! and the few call sites that use them; every invariant (valid fds via
+//! `OwnedFd`, initialized event buffers, no aliasing) is local and
+//! documented there.
+//!
+//! ## Tokens
+//!
+//! Each registered fd carries a caller-chosen `u64` token returned in
+//! [`Event::token`]. The token [`WAKER_TOKEN`] is reserved: events for the
+//! internal wake fd are consumed and reported with that token so callers
+//! can distinguish "a peer woke you" from socket readiness.
+//!
+//! ```no_run
+//! use std::net::TcpListener;
+//! use std::os::fd::AsRawFd;
+//! use netpoll::{Interest, Poller};
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0")?;
+//! listener.set_nonblocking(true)?;
+//! let poller = Poller::new()?;
+//! poller.register(listener.as_raw_fd(), 7, Interest::READABLE)?;
+//! let mut events = Vec::new();
+//! poller.wait(&mut events, None)?; // blocks until readiness or wake()
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![deny(missing_docs)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// The reserved token reported for wakeups triggered via [`Waker::wake`].
+/// Registering a caller fd with this token is rejected.
+pub const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Which readiness conditions a registration watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+}
+
+impl Interest {
+    /// Watch for readability only.
+    pub const READABLE: Self = Self {
+        readable: true,
+        writable: false,
+    };
+    /// Watch for writability only.
+    pub const WRITABLE: Self = Self {
+        readable: false,
+        writable: true,
+    };
+    /// Watch for both readability and writability.
+    pub const BOTH: Self = Self {
+        readable: true,
+        writable: true,
+    };
+    /// Watch for nothing: the fd stays registered (hangup/error events are
+    /// still reported) but produces no read/write readiness. Used to park
+    /// a connection whose input should be ignored (e.g. during drain).
+    pub const NONE: Self = Self {
+        readable: false,
+        writable: false,
+    };
+
+    /// Whether this interest includes readability.
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Whether this interest includes writability.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// The union of two interest sets.
+    pub fn union(self, other: Self) -> Self {
+        Self {
+            readable: self.readable || other.readable,
+            writable: self.writable || other.writable,
+        }
+    }
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with ([`WAKER_TOKEN`] for wakeups).
+    pub token: u64,
+    /// The fd can be read without blocking (also set at EOF).
+    pub readable: bool,
+    /// The fd can be written without blocking.
+    pub writable: bool,
+    /// The peer hung up or the fd errored; the fd should be torn down
+    /// (readable/writable may be set too — drain first if needed).
+    pub hangup: bool,
+}
+
+pub use imp::{Poller, Waker};
+
+// ---------------------------------------------------------------------------
+// Linux backend: epoll + eventfd
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use super::{Event, Interest, WAKER_TOKEN};
+
+    /// Raw FFI surface. These symbols live in the libc that `std` links
+    /// into every Rust binary on Linux; the signatures mirror the man
+    /// pages exactly. Constants are from `<sys/epoll.h>` / `<sys/eventfd.h>`
+    /// for x86_64/aarch64 (identical on both).
+    mod sys {
+        use std::os::fd::RawFd;
+
+        // `struct epoll_event` is packed on x86_64 only (the kernel ABI
+        // quirk inherited from the 32-bit layout); other architectures use
+        // natural alignment.
+        #[repr(C)]
+        #[cfg_attr(target_arch = "x86_64", repr(packed))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        pub const EPOLL_CTL_ADD: i32 = 1;
+        pub const EPOLL_CTL_DEL: i32 = 2;
+        pub const EPOLL_CTL_MOD: i32 = 3;
+
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+
+        /// `EPOLL_CLOEXEC` == `O_CLOEXEC`.
+        pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+        /// `EFD_CLOEXEC` == `O_CLOEXEC`, `EFD_NONBLOCK` == `O_NONBLOCK`.
+        pub const EFD_CLOEXEC: i32 = 0o2000000;
+        pub const EFD_NONBLOCK: i32 = 0o4000;
+
+        extern "C" {
+            pub fn epoll_create1(flags: i32) -> RawFd;
+            pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: *mut EpollEvent) -> i32;
+            pub fn epoll_wait(
+                epfd: RawFd,
+                events: *mut EpollEvent,
+                maxevents: i32,
+                timeout_ms: i32,
+            ) -> i32;
+            pub fn eventfd(initval: u32, flags: i32) -> RawFd;
+            pub fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
+            pub fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
+        }
+    }
+
+    fn epoll_mask(interest: Interest) -> u32 {
+        // EPOLLRDHUP distinguishes "peer half-closed" from plain EPOLLIN
+        // and makes abandoned connections visible even when parked with
+        // `Interest::NONE` (EPOLLERR/EPOLLHUP are always reported).
+        let mut mask = sys::EPOLLRDHUP;
+        if interest.is_readable() {
+            mask |= sys::EPOLLIN;
+        }
+        if interest.is_writable() {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+
+    /// A level-triggered epoll instance plus its eventfd wake channel.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: OwnedFd,
+        wake: Arc<OwnedFd>,
+    }
+
+    /// Wakes a [`Poller::wait`] from another thread. Cheap to clone; all
+    /// clones poke the same eventfd.
+    #[derive(Debug, Clone)]
+    pub struct Waker {
+        wake: Arc<OwnedFd>,
+    }
+
+    impl Waker {
+        /// Interrupts the poller's current (or next) wait. Coalesces: many
+        /// wakes before the poller runs produce one event.
+        pub fn wake(&self) {
+            let value: u64 = 1;
+            // SAFETY: `wake` is a valid eventfd owned by the Arc for the
+            // duration of the call; the buffer is 8 initialized bytes as
+            // eventfd(2) requires. A full counter (EAGAIN) already means
+            // "wake pending", so the result can be ignored.
+            let _ = unsafe {
+                sys::write(
+                    self.wake.as_raw_fd(),
+                    value.to_ne_bytes().as_ptr(),
+                    std::mem::size_of::<u64>(),
+                )
+            };
+        }
+    }
+
+    impl Poller {
+        /// Creates a poller with its wake channel already registered.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_create1`/`eventfd`/`epoll_ctl` failures.
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: plain syscall, no pointers. A negative return is an
+            // error and never converted to an OwnedFd.
+            let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: epfd is a freshly returned, unowned, valid fd.
+            let epfd = unsafe { OwnedFd::from_raw_fd(epfd) };
+            // SAFETY: plain syscall, no pointers.
+            let wake = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+            if wake < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: same as epfd above.
+            let wake = unsafe { OwnedFd::from_raw_fd(wake) };
+            let poller = Self {
+                epfd,
+                wake: Arc::new(wake),
+            };
+            poller.ctl(
+                sys::EPOLL_CTL_ADD,
+                poller.wake.as_raw_fd(),
+                WAKER_TOKEN,
+                sys::EPOLLIN,
+            )?;
+            Ok(poller)
+        }
+
+        /// A handle other threads can use to interrupt [`Poller::wait`].
+        pub fn waker(&self) -> Waker {
+            Waker {
+                wake: Arc::clone(&self.wake),
+            }
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+            let mut event = sys::EpollEvent {
+                events,
+                data: token,
+            };
+            // SAFETY: epfd and fd are valid for the call; `event` is a
+            // live, initialized struct whose pointer epoll_ctl only reads.
+            let rc = unsafe { sys::epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut event) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Starts watching `fd` with `interest`, reporting `token`.
+        ///
+        /// # Errors
+        ///
+        /// Rejects [`WAKER_TOKEN`] as `InvalidInput`; propagates
+        /// `epoll_ctl` failures (e.g. an already-registered fd).
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if token == WAKER_TOKEN {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "token u64::MAX is reserved for the waker",
+                ));
+            }
+            self.ctl(sys::EPOLL_CTL_ADD, fd, token, epoll_mask(interest))
+        }
+
+        /// Changes the interest set (and token) of a registered fd.
+        ///
+        /// # Errors
+        ///
+        /// Same conditions as [`Poller::register`].
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if token == WAKER_TOKEN {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "token u64::MAX is reserved for the waker",
+                ));
+            }
+            self.ctl(sys::EPOLL_CTL_MOD, fd, token, epoll_mask(interest))
+        }
+
+        /// Stops watching a registered fd.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_ctl` failures.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Blocks until at least one fd is ready, a [`Waker`] fires, or
+        /// `timeout` elapses (`None` = wait forever). Ready events are
+        /// appended to `events` (cleared first). Wakeups appear as events
+        /// with [`WAKER_TOKEN`]; their eventfd is drained here.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_wait` failures. `EINTR` is retried
+        /// internally.
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            events.clear();
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                // Round up so a 0 < t < 1 ms timeout still sleeps.
+                Some(t) => i32::try_from(t.as_millis().max(u128::from(u32::from(!t.is_zero()))))
+                    .unwrap_or(i32::MAX),
+            };
+            const CAPACITY: usize = 256;
+            let mut buf = [sys::EpollEvent { events: 0, data: 0 }; CAPACITY];
+            let n = loop {
+                // SAFETY: epfd is valid; `buf` is a live array of CAPACITY
+                // initialized events that the kernel writes into.
+                let rc = unsafe {
+                    sys::epoll_wait(
+                        self.epfd.as_raw_fd(),
+                        buf.as_mut_ptr(),
+                        CAPACITY as i32,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for raw in &buf[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let mask = raw.events;
+                let token = raw.data;
+                if token == WAKER_TOKEN {
+                    self.drain_wake();
+                    events.push(Event {
+                        token,
+                        readable: false,
+                        writable: false,
+                        hangup: false,
+                    });
+                    continue;
+                }
+                events.push(Event {
+                    token,
+                    readable: mask & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                    writable: mask & sys::EPOLLOUT != 0,
+                    hangup: mask & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        /// Resets the eventfd counter so level-triggered readiness clears.
+        fn drain_wake(&self) {
+            let mut buf = [0u8; 8];
+            // SAFETY: `wake` is a valid nonblocking eventfd; the buffer is
+            // 8 writable bytes. EAGAIN (already drained) is fine.
+            let _ = unsafe { sys::read(self.wake.as_raw_fd(), buf.as_mut_ptr(), buf.len()) };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable Unix backend: poll(2) + self-pipe
+// ---------------------------------------------------------------------------
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    use std::collections::BTreeMap;
+    use std::io::{self, Read, Write};
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    use super::{Event, Interest, WAKER_TOKEN};
+
+    mod sys {
+        use std::os::fd::RawFd;
+
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        pub struct PollFd {
+            pub fd: RawFd,
+            pub events: i16,
+            pub revents: i16,
+        }
+
+        pub const POLLIN: i16 = 0x001;
+        pub const POLLOUT: i16 = 0x004;
+        pub const POLLERR: i16 = 0x008;
+        pub const POLLHUP: i16 = 0x010;
+
+        extern "C" {
+            pub fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+        }
+    }
+
+    /// POSIX `poll(2)` emulation of the epoll-backed API. The interest
+    /// table lives behind a mutex so registration from other threads
+    /// (workers requesting write interest) stays safe; `poll` itself
+    /// rebuilds the fd array each wait — O(n), acceptable for a fallback.
+    #[derive(Debug)]
+    pub struct Poller {
+        interests: Mutex<BTreeMap<RawFd, (u64, Interest)>>,
+        wake_read: std::net::TcpStream,
+        wake_write: Arc<Mutex<std::net::TcpStream>>,
+    }
+
+    /// Self-pipe waker (a loopback socketpair stand-in: `std` exposes no
+    /// portable pipe, and a localhost TCP pair behaves identically here).
+    #[derive(Debug, Clone)]
+    pub struct Waker {
+        wake_write: Arc<Mutex<std::net::TcpStream>>,
+    }
+
+    impl Waker {
+        /// Interrupts the poller's current (or next) wait.
+        pub fn wake(&self) {
+            if let Ok(mut w) = self.wake_write.lock() {
+                let _ = w.write(&[1u8]);
+            }
+        }
+    }
+
+    impl Poller {
+        /// Creates a poller with its wake channel already registered.
+        ///
+        /// # Errors
+        ///
+        /// Propagates socket-pair setup failures.
+        pub fn new() -> io::Result<Self> {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+            let write_half = std::net::TcpStream::connect(listener.local_addr()?)?;
+            let (read_half, _) = listener.accept()?;
+            read_half.set_nonblocking(true)?;
+            write_half.set_nonblocking(true)?;
+            write_half.set_nodelay(true)?;
+            Ok(Self {
+                interests: Mutex::new(BTreeMap::new()),
+                wake_read: read_half,
+                wake_write: Arc::new(Mutex::new(write_half)),
+            })
+        }
+
+        /// A handle other threads can use to interrupt [`Poller::wait`].
+        pub fn waker(&self) -> Waker {
+            Waker {
+                wake_write: Arc::clone(&self.wake_write),
+            }
+        }
+
+        /// Starts watching `fd` with `interest`, reporting `token`.
+        ///
+        /// # Errors
+        ///
+        /// Rejects [`WAKER_TOKEN`] and double registration.
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if token == WAKER_TOKEN {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "token u64::MAX is reserved for the waker",
+                ));
+            }
+            let mut interests = self.interests.lock().expect("netpoll interests poisoned");
+            if interests.insert(fd, (token, interest)).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            Ok(())
+        }
+
+        /// Changes the interest set (and token) of a registered fd.
+        ///
+        /// # Errors
+        ///
+        /// Rejects [`WAKER_TOKEN`] and unknown fds.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if token == WAKER_TOKEN {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "token u64::MAX is reserved for the waker",
+                ));
+            }
+            let mut interests = self.interests.lock().expect("netpoll interests poisoned");
+            match interests.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = (token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Stops watching a registered fd.
+        ///
+        /// # Errors
+        ///
+        /// Rejects unknown fds.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut interests = self.interests.lock().expect("netpoll interests poisoned");
+            match interests.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Blocks until readiness, a wake, or `timeout` (see the Linux
+        /// backend for the contract).
+        ///
+        /// # Errors
+        ///
+        /// Propagates `poll` failures. `EINTR` is retried internally.
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            events.clear();
+            let mut fds: Vec<(u64, sys::PollFd)> = vec![(
+                WAKER_TOKEN,
+                sys::PollFd {
+                    fd: self.wake_read.as_raw_fd(),
+                    events: sys::POLLIN,
+                    revents: 0,
+                },
+            )];
+            {
+                let interests = self.interests.lock().expect("netpoll interests poisoned");
+                for (&fd, &(token, interest)) in interests.iter() {
+                    let mut mask = 0i16;
+                    if interest.is_readable() {
+                        mask |= sys::POLLIN;
+                    }
+                    if interest.is_writable() {
+                        mask |= sys::POLLOUT;
+                    }
+                    fds.push((
+                        token,
+                        sys::PollFd {
+                            fd,
+                            events: mask,
+                            revents: 0,
+                        },
+                    ));
+                }
+            }
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(t) => i32::try_from(t.as_millis().max(u128::from(u32::from(!t.is_zero()))))
+                    .unwrap_or(i32::MAX),
+            };
+            let mut raw: Vec<sys::PollFd> = fds.iter().map(|(_, p)| *p).collect();
+            loop {
+                // SAFETY: `raw` is a live, initialized array of pollfd
+                // structs; nfds matches its length.
+                let rc = unsafe { sys::poll(raw.as_mut_ptr(), raw.len() as u64, timeout_ms) };
+                if rc >= 0 {
+                    break;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+            for ((token, _), polled) in fds.iter().zip(&raw) {
+                if polled.revents == 0 {
+                    continue;
+                }
+                if *token == WAKER_TOKEN {
+                    let mut sink = [0u8; 64];
+                    let mut read_half = &self.wake_read;
+                    while matches!(read_half.read(&mut sink), Ok(n) if n > 0) {}
+                    events.push(Event {
+                        token: *token,
+                        readable: false,
+                        writable: false,
+                        hangup: false,
+                    });
+                    continue;
+                }
+                events.push(Event {
+                    token: *token,
+                    readable: polled.revents & (sys::POLLIN | sys::POLLHUP) != 0,
+                    writable: polled.revents & sys::POLLOUT != 0,
+                    hangup: polled.revents & (sys::POLLERR | sys::POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("netpoll supports Unix targets only (epoll on Linux, poll(2) elsewhere)");
+
+/// Convenience: classify an I/O result from a nonblocking operation.
+/// `WouldBlock` is the readiness loop's steady state, not an error, and
+/// `Interrupted` calls should simply be retried.
+pub fn is_would_block(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::WouldBlock
+}
+
+/// Registers interest flags for a raw fd owner. Blanket helper so callers
+/// can pass `&TcpStream`/`&TcpListener` without importing `AsRawFd`.
+pub fn raw_fd<T: std::os::fd::AsRawFd>(io: &T) -> RawFd {
+    io.as_raw_fd()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    use super::*;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readiness_fires_on_data_and_clears_when_drained() {
+        let (a, mut b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.register(raw_fd(&a), 42, Interest::READABLE).unwrap();
+
+        // Nothing to read yet: a zero-ish timeout returns no events.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "{events:?}");
+
+        b.write_all(b"hello").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        // Level-triggered: still ready until drained.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+        let mut buf = [0u8; 16];
+        let n = (&a).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello");
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn write_interest_and_modify() {
+        let (a, _b) = pair();
+        let poller = Poller::new().unwrap();
+        // A fresh socket is immediately writable.
+        poller.register(raw_fd(&a), 7, Interest::WRITABLE).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+        // Parked: no events despite writability.
+        poller.modify(raw_fd(&a), 7, Interest::NONE).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(
+            !events.iter().any(|e| e.token == 7 && e.writable),
+            "{events:?}"
+        );
+        poller.deregister(raw_fd(&a)).unwrap();
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocking_wait_across_threads() {
+        let poller = Poller::new().unwrap();
+        let waker = poller.waker();
+        let started = Instant::now();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        handle.join().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "wait did not return promptly"
+        );
+        assert!(events.iter().any(|e| e.token == WAKER_TOKEN));
+        // Wakes coalesce and drain: the next wait times out quietly.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let (a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.register(raw_fd(&a), 9, Interest::READABLE).unwrap();
+        drop(b);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        // A clean close shows up as readable (EOF) and/or hangup.
+        assert!(
+            events
+                .iter()
+                .any(|e| e.token == 9 && (e.readable || e.hangup)),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn waker_token_is_reserved() {
+        let (a, _b) = pair();
+        let poller = Poller::new().unwrap();
+        assert!(poller
+            .register(raw_fd(&a), WAKER_TOKEN, Interest::READABLE)
+            .is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Per-connection state shared between the reactor and the batch
+//! workers.
+//!
+//! A [`Conn`] owns the nonblocking `TcpStream` for its whole lifetime.
+//! The reactor thread is the only reader; writers (batch workers and
+//! the reactor's inline dispatch) all go through [`Conn::send`], which
+//! serializes frames under the outbox lock:
+//!
+//! * **fast path** — the outbox is empty, so the frame is written
+//!   straight to the socket. Under normal load this is the only path
+//!   and responses never touch the reactor at all.
+//! * **backlog path** — the socket would block (or older bytes are
+//!   already backlogged), so the remainder is appended to the outbox
+//!   and the owning reactor is asked to watch `EPOLLOUT` and flush.
+//!
+//! A client that stops reading while responses keep completing grows
+//! its outbox until [`OUTBOX_CAP`] and is then condemned (tier-3 load
+//! shedding, `serve.slow_client_drops`): the connection writes nothing
+//! further and is torn down by its reactor.
+//!
+//! Teardown is reference-counted by work, not by `Arc`s: a connection
+//! whose read side is finished ([`Conn::mark_read_shut`]) is closed as
+//! soon as its last in-flight request has been answered and its outbox
+//! has drained ([`Conn::is_reapable`]). Workers finishing the last
+//! response nudge the reactor via [`ReactorQueue::check`] so the close
+//! happens promptly instead of at the next unrelated wakeup.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::reactor::ReactorQueue;
+use crate::wire::{self, Response};
+
+/// Cap on buffered-but-unsent response bytes per connection. A client
+/// that stops reading while its requests keep completing hits this cap
+/// and is dropped rather than growing server memory without bound.
+pub(crate) const OUTBOX_CAP: usize = 256 * 1024;
+
+/// Result of a reactor-side outbox flush attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flush {
+    /// Everything pending was written; `EPOLLOUT` interest can drop.
+    Empty,
+    /// The socket filled up again; keep `EPOLLOUT` interest.
+    Pending,
+    /// The transport failed or the connection was condemned; tear it
+    /// down.
+    Dead,
+}
+
+/// Pending response bytes not yet accepted by the kernel.
+struct Outbox {
+    /// Flat buffer of un-sent frame bytes; `pos` is the written prefix.
+    buf: Vec<u8>,
+    pos: usize,
+    /// The owning reactor has been asked to watch `EPOLLOUT`.
+    wants_flush: bool,
+    /// Condemned: transport error or outbox overflow. All later writes
+    /// are no-ops and the reactor tears the connection down.
+    dead: bool,
+}
+
+impl Outbox {
+    fn backlog(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// One live client connection, shared (via `Arc`) between the owning
+/// reactor and every batch worker holding one of its requests.
+pub(crate) struct Conn {
+    /// The reactor-assigned epoll token.
+    pub(crate) token: u64,
+    stream: TcpStream,
+    out: Mutex<Outbox>,
+    /// Predict requests enqueued but not yet answered.
+    inflight: AtomicUsize,
+    /// The reactor stopped reading (EOF, framing damage, or shutdown).
+    read_shut: AtomicBool,
+    /// The owning reactor's command queue + waker.
+    reactor: Arc<ReactorQueue>,
+}
+
+impl Conn {
+    /// Wraps an accepted stream: nonblocking (readiness-driven) and
+    /// nodelay (small response frames must not wait for ACKs).
+    pub(crate) fn new(
+        stream: TcpStream,
+        token: u64,
+        reactor: Arc<ReactorQueue>,
+    ) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            token,
+            stream,
+            out: Mutex::new(Outbox {
+                buf: Vec::new(),
+                pos: 0,
+                wants_flush: false,
+                dead: false,
+            }),
+            inflight: AtomicUsize::new(0),
+            read_shut: AtomicBool::new(false),
+            reactor,
+        })
+    }
+
+    /// The raw fd, for reactor registration only.
+    pub(crate) fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// Reads from the socket (reactor thread only).
+    pub(crate) fn read_into(&self, buf: &mut [u8]) -> io::Result<usize> {
+        (&self.stream).read(buf)
+    }
+
+    /// Encodes and sends one response frame. Callable from any thread;
+    /// never blocks: bytes the kernel refuses go to the outbox and the
+    /// reactor is asked to flush them when the socket drains.
+    pub(crate) fn send(&self, response: &Response) {
+        let body = wire::encode_response(response);
+        debug_assert!(body.len() <= wire::MAX_FRAME_LEN);
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.push_bytes(&frame);
+    }
+
+    fn push_bytes(&self, frame: &[u8]) {
+        let mut out = self.out.lock().expect("outbox lock poisoned");
+        if out.dead {
+            return;
+        }
+        if out.backlog() > 0 {
+            // Older bytes are already queued: appending keeps frame
+            // order. Overflow condemns the connection (slow client).
+            if out.backlog() + frame.len() > OUTBOX_CAP {
+                out.dead = true;
+                drop(out);
+                obs::counter("serve.slow_client_drops", 1);
+                self.reactor.check(self.token);
+                return;
+            }
+            out.buf.extend_from_slice(frame);
+            return;
+        }
+        // Fast path: nothing queued, write inline under the lock (the
+        // lock is what keeps frames from interleaving across workers).
+        let mut written = 0;
+        loop {
+            match (&self.stream).write(&frame[written..]) {
+                Ok(0) => {
+                    out.dead = true;
+                    drop(out);
+                    self.reactor.check(self.token);
+                    return;
+                }
+                Ok(n) => {
+                    written += n;
+                    if written == frame.len() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    out.buf.clear();
+                    out.pos = 0;
+                    out.buf.extend_from_slice(&frame[written..]);
+                    let first = !out.wants_flush;
+                    out.wants_flush = true;
+                    drop(out);
+                    if first {
+                        self.reactor.flush(self.token);
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    out.dead = true;
+                    drop(out);
+                    self.reactor.check(self.token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Writes as much backlog as the kernel accepts (reactor thread,
+    /// on `EPOLLOUT` or a flush command).
+    pub(crate) fn flush_outbox(&self) -> Flush {
+        let mut out = self.out.lock().expect("outbox lock poisoned");
+        if out.dead {
+            return Flush::Dead;
+        }
+        while out.backlog() > 0 {
+            let pos = out.pos;
+            match (&self.stream).write(&out.buf[pos..]) {
+                Ok(0) => {
+                    out.dead = true;
+                    return Flush::Dead;
+                }
+                Ok(n) => out.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Flush::Pending,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    out.dead = true;
+                    return Flush::Dead;
+                }
+            }
+        }
+        out.buf.clear();
+        out.pos = 0;
+        out.wants_flush = false;
+        Flush::Empty
+    }
+
+    /// Counts one predict request handed to the batch queue.
+    pub(crate) fn begin_request(&self) {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Counts one response for a queued predict request; when it was
+    /// the last one on a read-finished connection, nudges the reactor
+    /// so the close is prompt.
+    pub(crate) fn finish_request(&self) {
+        if self.inflight.fetch_sub(1, Ordering::SeqCst) == 1
+            && self.read_shut.load(Ordering::SeqCst)
+        {
+            self.reactor.check(self.token);
+        }
+    }
+
+    /// Marks the read side finished (EOF, framing damage, shutdown).
+    pub(crate) fn mark_read_shut(&self) {
+        self.read_shut.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the read side is finished.
+    pub(crate) fn is_read_shut(&self) -> bool {
+        self.read_shut.load(Ordering::SeqCst)
+    }
+
+    /// A connection is reaped once it will never produce another byte:
+    /// reads are done, every queued request is answered, and the outbox
+    /// is drained (or the connection is condemned).
+    pub(crate) fn is_reapable(&self) -> bool {
+        if !self.is_read_shut() || self.inflight.load(Ordering::SeqCst) != 0 {
+            return false;
+        }
+        let out = self.out.lock().expect("outbox lock poisoned");
+        out.dead || out.backlog() == 0
+    }
+
+    /// Whether backlogged bytes are waiting on `EPOLLOUT`.
+    pub(crate) fn has_backlog(&self) -> bool {
+        let out = self.out.lock().expect("outbox lock poisoned");
+        !out.dead && out.backlog() > 0
+    }
+
+    /// Hard-closes both directions (reap time). Lingering `Arc`s held
+    /// by in-flight workers turn into harmless failed writes.
+    pub(crate) fn close(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}

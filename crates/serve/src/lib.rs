@@ -50,8 +50,10 @@
 
 pub mod admin;
 pub mod client;
+pub(crate) mod conn;
 pub mod metrics;
 pub mod model;
+pub(crate) mod reactor;
 pub mod server;
 pub mod wire;
 

@@ -1,0 +1,687 @@
+//! The readiness-driven I/O reactor.
+//!
+//! Each reactor thread owns a [`netpoll::Poller`] plus the connection
+//! state machines assigned to it: the per-connection
+//! [`wire::FrameDecoder`] reassembly buffer, the epoll interest set,
+//! and (shared with workers through [`Conn`]) the write-backpressure
+//! outbox. Reactor 0 additionally owns the listener and runs admission
+//! control; connections are handed to reactors round-robin.
+//!
+//! Only the owning reactor ever touches a connection's epoll
+//! registration. Other threads request changes through the reactor's
+//! [`ReactorQueue`] — a command list plus a [`netpoll::Waker`] — which
+//! the reactor drains at the top of every loop iteration. This keeps
+//! all `epoll_ctl` calls single-threaded and race-free.
+//!
+//! ## Admission control tiers
+//!
+//! 1. **connection cap** — at accept, a server already holding
+//!    [`ServeConfig::max_conns`] connections answers with one
+//!    [`ErrorCode::Overloaded`] frame and closes
+//!    (`serve.conn_rejections`);
+//! 2. **queue-pressure shed** — at accept, a full request queue sheds
+//!    the new connection the same way (`serve.accept_sheds`): a
+//!    saturated server stops taking on new clients before it stops
+//!    answering existing ones;
+//! 3. **slow-client drop** — a connection whose outbox exceeds
+//!    [`crate::conn::OUTBOX_CAP`] is condemned
+//!    (`serve.slow_client_drops`);
+//! 4. **per-request backpressure** — the existing
+//!    [`ErrorCode::Overloaded`] rejection when the bounded queue is
+//!    full (`serve.overload_rejections`), unchanged.
+//!
+//! ## Drain protocol
+//!
+//! Shutdown is event-driven (no self-connect): the trigger sets the
+//! flag and wakes every reactor and worker. Each reactor then drops
+//! the listener (reactor 0), parks all read interest, and keeps
+//! flushing outboxes. Workers drain the queue and exit;
+//! [`crate::ServerHandle::join`] then sets the `drained` flag and
+//! wakes the reactors again, which now close every connection as its
+//! outbox empties and exit — with a [`DRAIN_GRACE`] bound so a client
+//! that never reads its last bytes cannot wedge the join.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use netpoll::{Event, Interest, Poller, WAKER_TOKEN};
+use obs::trace::{self, Phase};
+
+use crate::conn::{Conn, Flush};
+use crate::server::Inner;
+use crate::wire::{self, ErrorCode, FrameDecoder, Request, Response, WireError};
+
+/// Token reserved for the listener (reactor 0 only). [`WAKER_TOKEN`]
+/// is `u64::MAX`; connection tokens count up from zero and can never
+/// collide with either.
+const LISTEN_TOKEN: u64 = u64::MAX - 1;
+
+/// Per-round read budget per connection: with level-triggered polling
+/// a still-readable socket is reported again next round, so bounding
+/// the bytes read per round keeps one firehose client from starving
+/// the rest.
+const READ_BUDGET: usize = 64 * 1024;
+
+/// How long after the workers drain a reactor keeps flushing outboxes
+/// before force-closing what remains.
+pub(crate) const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// Cross-thread requests to a reactor.
+enum Command {
+    /// Adopt a newly accepted connection.
+    Adopt(TcpStream),
+    /// The connection has backlogged response bytes: flush and watch
+    /// `EPOLLOUT` until empty.
+    Flush(u64),
+    /// Re-evaluate the connection (last in-flight response finished,
+    /// or it was condemned off-thread).
+    Check(u64),
+}
+
+/// The handle other threads use to talk to a reactor: a command list
+/// drained at the top of each loop iteration, plus the waker that
+/// interrupts its `wait`.
+pub(crate) struct ReactorQueue {
+    waker: netpoll::Waker,
+    commands: Mutex<Vec<Command>>,
+}
+
+impl ReactorQueue {
+    pub(crate) fn new(waker: netpoll::Waker) -> Self {
+        Self {
+            waker,
+            commands: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Wakes the reactor with no command (shutdown/drain flag polls).
+    pub(crate) fn wake(&self) {
+        self.waker.wake();
+    }
+
+    fn push(&self, command: Command) {
+        self.commands
+            .lock()
+            .expect("reactor command lock poisoned")
+            .push(command);
+        self.waker.wake();
+    }
+
+    fn adopt(&self, stream: TcpStream) {
+        self.push(Command::Adopt(stream));
+    }
+
+    /// Asks the reactor to flush the connection's outbox.
+    pub(crate) fn flush(&self, token: u64) {
+        self.push(Command::Flush(token));
+    }
+
+    /// Asks the reactor to re-evaluate the connection for teardown.
+    pub(crate) fn check(&self, token: u64) {
+        self.push(Command::Check(token));
+    }
+
+    fn drain(&self) -> Vec<Command> {
+        std::mem::take(&mut *self.commands.lock().expect("reactor command lock poisoned"))
+    }
+}
+
+/// Reactor-private view of one connection: the shared [`Conn`] plus
+/// state only the owning reactor touches.
+struct ConnState {
+    conn: Arc<Conn>,
+    decoder: FrameDecoder,
+    interest: Interest,
+}
+
+/// One reactor thread's whole state. Constructed on the spawning
+/// thread, moved into the reactor thread, and run to completion.
+pub(crate) struct Reactor {
+    inner: Arc<Inner>,
+    poller: Poller,
+    queue: Arc<ReactorQueue>,
+    /// Reactor 0 owns the listener until shutdown.
+    listener: Option<TcpListener>,
+    /// All reactors' queues, for round-robin connection assignment.
+    peers: Vec<Arc<ReactorQueue>>,
+    next_peer: usize,
+    conns: HashMap<u64, ConnState>,
+    scratch: Vec<u8>,
+    events: Vec<Event>,
+    shutdown_seen: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl Reactor {
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        poller: Poller,
+        queue: Arc<ReactorQueue>,
+        listener: Option<TcpListener>,
+        peers: Vec<Arc<ReactorQueue>>,
+    ) -> Self {
+        Self {
+            inner,
+            poller,
+            queue,
+            listener,
+            peers,
+            next_peer: 0,
+            conns: HashMap::new(),
+            scratch: vec![0u8; 16 * 1024],
+            events: Vec::new(),
+            shutdown_seen: false,
+            drain_deadline: None,
+        }
+    }
+
+    /// The event loop. Returns when the server has fully drained.
+    pub(crate) fn run(mut self) {
+        if let Some(listener) = &self.listener {
+            if listener.set_nonblocking(true).is_err()
+                || self
+                    .poller
+                    .register(listener.as_raw_fd(), LISTEN_TOKEN, Interest::READABLE)
+                    .is_err()
+            {
+                // A reactor that cannot watch its listener cannot serve;
+                // surface the failure as an immediate shutdown.
+                self.inner.trigger_shutdown();
+            }
+        }
+        loop {
+            let timeout = self
+                .drain_deadline
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            let mut events = std::mem::take(&mut self.events);
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            for command in self.queue.drain() {
+                self.handle_command(command);
+            }
+            for event in &events {
+                match event.token {
+                    WAKER_TOKEN => {}
+                    LISTEN_TOKEN => self.accept_ready(),
+                    token => self.conn_event(token, event),
+                }
+            }
+            self.events = events;
+            self.poll_shutdown();
+            if self.finished() {
+                break;
+            }
+        }
+        for (_, state) in self.conns.drain() {
+            let _ = self.poller.deregister(state.conn.fd());
+            state.conn.close();
+            self.inner.conn_count.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    // -- commands -----------------------------------------------------------
+
+    fn handle_command(&mut self, command: Command) {
+        match command {
+            Command::Adopt(stream) => self.adopt(stream),
+            Command::Flush(token) => {
+                let Some(state) = self.conns.get(&token) else {
+                    return;
+                };
+                match state.conn.flush_outbox() {
+                    Flush::Empty => self.after_flush_empty(token),
+                    Flush::Pending => self.want(token, Interest::WRITABLE, true),
+                    Flush::Dead => self.teardown(token),
+                }
+            }
+            Command::Check(token) => {
+                if self
+                    .conns
+                    .get(&token)
+                    .is_some_and(|state| state.conn.is_reapable())
+                {
+                    self.teardown(token);
+                }
+            }
+        }
+    }
+
+    // -- accept + admission -------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Transient per-connection failures (ECONNABORTED & co):
+                // level-triggered polling re-reports anything still
+                // pending next round.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Tiered admission: connection cap, then queue-pressure shed, then
+    /// hand the connection to a reactor.
+    fn admit(&mut self, stream: TcpStream) {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let config = &self.inner.config;
+        if self.inner.conn_count.load(Ordering::SeqCst) >= config.max_conns {
+            obs::counter("serve.conn_rejections", 1);
+            reject(
+                stream,
+                format!("connection limit reached ({} open)", config.max_conns),
+            );
+            return;
+        }
+        let queue_full = {
+            let queue = self.inner.queue.lock().expect("queue lock poisoned");
+            queue.len() >= config.queue_cap
+        };
+        if queue_full {
+            obs::counter("serve.accept_sheds", 1);
+            reject(
+                stream,
+                format!(
+                    "request queue full ({} pending); shedding new connections",
+                    config.queue_cap
+                ),
+            );
+            return;
+        }
+        obs::counter("serve.connections", 1);
+        self.inner.conn_count.fetch_add(1, Ordering::SeqCst);
+        let peer = self.next_peer;
+        self.next_peer = (self.next_peer + 1) % self.peers.len();
+        if Arc::ptr_eq(&self.peers[peer], &self.queue) {
+            self.adopt(stream);
+        } else {
+            self.peers[peer].adopt(stream);
+        }
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        let token = self.inner.next_token.fetch_add(1, Ordering::SeqCst);
+        let conn = match Conn::new(stream, token, Arc::clone(&self.queue)) {
+            Ok(conn) => Arc::new(conn),
+            Err(_) => {
+                self.inner.conn_count.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+        };
+        // A connection adopted after shutdown is parked immediately; the
+        // drain logic below closes it.
+        let interest = if self.shutdown_seen {
+            conn.mark_read_shut();
+            Interest::NONE
+        } else {
+            Interest::READABLE
+        };
+        if self.poller.register(conn.fd(), token, interest).is_err() {
+            conn.close();
+            self.inner.conn_count.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        self.conns.insert(
+            token,
+            ConnState {
+                conn,
+                decoder: FrameDecoder::new(),
+                interest,
+            },
+        );
+    }
+
+    // -- per-connection events ----------------------------------------------
+
+    fn conn_event(&mut self, token: u64, event: &Event) {
+        let Some(state) = self.conns.get(&token) else {
+            return;
+        };
+        let conn = Arc::clone(&state.conn);
+        if event.writable {
+            match conn.flush_outbox() {
+                Flush::Empty => {
+                    self.after_flush_empty(token);
+                    if !self.conns.contains_key(&token) {
+                        return;
+                    }
+                }
+                Flush::Pending => {}
+                Flush::Dead => {
+                    self.teardown(token);
+                    return;
+                }
+            }
+        }
+        if event.readable && !conn.is_read_shut() {
+            self.read_ready(token, &conn);
+            if !self.conns.contains_key(&token) {
+                return;
+            }
+        }
+        // Hard errors (EPOLLERR/EPOLLHUP): the socket is gone in both
+        // directions. Pending readable bytes were drained above; a
+        // read-parked connection has nothing left worth keeping.
+        if event.hangup
+            && self.conns.contains_key(&token)
+            && (!event.readable || conn.is_read_shut())
+        {
+            self.teardown(token);
+        }
+    }
+
+    /// After the outbox drains: reap a finished connection, otherwise
+    /// drop `EPOLLOUT` from its interest set.
+    fn after_flush_empty(&mut self, token: u64) {
+        let Some(state) = self.conns.get(&token) else {
+            return;
+        };
+        if state.conn.is_reapable() || (self.drained() && !state.conn.has_backlog()) {
+            self.teardown(token);
+            return;
+        }
+        let read = !state.conn.is_read_shut();
+        self.want(
+            token,
+            if read {
+                Interest::READABLE
+            } else {
+                Interest::NONE
+            },
+            false,
+        );
+    }
+
+    fn read_ready(&mut self, token: u64, conn: &Arc<Conn>) {
+        let mut budget = READ_BUDGET;
+        loop {
+            match conn.read_into(&mut self.scratch) {
+                Ok(0) => {
+                    self.read_finished(token, conn, true);
+                    return;
+                }
+                Ok(n) => {
+                    let chunk: Vec<u8> = self.scratch[..n].to_vec();
+                    if !self.ingest(token, conn, &chunk) {
+                        return;
+                    }
+                    budget = budget.saturating_sub(n);
+                    if budget == 0 {
+                        // Level-triggered: the poller re-reports the
+                        // socket next round; yield to other connections.
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Transport error: the client is gone; close silently
+                // (matching the blocking loop's `WireError::Io` arm).
+                Err(_) => {
+                    self.read_finished(token, conn, false);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Feeds freshly read bytes through the frame decoder and
+    /// dispatches every completed frame. Returns `false` when the
+    /// connection was condemned or torn down.
+    fn ingest(&mut self, token: u64, conn: &Arc<Conn>, chunk: &[u8]) -> bool {
+        let mut frames = Vec::new();
+        let feed = match self.conns.get_mut(&token) {
+            Some(state) => state.decoder.feed(chunk, &mut frames),
+            None => return false,
+        };
+        for body in &frames {
+            if !self.dispatch(conn, body) {
+                // Framing damage mid-pipeline: stop reading; frames
+                // already dispatched stay answered.
+                self.condemn_read(token, conn);
+                return false;
+            }
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                // A Shutdown frame in this very chunk: everything after
+                // it is discarded, like the blocking loop's `break`.
+                self.condemn_read(token, conn);
+                return false;
+            }
+        }
+        if let Err(e) = feed {
+            // Over-cap length prefix: answer, then drop the connection
+            // (the stream is no longer frame-aligned).
+            obs::counter("serve.bad_frames", 1);
+            conn.send(&Response::Error {
+                id: 0,
+                trace_id: 0,
+                code: ErrorCode::BadRequest,
+                message: e.to_string(),
+            });
+            self.condemn_read(token, conn);
+            return false;
+        }
+        true
+    }
+
+    /// Handles one complete frame body. Returns `false` when the frame
+    /// was damaged in a way that poisons stream alignment.
+    fn dispatch(&mut self, conn: &Arc<Conn>, body: &[u8]) -> bool {
+        let decode_begin_ns = if obs::enabled() { trace::now_ns() } else { 0 };
+        match wire::decode_request(body) {
+            Err(e @ (WireError::TooLarge { .. } | WireError::Truncated { .. })) => {
+                // A lying in-body count (the frame held fewer bytes than
+                // its fields claim): treated as alignment damage, answer
+                // and drop the connection.
+                obs::counter("serve.bad_frames", 1);
+                conn.send(&Response::Error {
+                    id: 0,
+                    trace_id: 0,
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                });
+                false
+            }
+            Err(e) => {
+                // The frame arrived intact but its body was malformed;
+                // framing is still aligned, so keep the connection.
+                obs::counter("serve.bad_frames", 1);
+                conn.send(&Response::Error {
+                    id: 0,
+                    trace_id: 0,
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                });
+                true
+            }
+            Ok(Request::Ping { id }) => {
+                // Answered inline, bypassing the batch queue.
+                conn.send(&Response::Pong { id });
+                true
+            }
+            Ok(Request::Shutdown { id }) => {
+                conn.send(&Response::Pong { id });
+                self.inner.trigger_shutdown();
+                true
+            }
+            Ok(Request::Predict {
+                id,
+                trace_id,
+                features,
+            }) => {
+                if obs::enabled() {
+                    let decode_end_ns = trace::now_ns();
+                    obs::record(
+                        "serve/decode",
+                        Duration::from_nanos(decode_end_ns.saturating_sub(decode_begin_ns)),
+                    );
+                    if trace_id != 0 && trace::enabled() {
+                        trace::emit_at("decode", trace_id, Phase::Begin, decode_begin_ns);
+                        trace::emit_at("decode", trace_id, Phase::End, decode_end_ns);
+                    }
+                }
+                self.inner.enqueue(conn, id, trace_id, features);
+                true
+            }
+        }
+    }
+
+    /// EOF or transport error on the read side. `clean` distinguishes a
+    /// proper EOF, where a frame cut mid-body still earns a truncation
+    /// error frame (matching the blocking loop).
+    fn read_finished(&mut self, token: u64, conn: &Arc<Conn>, clean: bool) {
+        if clean {
+            if let Some(state) = self.conns.get(&token) {
+                // EOF with a complete length prefix but a short body is
+                // frame damage; EOF inside the prefix is a silent close
+                // (the blocking loop's read_exact Io path).
+                if state.decoder.mid_frame() && state.decoder.buffered() >= 4 {
+                    obs::counter("serve.bad_frames", 1);
+                    conn.send(&Response::Error {
+                        id: 0,
+                        trace_id: 0,
+                        code: ErrorCode::BadRequest,
+                        message: WireError::Truncated {
+                            offset: state.decoder.buffered() - 4,
+                            field: "frame body",
+                        }
+                        .to_string(),
+                    });
+                }
+            }
+        }
+        self.condemn_read(token, conn);
+    }
+
+    /// Stops reading this connection for good; it is reaped as soon as
+    /// in-flight responses finish and the outbox drains.
+    fn condemn_read(&mut self, token: u64, conn: &Arc<Conn>) {
+        conn.mark_read_shut();
+        if conn.is_reapable() {
+            self.teardown(token);
+            return;
+        }
+        let writable = conn.has_backlog();
+        self.want(
+            token,
+            if writable {
+                Interest::WRITABLE
+            } else {
+                Interest::NONE
+            },
+            false,
+        );
+    }
+
+    // -- interest + teardown ------------------------------------------------
+
+    /// Sets a connection's interest; `add` merges with the current set
+    /// instead of replacing it.
+    fn want(&mut self, token: u64, interest: Interest, add: bool) {
+        let Some(state) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let next = if add {
+            state.interest.union(interest)
+        } else {
+            interest
+        };
+        if next == state.interest {
+            return;
+        }
+        if self.poller.modify(state.conn.fd(), token, next).is_ok() {
+            state.interest = next;
+        }
+    }
+
+    fn teardown(&mut self, token: u64) {
+        if let Some(state) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(state.conn.fd());
+            state.conn.close();
+            self.inner.conn_count.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    // -- shutdown + drain ---------------------------------------------------
+
+    fn drained(&self) -> bool {
+        self.drain_deadline.is_some()
+    }
+
+    fn poll_shutdown(&mut self) {
+        if self.inner.shutdown.load(Ordering::SeqCst) && !self.shutdown_seen {
+            self.shutdown_seen = true;
+            if let Some(listener) = self.listener.take() {
+                let _ = self.poller.deregister(listener.as_raw_fd());
+                // Dropping the listener closes it: new connects are
+                // refused from this point on.
+            }
+            // Park every read; queued requests still get answered and
+            // flushed.
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for token in tokens {
+                let Some(state) = self.conns.get(&token) else {
+                    continue;
+                };
+                let conn = Arc::clone(&state.conn);
+                self.condemn_read(token, &conn);
+            }
+        }
+        if self.inner.drained.load(Ordering::SeqCst) && self.drain_deadline.is_none() {
+            self.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+            // Workers are gone: anything without backlogged bytes is
+            // finished now.
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for token in tokens {
+                if self
+                    .conns
+                    .get(&token)
+                    .is_some_and(|state| !state.conn.has_backlog())
+                {
+                    self.teardown(token);
+                }
+            }
+        }
+    }
+
+    fn finished(&mut self) -> bool {
+        let Some(deadline) = self.drain_deadline else {
+            return false;
+        };
+        if self.conns.is_empty() {
+            return true;
+        }
+        Instant::now() >= deadline
+    }
+}
+
+/// Best-effort rejection of a not-yet-admitted connection: one
+/// `Overloaded` frame, then close. The stream is still in blocking
+/// mode; a short write timeout keeps a pathological client from
+/// stalling the reactor.
+fn reject(mut stream: TcpStream, message: String) {
+    obs::counter("serve.responses.error", 1);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = wire::write_response(
+        &mut stream,
+        &Response::Error {
+            id: 0,
+            trace_id: 0,
+            code: ErrorCode::Overloaded,
+            message,
+        },
+    );
+}

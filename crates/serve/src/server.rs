@@ -1,19 +1,29 @@
-//! The threaded, micro-batching TCP inference server.
+//! The readiness-driven, micro-batching TCP inference server.
 //!
 //! ## Architecture
 //!
 //! ```text
-//!  accept thread ──▶ one reader thread per connection
-//!                         │  decode frame, answer pings inline
-//!                         ▼
-//!                 bounded request queue (Mutex<VecDeque> + Condvar)
-//!                         │  full → immediate Overloaded rejection
-//!                         ▼
-//!            N batch workers: pop ≤ max_batch requests per wakeup,
-//!            drop deadline-expired ones with DeadlineExceeded, run
-//!            Classifier::predict_batch on the rest, write responses
-//!            back through each connection's shared write half
+//!  reactor threads (epoll/poll readiness loop, one Poller each)
+//!    reactor 0 also owns the listener + tiered admission control
+//!        │  nonblocking reads → FrameDecoder reassembly
+//!        │  pings answered inline; predicts enqueued
+//!        ▼
+//!  bounded request queue (Mutex<VecDeque> + Condvar)
+//!        │  full → immediate Overloaded rejection
+//!        ▼
+//!  N batch workers: pop ≤ max_batch requests per wakeup, drop
+//!  deadline-expired ones with DeadlineExceeded, run
+//!  Classifier::predict_batch on the rest, write responses inline on
+//!  each connection (nonblocking); bytes the kernel refuses go to the
+//!  connection's outbox and its reactor flushes them on EPOLLOUT
 //! ```
+//!
+//! A connection costs one epoll registration plus its reassembly
+//! buffer — no thread — so the server holds tens of thousands of
+//! concurrent connections (bounded by [`ServeConfig::max_conns`]),
+//! where the previous thread-per-connection reader design stalled at a
+//! few hundred. See DESIGN.md §13 for the reactor architecture, the
+//! four admission-control tiers, and the drain protocol.
 //!
 //! Batching is opportunistic: a worker takes whatever has accumulated in
 //! the queue (up to [`ServeConfig::max_batch`]) in one lock acquisition,
@@ -24,17 +34,20 @@
 //!
 //! Responses are **bit-identical** to direct single-threaded
 //! [`Classifier::predict`] calls on the same model, regardless of worker
-//! count, batch size, or request interleaving: the classifier trait
-//! guarantees `predict_batch` equals a serial `predict` map, and the
-//! server never reorders a request's features or mutates the model
-//! (`tests/serve_differential.rs` pins this across the wire).
+//! count, reactor count, batch size, or request interleaving: the
+//! classifier trait guarantees `predict_batch` equals a serial `predict`
+//! map, and the server never reorders a request's features or mutates
+//! the model (`tests/serve_differential.rs` pins this across the wire).
 //!
 //! ## Shutdown
 //!
-//! [`ServerHandle::shutdown`] (or a [`Request::Shutdown`] frame) stops
-//! the accept loop, half-closes every connection's read side so readers
-//! drain out, lets workers finish everything already queued, and then
-//! joins all threads ([`ServerHandle::join`]).
+//! [`ServerHandle::shutdown`] (or a [`Request::Shutdown`] frame) sets
+//! the shutdown flag and wakes every reactor and worker — purely
+//! event-driven, so it works on any bind address (`0.0.0.0` included).
+//! Reactors close the listener and park all reads; workers drain the
+//! queue and exit; [`ServerHandle::join`] then flags the drain and the
+//! reactors flush remaining outboxes (bounded by a grace period) and
+//! exit.
 //!
 //! ## Tracing and telemetry
 //!
@@ -47,23 +60,26 @@
 //! request, keyed by that id, exportable as Chrome trace-event JSON.
 //! Model-quality drift signals ride the same switch: a top1−top2 score
 //! margin histogram (`serve/margin`, micro-units), per-class prediction
-//! counters (`serve.predicted.<class>`), and the score-LUT fallback
+//! counters (`serve.predicted.<class>`), and the kernel fallback
 //! counters ticked inside the model's score path. All of it is
 //! observation only — the batched predict path and its bit-identity
 //! contract are untouched.
 
 use std::collections::VecDeque;
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use netpoll::Poller;
 use obs::trace::{self, Phase};
 
+use crate::conn::Conn;
 use crate::model::SharedClassifier;
-use crate::wire::{self, ErrorCode, Request, Response, WireError};
+use crate::reactor::{Reactor, ReactorQueue};
+use crate::wire::{ErrorCode, Response};
 
 /// Tuning knobs of a server instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +98,14 @@ pub struct ServeConfig {
     /// request that waits longer is dropped with
     /// [`ErrorCode::DeadlineExceeded`] without running inference.
     pub timeout: Duration,
+    /// Reactor (I/O event loop) thread count. One reactor drives
+    /// thousands of connections; more split the descriptor set
+    /// round-robin.
+    pub reactors: usize,
+    /// Most connections held open at once; the accept path answers the
+    /// excess with one [`ErrorCode::Overloaded`] frame and closes
+    /// (admission tier 1).
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,13 +115,15 @@ impl Default for ServeConfig {
             max_batch: 16,
             queue_cap: 1024,
             timeout: Duration::from_secs(1),
+            reactors: 1,
+            max_conns: 8192,
         }
     }
 }
 
 impl ServeConfig {
     /// The default configuration (1 worker, batches of ≤ 16, queue of
-    /// 1024, 1 s deadline).
+    /// 1024, 1 s deadline, 1 reactor, 8192 connections).
     pub fn new() -> Self {
         Self::default()
     }
@@ -126,6 +152,18 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the reactor thread count (clamped up to 1).
+    pub fn with_reactors(mut self, reactors: usize) -> Self {
+        self.reactors = reactors.max(1);
+        self
+    }
+
+    /// Sets the connection cap (clamped up to 1).
+    pub fn with_max_conns(mut self, max_conns: usize) -> Self {
+        self.max_conns = max_conns.max(1);
+        self
+    }
+
     /// The worker count a server will actually spawn.
     fn effective_workers(&self) -> usize {
         if self.workers == 0 {
@@ -138,30 +176,8 @@ impl ServeConfig {
     }
 }
 
-/// The write half of one client connection, shared between its reader
-/// thread and every batch worker.
-struct ConnWriter {
-    stream: Mutex<TcpStream>,
-}
-
-impl ConnWriter {
-    /// Writes one response frame; transport errors are swallowed (a
-    /// vanished client is not the server's problem).
-    fn send(&self, response: &Response) {
-        if let Ok(mut stream) = self.stream.lock() {
-            let _ = wire::write_response(&mut *stream, response);
-        }
-    }
-
-    fn shutdown_read(&self) {
-        if let Ok(stream) = self.stream.lock() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-    }
-}
-
 /// One queued predict request.
-struct Pending {
+pub(crate) struct Pending {
     id: u64,
     /// Client-supplied trace id (`0` = untraced): echoed in the response
     /// and stamped on every trace event this request emits.
@@ -171,7 +187,7 @@ struct Pending {
     /// Trace-clock timestamp of the enqueue (`0` when tracing is off);
     /// the begin edge of the `queue_wait` span.
     enqueued_ns: u64,
-    conn: Arc<ConnWriter>,
+    conn: Arc<Conn>,
 }
 
 impl Pending {
@@ -183,35 +199,47 @@ impl Pending {
             trace::emit_at(name, self.trace_id, Phase::End, end_ns);
         }
     }
+
+    /// Sends the one response every queued request is owed, retiring
+    /// its in-flight slot on the connection.
+    fn respond(&self, response: &Response) {
+        self.conn.send(response);
+        self.conn.finish_request();
+    }
 }
 
-/// State shared by the accept loop, readers, and workers.
-struct Inner {
-    model: SharedClassifier,
-    config: ServeConfig,
-    local_addr: SocketAddr,
-    queue: Mutex<VecDeque<Pending>>,
-    work_ready: Condvar,
-    shutdown: AtomicBool,
-    conns: Mutex<Vec<Arc<ConnWriter>>>,
-    readers: Mutex<Vec<JoinHandle<()>>>,
+/// State shared by the reactors and workers.
+pub(crate) struct Inner {
+    pub(crate) model: SharedClassifier,
+    pub(crate) config: ServeConfig,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) queue: Mutex<VecDeque<Pending>>,
+    pub(crate) work_ready: Condvar,
+    pub(crate) shutdown: AtomicBool,
+    /// Set by [`ServerHandle::join`] once the workers have exited: the
+    /// reactors flush what remains and stop.
+    pub(crate) drained: AtomicBool,
+    /// Live connections across all reactors (admission tier 1).
+    pub(crate) conn_count: AtomicUsize,
+    /// Monotonic connection-token source (tokens never recycle, so a
+    /// stale command can never act on the wrong connection).
+    pub(crate) next_token: AtomicU64,
+    /// Every reactor's command queue + waker, for shutdown broadcast.
+    pub(crate) reactor_queues: Vec<Arc<ReactorQueue>>,
 }
 
 impl Inner {
-    /// Idempotent shutdown trigger: stops the accept loop, half-closes
-    /// every connection's read side, and wakes all workers so they can
-    /// drain the queue and exit.
-    fn trigger_shutdown(&self) {
+    /// Idempotent, event-driven shutdown trigger: sets the flag and
+    /// wakes every reactor (they close the listener and park reads) and
+    /// every worker (they drain the queue and exit). No self-connect —
+    /// this works on any bind address, `0.0.0.0` included.
+    pub(crate) fn trigger_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop (it re-checks the flag per connection).
-        let _ = TcpStream::connect(self.local_addr);
-        let conns = self.conns.lock().expect("conns lock poisoned");
-        for conn in conns.iter() {
-            conn.shutdown_read();
+        for queue in &self.reactor_queues {
+            queue.wake();
         }
-        drop(conns);
         self.work_ready.notify_all();
     }
 
@@ -219,7 +247,7 @@ impl Inner {
     /// backpressure/shutdown rejection. The shutdown check happens under
     /// the queue lock so no request can slip in after the workers'
     /// drain-and-exit decision.
-    fn enqueue(&self, conn: &Arc<ConnWriter>, id: u64, trace_id: u64, features: Vec<f64>) {
+    pub(crate) fn enqueue(&self, conn: &Arc<Conn>, id: u64, trace_id: u64, features: Vec<f64>) {
         let depth = {
             let mut queue = self.queue.lock().expect("queue lock poisoned");
             if self.shutdown.load(Ordering::SeqCst) {
@@ -245,6 +273,7 @@ impl Inner {
                 });
                 return;
             }
+            conn.begin_request();
             queue.push_back(Pending {
                 id,
                 trace_id,
@@ -273,7 +302,7 @@ impl Inner {
 /// call [`ServerHandle::shutdown`] and [`ServerHandle::join`].
 pub struct ServerHandle {
     inner: Arc<Inner>,
-    accept: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -298,19 +327,21 @@ impl ServerHandle {
 
     /// Blocks until the server has shut down (via [`ServerHandle::shutdown`]
     /// or a remote shutdown frame) and every thread has exited: the
-    /// accept loop first, then all connection readers, then the batch
-    /// workers after they drain the queue.
+    /// workers first (they drain the queue), then the reactors (they
+    /// flush every connection's remaining response bytes, bounded by a
+    /// grace period, and close).
     pub fn join(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        // The accept loop has exited, so no new readers can appear.
-        let readers = std::mem::take(&mut *self.inner.readers.lock().expect("readers lock"));
-        for reader in readers {
-            let _ = reader.join();
-        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // The workers have answered everything that will ever be
+        // answered; tell the reactors to flush and exit.
+        self.inner.drained.store(true, Ordering::SeqCst);
+        for queue in &self.inner.reactor_queues {
+            queue.wake();
+        }
+        for reactor in self.reactors.drain(..) {
+            let _ = reactor.join();
         }
     }
 }
@@ -321,8 +352,8 @@ impl ServerHandle {
 ///
 /// # Errors
 ///
-/// Returns the bind error; everything after the bind is reported
-/// per-connection over the wire.
+/// Returns bind and event-loop setup errors; everything after startup
+/// is reported per-connection over the wire.
 pub fn start<A: ToSocketAddrs>(
     addr: A,
     model: SharedClassifier,
@@ -335,6 +366,16 @@ pub fn start<A: ToSocketAddrs>(
     if let Some(name) = model.kernel_name() {
         obs::counter(&format!("kernel.active.{name}"), 1);
     }
+
+    let n_reactors = config.reactors.max(1);
+    let mut pollers = Vec::with_capacity(n_reactors);
+    let mut queues = Vec::with_capacity(n_reactors);
+    for _ in 0..n_reactors {
+        let poller = Poller::new()?;
+        queues.push(Arc::new(ReactorQueue::new(poller.waker())));
+        pollers.push(poller);
+    }
+
     let inner = Arc::new(Inner {
         model,
         config,
@@ -342,8 +383,10 @@ pub fn start<A: ToSocketAddrs>(
         queue: Mutex::new(VecDeque::new()),
         work_ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
-        conns: Mutex::new(Vec::new()),
-        readers: Mutex::new(Vec::new()),
+        drained: AtomicBool::new(false),
+        conn_count: AtomicUsize::new(0),
+        next_token: AtomicU64::new(0),
+        reactor_queues: queues.clone(),
     });
 
     let workers = (0..config.effective_workers())
@@ -353,138 +396,27 @@ pub fn start<A: ToSocketAddrs>(
         })
         .collect();
 
-    let accept = {
-        let inner = Arc::clone(&inner);
-        std::thread::spawn(move || accept_loop(&listener, &inner))
-    };
+    let mut listener = Some(listener);
+    let reactors = pollers
+        .into_iter()
+        .enumerate()
+        .map(|(i, poller)| {
+            let reactor = Reactor::new(
+                Arc::clone(&inner),
+                poller,
+                Arc::clone(&queues[i]),
+                listener.take(), // reactor 0 owns the listener
+                queues.clone(),
+            );
+            std::thread::spawn(move || reactor.run())
+        })
+        .collect();
 
     Ok(ServerHandle {
         inner,
-        accept: Some(accept),
+        reactors,
         workers,
     })
-}
-
-fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
-    for stream in listener.incoming() {
-        if inner.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        // Responses are small frames written one at a time; without
-        // nodelay, Nagle holds each behind the previous frame's ACK.
-        let _ = stream.set_nodelay(true);
-        obs::counter("serve.connections", 1);
-        let conn = match stream.try_clone() {
-            Ok(write_half) => Arc::new(ConnWriter {
-                stream: Mutex::new(write_half),
-            }),
-            Err(_) => continue,
-        };
-        inner
-            .conns
-            .lock()
-            .expect("conns lock poisoned")
-            .push(Arc::clone(&conn));
-        let reader = {
-            let inner = Arc::clone(inner);
-            std::thread::spawn(move || {
-                reader_loop(&inner, stream, &conn);
-                // Forget the write half so a long-lived server does not
-                // accumulate dead connections.
-                let mut conns = inner.conns.lock().expect("conns lock poisoned");
-                conns.retain(|c| !Arc::ptr_eq(c, &conn));
-            })
-        };
-        inner
-            .readers
-            .lock()
-            .expect("readers lock poisoned")
-            .push(reader);
-    }
-}
-
-/// Reads frames off one connection until EOF, transport error, or an
-/// unrecoverable framing error.
-///
-/// Framing and decoding are separate steps so the `serve/decode` span
-/// measures parsing work only, never the idle socket wait for the next
-/// frame. The error classification is unchanged from the fused
-/// [`wire::read_request`] path: transport errors and frame-alignment
-/// damage (over-cap length prefix, mid-frame EOF, or a body shorter than
-/// its own fields) drop the connection; any other malformed body keeps
-/// it.
-fn reader_loop(inner: &Arc<Inner>, mut stream: TcpStream, conn: &Arc<ConnWriter>) {
-    loop {
-        let body = match wire::read_frame(&mut stream) {
-            Ok(body) => body,
-            Err(WireError::Io(_)) => break,
-            Err(e) => {
-                // read_frame only fails with Io, TooLarge, or Truncated;
-                // the latter two mean the stream is no longer
-                // frame-aligned.
-                obs::counter("serve.bad_frames", 1);
-                conn.send(&Response::Error {
-                    id: 0,
-                    trace_id: 0,
-                    code: ErrorCode::BadRequest,
-                    message: e.to_string(),
-                });
-                break;
-            }
-        };
-        let decode_begin_ns = if obs::enabled() { trace::now_ns() } else { 0 };
-        match wire::decode_request(&body) {
-            Err(e @ (WireError::TooLarge { .. } | WireError::Truncated { .. })) => {
-                // A lying in-body count (the frame held fewer bytes than
-                // its fields claim): treated as alignment damage, answer
-                // and drop the connection.
-                obs::counter("serve.bad_frames", 1);
-                conn.send(&Response::Error {
-                    id: 0,
-                    trace_id: 0,
-                    code: ErrorCode::BadRequest,
-                    message: e.to_string(),
-                });
-                break;
-            }
-            Err(e) => {
-                // The frame arrived intact but its body was malformed;
-                // framing is still aligned, so keep the connection.
-                obs::counter("serve.bad_frames", 1);
-                conn.send(&Response::Error {
-                    id: 0,
-                    trace_id: 0,
-                    code: ErrorCode::BadRequest,
-                    message: e.to_string(),
-                });
-            }
-            Ok(Request::Ping { id }) => conn.send(&Response::Pong { id }),
-            Ok(Request::Shutdown { id }) => {
-                conn.send(&Response::Pong { id });
-                inner.trigger_shutdown();
-                break;
-            }
-            Ok(Request::Predict {
-                id,
-                trace_id,
-                features,
-            }) => {
-                if obs::enabled() {
-                    let decode_end_ns = trace::now_ns();
-                    obs::record(
-                        "serve/decode",
-                        Duration::from_nanos(decode_end_ns.saturating_sub(decode_begin_ns)),
-                    );
-                    if trace_id != 0 && trace::enabled() {
-                        trace::emit_at("decode", trace_id, Phase::Begin, decode_begin_ns);
-                        trace::emit_at("decode", trace_id, Phase::End, decode_end_ns);
-                    }
-                }
-                inner.enqueue(conn, id, trace_id, features);
-            }
-        }
-    }
 }
 
 /// Pops batches off the queue until shutdown *and* the queue is drained.
@@ -524,7 +456,7 @@ fn process_batch(inner: &Arc<Inner>, batch: Vec<Pending>) {
         if now.duration_since(pending.enqueued) > inner.config.timeout {
             obs::counter("serve.deadline_misses", 1);
             obs::counter("serve.responses.error", 1);
-            pending.conn.send(&Response::Error {
+            pending.respond(&Response::Error {
                 id: pending.id,
                 trace_id: pending.trace_id,
                 code: ErrorCode::DeadlineExceeded,
@@ -584,7 +516,7 @@ fn process_batch(inner: &Arc<Inner>, batch: Vec<Pending>) {
                     Ok(class) => respond_ok(pending, class),
                     Err(e) => {
                         obs::counter("serve.responses.error", 1);
-                        pending.conn.send(&Response::Error {
+                        pending.respond(&Response::Error {
                             id: pending.id,
                             trace_id: pending.trace_id,
                             code: ErrorCode::BadRequest,
@@ -640,6 +572,20 @@ fn record_quality_signals(inner: &Arc<Inner>, features: &[Vec<f64>], predictions
 }
 
 fn respond_ok(pending: &Pending, class: usize) {
+    // A class label the wire cannot carry is a server-side fault, not a
+    // plausible-looking answer: report it as Internal instead of
+    // clamping to u32::MAX.
+    let Ok(class) = u32::try_from(class) else {
+        obs::counter("serve.class_overflows", 1);
+        obs::counter("serve.responses.error", 1);
+        pending.respond(&Response::Error {
+            id: pending.id,
+            trace_id: pending.trace_id,
+            code: ErrorCode::Internal,
+            message: format!("predicted class {class} exceeds the wire's u32 range"),
+        });
+        return;
+    };
     obs::counter("serve.responses.ok", 1);
     if obs::enabled() {
         obs::record("serve/request", pending.enqueued.elapsed());
@@ -647,16 +593,16 @@ fn respond_ok(pending: &Pending, class: usize) {
     let response = Response::Predict {
         id: pending.id,
         trace_id: pending.trace_id,
-        class: u32::try_from(class).unwrap_or(u32::MAX),
+        class,
     };
     if obs::enabled() {
         let encode_begin_ns = trace::now_ns();
         let started = Instant::now();
-        pending.conn.send(&response);
+        pending.respond(&response);
         obs::record("serve/encode", started.elapsed());
         pending.trace_pair("encode", encode_begin_ns, trace::now_ns());
     } else {
-        pending.conn.send(&response);
+        pending.respond(&response);
     }
 }
 
@@ -664,6 +610,7 @@ fn respond_ok(pending: &Pending, class: usize) {
 mod tests {
     use super::*;
     use crate::client::Client;
+    use crate::wire::Request;
     use hdc::{HdcError, Result};
 
     /// Classifies by sign of the first feature; errors on empty input.
@@ -679,6 +626,19 @@ mod tests {
                 Some(&v) => Ok(usize::from(v >= 0.0)),
                 None => Err(HdcError::invalid_dataset("empty feature vector")),
             }
+        }
+    }
+
+    /// Always predicts a class that cannot fit in the wire's u32 field.
+    struct OverflowStub;
+
+    impl hdc::Classifier for OverflowStub {
+        fn num_classes(&self) -> usize {
+            usize::MAX
+        }
+
+        fn predict(&self, _features: &[f64]) -> Result<usize> {
+            Ok(u32::MAX as usize + 1)
         }
     }
 
@@ -707,6 +667,28 @@ mod tests {
             }
         );
         assert_eq!(client.ping(3).unwrap(), Response::Pong { id: 3 });
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn serves_across_multiple_reactors() {
+        let handle = start_stub(ServeConfig::new().with_reactors(3).with_workers(2));
+        let mut clients: Vec<Client> = (0..8)
+            .map(|_| Client::connect(handle.addr()).unwrap())
+            .collect();
+        for (i, client) in clients.iter_mut().enumerate() {
+            let id = i as u64 + 1;
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            assert_eq!(
+                client.predict(id, &[sign]).unwrap(),
+                Response::Predict {
+                    id,
+                    trace_id: 0,
+                    class: u32::from(i % 2 == 0),
+                }
+            );
+        }
         handle.shutdown();
         handle.join();
     }
@@ -787,6 +769,24 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_classes_are_internal_errors_not_clamped() {
+        let handle =
+            start("127.0.0.1:0", Arc::new(OverflowStub), ServeConfig::new()).expect("bind failed");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        match client.predict(1, &[1.0]).unwrap() {
+            Response::Error {
+                id, code, message, ..
+            } => {
+                assert_eq!((id, code), (1, ErrorCode::Internal));
+                assert!(message.contains("u32"), "unexpected message {message:?}");
+            }
+            other => panic!("expected an Internal error, got {other:?}"),
+        }
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
     fn remote_shutdown_frame_stops_the_server() {
         let handle = start_stub(ServeConfig::new());
         let addr = handle.addr();
@@ -805,11 +805,15 @@ mod tests {
             .with_workers(4)
             .with_max_batch(0)
             .with_queue_cap(0)
-            .with_timeout(Duration::from_millis(5));
+            .with_timeout(Duration::from_millis(5))
+            .with_reactors(0)
+            .with_max_conns(0);
         assert_eq!(c.workers, 4);
         assert_eq!(c.max_batch, 1);
         assert_eq!(c.queue_cap, 1);
         assert_eq!(c.timeout, Duration::from_millis(5));
+        assert_eq!(c.reactors, 1);
+        assert_eq!(c.max_conns, 1);
         assert!(ServeConfig::new().with_workers(0).effective_workers() >= 1);
     }
 }

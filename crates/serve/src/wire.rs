@@ -699,6 +699,148 @@ pub fn read_response<R: Read>(r: &mut R) -> WireResult<Response> {
     decode_response(&read_frame(r)?)
 }
 
+// ---------------------------------------------------------------------------
+// Incremental framing (nonblocking readers)
+// ---------------------------------------------------------------------------
+
+/// Internal reassembly state: either collecting the 4-byte length prefix
+/// or filling a cap-checked body buffer.
+enum DecodeState {
+    Prefix { buf: [u8; 4], have: usize },
+    Body { body: Vec<u8>, want: usize },
+}
+
+/// Incremental frame reassembler for nonblocking sockets.
+///
+/// [`read_frame`] blocks until a whole frame arrives, which a readiness
+/// loop cannot do: each `read(2)` returns whatever bytes the kernel has,
+/// possibly a fraction of a frame or several pipelined frames at once.
+/// `FrameDecoder` accepts arbitrary byte chunks via [`feed`] and emits
+/// complete frame bodies as they materialise.
+///
+/// The hardening contract matches [`read_frame`]: the length prefix is
+/// validated against [`MAX_FRAME_LEN`] the moment its fourth byte
+/// arrives — **before** the body buffer is allocated — so a lying header
+/// can never demand a multi-GB allocation. At most one frame body is
+/// buffered inside the decoder at a time; completed frames are handed
+/// to the caller.
+///
+/// After an error the decoder is poisoned and every later [`feed`]
+/// fails; the connection should be torn down (which is what the serve
+/// reactor does).
+///
+/// [`feed`]: FrameDecoder::feed
+pub struct FrameDecoder {
+    state: DecodeState,
+    poisoned: Option<usize>,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder positioned at a frame boundary.
+    pub fn new() -> Self {
+        Self {
+            state: DecodeState::Prefix {
+                buf: [0; 4],
+                have: 0,
+            },
+            poisoned: None,
+        }
+    }
+
+    /// Consumes `chunk` (all of it), appending every frame body it
+    /// completes to `frames` in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TooLarge`] when a length prefix exceeds
+    /// [`MAX_FRAME_LEN`]; the decoder is then poisoned and every later
+    /// call fails the same way. Bytes already appended to `frames` by
+    /// the failing call are still valid complete frames.
+    pub fn feed(&mut self, mut chunk: &[u8], frames: &mut Vec<Vec<u8>>) -> WireResult<()> {
+        if let Some(value) = self.poisoned {
+            return Err(WireError::TooLarge {
+                field: "frame length",
+                value,
+                cap: MAX_FRAME_LEN,
+            });
+        }
+        loop {
+            match &mut self.state {
+                DecodeState::Prefix { buf, have } => {
+                    let n = (4 - *have).min(chunk.len());
+                    buf[*have..*have + n].copy_from_slice(&chunk[..n]);
+                    *have += n;
+                    chunk = &chunk[n..];
+                    if *have < 4 {
+                        return Ok(());
+                    }
+                    let len = u32::from_le_bytes(*buf) as usize;
+                    if len > MAX_FRAME_LEN {
+                        self.poisoned = Some(len);
+                        return Err(WireError::TooLarge {
+                            field: "frame length",
+                            value: len,
+                            cap: MAX_FRAME_LEN,
+                        });
+                    }
+                    if len == 0 {
+                        // Zero-length frames complete without a body phase
+                        // (decode_* will reject them as truncated, but the
+                        // framing layer stays consistent).
+                        frames.push(Vec::new());
+                        self.state = DecodeState::Prefix {
+                            buf: [0; 4],
+                            have: 0,
+                        };
+                    } else {
+                        self.state = DecodeState::Body {
+                            body: Vec::with_capacity(len),
+                            want: len,
+                        };
+                    }
+                }
+                DecodeState::Body { body, want } => {
+                    let n = (*want - body.len()).min(chunk.len());
+                    body.extend_from_slice(&chunk[..n]);
+                    chunk = &chunk[n..];
+                    if body.len() < *want {
+                        return Ok(());
+                    }
+                    frames.push(std::mem::take(body));
+                    self.state = DecodeState::Prefix {
+                        buf: [0; 4],
+                        have: 0,
+                    };
+                }
+            }
+        }
+    }
+
+    /// True when bytes of an unfinished frame are buffered, i.e. EOF at
+    /// this point means the peer hung up mid-frame.
+    pub fn mid_frame(&self) -> bool {
+        match &self.state {
+            DecodeState::Prefix { have, .. } => *have != 0,
+            DecodeState::Body { .. } => true,
+        }
+    }
+
+    /// How many bytes of the current partial frame are buffered
+    /// (prefix bytes included). Used for read-buffer accounting.
+    pub fn buffered(&self) -> usize {
+        match &self.state {
+            DecodeState::Prefix { have, .. } => *have,
+            DecodeState::Body { body, .. } => 4 + body.len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -947,6 +1089,89 @@ mod tests {
             Response::Error { message, .. } => assert_eq!(message.len(), MAX_ERROR_MESSAGE),
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn frame_decoder_matches_read_frame_at_every_split() {
+        // Three pipelined frames, including an empty-features predict.
+        let bodies = [
+            encode_request(&Request::Predict {
+                id: 1,
+                trace_id: 9,
+                features: vec![1.0, -2.5, 3e7],
+            }),
+            encode_request(&Request::Ping { id: 2 }),
+            encode_request(&Request::Predict {
+                id: 3,
+                trace_id: 0,
+                features: Vec::new(),
+            }),
+        ];
+        let mut stream = Vec::new();
+        for body in &bodies {
+            write_frame(&mut stream, body).unwrap();
+        }
+        // Blocking reference decode.
+        let mut r = io::Cursor::new(&stream);
+        let reference: Vec<Vec<u8>> = (0..bodies.len())
+            .map(|_| read_frame(&mut r).unwrap())
+            .collect();
+        assert_eq!(reference.as_slice(), bodies.as_slice());
+        // Incremental decode, split at every byte boundary.
+        for split in 0..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            let mut frames = Vec::new();
+            dec.feed(&stream[..split], &mut frames).unwrap();
+            dec.feed(&stream[split..], &mut frames).unwrap();
+            assert_eq!(frames, bodies, "split at {split}");
+            assert!(!dec.mid_frame());
+            assert_eq!(dec.buffered(), 0);
+        }
+        // And one byte at a time.
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for b in &stream {
+            dec.feed(std::slice::from_ref(b), &mut frames).unwrap();
+        }
+        assert_eq!(frames, bodies);
+    }
+
+    #[test]
+    fn frame_decoder_rejects_oversized_prefix_before_buffering() {
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        // Feed exactly the 4-byte lying prefix: rejected immediately,
+        // before a body allocation.
+        let err = dec.feed(&u32::MAX.to_le_bytes(), &mut frames).unwrap_err();
+        assert!(matches!(err, WireError::TooLarge { .. }));
+        assert!(err.to_string().contains("limit"));
+        // Poisoned: later feeds keep failing.
+        assert!(dec.feed(&[0u8; 8], &mut frames).is_err());
+        assert!(frames.is_empty());
+    }
+
+    #[test]
+    fn frame_decoder_tracks_partial_frames() {
+        let body = encode_request(&Request::Ping { id: 7 });
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &body).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        assert!(!dec.mid_frame());
+        dec.feed(&framed[..2], &mut frames).unwrap();
+        assert!(dec.mid_frame());
+        assert_eq!(dec.buffered(), 2);
+        dec.feed(&framed[2..6], &mut frames).unwrap();
+        assert!(dec.mid_frame());
+        assert_eq!(dec.buffered(), 6);
+        dec.feed(&framed[6..], &mut frames).unwrap();
+        assert!(!dec.mid_frame());
+        assert_eq!(frames, vec![body]);
+        // A zero-length frame completes at the prefix boundary.
+        let mut frames = Vec::new();
+        dec.feed(&0u32.to_le_bytes(), &mut frames).unwrap();
+        assert_eq!(frames, vec![Vec::<u8>::new()]);
+        assert!(!dec.mid_frame());
     }
 
     #[test]

@@ -56,7 +56,7 @@ open(sys.argv[2], "w").write("\n".join(queries) + "\n")
 EOF
 cargo run --release -q -p lookhd-cli -- train \
     --data "$smoke_dir/train.csv" --out "$smoke_dir/model.lks" \
-    --dim 512 --epochs 2 --score-lut --metrics "$smoke_dir/metrics.json"
+    --dim 512 --epochs 2 --kernel auto --metrics "$smoke_dir/metrics.json"
 python3 - "$smoke_dir/metrics.json" << 'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
@@ -67,10 +67,10 @@ for stage in ("encode", "counter_train", "compress", "predict", "score_lut"):
 assert any(s["total_ns"] > 0 for s in doc["spans"]), "all durations zero"
 counters = {c["name"] for c in doc["counters"]}
 assert "counter_train.samples" in counters, counters
-# The LUT kernel's generalized counter scheme (and its one-release
-# compatibility aliases) must both be live.
+# The LUT kernel's generalized counter scheme must be live (the old
+# score_lut.* aliases are gone after their one-release window).
 assert "kernel.lut.queries" in counters, counters
-assert "score_lut.queries" in counters, counters
+assert "score_lut.queries" not in counters, counters
 print(f"metrics OK: {len(paths)} spans, {len(counters)} counters")
 EOF
 
@@ -96,7 +96,8 @@ cargo build --release -q -p lookhd-cli
 cargo build --release -q -p lookhd-bench --bin loadgen
 cargo run --release -q -p lookhd-cli -- serve \
     --model "$smoke_dir/model.lks" --addr 127.0.0.1:0 --threads 2 \
-    --max-batch 8 --queue-cap 256 --timeout-ms 5000 \
+    --reactors 2 --max-batch 64 --queue-cap 8192 --max-conns 4096 \
+    --timeout-ms 30000 \
     --metrics "$smoke_dir/serve_metrics.json" --metrics-interval 200 \
     --admin-addr 127.0.0.1:0 \
     > "$smoke_dir/serve.log" 2>&1 &
@@ -116,11 +117,11 @@ if [ -z "$serve_addr" ] || [ -z "$admin_addr" ]; then
     exit 1
 fi
 # Traced load with no --shutdown: the admin endpoint must stay up for
-# the scrapes below. The run also records the serve perf trajectory.
+# the scrapes below (the trace checks assume exactly ids 1..=200).
 cargo run --release -q -p lookhd-bench --bin loadgen -- \
     --addr "$serve_addr" --data "$smoke_dir/queries.csv" \
     --connections 4 --requests 50 --trace --admin "$admin_addr" \
-    --bench-out BENCH_serve.json --out results/serve_loadgen.txt
+    --out results/serve_loadgen.txt
 grep -q "latency ms:" results/serve_loadgen.txt
 grep -q "trace ids: propagated" results/serve_loadgen.txt
 # Live scrapes: snapshot JSON, Prometheus text, and the Chrome
@@ -148,7 +149,7 @@ assert counters.get("serve.responses.ok") == 200, counters
 predicted = sum(v for n, v in counters.items() if n.startswith("serve.predicted."))
 assert predicted == 200, f"per-class prediction counters sum to {predicted}"
 # The server announces the artifact's active scoring kernel at startup
-# (the smoke model was trained with --score-lut, so the LUT is active).
+# (the smoke model was trained with --kernel auto, so the LUT is active).
 assert counters.get("kernel.active.lut") == 1, counters
 
 prom = get(addr, "/metrics")
@@ -174,6 +175,14 @@ print(f"admin telemetry OK: {len(paths)} spans, {len(events)} trace events")
 EOF
 # The periodic flusher must have produced a parseable snapshot by now.
 python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$smoke_dir/serve_metrics.json"
+# High-concurrency smoke: a multiplexed connections sweep up to 1024
+# concurrent pipelined connections. Any in-deadline drop or id mismatch
+# fails the run; this also regenerates the BENCH_serve.json curve.
+cargo run --release -q -p lookhd-bench --bin loadgen -- \
+    --addr "$serve_addr" --data "$smoke_dir/queries.csv" \
+    --curve 64,512,1024 --requests 10 --pipeline 4 \
+    --bench-out BENCH_serve.json --out results/serve_curve.txt
+grep -q "connections 1024:" results/serve_curve.txt
 # Graceful shutdown via a second (untraced) loadgen connection.
 cargo run --release -q -p lookhd-bench --bin loadgen -- \
     --addr "$serve_addr" --data "$smoke_dir/queries.csv" \
@@ -187,24 +196,38 @@ assert doc["version"] == 2, doc
 paths = [s["path"] for s in doc["spans"]]
 for path in ("serve/request", "serve/batch_size", "serve/queue_depth"):
     assert path in paths, f"missing span {path}: {paths}"
+# 200 traced + 16000 from the connections curve + 1 shutdown probe.
 counters = {c["name"]: c["value"] for c in doc["counters"]}
-assert counters.get("serve.responses.ok") == 201, counters
-assert counters.get("serve.requests") == 201, counters
+assert counters.get("serve.responses.ok") == 16201, counters
+assert counters.get("serve.requests") == 16201, counters
 assert counters.get("serve.batches", 0) >= 1, counters
-assert counters.get("serve.connections", 0) >= 5, counters
+assert counters.get("serve.connections", 0) >= 1605, counters
 print(f"serve metrics OK: {counters['serve.batches']} batches "
       f"for {counters['serve.requests']} requests")
 EOF
 python3 - << 'EOF'
 import json
-for path in ("BENCH_serve.json", "BENCH_score_lut.json"):
-    doc = json.load(open(path))
-    assert doc["schema_version"] == 1, (path, doc)
-    assert doc["host"]["cores"] >= 1, (path, doc)
+# The serve record is a schema-v2 throughput/latency-vs-connections
+# curve from the multiplexed loadgen; every point must be drop-free.
+doc = json.load(open("BENCH_serve.json"))
+assert doc["schema_version"] == 2, doc
+assert doc["host"]["cores"] >= 1, doc
+assert doc["workload"]["pipeline"] >= 1, doc["workload"]
+curve = doc["curve"]
+assert [p["connections"] for p in curve] == [64, 512, 1024], curve
+for p in curve:
+    want = p["connections"] * doc["workload"]["requests_per_connection"]
+    assert p["ok"] == want and p["errors"] == 0 and p["dropped"] == 0, p
+    assert p["id_mismatches"] == 0, p
+    assert p["throughput_rps"] > 0, p
+    lat = p["latency_ns"]
+    assert 0 < lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"], lat
+doc = json.load(open("BENCH_score_lut.json"))
+assert doc["schema_version"] == 1, doc
+assert doc["host"]["cores"] >= 1, doc
 # The score-LUT record is a per-kernel matrix: dense/lut/binary medians
 # for single and batch-64 predicts, plus the binary kernel's recorded
 # quality (argmax agreement with dense and the accuracy delta).
-doc = json.load(open("BENCH_score_lut.json"))
 assert doc["kernels"] == ["dense", "lut", "binary"], doc["kernels"]
 for kernel in doc["kernels"]:
     for op in (f"{kernel}_predict_1_ns", f"{kernel}_predict_batch_64_ns"):
