@@ -32,6 +32,16 @@
 //! round-robin). `--shutdown` sends a graceful-shutdown frame after the
 //! burst, which is how `scripts/ci.sh` stops its smoke-test server.
 //!
+//! * `--feedback` — issue `LHF1` feedback frames instead of predicts:
+//!   `--data` rows must carry labels in the final column (the `train`
+//!   CSV shape) and every response must be a `FeedbackAck`. The issue
+//!   order is deterministic (row `(conn + seq) % rows` per connection),
+//!   so a scraper can compute the exact expected per-class
+//!   `train.observed.<class>` counters;
+//! * `--refresh` — after the burst, send one refresh frame and require
+//!   a `RefreshAck` (prints the new model version). Combined with
+//!   `--feedback` this is the hot-swap smoke driver in `scripts/ci.sh`.
+//!
 //! `--trace` sends every request as a v2 frame with a distinct trace id
 //! (`request id + 1`) and fails the run if a response echoes the wrong
 //! id — the client half of the end-to-end tracing contract. `--admin`
@@ -196,6 +206,9 @@ impl PointReport {
 struct Workload<'a> {
     addr: &'a str,
     rows: &'a [Vec<f64>],
+    /// Per-row class labels: `Some` switches the run to feedback
+    /// traffic (`LHF1` frames, `FeedbackAck` responses).
+    labels: Option<&'a [u32]>,
     requests_per_conn: usize,
     pipeline: usize,
     rate_rps: u64,
@@ -291,12 +304,22 @@ fn run_point(w: &Workload<'_>, connections: usize) -> PointReport {
                 // Trace ids are request id + 1: distinct per request,
                 // never the reserved 0.
                 let trace_id = if w.traced { id + 1 } else { 0 };
-                let row = &w.rows[(c + slot.queued) % w.rows.len()];
-                let body = encode_request(&Request::Predict {
-                    id,
-                    trace_id,
-                    features: row.clone(),
-                });
+                let row_idx = (c + slot.queued) % w.rows.len();
+                let row = &w.rows[row_idx];
+                let request = match w.labels {
+                    Some(labels) => Request::Feedback {
+                        id,
+                        trace_id,
+                        label: labels[row_idx],
+                        features: row.clone(),
+                    },
+                    None => Request::Predict {
+                        id,
+                        trace_id,
+                        features: row.clone(),
+                    },
+                };
+                let body = encode_request(&request);
                 slot.outbuf
                     .extend_from_slice(&u32::try_from(body.len()).unwrap().to_le_bytes());
                 slot.outbuf.extend_from_slice(&body);
@@ -371,11 +394,18 @@ fn run_point(w: &Workload<'_>, connections: usize) -> PointReport {
                             }
                             for frame in frames.drain(..) {
                                 match decode_response(&frame) {
-                                    Ok(Response::Predict {
-                                        id,
-                                        trace_id: got_trace,
-                                        ..
-                                    }) => match slot.inflight.remove(&id) {
+                                    Ok(
+                                        Response::Predict {
+                                            id,
+                                            trace_id: got_trace,
+                                            ..
+                                        }
+                                        | Response::FeedbackAck {
+                                            id,
+                                            trace_id: got_trace,
+                                            ..
+                                        },
+                                    ) => match slot.inflight.remove(&id) {
                                         Some(sent) => {
                                             let took = sent.elapsed();
                                             if took > w.deadline {
@@ -450,6 +480,8 @@ fn main() {
     let rate_rps = flags.get_or("rate", 0u64);
     let deadline = Duration::from_millis(flags.get_or("deadline-ms", 30_000u64).max(1));
     let traced = flags.switch("trace");
+    let feedback = flags.switch("feedback");
+    let refresh = flags.switch("refresh");
     let admin_addr = flags.get("admin").map(str::to_owned);
     let bench_out = flags.get("bench-out").map(str::to_owned);
     let out_path = flags
@@ -474,14 +506,31 @@ fn main() {
     }
 
     // Query rows: CSV if given, else a deterministic synthetic ramp.
-    let rows: Vec<Vec<f64>> = match flags.get("data") {
-        Some(path) => lookhd_datasets::csv::load_features(path)
-            .unwrap_or_else(|e| fail(&format!("{path}: {e}"))),
-        None => {
+    // Feedback traffic needs labels, so it loads the labelled CSV shape
+    // (or labels the synthetic ramp round-robin over 3 classes).
+    let (rows, labels): (Vec<Vec<f64>>, Option<Vec<u32>>) = match (flags.get("data"), feedback) {
+        (Some(path), false) => (
+            lookhd_datasets::csv::load_features(path)
+                .unwrap_or_else(|e| fail(&format!("{path}: {e}"))),
+            None,
+        ),
+        (Some(path), true) => {
+            let split = lookhd_datasets::csv::load_split(path)
+                .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            let labels = split
+                .labels
+                .iter()
+                .map(|&y| u32::try_from(y).unwrap_or_else(|_| fail("label exceeds u32")))
+                .collect();
+            (split.features, Some(labels))
+        }
+        (None, _) => {
             let dim = flags.get_or("features", 4usize).max(1);
-            (0..64)
+            let rows: Vec<Vec<f64>> = (0..64)
                 .map(|i| (0..dim).map(|j| ((i + j) % 10) as f64 / 10.0).collect())
-                .collect()
+                .collect();
+            let labels = feedback.then(|| (0..rows.len() as u32).map(|i| i % 3).collect());
+            (rows, labels)
         }
     };
     if rows.is_empty() {
@@ -491,6 +540,7 @@ fn main() {
     let workload = Workload {
         addr: &addr,
         rows: &rows,
+        labels: labels.as_deref(),
         requests_per_conn: requests,
         pipeline,
         rate_rps,
@@ -498,6 +548,18 @@ fn main() {
         traced,
     };
     let points: Vec<PointReport> = curve.iter().map(|&n| run_point(&workload, n)).collect();
+
+    // The refresh round-trips *before* the admin scrape so the scraped
+    // `model.version` counter reflects the swap this run triggered.
+    let refreshed_version: Option<u64> = refresh.then(|| {
+        let mut client = Client::connect(&addr)
+            .unwrap_or_else(|e| fail(&format!("connecting {addr} for refresh: {e}")));
+        match client.refresh(u64::MAX - 1) {
+            Ok(Response::RefreshAck { version, .. }) => version,
+            Ok(other) => fail(&format!("unexpected refresh acknowledgement: {other:?}")),
+            Err(e) => fail(&format!("refresh failed: {e}")),
+        }
+    });
 
     // Scrape the live admin endpoint *before* any shutdown frame: the
     // admin listener stops when the server drains.
@@ -524,8 +586,9 @@ fn main() {
     let mut report = String::new();
     report.push_str("# loadgen — lookhd-serve latency under concurrent load\n");
     report.push_str(&format!(
-        "addr {addr}; {requests} request(s)/connection, pipeline {pipeline}, \
+        "addr {addr}; {requests} {} request(s)/connection, pipeline {pipeline}, \
          rate {}, deadline {} ms\n",
+        if feedback { "feedback" } else { "predict" },
         if rate_rps == 0 {
             "unpaced".to_owned()
         } else {
@@ -558,6 +621,11 @@ fn main() {
     }
     if traced {
         report.push_str("trace ids: propagated and echo-checked on every request\n");
+    }
+    if let Some(version) = refreshed_version {
+        report.push_str(&format!(
+            "model refresh: acknowledged, now serving version {version}\n"
+        ));
     }
     if let Some((p50, p95, p99)) = server_queue_wait {
         report.push_str(&format!(

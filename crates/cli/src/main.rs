@@ -14,7 +14,8 @@
 //! lookhd serve    --model model.lks [--addr 127.0.0.1:4100 --threads 1
 //!                 --max-batch 16 --queue-cap 1024 --timeout-ms 1000
 //!                 --admin-addr 127.0.0.1:4101 --metrics-interval 1000
-//!                 --kernel KIND]
+//!                 --kernel KIND --online --refresh-after N
+//!                 --drift-threshold F]
 //! ```
 //!
 //! CSV rows are `feature,…,feature,label` (labels in the final column;
@@ -129,7 +130,8 @@ const USAGE: &str = "usage:
                   --max-batch N --queue-cap N --timeout-ms N
                   --reactors N --max-conns N
                   --admin-addr HOST:PORT --metrics-interval MS
-                  --kernel KIND]
+                  --kernel KIND --online --refresh-after N
+                  --drift-threshold F]
 
 --threads shards work across OS threads (0 = all cores) without changing
 any result bit; under `serve` it sets the batch-worker count instead.
@@ -148,7 +150,14 @@ counters and writes one JSON document when the command finishes.
 --admin-addr (serve) adds a live-telemetry HTTP listener: /metrics.json,
 /metrics (Prometheus), /trace.json (Chrome trace events), /healthz.
 --metrics-interval MS (serve, with --metrics) rewrites the metrics file
-atomically every MS milliseconds so a killed server keeps its data.";
+atomically every MS milliseconds so a killed server keeps its data.
+--online (serve, LKS1 models only) folds LHF1 feedback frames into live
+training counters on a dedicated trainer thread; a refresh frame
+materializes and hot-swaps a new model version without dropping traffic.
+--refresh-after N (with --online) arms the automatic refresh once N
+feedback folds have accumulated since the last swap (0 = manual only);
+--drift-threshold F (default 0.25) additionally requires the served-vs-
+observed class distributions to diverge by at least F (half L1, 0..1).";
 
 fn load_classifier(args: &Args) -> Result<LookHdClassifier, String> {
     let path = args.require("model").map_err(|e| e.to_string())?;
@@ -397,23 +406,29 @@ fn inspect(args: &Args) -> Result<(), String> {
 /// shutdown frame arrives (e.g. `loadgen --shutdown`).
 fn serve(args: &Args) -> Result<(), String> {
     let model_path = args.require("model").map_err(|e| e.to_string())?;
-    let model = match kernel_spec(args)? {
-        // A kernel override rebuilds the scoring kernel of a full LKS1
-        // classifier before it starts serving (the encoder-less formats
-        // have no kernel to swap).
-        Some(spec) => {
-            let bytes = fs::read(model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
-            if bytes.get(..4) != Some(b"LKS1".as_slice()) {
-                return Err("--kernel override requires a full LKS1 model artifact".to_owned());
-            }
-            let mut clf = LookHdClassifier::from_bytes(&bytes)
-                .map_err(|e| format!("loading {model_path}: {e}"))?;
+    let online = args.switch("online");
+    // Online training folds feedback into a StreamingTrainer seeded from
+    // the classifier's own encoder, so it needs the full LKS1 artifact
+    // (the encoder-less HDC1/LKC1 formats cannot re-train).
+    let full_classifier = if online || kernel_spec(args)?.is_some() {
+        let bytes = fs::read(model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+        if bytes.get(..4) != Some(b"LKS1".as_slice()) {
+            let need = if online {
+                "--online"
+            } else {
+                "--kernel override"
+            };
+            return Err(format!("{need} requires a full LKS1 model artifact"));
+        }
+        let mut clf = LookHdClassifier::from_bytes(&bytes)
+            .map_err(|e| format!("loading {model_path}: {e}"))?;
+        if let Some(spec) = kernel_spec(args)? {
             clf.set_kernel(&spec)
                 .map_err(|e| format!("rebuilding kernel: {e}"))?;
-            std::sync::Arc::new(clf) as lookhd_serve::SharedClassifier
         }
-        None => lookhd_serve::load_classifier(std::path::Path::new(model_path))
-            .map_err(|e| format!("loading {model_path}: {e}"))?,
+        Some(clf)
+    } else {
+        None
     };
     let addr = args.get("addr").unwrap_or("127.0.0.1:4100");
     let workers = args.get_or("threads", 1usize).map_err(|e| e.to_string())?;
@@ -434,6 +449,15 @@ fn serve(args: &Args) -> Result<(), String> {
     let metrics_interval_ms = args
         .get_or("metrics-interval", 0u64)
         .map_err(|e| e.to_string())?;
+    let refresh_after = args
+        .get_or("refresh-after", 0usize)
+        .map_err(|e| e.to_string())?;
+    let drift_threshold = args
+        .get_or("drift-threshold", 0.25f64)
+        .map_err(|e| e.to_string())?;
+    if !online && (refresh_after != 0 || args.get("drift-threshold").is_some()) {
+        return Err("--refresh-after/--drift-threshold require --online".to_owned());
+    }
     let config = lookhd_serve::ServeConfig::new()
         .with_workers(workers)
         .with_max_batch(max_batch)
@@ -467,18 +491,45 @@ fn serve(args: &Args) -> Result<(), String> {
         _ => None,
     };
 
-    let n_classes = model.num_classes();
-    let handle =
-        lookhd_serve::start(addr, model, config).map_err(|e| format!("binding {addr}: {e}"))?;
+    let (n_classes, handle) = if online {
+        let clf = full_classifier.expect("online requires the full classifier");
+        let n_classes = clf.num_classes();
+        let online_config = lookhd_serve::OnlineConfig::new()
+            .with_auto_refresh_min_folds(refresh_after)
+            .with_drift_threshold(drift_threshold);
+        let handle = lookhd_serve::start_online(addr, clf, config, online_config)
+            .map_err(|e| format!("binding {addr}: {e}"))?;
+        (n_classes, handle)
+    } else {
+        let model = match full_classifier {
+            Some(clf) => std::sync::Arc::new(clf) as lookhd_serve::SharedClassifier,
+            None => lookhd_serve::load_classifier(std::path::Path::new(model_path))
+                .map_err(|e| format!("loading {model_path}: {e}"))?,
+        };
+        let n_classes = model.num_classes();
+        let handle =
+            lookhd_serve::start(addr, model, config).map_err(|e| format!("binding {addr}: {e}"))?;
+        (n_classes, handle)
+    };
     let workers_label = if workers == 0 {
         "auto".to_owned()
     } else {
         workers.to_string()
     };
+    let online_label = if online {
+        let gate = if refresh_after == 0 {
+            "manual refresh only".to_owned()
+        } else {
+            format!("auto-refresh after {refresh_after} folds, drift ≥ {drift_threshold}")
+        };
+        format!("; online training on ({gate})")
+    } else {
+        String::new()
+    };
     out(format!(
         "serving on {} ({} classes; workers {workers_label}, max batch {max_batch}, \
          queue cap {queue_cap}, timeout {timeout_ms} ms, reactors {reactors}, \
-         max conns {max_conns})",
+         max conns {max_conns}{online_label})",
         handle.addr(),
         n_classes,
     ));

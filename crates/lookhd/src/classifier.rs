@@ -357,6 +357,35 @@ impl LookHdClassifier {
         })
     }
 
+    /// Assembles a classifier from already-built parts — the streaming
+    /// trainer's materialization path ([`crate::online::StreamingTrainer`]),
+    /// which finalizes live counters into the same model/compression/kernel
+    /// pipeline as [`Self::fit`] without holding training samples.
+    pub(crate) fn from_parts(
+        encoder: LookupEncoder,
+        model: ClassModel,
+        compressed: CompressedModel,
+        kernel: Box<dyn ScoreKernel>,
+        seed: u64,
+    ) -> Self {
+        Self {
+            encoder,
+            model,
+            compressed,
+            kernel,
+            report: TrainReport::default(),
+            seed,
+            engine: Engine::serial(),
+            fit_stats: EngineStats::default(),
+        }
+    }
+
+    /// The RNG seed the encoder's level/position tables were generated
+    /// from (persisted with the classifier).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Builds the fitted lookup encoder for a training set (quantizer fit
     /// on all training feature values, as in the paper).
     fn build_encoder(config: &LookHdConfig, features: &[Vec<f64>]) -> Result<LookupEncoder> {

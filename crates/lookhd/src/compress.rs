@@ -688,6 +688,12 @@ impl CompressedModel {
         self.group_of.len()
     }
 
+    /// The compression configuration this model was built with (used by
+    /// the streaming trainer to rebuild versions under identical knobs).
+    pub fn compression_config(&self) -> &CompressionConfig {
+        &self.config
+    }
+
     /// Number of combined hypervectors (1 in fully compressed mode,
     /// `⌈k/12⌉` in exact mode).
     pub fn n_vectors(&self) -> usize {

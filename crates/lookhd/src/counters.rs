@@ -25,7 +25,7 @@ use crate::chunking::ChunkLayout;
 /// Row-count threshold above which a chunk's counters are stored sparsely.
 pub const DENSE_COUNTER_LIMIT_ROWS: usize = 1 << 20;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum CounterStore {
     Dense(Vec<u32>),
     Sparse(HashMap<u64, u32>),
@@ -92,7 +92,11 @@ impl CounterStore {
 }
 
 /// Per-class, per-chunk occurrence counters over the chunk address space.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the exact counter contents (the online-vs-batch
+/// differential tests assert streamed counters equal batch counters bit
+/// for bit).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkCounters {
     layout: ChunkLayout,
     /// `stores[class][chunk]`.

@@ -72,6 +72,7 @@ pub mod trainer;
 
 pub use classifier::{LookHdClassifier, LookHdConfig};
 pub use compress::{CompressedModel, CompressionConfig};
+pub use online::StreamingTrainer;
 pub use score_kernel::{
     build_kernel, BinaryKernel, DenseKernel, KernelKind, KernelSpec, LutKernel, ScoreKernel,
 };

@@ -20,6 +20,13 @@ use hdc::hv::DenseHv;
 use hdc::model::ClassModel;
 use hdc::{HdcError, Result};
 
+use crate::classifier::{LookHdClassifier, LookHdConfig};
+use crate::compress::CompressedModel;
+use crate::counters::ChunkCounters;
+use crate::encoder::LookupEncoder;
+use crate::score_kernel::{build_kernel, BinaryKernel, KernelSpec};
+use crate::trainer::CounterTrainer;
+
 /// Hyperparameters of the online trainer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnlineConfig {
@@ -224,6 +231,174 @@ impl OnlineTrainer {
             trainer.observe(&h, y)?;
         }
         trainer.finalize()
+    }
+}
+
+/// Streaming counter trainer: the exact-arithmetic sibling of
+/// [`OnlineTrainer`], built for live serving.
+///
+/// The paper's counter training (§III-D) is naturally incremental —
+/// folding one labeled example is a handful of counter increments, and
+/// counter addition is associative and commutative. A
+/// `StreamingTrainer` therefore guarantees, *by construction*, that N
+/// examples streamed one at a time (in any order, across any shard
+/// split later [`merge`]d) produce counters bit-identical to a single
+/// batch [`LookHdClassifier::fit`] on the same data — and
+/// [`materialize`] runs the identical finalize → compress → kernel
+/// pipeline as batch fit, so the materialized classifier is
+/// bit-identical too (pinned by `tests/online_differential.rs`).
+///
+/// Because no training samples are stored, the sample-dependent fit
+/// stages (compressed retraining, validation splits, adaptive group
+/// shrinking) cannot run; the trainer's config is normalized to disable
+/// them, and a batch fit under the same normalized config runs the
+/// exact same pipeline tail.
+///
+/// [`merge`]: StreamingTrainer::merge
+/// [`materialize`]: StreamingTrainer::materialize
+#[derive(Debug, Clone)]
+pub struct StreamingTrainer {
+    encoder: LookupEncoder,
+    config: LookHdConfig,
+    trainer: CounterTrainer,
+}
+
+impl StreamingTrainer {
+    /// Creates a streaming trainer over a fitted encoder.
+    ///
+    /// Only `config.compression`, `config.kernel`, and `config.seed` are
+    /// consumed (the encoder is already built); the sample-dependent
+    /// knobs (`retrain_epochs`, `validation_fraction`,
+    /// `adaptive_grouping`) are forced off — see the type docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if `n_classes == 0`.
+    pub fn new(encoder: LookupEncoder, config: LookHdConfig, n_classes: usize) -> Result<Self> {
+        let mut config = config;
+        config.retrain_epochs = 0;
+        config.validation_fraction = 0.0;
+        config.adaptive_grouping = false;
+        let trainer = CounterTrainer::new(&encoder, n_classes)?;
+        Ok(Self {
+            encoder,
+            config,
+            trainer,
+        })
+    }
+
+    /// Creates a streaming trainer that continues from a trained
+    /// classifier's encoder, compression knobs, and kernel choice —
+    /// the serve path's online-training entry point (the artifact is the
+    /// only configuration a server has). Counters start from zero: the
+    /// first materialized version reflects only streamed feedback.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trainer-construction errors.
+    pub fn from_classifier(clf: &LookHdClassifier) -> Result<Self> {
+        let kernel = match clf.kernel().name() {
+            "lut" => KernelSpec::lut(),
+            "binary" => {
+                let multifold = clf
+                    .kernel()
+                    .as_any()
+                    .downcast_ref::<BinaryKernel>()
+                    .map_or(0, BinaryKernel::multifold);
+                KernelSpec::binary().with_multifold(multifold)
+            }
+            _ => KernelSpec::dense(),
+        };
+        let config = LookHdConfig::new()
+            .with_compression(clf.compressed().compression_config().clone())
+            .with_kernel(kernel)
+            .with_seed(clf.seed());
+        Self::new(clf.encoder().clone(), config, clf.model().n_classes())
+    }
+
+    /// Folds one labeled example into the live counters — the exact
+    /// arithmetic of batch fit's counter pass, one sample at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (wrong arity, non-finite values) and
+    /// an out-of-range label.
+    pub fn observe(&mut self, features: &[f64], label: usize) -> Result<()> {
+        self.trainer.observe(&self.encoder, features, label)
+    }
+
+    /// Folds another trainer's counters into this one (shard merge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] on layout or class-count
+    /// disagreement.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        self.trainer.merge(&other.trainer)
+    }
+
+    /// Total examples folded so far.
+    pub fn observed(&self) -> u64 {
+        (0..self.counters().n_classes())
+            .map(|c| self.counters().samples_seen(c))
+            .sum()
+    }
+
+    /// Examples folded for one class.
+    pub fn observed_for(&self, class: usize) -> u64 {
+        if class < self.counters().n_classes() {
+            self.counters().samples_seen(class)
+        } else {
+            0
+        }
+    }
+
+    /// Number of classes the trainer folds into.
+    pub fn n_classes(&self) -> usize {
+        self.counters().n_classes()
+    }
+
+    /// The live counters (compared exactly by the differential tests).
+    pub fn counters(&self) -> &ChunkCounters {
+        self.trainer.counters()
+    }
+
+    /// The normalized configuration versions are materialized under.
+    pub fn config(&self) -> &LookHdConfig {
+        &self.config
+    }
+
+    /// The fitted encoder every fold and materialization goes through.
+    pub fn encoder(&self) -> &LookupEncoder {
+        &self.encoder
+    }
+
+    /// Materializes the current counters into a full classifier — the
+    /// identical pipeline tail batch fit runs under the normalized
+    /// config: finalize counters, refresh norms, compress, build the
+    /// scoring kernel. Deterministic given the counters, so repeated
+    /// calls without intervening folds return bit-identical models.
+    ///
+    /// This is the off-hot-path step of a model refresh: the serve
+    /// trainer thread calls it and atomically swaps the result in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] when no examples have been
+    /// folded, plus compression/kernel build errors.
+    pub fn materialize(&self) -> Result<LookHdClassifier> {
+        let _span = obs::span("online_materialize");
+        let mut model = self.trainer.finalize(&self.encoder)?;
+        model.refresh_norms();
+        let compressed = CompressedModel::compress(&model, &self.config.compression)?;
+        let kernel = build_kernel(&self.encoder, &compressed, &self.config.kernel)?;
+        Ok(LookHdClassifier::from_parts(
+            self.encoder.clone(),
+            model,
+            compressed,
+            kernel,
+            self.config.seed,
+        ))
     }
 }
 

@@ -49,6 +49,18 @@ impl CounterTrainer {
         self.counters.observe(label, &addrs)
     }
 
+    /// Folds another trainer's counters into this one. Counter addition
+    /// is associative and commutative, so sharded observation followed by
+    /// a merge is bit-identical to serial observation in any order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDataset`] on layout or class-count
+    /// disagreement.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        self.counters.merge(&other.counters)
+    }
+
     /// Materializes the class hypervectors (Fig. 6 steps E–F):
     /// per chunk, the weighted sum `Σ_addr count·LUT[addr]` is formed and
     /// bound with the chunk's position key, then accumulated over chunks.

@@ -90,6 +90,53 @@ impl Client {
         self.recv()
     }
 
+    /// Round-trips one version-stamped predict request (`LHF1` kind 3):
+    /// the [`Response::PredictStamped`] answer carries the model version
+    /// that produced it, so callers can pin each prediction to an exact
+    /// model across hot-swaps.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::send`] and [`Client::recv`].
+    pub fn predict_stamped(&mut self, id: u64, features: &[f64]) -> WireResult<Response> {
+        self.send(&Request::PredictStamped {
+            id,
+            trace_id: 0,
+            features: features.to_vec(),
+        })?;
+        self.recv()
+    }
+
+    /// Round-trips one feedback frame (`LHF1` kind 1): the server folds
+    /// the labelled example into its live training counters and answers
+    /// with [`Response::FeedbackAck`] carrying the current model version
+    /// and the total examples observed so far.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::send`] and [`Client::recv`].
+    pub fn feedback(&mut self, id: u64, label: u32, features: &[f64]) -> WireResult<Response> {
+        self.send(&Request::Feedback {
+            id,
+            trace_id: 0,
+            label,
+            features: features.to_vec(),
+        })?;
+        self.recv()
+    }
+
+    /// Asks the server to materialize its live counters into a new model
+    /// version and hot-swap it (`LHF1` kind 2); the
+    /// [`Response::RefreshAck`] carries the new version.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::send`] and [`Client::recv`].
+    pub fn refresh(&mut self, id: u64) -> WireResult<Response> {
+        self.send(&Request::Refresh { id, trace_id: 0 })?;
+        self.recv()
+    }
+
     /// Round-trips one ping.
     ///
     /// # Errors

@@ -9,11 +9,13 @@
 //!
 //! * [`wire`] — the hardened frame/message codec (magic + version +
 //!   request id + payload; every length capped before allocation), with
-//!   an optional v2 layout carrying a client trace id;
+//!   an optional v2 layout carrying a client trace id and the `LHF1`
+//!   feedback family (feedback / refresh / version-stamped predict);
 //! * [`server`] — accept loop, per-connection readers, the bounded
 //!   request queue with backpressure and deadlines, batch workers,
-//!   graceful shutdown, and per-request tracing + model-quality
-//!   telemetry when observability is on;
+//!   graceful shutdown, per-request tracing + model-quality telemetry
+//!   when observability is on, and (via [`server::start_online`]) the
+//!   online-training trainer thread with atomic model hot-swap;
 //! * [`client`] — a small blocking client (used by the CLI tests and the
 //!   `loadgen` benchmark driver);
 //! * [`model`] — format sniffing and [`Classifier`] adapters for the
@@ -60,8 +62,10 @@ pub mod wire;
 pub use admin::{http_get, start_admin, AdminHandle};
 pub use client::Client;
 pub use metrics::MetricsFlusher;
-pub use model::{classifier_from_bytes, load_classifier, SharedClassifier};
-pub use server::{start, ServeConfig, ServerHandle};
+pub use model::{
+    classifier_from_bytes, load_classifier, ModelSlot, SharedClassifier, VersionedModel,
+};
+pub use server::{start, start_online, OnlineConfig, ServeConfig, ServerHandle};
 pub use wire::{ErrorCode, Request, Response, WireError};
 
 /// Serializes every in-crate test that mutates the global obs/trace

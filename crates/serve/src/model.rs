@@ -24,7 +24,7 @@
 //! the persistence layer brands its streams.
 
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use hdc::hv::DenseHv;
 use hdc::model::ClassModel;
@@ -33,6 +33,78 @@ use lookhd::{CompressedModel, LookHdClassifier};
 
 /// A classifier that can be shared across server worker threads.
 pub type SharedClassifier = Arc<dyn Classifier + Send + Sync>;
+
+/// One immutable model version: the classifier plus the monotonically
+/// increasing version number it was installed under. Batch workers hold
+/// an `Arc<VersionedModel>` for the whole batch, so every request in a
+/// batch is answered by the version that was live when the batch was
+/// popped — even if a hot-swap lands mid-batch.
+#[derive(Clone)]
+pub struct VersionedModel {
+    version: u64,
+    classifier: SharedClassifier,
+}
+
+impl VersionedModel {
+    /// Wraps a classifier as version `version`.
+    pub fn new(version: u64, classifier: SharedClassifier) -> Self {
+        Self {
+            version,
+            classifier,
+        }
+    }
+
+    /// The installation number of this version (starts at 1).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The classifier answering requests for this version.
+    pub fn classifier(&self) -> &SharedClassifier {
+        &self.classifier
+    }
+}
+
+/// The server's atomically swappable model slot.
+///
+/// [`ModelSlot::load`] hands out an `Arc` snapshot; [`ModelSlot::swap`]
+/// installs a fresh classifier under the next version number. In-flight
+/// work keeps predicting on the snapshot it loaded while new loads see
+/// the new version immediately — the hot-swap contract pinned by
+/// `tests/serve_hotswap.rs`. The slot is a mutex around an `Arc`
+/// (swaps are rare and loads are one uncontended lock + clone; std has
+/// no atomic `Arc` cell).
+pub struct ModelSlot {
+    current: Mutex<Arc<VersionedModel>>,
+}
+
+impl ModelSlot {
+    /// Creates a slot holding `classifier` as version 1.
+    pub fn new(classifier: SharedClassifier) -> Self {
+        Self {
+            current: Mutex::new(Arc::new(VersionedModel::new(1, classifier))),
+        }
+    }
+
+    /// Snapshots the live version.
+    pub fn load(&self) -> Arc<VersionedModel> {
+        Arc::clone(&self.current.lock().expect("model slot poisoned"))
+    }
+
+    /// Atomically installs `classifier` as the next version and returns
+    /// its version number.
+    pub fn swap(&self, classifier: SharedClassifier) -> u64 {
+        let mut slot = self.current.lock().expect("model slot poisoned");
+        let version = slot.version() + 1;
+        *slot = Arc::new(VersionedModel::new(version, classifier));
+        version
+    }
+
+    /// The live version number.
+    pub fn version(&self) -> u64 {
+        self.current.lock().expect("model slot poisoned").version()
+    }
+}
 
 /// Converts a wire feature vector into a hypervector query for the
 /// encoder-less formats: arity must match the model dimension exactly and

@@ -53,8 +53,25 @@ use netpoll::{Event, Interest, Poller, WAKER_TOKEN};
 use obs::trace::{self, Phase};
 
 use crate::conn::{Conn, Flush};
-use crate::server::Inner;
+use crate::server::{Inner, TrainCmd};
 use crate::wire::{self, ErrorCode, FrameDecoder, Request, Response, WireError};
+
+/// Records the `serve/decode` histogram sample and, for traced
+/// requests, the decode begin/end trace pair. Shared by every request
+/// kind that leaves the reactor thread.
+fn record_decode(trace_id: u64, decode_begin_ns: u64) {
+    if obs::enabled() {
+        let decode_end_ns = trace::now_ns();
+        obs::record(
+            "serve/decode",
+            Duration::from_nanos(decode_end_ns.saturating_sub(decode_begin_ns)),
+        );
+        if trace_id != 0 && trace::enabled() {
+            trace::emit_at("decode", trace_id, Phase::Begin, decode_begin_ns);
+            trace::emit_at("decode", trace_id, Phase::End, decode_end_ns);
+        }
+    }
+}
 
 /// Token reserved for the listener (reactor 0 only). [`WAKER_TOKEN`]
 /// is `u64::MAX`; connection tokens count up from zero and can never
@@ -521,18 +538,42 @@ impl Reactor {
                 trace_id,
                 features,
             }) => {
-                if obs::enabled() {
-                    let decode_end_ns = trace::now_ns();
-                    obs::record(
-                        "serve/decode",
-                        Duration::from_nanos(decode_end_ns.saturating_sub(decode_begin_ns)),
-                    );
-                    if trace_id != 0 && trace::enabled() {
-                        trace::emit_at("decode", trace_id, Phase::Begin, decode_begin_ns);
-                        trace::emit_at("decode", trace_id, Phase::End, decode_end_ns);
-                    }
-                }
-                self.inner.enqueue(conn, id, trace_id, features);
+                record_decode(trace_id, decode_begin_ns);
+                self.inner.enqueue(conn, id, trace_id, features, false);
+                true
+            }
+            Ok(Request::PredictStamped {
+                id,
+                trace_id,
+                features,
+            }) => {
+                record_decode(trace_id, decode_begin_ns);
+                self.inner.enqueue(conn, id, trace_id, features, true);
+                true
+            }
+            Ok(Request::Feedback {
+                id,
+                trace_id,
+                label,
+                features,
+            }) => {
+                record_decode(trace_id, decode_begin_ns);
+                self.inner.enqueue_train(TrainCmd::Feedback {
+                    conn: Arc::clone(conn),
+                    id,
+                    trace_id,
+                    label,
+                    features,
+                });
+                true
+            }
+            Ok(Request::Refresh { id, trace_id }) => {
+                record_decode(trace_id, decode_begin_ns);
+                self.inner.enqueue_train(TrainCmd::Refresh {
+                    conn: Arc::clone(conn),
+                    id,
+                    trace_id,
+                });
                 true
             }
         }

@@ -64,6 +64,21 @@
 //! counters ticked inside the model's score path. All of it is
 //! observation only — the batched predict path and its bit-identity
 //! contract are untouched.
+//!
+//! ## Online training and model hot-swap
+//!
+//! [`start_online`] additionally spawns one **trainer thread** owning a
+//! [`lookhd::StreamingTrainer`]. `LHF1` feedback frames are folded into
+//! its live counters off the hot path; a `refresh` frame (or the
+//! drift-gated automatic trigger, see [`OnlineConfig`]) materializes a
+//! full model version — compress, kernel rebuild — and swaps it into
+//! the shared [`ModelSlot`] atomically. Workers load the slot **once
+//! per batch**, so every in-flight batch finishes on the version it
+//! started with while the next batch picks up the fresh model; stamped
+//! predict frames echo the serving version so clients (and the soak
+//! tests) can pin each answer to the exact model that produced it.
+//! See DESIGN.md §14 for the fold ≡ batch argument and the swap
+//! protocol.
 
 use std::collections::VecDeque;
 use std::io;
@@ -73,11 +88,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use lookhd::{LookHdClassifier, StreamingTrainer};
 use netpoll::Poller;
 use obs::trace::{self, Phase};
 
 use crate::conn::Conn;
-use crate::model::SharedClassifier;
+use crate::model::{ModelSlot, SharedClassifier, VersionedModel};
 use crate::reactor::{Reactor, ReactorQueue};
 use crate::wire::{ErrorCode, Response};
 
@@ -176,6 +192,54 @@ impl ServeConfig {
     }
 }
 
+/// Tuning knobs of the online-training path (see [`start_online`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Automatic refresh gate: once at least this many feedback frames
+    /// have been folded since the last swap **and** the drift score
+    /// crosses [`OnlineConfig::drift_threshold`], the trainer thread
+    /// materializes and swaps a new model version on its own. `0`
+    /// disables automatic refresh — swaps happen only on explicit
+    /// `refresh` frames (the mode the deterministic tests use).
+    pub auto_refresh_min_folds: usize,
+    /// Minimum drift score in `[0, 1]` required for an automatic
+    /// refresh: half the L1 distance between the per-class distribution
+    /// of *predictions* served since the last swap and the per-class
+    /// distribution of feedback *labels* folded since then (the PR 5
+    /// model-quality signals, read as a scalar). `0.0` makes the fold
+    /// count alone trigger the swap.
+    pub drift_threshold: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            auto_refresh_min_folds: 0,
+            drift_threshold: 0.25,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// Manual-refresh-only defaults (`auto_refresh_min_folds = 0`,
+    /// `drift_threshold = 0.25`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the automatic-refresh fold gate (`0` = manual only).
+    pub fn with_auto_refresh_min_folds(mut self, folds: usize) -> Self {
+        self.auto_refresh_min_folds = folds;
+        self
+    }
+
+    /// Sets the drift-score gate (clamped into `[0, 1]`).
+    pub fn with_drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = threshold.clamp(0.0, 1.0);
+        self
+    }
+}
+
 /// One queued predict request.
 pub(crate) struct Pending {
     id: u64,
@@ -183,6 +247,9 @@ pub(crate) struct Pending {
     /// and stamped on every trace event this request emits.
     trace_id: u64,
     features: Vec<f64>,
+    /// Whether the client asked for a version-stamped answer
+    /// (`LHF1` kind 3): the response carries the serving model version.
+    stamped: bool,
     enqueued: Instant,
     /// Trace-clock timestamp of the enqueue (`0` when tracing is off);
     /// the begin edge of the `queue_wait` span.
@@ -208,9 +275,127 @@ impl Pending {
     }
 }
 
+/// One command routed off the reactor threads to the trainer thread.
+pub(crate) enum TrainCmd {
+    /// Fold one labelled example into the live counters and ack.
+    Feedback {
+        /// Connection owed the [`Response::FeedbackAck`].
+        conn: Arc<Conn>,
+        /// Client request id, echoed in the ack.
+        id: u64,
+        /// Client trace id, echoed in the ack.
+        trace_id: u64,
+        /// Ground-truth class label.
+        label: u32,
+        /// Feature vector, same shape as a predict request.
+        features: Vec<f64>,
+    },
+    /// Materialize the counters into a full model and swap it live.
+    Refresh {
+        /// Connection owed the [`Response::RefreshAck`].
+        conn: Arc<Conn>,
+        /// Client request id, echoed in the ack.
+        id: u64,
+        /// Client trace id, echoed in the ack.
+        trace_id: u64,
+    },
+}
+
+impl TrainCmd {
+    fn conn(&self) -> &Arc<Conn> {
+        match self {
+            TrainCmd::Feedback { conn, .. } | TrainCmd::Refresh { conn, .. } => conn,
+        }
+    }
+
+    fn ids(&self) -> (u64, u64) {
+        match self {
+            TrainCmd::Feedback { id, trace_id, .. } | TrainCmd::Refresh { id, trace_id, .. } => {
+                (*id, *trace_id)
+            }
+        }
+    }
+}
+
+/// Shared state of the online-training path: the trainer thread's
+/// command queue plus the per-window drift signals feeding the
+/// automatic-refresh gate.
+pub(crate) struct OnlineState {
+    config: OnlineConfig,
+    queue: Mutex<VecDeque<TrainCmd>>,
+    ready: Condvar,
+    /// Per-class counts of predictions served since the last swap
+    /// (ticked by the workers; one half of the drift score).
+    predicted: Vec<AtomicU64>,
+    /// Per-class counts of feedback labels folded since the last swap
+    /// (ticked by the trainer thread; the other half).
+    observed: Vec<AtomicU64>,
+    /// Feedback frames folded since the last swap (the fold gate).
+    folds_since_swap: AtomicU64,
+}
+
+impl OnlineState {
+    fn new(config: OnlineConfig, n_classes: usize) -> Self {
+        Self {
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            predicted: (0..n_classes).map(|_| AtomicU64::new(0)).collect(),
+            observed: (0..n_classes).map(|_| AtomicU64::new(0)).collect(),
+            folds_since_swap: AtomicU64::new(0),
+        }
+    }
+
+    /// Ticks the served-prediction half of the drift window (classes
+    /// beyond the model's range — impossible for a real model — are
+    /// ignored rather than indexed).
+    fn note_predicted(&self, class: usize) {
+        if let Some(slot) = self.predicted.get(class) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Half the L1 distance between the normalized served-prediction
+    /// and feedback-label class distributions for the current window:
+    /// `0.0` when they agree exactly, `1.0` when they are disjoint.
+    /// Either side empty means no signal (`0.0`).
+    fn drift_score(&self) -> f64 {
+        let predicted: Vec<u64> = self
+            .predicted
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let observed: Vec<u64> = self
+            .observed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let (p_total, o_total): (u64, u64) = (predicted.iter().sum(), observed.iter().sum());
+        if p_total == 0 || o_total == 0 {
+            return 0.0;
+        }
+        predicted
+            .iter()
+            .zip(&observed)
+            .map(|(&p, &o)| (p as f64 / p_total as f64 - o as f64 / o_total as f64).abs())
+            .sum::<f64>()
+            / 2.0
+    }
+
+    /// Resets the drift window after a swap.
+    fn reset_window(&self) {
+        for slot in self.predicted.iter().chain(&self.observed) {
+            slot.store(0, Ordering::Relaxed);
+        }
+        self.folds_since_swap.store(0, Ordering::Relaxed);
+    }
+}
+
 /// State shared by the reactors and workers.
 pub(crate) struct Inner {
-    pub(crate) model: SharedClassifier,
+    pub(crate) model: ModelSlot,
+    /// Present iff this server was started with [`start_online`].
+    pub(crate) online: Option<OnlineState>,
     pub(crate) config: ServeConfig,
     pub(crate) local_addr: SocketAddr,
     pub(crate) queue: Mutex<VecDeque<Pending>>,
@@ -241,13 +426,23 @@ impl Inner {
             queue.wake();
         }
         self.work_ready.notify_all();
+        if let Some(online) = &self.online {
+            online.ready.notify_all();
+        }
     }
 
     /// Enqueues one predict request, or answers immediately with a
     /// backpressure/shutdown rejection. The shutdown check happens under
     /// the queue lock so no request can slip in after the workers'
     /// drain-and-exit decision.
-    pub(crate) fn enqueue(&self, conn: &Arc<Conn>, id: u64, trace_id: u64, features: Vec<f64>) {
+    pub(crate) fn enqueue(
+        &self,
+        conn: &Arc<Conn>,
+        id: u64,
+        trace_id: u64,
+        features: Vec<f64>,
+        stamped: bool,
+    ) {
         let depth = {
             let mut queue = self.queue.lock().expect("queue lock poisoned");
             if self.shutdown.load(Ordering::SeqCst) {
@@ -278,6 +473,7 @@ impl Inner {
                 id,
                 trace_id,
                 features,
+                stamped,
                 enqueued: Instant::now(),
                 enqueued_ns: if trace_id != 0 && trace::enabled() {
                     trace::now_ns()
@@ -296,6 +492,55 @@ impl Inner {
         }
         self.work_ready.notify_one();
     }
+
+    /// Routes one feedback/refresh command to the trainer thread, or
+    /// answers immediately when online training is disabled, the server
+    /// is shutting down, or the trainer queue is full. Mirrors the
+    /// predict queue's backpressure contract (same cap, same
+    /// [`ErrorCode::Overloaded`] rejection).
+    pub(crate) fn enqueue_train(&self, cmd: TrainCmd) {
+        let (id, trace_id) = cmd.ids();
+        let Some(online) = &self.online else {
+            obs::counter("serve.responses.error", 1);
+            cmd.conn().send(&Response::Error {
+                id,
+                trace_id,
+                code: ErrorCode::BadRequest,
+                message: "online training is not enabled on this server".into(),
+            });
+            return;
+        };
+        {
+            let mut queue = online.queue.lock().expect("trainer queue lock poisoned");
+            if self.shutdown.load(Ordering::SeqCst) {
+                drop(queue);
+                obs::counter("serve.responses.error", 1);
+                cmd.conn().send(&Response::Error {
+                    id,
+                    trace_id,
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is shutting down".into(),
+                });
+                return;
+            }
+            if queue.len() >= self.config.queue_cap {
+                drop(queue);
+                obs::counter("serve.overload_rejections", 1);
+                obs::counter("serve.responses.error", 1);
+                cmd.conn().send(&Response::Error {
+                    id,
+                    trace_id,
+                    code: ErrorCode::Overloaded,
+                    message: format!("trainer queue full ({} pending)", self.config.queue_cap),
+                });
+                return;
+            }
+            cmd.conn().begin_request();
+            queue.push_back(cmd);
+        }
+        obs::counter("serve.requests", 1);
+        online.ready.notify_one();
+    }
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -304,6 +549,8 @@ pub struct ServerHandle {
     inner: Arc<Inner>,
     reactors: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// The trainer thread, when started with [`start_online`].
+    trainer: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -325,14 +572,25 @@ impl ServerHandle {
         self.inner.shutdown.load(Ordering::SeqCst)
     }
 
+    /// The version currently being served (`1` until the first swap).
+    pub fn model_version(&self) -> u64 {
+        self.inner.model.version()
+    }
+
     /// Blocks until the server has shut down (via [`ServerHandle::shutdown`]
     /// or a remote shutdown frame) and every thread has exited: the
-    /// workers first (they drain the queue), then the reactors (they
-    /// flush every connection's remaining response bytes, bounded by a
-    /// grace period, and close).
+    /// workers first (they drain the queue), then the trainer thread
+    /// (when online training is on), then the reactors (they flush
+    /// every connection's remaining response bytes, bounded by a grace
+    /// period, and close).
     pub fn join(mut self) {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // The trainer drains its own command queue the same way the
+        // workers drain theirs.
+        if let Some(trainer) = self.trainer.take() {
+            let _ = trainer.join();
         }
         // The workers have answered everything that will ever be
         // answered; tell the reactors to flush and exit.
@@ -359,6 +617,38 @@ pub fn start<A: ToSocketAddrs>(
     model: SharedClassifier,
     config: ServeConfig,
 ) -> io::Result<ServerHandle> {
+    start_impl(addr, model, config, None)
+}
+
+/// Binds `addr` and starts serving `classifier` **with online training
+/// enabled**: `LHF1` feedback frames fold into a live
+/// [`lookhd::StreamingTrainer`] seeded from the classifier's encoder and
+/// configuration, and `refresh` frames (or the drift-gated automatic
+/// trigger) materialize and hot-swap new model versions without
+/// interrupting traffic.
+///
+/// # Errors
+///
+/// Returns bind/event-loop setup errors, and an
+/// [`io::ErrorKind::InvalidInput`] error when a streaming trainer cannot
+/// be derived from the classifier.
+pub fn start_online<A: ToSocketAddrs>(
+    addr: A,
+    classifier: LookHdClassifier,
+    config: ServeConfig,
+    online: OnlineConfig,
+) -> io::Result<ServerHandle> {
+    let trainer = StreamingTrainer::from_classifier(&classifier)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    start_impl(addr, Arc::new(classifier), config, Some((trainer, online)))
+}
+
+fn start_impl<A: ToSocketAddrs>(
+    addr: A,
+    model: SharedClassifier,
+    config: ServeConfig,
+    online: Option<(StreamingTrainer, OnlineConfig)>,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     // Surface which scoring kernel actually serves (automatic selection
@@ -376,8 +666,24 @@ pub fn start<A: ToSocketAddrs>(
         pollers.push(poller);
     }
 
+    let (trainer, online_state) = match online {
+        Some((trainer, online_config)) => {
+            // Start the monotonic `model.version` counter at the live
+            // version (1) so the admin snapshot always equals the
+            // version stamped on responses.
+            obs::counter("model.version", 1);
+            let n_classes = trainer.n_classes();
+            (
+                Some(trainer),
+                Some(OnlineState::new(online_config, n_classes)),
+            )
+        }
+        None => (None, None),
+    };
+
     let inner = Arc::new(Inner {
-        model,
+        model: ModelSlot::new(model),
+        online: online_state,
         config,
         local_addr,
         queue: Mutex::new(VecDeque::new()),
@@ -395,6 +701,11 @@ pub fn start<A: ToSocketAddrs>(
             std::thread::spawn(move || worker_loop(&inner))
         })
         .collect();
+
+    let trainer = trainer.map(|trainer| {
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || trainer_loop(&inner, trainer))
+    });
 
     let mut listener = Some(listener);
     let reactors = pollers
@@ -416,6 +727,7 @@ pub fn start<A: ToSocketAddrs>(
         inner,
         reactors,
         workers,
+        trainer,
     })
 }
 
@@ -440,7 +752,145 @@ fn worker_loop(inner: &Arc<Inner>) {
     }
 }
 
+/// The trainer thread: folds feedback into the live counters, answers
+/// acks, and performs manual + drift-gated automatic hot-swaps. Exits
+/// only once shutdown is triggered *and* its command queue is drained,
+/// so every accepted feedback/refresh frame gets its answer.
+fn trainer_loop(inner: &Arc<Inner>, mut trainer: StreamingTrainer) {
+    let online = inner
+        .online
+        .as_ref()
+        .expect("trainer thread without online state");
+    loop {
+        let cmd = {
+            let mut queue = online.queue.lock().expect("trainer queue lock poisoned");
+            loop {
+                if let Some(cmd) = queue.pop_front() {
+                    break cmd;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = online
+                    .ready
+                    .wait(queue)
+                    .expect("trainer queue lock poisoned");
+            }
+        };
+        match cmd {
+            TrainCmd::Feedback {
+                conn,
+                id,
+                trace_id,
+                label,
+                features,
+            } => {
+                let _span = obs::span("serve_feedback");
+                match trainer.observe(&features, label as usize) {
+                    Ok(()) => {
+                        obs::counter("train.feedback", 1);
+                        obs::counter(&format!("train.observed.{label}"), 1);
+                        if let Some(slot) = online.observed.get(label as usize) {
+                            slot.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let folds = online.folds_since_swap.fetch_add(1, Ordering::Relaxed) + 1;
+                        obs::counter("serve.responses.ok", 1);
+                        conn.send(&Response::FeedbackAck {
+                            id,
+                            trace_id,
+                            version: inner.model.version(),
+                            observed: trainer.observed(),
+                        });
+                        conn.finish_request();
+                        maybe_auto_refresh(inner, online, &trainer, folds);
+                    }
+                    Err(e) => {
+                        obs::counter("serve.responses.error", 1);
+                        conn.send(&Response::Error {
+                            id,
+                            trace_id,
+                            code: ErrorCode::BadRequest,
+                            message: e.to_string(),
+                        });
+                        conn.finish_request();
+                    }
+                }
+            }
+            TrainCmd::Refresh { conn, id, trace_id } => match swap_model(inner, online, &trainer) {
+                Ok(version) => {
+                    obs::counter("serve.responses.ok", 1);
+                    conn.send(&Response::RefreshAck {
+                        id,
+                        trace_id,
+                        version,
+                    });
+                    conn.finish_request();
+                }
+                Err(message) => {
+                    obs::counter("serve.responses.error", 1);
+                    conn.send(&Response::Error {
+                        id,
+                        trace_id,
+                        code: ErrorCode::Internal,
+                        message,
+                    });
+                    conn.finish_request();
+                }
+            },
+        }
+    }
+}
+
+/// Materializes the trainer's counters into a full model (compress +
+/// kernel rebuild) and swaps it into the slot. In-flight batches keep
+/// the version they loaded; the next batch pop serves the new one.
+fn swap_model(
+    inner: &Arc<Inner>,
+    online: &OnlineState,
+    trainer: &StreamingTrainer,
+) -> Result<u64, String> {
+    let _span = obs::span("serve_model_swap");
+    let classifier = trainer.materialize().map_err(|e| e.to_string())?;
+    let version = inner.model.swap(Arc::new(classifier));
+    obs::counter("serve.model_swaps", 1);
+    obs::counter("model.version", 1);
+    online.reset_window();
+    version_log(version);
+    Ok(version)
+}
+
+/// Marker counter so a swap's version is greppable in the admin
+/// snapshot history even after further swaps (`serve.swapped_to.<v>`).
+fn version_log(version: u64) {
+    obs::counter(&format!("serve.swapped_to.{version}"), 1);
+}
+
+/// Drift-gated automatic refresh: fires when enough feedback has been
+/// folded since the last swap and the served-vs-observed class
+/// distributions have diverged past the configured threshold.
+fn maybe_auto_refresh(
+    inner: &Arc<Inner>,
+    online: &OnlineState,
+    trainer: &StreamingTrainer,
+    folds_since_swap: u64,
+) {
+    let gate = online.config.auto_refresh_min_folds;
+    if gate == 0 || (folds_since_swap as usize) < gate {
+        return;
+    }
+    if online.drift_score() < online.config.drift_threshold {
+        return;
+    }
+    if swap_model(inner, online, trainer).is_ok() {
+        obs::counter("serve.model_swaps.auto", 1);
+    }
+}
+
 fn process_batch(inner: &Arc<Inner>, batch: Vec<Pending>) {
+    // One slot load per batch: every request in this batch is answered
+    // by the same model version, and a concurrent hot-swap only affects
+    // batches popped after it.
+    let model = inner.model.load();
     // Expire requests that waited past their deadline before spending any
     // inference time on them; expiry frees their queue slots for free.
     let now = Instant::now();
@@ -492,7 +942,7 @@ fn process_batch(inner: &Arc<Inner>, batch: Vec<Pending>) {
             pending.trace_pair("batch_assembly", pop_ns, predict_begin_ns);
         }
     }
-    match inner.model.predict_batch(&features) {
+    match model.classifier().predict_batch(&features) {
         Ok(predictions) => {
             if obs::enabled() {
                 obs::record("serve/batch", started.elapsed());
@@ -500,10 +950,15 @@ fn process_batch(inner: &Arc<Inner>, batch: Vec<Pending>) {
                 for pending in &live {
                     pending.trace_pair("predict", predict_begin_ns, predict_end_ns);
                 }
-                record_quality_signals(inner, &features, &predictions);
+                record_quality_signals(model.classifier(), &features, &predictions);
+            }
+            if let Some(online) = &inner.online {
+                for &class in &predictions {
+                    online.note_predicted(class);
+                }
             }
             for (pending, class) in live.iter().zip(predictions) {
-                respond_ok(pending, class);
+                respond_ok(pending, class, &model);
             }
         }
         // The batch call propagates its *first* error, which would
@@ -512,8 +967,13 @@ fn process_batch(inner: &Arc<Inner>, batch: Vec<Pending>) {
         // its own request.
         Err(_) => {
             for (pending, feats) in live.iter().zip(&features) {
-                match inner.model.predict(feats) {
-                    Ok(class) => respond_ok(pending, class),
+                match model.classifier().predict(feats) {
+                    Ok(class) => {
+                        if let Some(online) = &inner.online {
+                            online.note_predicted(class);
+                        }
+                        respond_ok(pending, class, &model);
+                    }
                     Err(e) => {
                         obs::counter("serve.responses.error", 1);
                         pending.respond(&Response::Error {
@@ -539,12 +999,12 @@ pub const MARGIN_SCALE: f64 = 1e6;
 /// score margin histogram. Runs only when metrics are enabled — the
 /// margin needs a second [`hdc::Classifier::class_scores`] pass, which
 /// must cost nothing when observability is off.
-fn record_quality_signals(inner: &Arc<Inner>, features: &[Vec<f64>], predictions: &[usize]) {
+fn record_quality_signals(model: &SharedClassifier, features: &[Vec<f64>], predictions: &[usize]) {
     for class in predictions {
         obs::counter(&format!("serve.predicted.{class}"), 1);
     }
     for feats in features {
-        match inner.model.class_scores(feats) {
+        match model.class_scores(feats) {
             Ok(Some(scores)) if scores.len() >= 2 => {
                 let mut top1 = f64::NEG_INFINITY;
                 let mut top2 = f64::NEG_INFINITY;
@@ -571,7 +1031,7 @@ fn record_quality_signals(inner: &Arc<Inner>, features: &[Vec<f64>], predictions
     }
 }
 
-fn respond_ok(pending: &Pending, class: usize) {
+fn respond_ok(pending: &Pending, class: usize, model: &VersionedModel) {
     // A class label the wire cannot carry is a server-side fault, not a
     // plausible-looking answer: report it as Internal instead of
     // clamping to u32::MAX.
@@ -590,10 +1050,19 @@ fn respond_ok(pending: &Pending, class: usize) {
     if obs::enabled() {
         obs::record("serve/request", pending.enqueued.elapsed());
     }
-    let response = Response::Predict {
-        id: pending.id,
-        trace_id: pending.trace_id,
-        class,
+    let response = if pending.stamped {
+        Response::PredictStamped {
+            id: pending.id,
+            trace_id: pending.trace_id,
+            class,
+            version: model.version(),
+        }
+    } else {
+        Response::Predict {
+            id: pending.id,
+            trace_id: pending.trace_id,
+            class,
+        }
     };
     if obs::enabled() {
         let encode_begin_ns = trace::now_ns();
@@ -797,6 +1266,124 @@ mod tests {
         // moment for the OS to tear the socket down).
         std::thread::sleep(Duration::from_millis(20));
         assert!(Client::connect(addr).is_err());
+    }
+
+    /// A small trained LookHD model for the online-path tests.
+    fn trained_classifier() -> LookHdClassifier {
+        use hdc::FitClassifier;
+        let xs: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![if i % 2 == 0 { 0.2 } else { 0.8 }; 6])
+            .collect();
+        let ys: Vec<usize> = (0..30).map(|i| i % 2).collect();
+        let config = lookhd::LookHdConfig::new()
+            .with_dim(256)
+            .with_retrain_epochs(0)
+            .with_validation_fraction(0.0);
+        LookHdClassifier::fit(&config, &xs, &ys).expect("fit failed")
+    }
+
+    #[test]
+    fn online_feedback_refresh_and_stamped_predicts() {
+        let handle = start_online(
+            "127.0.0.1:0",
+            trained_classifier(),
+            ServeConfig::new(),
+            OnlineConfig::new(),
+        )
+        .expect("bind failed");
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        // Version 1 serves until the first swap.
+        assert_eq!(
+            client.predict_stamped(1, &[0.8; 6]).unwrap(),
+            Response::PredictStamped {
+                id: 1,
+                trace_id: 0,
+                class: 1,
+                version: 1
+            }
+        );
+
+        // Feedback folds ack with the live version and a running count.
+        for (i, label) in [0u32, 1, 0].into_iter().enumerate() {
+            let v = if label == 0 { 0.2 } else { 0.8 };
+            assert_eq!(
+                client.feedback(10 + i as u64, label, &[v; 6]).unwrap(),
+                Response::FeedbackAck {
+                    id: 10 + i as u64,
+                    trace_id: 0,
+                    version: 1,
+                    observed: i as u64 + 1
+                }
+            );
+        }
+
+        // A manual refresh materializes version 2 ...
+        assert_eq!(
+            client.refresh(20).unwrap(),
+            Response::RefreshAck {
+                id: 20,
+                trace_id: 0,
+                version: 2
+            }
+        );
+        assert_eq!(handle.model_version(), 2);
+
+        // ... and new stamped predicts answer on it.
+        match client.predict_stamped(21, &[0.2; 6]).unwrap() {
+            Response::PredictStamped { id, version, .. } => {
+                assert_eq!((id, version), (21, 2));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn feedback_without_online_training_is_rejected_politely() {
+        let handle = start_stub(ServeConfig::new());
+        let mut client = Client::connect(handle.addr()).unwrap();
+        match client.feedback(1, 0, &[1.0]).unwrap() {
+            Response::Error {
+                id, code, message, ..
+            } => {
+                assert_eq!((id, code), (1, ErrorCode::BadRequest));
+                assert!(message.contains("online"), "unexpected message {message:?}");
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+        // The connection survives and keeps serving predictions.
+        assert_eq!(
+            client.predict(2, &[1.0]).unwrap(),
+            Response::Predict {
+                id: 2,
+                trace_id: 0,
+                class: 1
+            }
+        );
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn out_of_range_feedback_labels_are_bad_requests() {
+        let handle = start_online(
+            "127.0.0.1:0",
+            trained_classifier(),
+            ServeConfig::new(),
+            OnlineConfig::new(),
+        )
+        .expect("bind failed");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        match client.feedback(1, 99, &[0.5; 6]).unwrap() {
+            Response::Error { id, code, .. } => {
+                assert_eq!((id, code), (1, ErrorCode::BadRequest));
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+        handle.shutdown();
+        handle.join();
     }
 
     #[test]

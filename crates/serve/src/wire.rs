@@ -19,6 +19,23 @@
 //! | n_features | 4    | predict only; capped at [`MAX_FEATURES`]    |
 //! | features   | 8·n  | predict only; `f64` little-endian           |
 //!
+//! ## Feedback-family request body (`LHF1`)
+//!
+//! The online-training frames share the LHQ1 header layout under their
+//! own magic, so a server without online training rejects them with one
+//! tag check rather than misparsing them as predicts.
+//!
+//! | field      | size | notes                                             |
+//! |------------|------|---------------------------------------------------|
+//! | magic      | 4    | `LHF1`                                            |
+//! | version    | 1    | [`WIRE_VERSION`] or [`WIRE_VERSION_TRACED`]       |
+//! | kind       | 1    | 1 = feedback, 2 = refresh, 3 = stamped predict    |
+//! | request id | 8    | echoed verbatim in the response                   |
+//! | trace id   | 8    | **version 2 only**; echoed in the response        |
+//! | label      | 4    | feedback only; the ground-truth class             |
+//! | n_features | 4    | feedback / stamped predict; capped at [`MAX_FEATURES`] |
+//! | features   | 8·n  | feedback / stamped predict; `f64` little-endian   |
+//!
 //! ## Response body (`LHR1`)
 //!
 //! | field      | size | notes                                        |
@@ -27,11 +44,13 @@
 //! | version    | 1    | [`WIRE_VERSION`] or [`WIRE_VERSION_TRACED`]  |
 //! | request id | 8    | copied from the request                      |
 //! | trace id   | 8    | **version 2 only**; copied from the request  |
-//! | status     | 1    | 0 = predict ok, 1 = pong, 2 = error          |
-//! | class      | 4    | predict ok only                              |
+//! | status     | 1    | 0 = predict ok, 1 = pong, 2 = error, 3 = feedback ack, 4 = refresh ack, 5 = stamped predict |
+//! | class      | 4    | predict ok / stamped predict                 |
 //! | error code | 1    | error only ([`ErrorCode`])                   |
 //! | msg len    | 2    | error only; capped at [`MAX_ERROR_MESSAGE`]  |
 //! | msg        | len  | error only; UTF-8                            |
+//! | version    | 8    | feedback ack / refresh ack / stamped predict: the live model version |
+//! | observed   | 8    | feedback ack only: total examples folded     |
 //!
 //! ## Versioning
 //!
@@ -59,6 +78,10 @@ use std::io::{self, Read, Write};
 
 /// Request-body magic bytes.
 pub const REQUEST_MAGIC: &[u8; 4] = b"LHQ1";
+
+/// Feedback-family request magic bytes (online training: labeled
+/// feedback, model refresh, version-stamped predicts).
+pub const FEEDBACK_MAGIC: &[u8; 4] = b"LHF1";
 
 /// Response-body magic bytes.
 pub const RESPONSE_MAGIC: &[u8; 4] = b"LHR1";
@@ -111,13 +134,53 @@ pub enum Request {
         /// Caller-chosen id echoed in the acknowledgement.
         id: u64,
     },
+    /// Fold one labeled example into the server's live training counters
+    /// (an `LHF1` frame). Rejected with `BadRequest` when the server was
+    /// not started with online training.
+    Feedback {
+        /// Caller-chosen id echoed in the acknowledgement.
+        id: u64,
+        /// Caller-chosen trace id (0 = untraced, a v1 frame).
+        trace_id: u64,
+        /// The ground-truth class label for `features`.
+        label: u32,
+        /// Raw feature values, in model arity.
+        features: Vec<f64>,
+    },
+    /// Materialize the accumulated counters into a fresh model version
+    /// and hot-swap it live (an `LHF1` frame). Rejected with
+    /// `BadRequest` when the server was not started with online
+    /// training.
+    Refresh {
+        /// Caller-chosen id echoed in the acknowledgement.
+        id: u64,
+        /// Caller-chosen trace id (0 = untraced, a v1 frame).
+        trace_id: u64,
+    },
+    /// Classify one feature vector and stamp the answering model version
+    /// on the response (an `LHF1` frame) — the hot-swap soak tests use
+    /// the stamp to check bit-identity against the exact version that
+    /// answered.
+    PredictStamped {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// Caller-chosen trace id (0 = untraced, a v1 frame).
+        trace_id: u64,
+        /// Raw feature values, in model arity.
+        features: Vec<f64>,
+    },
 }
 
 impl Request {
     /// The caller-chosen request id.
     pub fn id(&self) -> u64 {
         match self {
-            Self::Predict { id, .. } | Self::Ping { id } | Self::Shutdown { id } => *id,
+            Self::Predict { id, .. }
+            | Self::Ping { id }
+            | Self::Shutdown { id }
+            | Self::Feedback { id, .. }
+            | Self::Refresh { id, .. }
+            | Self::PredictStamped { id, .. } => *id,
         }
     }
 
@@ -125,7 +188,10 @@ impl Request {
     /// shutdowns are never traced).
     pub fn trace_id(&self) -> u64 {
         match self {
-            Self::Predict { trace_id, .. } => *trace_id,
+            Self::Predict { trace_id, .. }
+            | Self::Feedback { trace_id, .. }
+            | Self::Refresh { trace_id, .. }
+            | Self::PredictStamped { trace_id, .. } => *trace_id,
             Self::Ping { .. } | Self::Shutdown { .. } => 0,
         }
     }
@@ -207,13 +273,50 @@ pub enum Response {
         /// Human-readable detail (capped at [`MAX_ERROR_MESSAGE`]).
         message: String,
     },
+    /// One labeled example was folded into the live training counters.
+    FeedbackAck {
+        /// The id of the request this answers.
+        id: u64,
+        /// The trace id echoed from the request (0 = untraced).
+        trace_id: u64,
+        /// The model version serving when the fold completed.
+        version: u64,
+        /// Total examples folded into the live trainer so far.
+        observed: u64,
+    },
+    /// A model refresh completed and the new version is live.
+    RefreshAck {
+        /// The id of the request this answers.
+        id: u64,
+        /// The trace id echoed from the request (0 = untraced).
+        trace_id: u64,
+        /// The version that is now answering new requests.
+        version: u64,
+    },
+    /// Successful classification, stamped with the answering model
+    /// version.
+    PredictStamped {
+        /// The id of the request this answers.
+        id: u64,
+        /// The trace id echoed from the request (0 = untraced).
+        trace_id: u64,
+        /// The predicted class label.
+        class: u32,
+        /// The model version that produced `class`.
+        version: u64,
+    },
 }
 
 impl Response {
     /// The id of the request this response answers.
     pub fn id(&self) -> u64 {
         match self {
-            Self::Predict { id, .. } | Self::Pong { id } | Self::Error { id, .. } => *id,
+            Self::Predict { id, .. }
+            | Self::Pong { id }
+            | Self::Error { id, .. }
+            | Self::FeedbackAck { id, .. }
+            | Self::RefreshAck { id, .. }
+            | Self::PredictStamped { id, .. } => *id,
         }
     }
 
@@ -221,7 +324,11 @@ impl Response {
     /// traced).
     pub fn trace_id(&self) -> u64 {
         match self {
-            Self::Predict { trace_id, .. } | Self::Error { trace_id, .. } => *trace_id,
+            Self::Predict { trace_id, .. }
+            | Self::Error { trace_id, .. }
+            | Self::FeedbackAck { trace_id, .. }
+            | Self::RefreshAck { trace_id, .. }
+            | Self::PredictStamped { trace_id, .. } => *trace_id,
             Self::Pong { .. } => 0,
         }
     }
@@ -398,30 +505,49 @@ const KIND_PREDICT: u8 = 1;
 const KIND_PING: u8 = 2;
 const KIND_SHUTDOWN: u8 = 3;
 
+// The LHF1 feedback family has its own kind namespace.
+const FEEDBACK_KIND_FEEDBACK: u8 = 1;
+const FEEDBACK_KIND_REFRESH: u8 = 2;
+const FEEDBACK_KIND_PREDICT_STAMPED: u8 = 3;
+
 /// Encodes a request body (without the frame length prefix). A non-zero
 /// trace id selects the v2 layout; everything else stays byte-identical
-/// to v1.
+/// to v1. The feedback-family variants travel under the `LHF1` magic,
+/// everything else under `LHQ1`.
 pub fn encode_request(request: &Request) -> Vec<u8> {
     let trace_id = request.trace_id();
     let mut out = Vec::with_capacity(40);
-    out.extend_from_slice(REQUEST_MAGIC);
+    match request {
+        Request::Predict { .. } | Request::Ping { .. } | Request::Shutdown { .. } => {
+            out.extend_from_slice(REQUEST_MAGIC);
+        }
+        Request::Feedback { .. } | Request::Refresh { .. } | Request::PredictStamped { .. } => {
+            out.extend_from_slice(FEEDBACK_MAGIC);
+        }
+    }
     out.push(if trace_id == 0 {
         WIRE_VERSION
     } else {
         WIRE_VERSION_TRACED
     });
+    let push_features = |out: &mut Vec<u8>, features: &[f64]| {
+        debug_assert!(features.len() <= MAX_FEATURES);
+        out.extend_from_slice(&(features.len() as u32).to_le_bytes());
+        for v in features {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    };
+    let push_ids = |out: &mut Vec<u8>, id: u64| {
+        out.extend_from_slice(&id.to_le_bytes());
+        if trace_id != 0 {
+            out.extend_from_slice(&trace_id.to_le_bytes());
+        }
+    };
     match request {
         Request::Predict { id, features, .. } => {
             out.push(KIND_PREDICT);
-            out.extend_from_slice(&id.to_le_bytes());
-            if trace_id != 0 {
-                out.extend_from_slice(&trace_id.to_le_bytes());
-            }
-            debug_assert!(features.len() <= MAX_FEATURES);
-            out.extend_from_slice(&(features.len() as u32).to_le_bytes());
-            for v in features {
-                out.extend_from_slice(&v.to_le_bytes());
-            }
+            push_ids(&mut out, *id);
+            push_features(&mut out, features);
         }
         Request::Ping { id } => {
             out.push(KIND_PING);
@@ -431,8 +557,52 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             out.push(KIND_SHUTDOWN);
             out.extend_from_slice(&id.to_le_bytes());
         }
+        Request::Feedback {
+            id,
+            label,
+            features,
+            ..
+        } => {
+            out.push(FEEDBACK_KIND_FEEDBACK);
+            push_ids(&mut out, *id);
+            out.extend_from_slice(&label.to_le_bytes());
+            push_features(&mut out, features);
+        }
+        Request::Refresh { id, .. } => {
+            out.push(FEEDBACK_KIND_REFRESH);
+            push_ids(&mut out, *id);
+        }
+        Request::PredictStamped { id, features, .. } => {
+            out.push(FEEDBACK_KIND_PREDICT_STAMPED);
+            push_ids(&mut out, *id);
+            push_features(&mut out, features);
+        }
     }
     out
+}
+
+/// Reads a cap-checked feature vector (count validated against both
+/// [`MAX_FEATURES`] and the bytes actually present before allocation).
+fn read_features(c: &mut Cursor<'_>) -> WireResult<Vec<f64>> {
+    let n = c.u32("n_features")? as usize;
+    if n > MAX_FEATURES {
+        return Err(WireError::TooLarge {
+            field: "n_features",
+            value: n,
+            cap: MAX_FEATURES,
+        });
+    }
+    // The count is untrusted: make sure the bytes are actually
+    // present before allocating the feature vector.
+    let payload = c.take(n * 8, "features")?;
+    Ok(payload
+        .chunks_exact(8)
+        .map(|b| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(b);
+            f64::from_le_bytes(buf)
+        })
+        .collect())
 }
 
 /// Decodes a request body. Never panics, whatever the input.
@@ -442,46 +612,62 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
 /// Returns a [`WireError`] describing the first malformed field.
 pub fn decode_request(bytes: &[u8]) -> WireResult<Request> {
     let mut c = Cursor::new(bytes);
-    let version = check_header(&mut c, REQUEST_MAGIC)?;
+    let magic = c.take(4, "magic")?;
+    let feedback_family = if magic == REQUEST_MAGIC {
+        false
+    } else if magic == FEEDBACK_MAGIC {
+        true
+    } else {
+        return Err(WireError::BadMagic);
+    };
+    let version = c.u8("version")?;
+    if version != WIRE_VERSION && version != WIRE_VERSION_TRACED {
+        return Err(WireError::BadVersion(version));
+    }
     let kind = c.u8("kind")?;
     let id = c.u64("request id")?;
     // The v2 trace-id field follows the request id for every kind; ping
     // and shutdown consume and ignore it (they are never traced).
     let trace_id = read_trace_id(&mut c, version)?;
-    let request = match kind {
-        KIND_PREDICT => {
-            let n = c.u32("n_features")? as usize;
-            if n > MAX_FEATURES {
-                return Err(WireError::TooLarge {
-                    field: "n_features",
-                    value: n,
-                    cap: MAX_FEATURES,
-                });
+    let request = if feedback_family {
+        match kind {
+            FEEDBACK_KIND_FEEDBACK => {
+                let label = c.u32("label")?;
+                Request::Feedback {
+                    id,
+                    trace_id,
+                    label,
+                    features: read_features(&mut c)?,
+                }
             }
-            // The count is untrusted: make sure the bytes are actually
-            // present before allocating the feature vector.
-            let payload = c.take(n * 8, "features")?;
-            let features = payload
-                .chunks_exact(8)
-                .map(|b| {
-                    let mut buf = [0u8; 8];
-                    buf.copy_from_slice(b);
-                    f64::from_le_bytes(buf)
-                })
-                .collect();
-            Request::Predict {
+            FEEDBACK_KIND_REFRESH => Request::Refresh { id, trace_id },
+            FEEDBACK_KIND_PREDICT_STAMPED => Request::PredictStamped {
                 id,
                 trace_id,
-                features,
+                features: read_features(&mut c)?,
+            },
+            value => {
+                return Err(WireError::BadTag {
+                    field: "feedback kind",
+                    value,
+                })
             }
         }
-        KIND_PING => Request::Ping { id },
-        KIND_SHUTDOWN => Request::Shutdown { id },
-        value => {
-            return Err(WireError::BadTag {
-                field: "request kind",
-                value,
-            })
+    } else {
+        match kind {
+            KIND_PREDICT => Request::Predict {
+                id,
+                trace_id,
+                features: read_features(&mut c)?,
+            },
+            KIND_PING => Request::Ping { id },
+            KIND_SHUTDOWN => Request::Shutdown { id },
+            value => {
+                return Err(WireError::BadTag {
+                    field: "request kind",
+                    value,
+                })
+            }
         }
     };
     c.finish()?;
@@ -495,6 +681,9 @@ pub fn decode_request(bytes: &[u8]) -> WireResult<Request> {
 const STATUS_PREDICT: u8 = 0;
 const STATUS_PONG: u8 = 1;
 const STATUS_ERROR: u8 = 2;
+const STATUS_FEEDBACK_ACK: u8 = 3;
+const STATUS_REFRESH_ACK: u8 = 4;
+const STATUS_PREDICT_STAMPED: u8 = 5;
 
 /// Encodes a response body (without the frame length prefix). A
 /// non-zero trace id selects the v2 layout (so v1 clients, which never
@@ -541,6 +730,39 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             }
             out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
             out.extend_from_slice(msg.as_bytes());
+        }
+        Response::FeedbackAck {
+            id,
+            version,
+            observed,
+            ..
+        } => {
+            out.extend_from_slice(&id.to_le_bytes());
+            if trace_id != 0 {
+                out.extend_from_slice(&trace_id.to_le_bytes());
+            }
+            out.push(STATUS_FEEDBACK_ACK);
+            out.extend_from_slice(&version.to_le_bytes());
+            out.extend_from_slice(&observed.to_le_bytes());
+        }
+        Response::RefreshAck { id, version, .. } => {
+            out.extend_from_slice(&id.to_le_bytes());
+            if trace_id != 0 {
+                out.extend_from_slice(&trace_id.to_le_bytes());
+            }
+            out.push(STATUS_REFRESH_ACK);
+            out.extend_from_slice(&version.to_le_bytes());
+        }
+        Response::PredictStamped {
+            id, class, version, ..
+        } => {
+            out.extend_from_slice(&id.to_le_bytes());
+            if trace_id != 0 {
+                out.extend_from_slice(&trace_id.to_le_bytes());
+            }
+            out.push(STATUS_PREDICT_STAMPED);
+            out.extend_from_slice(&class.to_le_bytes());
+            out.extend_from_slice(&version.to_le_bytes());
         }
     }
     out
@@ -589,6 +811,23 @@ pub fn decode_response(bytes: &[u8]) -> WireResult<Response> {
                 message,
             }
         }
+        STATUS_FEEDBACK_ACK => Response::FeedbackAck {
+            id,
+            trace_id,
+            version: c.u64("model version")?,
+            observed: c.u64("observed count")?,
+        },
+        STATUS_REFRESH_ACK => Response::RefreshAck {
+            id,
+            trace_id,
+            version: c.u64("model version")?,
+        },
+        STATUS_PREDICT_STAMPED => Response::PredictStamped {
+            id,
+            trace_id,
+            class: c.u32("class")?,
+            version: c.u64("model version")?,
+        },
         value => {
             return Err(WireError::BadTag {
                 field: "response status",
@@ -906,6 +1145,153 @@ mod tests {
             assert_eq!(&back, response);
             assert_eq!(back.id(), response.id());
             assert_eq!(back.trace_id(), response.trace_id());
+        }
+    }
+
+    #[test]
+    fn feedback_family_bodies_round_trip() {
+        let requests = [
+            Request::Feedback {
+                id: 3,
+                trace_id: 0,
+                label: 7,
+                features: vec![0.5, -2.25, 1e9],
+            },
+            Request::Feedback {
+                id: 4,
+                trace_id: 0xfeed,
+                label: u32::MAX,
+                features: Vec::new(),
+            },
+            Request::Refresh { id: 5, trace_id: 0 },
+            Request::Refresh {
+                id: 6,
+                trace_id: 77,
+            },
+            Request::PredictStamped {
+                id: 7,
+                trace_id: 0,
+                features: vec![1.0],
+            },
+            Request::PredictStamped {
+                id: 8,
+                trace_id: 9,
+                features: vec![f64::MIN_POSITIVE, 0.0],
+            },
+        ];
+        for request in &requests {
+            let body = encode_request(request);
+            assert_eq!(&body[..4], FEEDBACK_MAGIC);
+            let back = decode_request(&body).unwrap();
+            assert_eq!(&back, request);
+            assert_eq!(back.id(), request.id());
+            assert_eq!(back.trace_id(), request.trace_id());
+        }
+        let responses = [
+            Response::FeedbackAck {
+                id: 3,
+                trace_id: 0,
+                version: 1,
+                observed: 42,
+            },
+            Response::FeedbackAck {
+                id: 3,
+                trace_id: 11,
+                version: u64::MAX,
+                observed: 0,
+            },
+            Response::RefreshAck {
+                id: 5,
+                trace_id: 0,
+                version: 2,
+            },
+            Response::RefreshAck {
+                id: 5,
+                trace_id: 6,
+                version: 3,
+            },
+            Response::PredictStamped {
+                id: 7,
+                trace_id: 0,
+                class: u32::MAX,
+                version: 9,
+            },
+            Response::PredictStamped {
+                id: 7,
+                trace_id: 1,
+                class: 0,
+                version: 1,
+            },
+        ];
+        for response in &responses {
+            let back = decode_response(&encode_response(response)).unwrap();
+            assert_eq!(&back, response);
+            assert_eq!(back.id(), response.id());
+            assert_eq!(back.trace_id(), response.trace_id());
+        }
+    }
+
+    #[test]
+    fn feedback_frames_harden_like_predicts() {
+        let body = encode_request(&Request::Feedback {
+            id: 1,
+            trace_id: 42,
+            label: 2,
+            features: vec![2.0, 3.0],
+        });
+        // Every truncation errors; a trailing byte is rejected.
+        for cut in 0..body.len() {
+            assert!(decode_request(&body[..cut]).is_err(), "cut {cut} parsed");
+        }
+        let mut extended = body.clone();
+        extended.push(0);
+        assert!(matches!(
+            decode_request(&extended),
+            Err(WireError::Trailing { .. })
+        ));
+        // The LHF1 kind namespace is its own: kind 4 is rejected.
+        let mut bad_kind = body.clone();
+        bad_kind[5] = 4;
+        assert!(matches!(
+            decode_request(&bad_kind),
+            Err(WireError::BadTag {
+                field: "feedback kind",
+                ..
+            })
+        ));
+        // An over-cap feature count is rejected before allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(FEEDBACK_MAGIC);
+        huge.push(WIRE_VERSION);
+        huge.push(FEEDBACK_KIND_FEEDBACK);
+        huge.extend_from_slice(&1u64.to_le_bytes());
+        huge.extend_from_slice(&0u32.to_le_bytes()); // label
+        huge.extend_from_slice(&u32::MAX.to_le_bytes()); // n_features
+        assert!(matches!(
+            decode_request(&huge),
+            Err(WireError::TooLarge { .. })
+        ));
+        // The v2 layout is v1 plus the trace id spliced after the id.
+        let v1 = encode_request(&Request::Feedback {
+            id: 1,
+            trace_id: 0,
+            label: 2,
+            features: vec![2.0, 3.0],
+        });
+        assert_eq!(body.len(), v1.len() + 8);
+        assert_eq!(&body[..4], &v1[..4]);
+        assert_eq!(&body[5..14], &v1[5..14]);
+        assert_eq!(&body[14..22], &42u64.to_le_bytes());
+        assert_eq!(&body[22..], &v1[14..]);
+        // New response statuses also reject truncation everywhere.
+        let ack = encode_response(&Response::FeedbackAck {
+            id: 9,
+            trace_id: 3,
+            version: 2,
+            observed: 10,
+        });
+        for cut in 0..ack.len() {
+            assert!(decode_response(&ack[..cut]).is_err(), "cut {cut} parsed");
         }
     }
 

@@ -2,7 +2,8 @@
 # Local CI gate: formatting, lints, the full test suite, the persistence
 # and wire-protocol corruption sweeps, a CLI metrics smoke test, an
 # end-to-end serve + loadgen smoke test (admin telemetry endpoint, trace
-# export, perf-trajectory files), and the observability overhead budget.
+# export, perf-trajectory files), an online-training hot-swap smoke
+# test, and the observability overhead budget.
 # Usage: scripts/ci.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -237,6 +238,68 @@ assert 0.5 <= quality["argmax_agreement"] <= 1.0, quality
 assert -1.0 <= quality["accuracy_delta"] <= 1.0, quality
 print("perf trajectory files OK")
 EOF
+
+echo "== online training + hot-swap smoke test"
+# A separate serve instance with online training enabled; the previous
+# instance's exact counter assertions stay undisturbed.
+cargo run --release -q -p lookhd-cli -- serve \
+    --model "$smoke_dir/model.lks" --addr 127.0.0.1:0 --threads 2 \
+    --online --admin-addr 127.0.0.1:0 \
+    > "$smoke_dir/online.log" 2>&1 &
+online_pid=$!
+trap 'kill "$serve_pid" "$online_pid" 2> /dev/null || true; rm -rf "$smoke_dir"' EXIT
+online_addr=""
+online_admin=""
+for _ in $(seq 1 100); do
+    online_addr="$(sed -n 's/^serving on \([0-9.:]*\) .*/\1/p' "$smoke_dir/online.log")"
+    online_admin="$(sed -n 's/^admin on \([0-9.:]*\) .*/\1/p' "$smoke_dir/online.log")"
+    [ -n "$online_addr" ] && [ -n "$online_admin" ] && break
+    sleep 0.1
+done
+if [ -z "$online_addr" ] || [ -z "$online_admin" ]; then
+    echo "online smoke: server did not start"
+    cat "$smoke_dir/online.log"
+    exit 1
+fi
+grep -q "online training on" "$smoke_dir/online.log"
+# Feed the labelled training rows back as feedback frames over a single
+# connection (deterministic issue order: row (0 + seq) % 90), then
+# trigger a model refresh. 270 requests = each of the 90 rows 3×, so
+# each of the 3 classes is observed exactly 90 times.
+cargo run --release -q -p lookhd-bench --bin loadgen -- \
+    --addr "$online_addr" --data "$smoke_dir/train.csv" \
+    --feedback --refresh --connections 1 --requests 270 \
+    --out results/serve_feedback.txt
+grep -q "model refresh: acknowledged, now serving version 2" results/serve_feedback.txt
+# The admin endpoint must show the swap landed and every fold counted:
+# model.version advanced to 2 and train.observed.* match the fed label
+# histogram exactly.
+python3 - "$online_admin" << 'EOF'
+import json, sys, urllib.request
+addr = sys.argv[1]
+with urllib.request.urlopen(f"http://{addr}/metrics.json", timeout=10) as r:
+    doc = json.loads(r.read().decode())
+counters = {c["name"]: c["value"] for c in doc["counters"]}
+assert counters.get("model.version") == 2, counters
+assert counters.get("train.feedback") == 270, counters
+for c in range(3):
+    got = counters.get(f"train.observed.{c}")
+    assert got == 90, f"train.observed.{c} = {got}, want 90"
+assert counters.get("serve.model_swaps") == 1, counters
+assert counters.get("serve.model_swaps.auto", 0) == 0, counters
+assert counters.get("serve.swapped_to.2") == 1, counters
+spans = {s["path"] for s in doc["spans"]}
+for name in ("serve_feedback", "serve_model_swap", "online_materialize"):
+    assert any(name in p for p in spans), f"missing span {name}: {sorted(spans)}"
+print(f"online telemetry OK: {counters['train.feedback']} folds, "
+      f"now at model version {counters['model.version']}")
+EOF
+# Graceful shutdown of the online instance (drains the trainer thread).
+cargo run --release -q -p lookhd-bench --bin loadgen -- \
+    --addr "$online_addr" --data "$smoke_dir/queries.csv" \
+    --connections 1 --requests 1 \
+    --out "$smoke_dir/online_shutdown.txt" --shutdown
+wait "$online_pid"
 
 echo "== observability overhead budget (< 5%)"
 cargo run --release -q -p lookhd-bench --bin obs_overhead_check

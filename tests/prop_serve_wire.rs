@@ -1,7 +1,10 @@
 //! Property-based tests for the `lookhd-serve` wire codec: encode→decode
-//! round trips for arbitrary feature vectors and request ids, and
-//! decoder totality (never panics, never overallocates) on arbitrary
-//! byte soup.
+//! round trips for arbitrary feature vectors and request ids — across
+//! the LHQ1 predict family and the LHF1 feedback family (feedback /
+//! refresh / stamped predict) — and decoder totality (never panics,
+//! never overallocates) on arbitrary byte soup. The totality properties
+//! cover LHF1 for free: arbitrary bytes include the `LHF1` magic, and
+//! any Ok must re-encode/re-decode to itself.
 
 use lookhd_paper::serve::wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
@@ -59,6 +62,77 @@ proptest! {
         prop_assert_eq!(&v2[5..14], &v1[5..14]);       // kind + request id
         prop_assert_eq!(&v2[14..22], &trace_id.to_le_bytes()[..]);
         prop_assert_eq!(&v2[22..], &v1[14..]);         // payload
+    }
+
+    /// LHF1 feedback-family requests round-trip bit-exactly — feedback,
+    /// refresh, and stamped predicts, in both the v1 and v2 (traced)
+    /// layouts, through the codec and through framing.
+    #[test]
+    fn feedback_family_requests_round_trip(
+        id in any::<u64>(),
+        trace_id in any::<u64>(),
+        label in any::<u32>(),
+        features in proptest::collection::vec(-1e9f64..1e9, 0..300),
+    ) {
+        let requests = [
+            Request::Feedback { id, trace_id, label, features: features.clone() },
+            Request::Refresh { id, trace_id },
+            Request::PredictStamped { id, trace_id, features },
+        ];
+        for request in requests {
+            let body = encode_request(&request);
+            prop_assert_eq!(&decode_request(&body).unwrap(), &request);
+            let mut framed = Vec::new();
+            write_frame(&mut framed, &body).unwrap();
+            let unframed = read_frame(&mut std::io::Cursor::new(&framed)).unwrap();
+            prop_assert_eq!(decode_request(&unframed).unwrap(), request);
+        }
+    }
+
+    /// The LHF1 traced layout obeys the same splice rule as LHQ1: a v2
+    /// feedback frame is its v1 sibling with the 8-byte trace id
+    /// inserted after the request id.
+    #[test]
+    fn feedback_traced_layout_is_v1_plus_spliced_trace_id(
+        id in any::<u64>(),
+        trace_id in 1u64..=u64::MAX,
+        label in any::<u32>(),
+        features in proptest::collection::vec(-1e9f64..1e9, 0..50),
+    ) {
+        let v1 = encode_request(&Request::Feedback {
+            id, trace_id: 0, label, features: features.clone(),
+        });
+        let v2 = encode_request(&Request::Feedback { id, trace_id, label, features });
+        prop_assert_eq!(v2.len(), v1.len() + 8);
+        prop_assert_eq!(&v2[..4], b"LHF1");               // magic
+        prop_assert_eq!(v1[4], 1u8);                      // version
+        prop_assert_eq!(v2[4], 2u8);
+        prop_assert_eq!(&v2[5..14], &v1[5..14]);          // kind + request id
+        prop_assert_eq!(&v2[14..22], &trace_id.to_le_bytes()[..]);
+        prop_assert_eq!(&v2[22..], &v1[14..]);            // payload
+    }
+
+    /// Feedback-family responses round-trip for arbitrary versions,
+    /// observation counts, and classes.
+    #[test]
+    fn feedback_family_responses_round_trip(
+        id in any::<u64>(),
+        trace_id in any::<u64>(),
+        class in any::<u32>(),
+        version in any::<u64>(),
+        observed in any::<u64>(),
+    ) {
+        let responses = [
+            Response::FeedbackAck { id, trace_id, version, observed },
+            Response::RefreshAck { id, trace_id, version },
+            Response::PredictStamped { id, trace_id, class, version },
+        ];
+        for response in responses {
+            prop_assert_eq!(
+                decode_response(&encode_response(&response)).unwrap(),
+                response
+            );
+        }
     }
 
     /// Control requests round-trip for arbitrary ids.

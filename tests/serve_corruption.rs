@@ -5,16 +5,20 @@
 //! valid request frame must yield a clean protocol error, every
 //! single-byte flip must decode cleanly or fail cleanly, and oversized
 //! length headers must be rejected against a cap *before* allocation —
-//! at the codec layer and against a live server.
+//! at the codec layer and against a live server. The LHF1 feedback
+//! family (feedback / refresh / stamped predict) is held to the exact
+//! same bar, including against a live `start_online` server whose
+//! trainer thread must survive every sweep.
 
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
+use lookhd_paper::hdc::FitClassifier;
 use lookhd_paper::serve::wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    ErrorCode, Request, Response, WireError, MAX_FRAME_LEN,
+    ErrorCode, Request, Response, WireError, MAX_FEATURES, MAX_FRAME_LEN,
 };
 use lookhd_paper::serve::{self, Client, ServeConfig};
 
@@ -36,11 +40,136 @@ fn sample_traced_request() -> Request {
     }
 }
 
+/// LHF1 sample frames: one of each feedback-family kind, v1 and v2
+/// layouts — held to the same hardening bar as the predict family.
+fn feedback_family_requests() -> Vec<Request> {
+    let features = vec![0.25, -1.5, 3.75, 0.0, 1e12];
+    let mut out = Vec::new();
+    for trace_id in [0u64, 0xfeed_f00d_dead_beef] {
+        out.push(Request::Feedback {
+            id: 0x0123_4567_89ab_cdef,
+            trace_id,
+            label: 2,
+            features: features.clone(),
+        });
+        out.push(Request::Refresh {
+            id: 0x0123_4567_89ab_cdef,
+            trace_id,
+        });
+        out.push(Request::PredictStamped {
+            id: 0x0123_4567_89ab_cdef,
+            trace_id,
+            features: features.clone(),
+        });
+    }
+    out
+}
+
 /// A full frame (length prefix + body) for the sample request.
 fn framed(request: &Request) -> Vec<u8> {
     let mut out = Vec::new();
     write_frame(&mut out, &encode_request(request)).unwrap();
     out
+}
+
+#[test]
+fn feedback_request_truncated_at_every_length_errors() {
+    for request in feedback_family_requests() {
+        let body = encode_request(&request);
+        for cut in 0..body.len() {
+            assert!(
+                decode_request(&body[..cut]).is_err(),
+                "truncation at {cut}/{} parsed successfully ({request:?})",
+                body.len()
+            );
+        }
+        let mut longer = body.clone();
+        longer.push(0);
+        assert!(matches!(
+            decode_request(&longer),
+            Err(WireError::Trailing { .. })
+        ));
+    }
+}
+
+#[test]
+fn feedback_response_truncated_at_every_length_errors() {
+    for response in [
+        Response::FeedbackAck {
+            id: 7,
+            trace_id: 0,
+            version: 3,
+            observed: 41,
+        },
+        Response::RefreshAck {
+            id: 7,
+            trace_id: 0xabcd,
+            version: 4,
+        },
+        Response::PredictStamped {
+            id: 7,
+            trace_id: 0,
+            class: 2,
+            version: 4,
+        },
+    ] {
+        let body = encode_response(&response);
+        for cut in 0..body.len() {
+            assert!(
+                decode_response(&body[..cut]).is_err(),
+                "truncation at {cut}/{} parsed successfully ({response:?})",
+                body.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn feedback_request_survives_every_single_byte_flip() {
+    for request in feedback_family_requests() {
+        let body = encode_request(&request);
+        for i in 0..body.len() {
+            for flip in [0xFFu8, 0x01, 0x80] {
+                let mut bad = body.clone();
+                bad[i] ^= flip;
+                if let Ok(back) = decode_request(&bad) {
+                    let re = decode_request(&encode_request(&back)).unwrap();
+                    assert_eq!(re, back);
+                }
+            }
+        }
+    }
+}
+
+/// An LHF1 body whose `n_features` lies past the cap must be rejected
+/// against [`MAX_FEATURES`] before any allocation, like LHQ1.
+#[test]
+fn feedback_n_features_lie_is_rejected_before_allocation() {
+    for request in feedback_family_requests() {
+        let mut body = encode_request(&request);
+        // The feature count sits 4 bytes before the feature payload —
+        // find it by re-encoding with one fewer feature and diffing
+        // lengths is overkill; just scan for the little-endian count.
+        let Some(n) = (match &request {
+            Request::Feedback { features, .. } | Request::PredictStamped { features, .. } => {
+                Some(features.len() as u32)
+            }
+            _ => None,
+        }) else {
+            continue;
+        };
+        let payload = 8 * n as usize;
+        let count_at = body.len() - payload - 4;
+        assert_eq!(&body[count_at..count_at + 4], &n.to_le_bytes());
+        body[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        match decode_request(&body) {
+            Err(WireError::TooLarge { value, cap, .. }) => {
+                assert_eq!(value, u32::MAX as usize);
+                assert_eq!(cap, MAX_FEATURES);
+            }
+            other => panic!("n_features lie decoded as {other:?}"),
+        }
+    }
 }
 
 #[test]
@@ -287,6 +416,156 @@ fn live_server_rejects_oversized_length_headers() {
         }
     }
     assert_still_serving(addr);
+    handle.shutdown();
+    handle.join();
+}
+
+// ---------------------------------------------------------------------------
+// Live-server LHF1 sweeps (online training enabled)
+// ---------------------------------------------------------------------------
+
+/// A real trained model: the LHF1 sweeps need `start_online`, which
+/// derives a streaming trainer from the classifier.
+fn start_online_server() -> serve::ServerHandle {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..30 {
+        let base = [0.2, 0.8][i % 2];
+        xs.push(vec![base, 1.0 - base, base, base, 1.0 - base]);
+        ys.push(i % 2);
+    }
+    let config = lookhd_paper::lookhd::LookHdConfig::new()
+        .with_dim(128)
+        .with_retrain_epochs(0)
+        .with_validation_fraction(0.0)
+        .with_adaptive_grouping(false);
+    let model = lookhd_paper::lookhd::LookHdClassifier::fit(&config, &xs, &ys).expect("fit failed");
+    serve::start_online(
+        "127.0.0.1:0",
+        model,
+        ServeConfig::new().with_workers(2),
+        serve::OnlineConfig::new(),
+    )
+    .expect("bind failed")
+}
+
+/// The online server still folds feedback and answers stamped predicts.
+fn assert_still_training(addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect failed");
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match client
+        .feedback(1, 0, &[0.2, 0.8, 0.2, 0.2, 0.8])
+        .expect("feedback round trip failed")
+    {
+        Response::FeedbackAck { id: 1, .. } => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+    match client
+        .predict_stamped(2, &[0.8, 0.2, 0.8, 0.8, 0.2])
+        .expect("stamped round trip failed")
+    {
+        Response::PredictStamped { id: 2, .. } => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+/// Every truncation of every LHF1 frame kind, sent raw and half-closed,
+/// leaves the online server alive — reactor, workers, and the trainer
+/// thread.
+#[test]
+fn live_online_server_survives_every_feedback_frame_truncation() {
+    let handle = start_online_server();
+    let addr = handle.addr();
+    for request in feedback_family_requests() {
+        let frame = framed(&request);
+        for cut in 0..frame.len() {
+            let mut raw = TcpStream::connect(addr).expect("connect failed");
+            raw.write_all(&frame[..cut]).expect("write failed");
+            drop(raw); // mid-frame EOF
+        }
+    }
+    assert_still_training(addr);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Every single-byte flip of a feedback frame elicits a response or a
+/// clean close — never a hang — and training keeps working afterwards.
+#[test]
+fn live_online_server_survives_every_feedback_byte_flip() {
+    let handle = start_online_server();
+    let addr = handle.addr();
+    let frame = framed(&Request::Feedback {
+        id: 3,
+        trace_id: 0,
+        label: 1,
+        features: vec![0.25, -1.5, 3.75, 0.0, 1e12],
+    });
+    for i in 0..frame.len() {
+        let mut bad = frame.clone();
+        bad[i] ^= 0xFF;
+        let mut client = Client::connect(addr).expect("connect failed");
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        client.stream().write_all(&bad).expect("write failed");
+        let _ = client.stream().shutdown(std::net::Shutdown::Write);
+        match client.recv() {
+            Ok(_) => {}
+            Err(WireError::Io(e)) => assert!(
+                e.kind() != std::io::ErrorKind::WouldBlock
+                    && e.kind() != std::io::ErrorKind::TimedOut,
+                "server hung on flipped byte {i}: {e}"
+            ),
+            Err(other) => panic!("malformed server response for flipped byte {i}: {other:?}"),
+        }
+    }
+    assert_still_training(addr);
+    handle.shutdown();
+    handle.join();
+}
+
+/// A feedback frame whose `n_features` lies (frame length in cap, count
+/// past it) gets a BadRequest naming the limit; the connection is then
+/// dropped (a `TooLarge` decode means the stream may be desynced — the
+/// same answer-then-drop contract as LHQ1), and the server keeps
+/// training for fresh connections.
+#[test]
+fn live_online_server_rejects_feedback_feature_count_lies() {
+    let handle = start_online_server();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect failed");
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut body = encode_request(&Request::Feedback {
+        id: 9,
+        trace_id: 0,
+        label: 1,
+        features: vec![1.0, 2.0],
+    });
+    let count_at = body.len() - 16 - 4;
+    body[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    write_frame(client.stream(), &body).expect("write failed");
+    // The id is unrecoverable once the body fails to decode; the error
+    // comes back with id 0, and must name the feature-count limit.
+    match client.recv().expect("recv failed") {
+        Response::Error {
+            id: 0,
+            code,
+            message,
+            ..
+        } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("limit"), "unexpected message: {message}");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    // The poisoned connection is closed after the answer; a fresh one
+    // keeps training.
+    assert_still_training(addr);
     handle.shutdown();
     handle.join();
 }
