@@ -48,8 +48,20 @@
 //! scrapes the server's live `/metrics.json` after the burst and reports
 //! server-side queue-wait percentiles next to the client-side latency.
 //! `--bench-out` additionally writes a schema-versioned machine-readable
-//! summary (schema v2: workload shape, host cores, and one curve entry
-//! per connection count with percentiles and throughput).
+//! summary (schema v3: workload shape, host provenance, and a `runs`
+//! array — one entry per server configuration, each holding a
+//! throughput/latency curve over connection counts).
+//!
+//! * `--reactors N` — provenance label only: records how many reactor
+//!   threads the *server* was started with in the bench JSON run entry
+//!   (loadgen cannot observe this; the harness passes it through);
+//! * `--bench-append` — splice this run into an existing schema-v3
+//!   `--bench-out` file's `runs` array instead of overwriting, so a
+//!   harness can sweep `--reactors 1,2,4` into one curve-of-curves.
+//!
+//! The `host` block records both `cores` and `loadgen_shares_host:
+//! true`: the generator runs on the same machine as the server, so
+//! throughput numbers are co-located measurements, not isolated ones.
 
 use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
@@ -482,8 +494,10 @@ fn main() {
     let traced = flags.switch("trace");
     let feedback = flags.switch("feedback");
     let refresh = flags.switch("refresh");
+    let reactors_label = flags.get_or("reactors", 1usize).max(1);
     let admin_addr = flags.get("admin").map(str::to_owned);
     let bench_out = flags.get("bench-out").map(str::to_owned);
+    let bench_append = flags.switch("bench-append");
     let out_path = flags
         .get("out")
         .unwrap_or("results/serve_loadgen.txt")
@@ -587,7 +601,7 @@ fn main() {
     report.push_str("# loadgen — lookhd-serve latency under concurrent load\n");
     report.push_str(&format!(
         "addr {addr}; {requests} {} request(s)/connection, pipeline {pipeline}, \
-         rate {}, deadline {} ms\n",
+         rate {}, deadline {} ms, server reactors {reactors_label}\n",
         if feedback { "feedback" } else { "predict" },
         if rate_rps == 0 {
             "unpaced".to_owned()
@@ -596,6 +610,10 @@ fn main() {
         },
         deadline.as_millis(),
     ));
+    report.push_str(
+        "note: loadgen shares the host with the server — throughput is a \
+         co-located measurement, not an isolated one\n",
+    );
     for p in &points {
         let total = p.connections * requests;
         report.push_str(&format!(
@@ -640,21 +658,16 @@ fn main() {
     if let Some(bench_path) = &bench_out {
         let n_features = rows.first().map_or(0, Vec::len);
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let mut json = String::new();
-        json.push_str("{\n");
-        json.push_str("  \"schema_version\": 2,\n");
-        json.push_str("  \"bench\": \"serve_loadgen\",\n");
-        json.push_str(&format!(
-            "  \"workload\": {{\"requests_per_connection\": {requests}, \"pipeline\": {pipeline}, \
-             \"rate_rps\": {rate_rps}, \"deadline_ms\": {}, \"n_features\": {n_features}, \
-             \"traced\": {traced}}},\n",
-            deadline.as_millis(),
+
+        // One `runs` entry for this invocation: the server's reactor
+        // count (a pass-through label) plus the measured curve.
+        let mut run = String::new();
+        run.push_str(&format!(
+            "    {{\"reactors\": {reactors_label}, \"curve\": [\n"
         ));
-        json.push_str(&format!("  \"host\": {{\"cores\": {cores}}},\n"));
-        json.push_str("  \"curve\": [\n");
         for (i, p) in points.iter().enumerate() {
-            json.push_str(&format!(
-                "    {{\"connections\": {}, \"ok\": {}, \"errors\": {}, \"dropped\": {}, \
+            run.push_str(&format!(
+                "      {{\"connections\": {}, \"ok\": {}, \"errors\": {}, \"dropped\": {}, \
                  \"id_mismatches\": {}, \"throughput_rps\": {:.1}, \
                  \"latency_ns\": {{\"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
                  \"max\": {}}}}}{}\n",
@@ -672,14 +685,57 @@ fn main() {
                 if i + 1 == points.len() { "" } else { "," },
             ));
         }
-        json.push_str("  ]");
-        match server_queue_wait {
-            Some((p50, p95, p99)) => json.push_str(&format!(
-                ",\n  \"server_queue_wait_ns\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}\n"
-            )),
-            None => json.push('\n'),
+        run.push_str("    ]");
+        if let Some((p50, p95, p99)) = server_queue_wait {
+            run.push_str(&format!(
+                ", \"server_queue_wait_ns\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}"
+            ));
         }
-        json.push_str("}\n");
+        run.push_str("}\n");
+
+        // The document always ends with the fixed tail below, so append
+        // mode can splice a new run in by string surgery — the bench
+        // crate deliberately has no JSON parser.
+        const TAIL: &str = "  ]\n}\n";
+        let existing = bench_append
+            .then(|| std::fs::read_to_string(bench_path).ok())
+            .flatten();
+        let json = match existing {
+            Some(doc) => {
+                if !doc.contains("\"schema_version\": 3") {
+                    fail(&format!(
+                        "--bench-append: {bench_path} is not a schema-v3 document"
+                    ));
+                }
+                let Some(head) = doc.strip_suffix(TAIL) else {
+                    fail(&format!(
+                        "--bench-append: {bench_path} does not end with the v3 tail"
+                    ));
+                };
+                // Closing `}\n` of the previous run entry gains a comma.
+                let head = head.strip_suffix('\n').unwrap_or(head).to_owned();
+                format!("{head},\n{run}{TAIL}")
+            }
+            None => {
+                let mut json = String::new();
+                json.push_str("{\n");
+                json.push_str("  \"schema_version\": 3,\n");
+                json.push_str("  \"bench\": \"serve_loadgen\",\n");
+                json.push_str(&format!(
+                    "  \"workload\": {{\"requests_per_connection\": {requests}, \
+                     \"pipeline\": {pipeline}, \"rate_rps\": {rate_rps}, \"deadline_ms\": {}, \
+                     \"n_features\": {n_features}, \"traced\": {traced}}},\n",
+                    deadline.as_millis(),
+                ));
+                json.push_str(&format!(
+                    "  \"host\": {{\"cores\": {cores}, \"loadgen_shares_host\": true}},\n"
+                ));
+                json.push_str("  \"runs\": [\n");
+                json.push_str(&run);
+                json.push_str(TAIL);
+                json
+            }
+        };
         match std::fs::write(bench_path, &json) {
             Ok(()) => println!("wrote {bench_path}"),
             Err(e) => fail(&format!("writing {bench_path}: {e}")),

@@ -10,11 +10,21 @@
 //! * On **Linux** the backend is raw `epoll` — `epoll_create1` /
 //!   `epoll_ctl` / `epoll_wait` declared as `extern "C"` bindings against
 //!   the libc that `std` already links, plus an `eventfd` for cross-thread
-//!   wakeups. Level-triggered mode only: it needs no speculative drain
-//!   loops and gives natural round-robin fairness across ready
-//!   connections (an undrained socket simply shows up again next wait).
+//!   wakeups. Pollers run level-triggered by default; [`Mode::Edge`]
+//!   switches every registration (waker included) to `EPOLLET`, trading
+//!   re-reported readiness for one wakeup per readiness *transition* —
+//!   callers must then drain each fd to `WouldBlock` before waiting again.
 //! * On **other Unixes** the same API is served by POSIX `poll(2)` with a
 //!   self-pipe waker. O(n) per wait, fine as a portability fallback.
+//!   `poll(2)` has no edge-triggered mode, so [`Mode::Edge`] degrades to
+//!   level-triggered there; code written to the edge contract (drain to
+//!   `WouldBlock`) is correct under both, it just wakes more often.
+//!
+//! The Linux backend also exposes [`reuseport_listener`]: a
+//! `SO_REUSEPORT` TCP listener factory so several acceptor threads can
+//! each bind their own listener to one address and let the kernel shard
+//! incoming connections across them. On the portable backend it returns
+//! `Unsupported` and callers fall back to a single shared listener.
 //!
 //! The `unsafe` in this crate is confined to the `sys` FFI declarations
 //! and the few call sites that use them; every invariant (valid fds via
@@ -50,6 +60,20 @@ use std::os::fd::RawFd;
 /// The reserved token reported for wakeups triggered via [`Waker::wake`].
 /// Registering a caller fd with this token is rejected.
 pub const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Readiness delivery discipline for a [`Poller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Report an fd on every wait while it stays ready (epoll default).
+    /// Undrained sockets simply show up again next wait.
+    Level,
+    /// Report an fd only when its readiness *transitions* (`EPOLLET`).
+    /// Callers must drain each reported fd to `WouldBlock` before the
+    /// next wait or risk missing data. The portable `poll(2)` backend
+    /// cannot express this and silently serves level-triggered events;
+    /// the drain-to-`WouldBlock` contract is correct under both.
+    Edge,
+}
 
 /// Which readiness conditions a registration watches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,7 +139,7 @@ pub struct Event {
     pub hangup: bool,
 }
 
-pub use imp::{Poller, Waker};
+pub use imp::{reuseport_listener, Poller, Waker};
 
 // ---------------------------------------------------------------------------
 // Linux backend: epoll + eventfd
@@ -128,12 +152,12 @@ mod imp {
     use std::sync::Arc;
     use std::time::Duration;
 
-    use super::{Event, Interest, WAKER_TOKEN};
+    use super::{Event, Interest, Mode, WAKER_TOKEN};
 
     /// Raw FFI surface. These symbols live in the libc that `std` links
     /// into every Rust binary on Linux; the signatures mirror the man
     /// pages exactly. Constants are from `<sys/epoll.h>` / `<sys/eventfd.h>`
-    /// for x86_64/aarch64 (identical on both).
+    /// / `<sys/socket.h>` for x86_64/aarch64 (identical on both).
     mod sys {
         use std::os::fd::RawFd;
 
@@ -148,6 +172,27 @@ mod imp {
             pub data: u64,
         }
 
+        /// `struct sockaddr_in` — all multi-byte fields in network order.
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        pub struct SockAddrIn {
+            pub family: u16,
+            pub port_be: u16,
+            pub addr_be: u32,
+            pub zero: [u8; 8],
+        }
+
+        /// `struct sockaddr_in6`.
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        pub struct SockAddrIn6 {
+            pub family: u16,
+            pub port_be: u16,
+            pub flowinfo: u32,
+            pub addr: [u8; 16],
+            pub scope_id: u32,
+        }
+
         pub const EPOLL_CTL_ADD: i32 = 1;
         pub const EPOLL_CTL_DEL: i32 = 2;
         pub const EPOLL_CTL_MOD: i32 = 3;
@@ -157,12 +202,23 @@ mod imp {
         pub const EPOLLERR: u32 = 0x008;
         pub const EPOLLHUP: u32 = 0x010;
         pub const EPOLLRDHUP: u32 = 0x2000;
+        /// Edge-triggered delivery (`EPOLLET`, bit 31).
+        pub const EPOLLET: u32 = 1 << 31;
 
         /// `EPOLL_CLOEXEC` == `O_CLOEXEC`.
         pub const EPOLL_CLOEXEC: i32 = 0o2000000;
         /// `EFD_CLOEXEC` == `O_CLOEXEC`, `EFD_NONBLOCK` == `O_NONBLOCK`.
         pub const EFD_CLOEXEC: i32 = 0o2000000;
         pub const EFD_NONBLOCK: i32 = 0o4000;
+
+        pub const AF_INET: u16 = 2;
+        pub const AF_INET6: u16 = 10;
+        pub const SOCK_STREAM: i32 = 1;
+        /// `SOCK_CLOEXEC` == `O_CLOEXEC`.
+        pub const SOCK_CLOEXEC: i32 = 0o2000000;
+        pub const SOL_SOCKET: i32 = 1;
+        pub const SO_REUSEADDR: i32 = 2;
+        pub const SO_REUSEPORT: i32 = 15;
 
         extern "C" {
             pub fn epoll_create1(flags: i32) -> RawFd;
@@ -176,10 +232,20 @@ mod imp {
             pub fn eventfd(initval: u32, flags: i32) -> RawFd;
             pub fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
             pub fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
+            pub fn socket(domain: i32, ty: i32, protocol: i32) -> RawFd;
+            pub fn setsockopt(
+                fd: RawFd,
+                level: i32,
+                optname: i32,
+                optval: *const u8,
+                optlen: u32,
+            ) -> i32;
+            pub fn bind(fd: RawFd, addr: *const u8, addrlen: u32) -> i32;
+            pub fn listen(fd: RawFd, backlog: i32) -> i32;
         }
     }
 
-    fn epoll_mask(interest: Interest) -> u32 {
+    fn epoll_mask(interest: Interest, edge: bool) -> u32 {
         // EPOLLRDHUP distinguishes "peer half-closed" from plain EPOLLIN
         // and makes abandoned connections visible even when parked with
         // `Interest::NONE` (EPOLLERR/EPOLLHUP are always reported).
@@ -190,14 +256,18 @@ mod imp {
         if interest.is_writable() {
             mask |= sys::EPOLLOUT;
         }
+        if edge {
+            mask |= sys::EPOLLET;
+        }
         mask
     }
 
-    /// A level-triggered epoll instance plus its eventfd wake channel.
+    /// An epoll instance plus its eventfd wake channel.
     #[derive(Debug)]
     pub struct Poller {
         epfd: OwnedFd,
         wake: Arc<OwnedFd>,
+        edge: bool,
     }
 
     /// Wakes a [`Poller::wait`] from another thread. Cheap to clone; all
@@ -227,12 +297,26 @@ mod imp {
     }
 
     impl Poller {
-        /// Creates a poller with its wake channel already registered.
+        /// Creates a level-triggered poller with its wake channel already
+        /// registered.
         ///
         /// # Errors
         ///
         /// Propagates `epoll_create1`/`eventfd`/`epoll_ctl` failures.
         pub fn new() -> io::Result<Self> {
+            Self::with_mode(Mode::Level)
+        }
+
+        /// Creates a poller in the given [`Mode`]. Under [`Mode::Edge`]
+        /// every registration — the internal waker included — carries
+        /// `EPOLLET`, so callers must drain each reported fd to
+        /// `WouldBlock` before the next wait.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_create1`/`eventfd`/`epoll_ctl` failures.
+        pub fn with_mode(mode: Mode) -> io::Result<Self> {
+            let edge = mode == Mode::Edge;
             // SAFETY: plain syscall, no pointers. A negative return is an
             // error and never converted to an OwnedFd.
             let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
@@ -251,14 +335,24 @@ mod imp {
             let poller = Self {
                 epfd,
                 wake: Arc::new(wake),
+                edge,
             };
+            let mut wake_mask = sys::EPOLLIN;
+            if edge {
+                wake_mask |= sys::EPOLLET;
+            }
             poller.ctl(
                 sys::EPOLL_CTL_ADD,
                 poller.wake.as_raw_fd(),
                 WAKER_TOKEN,
-                sys::EPOLLIN,
+                wake_mask,
             )?;
             Ok(poller)
+        }
+
+        /// Whether this poller delivers edge-triggered events.
+        pub fn is_edge(&self) -> bool {
+            self.edge
         }
 
         /// A handle other threads can use to interrupt [`Poller::wait`].
@@ -295,7 +389,12 @@ mod imp {
                     "token u64::MAX is reserved for the waker",
                 ));
             }
-            self.ctl(sys::EPOLL_CTL_ADD, fd, token, epoll_mask(interest))
+            self.ctl(
+                sys::EPOLL_CTL_ADD,
+                fd,
+                token,
+                epoll_mask(interest, self.edge),
+            )
         }
 
         /// Changes the interest set (and token) of a registered fd.
@@ -310,7 +409,12 @@ mod imp {
                     "token u64::MAX is reserved for the waker",
                 ));
             }
-            self.ctl(sys::EPOLL_CTL_MOD, fd, token, epoll_mask(interest))
+            self.ctl(
+                sys::EPOLL_CTL_MOD,
+                fd,
+                token,
+                epoll_mask(interest, self.edge),
+            )
         }
 
         /// Stops watching a registered fd.
@@ -384,13 +488,114 @@ mod imp {
             Ok(())
         }
 
-        /// Resets the eventfd counter so level-triggered readiness clears.
+        /// Resets the eventfd counter so readiness clears. Loops until the
+        /// read reports `WouldBlock`: a single read would suffice for one
+        /// drain (eventfd reads return the whole counter), but a wake
+        /// posted between that read and the next `wait()` must land the
+        /// fd back at a zero counter before we sleep — under
+        /// edge-triggered delivery a partially drained eventfd never
+        /// fires again and the wakeup is lost. Draining to `WouldBlock`
+        /// guarantees every post-drain wake is a fresh 0→1 transition,
+        /// which re-arms the edge.
         fn drain_wake(&self) {
             let mut buf = [0u8; 8];
-            // SAFETY: `wake` is a valid nonblocking eventfd; the buffer is
-            // 8 writable bytes. EAGAIN (already drained) is fine.
-            let _ = unsafe { sys::read(self.wake.as_raw_fd(), buf.as_mut_ptr(), buf.len()) };
+            loop {
+                // SAFETY: `wake` is a valid nonblocking eventfd; the
+                // buffer is 8 writable bytes. A negative return (EAGAIN:
+                // counter already zero) terminates the drain.
+                let rc = unsafe { sys::read(self.wake.as_raw_fd(), buf.as_mut_ptr(), buf.len()) };
+                if rc < 0 {
+                    break;
+                }
+            }
         }
+    }
+
+    /// Binds a TCP listener to `addr` with `SO_REUSEPORT` (and
+    /// `SO_REUSEADDR`) set before the bind, so several listeners can share
+    /// one address and the kernel shards incoming connections across them
+    /// by flow hash. The listener is returned blocking, like
+    /// `TcpListener::bind`; callers set nonblocking themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `socket`/`setsockopt`/`bind`/`listen` failures.
+    pub fn reuseport_listener(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+        let domain = match addr {
+            std::net::SocketAddr::V4(_) => sys::AF_INET,
+            std::net::SocketAddr::V6(_) => sys::AF_INET6,
+        };
+        // SAFETY: plain syscall, no pointers. A negative return is an
+        // error and never converted to an OwnedFd.
+        let fd = unsafe { sys::socket(i32::from(domain), sys::SOCK_STREAM | sys::SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: fd is a freshly returned, unowned, valid socket; from
+        // here the OwnedFd closes it on every error path.
+        let fd = unsafe { OwnedFd::from_raw_fd(fd) };
+        for opt in [sys::SO_REUSEADDR, sys::SO_REUSEPORT] {
+            let one: i32 = 1;
+            // SAFETY: fd is valid; optval points at 4 live bytes and
+            // optlen matches.
+            let rc = unsafe {
+                sys::setsockopt(
+                    fd.as_raw_fd(),
+                    sys::SOL_SOCKET,
+                    opt,
+                    one.to_ne_bytes().as_ptr(),
+                    4,
+                )
+            };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        let rc = match addr {
+            std::net::SocketAddr::V4(v4) => {
+                let sa = sys::SockAddrIn {
+                    family: sys::AF_INET,
+                    port_be: v4.port().to_be(),
+                    // `octets()` is already network byte order in memory.
+                    addr_be: u32::from_ne_bytes(v4.ip().octets()),
+                    zero: [0; 8],
+                };
+                // SAFETY: fd is valid; the pointer covers a live
+                // sockaddr_in of exactly the passed length.
+                unsafe {
+                    sys::bind(
+                        fd.as_raw_fd(),
+                        (&sa as *const sys::SockAddrIn).cast(),
+                        std::mem::size_of::<sys::SockAddrIn>() as u32,
+                    )
+                }
+            }
+            std::net::SocketAddr::V6(v6) => {
+                let sa = sys::SockAddrIn6 {
+                    family: sys::AF_INET6,
+                    port_be: v6.port().to_be(),
+                    flowinfo: v6.flowinfo(),
+                    addr: v6.ip().octets(),
+                    scope_id: v6.scope_id(),
+                };
+                // SAFETY: as above, for sockaddr_in6.
+                unsafe {
+                    sys::bind(
+                        fd.as_raw_fd(),
+                        (&sa as *const sys::SockAddrIn6).cast(),
+                        std::mem::size_of::<sys::SockAddrIn6>() as u32,
+                    )
+                }
+            }
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: plain syscall on a valid fd.
+        if unsafe { sys::listen(fd.as_raw_fd(), 1024) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(std::net::TcpListener::from(fd))
     }
 }
 
@@ -406,7 +611,7 @@ mod imp {
     use std::sync::{Arc, Mutex};
     use std::time::Duration;
 
-    use super::{Event, Interest, WAKER_TOKEN};
+    use super::{Event, Interest, Mode, WAKER_TOKEN};
 
     mod sys {
         use std::os::fd::RawFd;
@@ -463,6 +668,18 @@ mod imp {
         ///
         /// Propagates socket-pair setup failures.
         pub fn new() -> io::Result<Self> {
+            Self::with_mode(Mode::Level)
+        }
+
+        /// Creates a poller in the given [`Mode`]. `poll(2)` cannot
+        /// deliver edge-triggered events, so [`Mode::Edge`] is accepted
+        /// but served level-triggered; drain-to-`WouldBlock` consumers
+        /// stay correct, they just wake more often.
+        ///
+        /// # Errors
+        ///
+        /// Propagates socket-pair setup failures.
+        pub fn with_mode(_mode: Mode) -> io::Result<Self> {
             let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
             let write_half = std::net::TcpStream::connect(listener.local_addr()?)?;
             let (read_half, _) = listener.accept()?;
@@ -481,6 +698,11 @@ mod imp {
             Waker {
                 wake_write: Arc::clone(&self.wake_write),
             }
+        }
+
+        /// Always `false`: this backend only serves level-triggered events.
+        pub fn is_edge(&self) -> bool {
+            false
         }
 
         /// Starts watching `fd` with `interest`, reporting `token`.
@@ -619,6 +841,15 @@ mod imp {
             }
             Ok(())
         }
+    }
+
+    /// `SO_REUSEPORT` sharding is Linux-specific here; this backend
+    /// reports `Unsupported` so callers fall back to a single listener.
+    pub fn reuseport_listener(_addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_REUSEPORT accept sharding requires the Linux epoll backend",
+        ))
     }
 }
 
@@ -763,5 +994,133 @@ mod tests {
         assert!(poller
             .register(raw_fd(&a), WAKER_TOKEN, Interest::READABLE)
             .is_err());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn edge_triggered_reports_once_until_new_data() {
+        let (a, mut b) = pair();
+        let poller = Poller::with_mode(Mode::Edge).unwrap();
+        assert!(poller.is_edge());
+        poller.register(raw_fd(&a), 42, Interest::READABLE).unwrap();
+
+        b.write_all(b"hello").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        // Edge-triggered: the undrained socket is NOT re-reported.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty(), "{events:?}");
+
+        // New data is a fresh edge even though the old bytes still sit
+        // in the socket buffer.
+        b.write_all(b" world").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        let mut buf = [0u8; 32];
+        let n = (&a).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello world");
+    }
+
+    /// The ET-safety regression test for the waker: two threads hammer
+    /// wake() against a poller in edge mode while the poll thread drains.
+    /// Every round ends with a wake that MUST be observed — under the old
+    /// single-read drain, a wake racing the drain left the eventfd
+    /// counter nonzero, and the next wake never produced a fresh edge.
+    #[test]
+    fn waker_hammer_from_two_threads_never_loses_the_final_wake() {
+        for mode in [Mode::Level, Mode::Edge] {
+            let poller = Poller::with_mode(mode).unwrap();
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let mut storms = Vec::new();
+            for _ in 0..2 {
+                let waker = poller.waker();
+                let stop = std::sync::Arc::clone(&stop);
+                storms.push(std::thread::spawn(move || {
+                    let mut n = 0u32;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        waker.wake();
+                        n += 1;
+                        if n.is_multiple_of(64) {
+                            std::thread::yield_now();
+                        }
+                    }
+                }));
+            }
+            // Drain concurrently with the storm for a while.
+            let mut events = Vec::new();
+            let deadline = Instant::now() + Duration::from_millis(200);
+            while Instant::now() < deadline {
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(10)))
+                    .unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            for h in storms {
+                h.join().unwrap();
+            }
+            // Settle: consume whatever the storm left behind.
+            loop {
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(20)))
+                    .unwrap();
+                if events.is_empty() {
+                    break;
+                }
+            }
+            // The decisive wake after the storm must still come through.
+            let waker = poller.waker();
+            let h = std::thread::spawn(move || waker.wake());
+            poller
+                .wait(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            h.join().unwrap();
+            assert!(
+                events.iter().any(|e| e.token == WAKER_TOKEN),
+                "post-storm wake was lost in {mode:?} mode"
+            );
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reuseport_listeners_share_one_address() {
+        use std::net::SocketAddr;
+        let first = reuseport_listener("127.0.0.1:0".parse::<SocketAddr>().unwrap()).unwrap();
+        let addr = first.local_addr().unwrap();
+        // A second listener binds the very same port thanks to REUSEPORT.
+        let second = reuseport_listener(addr).unwrap();
+        assert_eq!(second.local_addr().unwrap(), addr);
+        first.set_nonblocking(true).unwrap();
+        second.set_nonblocking(true).unwrap();
+
+        // Each connection lands on exactly one of the listeners.
+        let mut accepted = 0;
+        let mut clients = Vec::new();
+        for _ in 0..8 {
+            clients.push(TcpStream::connect(addr).unwrap());
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while accepted < 8 && Instant::now() < deadline {
+            for listener in [&first, &second] {
+                loop {
+                    match listener.accept() {
+                        Ok(_) => accepted += 1,
+                        Err(e) if is_would_block(&e) => break,
+                        Err(e) => panic!("accept failed: {e}"),
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(accepted, 8, "kernel did not deliver all connections");
     }
 }

@@ -39,6 +39,14 @@ use crate::wire::{self, Response};
 /// and is dropped rather than growing server memory without bound.
 pub(crate) const OUTBOX_CAP: usize = 256 * 1024;
 
+/// Consumed-prefix length at which the outbox slides its unsent tail to
+/// the front. Each compaction memmoves at most [`OUTBOX_CAP`] bytes and
+/// reclaims at least this many, so total memmove traffic is bounded by
+/// `written_bytes * OUTBOX_CAP / OUTBOX_COMPACT_AT` — amortized O(1)
+/// per byte, where the old always-retained prefix grew the buffer (and
+/// its realloc copies) without bound under sustained backpressure.
+pub(crate) const OUTBOX_COMPACT_AT: usize = 16 * 1024;
+
 /// Result of a reactor-side outbox flush attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Flush {
@@ -51,11 +59,92 @@ pub(crate) enum Flush {
     Dead,
 }
 
-/// Pending response bytes not yet accepted by the kernel.
-struct Outbox {
-    /// Flat buffer of un-sent frame bytes; `pos` is the written prefix.
+/// The outbox byte buffer: a flat `Vec` with a consumed-offset cursor.
+/// `buf[pos..]` is unsent; `buf[..pos]` is dead weight reclaimed by
+/// threshold compaction (see [`OUTBOX_COMPACT_AT`]).
+struct OutboxBuf {
     buf: Vec<u8>,
     pos: usize,
+    /// Total bytes memmoved by compaction (pinned by regression tests).
+    moved: u64,
+}
+
+impl OutboxBuf {
+    fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            pos: 0,
+            moved: 0,
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reclaims the consumed prefix when it has grown past the
+    /// threshold (or frees the buffer state when fully drained).
+    fn compact_if_due(&mut self) {
+        if self.pos == 0 {
+            return;
+        }
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            return;
+        }
+        if self.pos >= OUTBOX_COMPACT_AT {
+            let backlog = self.backlog();
+            self.buf.copy_within(self.pos.., 0);
+            self.buf.truncate(backlog);
+            self.moved += backlog as u64;
+            self.pos = 0;
+        }
+    }
+
+    /// Queues `bytes` behind the current backlog; `false` means the
+    /// [`OUTBOX_CAP`] would be exceeded (condemn the connection).
+    fn append(&mut self, bytes: &[u8]) -> bool {
+        if self.backlog() + bytes.len() > OUTBOX_CAP {
+            return false;
+        }
+        self.compact_if_due();
+        self.buf.extend_from_slice(bytes);
+        true
+    }
+
+    /// Writes the backlog through `write` until drained or blocked.
+    /// `Ok(true)` = drained, `Ok(false)` = the writer would block;
+    /// errors (and zero-length writes) mean the transport is dead.
+    fn flush_with<F: FnMut(&[u8]) -> io::Result<usize>>(
+        &mut self,
+        write: &mut F,
+    ) -> io::Result<bool> {
+        while self.backlog() > 0 {
+            match write(&self.buf[self.pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.pos += n;
+                    self.compact_if_due();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+/// Pending response bytes not yet accepted by the kernel, plus the
+/// per-connection frame-encode scratch buffer.
+struct Outbox {
+    b: OutboxBuf,
+    /// Reusable frame-encode buffer: every [`Conn::send`] encodes into
+    /// this one allocation instead of a fresh `Vec` per frame.
+    scratch: Vec<u8>,
     /// The owning reactor has been asked to watch `EPOLLOUT`.
     wants_flush: bool,
     /// Condemned: transport error or outbox overflow. All later writes
@@ -63,10 +152,16 @@ struct Outbox {
     dead: bool,
 }
 
-impl Outbox {
-    fn backlog(&self) -> usize {
-        self.buf.len() - self.pos
-    }
+/// Follow-up work a locked push decided on, performed after the outbox
+/// lock is released (reactor wakeups must not run under it).
+enum PushAction {
+    None,
+    /// First backlogged bytes: ask the reactor to watch `EPOLLOUT`.
+    RequestFlush,
+    /// Transport died mid-write: ask the reactor to reap.
+    Check,
+    /// Outbox overflow: tier-3 shed, count and reap.
+    SlowClientDrop,
 }
 
 /// One live client connection, shared (via `Arc`) between the owning
@@ -98,8 +193,8 @@ impl Conn {
             token,
             stream,
             out: Mutex::new(Outbox {
-                buf: Vec::new(),
-                pos: 0,
+                b: OutboxBuf::new(),
+                scratch: Vec::new(),
                 wants_flush: false,
                 dead: false,
             }),
@@ -121,69 +216,79 @@ impl Conn {
 
     /// Encodes and sends one response frame. Callable from any thread;
     /// never blocks: bytes the kernel refuses go to the outbox and the
-    /// reactor is asked to flush them when the socket drains.
+    /// reactor is asked to flush them when the socket drains. The frame
+    /// is encoded into the connection's scratch buffer — zero
+    /// allocations per frame once the scratch has warmed up.
     pub(crate) fn send(&self, response: &Response) {
-        let body = wire::encode_response(response);
-        debug_assert!(body.len() <= wire::MAX_FRAME_LEN);
-        let mut frame = Vec::with_capacity(4 + body.len());
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&body);
-        self.push_bytes(&frame);
-    }
-
-    fn push_bytes(&self, frame: &[u8]) {
-        let mut out = self.out.lock().expect("outbox lock poisoned");
-        if out.dead {
-            return;
-        }
-        if out.backlog() > 0 {
-            // Older bytes are already queued: appending keeps frame
-            // order. Overflow condemns the connection (slow client).
-            if out.backlog() + frame.len() > OUTBOX_CAP {
-                out.dead = true;
-                drop(out);
-                obs::counter("serve.slow_client_drops", 1);
-                self.reactor.check(self.token);
+        let action = {
+            let mut out = self.out.lock().expect("outbox lock poisoned");
+            if out.dead {
                 return;
             }
-            out.buf.extend_from_slice(frame);
-            return;
+            // Take the scratch out so the encoded frame and the outbox
+            // can be borrowed side by side; restored before unlock.
+            let mut scratch = std::mem::take(&mut out.scratch);
+            wire::encode_response_frame_into(response, &mut scratch);
+            debug_assert!(scratch.len() <= 4 + wire::MAX_FRAME_LEN);
+            let action = self.push_locked(&mut out, &scratch);
+            out.scratch = scratch;
+            action
+        };
+        match action {
+            PushAction::None => {}
+            PushAction::RequestFlush => self.reactor.flush(self.token),
+            PushAction::Check => self.reactor.check(self.token),
+            PushAction::SlowClientDrop => {
+                obs::counter("serve.slow_client_drops", 1);
+                self.reactor.check(self.token);
+            }
         }
-        // Fast path: nothing queued, write inline under the lock (the
-        // lock is what keeps frames from interleaving across workers).
+    }
+
+    /// Writes or queues one frame with the outbox lock held (the lock
+    /// is what keeps frames from interleaving across workers). Reactor
+    /// wakeups happen after unlock, via the returned action.
+    fn push_locked(&self, out: &mut Outbox, frame: &[u8]) -> PushAction {
+        if out.b.backlog() > 0 {
+            // Older bytes are already queued: appending keeps frame
+            // order. Overflow condemns the connection (slow client).
+            if out.b.append(frame) {
+                return PushAction::None;
+            }
+            out.dead = true;
+            return PushAction::SlowClientDrop;
+        }
+        // Fast path: nothing queued, write inline.
         let mut written = 0;
         loop {
             match (&self.stream).write(&frame[written..]) {
                 Ok(0) => {
                     out.dead = true;
-                    drop(out);
-                    self.reactor.check(self.token);
-                    return;
+                    return PushAction::Check;
                 }
                 Ok(n) => {
                     written += n;
                     if written == frame.len() {
-                        return;
+                        return PushAction::None;
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    out.buf.clear();
-                    out.pos = 0;
-                    out.buf.extend_from_slice(&frame[written..]);
+                    // A single frame always fits: OUTBOX_CAP is far
+                    // above the max frame length.
+                    let fit = out.b.append(&frame[written..]);
+                    debug_assert!(fit);
                     let first = !out.wants_flush;
                     out.wants_flush = true;
-                    drop(out);
-                    if first {
-                        self.reactor.flush(self.token);
-                    }
-                    return;
+                    return if first {
+                        PushAction::RequestFlush
+                    } else {
+                        PushAction::None
+                    };
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(_) => {
                     out.dead = true;
-                    drop(out);
-                    self.reactor.check(self.token);
-                    return;
+                    return PushAction::Check;
                 }
             }
         }
@@ -196,26 +301,18 @@ impl Conn {
         if out.dead {
             return Flush::Dead;
         }
-        while out.backlog() > 0 {
-            let pos = out.pos;
-            match (&self.stream).write(&out.buf[pos..]) {
-                Ok(0) => {
-                    out.dead = true;
-                    return Flush::Dead;
-                }
-                Ok(n) => out.pos += n,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Flush::Pending,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => {
-                    out.dead = true;
-                    return Flush::Dead;
-                }
+        let mut stream = &self.stream;
+        match out.b.flush_with(&mut |bytes| stream.write(bytes)) {
+            Ok(true) => {
+                out.wants_flush = false;
+                Flush::Empty
+            }
+            Ok(false) => Flush::Pending,
+            Err(_) => {
+                out.dead = true;
+                Flush::Dead
             }
         }
-        out.buf.clear();
-        out.pos = 0;
-        out.wants_flush = false;
-        Flush::Empty
     }
 
     /// Counts one predict request handed to the batch queue.
@@ -252,18 +349,131 @@ impl Conn {
             return false;
         }
         let out = self.out.lock().expect("outbox lock poisoned");
-        out.dead || out.backlog() == 0
+        out.dead || out.b.backlog() == 0
     }
 
     /// Whether backlogged bytes are waiting on `EPOLLOUT`.
     pub(crate) fn has_backlog(&self) -> bool {
         let out = self.out.lock().expect("outbox lock poisoned");
-        !out.dead && out.backlog() > 0
+        !out.dead && out.b.backlog() > 0
     }
 
     /// Hard-closes both directions (reap time). Lingering `Arc`s held
     /// by in-flight workers turn into harmless failed writes.
     pub(crate) fn close(&self) {
         let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The O(n²)/unbounded-growth regression: under sustained
+    /// backpressure (every flush drains a trickle while new frames keep
+    /// arriving) the outbox used to retain its consumed prefix until
+    /// fully drained, growing the buffer — and its realloc copies —
+    /// without bound. The cursor + threshold compaction keeps both the
+    /// buffer length and the total memmoved bytes bounded.
+    #[test]
+    fn outbox_compaction_bounds_buffer_and_memmove_traffic() {
+        let mut out = OutboxBuf::new();
+        let frame = vec![0xABu8; 512];
+        let mut total_written = 0u64;
+        let mut appended = 0u64;
+        for _ in 0..10_000 {
+            if out.append(&frame) {
+                appended += frame.len() as u64;
+            }
+            // A slow client: the kernel accepts a trickle, then blocks.
+            let mut budget = 96usize;
+            let drained = out
+                .flush_with(&mut |bytes: &[u8]| {
+                    if budget == 0 {
+                        return Err(io::ErrorKind::WouldBlock.into());
+                    }
+                    let n = bytes.len().min(budget);
+                    budget -= n;
+                    total_written += n as u64;
+                    Ok(n)
+                })
+                .unwrap();
+            assert!(!drained || out.backlog() == 0);
+            // Bounded memory: backlog cap plus at most one compaction
+            // threshold of dead prefix.
+            assert!(
+                out.buf.len() <= OUTBOX_CAP + OUTBOX_COMPACT_AT,
+                "outbox buffer grew to {} bytes",
+                out.buf.len()
+            );
+        }
+        // Bounded memmove: each compaction reclaims >= OUTBOX_COMPACT_AT
+        // consumed bytes and moves <= OUTBOX_CAP live ones.
+        let max_moved = (total_written / OUTBOX_COMPACT_AT as u64 + 1) * OUTBOX_CAP as u64;
+        assert!(
+            out.moved <= max_moved,
+            "memmoved {} bytes for {} written (bound {})",
+            out.moved,
+            total_written,
+            max_moved
+        );
+        assert_eq!(out.backlog() as u64, appended - total_written);
+    }
+
+    /// Byte-stream integrity across interleaved appends, partial
+    /// flushes, and compactions: what comes out is exactly what went in.
+    #[test]
+    fn outbox_preserves_byte_order_across_compactions() {
+        let mut out = OutboxBuf::new();
+        let mut expected: Vec<u8> = Vec::new();
+        let mut got: Vec<u8> = Vec::new();
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        for round in 0..4_000u32 {
+            let frame: Vec<u8> = (0..100).map(|i| (round as u8).wrapping_add(i)).collect();
+            assert!(out.append(&frame));
+            expected.extend_from_slice(&frame);
+            // Pseudo-random trickle sizes exercise every cursor state.
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut budget = (seed >> 33) as usize % 160;
+            let _ = out.flush_with(&mut |bytes: &[u8]| {
+                if budget == 0 {
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                let n = bytes.len().min(budget);
+                budget -= n;
+                got.extend_from_slice(&bytes[..n]);
+                Ok(n)
+            });
+        }
+        let _ = out.flush_with(&mut |bytes: &[u8]| {
+            got.extend_from_slice(bytes);
+            Ok(bytes.len())
+        });
+        assert_eq!(got, expected);
+        assert!(out.moved > 0, "the sweep never exercised compaction");
+    }
+
+    /// Overflow is detected against the live backlog (not the dead
+    /// prefix), and zero-length writes condemn the transport.
+    #[test]
+    fn outbox_overflow_and_write_zero() {
+        let mut out = OutboxBuf::new();
+        assert!(out.append(&vec![0u8; OUTBOX_CAP]));
+        assert!(!out.append(&[0u8]), "cap not enforced");
+        // Drain half; the freed space is usable again.
+        let mut budget = OUTBOX_CAP / 2;
+        let _ = out.flush_with(&mut |bytes: &[u8]| {
+            if budget == 0 {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let n = bytes.len().min(budget);
+            budget -= n;
+            Ok(n)
+        });
+        assert!(out.append(&vec![0u8; OUTBOX_CAP / 2]));
+        let err = out
+            .flush_with(&mut |_: &[u8]| Ok(0))
+            .expect_err("write zero must be fatal");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
     }
 }

@@ -1,11 +1,34 @@
 //! The readiness-driven I/O reactor.
 //!
-//! Each reactor thread owns a [`netpoll::Poller`] plus the connection
-//! state machines assigned to it: the per-connection
-//! [`wire::FrameDecoder`] reassembly buffer, the epoll interest set,
-//! and (shared with workers through [`Conn`]) the write-backpressure
-//! outbox. Reactor 0 additionally owns the listener and runs admission
-//! control; connections are handed to reactors round-robin.
+//! Each reactor thread owns an **edge-triggered** [`netpoll::Poller`]
+//! plus the connection state machines assigned to it: the
+//! per-connection [`wire::FrameDecoder`] read buffer (frames are
+//! borrowed `&[u8]` slices out of it — zero copies, zero per-frame
+//! allocations), the epoll interest set, and (shared with workers
+//! through [`Conn`]) the write-backpressure outbox.
+//!
+//! ## Accept sharding
+//!
+//! With `SO_REUSEPORT` available (Linux), **every** reactor owns its
+//! own listener bound to the same address and adopts its accepts
+//! directly — the kernel shards incoming connections across listeners
+//! by flow hash, so there is no shared accept path at all. Where
+//! REUSEPORT is unavailable the server falls back to a single listener
+//! on reactor 0, which hands connections to reactors round-robin.
+//!
+//! ## Edge-triggered readiness + the read-budget rule
+//!
+//! Under `EPOLLET` the poller reports a socket once per readiness
+//! *transition*: an undrained socket is never re-reported, so the
+//! reactor keeps its own ready queue. A readable event enqueues the
+//! connection; each loop iteration runs one **round** over the queue,
+//! giving every ready connection an equal slice of the round's read
+//! budget — `ROUND_READ_BYTES / ready-connections`, clamped to
+//! [[`MIN_READ_BUDGET`], [`MAX_READ_BUDGET`]]. A connection drained to
+//! `WouldBlock` (or EOF) leaves the queue; one that exhausts its slice
+//! with bytes still pending goes to the back and counts one
+//! `serve.fairness_deferrals` — a firehose client pipelining thousands
+//! of requests gets throughput, not a monopoly.
 //!
 //! Only the owning reactor ever touches a connection's epoll
 //! registration. Other threads request changes through the reactor's
@@ -34,14 +57,14 @@
 //!
 //! Shutdown is event-driven (no self-connect): the trigger sets the
 //! flag and wakes every reactor and worker. Each reactor then drops
-//! the listener (reactor 0), parks all read interest, and keeps
+//! its listener, parks all read interest, and keeps
 //! flushing outboxes. Workers drain the queue and exit;
 //! [`crate::ServerHandle::join`] then sets the `drained` flag and
 //! wakes the reactors again, which now close every connection as its
 //! outbox empties and exit — with a [`DRAIN_GRACE`] bound so a client
 //! that never reads its last bytes cannot wedge the join.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -73,20 +96,49 @@ fn record_decode(trace_id: u64, decode_begin_ns: u64) {
     }
 }
 
-/// Token reserved for the listener (reactor 0 only). [`WAKER_TOKEN`]
-/// is `u64::MAX`; connection tokens count up from zero and can never
+/// Token reserved for the reactor's listener. [`WAKER_TOKEN`] is
+/// `u64::MAX`; connection tokens count up from zero and can never
 /// collide with either.
 const LISTEN_TOKEN: u64 = u64::MAX - 1;
 
-/// Per-round read budget per connection: with level-triggered polling
-/// a still-readable socket is reported again next round, so bounding
-/// the bytes read per round keeps one firehose client from starving
-/// the rest.
-const READ_BUDGET: usize = 64 * 1024;
+/// Total read budget one ready-round distributes across the
+/// connections in the ready queue (the adaptive read-budget rule).
+const ROUND_READ_BYTES: usize = 256 * 1024;
+
+/// Floor of the per-connection slice: even with hundreds of ready
+/// connections each gets enough to make progress on a max-size frame.
+const MIN_READ_BUDGET: usize = 16 * 1024;
+
+/// Ceiling of the per-connection slice: a lone ready connection still
+/// yields to commands and accepts after this many bytes.
+const MAX_READ_BUDGET: usize = 256 * 1024;
+
+/// Read-syscall chunk size (the granularity of decoder buffer growth).
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Accepts taken in one burst before the reactor yields to its ready
+/// round (the listener goes back on the pending list, not dropped).
+const ACCEPT_ROUND_MAX: usize = 256;
 
 /// How long after the workers drain a reactor keeps flushing outboxes
 /// before force-closing what remains.
 pub(crate) const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// What a budgeted read drain decided once the decoder is restored.
+enum ReadOutcome {
+    /// Keep reading (the chunk was consumed without incident).
+    Continue,
+    /// The socket reported `WouldBlock`: fully drained.
+    Drained,
+    /// Clean EOF.
+    Eof,
+    /// Transport error.
+    Error,
+    /// Dispatch condemned the stream (framing damage or shutdown).
+    Condemn,
+    /// The decoder rejected a length prefix; answer then condemn.
+    BadFrame(WireError),
+}
 
 /// Cross-thread requests to a reactor.
 enum Command {
@@ -154,6 +206,9 @@ struct ConnState {
     conn: Arc<Conn>,
     decoder: FrameDecoder,
     interest: Interest,
+    /// Queued in the reactor's ready round: readable bytes may remain
+    /// undrained (edge-triggered events will not re-report them).
+    read_pending: bool,
 }
 
 /// One reactor thread's whole state. Constructed on the spawning
@@ -162,13 +217,22 @@ pub(crate) struct Reactor {
     inner: Arc<Inner>,
     poller: Poller,
     queue: Arc<ReactorQueue>,
-    /// Reactor 0 owns the listener until shutdown.
+    /// This reactor's listener: every reactor owns one under REUSEPORT
+    /// sharding; only reactor 0 in single-listener fallback mode.
     listener: Option<TcpListener>,
+    /// With sharding each reactor adopts its own accepts; without it,
+    /// reactor 0 hands connections out round-robin over these queues.
+    sharded: bool,
     /// All reactors' queues, for round-robin connection assignment.
     peers: Vec<Arc<ReactorQueue>>,
     next_peer: usize,
     conns: HashMap<u64, ConnState>,
-    scratch: Vec<u8>,
+    /// Connections with potentially undrained readable bytes, served
+    /// one budgeted round per loop iteration.
+    ready: VecDeque<u64>,
+    /// The accept burst cap was hit (or accepts hit a transient error
+    /// streak): resume accepting next iteration without blocking.
+    accept_pending: bool,
     events: Vec<Event>,
     shutdown_seen: bool,
     drain_deadline: Option<Instant>,
@@ -180,6 +244,7 @@ impl Reactor {
         poller: Poller,
         queue: Arc<ReactorQueue>,
         listener: Option<TcpListener>,
+        sharded: bool,
         peers: Vec<Arc<ReactorQueue>>,
     ) -> Self {
         Self {
@@ -187,10 +252,12 @@ impl Reactor {
             poller,
             queue,
             listener,
+            sharded,
             peers,
             next_peer: 0,
             conns: HashMap::new(),
-            scratch: vec![0u8; 16 * 1024],
+            ready: VecDeque::new(),
+            accept_pending: false,
             events: Vec::new(),
             shutdown_seen: false,
             drain_deadline: None,
@@ -212,9 +279,15 @@ impl Reactor {
             }
         }
         loop {
-            let timeout = self
-                .drain_deadline
-                .map(|d| d.saturating_duration_since(Instant::now()));
+            // Edge-triggered: undrained work is ours to remember. With a
+            // ready round (or deferred accepts) pending, poll without
+            // blocking so new events interleave with the backlog.
+            let timeout = if !self.ready.is_empty() || self.accept_pending {
+                Some(Duration::ZERO)
+            } else {
+                self.drain_deadline
+                    .map(|d| d.saturating_duration_since(Instant::now()))
+            };
             let mut events = std::mem::take(&mut self.events);
             if self.poller.wait(&mut events, timeout).is_err() {
                 break;
@@ -222,6 +295,7 @@ impl Reactor {
             for command in self.queue.drain() {
                 self.handle_command(command);
             }
+            let resume_accepts = self.accept_pending;
             for event in &events {
                 match event.token {
                     WAKER_TOKEN => {}
@@ -229,7 +303,11 @@ impl Reactor {
                     token => self.conn_event(token, event),
                 }
             }
+            if resume_accepts {
+                self.accept_ready();
+            }
             self.events = events;
+            self.run_ready_round();
             self.poll_shutdown();
             if self.finished() {
                 break;
@@ -271,19 +349,42 @@ impl Reactor {
 
     // -- accept + admission -------------------------------------------------
 
+    /// Drains the accept queue to `WouldBlock` — mandatory under
+    /// edge-triggered polling, where an undrained listener is never
+    /// re-reported. Bursts are capped (and error streaks bounded, so an
+    /// fd-exhausted accept cannot spin): both cases park the listener
+    /// on `accept_pending` and resume next iteration.
     fn accept_ready(&mut self) {
+        self.accept_pending = false;
+        let mut accepted = 0usize;
+        let mut errors = 0usize;
         loop {
             let Some(listener) = &self.listener else {
                 return;
             };
             match listener.accept() {
-                Ok((stream, _)) => self.admit(stream),
+                Ok((stream, _)) => {
+                    errors = 0;
+                    self.admit(stream);
+                    accepted += 1;
+                    if accepted >= ACCEPT_ROUND_MAX {
+                        self.accept_pending = true;
+                        return;
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                // Transient per-connection failures (ECONNABORTED & co):
-                // level-triggered polling re-reports anything still
-                // pending next round.
-                Err(_) => return,
+                // Transient per-connection failures (ECONNABORTED & co)
+                // consume the queue slot: keep draining. A persistent
+                // streak (EMFILE never consumes its slot) defers instead
+                // of spinning.
+                Err(_) => {
+                    errors += 1;
+                    if errors >= 16 {
+                        self.accept_pending = true;
+                        return;
+                    }
+                }
             }
         }
     }
@@ -320,6 +421,12 @@ impl Reactor {
         }
         obs::counter("serve.connections", 1);
         self.inner.conn_count.fetch_add(1, Ordering::SeqCst);
+        if self.sharded {
+            // REUSEPORT sharding: the kernel already picked this
+            // reactor; adopt locally, no cross-thread handoff.
+            self.adopt(stream);
+            return;
+        }
         let peer = self.next_peer;
         self.next_peer = (self.next_peer + 1) % self.peers.len();
         if Arc::ptr_eq(&self.peers[peer], &self.queue) {
@@ -357,6 +464,7 @@ impl Reactor {
                 conn,
                 decoder: FrameDecoder::new(),
                 interest,
+                read_pending: false,
             },
         );
     }
@@ -368,6 +476,20 @@ impl Reactor {
             return;
         };
         let conn = Arc::clone(&state.conn);
+        if event.hangup {
+            // Hard errors (EPOLLERR/EPOLLHUP): the socket is gone in
+            // both directions, and edge-triggered delivery will not
+            // repeat the event — drain any final readable bytes now
+            // (budget-free; the connection is dying anyway), then tear
+            // down whatever remains.
+            if event.readable && !conn.is_read_shut() {
+                self.read_ready(token, &conn, usize::MAX);
+            }
+            if self.conns.contains_key(&token) {
+                self.teardown(token);
+            }
+            return;
+        }
         if event.writable {
             match conn.flush_outbox() {
                 Flush::Empty => {
@@ -384,19 +506,45 @@ impl Reactor {
             }
         }
         if event.readable && !conn.is_read_shut() {
-            self.read_ready(token, &conn);
-            if !self.conns.contains_key(&token) {
-                return;
+            // Edge-triggered: remember the readiness; the budgeted
+            // ready round does the actual reads.
+            self.mark_read_pending(token);
+        }
+    }
+
+    /// Queues a connection for the ready round (idempotent).
+    fn mark_read_pending(&mut self, token: u64) {
+        if let Some(state) = self.conns.get_mut(&token) {
+            if !state.read_pending && !state.conn.is_read_shut() {
+                state.read_pending = true;
+                self.ready.push_back(token);
             }
         }
-        // Hard errors (EPOLLERR/EPOLLHUP): the socket is gone in both
-        // directions. Pending readable bytes were drained above; a
-        // read-parked connection has nothing left worth keeping.
-        if event.hangup
-            && self.conns.contains_key(&token)
-            && (!event.readable || conn.is_read_shut())
-        {
-            self.teardown(token);
+    }
+
+    /// One fairness round: every queued connection gets an equal slice
+    /// of [`ROUND_READ_BYTES`] (clamped); a connection that exhausts
+    /// its slice with bytes still unread is deferred to the next round
+    /// and counted in `serve.fairness_deferrals`.
+    fn run_ready_round(&mut self) {
+        let in_round = self.ready.len();
+        if in_round == 0 {
+            return;
+        }
+        let budget = (ROUND_READ_BYTES / in_round).clamp(MIN_READ_BUDGET, MAX_READ_BUDGET);
+        for _ in 0..in_round {
+            let Some(token) = self.ready.pop_front() else {
+                break;
+            };
+            let Some(state) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            state.read_pending = false;
+            let conn = Arc::clone(&state.conn);
+            if conn.is_read_shut() {
+                continue;
+            }
+            self.read_ready(token, &conn, budget);
         }
     }
 
@@ -422,75 +570,106 @@ impl Reactor {
         );
     }
 
-    fn read_ready(&mut self, token: u64, conn: &Arc<Conn>) {
-        let mut budget = READ_BUDGET;
+    /// Drains the socket toward `WouldBlock` within `budget` bytes,
+    /// reading straight into the connection's [`FrameDecoder`] buffer
+    /// and dispatching each completed frame as a slice **borrowed**
+    /// from it — the hot path allocates nothing per frame. The decoder
+    /// is temporarily taken out of the connection state so borrowed
+    /// frame bodies and `&mut self` dispatch can coexist; it is
+    /// restored before any exit (unless the connection is gone).
+    fn read_ready(&mut self, token: u64, conn: &Arc<Conn>, budget: usize) {
+        let mut remaining = budget;
         loop {
-            match conn.read_into(&mut self.scratch) {
-                Ok(0) => {
-                    self.read_finished(token, conn, true);
-                    return;
-                }
+            let Some(state) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut decoder = std::mem::take(&mut state.decoder);
+            let want = READ_CHUNK.min(remaining);
+            let read = conn.read_into(&mut decoder.space(want)[..want]);
+            // What to do once the decoder is back in place.
+            let mut outcome = ReadOutcome::Continue;
+            match read {
+                Ok(0) => outcome = ReadOutcome::Eof,
                 Ok(n) => {
-                    let chunk: Vec<u8> = self.scratch[..n].to_vec();
-                    if !self.ingest(token, conn, &chunk) {
-                        return;
-                    }
-                    budget = budget.saturating_sub(n);
-                    if budget == 0 {
-                        // Level-triggered: the poller re-reports the
-                        // socket next round; yield to other connections.
-                        return;
+                    decoder.commit(n);
+                    remaining = remaining.saturating_sub(n);
+                    loop {
+                        match decoder.next_frame() {
+                            Ok(Some(body)) => {
+                                if !self.dispatch(conn, body) {
+                                    // Framing damage mid-pipeline: stop
+                                    // reading; frames already dispatched
+                                    // stay answered.
+                                    outcome = ReadOutcome::Condemn;
+                                    break;
+                                }
+                                if self.inner.shutdown.load(Ordering::SeqCst) {
+                                    // A Shutdown frame in this chunk:
+                                    // everything after it is discarded,
+                                    // like the blocking loop's `break`.
+                                    outcome = ReadOutcome::Condemn;
+                                    break;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                outcome = ReadOutcome::BadFrame(e);
+                                break;
+                            }
+                        }
                     }
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    outcome = ReadOutcome::Drained;
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 // Transport error: the client is gone; close silently
                 // (matching the blocking loop's `WireError::Io` arm).
-                Err(_) => {
+                Err(_) => outcome = ReadOutcome::Error,
+            }
+            if let Some(state) = self.conns.get_mut(&token) {
+                state.decoder = decoder;
+            } else {
+                return;
+            }
+            match outcome {
+                ReadOutcome::Continue => {}
+                ReadOutcome::Drained => return,
+                ReadOutcome::Eof => {
+                    self.read_finished(token, conn, true);
+                    return;
+                }
+                ReadOutcome::Error => {
                     self.read_finished(token, conn, false);
                     return;
                 }
+                ReadOutcome::Condemn => {
+                    self.condemn_read(token, conn);
+                    return;
+                }
+                ReadOutcome::BadFrame(e) => {
+                    // Over-cap length prefix: answer, then drop the
+                    // connection (the stream is no longer frame-aligned).
+                    obs::counter("serve.bad_frames", 1);
+                    conn.send(&Response::Error {
+                        id: 0,
+                        trace_id: 0,
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    });
+                    self.condemn_read(token, conn);
+                    return;
+                }
+            }
+            if remaining == 0 {
+                // Budget exhausted with the socket possibly still
+                // holding bytes: edge-triggered epoll will not remind
+                // us, so defer the connection to the next ready round.
+                obs::counter("serve.fairness_deferrals", 1);
+                self.mark_read_pending(token);
+                return;
             }
         }
-    }
-
-    /// Feeds freshly read bytes through the frame decoder and
-    /// dispatches every completed frame. Returns `false` when the
-    /// connection was condemned or torn down.
-    fn ingest(&mut self, token: u64, conn: &Arc<Conn>, chunk: &[u8]) -> bool {
-        let mut frames = Vec::new();
-        let feed = match self.conns.get_mut(&token) {
-            Some(state) => state.decoder.feed(chunk, &mut frames),
-            None => return false,
-        };
-        for body in &frames {
-            if !self.dispatch(conn, body) {
-                // Framing damage mid-pipeline: stop reading; frames
-                // already dispatched stay answered.
-                self.condemn_read(token, conn);
-                return false;
-            }
-            if self.inner.shutdown.load(Ordering::SeqCst) {
-                // A Shutdown frame in this very chunk: everything after
-                // it is discarded, like the blocking loop's `break`.
-                self.condemn_read(token, conn);
-                return false;
-            }
-        }
-        if let Err(e) = feed {
-            // Over-cap length prefix: answer, then drop the connection
-            // (the stream is no longer frame-aligned).
-            obs::counter("serve.bad_frames", 1);
-            conn.send(&Response::Error {
-                id: 0,
-                trace_id: 0,
-                code: ErrorCode::BadRequest,
-                message: e.to_string(),
-            });
-            self.condemn_read(token, conn);
-            return false;
-        }
-        true
     }
 
     /// Handles one complete frame body. Returns `false` when the frame

@@ -89,7 +89,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lookhd::{LookHdClassifier, StreamingTrainer};
-use netpoll::Poller;
+use netpoll::{Mode, Poller};
 use obs::trace::{self, Phase};
 
 use crate::conn::Conn;
@@ -643,25 +643,73 @@ pub fn start_online<A: ToSocketAddrs>(
     start_impl(addr, Arc::new(classifier), config, Some((trainer, online)))
 }
 
+/// Binds `n` `SO_REUSEPORT` listeners sharing one address so the kernel can
+/// shard incoming connections across reactor threads by flow hash.
+///
+/// The first listener may bind an ephemeral port; the remaining `n - 1` bind
+/// to its concrete resolved address. Returns `None` when the platform (or
+/// the address) does not support `SO_REUSEPORT`, in which case the caller
+/// falls back to a single shared listener owned by reactor 0.
+fn try_reuseport_listeners(
+    addrs: &[SocketAddr],
+    n: usize,
+) -> Option<(Vec<TcpListener>, SocketAddr)> {
+    let first = addrs
+        .iter()
+        .find_map(|addr| netpoll::reuseport_listener(*addr).ok())?;
+    let local_addr = first.local_addr().ok()?;
+    let mut listeners = Vec::with_capacity(n);
+    listeners.push(first);
+    for _ in 1..n {
+        listeners.push(netpoll::reuseport_listener(local_addr).ok()?);
+    }
+    Some((listeners, local_addr))
+}
+
 fn start_impl<A: ToSocketAddrs>(
     addr: A,
     model: SharedClassifier,
     config: ServeConfig,
     online: Option<(StreamingTrainer, OnlineConfig)>,
 ) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let local_addr = listener.local_addr()?;
+    let addr_list: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    let n_reactors = config.reactors.max(1);
+    // Accept sharding: with multiple reactors, give each its own
+    // SO_REUSEPORT listener so accepts spread across threads without a
+    // shared accept lock. Falls back to one listener on reactor 0.
+    let (mut listeners, local_addr, sharded) = match try_reuseport_listeners(&addr_list, n_reactors)
+    {
+        Some((listeners, local_addr)) if n_reactors > 1 => {
+            let listeners = listeners.into_iter().map(Some).collect::<Vec<_>>();
+            (listeners, local_addr, true)
+        }
+        Some((mut listeners, local_addr)) => {
+            // Single reactor: REUSEPORT adds nothing; keep the one socket.
+            let first = listeners.drain(..1).next();
+            (vec![first], local_addr, false)
+        }
+        None => {
+            let listener = TcpListener::bind(&addr_list[..])?;
+            let local_addr = listener.local_addr()?;
+            let mut listeners: Vec<Option<TcpListener>> = Vec::with_capacity(n_reactors);
+            listeners.push(Some(listener));
+            listeners.resize_with(n_reactors, || None);
+            (listeners, local_addr, false)
+        }
+    };
+    if sharded {
+        obs::counter("serve.accept_shards", n_reactors as u64);
+    }
     // Surface which scoring kernel actually serves (automatic selection
     // may have silently fallen back) in the admin counter snapshot.
     if let Some(name) = model.kernel_name() {
         obs::counter(&format!("kernel.active.{name}"), 1);
     }
 
-    let n_reactors = config.reactors.max(1);
     let mut pollers = Vec::with_capacity(n_reactors);
     let mut queues = Vec::with_capacity(n_reactors);
     for _ in 0..n_reactors {
-        let poller = Poller::new()?;
+        let poller = Poller::with_mode(Mode::Edge)?;
         queues.push(Arc::new(ReactorQueue::new(poller.waker())));
         pollers.push(poller);
     }
@@ -707,7 +755,6 @@ fn start_impl<A: ToSocketAddrs>(
         std::thread::spawn(move || trainer_loop(&inner, trainer))
     });
 
-    let mut listener = Some(listener);
     let reactors = pollers
         .into_iter()
         .enumerate()
@@ -716,7 +763,8 @@ fn start_impl<A: ToSocketAddrs>(
                 Arc::clone(&inner),
                 poller,
                 Arc::clone(&queues[i]),
-                listener.take(), // reactor 0 owns the listener
+                listeners[i].take(), // sharded: every reactor; else reactor 0
+                sharded,
                 queues.clone(),
             );
             std::thread::spawn(move || reactor.run())

@@ -690,8 +690,17 @@ const STATUS_PREDICT_STAMPED: u8 = 5;
 /// send one, always receive v1 frames). Error messages longer than
 /// [`MAX_ERROR_MESSAGE`] bytes are truncated at a character boundary.
 pub fn encode_response(response: &Response) -> Vec<u8> {
-    let trace_id = response.trace_id();
     let mut out = Vec::with_capacity(40);
+    encode_response_into(response, &mut out);
+    out
+}
+
+/// Appends the encoded response body to `out` without clearing it —
+/// the allocation-free sibling of [`encode_response`], used by the
+/// reactor's per-connection scratch buffer so the hot path never
+/// allocates a fresh `Vec` per frame.
+pub fn encode_response_into(response: &Response, out: &mut Vec<u8>) {
+    let trace_id = response.trace_id();
     out.extend_from_slice(RESPONSE_MAGIC);
     out.push(if trace_id == 0 {
         WIRE_VERSION
@@ -765,7 +774,18 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             out.extend_from_slice(&version.to_le_bytes());
         }
     }
-    out
+}
+
+/// Encodes `response` as one complete wire frame (length prefix +
+/// body) into `out`, clearing it first. Reusing one buffer across calls
+/// replaces the old `Vec::with_capacity(4 + body.len())` per frame on
+/// the response hot path.
+pub fn encode_response_frame_into(response: &Response, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&[0u8; 4]);
+    encode_response_into(response, out);
+    let body_len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&body_len.to_le_bytes());
 }
 
 /// Decodes a response body. Never panics, whatever the input.
@@ -942,35 +962,59 @@ pub fn read_response<R: Read>(r: &mut R) -> WireResult<Response> {
 // Incremental framing (nonblocking readers)
 // ---------------------------------------------------------------------------
 
-/// Internal reassembly state: either collecting the 4-byte length prefix
-/// or filling a cap-checked body buffer.
-enum DecodeState {
-    Prefix { buf: [u8; 4], have: usize },
-    Body { body: Vec<u8>, want: usize },
-}
+/// Consumed-prefix length at which [`FrameDecoder`] compacts its buffer:
+/// below this the dead bytes at the front are cheaper to carry than to
+/// memmove; above it the remainder is slid to offset 0. Compaction also
+/// fires whenever growing the buffer could be avoided by reclaiming the
+/// consumed prefix, so total memmove traffic stays amortized O(1) per
+/// byte received.
+const DECODER_COMPACT_AT: usize = 4 * 1024;
 
 /// Incremental frame reassembler for nonblocking sockets.
 ///
 /// [`read_frame`] blocks until a whole frame arrives, which a readiness
 /// loop cannot do: each `read(2)` returns whatever bytes the kernel has,
 /// possibly a fraction of a frame or several pipelined frames at once.
-/// `FrameDecoder` accepts arbitrary byte chunks via [`feed`] and emits
-/// complete frame bodies as they materialise.
+/// `FrameDecoder` owns the connection's read buffer: the reactor reads
+/// straight into [`space`], records the byte count with [`commit`], and
+/// drains complete frames with [`next_frame`] — each frame body is a
+/// `&[u8]` **borrowed** out of that buffer, so the steady-state decode
+/// path performs zero per-frame allocations and zero copies beyond the
+/// kernel→buffer read itself.
+///
+/// ## Borrowed-frame lifetime contract
+///
+/// A slice returned by [`next_frame`] is valid until the next call that
+/// takes `&mut self` ([`space`], [`commit`], [`next_frame`], [`feed`]) —
+/// the borrow checker enforces exactly this. Frames are consumed the
+/// moment they are returned; the backing bytes are reclaimed lazily by
+/// compaction (see [`DECODER_COMPACT_AT`]), never while a borrow is
+/// live.
 ///
 /// The hardening contract matches [`read_frame`]: the length prefix is
-/// validated against [`MAX_FRAME_LEN`] the moment its fourth byte
-/// arrives — **before** the body buffer is allocated — so a lying header
-/// can never demand a multi-GB allocation. At most one frame body is
-/// buffered inside the decoder at a time; completed frames are handed
-/// to the caller.
+/// validated against [`MAX_FRAME_LEN`] the moment its fourth byte is
+/// examined, and the buffer only ever grows to hold bytes actually
+/// received (plus the caller's requested read headroom) — a lying
+/// header can never demand a multi-GB allocation.
 ///
-/// After an error the decoder is poisoned and every later [`feed`]
-/// fails; the connection should be torn down (which is what the serve
-/// reactor does).
+/// After an error the decoder is poisoned and every later call fails;
+/// the connection should be torn down (which is what the serve reactor
+/// does).
 ///
+/// [`feed`] remains as a convenience for blocking-ish callers (the
+/// loadgen client): it copies a chunk in and collects owned bodies.
+///
+/// [`space`]: FrameDecoder::space
+/// [`commit`]: FrameDecoder::commit
+/// [`next_frame`]: FrameDecoder::next_frame
 /// [`feed`]: FrameDecoder::feed
 pub struct FrameDecoder {
-    state: DecodeState,
+    /// Read buffer. `buf.len()` is the zero-initialized high-water mark;
+    /// real data lives in `buf[start..filled]`.
+    buf: Vec<u8>,
+    start: usize,
+    filled: usize,
+    moved: u64,
     poisoned: Option<usize>,
 }
 
@@ -984,16 +1028,111 @@ impl FrameDecoder {
     /// Creates an empty decoder positioned at a frame boundary.
     pub fn new() -> Self {
         Self {
-            state: DecodeState::Prefix {
-                buf: [0; 4],
-                have: 0,
-            },
+            buf: Vec::new(),
+            start: 0,
+            filled: 0,
+            moved: 0,
             poisoned: None,
         }
     }
 
+    fn poison_error(value: usize) -> WireError {
+        WireError::TooLarge {
+            field: "frame length",
+            value,
+            cap: MAX_FRAME_LEN,
+        }
+    }
+
+    /// Slides `buf[start..filled]` to offset 0 when the consumed prefix
+    /// is worth reclaiming (or when `extra` more bytes would otherwise
+    /// force the buffer to grow).
+    fn maybe_compact(&mut self, extra: usize) {
+        if self.start == 0 {
+            return;
+        }
+        if self.start == self.filled {
+            self.start = 0;
+            self.filled = 0;
+            return;
+        }
+        if self.start >= DECODER_COMPACT_AT || self.filled + extra > self.buf.len() {
+            self.buf.copy_within(self.start..self.filled, 0);
+            self.moved += (self.filled - self.start) as u64;
+            self.filled -= self.start;
+            self.start = 0;
+        }
+    }
+
+    /// Returns at least `min` writable bytes at the tail of the read
+    /// buffer for the caller to `read(2)` into, compacting or growing
+    /// first as needed. Follow with [`commit`] for the bytes actually
+    /// read.
+    ///
+    /// [`commit`]: FrameDecoder::commit
+    pub fn space(&mut self, min: usize) -> &mut [u8] {
+        let min = min.max(1);
+        self.maybe_compact(min);
+        if self.buf.len() < self.filled + min {
+            self.buf.resize(self.filled + min, 0);
+        }
+        &mut self.buf[self.filled..]
+    }
+
+    /// Records that `n` bytes were read into the slice returned by
+    /// [`space`]. Panics if `n` exceeds the space handed out.
+    ///
+    /// [`space`]: FrameDecoder::space
+    pub fn commit(&mut self, n: usize) {
+        assert!(
+            self.filled + n <= self.buf.len(),
+            "commit of {n} bytes overruns the {} bytes of space handed out",
+            self.buf.len() - self.filled
+        );
+        self.filled += n;
+    }
+
+    /// Pops the next complete frame body as a slice borrowed from the
+    /// read buffer, or `None` when no complete frame is buffered yet.
+    /// The frame is consumed immediately; the slice stays valid until
+    /// the next `&mut self` call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TooLarge`] when a length prefix exceeds
+    /// [`MAX_FRAME_LEN`]; the decoder is then poisoned and every later
+    /// call fails the same way.
+    pub fn next_frame(&mut self) -> WireResult<Option<&[u8]>> {
+        if let Some(value) = self.poisoned {
+            return Err(Self::poison_error(value));
+        }
+        let avail = self.filled - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let prefix = [
+            self.buf[self.start],
+            self.buf[self.start + 1],
+            self.buf[self.start + 2],
+            self.buf[self.start + 3],
+        ];
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > MAX_FRAME_LEN {
+            self.poisoned = Some(len);
+            return Err(Self::poison_error(len));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let body_start = self.start + 4;
+        self.start = body_start + len;
+        Ok(Some(&self.buf[body_start..body_start + len]))
+    }
+
     /// Consumes `chunk` (all of it), appending every frame body it
-    /// completes to `frames` in arrival order.
+    /// completes to `frames` in arrival order. Convenience wrapper over
+    /// [`space`]/[`commit`]/[`next_frame`] that copies bodies out; the
+    /// reactor's hot path uses the borrowing API directly.
     ///
     /// # Errors
     ///
@@ -1001,82 +1140,55 @@ impl FrameDecoder {
     /// [`MAX_FRAME_LEN`]; the decoder is then poisoned and every later
     /// call fails the same way. Bytes already appended to `frames` by
     /// the failing call are still valid complete frames.
-    pub fn feed(&mut self, mut chunk: &[u8], frames: &mut Vec<Vec<u8>>) -> WireResult<()> {
+    ///
+    /// [`space`]: FrameDecoder::space
+    /// [`commit`]: FrameDecoder::commit
+    /// [`next_frame`]: FrameDecoder::next_frame
+    pub fn feed(&mut self, chunk: &[u8], frames: &mut Vec<Vec<u8>>) -> WireResult<()> {
         if let Some(value) = self.poisoned {
-            return Err(WireError::TooLarge {
-                field: "frame length",
-                value,
-                cap: MAX_FRAME_LEN,
-            });
+            return Err(Self::poison_error(value));
+        }
+        if !chunk.is_empty() {
+            self.space(chunk.len())[..chunk.len()].copy_from_slice(chunk);
+            self.commit(chunk.len());
         }
         loop {
-            match &mut self.state {
-                DecodeState::Prefix { buf, have } => {
-                    let n = (4 - *have).min(chunk.len());
-                    buf[*have..*have + n].copy_from_slice(&chunk[..n]);
-                    *have += n;
-                    chunk = &chunk[n..];
-                    if *have < 4 {
-                        return Ok(());
-                    }
-                    let len = u32::from_le_bytes(*buf) as usize;
-                    if len > MAX_FRAME_LEN {
-                        self.poisoned = Some(len);
-                        return Err(WireError::TooLarge {
-                            field: "frame length",
-                            value: len,
-                            cap: MAX_FRAME_LEN,
-                        });
-                    }
-                    if len == 0 {
-                        // Zero-length frames complete without a body phase
-                        // (decode_* will reject them as truncated, but the
-                        // framing layer stays consistent).
-                        frames.push(Vec::new());
-                        self.state = DecodeState::Prefix {
-                            buf: [0; 4],
-                            have: 0,
-                        };
-                    } else {
-                        self.state = DecodeState::Body {
-                            body: Vec::with_capacity(len),
-                            want: len,
-                        };
-                    }
-                }
-                DecodeState::Body { body, want } => {
-                    let n = (*want - body.len()).min(chunk.len());
-                    body.extend_from_slice(&chunk[..n]);
-                    chunk = &chunk[n..];
-                    if body.len() < *want {
-                        return Ok(());
-                    }
-                    frames.push(std::mem::take(body));
-                    self.state = DecodeState::Prefix {
-                        buf: [0; 4],
-                        have: 0,
-                    };
-                }
+            match self.next_frame()? {
+                Some(body) => frames.push(body.to_vec()),
+                None => return Ok(()),
             }
         }
     }
 
     /// True when bytes of an unfinished frame are buffered, i.e. EOF at
-    /// this point means the peer hung up mid-frame.
+    /// this point means the peer hung up mid-frame. Meaningful once all
+    /// complete frames have been drained via [`next_frame`]/[`feed`].
+    ///
+    /// [`next_frame`]: FrameDecoder::next_frame
+    /// [`feed`]: FrameDecoder::feed
     pub fn mid_frame(&self) -> bool {
-        match &self.state {
-            DecodeState::Prefix { have, .. } => *have != 0,
-            DecodeState::Body { .. } => true,
-        }
+        self.filled != self.start
     }
 
     /// How many bytes of the current partial frame are buffered
-    /// (prefix bytes included). Used for read-buffer accounting.
+    /// (prefix bytes included). Used for read-buffer accounting; like
+    /// [`mid_frame`], meaningful once complete frames are drained.
+    ///
+    /// [`mid_frame`]: FrameDecoder::mid_frame
     pub fn buffered(&self) -> usize {
-        match &self.state {
-            DecodeState::Prefix { have, .. } => *have,
-            DecodeState::Body { body, .. } => 4 + body.len(),
-        }
+        self.filled - self.start
+    }
+
+    /// Total bytes the compactor has memmoved over the decoder's
+    /// lifetime. Bounded-compaction regression tests pin this.
+    pub fn moved_bytes(&self) -> u64 {
+        self.moved
+    }
+
+    /// Current allocated size of the internal read buffer. Steady-state
+    /// decoding must not grow it — pinned by the zero-allocation test.
+    pub fn buffer_capacity(&self) -> usize {
+        self.buf.capacity()
     }
 }
 
@@ -1558,6 +1670,126 @@ mod tests {
         dec.feed(&0u32.to_le_bytes(), &mut frames).unwrap();
         assert_eq!(frames, vec![Vec::<u8>::new()]);
         assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn borrowing_decoder_matches_feed_at_every_split() {
+        let bodies: Vec<Vec<u8>> = vec![
+            encode_request(&Request::Ping { id: 1 }),
+            encode_request(&Request::Predict {
+                id: 2,
+                trace_id: 9,
+                features: vec![0.5; 7],
+            }),
+            encode_response(&Response::Pong { id: 3 }),
+        ];
+        let mut stream = Vec::new();
+        for body in &bodies {
+            write_frame(&mut stream, body).unwrap();
+        }
+        for split in 0..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            for chunk in [&stream[..split], &stream[split..]] {
+                if chunk.is_empty() {
+                    continue;
+                }
+                dec.space(chunk.len())[..chunk.len()].copy_from_slice(chunk);
+                dec.commit(chunk.len());
+                while let Some(body) = dec.next_frame().unwrap() {
+                    got.push(body.to_vec());
+                }
+            }
+            assert_eq!(got, bodies, "split at {split}");
+            assert!(!dec.mid_frame());
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn borrowing_decoder_reuses_its_buffer_without_growing() {
+        let body = encode_request(&Request::Predict {
+            id: 1,
+            trace_id: 0,
+            features: vec![1.0; 16],
+        });
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &body).unwrap();
+        let mut dec = FrameDecoder::new();
+        // Warm up: one frame establishes the buffer size.
+        dec.space(framed.len())[..framed.len()].copy_from_slice(&framed);
+        dec.commit(framed.len());
+        assert_eq!(dec.next_frame().unwrap().unwrap(), body.as_slice());
+        let settled = dec.buffer_capacity();
+        // Steady state: thousands of frames, zero buffer growth — the
+        // read buffer is the only storage and frames borrow from it.
+        for _ in 0..10_000 {
+            dec.space(framed.len())[..framed.len()].copy_from_slice(&framed);
+            dec.commit(framed.len());
+            assert_eq!(dec.next_frame().unwrap().unwrap(), body.as_slice());
+        }
+        assert_eq!(
+            dec.buffer_capacity(),
+            settled,
+            "steady-state decode grew the read buffer"
+        );
+        // Compaction traffic stays amortized: never more than the total
+        // bytes fed through the decoder.
+        assert!(dec.moved_bytes() <= (10_001 * framed.len()) as u64);
+    }
+
+    #[test]
+    fn borrowing_decoder_compacts_partial_frames_across_reads() {
+        let body = encode_request(&Request::Ping { id: 42 });
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &body).unwrap();
+        let mut dec = FrameDecoder::new();
+        // Feed many frames, always splitting mid-frame so a partial
+        // tail must survive each compaction.
+        let mut pending: Vec<u8> = Vec::new();
+        for _ in 0..5_000 {
+            pending.extend_from_slice(&framed);
+            let keep = 3.min(pending.len());
+            let now = pending.len() - keep;
+            dec.space(now)[..now].copy_from_slice(&pending[..now]);
+            dec.commit(now);
+            pending.drain(..now);
+            while let Some(b) = dec.next_frame().unwrap() {
+                assert_eq!(b, body.as_slice());
+            }
+        }
+        // The consumed front is reclaimed: the buffer stays near the
+        // compaction threshold, not 5 000 frames long.
+        assert!(
+            dec.buffer_capacity() < 2 * DECODER_COMPACT_AT + 2 * framed.len(),
+            "capacity {} suggests the consumed prefix is never reclaimed",
+            dec.buffer_capacity()
+        );
+    }
+
+    #[test]
+    fn encode_response_frame_into_matches_write_frame() {
+        let responses = [
+            Response::Pong { id: 1 },
+            Response::Predict {
+                id: 2,
+                trace_id: 7,
+                class: 3,
+            },
+            Response::Error {
+                id: 3,
+                trace_id: 0,
+                code: ErrorCode::Overloaded,
+                message: "busy".into(),
+            },
+        ];
+        let mut scratch = vec![0xAAu8; 64]; // dirty: must be cleared
+        for response in &responses {
+            let mut reference = Vec::new();
+            write_frame(&mut reference, &encode_response(response)).unwrap();
+            encode_response_frame_into(response, &mut scratch);
+            assert_eq!(scratch, reference);
+        }
     }
 
     #[test]

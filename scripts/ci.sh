@@ -4,7 +4,7 @@
 # end-to-end serve + loadgen smoke test (admin telemetry endpoint, trace
 # export, perf-trajectory files), an online-training hot-swap smoke
 # test, and the observability overhead budget.
-# Usage: scripts/ci.sh
+# Usage: scripts/ci.sh            (set LOOKHD_SOAK=1 for a 10k-conn soak)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -177,13 +177,16 @@ EOF
 # The periodic flusher must have produced a parseable snapshot by now.
 python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$smoke_dir/serve_metrics.json"
 # High-concurrency smoke: a multiplexed connections sweep up to 1024
-# concurrent pipelined connections. Any in-deadline drop or id mismatch
-# fails the run; this also regenerates the BENCH_serve.json curve.
+# concurrent pipelined connections against the 2-reactor server. Any
+# in-deadline drop or id mismatch fails the run; this also starts the
+# schema-v3 BENCH_serve.json reactors×connections record (the 1-reactor
+# run below appends to it).
 cargo run --release -q -p lookhd-bench --bin loadgen -- \
     --addr "$serve_addr" --data "$smoke_dir/queries.csv" \
-    --curve 64,512,1024 --requests 10 --pipeline 4 \
+    --curve 64,512,1024 --requests 10 --pipeline 4 --reactors 2 \
     --bench-out BENCH_serve.json --out results/serve_curve.txt
 grep -q "connections 1024:" results/serve_curve.txt
+grep -q "loadgen shares the host" results/serve_curve.txt
 # Graceful shutdown via a second (untraced) loadgen connection.
 cargo run --release -q -p lookhd-bench --bin loadgen -- \
     --addr "$serve_addr" --data "$smoke_dir/queries.csv" \
@@ -206,23 +209,74 @@ assert counters.get("serve.connections", 0) >= 1605, counters
 print(f"serve metrics OK: {counters['serve.batches']} batches "
       f"for {counters['serve.requests']} requests")
 EOF
+
+echo "== single-reactor curve point (accept-sharding fallback path)"
+# A second server with --reactors 1 exercises the single-listener
+# fallback; its 512-connection point appends a second run entry to the
+# schema-v3 BENCH_serve.json started above.
+cargo run --release -q -p lookhd-cli -- serve \
+    --model "$smoke_dir/model.lks" --addr 127.0.0.1:0 --threads 2 \
+    --reactors 1 --max-batch 64 --queue-cap 8192 --max-conns 4096 \
+    --timeout-ms 30000 \
+    --metrics "$smoke_dir/serve1_metrics.json" --metrics-interval 200 \
+    > "$smoke_dir/serve1.log" 2>&1 &
+serve1_pid=$!
+trap 'kill "$serve_pid" "$serve1_pid" 2> /dev/null || true; rm -rf "$smoke_dir"' EXIT
+serve1_addr=""
+for _ in $(seq 1 100); do
+    serve1_addr="$(sed -n 's/^serving on \([0-9.:]*\) .*/\1/p' "$smoke_dir/serve1.log")"
+    [ -n "$serve1_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve1_addr" ]; then
+    echo "single-reactor smoke: server did not start"
+    cat "$smoke_dir/serve1.log"
+    exit 1
+fi
+cargo run --release -q -p lookhd-bench --bin loadgen -- \
+    --addr "$serve1_addr" --data "$smoke_dir/queries.csv" \
+    --curve 512 --requests 10 --pipeline 4 --reactors 1 \
+    --bench-out BENCH_serve.json --bench-append \
+    --out results/serve_curve_r1.txt
+cargo run --release -q -p lookhd-bench --bin loadgen -- \
+    --addr "$serve1_addr" --data "$smoke_dir/queries.csv" \
+    --connections 1 --requests 1 \
+    --out "$smoke_dir/serve1_shutdown.txt" --shutdown
+wait "$serve1_pid"
+python3 - "$smoke_dir/serve1_metrics.json" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+# 5120 from the 512-connection point + 1 shutdown probe: exact.
+counters = {c["name"]: c["value"] for c in doc["counters"]}
+assert counters.get("serve.responses.ok") == 5121, counters
+assert counters.get("serve.requests") == 5121, counters
+print("single-reactor serve metrics OK: 5121 requests")
+EOF
 python3 - << 'EOF'
 import json
-# The serve record is a schema-v2 throughput/latency-vs-connections
-# curve from the multiplexed loadgen; every point must be drop-free.
+# The serve record is a schema-v3 reactors × connections matrix from
+# the multiplexed loadgen; every point must be drop-free and complete
+# (exact request counts), and the host block must disclose that loadgen
+# shared the machine with the server.
 doc = json.load(open("BENCH_serve.json"))
-assert doc["schema_version"] == 2, doc
+assert doc["schema_version"] == 3, doc
 assert doc["host"]["cores"] >= 1, doc
+assert doc["host"]["loadgen_shares_host"] is True, doc["host"]
 assert doc["workload"]["pipeline"] >= 1, doc["workload"]
-curve = doc["curve"]
-assert [p["connections"] for p in curve] == [64, 512, 1024], curve
-for p in curve:
-    want = p["connections"] * doc["workload"]["requests_per_connection"]
-    assert p["ok"] == want and p["errors"] == 0 and p["dropped"] == 0, p
-    assert p["id_mismatches"] == 0, p
-    assert p["throughput_rps"] > 0, p
-    lat = p["latency_ns"]
-    assert 0 < lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"], lat
+req = doc["workload"]["requests_per_connection"]
+runs = doc["runs"]
+assert [r["reactors"] for r in runs] == [2, 1], runs
+curves = {r["reactors"]: r["curve"] for r in runs}
+assert [p["connections"] for p in curves[2]] == [64, 512, 1024], curves[2]
+assert [p["connections"] for p in curves[1]] == [512], curves[1]
+for r in runs:
+    for p in r["curve"]:
+        want = p["connections"] * req
+        assert p["ok"] == want and p["errors"] == 0 and p["dropped"] == 0, p
+        assert p["id_mismatches"] == 0, p
+        assert p["throughput_rps"] > 0, p
+        lat = p["latency_ns"]
+        assert 0 < lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"], lat
 doc = json.load(open("BENCH_score_lut.json"))
 assert doc["schema_version"] == 1, doc
 assert doc["host"]["cores"] >= 1, doc
@@ -300,6 +354,48 @@ cargo run --release -q -p lookhd-bench --bin loadgen -- \
     --connections 1 --requests 1 \
     --out "$smoke_dir/online_shutdown.txt" --shutdown
 wait "$online_pid"
+
+if [ "${LOOKHD_SOAK:-0}" = "1" ]; then
+    echo "== 10k-connection soak (LOOKHD_SOAK=1)"
+    # Each process (server, loadgen) holds its own ~10k sockets, so the
+    # inherited per-process fd limit must clear 10k with headroom.
+    nofile="$(ulimit -n)"
+    if [ "$nofile" != "unlimited" ] && [ "$nofile" -lt 12288 ]; then
+        echo "soak: ulimit -n is $nofile; need >= 12288 (run 'ulimit -n 12288' first)"
+        exit 1
+    fi
+    cargo run --release -q -p lookhd-cli -- serve \
+        --model "$smoke_dir/model.lks" --addr 127.0.0.1:0 --threads 2 \
+        --reactors 2 --max-batch 64 --queue-cap 65536 --max-conns 20000 \
+        --timeout-ms 60000 \
+        > "$smoke_dir/soak.log" 2>&1 &
+    soak_pid=$!
+    trap 'kill "$serve_pid" "$serve1_pid" "$soak_pid" 2> /dev/null || true; rm -rf "$smoke_dir"' EXIT
+    soak_addr=""
+    for _ in $(seq 1 100); do
+        soak_addr="$(sed -n 's/^serving on \([0-9.:]*\) .*/\1/p' "$smoke_dir/soak.log")"
+        [ -n "$soak_addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$soak_addr" ]; then
+        echo "soak: server did not start"
+        cat "$smoke_dir/soak.log"
+        exit 1
+    fi
+    # 10k concurrent pipelined connections, zero drops or mismatches
+    # allowed (loadgen exits nonzero on either).
+    cargo run --release -q -p lookhd-bench --bin loadgen -- \
+        --addr "$soak_addr" --data "$smoke_dir/queries.csv" \
+        --connections 10000 --requests 5 --pipeline 2 \
+        --deadline-ms 60000 --reactors 2 \
+        --out results/serve_soak_10k.txt
+    grep -q "connections 10000:" results/serve_soak_10k.txt
+    cargo run --release -q -p lookhd-bench --bin loadgen -- \
+        --addr "$soak_addr" --data "$smoke_dir/queries.csv" \
+        --connections 1 --requests 1 \
+        --out "$smoke_dir/soak_shutdown.txt" --shutdown
+    wait "$soak_pid"
+fi
 
 echo "== observability overhead budget (< 5%)"
 cargo run --release -q -p lookhd-bench --bin obs_overhead_check
