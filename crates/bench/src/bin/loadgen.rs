@@ -588,6 +588,15 @@ fn main() {
         (get("p50_ns"), get("p95_ns"), get("p99_ns"))
     });
 
+    // Health is part of the scrape: a 503 here is signal (draining,
+    // sustained shed, or SLO burn), not a transport failure, so probe
+    // with the status-preserving GET.
+    let server_health: Option<(u16, String)> = admin_addr.as_deref().map(|admin| {
+        let (status, body) = lookhd_serve::http_get_status(admin, "/healthz")
+            .unwrap_or_else(|e| fail(&format!("probing {admin}/healthz: {e}")));
+        (status, body.trim().to_string())
+    });
+
     if flags.switch("shutdown") {
         let mut client = Client::connect(&addr)
             .unwrap_or_else(|e| fail(&format!("connecting {addr} for shutdown: {e}")));
@@ -652,6 +661,9 @@ fn main() {
             ms(p95),
             ms(p99),
         ));
+    }
+    if let Some((status, body)) = &server_health {
+        report.push_str(&format!("server health (from /healthz): {status} {body}\n"));
     }
     print!("{report}");
 

@@ -1,21 +1,31 @@
 //! CI gate for the observability overhead budget: with the registry
 //! *enabled*, instrumented LookHD training must stay within 5% of the
 //! obs-disabled wall time (DESIGN.md §8; disabled, every site is one
-//! relaxed atomic load).
+//! relaxed atomic load) — measured **both** single-threaded and with 8
+//! concurrent recording threads, since the sharded registry's whole
+//! point is that contention must not reintroduce overhead.
 //!
-//! The `engine_scaling/obs_overhead` criterion group reports the same
-//! delta but only prints it; this binary *enforces* the budget with a
-//! nonzero exit so `scripts/ci.sh` can fail on regressions.
+//! The binary enforces the budget with a nonzero exit so
+//! `scripts/ci.sh` can fail on regressions, and writes a
+//! schema-versioned `BENCH_obs.json` holding the gate medians plus a
+//! *contention benchmark*: raw record throughput of the sharded
+//! registry against an in-bench reimplementation of the old
+//! single-mutex string-keyed registry, 8 threads hammering both. The
+//! "before" arm is rebuilt here rather than kept in the library so the
+//! comparison survives the old code's deletion.
 //!
-//! Methodology: disabled/enabled fits are interleaved (A B A B …) so
+//! Methodology: disabled/enabled samples are interleaved (A B A B …) so
 //! slow drift on a shared host hits both arms equally, the comparison
 //! uses medians (robust to one-off scheduler stalls), and a failed
 //! round retries up to [`MAX_ROUNDS`] times before the check fails —
 //! a genuine regression fails every round, noise does not.
 //!
-//! Usage: `obs_overhead_check [--budget-pct 5] [--pairs 9]`
+//! Usage: `obs_overhead_check [--budget-pct 5] [--pairs 9]
+//!                            [--mt-pairs 5] [--out BENCH_obs.json]`
 
-use std::time::Instant;
+use std::collections::HashMap;
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
 
 use hdc::FitClassifier;
 use lookhd::{LookHdClassifier, LookHdConfig};
@@ -23,14 +33,206 @@ use lookhd_datasets::apps::App;
 
 const MAX_ROUNDS: usize = 3;
 
+/// Recording threads in the multi-threaded gate and the contention
+/// benchmark (the acceptance scenario: up to [`obs::N_SHARDS`] threads
+/// never share a stripe).
+const MT_THREADS: usize = 8;
+
+/// Operations per thread in the contention benchmark. Each op is one
+/// counter bump plus one span record.
+const CONTENTION_OPS: usize = 200_000;
+
 fn median_ns(mut samples: Vec<u64>) -> u64 {
     samples.sort_unstable();
     samples[samples.len() / 2]
 }
 
+/// One gate arm's verdict: medians of the last round plus whether any
+/// round fit the budget.
+struct GateResult {
+    disabled_median_ns: u64,
+    enabled_median_ns: u64,
+    overhead_pct: f64,
+    rounds_used: usize,
+    passed: bool,
+}
+
+/// Runs one interleaved-median gate over `sample(enabled)`, retrying up
+/// to [`MAX_ROUNDS`] rounds.
+fn run_gate(
+    label: &str,
+    pairs: usize,
+    budget_pct: f64,
+    mut sample: impl FnMut(bool) -> u64,
+) -> GateResult {
+    // Warm-up: page in the dataset and warm the allocator.
+    sample(false);
+    sample(true);
+    let mut last = (0u64, 0u64, 0.0f64);
+    for round in 1..=MAX_ROUNDS {
+        let mut disabled = Vec::with_capacity(pairs);
+        let mut enabled = Vec::with_capacity(pairs);
+        for _ in 0..pairs {
+            disabled.push(sample(false));
+            enabled.push(sample(true));
+        }
+        let (off, on) = (median_ns(disabled), median_ns(enabled));
+        let overhead_pct = (on as f64 - off as f64) / off as f64 * 100.0;
+        println!(
+            "{label} round {round}/{MAX_ROUNDS}: disabled median {:.2}ms, \
+             enabled median {:.2}ms, overhead {overhead_pct:+.2}% (budget {budget_pct}%)",
+            off as f64 / 1e6,
+            on as f64 / 1e6,
+        );
+        last = (off, on, overhead_pct);
+        if overhead_pct <= budget_pct {
+            return GateResult {
+                disabled_median_ns: off,
+                enabled_median_ns: on,
+                overhead_pct,
+                rounds_used: round,
+                passed: true,
+            };
+        }
+    }
+    GateResult {
+        disabled_median_ns: last.0,
+        enabled_median_ns: last.1,
+        overhead_pct: last.2,
+        rounds_used: MAX_ROUNDS,
+        passed: false,
+    }
+}
+
+/// The old registry, reconstructed for the "before" contention arm: one
+/// process-wide mutex around string-keyed maps, every record paying the
+/// lock plus a name hash (and an allocation on first sight).
+struct SingleMutexRegistry {
+    counters: Mutex<HashMap<String, u64>>,
+    #[allow(clippy::type_complexity)]
+    spans: Mutex<HashMap<String, (u64, u64, [u64; obs::N_BUCKETS])>>,
+}
+
+impl SingleMutexRegistry {
+    fn new() -> Self {
+        Self {
+            counters: Mutex::new(HashMap::new()),
+            spans: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        let mut counters = self.counters.lock().expect("poisoned");
+        *counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    fn record(&self, name: &str, d: Duration) {
+        let ns = d.as_nanos() as u64;
+        let bucket = obs::bucket_index(d);
+        let mut spans = self.spans.lock().expect("poisoned");
+        let cell = spans
+            .entry(name.to_owned())
+            .or_insert((0, 0, [0; obs::N_BUCKETS]));
+        cell.0 += 1;
+        cell.1 += ns;
+        cell.2[bucket] += 1;
+    }
+}
+
+/// Wall time for [`MT_THREADS`] threads × `ops` (counter bump + span
+/// record) through `op`, barrier-started so all threads contend.
+fn timed_hammer(ops: usize, op: impl Fn(usize, usize) + Sync) -> u64 {
+    let barrier = Barrier::new(MT_THREADS + 1);
+    let mut wall_ns = 0;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..MT_THREADS)
+            .map(|t| {
+                let barrier = &barrier;
+                let op = &op;
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..ops {
+                        op(t, i);
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for handle in handles {
+            handle.join().expect("hammer thread panicked");
+        }
+        wall_ns = start.elapsed().as_nanos() as u64;
+    });
+    wall_ns
+}
+
+/// The contention benchmark: identical op streams through the old
+/// single-mutex registry and the new sharded one. Returns
+/// `(single_mutex_ns, sharded_ns)`.
+fn contention_bench() -> (u64, u64) {
+    let old = SingleMutexRegistry::new();
+    // Same mixed key set both arms see: a few hot names, like the serve
+    // path's counters and spans.
+    const NAMES: [&str; 4] = ["bench.ops", "bench.hits", "bench.misses", "bench.errors"];
+    const SPANS: [&str; 2] = ["bench/fast", "bench/slow"];
+    // Warm both arms (first-sight allocations out of the timed region).
+    for name in NAMES {
+        old.counter(name, 0);
+    }
+    for span in SPANS {
+        old.record(span, Duration::ZERO);
+    }
+    let single_mutex_ns = timed_hammer(CONTENTION_OPS, |t, i| {
+        old.counter(NAMES[(t + i) % NAMES.len()], 1);
+        old.record(
+            SPANS[i % SPANS.len()],
+            Duration::from_nanos((i & 0xFFFF) as u64),
+        );
+    });
+
+    obs::reset();
+    obs::set_enabled(true);
+    let counter_ids: Vec<obs::MetricId> =
+        NAMES.iter().map(|n| obs::intern_counter(n, &[])).collect();
+    let span_ids: Vec<obs::SpanId> = SPANS.iter().map(|p| obs::intern_span(p, &[])).collect();
+    let sharded_ns = timed_hammer(CONTENTION_OPS, |t, i| {
+        obs::counter_id(counter_ids[(t + i) % counter_ids.len()], 1);
+        obs::record_id(
+            span_ids[i % span_ids.len()],
+            Duration::from_nanos((i & 0xFFFF) as u64),
+        );
+    });
+    let snap = obs::snapshot();
+    assert_eq!(
+        snap.counter("bench.ops")
+            + snap.counter("bench.hits")
+            + snap.counter("bench.misses")
+            + snap.counter("bench.errors"),
+        (MT_THREADS * CONTENTION_OPS) as u64,
+        "sharded registry lost counts under contention"
+    );
+    obs::set_enabled(false);
+    obs::reset();
+    (single_mutex_ns, sharded_ns)
+}
+
+fn mops(ops: u64, wall_ns: u64) -> f64 {
+    ops as f64 / wall_ns.max(1) as f64 * 1e3
+}
+
+fn gate_json(g: &GateResult) -> String {
+    format!(
+        "{{\"disabled_median_ns\": {}, \"enabled_median_ns\": {}, \"overhead_pct\": {:.3}, \"rounds_used\": {}, \"passed\": {}}}",
+        g.disabled_median_ns, g.enabled_median_ns, g.overhead_pct, g.rounds_used, g.passed
+    )
+}
+
 fn main() {
     let mut budget_pct = 5.0f64;
     let mut pairs = 9usize;
+    let mut mt_pairs = 5usize;
+    let mut out_path = "BENCH_obs.json".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -40,13 +242,16 @@ fn main() {
         match arg.as_str() {
             "--budget-pct" => budget_pct = value("--budget-pct").parse().expect("bad budget"),
             "--pairs" => pairs = value("--pairs").parse().expect("bad pairs"),
+            "--mt-pairs" => mt_pairs = value("--mt-pairs").parse().expect("bad mt-pairs"),
+            "--out" => out_path = value("--out"),
             other => panic!("unknown argument {other:?} (see module doc)"),
         }
     }
 
+    // -- gate 1: single-threaded instrumented training ---------------------
     let data = App::Speech.profile().generate_small(42);
     let cfg = LookHdConfig::new().with_dim(1024).with_retrain_epochs(0);
-    let fit = |enabled: bool| -> u64 {
+    let single = run_gate("single-thread", pairs, budget_pct, |enabled| {
         obs::set_enabled(enabled);
         let start = Instant::now();
         let model = LookHdClassifier::fit(&cfg, &data.train.features, &data.train.labels)
@@ -56,32 +261,72 @@ fn main() {
         obs::reset();
         std::hint::black_box(model);
         ns
-    };
+    });
 
-    // Warm-up: page in the dataset and JIT-warm the allocator.
-    fit(false);
-    fit(true);
+    // -- gate 2: 8 threads training concurrently, all recording ------------
+    let mt_cfg = LookHdConfig::new().with_dim(512).with_retrain_epochs(0);
+    let multi = run_gate("multi-thread", mt_pairs, budget_pct, |enabled| {
+        obs::set_enabled(enabled);
+        let barrier = Barrier::new(MT_THREADS + 1);
+        let mut wall_ns = 0;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..MT_THREADS)
+                .map(|_| {
+                    let barrier = &barrier;
+                    let (cfg, data) = (&mt_cfg, &data);
+                    s.spawn(move || {
+                        barrier.wait();
+                        let model =
+                            LookHdClassifier::fit(cfg, &data.train.features, &data.train.labels)
+                                .expect("training failed");
+                        std::hint::black_box(model);
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let start = Instant::now();
+            for handle in handles {
+                handle.join().expect("fit thread panicked");
+            }
+            wall_ns = start.elapsed().as_nanos() as u64;
+        });
+        obs::set_enabled(false);
+        obs::reset();
+        wall_ns
+    });
 
-    for round in 1..=MAX_ROUNDS {
-        let mut disabled = Vec::with_capacity(pairs);
-        let mut enabled = Vec::with_capacity(pairs);
-        for _ in 0..pairs {
-            disabled.push(fit(false));
-            enabled.push(fit(true));
-        }
-        let (off, on) = (median_ns(disabled), median_ns(enabled));
-        let overhead_pct = (on as f64 - off as f64) / off as f64 * 100.0;
-        println!(
-            "round {round}/{MAX_ROUNDS}: disabled median {:.2}ms, enabled median {:.2}ms, \
-             overhead {overhead_pct:+.2}% (budget {budget_pct}%)",
-            off as f64 / 1e6,
-            on as f64 / 1e6,
-        );
-        if overhead_pct <= budget_pct {
-            println!("obs overhead OK");
-            return;
-        }
+    // -- contention: old single-mutex registry vs the sharded one ----------
+    let (single_mutex_ns, sharded_ns) = contention_bench();
+    let total_ops = (MT_THREADS * CONTENTION_OPS) as u64;
+    let speedup = single_mutex_ns as f64 / sharded_ns.max(1) as f64;
+    println!(
+        "contention ({MT_THREADS} threads × {CONTENTION_OPS} counter+span ops): \
+         single-mutex {:.1}ms ({:.1} Mops/s), sharded {:.1}ms ({:.1} Mops/s), {speedup:.1}x",
+        single_mutex_ns as f64 / 1e6,
+        mops(total_ops, single_mutex_ns),
+        sharded_ns as f64 / 1e6,
+        mops(total_ops, sharded_ns),
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"obs_overhead\",\n  \"host\": {{\"cores\": {cores}, \"co_located\": true, \"note\": \"gate and contention arms share the host; medians over interleaved samples\"}},\n  \"budget_pct\": {budget_pct},\n  \"gates\": {{\n    \"single_thread\": {},\n    \"multi_thread_{MT_THREADS}\": {}\n  }},\n  \"contention\": {{\n    \"threads\": {MT_THREADS},\n    \"ops_per_thread\": {CONTENTION_OPS},\n    \"op\": \"counter bump + span record\",\n    \"single_mutex\": {{\"wall_ns\": {single_mutex_ns}, \"mops_per_sec\": {:.3}}},\n    \"sharded\": {{\"wall_ns\": {sharded_ns}, \"mops_per_sec\": {:.3}}},\n    \"speedup\": {speedup:.3}\n  }}\n}}\n",
+        gate_json(&single),
+        gate_json(&multi),
+        mops(total_ops, single_mutex_ns),
+        mops(total_ops, sharded_ns),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if single.passed && multi.passed {
+        println!("obs overhead OK (single-thread and {MT_THREADS}-thread gates)");
+        return;
     }
-    eprintln!("obs overhead check FAILED: budget exceeded in all {MAX_ROUNDS} rounds");
+    eprintln!(
+        "obs overhead check FAILED: budget exceeded in all {MAX_ROUNDS} rounds \
+         (single-thread passed: {}, multi-thread passed: {})",
+        single.passed, multi.passed
+    );
     std::process::exit(1);
 }

@@ -140,7 +140,7 @@ mod tests {
         };
         ctx.write_metrics();
         let body = std::fs::read_to_string(&path).unwrap();
-        assert!(body.contains("\"version\": 2"));
+        assert!(body.contains("\"version\": 3"));
         let _ = std::fs::remove_file(&path);
     }
 }

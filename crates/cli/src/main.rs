@@ -14,6 +14,7 @@
 //! lookhd serve    --model model.lks [--addr 127.0.0.1:4100 --threads 1
 //!                 --max-batch 16 --queue-cap 1024 --timeout-ms 1000
 //!                 --admin-addr 127.0.0.1:4101 --metrics-interval 1000
+//!                 --slo-p99-ms 5 --slo-error-rate 0.01
 //!                 --kernel KIND --online --refresh-after N
 //!                 --drift-threshold F]
 //! ```
@@ -30,10 +31,14 @@
 //! timing spans and counters when the command finishes.
 //!
 //! `--admin-addr HOST:PORT` (serve only) binds a second, HTTP listener
-//! with live telemetry: `/metrics.json` (snapshot JSON), `/metrics`
-//! (Prometheus text), `/trace.json` (Chrome trace-event export of the
-//! per-request trace ring), `/healthz`. It enables the metrics registry
-//! and the trace ring for the server's lifetime.
+//! with live telemetry: `/metrics.json` (windowed snapshot JSON),
+//! `/metrics` (Prometheus text with dimensional labels and OpenMetrics
+//! tail exemplars), `/trace.json` (Chrome trace-event export of the
+//! per-request trace ring), `/healthz` (SLO-aware readiness: `503` plus
+//! a reason while draining, in sustained admission shed, or burning a
+//! declared objective), and `/slo.json` (burn-rate detail). It enables
+//! the metrics registry and the trace ring for the server's lifetime.
+//! `--slo-p99-ms F` / `--slo-error-rate F` declare the objectives.
 //!
 //! `--metrics-interval MS` (serve only, requires `--metrics`) rewrites
 //! the metrics file every `MS` milliseconds, atomically, so a crashed or
@@ -130,6 +135,7 @@ const USAGE: &str = "usage:
                   --max-batch N --queue-cap N --timeout-ms N
                   --reactors N --max-conns N
                   --admin-addr HOST:PORT --metrics-interval MS
+                  --slo-p99-ms F --slo-error-rate F
                   --kernel KIND --online --refresh-after N
                   --drift-threshold F]
 
@@ -148,7 +154,13 @@ frame and are closed).
 --metrics out.json (any subcommand) records per-stage timing spans and
 counters and writes one JSON document when the command finishes.
 --admin-addr (serve) adds a live-telemetry HTTP listener: /metrics.json,
-/metrics (Prometheus), /trace.json (Chrome trace events), /healthz.
+/metrics (Prometheus with dimensional labels + OpenMetrics exemplars),
+/trace.json (Chrome trace events), /healthz (503 + reason while
+draining, in sustained admission shed, or burning a declared SLO),
+/slo.json (targets, windowed measurements, burn rates).
+--slo-p99-ms F / --slo-error-rate F (serve, with --admin-addr) declare
+the p99 latency (ms) and error-rate (0..1) objectives /healthz judges
+with multi-window (10 s + 60 s) burn rates.
 --metrics-interval MS (serve, with --metrics) rewrites the metrics file
 atomically every MS milliseconds so a killed server keeps its data.
 --online (serve, LKS1 models only) folds LHF1 feedback frames into live
@@ -458,27 +470,45 @@ fn serve(args: &Args) -> Result<(), String> {
     if !online && (refresh_after != 0 || args.get("drift-threshold").is_some()) {
         return Err("--refresh-after/--drift-threshold require --online".to_owned());
     }
+    let slo_p99_ms = args.get("slo-p99-ms");
+    let slo_error_rate = args.get("slo-error-rate");
+    if (slo_p99_ms.is_some() || slo_error_rate.is_some()) && admin_addr.is_none() {
+        return Err(
+            "--slo-p99-ms/--slo-error-rate require --admin-addr (they gate /healthz and /slo.json)"
+                .to_owned(),
+        );
+    }
+    let mut slo = lookhd_serve::SloConfig::new();
+    if slo_p99_ms.is_some() {
+        slo = slo.with_p99_ms(
+            args.get_or("slo-p99-ms", 0.0f64)
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    if slo_error_rate.is_some() {
+        slo = slo.with_error_rate(
+            args.get_or("slo-error-rate", 0.0f64)
+                .map_err(|e| e.to_string())?,
+        );
+    }
     let config = lookhd_serve::ServeConfig::new()
         .with_workers(workers)
         .with_max_batch(max_batch)
         .with_queue_cap(queue_cap)
         .with_timeout(std::time::Duration::from_millis(timeout_ms))
         .with_reactors(reactors)
-        .with_max_conns(max_conns);
+        .with_max_conns(max_conns)
+        .with_slo(slo);
 
     // The admin endpoint is only useful with live data behind it: enable
-    // the metrics registry and the trace ring for the server's lifetime.
-    let admin = match &admin_addr {
-        Some(admin_addr) => {
-            obs::set_enabled(true);
-            obs::trace::set_enabled(true);
-            Some(
-                lookhd_serve::start_admin(admin_addr.as_str())
-                    .map_err(|e| format!("binding admin {admin_addr}: {e}"))?,
-            )
-        }
-        None => None,
-    };
+    // the metrics registry and the trace ring before the server starts,
+    // so its pre-interned dimensional handles (reactor/worker/model
+    // version labels) record from the first request. The listener itself
+    // binds after the server: it carries the server's health state.
+    if admin_addr.is_some() {
+        obs::set_enabled(true);
+        obs::trace::set_enabled(true);
+    }
     // The periodic flusher needs a file to flush to: it rides --metrics.
     let flusher = match (args.get("metrics"), metrics_interval_ms) {
         (Some(path), ms) if ms > 0 => Some(lookhd_serve::MetricsFlusher::start(
@@ -511,6 +541,22 @@ fn serve(args: &Args) -> Result<(), String> {
             lookhd_serve::start(addr, model, config).map_err(|e| format!("binding {addr}: {e}"))?;
         (n_classes, handle)
     };
+    let admin = match &admin_addr {
+        Some(admin_addr) => {
+            let options = lookhd_serve::AdminOptions::new().with_health(handle.health());
+            match lookhd_serve::start_admin_with(admin_addr.as_str(), options) {
+                Ok(admin) => Some(admin),
+                Err(e) => {
+                    // A serve command that cannot expose the telemetry it
+                    // was asked for must not keep serving silently.
+                    handle.shutdown();
+                    handle.join();
+                    return Err(format!("binding admin {admin_addr}: {e}"));
+                }
+            }
+        }
+        None => None,
+    };
     let workers_label = if workers == 0 {
         "auto".to_owned()
     } else {
@@ -535,7 +581,7 @@ fn serve(args: &Args) -> Result<(), String> {
     ));
     if let Some(admin) = &admin {
         out(format!(
-            "admin on {} (/metrics.json /metrics /trace.json /healthz)",
+            "admin on {} (/metrics.json /metrics /trace.json /healthz /slo.json)",
             admin.addr()
         ));
     }

@@ -358,7 +358,7 @@ fn assert_looks_like_metrics_json(text: &str) {
     }
     assert_eq!(depth, 0, "unbalanced JSON: {text}");
     assert!(!in_string, "unterminated string: {text}");
-    assert!(text.contains("\"version\": 2"), "{text}");
+    assert!(text.contains("\"version\": 3"), "{text}");
     assert!(text.contains("\"spans\""), "{text}");
     assert!(text.contains("\"counters\""), "{text}");
 }

@@ -1,0 +1,188 @@
+//! Lock-striped metric shards: the write side of the registry.
+//!
+//! A registry owns [`N_SHARDS`] independently locked shards. Every
+//! thread is assigned one shard index on first use (round-robin from a
+//! process-global counter), so with up to [`N_SHARDS`] recording
+//! threads the record path takes an **uncontended** mutex — no shared
+//! lock, no allocation, no string hashing (ids are pre-interned
+//! integers indexing a lazily grown cell vector). Snapshots walk the
+//! shards one at a time and merge cells by id; holding each shard lock
+//! only while copying it keeps writers unblocked.
+//!
+//! Cells keep three layers of state: cumulative stats (count/total/
+//! min/max/histogram — exact, since boot), a rolling window ring (see
+//! [`crate::window`]), and for spans a tiny ring of *tail exemplars* —
+//! the trace ids of the most recent observations landing in the cell's
+//! top histogram buckets, exported as OpenMetrics exemplars so a tail
+//! latency spike links straight to `/trace.json`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crate::window::{CounterWin, SpanWin};
+use crate::{bucket_index, duration_ns, N_BUCKETS};
+
+/// Number of lock stripes per registry. Threads are assigned stripes
+/// round-robin, so up to this many concurrent recorders never share a
+/// lock.
+pub const N_SHARDS: usize = 16;
+
+/// Tail exemplars kept per span cell per shard (the snapshot keeps the
+/// `N_EXEMPLARS` most recent across shards).
+pub const N_EXEMPLARS: usize = 4;
+
+/// Global round-robin source for per-thread shard indices.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+/// Global recency sequence for exemplars. Pushes are rare (top-bucket
+/// hits only), so one shared relaxed counter costs nothing measurable.
+static EXEMPLAR_SEQ: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The calling thread's shard index, fixed on first use.
+    static SHARD_INDEX: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
+}
+
+/// The calling thread's shard index.
+pub(crate) fn shard_index() -> usize {
+    SHARD_INDEX.with(|i| *i)
+}
+
+/// One tail-latency exemplar: a trace id caught landing in a span's top
+/// histogram buckets, resolvable against the trace ring's export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Exemplar {
+    /// The observation's propagated trace id (never 0 — id-less
+    /// observations are not sampled).
+    pub trace_id: u64,
+    /// The observed duration in nanoseconds.
+    pub value_ns: u64,
+}
+
+/// An exemplar plus its recency sequence (internal: the snapshot sorts
+/// by sequence to keep the newest across shards).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SeqExemplar {
+    pub seq: u64,
+    pub exemplar: Exemplar,
+}
+
+/// Per-shard state of one counter id.
+#[derive(Debug)]
+pub(crate) struct CounterCell {
+    pub value: u64,
+    pub win: CounterWin,
+}
+
+impl CounterCell {
+    fn new() -> Self {
+        Self {
+            value: 0,
+            win: CounterWin::new(),
+        }
+    }
+
+    pub(crate) fn add(&mut self, delta: u64, epoch: u64) {
+        self.value += delta;
+        self.win.add(epoch, delta);
+    }
+}
+
+/// Per-shard state of one span id.
+#[derive(Debug)]
+pub(crate) struct SpanCell {
+    pub count: u64,
+    pub total: Duration,
+    pub min: Duration,
+    pub max: Duration,
+    pub buckets: [u64; N_BUCKETS],
+    pub win: SpanWin,
+    /// Highest histogram bucket this cell has ever filled; observations
+    /// landing within one bucket of it are exemplar candidates.
+    max_bucket: usize,
+    exemplars: [SeqExemplar; N_EXEMPLARS],
+    ex_next: usize,
+}
+
+impl SpanCell {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+            buckets: [0; N_BUCKETS],
+            win: SpanWin::new(),
+            max_bucket: 0,
+            exemplars: [SeqExemplar::default(); N_EXEMPLARS],
+            ex_next: 0,
+        }
+    }
+
+    pub(crate) fn observe(&mut self, d: Duration, trace_id: u64, epoch: u64) {
+        let bucket = bucket_index(d);
+        let ns = duration_ns(d);
+        self.count += 1;
+        self.total += d;
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+        self.buckets[bucket] += 1;
+        self.win.observe(epoch, bucket, ns);
+        if bucket > self.max_bucket {
+            self.max_bucket = bucket;
+        }
+        // Tail exemplar: a traced observation within one bucket of the
+        // largest this cell has seen.
+        if trace_id != 0 && bucket + 1 >= self.max_bucket {
+            let seq = EXEMPLAR_SEQ.fetch_add(1, Ordering::Relaxed);
+            self.exemplars[self.ex_next] = SeqExemplar {
+                seq,
+                exemplar: Exemplar {
+                    trace_id,
+                    value_ns: ns,
+                },
+            };
+            self.ex_next = (self.ex_next + 1) % N_EXEMPLARS;
+        }
+    }
+
+    /// The cell's buffered exemplars (unsorted; seq 0 = empty slot).
+    pub(crate) fn exemplars(&self) -> impl Iterator<Item = &SeqExemplar> {
+        self.exemplars.iter().filter(|e| e.seq != 0)
+    }
+}
+
+/// One lock stripe: lazily grown cell vectors indexed by metric id.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    pub counters: Vec<Option<Box<CounterCell>>>,
+    pub spans: Vec<Option<Box<SpanCell>>>,
+}
+
+impl Shard {
+    pub(crate) const fn new() -> Self {
+        Self {
+            counters: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    pub(crate) fn counter_cell(&mut self, id: usize) -> &mut CounterCell {
+        if self.counters.len() <= id {
+            self.counters.resize_with(id + 1, || None);
+        }
+        self.counters[id].get_or_insert_with(|| Box::new(CounterCell::new()))
+    }
+
+    pub(crate) fn span_cell(&mut self, id: usize) -> &mut SpanCell {
+        if self.spans.len() <= id {
+            self.spans.resize_with(id + 1, || None);
+        }
+        self.spans[id].get_or_insert_with(|| Box::new(SpanCell::new()))
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.counters.clear();
+        self.spans.clear();
+    }
+}

@@ -1,0 +1,314 @@
+//! Rolling time-window ring shared by every metric cell.
+//!
+//! Each span/counter cell carries a small ring of coarse time slots
+//! ([`WINDOW_SLOTS`] × [`WINDOW_SLOT_SECS`] seconds). A record lands in
+//! the slot addressed by the current *epoch* (seconds since process
+//! start divided by the slot width); a slot whose stored epoch differs
+//! from the current one is stale and is zeroed before accumulating, so
+//! rotation needs no background thread — the writer that first touches
+//! a recycled slot retires its old contents.
+//!
+//! Snapshots fold the slots whose epoch falls inside the last
+//! [`WINDOW_SHORT_SECS`] / [`WINDOW_LONG_SECS`] seconds into windowed
+//! aggregates (rates and quantiles). The newest slot is usually
+//! partially filled, so windowed rates are a slight *under*-estimate —
+//! bounded by one slot width — which is the right bias for burn-rate
+//! alerting (no phantom spikes from extrapolation).
+//!
+//! The epoch clock is process-global (`OnceLock<Instant>`); tests pin it
+//! with [`set_window_epoch_for_test`] to make window folds deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::N_BUCKETS;
+
+/// Number of slots in every window ring. 32 × 2 s = 64 s of history,
+/// enough to fold both the short and the long window with slack for the
+/// partially-filled newest slot.
+pub const WINDOW_SLOTS: usize = 32;
+
+/// Width of one window slot in seconds.
+pub const WINDOW_SLOT_SECS: u64 = 2;
+
+/// Span of the short ("last 10 s") window in seconds.
+pub const WINDOW_SHORT_SECS: u64 = 10;
+
+/// Span of the long ("last 60 s") window in seconds.
+pub const WINDOW_LONG_SECS: u64 = 60;
+
+/// Slots folded into the short window.
+const SHORT_SLOTS: u64 = WINDOW_SHORT_SECS / WINDOW_SLOT_SECS;
+
+/// Slots folded into the long window.
+const LONG_SLOTS: u64 = WINDOW_LONG_SECS / WINDOW_SLOT_SECS;
+
+static EPOCH_START: OnceLock<Instant> = OnceLock::new();
+
+/// Test override for the epoch clock (0 = use the real clock). Epochs
+/// start at 1 so 0 can double as both "no override" here and "empty
+/// slot" in the rings.
+static EPOCH_OVERRIDE: AtomicU64 = AtomicU64::new(0);
+
+/// The current window epoch: 1 + seconds-since-start / slot width.
+/// Never 0 — rings use epoch 0 as the empty-slot sentinel.
+pub(crate) fn now_epoch() -> u64 {
+    let pinned = EPOCH_OVERRIDE.load(Ordering::Relaxed);
+    if pinned != 0 {
+        return pinned;
+    }
+    EPOCH_START.get_or_init(Instant::now).elapsed().as_secs() / WINDOW_SLOT_SECS + 1
+}
+
+/// Pins the window epoch clock for deterministic window tests
+/// (`epoch >= 1`); pass 0 to restore the real clock. Not part of the
+/// stable API.
+#[doc(hidden)]
+pub fn set_window_epoch_for_test(epoch: u64) {
+    EPOCH_OVERRIDE.store(epoch, Ordering::Relaxed);
+}
+
+/// One counter window slot: the epoch it belongs to plus the value
+/// accumulated during that slot.
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterSlot {
+    epoch: u64,
+    value: u64,
+}
+
+/// Per-cell counter window ring.
+#[derive(Debug, Clone)]
+pub(crate) struct CounterWin {
+    slots: [CounterSlot; WINDOW_SLOTS],
+}
+
+impl CounterWin {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: [CounterSlot::default(); WINDOW_SLOTS],
+        }
+    }
+
+    pub(crate) fn add(&mut self, epoch: u64, delta: u64) {
+        let slot = &mut self.slots[(epoch as usize) % WINDOW_SLOTS];
+        if slot.epoch != epoch {
+            // Stale slot from a previous ring revolution: retire it.
+            *slot = CounterSlot { epoch, value: 0 };
+        }
+        slot.value += delta;
+    }
+
+    /// Sums the slots inside the short and long windows ending at `now`.
+    pub(crate) fn fold(&self, now: u64) -> (u64, u64) {
+        let (mut short, mut long) = (0u64, 0u64);
+        for slot in &self.slots {
+            if slot.epoch == 0 || slot.epoch > now {
+                continue;
+            }
+            let age = now - slot.epoch;
+            if age < SHORT_SLOTS {
+                short += slot.value;
+            }
+            if age < LONG_SLOTS {
+                long += slot.value;
+            }
+        }
+        (short, long)
+    }
+}
+
+/// One span window slot: count, summed nanoseconds, and a compact
+/// power-of-two histogram (u32 per bucket — 4 billion events per 2 s
+/// slot is out of reach) for windowed quantiles.
+#[derive(Debug, Clone, Copy)]
+struct SpanSlot {
+    epoch: u64,
+    count: u64,
+    total_ns: u64,
+    buckets: [u32; N_BUCKETS],
+}
+
+impl SpanSlot {
+    const EMPTY: Self = Self {
+        epoch: 0,
+        count: 0,
+        total_ns: 0,
+        buckets: [0; N_BUCKETS],
+    };
+}
+
+/// Per-cell span window ring.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanWin {
+    slots: [SpanSlot; WINDOW_SLOTS],
+}
+
+/// A window's worth of span observations folded out of the ring (and,
+/// at snapshot time, merged across shards).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SpanWinFold {
+    pub count: u64,
+    pub total_ns: u64,
+    pub buckets: [u64; N_BUCKETS],
+}
+
+impl Default for SpanWinFold {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            total_ns: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+}
+
+impl SpanWinFold {
+    pub(crate) fn merge(&mut self, other: &SpanWinFold) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+impl SpanWin {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: [SpanSlot::EMPTY; WINDOW_SLOTS],
+        }
+    }
+
+    pub(crate) fn observe(&mut self, epoch: u64, bucket: usize, ns: u64) {
+        let slot = &mut self.slots[(epoch as usize) % WINDOW_SLOTS];
+        if slot.epoch != epoch {
+            *slot = SpanSlot::EMPTY;
+            slot.epoch = epoch;
+        }
+        slot.count += 1;
+        slot.total_ns = slot.total_ns.saturating_add(ns);
+        slot.buckets[bucket] += 1;
+    }
+
+    /// Folds the slots inside the short and long windows ending at `now`.
+    pub(crate) fn fold(&self, now: u64) -> (SpanWinFold, SpanWinFold) {
+        let mut short = SpanWinFold::default();
+        let mut long = SpanWinFold::default();
+        for slot in &self.slots {
+            if slot.epoch == 0 || slot.epoch > now {
+                continue;
+            }
+            let age = now - slot.epoch;
+            if age >= LONG_SLOTS {
+                continue;
+            }
+            long.count += slot.count;
+            long.total_ns += slot.total_ns;
+            for (a, &b) in long.buckets.iter_mut().zip(&slot.buckets) {
+                *a += u64::from(b);
+            }
+            if age < SHORT_SLOTS {
+                short.count += slot.count;
+                short.total_ns += slot.total_ns;
+                for (a, &b) in short.buckets.iter_mut().zip(&slot.buckets) {
+                    *a += u64::from(b);
+                }
+            }
+        }
+        (short, long)
+    }
+}
+
+/// Windowed aggregate of one span cell over one window, as surfaced in
+/// a [`Snapshot`](crate::Snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowAgg {
+    /// Observations inside the window.
+    pub count: u64,
+    /// Summed nanoseconds inside the window.
+    pub total_ns: u64,
+    /// Windowed p50 in nanoseconds (bucket-resolution upper bound,
+    /// clamped to the cell's cumulative `[min, max]`).
+    pub p50_ns: u64,
+    /// Windowed p95 in nanoseconds.
+    pub p95_ns: u64,
+    /// Windowed p99 in nanoseconds.
+    pub p99_ns: u64,
+    /// Width of the window in seconds (10 or 60).
+    pub secs: u64,
+}
+
+impl WindowAgg {
+    /// Mean observations per second over the window (the newest slot is
+    /// partially filled, so this slightly under-estimates — see module
+    /// docs).
+    pub fn rate_per_sec(&self) -> f64 {
+        if self.secs == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.secs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_ring_folds_short_and_long_windows() {
+        let mut win = CounterWin::new();
+        win.add(100, 5);
+        win.add(102, 7); // 2 slots later: outside short at now=107
+        win.add(107, 1);
+        let (short, long) = win.fold(107);
+        // ages: 7 (out of short), 5 (out of short: age >= 5), 0.
+        assert_eq!(short, 1);
+        assert_eq!(long, 13);
+        let (short, long) = win.fold(103);
+        // now=103: epochs 100 (age 3) and 102 (age 1) in short; 107 is
+        // in the future and ignored.
+        assert_eq!(short, 12);
+        assert_eq!(long, 12);
+    }
+
+    #[test]
+    fn stale_slots_are_retired_on_reuse() {
+        let mut win = CounterWin::new();
+        win.add(1, 10);
+        // One full revolution later the same slot index is reused.
+        win.add(1 + WINDOW_SLOTS as u64, 3);
+        let (_, long) = win.fold(1 + WINDOW_SLOTS as u64);
+        assert_eq!(long, 3, "old revolution's value must not leak");
+    }
+
+    #[test]
+    fn span_ring_folds_counts_totals_and_buckets() {
+        let mut win = SpanWin::new();
+        win.observe(50, 4, 10);
+        win.observe(50, 4, 12);
+        win.observe(54, 7, 100);
+        let (short, long) = win.fold(54);
+        assert_eq!(short, {
+            let mut want = SpanWinFold {
+                count: 3,
+                total_ns: 122,
+                ..SpanWinFold::default()
+            };
+            want.buckets[4] = 2;
+            want.buckets[7] = 1;
+            want
+        });
+        assert_eq!(long.count, 3);
+        let (short, _) = win.fold(60);
+        // now=60: epoch 50 (age 10) and epoch 54 (age 6) both fall
+        // outside the 5-slot short window.
+        assert_eq!(short.count, 0);
+    }
+
+    #[test]
+    fn epochs_start_at_one() {
+        assert!(now_epoch() >= 1);
+    }
+}

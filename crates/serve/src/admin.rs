@@ -9,7 +9,12 @@
 //! | `/metrics.json` | [`obs::snapshot`] as deterministic JSON            |
 //! | `/metrics`      | the same snapshot in Prometheus text exposition    |
 //! | `/trace.json`   | the trace ring as Chrome trace-event JSON          |
-//! | `/healthz`      | `ok` — liveness probe                              |
+//! | `/healthz`      | `ok`, or `503` + a reason while draining, in       |
+//! |                 | sustained admission shed, or burning a declared    |
+//! |                 | SLO (see [`crate::slo`]) — wire a health state via |
+//! |                 | [`start_admin_with`]                               |
+//! | `/slo.json`     | the full SLO verdict: targets, windowed            |
+//! |                 | measurements, burn rates                           |
 //!
 //! The server is deliberately minimal: HTTP/1.0, `Connection: close`,
 //! one short-lived thread per request, no keep-alive, no TLS, no
@@ -25,6 +30,28 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use crate::slo::HealthState;
+
+/// Optional wiring for an admin listener (see [`start_admin_with`]).
+#[derive(Debug, Default)]
+pub struct AdminOptions {
+    health: Option<Arc<HealthState>>,
+}
+
+impl AdminOptions {
+    /// No health state: `/healthz` is a bare liveness probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wires a server's health state (see [`crate::ServerHandle::health`])
+    /// into `/healthz` and `/slo.json`.
+    pub fn with_health(mut self, health: Arc<HealthState>) -> Self {
+        self.health = Some(health);
+        self
+    }
+}
 
 /// Cap on an accepted request head (request line + headers). Anything
 /// longer is answered `400` — this endpoint serves four fixed routes and
@@ -76,12 +103,28 @@ impl AdminHandle {
 ///
 /// Returns the bind error.
 pub fn start_admin<A: ToSocketAddrs>(addr: A) -> io::Result<AdminHandle> {
+    start_admin_with(addr, AdminOptions::new())
+}
+
+/// [`start_admin`] with wiring: a health state turns `/healthz` into an
+/// SLO-aware readiness probe (`503` + reason while draining, in
+/// sustained admission shed, or burning a declared objective) and backs
+/// `/slo.json`.
+///
+/// # Errors
+///
+/// Returns the bind error.
+pub fn start_admin_with<A: ToSocketAddrs>(
+    addr: A,
+    options: AdminOptions,
+) -> io::Result<AdminHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let accept = {
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || accept_loop(&listener, &stop))
+        let options = Arc::new(options);
+        std::thread::spawn(move || accept_loop(&listener, &stop, &options))
     };
     Ok(AdminHandle {
         local_addr,
@@ -90,7 +133,7 @@ pub fn start_admin<A: ToSocketAddrs>(addr: A) -> io::Result<AdminHandle> {
     })
 }
 
-fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>) {
+fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>, options: &Arc<AdminOptions>) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -98,11 +141,25 @@ fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>) {
         let Ok(stream) = stream else { continue };
         // One thread per request: admin traffic is a handful of scrapes
         // per interval, not a fan-in workload.
-        std::thread::spawn(move || handle_connection(stream));
+        let options = Arc::clone(options);
+        std::thread::spawn(move || handle_connection(stream, &options));
     }
 }
 
-fn handle_connection(mut stream: TcpStream) {
+/// `/healthz`: `200 ok` without a health state or while healthy; `503`
+/// plus the most severe reason otherwise.
+fn health_response(options: &AdminOptions) -> (u16, String) {
+    let Some(health) = &options.health else {
+        return (200, "ok\n".to_string());
+    };
+    let verdict = health.evaluate(&obs::snapshot());
+    match verdict.reason() {
+        None => (200, "ok\n".to_string()),
+        Some(reason) => (503, format!("unhealthy: {reason}\n")),
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, options: &AdminOptions) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let head = match read_request_head(&mut stream) {
@@ -117,12 +174,27 @@ fn handle_connection(mut stream: TcpStream) {
             obs::snapshot().to_prometheus(),
         ),
         Some(("GET", "/trace.json")) => (200, "application/json", obs::trace::to_chrome_json()),
-        Some(("GET", "/healthz")) => (200, "text/plain", "ok\n".to_string()),
+        Some(("GET", "/healthz")) => {
+            let (status, body) = health_response(options);
+            (status, "text/plain", body)
+        }
+        Some(("GET", "/slo.json")) => match &options.health {
+            Some(health) => (
+                200,
+                "application/json",
+                health.evaluate(&obs::snapshot()).to_json(),
+            ),
+            None => (
+                404,
+                "text/plain",
+                "no SLO configured on this server\n".to_string(),
+            ),
+        },
         Some(("GET", path)) => (
             404,
             "text/plain",
             format!(
-                "no such route: {path}\navailable: /metrics.json /metrics /trace.json /healthz\n"
+                "no such route: {path}\navailable: /metrics.json /metrics /trace.json /healthz /slo.json\n"
             ),
         ),
         Some((method, _)) => (405, "text/plain", format!("method {method} not allowed\n")),
@@ -178,6 +250,7 @@ fn write_response(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     let header = format!(
@@ -199,6 +272,25 @@ fn write_response(
 /// Returns `InvalidData` for a non-200 status or an unparsable response,
 /// and propagates transport errors.
 pub fn http_get<A: ToSocketAddrs>(addr: A, path: &str) -> io::Result<String> {
+    let (status, body) = http_get_status(addr, path)?;
+    if status != 200 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("GET {path} returned {status}"),
+        ));
+    }
+    Ok(body)
+}
+
+/// Like [`http_get`] but returns `(status, body)` without treating a
+/// non-200 as an error — the probe for routes whose status *is* the
+/// signal (`/healthz` answering `503` while degraded).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for an unparsable response and propagates
+/// transport errors.
+pub fn http_get_status<A: ToSocketAddrs>(addr: A, path: &str) -> io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
@@ -221,13 +313,7 @@ pub fn http_get<A: ToSocketAddrs>(addr: A, path: &str) -> io::Result<String> {
                 format!("bad status line: {status_line}"),
             )
         })?;
-    if status != 200 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("GET {path} returned {status}"),
-        ));
-    }
-    Ok(body.to_string())
+    Ok((status, body.to_string()))
 }
 
 #[cfg(test)]
@@ -254,8 +340,8 @@ mod tests {
         assert_eq!(health, "ok\n");
 
         let json = http_get(addr, "/metrics.json").unwrap();
-        assert!(json.contains("\"version\": 2"));
-        assert!(json.contains("{\"name\": \"admin.test.hits\", \"value\": 3}"));
+        assert!(json.contains("\"version\": 3"));
+        assert!(json.contains("{\"name\": \"admin.test.hits\", \"labels\": {}, \"value\": 3"));
         assert!(json.contains("\"admin/test\""));
 
         let prom = http_get(addr, "/metrics").unwrap();

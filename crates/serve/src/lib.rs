@@ -21,7 +21,11 @@
 //! * [`model`] — format sniffing and [`Classifier`] adapters for the
 //!   encoder-less formats;
 //! * [`admin`] — the std-only HTTP admin listener serving live snapshot
-//!   JSON, Prometheus text, and Chrome trace-event exports;
+//!   JSON, Prometheus text (with dimensional labels and OpenMetrics
+//!   tail exemplars), Chrome trace-event exports, and the SLO-aware
+//!   `/healthz` + `/slo.json` routes;
+//! * [`slo`] — multi-window SLO burn rates and the shared
+//!   [`slo::HealthState`] behind the health routes;
 //! * [`metrics`] — the periodic snapshot flusher for crash-safe
 //!   `--metrics` files.
 //!
@@ -57,15 +61,19 @@ pub mod metrics;
 pub mod model;
 pub(crate) mod reactor;
 pub mod server;
+pub mod slo;
 pub mod wire;
 
-pub use admin::{http_get, start_admin, AdminHandle};
+pub use admin::{
+    http_get, http_get_status, start_admin, start_admin_with, AdminHandle, AdminOptions,
+};
 pub use client::Client;
 pub use metrics::MetricsFlusher;
 pub use model::{
     classifier_from_bytes, load_classifier, ModelSlot, SharedClassifier, VersionedModel,
 };
 pub use server::{start, start_online, OnlineConfig, ServeConfig, ServerHandle};
+pub use slo::{Health, HealthState, SloAxis, SloConfig};
 pub use wire::{ErrorCode, Request, Response, WireError};
 
 /// Serializes every in-crate test that mutates the global obs/trace

@@ -124,9 +124,9 @@ mod tests {
         obs::counter("flusher.test", 41);
         flusher.stop().unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
-        assert!(json.contains("\"version\": 2"), "got: {json}");
+        assert!(json.contains("\"version\": 3"), "got: {json}");
         assert!(
-            json.contains("{\"name\": \"flusher.test\", \"value\": 42}"),
+            json.contains("{\"name\": \"flusher.test\", \"labels\": {}, \"value\": 42"),
             "got: {json}"
         );
         // The tmp file never survives a completed flush.

@@ -39,18 +39,50 @@ pub type SharedClassifier = Arc<dyn Classifier + Send + Sync>;
 /// an `Arc<VersionedModel>` for the whole batch, so every request in a
 /// batch is answered by the version that was live when the batch was
 /// popped — even if a hot-swap lands mid-batch.
+///
+/// Construction pre-interns the version's dimensional metric handles
+/// (`serve.predictions{kernel=,model_version=}` and the per-class
+/// `serve.predicted{class=}` family), so the serving hot path records
+/// through integer ids — no allocation, no string hashing — and the
+/// `model_version` label flips **atomically** with the slot swap: a
+/// batch that loaded version N keeps stamping N even while version N+1
+/// is already live for newer batches.
 #[derive(Clone)]
 pub struct VersionedModel {
     version: u64,
     classifier: SharedClassifier,
+    /// `serve.predictions{kernel=,model_version=}` — one bump per ok
+    /// response, carrying this version's labels.
+    predictions_id: obs::MetricId,
+    /// `serve.predicted{class=<i>}` by class index. Classes beyond the
+    /// registry's per-name label-set cap intern as
+    /// [`obs::MetricId::INVALID`] and tally into `obs.dropped_names`
+    /// instead of silently exhausting the name table.
+    predicted_ids: Vec<obs::MetricId>,
 }
 
 impl VersionedModel {
     /// Wraps a classifier as version `version`.
     pub fn new(version: u64, classifier: SharedClassifier) -> Self {
+        let kernel = classifier.kernel_name().unwrap_or("none");
+        let version_label = version.to_string();
+        let predictions_id = obs::intern_counter(
+            "serve.predictions",
+            &[("kernel", kernel), ("model_version", &version_label)],
+        );
+        // Classes past the registry's per-name label-set cap would
+        // intern as INVALID anyway; capping the handle vector here keeps
+        // a pathological `num_classes()` from allocating one slot per
+        // class. `predicted_id` answers INVALID beyond the vector, so
+        // overflow classes still tally into `obs.dropped_names`.
+        let predicted_ids = (0..classifier.num_classes().min(obs::MAX_LABEL_SETS_PER_NAME))
+            .map(|class| obs::intern_counter("serve.predicted", &[("class", &class.to_string())]))
+            .collect();
         Self {
             version,
             classifier,
+            predictions_id,
+            predicted_ids,
         }
     }
 
@@ -62,6 +94,22 @@ impl VersionedModel {
     /// The classifier answering requests for this version.
     pub fn classifier(&self) -> &SharedClassifier {
         &self.classifier
+    }
+
+    /// The pre-interned `serve.predictions{kernel=,model_version=}`
+    /// counter handle.
+    pub fn predictions_id(&self) -> obs::MetricId {
+        self.predictions_id
+    }
+
+    /// The pre-interned `serve.predicted{class=}` handle for `class`
+    /// ([`obs::MetricId::INVALID`] for an out-of-range class, which a
+    /// record then tallies as dropped rather than panicking).
+    pub fn predicted_id(&self, class: usize) -> obs::MetricId {
+        self.predicted_ids
+            .get(class)
+            .copied()
+            .unwrap_or(obs::MetricId::INVALID)
     }
 }
 

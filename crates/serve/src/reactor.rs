@@ -226,6 +226,10 @@ pub(crate) struct Reactor {
     /// All reactors' queues, for round-robin connection assignment.
     peers: Vec<Arc<ReactorQueue>>,
     next_peer: usize,
+    /// Pre-interned `serve.reactor.frames{reactor=}` handle: one bump
+    /// per dispatched frame attributes wire traffic to this reactor
+    /// without allocating on the event loop.
+    frames_id: obs::MetricId,
     conns: HashMap<u64, ConnState>,
     /// Connections with potentially undrained readable bytes, served
     /// one budgeted round per loop iteration.
@@ -240,6 +244,7 @@ pub(crate) struct Reactor {
 
 impl Reactor {
     pub(crate) fn new(
+        index: usize,
         inner: Arc<Inner>,
         poller: Poller,
         queue: Arc<ReactorQueue>,
@@ -247,6 +252,8 @@ impl Reactor {
         sharded: bool,
         peers: Vec<Arc<ReactorQueue>>,
     ) -> Self {
+        let frames_id =
+            obs::intern_counter("serve.reactor.frames", &[("reactor", &index.to_string())]);
         Self {
             inner,
             poller,
@@ -255,6 +262,7 @@ impl Reactor {
             sharded,
             peers,
             next_peer: 0,
+            frames_id,
             conns: HashMap::new(),
             ready: VecDeque::new(),
             accept_pending: false,
@@ -675,6 +683,7 @@ impl Reactor {
     /// Handles one complete frame body. Returns `false` when the frame
     /// was damaged in a way that poisons stream alignment.
     fn dispatch(&mut self, conn: &Arc<Conn>, body: &[u8]) -> bool {
+        obs::counter_id(self.frames_id, 1);
         let decode_begin_ns = if obs::enabled() { trace::now_ns() } else { 0 };
         match wire::decode_request(body) {
             Err(e @ (WireError::TooLarge { .. } | WireError::Truncated { .. })) => {

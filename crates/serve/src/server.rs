@@ -95,6 +95,7 @@ use obs::trace::{self, Phase};
 use crate::conn::Conn;
 use crate::model::{ModelSlot, SharedClassifier, VersionedModel};
 use crate::reactor::{Reactor, ReactorQueue};
+use crate::slo::{HealthState, SloConfig};
 use crate::wire::{ErrorCode, Response};
 
 /// Tuning knobs of a server instance.
@@ -122,6 +123,11 @@ pub struct ServeConfig {
     /// excess with one [`ErrorCode::Overloaded`] frame and closes
     /// (admission tier 1).
     pub max_conns: usize,
+    /// Service-level objectives judged by the server's
+    /// [`HealthState`] (exposed through [`ServerHandle::health`] and,
+    /// via the CLI, the admin `/healthz` + `/slo.json` routes). The
+    /// default declares none.
+    pub slo: SloConfig,
 }
 
 impl Default for ServeConfig {
@@ -133,6 +139,7 @@ impl Default for ServeConfig {
             timeout: Duration::from_secs(1),
             reactors: 1,
             max_conns: 8192,
+            slo: SloConfig::new(),
         }
     }
 }
@@ -177,6 +184,13 @@ impl ServeConfig {
     /// Sets the connection cap (clamped up to 1).
     pub fn with_max_conns(mut self, max_conns: usize) -> Self {
         self.max_conns = max_conns.max(1);
+        self
+    }
+
+    /// Declares the service-level objectives the server's health state
+    /// judges against.
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = slo;
         self
     }
 
@@ -411,6 +425,9 @@ pub(crate) struct Inner {
     pub(crate) next_token: AtomicU64,
     /// Every reactor's command queue + waker, for shutdown broadcast.
     pub(crate) reactor_queues: Vec<Arc<ReactorQueue>>,
+    /// SLO-aware health shared with the admin listener; the draining
+    /// bit flips with [`Inner::trigger_shutdown`].
+    pub(crate) health: Arc<HealthState>,
 }
 
 impl Inner {
@@ -422,6 +439,10 @@ impl Inner {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Health degrades before any reactor learns of the shutdown: a
+        // load balancer probing /healthz sees `draining` while queued
+        // requests are still being answered.
+        self.health.set_draining();
         for queue in &self.reactor_queues {
             queue.wake();
         }
@@ -575,6 +596,14 @@ impl ServerHandle {
     /// The version currently being served (`1` until the first swap).
     pub fn model_version(&self) -> u64 {
         self.inner.model.version()
+    }
+
+    /// The server's SLO-aware health state, for wiring into
+    /// [`crate::admin::start_admin_with`]: it reflects the configured
+    /// objectives ([`ServeConfig::slo`]) and flips to draining the
+    /// moment a shutdown is triggered.
+    pub fn health(&self) -> Arc<HealthState> {
+        Arc::clone(&self.inner.health)
     }
 
     /// Blocks until the server has shut down (via [`ServerHandle::shutdown`]
@@ -741,12 +770,13 @@ fn start_impl<A: ToSocketAddrs>(
         conn_count: AtomicUsize::new(0),
         next_token: AtomicU64::new(0),
         reactor_queues: queues.clone(),
+        health: Arc::new(HealthState::new(config.slo)),
     });
 
     let workers = (0..config.effective_workers())
-        .map(|_| {
+        .map(|worker| {
             let inner = Arc::clone(&inner);
-            std::thread::spawn(move || worker_loop(&inner))
+            std::thread::spawn(move || worker_loop(&inner, worker))
         })
         .collect();
 
@@ -760,6 +790,7 @@ fn start_impl<A: ToSocketAddrs>(
         .enumerate()
         .map(|(i, poller)| {
             let reactor = Reactor::new(
+                i,
                 Arc::clone(&inner),
                 poller,
                 Arc::clone(&queues[i]),
@@ -780,7 +811,13 @@ fn start_impl<A: ToSocketAddrs>(
 }
 
 /// Pops batches off the queue until shutdown *and* the queue is drained.
-fn worker_loop(inner: &Arc<Inner>) {
+///
+/// `worker` is the thread's index within the pool; it pre-interns its
+/// `serve.worker.batches{worker=}` handle once, so attributing batches
+/// to workers costs one id-indexed bump per batch.
+fn worker_loop(inner: &Arc<Inner>, worker: usize) {
+    let batches_id =
+        obs::intern_counter("serve.worker.batches", &[("worker", &worker.to_string())]);
     loop {
         let batch: Vec<Pending> = {
             let mut queue = inner.queue.lock().expect("queue lock poisoned");
@@ -796,6 +833,7 @@ fn worker_loop(inner: &Arc<Inner>) {
             let take = queue.len().min(inner.config.max_batch);
             queue.drain(..take).collect()
         };
+        obs::counter_id(batches_id, 1);
         process_batch(inner, batch);
     }
 }
@@ -998,7 +1036,7 @@ fn process_batch(inner: &Arc<Inner>, batch: Vec<Pending>) {
                 for pending in &live {
                     pending.trace_pair("predict", predict_begin_ns, predict_end_ns);
                 }
-                record_quality_signals(model.classifier(), &features, &predictions);
+                record_quality_signals(&model, &features, &predictions);
             }
             if let Some(online) = &inner.online {
                 for &class in &predictions {
@@ -1047,12 +1085,18 @@ pub const MARGIN_SCALE: f64 = 1e6;
 /// score margin histogram. Runs only when metrics are enabled — the
 /// margin needs a second [`hdc::Classifier::class_scores`] pass, which
 /// must cost nothing when observability is off.
-fn record_quality_signals(model: &SharedClassifier, features: &[Vec<f64>], predictions: &[usize]) {
-    for class in predictions {
-        obs::counter(&format!("serve.predicted.{class}"), 1);
+///
+/// Per-class counts go to the dimensional `serve.predicted{class=}`
+/// family through the version's pre-interned handles: no `format!`
+/// allocation per prediction, and a model with more classes than the
+/// registry's per-name label-set cap tallies the overflow visibly in
+/// `obs.dropped_names` instead of silently exhausting the name table.
+fn record_quality_signals(model: &VersionedModel, features: &[Vec<f64>], predictions: &[usize]) {
+    for &class in predictions {
+        obs::counter_id(model.predicted_id(class), 1);
     }
     for feats in features {
-        match model.class_scores(feats) {
+        match model.classifier().class_scores(feats) {
             Ok(Some(scores)) if scores.len() >= 2 => {
                 let mut top1 = f64::NEG_INFINITY;
                 let mut top2 = f64::NEG_INFINITY;
@@ -1096,7 +1140,17 @@ fn respond_ok(pending: &Pending, class: usize, model: &VersionedModel) {
     };
     obs::counter("serve.responses.ok", 1);
     if obs::enabled() {
-        obs::record("serve/request", pending.enqueued.elapsed());
+        // The dimensional response counter: kernel + model_version
+        // labels ride the version's pre-interned handle, so the labels
+        // flip atomically with the hot-swap.
+        obs::counter_id(model.predictions_id(), 1);
+        // Traced end-to-end latency: a tail-bucket hit captures the
+        // request's trace id as an OpenMetrics exemplar.
+        obs::record_traced(
+            "serve/request",
+            pending.enqueued.elapsed(),
+            pending.trace_id,
+        );
     }
     let response = if pending.stamped {
         Response::PredictStamped {

@@ -61,7 +61,7 @@ cargo run --release -q -p lookhd-cli -- train \
 python3 - "$smoke_dir/metrics.json" << 'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["version"] == 2, doc
+assert doc["version"] == 3, doc
 paths = [s["path"] for s in doc["spans"]]
 for stage in ("encode", "counter_train", "compress", "predict", "score_lut"):
     assert any(stage in p for p in paths), f"missing stage {stage}: {paths}"
@@ -125,6 +125,7 @@ cargo run --release -q -p lookhd-bench --bin loadgen -- \
     --out results/serve_loadgen.txt
 grep -q "latency ms:" results/serve_loadgen.txt
 grep -q "trace ids: propagated" results/serve_loadgen.txt
+grep -q "server health (from /healthz): 200" results/serve_loadgen.txt
 # Live scrapes: snapshot JSON, Prometheus text, and the Chrome
 # trace-event export, each validated by an independent parser.
 python3 - "$admin_addr" << 'EOF'
@@ -140,15 +141,42 @@ addr = sys.argv[1]
 assert get(addr, "/healthz").strip() == "ok"
 
 doc = json.loads(get(addr, "/metrics.json"))
-assert doc["version"] == 2, doc["version"]
+assert doc["version"] == 3, doc["version"]
+# Schema-v3 window header: the rolling-window geometry is disclosed and
+# every entry carries labels + windowed aggregates bounded by the
+# cumulative totals (a torn read would violate the bound).
+w = doc["window"]
+assert w["short_secs"] < w["long_secs"] and w["slot_secs"] >= 1, w
+for s in doc["spans"]:
+    assert isinstance(s["labels"], dict), s
+    assert isinstance(s["exemplars"], list), s
+    for win in ("w10", "w60"):
+        assert s[win]["count"] <= s["count"], (s["path"], win, s[win])
+        assert s[win]["total_ns"] <= s["total_ns"], (s["path"], win)
+for c in doc["counters"]:
+    assert isinstance(c["labels"], dict), c
+    assert c["w10"] <= c["value"] and c["w60"] <= c["value"], c
 paths = {s["path"] for s in doc["spans"]}
 for path in ("serve/request", "serve/decode", "serve/queue_wait",
              "serve/encode", "serve/margin"):
     assert path in paths, f"missing span {path}: {sorted(paths)}"
-counters = {c["name"]: c["value"] for c in doc["counters"]}
+counters = {}
+for c in doc["counters"]:  # fold label sets into per-name totals
+    counters[c["name"]] = counters.get(c["name"], 0) + c["value"]
 assert counters.get("serve.responses.ok") == 200, counters
-predicted = sum(v for n, v in counters.items() if n.startswith("serve.predicted."))
+# Per-class predictions are dimensional now: one serve.predicted entry
+# per {class=N} label set, summing to the request count.
+predicted_sets = [c for c in doc["counters"] if c["name"] == "serve.predicted"]
+assert predicted_sets and all(c["labels"].get("class", "").isdigit()
+                              for c in predicted_sets), predicted_sets
+predicted = sum(c["value"] for c in predicted_sets)
 assert predicted == 200, f"per-class prediction counters sum to {predicted}"
+# The dimensional response counter carries kernel + model_version.
+predictions = [c for c in doc["counters"] if c["name"] == "serve.predictions"]
+assert sum(c["value"] for c in predictions) == 200, predictions
+assert all(c["labels"].get("kernel") == "lut"
+           and c["labels"].get("model_version") == "1"
+           for c in predictions), predictions
 # The server announces the artifact's active scoring kernel at startup
 # (the smoke model was trained with --kernel auto, so the LUT is active).
 assert counters.get("kernel.active.lut") == 1, counters
@@ -156,6 +184,14 @@ assert counters.get("kernel.active.lut") == 1, counters
 prom = get(addr, "/metrics")
 assert "# TYPE lookhd_span_serve_request_ns histogram" in prom, prom[:400]
 assert "lookhd_serve_responses_ok 200" in prom, prom[:400]
+# Dimensional labels survive the Prometheus render.
+assert 'lookhd_serve_predictions{kernel="lut",model_version="1"} 200' in prom, prom[:400]
+assert 'reactor="' in prom and 'worker="' in prom, prom[:400]
+# At least one OpenMetrics tail exemplar rides a histogram bucket line,
+# and its trace id must resolve in the Chrome trace export below.
+import re
+exemplar_ids = set(re.findall(r'# \{trace_id="(0x[0-9a-f]+)"\}', prom))
+assert exemplar_ids, "no OpenMetrics exemplars in /metrics"
 
 # Chrome trace-event export: every traced request (trace ids 1..=200,
 # one per loadgen request) must carry a balanced begin/end pair for
@@ -172,7 +208,13 @@ for tid in range(1, 201):
     for stage in stages:
         phases = seen.get((f"0x{tid:x}", stage))
         assert phases == ["b", "e"], f"trace 0x{tid:x} {stage}: {phases}"
-print(f"admin telemetry OK: {len(paths)} spans, {len(events)} trace events")
+# Every exported exemplar points at a real request: its trace id must
+# resolve to trace events in the Chrome export.
+trace_ids = {e["id"] for e in events}
+unresolved = exemplar_ids - trace_ids
+assert not unresolved, f"exemplar trace ids missing from /trace.json: {unresolved}"
+print(f"admin telemetry OK: {len(paths)} spans, {len(events)} trace events, "
+      f"{len(exemplar_ids)} exemplar trace ids resolved")
 EOF
 # The periodic flusher must have produced a parseable snapshot by now.
 python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$smoke_dir/serve_metrics.json"
@@ -196,11 +238,13 @@ wait "$serve_pid" # graceful shutdown: drains, joins, writes metrics
 python3 - "$smoke_dir/serve_metrics.json" << 'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["version"] == 2, doc
+assert doc["version"] == 3, doc
 paths = [s["path"] for s in doc["spans"]]
 for path in ("serve/request", "serve/batch_size", "serve/queue_depth"):
     assert path in paths, f"missing span {path}: {paths}"
 # 200 traced + 16000 from the connections curve + 1 shutdown probe.
+# (The asserted counters are all unlabeled single-entry names, so a
+# name-keyed dict stays exact.)
 counters = {c["name"]: c["value"] for c in doc["counters"]}
 assert counters.get("serve.responses.ok") == 16201, counters
 assert counters.get("serve.requests") == 16201, counters
@@ -397,7 +441,25 @@ if [ "${LOOKHD_SOAK:-0}" = "1" ]; then
     wait "$soak_pid"
 fi
 
-echo "== observability overhead budget (< 5%)"
+echo "== observability overhead budget (< 5%, single-thread + 8-thread contention)"
+# Writes the schema-versioned BENCH_obs.json (committed at the repo
+# root): both gate arms plus the single-mutex vs sharded contention
+# comparison; exits nonzero if either gate blows the budget.
 cargo run --release -q -p lookhd-bench --bin obs_overhead_check
+python3 - << 'EOF'
+import json
+doc = json.load(open("BENCH_obs.json"))
+assert doc["schema_version"] == 1, doc
+assert doc["host"]["cores"] >= 1 and doc["host"]["co_located"] is True, doc["host"]
+for gate in ("single_thread", "multi_thread_8"):
+    g = doc["gates"][gate]
+    assert g["passed"] is True, (gate, g)
+    assert g["disabled_median_ns"] > 0 and g["enabled_median_ns"] > 0, (gate, g)
+c = doc["contention"]
+assert c["threads"] == 8 and c["ops_per_thread"] >= 1, c
+assert c["single_mutex"]["wall_ns"] > 0 and c["sharded"]["wall_ns"] > 0, c
+print(f"BENCH_obs.json OK: sharded registry {c['speedup']:.1f}x the "
+      f"single-mutex baseline under 8-thread contention")
+EOF
 
 echo "CI OK"

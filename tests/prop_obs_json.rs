@@ -68,7 +68,16 @@ fn parse_echo(stdout: &str) -> Vec<(u64, u64)> {
 const PY_VALIDATE: &str = r#"
 import json, sys
 doc = json.load(sys.stdin)
-assert doc["version"] == 2, doc["version"]
+assert doc["version"] == 3, doc["version"]
+w = doc["window"]
+assert w["short_secs"] < w["long_secs"], w
+for s in doc["spans"]:
+    assert isinstance(s["labels"], dict), s
+    assert s["w10"]["count"] <= s["count"] and s["w60"]["count"] <= s["count"], s
+    assert isinstance(s["exemplars"], list), s
+for c in doc["counters"]:
+    assert isinstance(c["labels"], dict), c
+    assert c["w10"] <= c["value"] and c["w60"] <= c["value"], c
 for name in sorted(s["path"] for s in doc["spans"]):
     print(len(name), sum(ord(c) for c in name))
 print("---")
